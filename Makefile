@@ -1,0 +1,33 @@
+# Common developer targets for the repro package.
+
+PYTHON ?= python
+
+.PHONY: install test bench quick-table full-table figures shapes examples clean
+
+install:
+	PIP_NO_BUILD_ISOLATION=false pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+quick-table:
+	$(PYTHON) -m repro.evaluation table1 --tier quick --shots 100000
+
+full-table:
+	$(PYTHON) -m repro.evaluation table1 --tier full --shots 1000000 --verify-agreement
+
+figures:
+	$(PYTHON) -m repro.evaluation figures
+
+shapes:
+	$(PYTHON) -m repro.evaluation shapes
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done
+
+clean:
+	rm -rf build dist src/*.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,53 @@
+"""Ablation: prefix-sum/binary-search vs Walker's alias method.
+
+Both are dense vector-based samplers; the alias method trades a slower
+table build (Vose's algorithm is Python-loop-bound here) for O(1)
+instead of O(n) per sample.  The crossover illustrates why the paper's
+baseline chose prefix sums: with NumPy's vectorised ``searchsorted``,
+binary search is effectively free at these sizes, and both remain
+memory-bound by the exponential vector the DD sampler avoids.
+
+Run:  pytest benchmarks/bench_alias_ablation.py --benchmark-only
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.alias_sampler import AliasSampler
+from repro.core.prefix_sampler import PrefixSampler
+
+SIZES = [2**12, 2**16]
+SHOTS = 100_000
+
+
+def _probabilities(size: int) -> np.ndarray:
+    rng = np.random.default_rng(size)
+    raw = rng.exponential(size=size)
+    return raw / raw.sum()
+
+
+@pytest.mark.parametrize("size", SIZES, ids=[f"2^{s.bit_length()-1}" for s in SIZES])
+def test_alias_build(benchmark, size):
+    probabilities = _probabilities(size)
+    sampler = benchmark.pedantic(
+        lambda: AliasSampler(probabilities, is_statevector=False),
+        rounds=2,
+        iterations=1,
+    )
+    assert sampler.size == size
+
+
+@pytest.mark.parametrize("size", SIZES, ids=[f"2^{s.bit_length()-1}" for s in SIZES])
+def test_alias_sampling(benchmark, size):
+    sampler = AliasSampler(_probabilities(size), is_statevector=False)
+    rng = np.random.default_rng(0)
+    samples = benchmark(lambda: sampler.sample(SHOTS, rng))
+    assert samples.shape == (SHOTS,)
+
+
+@pytest.mark.parametrize("size", SIZES, ids=[f"2^{s.bit_length()-1}" for s in SIZES])
+def test_prefix_sampling_reference(benchmark, size):
+    sampler = PrefixSampler(_probabilities(size), is_statevector=False)
+    rng = np.random.default_rng(0)
+    samples = benchmark(lambda: sampler.sample(SHOTS, rng))
+    assert samples.shape == (SHOTS,)

@@ -1,0 +1,48 @@
+"""Extension bench: approximate weak simulation (DD pruning).
+
+The paper allows weak simulation "possibly with some error"; this bench
+quantifies the size/fidelity trade of pruning low-contribution edges on
+a scrambled supremacy state, and the sampling speed on the smaller DD.
+
+Run:  pytest benchmarks/bench_approximation.py --benchmark-only
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import supremacy
+from repro.core.dd_sampler import DDSampler
+from repro.dd.approximation import prune_low_contribution
+from repro.simulators import DDSimulator
+
+
+@pytest.fixture(scope="module")
+def state():
+    return DDSimulator().run(supremacy(4, 4, 10, seed=0))
+
+
+@pytest.mark.parametrize("budget", [0.01, 0.05, 0.2])
+def test_prune(benchmark, state, budget):
+    result = benchmark.pedantic(
+        lambda: prune_low_contribution(state, budget=budget),
+        rounds=2,
+        iterations=1,
+    )
+    assert result.nodes_after <= state.node_count
+    benchmark.extra_info["nodes_before"] = result.nodes_before
+    benchmark.extra_info["nodes_after"] = result.nodes_after
+    benchmark.extra_info["removed_mass"] = round(result.removed_mass, 5)
+
+
+@pytest.mark.parametrize("budget", [0.0, 0.05])
+def test_sampling_after_pruning(benchmark, state, budget):
+    if budget:
+        target = prune_low_contribution(state, budget=budget).state
+    else:
+        target = state
+    sampler = DDSampler(target)
+    sampler._build_tables()
+    rng = np.random.default_rng(0)
+    samples = benchmark(lambda: sampler.sample(100_000, rng))
+    assert samples.shape == (100_000,)
+    benchmark.extra_info["dd_nodes"] = target.node_count

@@ -1,0 +1,27 @@
+"""Strong-simulation (state build) benchmarks per Table-I family.
+
+Not a Table-I column per se (the paper times sampling after strong
+simulation), but the stage that dominates wall clock in this pure-Python
+implementation; kept for profiling and regression tracking.
+
+Run:  pytest benchmarks/bench_build.py --benchmark-only
+"""
+
+import pytest
+
+from repro.evaluation.catalog import build_state, by_name
+
+CASES = ["qft_16", "qft_48", "grover_10", "jellium_2x2", "supremacy_4x4_5",
+         "shor_33_2"]
+
+
+@pytest.mark.parametrize("name", CASES)
+def test_build_final_state(benchmark, name):
+    spec = by_name(name)
+
+    def build():
+        return build_state(spec)
+
+    state = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert state.num_qubits == spec.num_qubits
+    benchmark.extra_info["dd_nodes"] = state.node_count

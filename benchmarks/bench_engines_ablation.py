@@ -1,0 +1,64 @@
+"""Ablation: gate-application strategies in the DD simulator.
+
+DESIGN.md routes gates to three strategies (diagonal subspace-phase,
+single-qubit descent, generic matrix-DD multiply).  This bench runs the
+same circuits with fast paths on and off, quantifying what the routing
+buys — and, via the Grover case, what applying a whole iteration as one
+operator DD buys over gate-by-gate application.
+
+Run:  pytest benchmarks/bench_engines_ablation.py --benchmark-only
+"""
+
+import pytest
+
+from repro.algorithms import grover, qft, supremacy
+from repro.simulators import DDSimulator
+
+
+@pytest.mark.parametrize("fast_paths", [True, False], ids=["fast-paths", "matvec-only"])
+def test_qft24_strong_simulation(benchmark, fast_paths):
+    circuit = qft(24)
+
+    def run():
+        return DDSimulator(use_fast_paths=fast_paths).run(circuit)
+
+    state = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert state.node_count == 24
+
+
+@pytest.mark.parametrize("fast_paths", [True, False], ids=["fast-paths", "matvec-only"])
+def test_supremacy_strong_simulation(benchmark, fast_paths):
+    circuit = supremacy(3, 3, 8, seed=0)
+
+    def run():
+        return DDSimulator(use_fast_paths=fast_paths).run(circuit)
+
+    state = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert state.num_qubits == 9
+
+
+def test_grover_iterated_operator(benchmark):
+    instance = grover(12, seed=0)
+
+    def run():
+        return DDSimulator().run_iterated(
+            instance.init_circuit(),
+            instance.iteration_circuit(),
+            instance.iterations,
+        )
+
+    state = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert state.node_count < 100
+
+
+def test_grover_gate_by_gate(benchmark):
+    # Same instance, flat circuit: floating-point noise in the transient
+    # mid-diffusion states defeats sharing, so this is much slower (see
+    # GroverInstance.iteration_circuit docs).
+    instance = grover(12, seed=0)
+
+    def run():
+        return DDSimulator().run(instance.circuit)
+
+    state = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert state.num_qubits == 13

@@ -1,0 +1,64 @@
+"""Benchmarks for the extended algorithm families (beyond Table I).
+
+Bernstein-Vazirani / Deutsch-Jozsa (DD-friendly, linear-size states),
+phase estimation (structured counting register), and quantum-volume
+model circuits (the adversarial case: DDs grow toward maximal).  These
+situate the paper's families inside the wider landscape: the DD
+advantage is structural, not universal.
+
+Run:  pytest benchmarks/bench_extended_families.py --benchmark-only
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    bernstein_vazirani,
+    phase_estimation,
+    quantum_volume,
+)
+from repro.core.dd_sampler import DDSampler
+from repro.simulators import DDSimulator
+
+SHOTS = 100_000
+
+
+@pytest.mark.parametrize("n", [16, 24])
+def test_bernstein_vazirani_pipeline(benchmark, n):
+    instance = bernstein_vazirani(n, seed=n)
+
+    def pipeline():
+        state = DDSimulator().run(instance.circuit)
+        sampler = DDSampler(state)
+        return sampler.sample(SHOTS, np.random.default_rng(0)), state
+
+    samples, state = benchmark.pedantic(pipeline, rounds=2, iterations=1)
+    assert {instance.data_value(int(s)) for s in np.unique(samples)} == {
+        instance.secret
+    }
+    benchmark.extra_info["dd_nodes"] = state.node_count
+
+
+@pytest.mark.parametrize("precision", [10, 14])
+def test_phase_estimation_sampling(benchmark, precision):
+    instance = phase_estimation(precision, phase=0.3)
+    state = DDSimulator().run(instance.circuit)
+    sampler = DDSampler(state)
+    sampler._build_tables()
+    rng = np.random.default_rng(0)
+    samples = benchmark(lambda: sampler.sample(SHOTS, rng))
+    assert samples.shape == (SHOTS,)
+    benchmark.extra_info["dd_nodes"] = state.node_count
+
+
+@pytest.mark.parametrize("n", [6, 8])
+def test_quantum_volume_build(benchmark, n):
+    """The adversarial family: DD near-maximal, the honest limit case."""
+    circuit = quantum_volume(n, seed=0)
+
+    def build():
+        return DDSimulator().run(circuit)
+
+    state = benchmark.pedantic(build, rounds=1, iterations=1)
+    benchmark.extra_info["dd_nodes"] = state.node_count
+    assert state.node_count > 2 ** (n - 2)  # scrambled, as expected

@@ -1,0 +1,66 @@
+"""Figure 3: biased random selection via prefix sums and binary search.
+
+Benchmarks the two stages of the paper's Fig. 3 across growing vector
+sizes, plus the linear-traversal baseline the paper contrasts them with,
+and the out-of-core variant for vectors "stored in out-of-memory files".
+
+Expected shape: precompute O(2^n), binary-search sampling O(n) per
+sample (flat in practice thanks to vectorised searchsorted), linear scan
+O(2^n) per sample.
+
+Run:  pytest benchmarks/bench_fig3_prefix.py --benchmark-only
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.prefix_sampler import OutOfCorePrefixSampler, PrefixSampler
+
+SIZES = [2**12, 2**16, 2**20]
+
+
+def _probabilities(size: int) -> np.ndarray:
+    rng = np.random.default_rng(size)
+    raw = rng.exponential(size=size)
+    return raw / raw.sum()
+
+
+@pytest.mark.parametrize("size", SIZES, ids=[f"2^{s.bit_length()-1}" for s in SIZES])
+def test_prefix_precompute(benchmark, size):
+    probabilities = _probabilities(size)
+    sampler = benchmark(lambda: PrefixSampler(probabilities, is_statevector=False))
+    assert sampler.size == size
+
+
+@pytest.mark.parametrize("size", SIZES, ids=[f"2^{s.bit_length()-1}" for s in SIZES])
+def test_binary_search_sampling(benchmark, size):
+    sampler = PrefixSampler(_probabilities(size), is_statevector=False)
+    rng = np.random.default_rng(0)
+    samples = benchmark(lambda: sampler.sample(100_000, rng))
+    assert samples.shape == (100_000,)
+
+
+@pytest.mark.parametrize("size", [2**10, 2**14], ids=["2^10", "2^14"])
+def test_linear_scan_sampling(benchmark, size):
+    sampler = PrefixSampler(_probabilities(size), is_statevector=False)
+    rng = np.random.default_rng(1)
+    # O(2^n) per sample: 100 shots is already informative.
+    samples = benchmark.pedantic(
+        lambda: sampler.sample_linear(100, rng), rounds=2, iterations=1
+    )
+    assert samples.shape == (100,)
+
+
+def test_out_of_core_sampling(benchmark, tmp_path):
+    probabilities = _probabilities(2**18)
+    sampler = OutOfCorePrefixSampler.from_probabilities(
+        probabilities, directory=str(tmp_path), block_size=4096
+    )
+    try:
+        rng = np.random.default_rng(2)
+        samples = benchmark.pedantic(
+            lambda: sampler.sample(100_000, rng), rounds=2, iterations=1
+        )
+        assert samples.shape == (100_000,)
+    finally:
+        sampler.close()

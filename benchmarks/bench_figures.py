@@ -1,0 +1,54 @@
+"""Figures 2 and 4: the running example end to end.
+
+Times the full weak-simulation pipeline on the paper's worked example
+(circuit -> DD -> 100k samples) and the figure-data generation itself,
+and asserts the figure values while doing so — so a benchmark run also
+re-verifies the paper's printed numbers.
+
+Run:  pytest benchmarks/bench_figures.py --benchmark-only
+"""
+
+import numpy as np
+
+from repro.algorithms.states import (
+    RUNNING_EXAMPLE_PROBABILITIES,
+    running_example_circuit,
+)
+from repro.core import simulate_and_sample
+from repro.evaluation.figures import figure2_data, figure3_data, figure4_data
+
+
+def test_running_example_pipeline_dd(benchmark):
+    circuit = running_example_circuit()
+
+    def pipeline():
+        return simulate_and_sample(circuit, 100_000, method="dd", seed=0)
+
+    result = benchmark(pipeline)
+    assert set(result.counts) == {1, 3, 4, 7}
+
+
+def test_running_example_pipeline_vector(benchmark):
+    circuit = running_example_circuit()
+
+    def pipeline():
+        return simulate_and_sample(circuit, 100_000, method="vector", seed=0)
+
+    result = benchmark(pipeline)
+    assert set(result.counts) == {1, 3, 4, 7}
+
+
+def test_figure2_generation(benchmark):
+    data = benchmark(figure2_data)
+    assert data.sample_at_half == "011"
+    assert np.allclose(data.probabilities, RUNNING_EXAMPLE_PROBABILITIES, atol=1e-9)
+
+
+def test_figure3_generation(benchmark):
+    data = benchmark(figure3_data)
+    assert data.result_bitstring == "011"
+
+
+def test_figure4_generation(benchmark):
+    data = benchmark(figure4_data)
+    assert np.allclose(data.branch_probabilities["q2"], (0.75, 0.25), atol=1e-9)

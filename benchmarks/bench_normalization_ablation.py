@@ -1,0 +1,74 @@
+"""Ablation: the paper's L2 normalisation scheme (Section IV-C).
+
+Under the L2 scheme every node's outgoing squared magnitudes sum to 1,
+so branch probabilities are read directly off the edge weights and the
+downstream-probability traversal disappears.  Under the classic
+left-most scheme the sampler must first run the depth-first downstream
+pass (O(DD size)) and apply per-node corrections while sampling.
+
+These benchmarks time (a) the sampler precompute and (b) sampling itself
+under both schemes on the same quantum state — the measurable benefit
+the paper claims for its normalisation scheme.
+
+Run:  pytest benchmarks/bench_normalization_ablation.py --benchmark-only
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.shor import shor_final_state
+from repro.core.dd_sampler import DDSampler
+from repro.dd import DDPackage, NormalizationScheme, VectorDD
+
+SHOTS = 100_000
+
+
+@pytest.fixture(scope="module")
+def states():
+    statevector, _, _ = shor_final_state(33, 2)
+    built = {}
+    for scheme in NormalizationScheme:
+        package = DDPackage(scheme=scheme)
+        built[scheme] = VectorDD.from_statevector(package, statevector)
+    return built
+
+
+@pytest.mark.parametrize("scheme", list(NormalizationScheme), ids=lambda s: s.value)
+def test_precompute(benchmark, states, scheme):
+    state = states[scheme]
+
+    def precompute():
+        sampler = DDSampler(state)
+        sampler._build_tables()
+        return sampler
+
+    sampler = benchmark(precompute)
+    if scheme is NormalizationScheme.L2:
+        assert sampler.downstream is None  # traversal skipped entirely
+    else:
+        assert sampler.downstream is not None
+    benchmark.extra_info["dd_nodes"] = state.node_count
+
+
+@pytest.mark.parametrize("scheme", list(NormalizationScheme), ids=lambda s: s.value)
+def test_sampling(benchmark, states, scheme):
+    state = states[scheme]
+    sampler = DDSampler(state)
+    sampler._build_tables()
+    rng = np.random.default_rng(0)
+    samples = benchmark(lambda: sampler.sample(SHOTS, rng))
+    assert samples.shape == (SHOTS,)
+
+
+def test_l2_forced_downstream_equivalence(benchmark, states):
+    """L2 state sampled *without* trusting the normalisation: measures
+    what the downstream pass costs even when it is all ones."""
+    state = states[NormalizationScheme.L2]
+
+    def precompute():
+        return DDSampler(state, trust_l2_normalization=False)
+
+    sampler = benchmark(precompute)
+    assert sampler.downstream is not None
+    for value in list(sampler.downstream.values())[:100]:
+        assert np.isclose(value, 1.0, atol=1e-6)

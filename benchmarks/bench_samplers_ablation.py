@@ -1,0 +1,70 @@
+"""Ablation: the four DD sampling strategies against each other.
+
+Quantifies the engineering choices discussed in DESIGN.md on one fixed
+mid-size state (the emulated shor_33_2 final state, 18 qubits / ~43k DD
+nodes):
+
+* ``dd`` — vectorised per-level batch sampling (production path),
+* ``dd-path`` — the paper's one-walk-per-sample algorithm (O(n)/sample,
+  but pure-Python constant factors),
+* ``dd-multinomial`` — recursive binomial shot splitting,
+* ``dd-collapse`` — per-shot sequential measurement collapse (naive
+  baseline; run with 100x fewer shots and scaled in the report).
+
+Run:  pytest benchmarks/bench_samplers_ablation.py --benchmark-only
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dd_sampler import DDSampler
+
+from .conftest import cached_state
+
+SHOTS = 20_000
+STATE = "shor_33_2"
+
+
+@pytest.fixture(scope="module")
+def sampler():
+    s = DDSampler(cached_state(STATE))
+    s._build_tables()
+    return s
+
+
+def test_dd_vectorised(benchmark, sampler):
+    rng = np.random.default_rng(0)
+    samples = benchmark(lambda: sampler.sample(SHOTS, rng))
+    assert samples.shape == (SHOTS,)
+
+
+def test_dd_path_per_sample(benchmark, sampler):
+    rng = np.random.default_rng(1)
+    shots = SHOTS // 10  # pure-Python walks; scale shots down
+
+    def draw():
+        return sampler.sample_paths(shots, rng)
+
+    samples = benchmark.pedantic(draw, rounds=3, iterations=1)
+    assert samples.shape == (shots,)
+    benchmark.extra_info["shots_scale"] = 10
+
+
+def test_dd_multinomial(benchmark, sampler):
+    rng = np.random.default_rng(2)
+    counts = benchmark(lambda: sampler.sample_counts_multinomial(SHOTS, rng))
+    assert sum(counts.values()) == SHOTS
+
+
+def test_dd_collapse(benchmark, sampler):
+    # n DD-rebuilding collapses per shot on a 43k-node state: by far the
+    # slowest method, so it gets 2000x fewer shots (scale in the report).
+    rng = np.random.default_rng(3)
+    shots = 10
+
+    def draw():
+        return sampler.sample_collapse(shots, rng)
+
+    samples = benchmark.pedantic(draw, rounds=1, iterations=1)
+    assert samples.shape == (shots,)
+    benchmark.extra_info["shots_scale"] = SHOTS // shots

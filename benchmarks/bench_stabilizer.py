@@ -1,0 +1,71 @@
+"""Bench: stabilizer (CHP) vs decision-diagram weak simulation on
+Clifford circuits.
+
+Clifford circuits admit two polynomial weak simulators: the tableau
+(Gottesman-Knill, the paper's related work [14]/[15]) and the DD sampler
+(Clifford states have small DDs too).  This bench compares both —
+strong-simulation and sampling stages — on random Clifford circuits.
+
+Run:  pytest benchmarks/bench_stabilizer.py --benchmark-only
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.core.dd_sampler import DDSampler
+from repro.simulators import DDSimulator, StabilizerSimulator
+
+
+def random_clifford(num_qubits: int, num_gates: int, seed: int) -> QuantumCircuit:
+    rng = np.random.default_rng(seed)
+    circuit = QuantumCircuit(num_qubits)
+    for _ in range(num_gates):
+        r = rng.random()
+        q = int(rng.integers(num_qubits))
+        if r < 0.3:
+            circuit.h(q)
+        elif r < 0.5:
+            circuit.s(q)
+        elif num_qubits >= 2:
+            a, b = rng.choice(num_qubits, 2, replace=False)
+            circuit.cx(int(a), int(b))
+    return circuit
+
+
+N, GATES, SHOTS = 16, 200, 2_000
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return random_clifford(N, GATES, seed=0)
+
+
+def test_stabilizer_strong_simulation(benchmark, circuit):
+    result = benchmark(lambda: StabilizerSimulator().run(circuit))
+    assert result.num_qubits == N
+
+
+def test_dd_strong_simulation(benchmark, circuit):
+    result = benchmark.pedantic(
+        lambda: DDSimulator().run(circuit), rounds=2, iterations=1
+    )
+    benchmark.extra_info["dd_nodes"] = result.node_count
+
+
+def test_stabilizer_sampling(benchmark, circuit):
+    state = StabilizerSimulator().run(circuit)
+    rng = np.random.default_rng(0)
+    samples = benchmark.pedantic(
+        lambda: state.sample(SHOTS, rng), rounds=1, iterations=1
+    )
+    assert samples.shape == (SHOTS,)
+
+
+def test_dd_sampling(benchmark, circuit):
+    state = DDSimulator().run(circuit)
+    sampler = DDSampler(state)
+    sampler._build_tables()
+    rng = np.random.default_rng(0)
+    samples = benchmark(lambda: sampler.sample(SHOTS, rng))
+    assert samples.shape == (SHOTS,)

@@ -1,0 +1,61 @@
+"""Table I, DD-based columns: sampling time per benchmark family.
+
+Each benchmark regenerates the "DD-based t[s]" cell of one Table-I row
+(scaled instances per DESIGN.md): precompute the sampler once, then time
+drawing ``SHOTS`` bitstrings from the final-state decision diagram.
+
+Run:  pytest benchmarks/bench_table1_dd.py --benchmark-only
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dd_sampler import DDSampler
+
+from .conftest import SHOTS, cached_state
+
+# (catalog name, Table-I row it scales)
+CASES = [
+    ("qft_16", "qft_16"),
+    ("qft_32", "qft_32"),
+    ("qft_48", "qft_48"),
+    ("grover_10", "grover_20"),
+    ("grover_14", "grover_25"),
+    ("shor_33_2", "shor_33_2"),
+    ("shor_55_2", "shor_55_2"),
+    ("jellium_2x2", "jellium_2x2"),
+    ("supremacy_4x4_5", "supremacy_4x4_10"),
+]
+
+
+@pytest.mark.parametrize("name,paper_row", CASES, ids=[c[0] for c in CASES])
+def test_dd_sampling(benchmark, name, paper_row):
+    state = cached_state(name)
+    sampler = DDSampler(state)
+    sampler._build_tables()
+    rng = np.random.default_rng(0)
+
+    def draw():
+        return sampler.sample(SHOTS, rng)
+
+    samples = benchmark(draw)
+    assert samples.shape == (SHOTS,)
+    benchmark.extra_info["dd_nodes"] = state.node_count
+    benchmark.extra_info["qubits"] = state.num_qubits
+    benchmark.extra_info["paper_row"] = paper_row
+
+
+@pytest.mark.parametrize(
+    "name", ["qft_16", "shor_33_2", "supremacy_4x4_5"]
+)
+def test_dd_sampler_precompute(benchmark, name):
+    """The precompute stage alone (table building, linear in DD size)."""
+    state = cached_state(name)
+
+    def precompute():
+        sampler = DDSampler(state)
+        sampler._build_tables()
+        return sampler
+
+    sampler = benchmark(precompute)
+    assert sampler is not None

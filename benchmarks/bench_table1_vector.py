@@ -1,0 +1,71 @@
+"""Table I, vector-based columns: prefix-sum + binary-search sampling.
+
+Each benchmark regenerates the "vector-based t[s]" cell of a Table-I row
+where the dense state fits in memory; the MO rows are asserted MO (no
+timing possible — that is the datum).
+
+Run:  pytest benchmarks/bench_table1_vector.py --benchmark-only
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.prefix_sampler import PrefixSampler
+from repro.evaluation.memory import MemoryPolicy
+
+from .conftest import SHOTS, cached_state
+
+FITTING = [
+    ("qft_16", "qft_16"),
+    ("grover_10", "grover_20"),
+    ("grover_14", "grover_25"),
+    ("shor_33_2", "shor_33_2"),
+    ("shor_55_2", "shor_55_2"),
+    ("jellium_2x2", "jellium_2x2"),
+    ("supremacy_4x4_5", "supremacy_4x4_10"),
+]
+
+_PREFIX_CACHE: dict = {}
+
+
+def _prefix_sampler(name: str) -> PrefixSampler:
+    if name not in _PREFIX_CACHE:
+        _PREFIX_CACHE[name] = PrefixSampler(cached_state(name).to_statevector())
+    return _PREFIX_CACHE[name]
+
+
+@pytest.mark.parametrize("name,paper_row", FITTING, ids=[c[0] for c in FITTING])
+def test_vector_sampling(benchmark, name, paper_row):
+    sampler = _prefix_sampler(name)
+    rng = np.random.default_rng(0)
+
+    def draw():
+        return sampler.sample(SHOTS, rng)
+
+    samples = benchmark(draw)
+    assert samples.shape == (SHOTS,)
+    benchmark.extra_info["vector_entries"] = sampler.size
+    benchmark.extra_info["paper_row"] = paper_row
+
+
+@pytest.mark.parametrize("name", ["qft_16", "shor_33_2"])
+def test_vector_precompute(benchmark, name):
+    """The prefix-sum precomputation (O(2^n), the method's bottleneck)."""
+    statevector = cached_state(name).to_statevector()
+
+    def precompute():
+        return PrefixSampler(statevector)
+
+    sampler = benchmark(precompute)
+    assert sampler.size == statevector.size
+
+
+def test_memory_out_rows_are_mo():
+    """qft_32/qft_48 (and paper's grover_35) cannot be benchmarked with
+    the vector method: their dense state exceeds the memory cap.  This
+    *is* the Table-I datum for those cells."""
+    policy = MemoryPolicy()
+    assert not policy.vector_fits(32)
+    assert not policy.vector_fits(48)
+    assert not policy.vector_fits(36)
+    assert policy.vector_fits(16)

@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark suite.
+
+Final states are expensive to build (strong simulation), so they are
+cached per session: every bench that samples from ``qft_32`` reuses one
+DD.  Benchmarks measure the *sampling* stage unless explicitly named
+``bench_build_*``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.catalog import build_state, by_name
+
+_STATE_CACHE: dict = {}
+
+#: Shots per sampling benchmark.  The paper draws 1M; 100k keeps the
+#: whole suite in CPU-minutes while preserving every comparison.
+SHOTS = 100_000
+
+
+def cached_state(name: str):
+    """Build (once) and return the final state of a catalog benchmark."""
+    if name not in _STATE_CACHE:
+        _STATE_CACHE[name] = build_state(by_name(name))
+    return _STATE_CACHE[name]
+
+
+@pytest.fixture(scope="session")
+def shots() -> int:
+    return SHOTS

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""State compression: sampling a 48-qubit register on a laptop.
+
+The punchline of the paper's Table I: ``qft_48`` produces a quantum state
+whose dense vector would hold 2^48 amplitudes (4.5 petabytes), yet its
+decision diagram has exactly 48 nodes — and weak simulation draws
+bitstrings from it in O(n) per sample.
+
+This example walks up the QFT family, printing the dense-vector memory
+each state *would* need against the DD memory it *does* need, then
+samples a million bitstrings from the 48-qubit state and checks their
+bit-marginals.
+
+Run:  python examples/qft_compression.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import DDSampler
+from repro.algorithms import qft
+from repro.dd import RepresentationSize
+from repro.evaluation import format_bytes
+from repro.simulators import DDSimulator
+
+
+def main() -> None:
+    print(f"{'circuit':<10} {'dense vector':>14} {'DD':>10} {'compression':>14}")
+    for n in (8, 16, 24, 32, 40, 48):
+        state = DDSimulator().run(qft(n))
+        size = RepresentationSize.of(state.package, state.edge, n)
+        print(
+            f"qft_{n:<6} {format_bytes(size.vector_size_bytes):>14} "
+            f"{format_bytes(size.dd_size_bytes):>10} "
+            f"{size.compression_ratio:>12.3g}x"
+        )
+
+    n = 48
+    print(f"\nSampling 1,000,000 bitstrings from the {n}-qubit QFT state...")
+    state = DDSimulator().run(qft(n))
+    sampler = DDSampler(state)
+    start = time.perf_counter()
+    samples = sampler.sample(1_000_000, rng=0)
+    elapsed = time.perf_counter() - start
+    print(f"done in {elapsed:.2f} s "
+          f"({elapsed / 1e6 * 1e9:.0f} ns per sample) — compare Table I's "
+          "0.63 s for the authors' C++ implementation")
+
+    # The state is the uniform superposition: every bit marginal is 1/2
+    # and (with 2^48 outcomes) duplicate samples are essentially
+    # impossible.
+    marginals = [(samples >> bit & 1).mean() for bit in range(n)]
+    print(f"bit marginals: min={min(marginals):.4f} max={max(marginals):.4f} "
+          "(exact value 0.5)")
+    print(f"distinct outcomes: {len(np.unique(samples))} / 1000000")
+
+
+if __name__ == "__main__":
+    main()

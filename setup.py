@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All metadata lives in pyproject.toml; this file exists so that
+``pip install -e . --no-use-pep517`` works on environments whose
+setuptools lacks PEP 660 editable-install support (no ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

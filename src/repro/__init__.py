@@ -1,0 +1,79 @@
+"""Fast weak simulation of quantum computation with decision diagrams.
+
+Reproduction of Hillmich, Markov, Wille (DAC 2020).  The package mimics a
+physical quantum computer: given a circuit, it produces measured
+bitstrings statistically indistinguishable from the real device, either
+from a dense state vector (prefix sums + binary search) or — the paper's
+contribution — directly from an edge-weighted decision diagram without
+ever materialising exponential arrays.
+
+Quickstart::
+
+    from repro import QuantumCircuit, simulate_and_sample
+
+    circuit = QuantumCircuit(2)
+    circuit.h(1)
+    circuit.cx(1, 0)
+    circuit.measure_all()
+    result = simulate_and_sample(circuit, shots=1000, method="dd", seed=0)
+    print(result.most_common())
+
+Subpackages: :mod:`repro.circuit` (IR), :mod:`repro.dd` (decision
+diagrams), :mod:`repro.simulators` (strong simulation),
+:mod:`repro.core` (weak simulation), :mod:`repro.algorithms` (benchmark
+circuits), :mod:`repro.evaluation` (Table-I/figure regeneration).
+"""
+
+from .circuit import QuantumCircuit, parse_qasm, to_qasm
+from .core import (
+    DDSampler,
+    PrefixSampler,
+    SampleResult,
+    chi_square_gof,
+    linear_xeb_fidelity,
+    sample_dd,
+    sample_statevector,
+    simulate_and_sample,
+    total_variation_distance,
+)
+from .dd import DDPackage, NormalizationScheme, VectorDD
+from .exceptions import (
+    CircuitError,
+    DDError,
+    MemoryOutError,
+    QasmError,
+    ReproError,
+    SamplingError,
+    SimulationError,
+)
+from .simulators import DDSimulator, StatevectorSimulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "QuantumCircuit",
+    "parse_qasm",
+    "to_qasm",
+    "simulate_and_sample",
+    "sample_statevector",
+    "sample_dd",
+    "SampleResult",
+    "PrefixSampler",
+    "DDSampler",
+    "chi_square_gof",
+    "total_variation_distance",
+    "linear_xeb_fidelity",
+    "DDPackage",
+    "VectorDD",
+    "NormalizationScheme",
+    "DDSimulator",
+    "StatevectorSimulator",
+    "ReproError",
+    "CircuitError",
+    "QasmError",
+    "DDError",
+    "SimulationError",
+    "MemoryOutError",
+    "SamplingError",
+    "__version__",
+]

@@ -1,0 +1,91 @@
+"""Benchmark circuit generators for the paper's evaluation families."""
+
+from .arithmetic import (
+    add_const,
+    cmult_mod,
+    controlled_modular_multiplier,
+    egcd,
+    modinv,
+    phi_add_const,
+    phi_add_const_mod,
+)
+from .grover import GroverInstance, grover, optimal_iterations, success_probability
+from .oracles import (
+    BernsteinVaziraniInstance,
+    DeutschJozsaInstance,
+    bernstein_vazirani,
+    deutsch_jozsa,
+)
+from .phase_estimation import (
+    PhaseEstimationInstance,
+    phase_estimation,
+    phase_estimation_distribution,
+    quantum_volume,
+)
+from .jellium import jellium, jellium_bonds, jellium_qubit
+from .qft import apply_inverse_qft, apply_qft, inverse_qft, qft
+from .shor import (
+    ShorLayout,
+    factor_from_order,
+    multiplicative_order,
+    recover_period,
+    shor_circuit,
+    shor_classical_reference,
+    shor_final_state,
+)
+from .states import (
+    RUNNING_EXAMPLE_PROBABILITIES,
+    bell_pair,
+    ghz,
+    running_example_circuit,
+    running_example_statevector,
+    uniform_superposition,
+    w_state,
+)
+from .supremacy import NUM_LAYOUTS, cz_layout, supremacy
+
+__all__ = [
+    "qft",
+    "inverse_qft",
+    "apply_qft",
+    "apply_inverse_qft",
+    "grover",
+    "GroverInstance",
+    "bernstein_vazirani",
+    "BernsteinVaziraniInstance",
+    "deutsch_jozsa",
+    "DeutschJozsaInstance",
+    "phase_estimation",
+    "PhaseEstimationInstance",
+    "phase_estimation_distribution",
+    "quantum_volume",
+    "optimal_iterations",
+    "success_probability",
+    "egcd",
+    "modinv",
+    "phi_add_const",
+    "add_const",
+    "phi_add_const_mod",
+    "cmult_mod",
+    "controlled_modular_multiplier",
+    "shor_circuit",
+    "shor_final_state",
+    "ShorLayout",
+    "multiplicative_order",
+    "recover_period",
+    "factor_from_order",
+    "shor_classical_reference",
+    "jellium",
+    "jellium_qubit",
+    "jellium_bonds",
+    "supremacy",
+    "cz_layout",
+    "NUM_LAYOUTS",
+    "bell_pair",
+    "ghz",
+    "w_state",
+    "uniform_superposition",
+    "running_example_circuit",
+    "running_example_statevector",
+    "RUNNING_EXAMPLE_PROBABILITIES",
+]

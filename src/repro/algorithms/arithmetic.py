@@ -1,0 +1,183 @@
+"""Quantum arithmetic in Fourier space (substrate for Shor's algorithm).
+
+Implements the Draper/Beauregard construction: addition of classical
+constants as single-qubit phases on a QFT-transformed register, modular
+addition with one ancilla, controlled modular multiplication, and the
+controlled modular-multiplication-by-``a`` unitary ``c-U_a`` that Shor's
+phase estimation exponentiates.
+
+Register convention: a register is a list of qubit indices in ascending
+significance (``qubits[0]`` is the least significant bit).  ``Φ(v)``
+denotes the QFT of ``|v⟩`` (with the same bit ordering, i.e. the QFT of
+:mod:`repro.algorithms.qft` including swaps).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from ..circuit.circuit import QuantumCircuit
+from ..exceptions import CircuitError
+from .qft import apply_inverse_qft, apply_qft
+
+__all__ = [
+    "egcd",
+    "modinv",
+    "phi_add_const",
+    "add_const",
+    "phi_add_const_mod",
+    "cmult_mod",
+    "controlled_modular_multiplier",
+]
+
+_TWO_PI = 2.0 * math.pi
+
+
+def egcd(a: int, b: int):
+    """Extended Euclid: returns (g, x, y) with a*x + b*y = g = gcd(a, b)."""
+    old_r, r = a, b
+    old_s, s = 1, 0
+    old_t, t = 0, 1
+    while r:
+        quotient = old_r // r
+        old_r, r = r, old_r - quotient * r
+        old_s, s = s, old_s - quotient * s
+        old_t, t = t, old_t - quotient * t
+    return old_r, old_s, old_t
+
+
+def modinv(a: int, modulus: int) -> int:
+    """Modular inverse of ``a`` mod ``modulus`` (raises if not coprime)."""
+    g, x, _ = egcd(a % modulus, modulus)
+    if g != 1:
+        raise CircuitError(f"{a} has no inverse modulo {modulus}")
+    return x % modulus
+
+
+def phi_add_const(
+    circuit: QuantumCircuit,
+    qubits: Sequence[int],
+    constant: int,
+    controls: Iterable[int] = (),
+) -> None:
+    """``Φ(v) -> Φ(v + constant mod 2^m)`` — phases only, no entanglers.
+
+    Adding in Fourier space needs one phase gate per register qubit:
+    qubit ``k`` receives ``P(2*pi*constant*2^k / 2^m)``.  Negative
+    constants subtract.
+    """
+    m = len(qubits)
+    controls = tuple(controls)
+    constant %= 1 << m
+    for k, qubit in enumerate(qubits):
+        angle = _TWO_PI * ((constant << k) % (1 << m)) / (1 << m)
+        if abs(angle) < 1e-15 or abs(angle - _TWO_PI) < 1e-15:
+            continue
+        if controls:
+            circuit.mcp(angle, controls, qubit)
+        else:
+            circuit.p(angle, qubit)
+
+
+def add_const(
+    circuit: QuantumCircuit,
+    qubits: Sequence[int],
+    constant: int,
+    controls: Iterable[int] = (),
+) -> None:
+    """Plain-basis adder: QFT, phase ladder, inverse QFT."""
+    apply_qft(circuit, qubits)
+    phi_add_const(circuit, qubits, constant, controls)
+    apply_inverse_qft(circuit, qubits)
+
+
+def phi_add_const_mod(
+    circuit: QuantumCircuit,
+    qubits: Sequence[int],
+    constant: int,
+    modulus: int,
+    ancilla: int,
+    controls: Iterable[int] = (),
+) -> None:
+    """``Φ(v) -> Φ((v + constant) mod modulus)`` (Beauregard Fig. 5).
+
+    ``qubits`` must hold ``n + 1`` bits for an ``n``-bit modulus (the
+    extra most-significant bit catches the transient overflow) and the
+    incoming value must satisfy ``v < modulus``.  ``ancilla`` must be
+    |0⟩ and is returned to |0⟩.
+    """
+    m = len(qubits)
+    if modulus >> (m - 1):
+        raise CircuitError("register too small: need bits(modulus) + 1 qubits")
+    constant %= modulus
+    controls = tuple(controls)
+    msb = qubits[-1]
+
+    phi_add_const(circuit, qubits, constant, controls)
+    phi_add_const(circuit, qubits, -modulus)
+    apply_inverse_qft(circuit, qubits)
+    circuit.cx(msb, ancilla)
+    apply_qft(circuit, qubits)
+    phi_add_const(circuit, qubits, modulus, (ancilla,))
+    phi_add_const(circuit, qubits, -constant, controls)
+    apply_inverse_qft(circuit, qubits)
+    circuit.x(msb)
+    circuit.cx(msb, ancilla)
+    circuit.x(msb)
+    apply_qft(circuit, qubits)
+    phi_add_const(circuit, qubits, constant, controls)
+
+
+def cmult_mod(
+    circuit: QuantumCircuit,
+    control: int,
+    x_qubits: Sequence[int],
+    b_qubits: Sequence[int],
+    a: int,
+    modulus: int,
+    ancilla: int,
+) -> None:
+    """``|c⟩|x⟩|b⟩ -> |c⟩|x⟩|b + a*x mod modulus⟩`` when ``c`` is set.
+
+    ``b_qubits`` must hold ``n + 1`` bits (plain basis in and out).
+    """
+    apply_qft(circuit, b_qubits)
+    for j, x_qubit in enumerate(x_qubits):
+        phi_add_const_mod(
+            circuit,
+            b_qubits,
+            (a << j) % modulus,
+            modulus,
+            ancilla,
+            controls=(control, x_qubit),
+        )
+    apply_inverse_qft(circuit, b_qubits)
+
+
+def controlled_modular_multiplier(
+    circuit: QuantumCircuit,
+    control: int,
+    x_qubits: Sequence[int],
+    b_qubits: Sequence[int],
+    a: int,
+    modulus: int,
+    ancilla: int,
+) -> None:
+    """``c-U_a``: ``|x⟩ -> |a*x mod modulus⟩`` when ``control`` is set.
+
+    Requires ``gcd(a, modulus) = 1`` and the helper register
+    ``b_qubits`` (``n + 1`` bits) in |0⟩; it is returned to |0⟩.
+    Implements multiply-accumulate, controlled swap, then the inverse
+    multiply-accumulate with ``a^{-1}`` (Beauregard Fig. 6).
+    """
+    a %= modulus
+    inverse = modinv(a, modulus)
+    cmult_mod(circuit, control, x_qubits, b_qubits, a, modulus, ancilla)
+    for x_qubit, b_qubit in zip(x_qubits, b_qubits):
+        circuit.cswap(control, x_qubit, b_qubit)
+    # Inverse of cmult_mod with a^{-1}: build it separately and append
+    # its adjoint.
+    scratch = QuantumCircuit(circuit.num_qubits, name="cmult_inverse")
+    cmult_mod(scratch, control, x_qubits, b_qubits, inverse, modulus, ancilla)
+    circuit.compose(scratch.inverse())

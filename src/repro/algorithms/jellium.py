@@ -1,0 +1,140 @@
+"""Uniform-electron-gas (jellium) Trotter circuits (``jellium_AxA``).
+
+The paper simulates circuits for the uniform electron gas from Babbush et
+al., "Low-depth quantum simulation of materials" (PRX 8, 011044).  The
+original circuit files are not redistributable, so this module implements
+the same *structure*: a plane-wave-dual-basis split-operator Trotter step
+on an ``A x A`` site grid with two spin species (hence ``2 * A^2`` qubits,
+matching the paper's counts: jellium_2x2 → 8, jellium_3x3 → 18).
+
+Per Trotter step:
+
+* on-site single-qubit Z rotations (kinetic diagonal + external
+  potential),
+* density-density interactions as controlled-phase gates between the two
+  spins of a site and between neighbouring sites (Coulomb, ~1/r),
+* hopping between nearest-neighbour sites of equal spin as fSim(θ, 0)
+  gates, laid out brickwork-style (even then odd bonds, rows then
+  columns).
+
+The initial state is a half-filled checkerboard (X gates), preceded by a
+Hadamard layer on the up-spin sublattice so the state is genuinely
+entangled superposition rather than a single determinant.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from ..circuit.circuit import QuantumCircuit
+from ..exceptions import CircuitError
+
+__all__ = ["jellium", "jellium_qubit", "jellium_bonds"]
+
+
+def jellium_qubit(row: int, col: int, spin: int, size: int) -> int:
+    """Qubit index of grid site ``(row, col)`` with ``spin`` in {0, 1}.
+
+    Spin-down modes occupy the upper half of the register.
+    """
+    if not (0 <= row < size and 0 <= col < size):
+        raise CircuitError("site outside the grid")
+    if spin not in (0, 1):
+        raise CircuitError("spin must be 0 or 1")
+    return spin * size * size + row * size + col
+
+
+def jellium_bonds(size: int) -> List[Tuple[Tuple[int, int], Tuple[int, int]]]:
+    """Nearest-neighbour site pairs, horizontal bonds then vertical."""
+    bonds = []
+    for row in range(size):
+        for col in range(size - 1):
+            bonds.append(((row, col), (row, col + 1)))
+    for row in range(size - 1):
+        for col in range(size):
+            bonds.append(((row, col), (row + 1, col)))
+    return bonds
+
+
+def _coulomb_angle(dt: float, distance: float) -> float:
+    """Interaction phase for two densities at ``distance`` (1/r law)."""
+    return dt / max(distance, 1e-9)
+
+
+def jellium(size: int, steps: int = 2, dt: float = 0.15) -> QuantumCircuit:
+    """Build ``jellium_{size}x{size}``: ``2 * size^2`` qubits.
+
+    ``steps`` Trotter steps of duration ``dt``.  Angles follow the
+    plane-wave-dual Hamiltonian shape (uniform hopping, 1/r density
+    interaction, on-site repulsion between spins).
+    """
+    if size < 2:
+        raise CircuitError("jellium grid needs size >= 2")
+    num_sites = size * size
+    circuit = QuantumCircuit(2 * num_sites, name=f"jellium_{size}x{size}")
+
+    # Initial state: half filling on a checkerboard (up spins on even
+    # sites, down spins on odd sites), then a number-conserving layer of
+    # partial hops (fSim at theta = pi/4) to delocalise the particles so
+    # the Trotter evolution starts from a superposition within the fixed
+    # particle-number sector.
+    for row in range(size):
+        for col in range(size):
+            if (row + col) % 2 == 0:
+                circuit.x(jellium_qubit(row, col, 0, size))
+            else:
+                circuit.x(jellium_qubit(row, col, 1, size))
+    for (site_a, site_b) in jellium_bonds(size):
+        for spin in (0, 1):
+            circuit.fsim(
+                math.pi / 4,
+                0.0,
+                jellium_qubit(site_a[0], site_a[1], spin, size),
+                jellium_qubit(site_b[0], site_b[1], spin, size),
+            )
+
+    hopping_angle = dt  # uniform tunnelling amplitude t = 1
+    onsite_angle = 2.0 * dt  # Hubbard-like U = 2
+    bonds = jellium_bonds(size)
+
+    for _ in range(steps):
+        # (1) Diagonal single-qubit terms: kinetic self-energy + chemical
+        # potential; site-dependent through the squared momentum proxy.
+        for spin in (0, 1):
+            for row in range(size):
+                for col in range(size):
+                    k_sq = (row - size / 2.0) ** 2 + (col - size / 2.0) ** 2
+                    angle = dt * (0.5 * k_sq / max(size, 1) + 0.25)
+                    circuit.rz(angle, jellium_qubit(row, col, spin, size))
+        # (2) On-site spin-up/spin-down repulsion.
+        for row in range(size):
+            for col in range(size):
+                circuit.cp(
+                    onsite_angle,
+                    jellium_qubit(row, col, 0, size),
+                    jellium_qubit(row, col, 1, size),
+                )
+        # (3) Neighbour density-density Coulomb tail (both spin pairs).
+        for (site_a, site_b) in bonds:
+            angle = _coulomb_angle(dt, 1.0)
+            for spin_a in (0, 1):
+                for spin_b in (0, 1):
+                    circuit.cp(
+                        angle * 0.25,
+                        jellium_qubit(site_a[0], site_a[1], spin_a, size),
+                        jellium_qubit(site_b[0], site_b[1], spin_b, size),
+                    )
+        # (4) Hopping: brickwork over bonds, separately per spin.
+        for parity in (0, 1):
+            for index, (site_a, site_b) in enumerate(bonds):
+                if index % 2 != parity:
+                    continue
+                for spin in (0, 1):
+                    circuit.fsim(
+                        hopping_angle,
+                        0.0,
+                        jellium_qubit(site_a[0], site_a[1], spin, size),
+                        jellium_qubit(site_b[0], site_b[1], spin, size),
+                    )
+    return circuit

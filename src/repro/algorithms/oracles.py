@@ -1,0 +1,128 @@
+"""Oracle-style textbook algorithms: Bernstein-Vazirani and Deutsch-Jozsa.
+
+Both produce highly structured final states (a single basis state, or a
+basis state distinguishing constant from balanced oracles), so their
+decision diagrams are linear in the qubit count — more members of the
+"DD-friendly" benchmark class the paper's evaluation draws from, and
+crisp end-to-end demonstrations: the *answer* of the algorithm is read
+directly off weak-simulation samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from ..circuit.circuit import QuantumCircuit
+from ..exceptions import CircuitError
+
+__all__ = [
+    "BernsteinVaziraniInstance",
+    "bernstein_vazirani",
+    "DeutschJozsaInstance",
+    "deutsch_jozsa",
+]
+
+
+@dataclass(frozen=True)
+class BernsteinVaziraniInstance:
+    """A Bernstein-Vazirani circuit and its hidden string."""
+
+    circuit: QuantumCircuit
+    num_data_qubits: int
+    secret: int
+
+    def data_value(self, sample: int) -> int:
+        """Strip the ancilla (top qubit) from a measured sample."""
+        return sample & ((1 << self.num_data_qubits) - 1)
+
+
+def bernstein_vazirani(
+    num_data_qubits: int,
+    secret: Optional[int] = None,
+    seed: Union[int, np.random.Generator, None] = None,
+) -> BernsteinVaziraniInstance:
+    """Find a hidden string ``s`` from one query to ``f(x) = s·x mod 2``.
+
+    Register: ``num_data_qubits`` data qubits + one ancilla on top.  The
+    final data-register state is exactly ``|s⟩`` — every measurement
+    shot reveals the secret.
+    """
+    if num_data_qubits < 1:
+        raise CircuitError("need at least one data qubit")
+    if secret is None:
+        rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+        secret = int(rng.integers(2**num_data_qubits))
+    if not 0 <= secret < 2**num_data_qubits:
+        raise CircuitError(f"secret {secret} out of range")
+    ancilla = num_data_qubits
+    circuit = QuantumCircuit(num_data_qubits + 1, name=f"bv_{num_data_qubits}")
+    circuit.x(ancilla)
+    circuit.h(ancilla)
+    for qubit in range(num_data_qubits):
+        circuit.h(qubit)
+    # Oracle: CNOT from every secret bit into the ancilla.
+    for qubit in range(num_data_qubits):
+        if (secret >> qubit) & 1:
+            circuit.cx(qubit, ancilla)
+    for qubit in range(num_data_qubits):
+        circuit.h(qubit)
+    circuit.measure_all()
+    return BernsteinVaziraniInstance(
+        circuit=circuit, num_data_qubits=num_data_qubits, secret=secret
+    )
+
+
+@dataclass(frozen=True)
+class DeutschJozsaInstance:
+    """A Deutsch-Jozsa circuit and whether its oracle is constant."""
+
+    circuit: QuantumCircuit
+    num_data_qubits: int
+    is_constant: bool
+
+    def data_value(self, sample: int) -> int:
+        return sample & ((1 << self.num_data_qubits) - 1)
+
+    def verdict(self, data_value: int) -> str:
+        """Interpret a measured data value (all-zero => constant)."""
+        return "constant" if data_value == 0 else "balanced"
+
+
+def deutsch_jozsa(
+    num_data_qubits: int,
+    constant: bool,
+    seed: Union[int, np.random.Generator, None] = None,
+) -> DeutschJozsaInstance:
+    """Decide whether an oracle is constant or balanced in one query.
+
+    For ``constant=True`` the oracle is ``f(x) = c`` (random c); for
+    ``constant=False`` it is the balanced inner-product oracle
+    ``f(x) = s·x`` for a random nonzero ``s``.  The data register
+    measures all-zero iff the oracle is constant.
+    """
+    if num_data_qubits < 1:
+        raise CircuitError("need at least one data qubit")
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    ancilla = num_data_qubits
+    circuit = QuantumCircuit(num_data_qubits + 1, name=f"dj_{num_data_qubits}")
+    circuit.x(ancilla)
+    circuit.h(ancilla)
+    for qubit in range(num_data_qubits):
+        circuit.h(qubit)
+    if constant:
+        if rng.random() < 0.5:  # f(x) = 1: flip the ancilla unconditionally
+            circuit.x(ancilla)
+    else:
+        secret = int(rng.integers(1, 2**num_data_qubits))
+        for qubit in range(num_data_qubits):
+            if (secret >> qubit) & 1:
+                circuit.cx(qubit, ancilla)
+    for qubit in range(num_data_qubits):
+        circuit.h(qubit)
+    circuit.measure_all()
+    return DeutschJozsaInstance(
+        circuit=circuit, num_data_qubits=num_data_qubits, is_constant=constant
+    )

@@ -1,0 +1,134 @@
+"""Quantum phase estimation (QPE) and quantum-volume-style circuits.
+
+* :func:`phase_estimation` — textbook QPE for a diagonal-phase unitary:
+  ``t`` counting qubits estimate the eigenphase of ``P(2*pi*phi)`` on an
+  eigenstate ``|1⟩``.  The output distribution is the well-known
+  sinc-squared kernel peaked at ``round(phi * 2^t)`` — an analytically
+  checkable workload for the samplers (the generalisation of Shor's
+  counting register).
+
+* :func:`quantum_volume` — square random-SU(4) circuits in the style of
+  the quantum-volume benchmark: per layer, a random qubit permutation and
+  random two-qubit unitaries on adjacent pairs.  These scramble hard
+  (DDs grow toward maximal) and complement the structured families: they
+  are the *worst case* for DD-based simulation, exhibiting the method's
+  limits honestly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.gates import Gate
+from ..exceptions import CircuitError
+
+__all__ = [
+    "PhaseEstimationInstance",
+    "phase_estimation",
+    "phase_estimation_distribution",
+    "quantum_volume",
+]
+
+
+@dataclass(frozen=True)
+class PhaseEstimationInstance:
+    """A QPE circuit with its ground-truth phase."""
+
+    circuit: QuantumCircuit
+    precision: int
+    phase: float  # in [0, 1)
+
+    def counting_value(self, sample: int) -> int:
+        """The counting-register readout (top bits, above the eigenstate)."""
+        return sample >> 1
+
+    @property
+    def best_estimate(self) -> int:
+        """The counting value QPE is most likely to report."""
+        return int(round(self.phase * 2**self.precision)) % 2**self.precision
+
+
+def phase_estimation(precision: int, phase: float) -> PhaseEstimationInstance:
+    """QPE of ``U = P(2*pi*phase)`` on its eigenstate |1⟩.
+
+    Register layout: qubit 0 holds the eigenstate, qubits 1..precision
+    are the counting register (LSB first).
+    """
+    if precision < 1:
+        raise CircuitError("need at least one counting qubit")
+    phase %= 1.0
+    circuit = QuantumCircuit(precision + 1, name=f"qpe_{precision}")
+    circuit.x(0)  # eigenstate |1⟩
+    counting = list(range(1, precision + 1))
+    for qubit in counting:
+        circuit.h(qubit)
+    for position, qubit in enumerate(counting):
+        angle = 2.0 * math.pi * phase * (2**position)
+        circuit.cp(angle, qubit, 0)
+    from .qft import apply_inverse_qft
+
+    apply_inverse_qft(circuit, counting)
+    circuit.measure_all()
+    return PhaseEstimationInstance(
+        circuit=circuit, precision=precision, phase=phase
+    )
+
+
+def phase_estimation_distribution(precision: int, phase: float) -> np.ndarray:
+    """Exact output distribution of the counting register.
+
+    ``P(w) = |2^{-t} * sum_x e^{2 pi i x (phi - w / 2^t)}|^2`` — the
+    squared Dirichlet kernel, equal to a delta when ``phi`` is an exact
+    ``t``-bit fraction.
+    """
+    t = precision
+    big_t = 2**t
+    w = np.arange(big_t)
+    delta = phase - w / big_t
+    numerator = np.sin(math.pi * big_t * delta) ** 2
+    denominator = big_t**2 * np.sin(math.pi * delta) ** 2
+    with np.errstate(divide="ignore", invalid="ignore"):
+        probabilities = np.where(
+            np.isclose(np.sin(math.pi * delta), 0.0),
+            1.0,
+            numerator / np.where(denominator == 0, 1.0, denominator),
+        )
+    return probabilities / probabilities.sum()
+
+
+def _random_su4(rng: np.random.Generator) -> Gate:
+    """A Haar-ish random two-qubit unitary as an opaque gate."""
+    raw = rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4))
+    q, r = np.linalg.qr(raw)
+    q = q * (np.diagonal(r) / np.abs(np.diagonal(r)))
+    return Gate(
+        name="su4",
+        num_qubits=2,
+        matrix=tuple(tuple(complex(v) for v in row) for row in q),
+    )
+
+
+def quantum_volume(
+    num_qubits: int,
+    depth: Optional[int] = None,
+    seed: Union[int, np.random.Generator, None] = 0,
+) -> QuantumCircuit:
+    """A quantum-volume-style model circuit (square by default)."""
+    if num_qubits < 2:
+        raise CircuitError("quantum volume needs at least two qubits")
+    depth = depth if depth is not None else num_qubits
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    circuit = QuantumCircuit(num_qubits, name=f"qv_{num_qubits}_{depth}")
+    for _ in range(depth):
+        permutation = rng.permutation(num_qubits)
+        for pair in range(num_qubits // 2):
+            a = int(permutation[2 * pair])
+            b = int(permutation[2 * pair + 1])
+            circuit.apply(_random_su4(rng), (a, b))
+    circuit.measure_all()
+    return circuit

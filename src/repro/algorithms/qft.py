@@ -1,0 +1,71 @@
+"""Quantum Fourier Transform circuits (the paper's ``qft_A`` family).
+
+Convention: qubit ``k`` is bit ``k`` of the register value (qubit ``n-1``
+most significant).  ``qft(n)`` maps
+``|v⟩ -> 2^{-n/2} * sum_w exp(2*pi*i*v*w / 2^n) |w⟩``
+including the final qubit-reversal swaps, so input and output use the
+same bit ordering.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..circuit.circuit import QuantumCircuit
+
+__all__ = ["qft", "apply_qft", "inverse_qft", "apply_inverse_qft"]
+
+
+def apply_qft(
+    circuit: QuantumCircuit,
+    qubits,
+    include_swaps: bool = True,
+    inverse: bool = False,
+) -> QuantumCircuit:
+    """Append a QFT on ``qubits`` (ascending significance) to ``circuit``.
+
+    With ``inverse=True`` the adjoint transform is appended.
+    """
+    qubits = list(qubits)
+    n = len(qubits)
+    operations = []  # (kind, params)
+    for j in range(n - 1, -1, -1):
+        operations.append(("h", qubits[j]))
+        for k in range(j - 1, -1, -1):
+            angle = math.pi / (2 ** (j - k))
+            operations.append(("cp", angle, qubits[k], qubits[j]))
+    if include_swaps:
+        for j in range(n // 2):
+            operations.append(("swap", qubits[j], qubits[n - 1 - j]))
+    if inverse:
+        operations.reverse()
+    for entry in operations:
+        if entry[0] == "h":
+            circuit.h(entry[1])
+        elif entry[0] == "cp":
+            angle = -entry[1] if inverse else entry[1]
+            circuit.cp(angle, entry[2], entry[3])
+        else:
+            circuit.swap(entry[1], entry[2])
+    return circuit
+
+
+def apply_inverse_qft(
+    circuit: QuantumCircuit, qubits, include_swaps: bool = True
+) -> QuantumCircuit:
+    """Append the inverse QFT on ``qubits``."""
+    return apply_qft(circuit, qubits, include_swaps=include_swaps, inverse=True)
+
+
+def qft(num_qubits: int, include_swaps: bool = True) -> QuantumCircuit:
+    """The ``qft_A`` benchmark circuit on ``num_qubits`` qubits."""
+    circuit = QuantumCircuit(num_qubits, name=f"qft_{num_qubits}")
+    apply_qft(circuit, range(num_qubits), include_swaps=include_swaps)
+    return circuit
+
+
+def inverse_qft(num_qubits: int, include_swaps: bool = True) -> QuantumCircuit:
+    """The adjoint QFT circuit."""
+    circuit = QuantumCircuit(num_qubits, name=f"iqft_{num_qubits}")
+    apply_inverse_qft(circuit, range(num_qubits), include_swaps=include_swaps)
+    return circuit

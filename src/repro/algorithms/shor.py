@@ -1,0 +1,206 @@
+"""Shor's algorithm (the paper's ``shor_N_a`` family).
+
+Two constructions are provided:
+
+* :func:`shor_circuit` — the complete gate-level circuit: a ``t``-qubit
+  phase-estimation register, an ``n``-qubit work register, and the
+  Beauregard modular-arithmetic helpers (``n + 1`` helper bits + 1
+  ancilla).  Exact but expensive: the full circuit for ``N = 15`` already
+  has thousands of gates.  Used to validate the emulated construction.
+
+* :func:`shor_final_state` — the *emulated* final state
+  ``(QFT_t ⊗ I) * 2^{-t/2} * sum_x |x⟩ |a^x mod N⟩``, computed via
+  classical modular exponentiation and an FFT per residue class.  This is
+  the identical quantum state the circuit produces before measurement
+  (see DESIGN.md, substitutions), and is how the paper-scale instances
+  (``shor_221_4``: 24 qubits) stay tractable in pure Python.  With
+  ``t = 2 * bits(N)`` the qubit counts match the paper's Table I rows
+  exactly (shor_33_2 → 18, shor_69_4 → 21, shor_221_4 → 24).
+
+Classical post-processing (:func:`recover_period`, :func:`factor_from_order`)
+turns weak-simulation samples into factors — exercised end to end by
+``examples/shor_factoring.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..circuit.circuit import QuantumCircuit
+from ..exceptions import CircuitError
+from .arithmetic import controlled_modular_multiplier
+from .qft import apply_inverse_qft
+
+__all__ = [
+    "ShorLayout",
+    "shor_circuit",
+    "shor_final_state",
+    "multiplicative_order",
+    "recover_period",
+    "factor_from_order",
+    "shor_classical_reference",
+]
+
+
+@dataclass(frozen=True)
+class ShorLayout:
+    """Qubit layout of a gate-level Shor circuit."""
+
+    num_bits: int  # n: bits of N
+    precision: int  # t: counting qubits
+    x_qubits: Tuple[int, ...]
+    b_qubits: Tuple[int, ...]
+    ancilla: int
+    counting_qubits: Tuple[int, ...]
+
+    @property
+    def num_qubits(self) -> int:
+        return self.precision + 2 * self.num_bits + 2
+
+    def counting_value(self, sample: int) -> int:
+        """Extract the phase-estimation readout from a full-register sample."""
+        value = 0
+        for position, qubit in enumerate(self.counting_qubits):
+            value |= ((sample >> qubit) & 1) << position
+        return value
+
+
+def shor_circuit(
+    modulus: int, base: int, precision: Optional[int] = None
+) -> Tuple[QuantumCircuit, ShorLayout]:
+    """Gate-level order-finding circuit for ``base`` modulo ``modulus``.
+
+    Layout (ascending qubit index): work register ``x`` (``n`` bits,
+    initialised |1⟩), helper ``b`` (``n + 1`` bits), one ancilla, then
+    the ``t`` counting qubits on top — so the counting result occupies
+    the most significant bits of a measured sample.
+    """
+    if modulus < 3 or modulus % 2 == 0:
+        raise CircuitError("modulus must be odd and >= 3")
+    if math.gcd(base, modulus) != 1:
+        raise CircuitError("base must be coprime to the modulus")
+    n = modulus.bit_length()
+    t = precision if precision is not None else 2 * n
+    if t < 1:
+        raise CircuitError("need at least one counting qubit")
+    x_qubits = tuple(range(n))
+    b_qubits = tuple(range(n, 2 * n + 1))
+    ancilla = 2 * n + 1
+    counting = tuple(range(2 * n + 2, 2 * n + 2 + t))
+    layout = ShorLayout(
+        num_bits=n,
+        precision=t,
+        x_qubits=x_qubits,
+        b_qubits=b_qubits,
+        ancilla=ancilla,
+        counting_qubits=counting,
+    )
+    circuit = QuantumCircuit(layout.num_qubits, name=f"shor_{modulus}_{base}")
+    circuit.x(x_qubits[0])  # |x⟩ = |1⟩
+    for qubit in counting:
+        circuit.h(qubit)
+    power = base % modulus
+    for control in counting:
+        controlled_modular_multiplier(
+            circuit, control, x_qubits, b_qubits, power, modulus, ancilla
+        )
+        power = (power * power) % modulus
+    apply_inverse_qft(circuit, counting)
+    return circuit, layout
+
+
+def shor_final_state(
+    modulus: int, base: int, precision: Optional[int] = None
+) -> Tuple[np.ndarray, int, int]:
+    """Emulated final state ``(QFT_t ⊗ I) Σ_x |x⟩|base^x mod modulus⟩``.
+
+    Returns ``(statevector, t, n_out)`` where the register layout is
+    ``t`` counting qubits (most significant) above ``n_out`` function
+    bits; the total register has ``t + n_out`` qubits.  With the default
+    ``t = 2 * bits(modulus)`` the sizes match the paper's Table I.
+    """
+    if math.gcd(base, modulus) != 1:
+        raise CircuitError("base must be coprime to the modulus")
+    n_out = modulus.bit_length()
+    t = precision if precision is not None else 2 * n_out
+    big_t = 1 << t
+    # Indicator matrix M[x, f] = 1 iff base^x = f (mod modulus); the
+    # counting-register QFT is an inverse DFT along axis 0.
+    values = np.empty(big_t, dtype=np.int64)
+    value = 1
+    for x in range(big_t):
+        values[x] = value
+        value = (value * base) % modulus
+    matrix = np.zeros((big_t, 1 << n_out), dtype=np.complex128)
+    matrix[np.arange(big_t), values] = 1.0
+    transformed = np.fft.ifft(matrix, axis=0)
+    return transformed.reshape(-1), t, n_out
+
+
+# ---------------------------------------------------------------------------
+# Classical post-processing
+# ---------------------------------------------------------------------------
+
+
+def multiplicative_order(base: int, modulus: int) -> int:
+    """Smallest ``r > 0`` with ``base^r = 1 (mod modulus)``."""
+    if math.gcd(base, modulus) != 1:
+        raise CircuitError("order undefined: base shares a factor with modulus")
+    value = base % modulus
+    order = 1
+    while value != 1:
+        value = (value * base) % modulus
+        order += 1
+    return order
+
+
+def recover_period(
+    measured: int, precision: int, modulus: int, base: int
+) -> Optional[int]:
+    """Continued-fraction recovery of the order from one measurement.
+
+    ``measured / 2^precision ≈ s / r``; returns the smallest candidate
+    ``r`` (or a small multiple) that actually satisfies
+    ``base^r = 1 (mod modulus)``, else ``None``.
+    """
+    if measured == 0:
+        return None
+    fraction = Fraction(measured, 1 << precision).limit_denominator(modulus)
+    candidate = fraction.denominator
+    if candidate == 0:
+        return None
+    for multiple in range(1, 9):
+        r = candidate * multiple
+        if r >= modulus * 2:
+            break
+        if pow(base, r, modulus) == 1:
+            return r
+    return None
+
+
+def factor_from_order(modulus: int, base: int, order: int) -> Optional[Tuple[int, int]]:
+    """Derive a nontrivial factor pair of ``modulus`` from the order.
+
+    Returns the factors sorted ascending, or ``None`` when the order is
+    odd or ``base^{order/2} = -1 (mod modulus)`` (Shor retries with a
+    fresh base in those cases).
+    """
+    if order % 2:
+        return None
+    half = pow(base, order // 2, modulus)
+    if half == modulus - 1:
+        return None
+    for candidate in (math.gcd(half - 1, modulus), math.gcd(half + 1, modulus)):
+        if 1 < candidate < modulus:
+            return tuple(sorted((candidate, modulus // candidate)))  # type: ignore[return-value]
+    return None
+
+
+def shor_classical_reference(modulus: int, base: int) -> Optional[Tuple[int, int]]:
+    """Ground-truth factorisation via the classically computed order."""
+    return factor_from_order(modulus, base, multiplicative_order(base, modulus))

@@ -1,0 +1,114 @@
+"""Utility state-preparation circuits, including the paper's running example.
+
+:func:`running_example_circuit` prepares the exact 3-qubit state of the
+paper's Fig. 2/3/4:
+
+    |ψ⟩ = -i*sqrt(3/8) (|001⟩ + |011⟩) + sqrt(1/8) (|100⟩ + |111⟩),
+
+with amplitudes [0, -0.612i, 0, -0.612i, 0.354, 0, 0, 0.354] and
+probabilities [0, 3/8, 0, 3/8, 1/8, 0, 0, 1/8] — the ground truth for the
+figure-reproduction tests and the evaluation harness.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.gates import h_gate, x_gate
+from ..circuit.operations import Operation
+from ..exceptions import CircuitError
+
+__all__ = [
+    "bell_pair",
+    "ghz",
+    "w_state",
+    "uniform_superposition",
+    "running_example_circuit",
+    "running_example_statevector",
+    "RUNNING_EXAMPLE_PROBABILITIES",
+]
+
+#: Exact output distribution of the running example (paper Fig. 2 right).
+RUNNING_EXAMPLE_PROBABILITIES = (0.0, 3 / 8, 0.0, 3 / 8, 1 / 8, 0.0, 0.0, 1 / 8)
+
+
+def bell_pair() -> QuantumCircuit:
+    """(|00⟩ + |11⟩)/√2 (Example 2 of the paper)."""
+    circuit = QuantumCircuit(2, name="bell")
+    circuit.h(1)
+    circuit.cx(1, 0)
+    return circuit
+
+
+def ghz(num_qubits: int) -> QuantumCircuit:
+    """(|0...0⟩ + |1...1⟩)/√2."""
+    if num_qubits < 2:
+        raise CircuitError("GHZ needs at least two qubits")
+    circuit = QuantumCircuit(num_qubits, name=f"ghz_{num_qubits}")
+    circuit.h(num_qubits - 1)
+    for qubit in range(num_qubits - 1, 0, -1):
+        circuit.cx(qubit, qubit - 1)
+    return circuit
+
+
+def w_state(num_qubits: int) -> QuantumCircuit:
+    """The W state: equal superposition of all weight-1 bitstrings.
+
+    Built by cascaded controlled rotations: qubit ``n-1`` carries the
+    excitation first, then it is distributed downward.
+    """
+    if num_qubits < 2:
+        raise CircuitError("W state needs at least two qubits")
+    circuit = QuantumCircuit(num_qubits, name=f"w_{num_qubits}")
+    circuit.x(num_qubits - 1)
+    for k in range(num_qubits - 1, 0, -1):
+        # Move amplitude from qubit k to qubit k-1 with the right share.
+        theta = 2 * math.acos(math.sqrt(1.0 / (k + 1)))
+        circuit.cry(theta, k, k - 1)
+        circuit.cx(k - 1, k)
+    return circuit
+
+
+def uniform_superposition(num_qubits: int) -> QuantumCircuit:
+    """H on every qubit."""
+    circuit = QuantumCircuit(num_qubits, name=f"uniform_{num_qubits}")
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    return circuit
+
+
+def running_example_circuit() -> QuantumCircuit:
+    """The 3-qubit running example of the paper (Fig. 2).
+
+    Construction: ``RX(2π/3)`` followed by ``X`` puts q2 into
+    ``-i*sqrt(3)/2 |0⟩ + 1/2 |1⟩``; conditioned on q2 = 0 the lower
+    qubits become |+⟩|1⟩, conditioned on q2 = 1 they form a Bell pair.
+    The result is exactly the state with amplitudes
+    [0, -0.612i, 0, -0.612i, 0.354, 0, 0, 0.354].
+    """
+    circuit = QuantumCircuit(3, name="running_example")
+    circuit.rx(2 * math.pi / 3, 2)
+    circuit.x(2)
+    # q2 = 0 branch: H on q1, X on q0 (anti-controlled).
+    circuit.append(
+        Operation(gate=h_gate(), targets=(1,), neg_controls=frozenset({2}))
+    )
+    circuit.append(
+        Operation(gate=x_gate(), targets=(0,), neg_controls=frozenset({2}))
+    )
+    # q2 = 1 branch: Bell pair on (q1, q0).
+    circuit.ch(2, 1)
+    circuit.append(
+        Operation(gate=x_gate(), targets=(0,), controls=frozenset({2, 1}))
+    )
+    return circuit
+
+
+def running_example_statevector() -> np.ndarray:
+    """The exact amplitudes of the running example (paper Fig. 2 middle)."""
+    a = -1j * math.sqrt(3 / 8)
+    b = math.sqrt(1 / 8)
+    return np.array([0, a, 0, a, b, 0, 0, b], dtype=np.complex128)

@@ -1,0 +1,130 @@
+"""Random circuits for quantum-supremacy benchmarking (``supremacy_AxB_C``).
+
+Implements the circuit-generation rules of Boixo et al., "Characterizing
+quantum supremacy in near-term devices" (Nature Physics 14, 2018 —
+reference [27] of the paper).  The original GRCS files require network
+access; the published rules are reproduced here (see DESIGN.md):
+
+1. Start with a cycle of Hadamards on every qubit.
+2. Each subsequent cycle applies one of eight controlled-Z layouts that
+   tile the ``rows x cols`` grid with staggered horizontal/vertical
+   neighbour pairs, cycling through the layouts in order.
+3. In every CZ cycle, a qubit that is *not* part of a CZ this cycle but
+   participated in a CZ the previous cycle receives a single-qubit gate:
+   a ``T`` the first time it gets one, otherwise a uniformly random
+   choice from {√X, √Y, T} different from its previous single-qubit gate.
+
+``depth`` counts the CZ cycles (the ``_C`` suffix of the benchmark
+names).  The generator is fully seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple, Union
+
+import numpy as np
+
+from ..circuit.circuit import QuantumCircuit
+from ..exceptions import CircuitError
+
+__all__ = ["supremacy", "cz_layout", "NUM_LAYOUTS"]
+
+NUM_LAYOUTS = 8
+
+
+def _qubit(row: int, col: int, cols: int) -> int:
+    return row * cols + col
+
+
+#: Cycle order of the eight layouts: alternating horizontal / vertical
+#: diagonal stripes, as in Boixo et al. Fig. 6.
+_LAYOUT_SEQUENCE = (
+    ("h", 0),
+    ("v", 0),
+    ("h", 2),
+    ("v", 2),
+    ("h", 1),
+    ("v", 1),
+    ("h", 3),
+    ("v", 3),
+)
+
+
+def cz_layout(
+    layout_index: int, rows: int, cols: int
+) -> List[Tuple[int, int]]:
+    """Qubit pairs receiving CZ in layout ``layout_index`` (mod 8).
+
+    Each layout activates one diagonal stripe class of bonds: horizontal
+    bonds ``(r, c)-(r, c+1)`` with ``(c + 2r) mod 4 == k`` or vertical
+    bonds ``(r, c)-(r+1, c)`` with ``(r + 2c) mod 4 == k``, so roughly a
+    quarter of the bonds fire per cycle and every bond fires once per
+    eight cycles — the staggered tiling of Boixo et al., Fig. 6.
+    """
+    direction, stripe = _LAYOUT_SEQUENCE[layout_index % NUM_LAYOUTS]
+    pairs: List[Tuple[int, int]] = []
+    if direction == "h":
+        for row in range(rows):
+            for col in range(cols - 1):
+                if (col + 2 * row) % 4 == stripe:
+                    pairs.append(
+                        (_qubit(row, col, cols), _qubit(row, col + 1, cols))
+                    )
+    else:
+        for row in range(rows - 1):
+            for col in range(cols):
+                if (row + 2 * col) % 4 == stripe:
+                    pairs.append(
+                        (_qubit(row, col, cols), _qubit(row + 1, col, cols))
+                    )
+    return pairs
+
+
+def supremacy(
+    rows: int,
+    cols: int,
+    depth: int,
+    seed: Union[int, np.random.Generator, None] = 0,
+) -> QuantumCircuit:
+    """Build ``supremacy_{rows}x{cols}_{depth}``.
+
+    ``depth`` is the number of CZ cycles after the initial Hadamard
+    layer.  ``seed`` controls the single-qubit gate choices.
+    """
+    if rows < 2 or cols < 2:
+        raise CircuitError("supremacy grids need at least 2x2 qubits")
+    if depth < 1:
+        raise CircuitError("depth must be at least 1")
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    num_qubits = rows * cols
+    circuit = QuantumCircuit(num_qubits, name=f"supremacy_{rows}x{cols}_{depth}")
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+
+    last_gate: List[Optional[str]] = [None] * num_qubits  # per-qubit history
+    in_previous_cz: Set[int] = set()
+    choices = ("sx", "sy", "t")
+
+    for cycle in range(depth):
+        pairs = cz_layout(cycle, rows, cols)
+        in_current_cz = {q for pair in pairs for q in pair}
+        for qubit in range(num_qubits):
+            if qubit in in_current_cz or qubit not in in_previous_cz:
+                continue
+            if last_gate[qubit] is None:
+                gate = "t"
+            else:
+                gate = last_gate[qubit]
+                while gate == last_gate[qubit]:
+                    gate = choices[int(rng.integers(len(choices)))]
+            last_gate[qubit] = gate
+            if gate == "sx":
+                circuit.sx(qubit)
+            elif gate == "sy":
+                circuit.sy(qubit)
+            else:
+                circuit.t(qubit)
+        for control, target in pairs:
+            circuit.cz(control, target)
+        in_previous_cz = in_current_cz
+    return circuit

@@ -1,0 +1,91 @@
+"""Quantum circuit intermediate representation.
+
+Public surface:
+
+* :class:`~repro.circuit.circuit.QuantumCircuit` — the circuit container
+  with a fluent builder API,
+* :class:`~repro.circuit.gates.Gate` and the gate constructors,
+* :class:`~repro.circuit.operations.Operation` /
+  :class:`~repro.circuit.operations.Measurement` /
+  :class:`~repro.circuit.operations.Barrier`,
+* :func:`~repro.circuit.qasm.parse_qasm` / :func:`~repro.circuit.qasm.to_qasm`,
+* random circuit generators in :mod:`repro.circuit.random_circuits`.
+"""
+
+from .circuit import QuantumCircuit
+from .drawer import circuit_layers, draw
+from .gates import (
+    GATE_REGISTRY,
+    Gate,
+    fsim_gate,
+    h_gate,
+    identity_gate,
+    is_unitary,
+    iswap_gate,
+    phase_gate,
+    rx_gate,
+    rxx_gate,
+    ry_gate,
+    ryy_gate,
+    rz_gate,
+    rzz_gate,
+    s_gate,
+    sdg_gate,
+    swap_gate,
+    sx_gate,
+    sy_gate,
+    t_gate,
+    tdg_gate,
+    u2_gate,
+    u3_gate,
+    x_gate,
+    y_gate,
+    z_gate,
+)
+from .operations import Barrier, Measurement, Operation
+from .qasm import parse_qasm, to_qasm
+from .random_circuits import (
+    random_circuit,
+    random_clifford_t_circuit,
+    random_product_state_circuit,
+)
+
+__all__ = [
+    "QuantumCircuit",
+    "draw",
+    "circuit_layers",
+    "Gate",
+    "GATE_REGISTRY",
+    "Operation",
+    "Measurement",
+    "Barrier",
+    "parse_qasm",
+    "to_qasm",
+    "random_circuit",
+    "random_clifford_t_circuit",
+    "random_product_state_circuit",
+    "is_unitary",
+    "identity_gate",
+    "x_gate",
+    "y_gate",
+    "z_gate",
+    "h_gate",
+    "s_gate",
+    "sdg_gate",
+    "t_gate",
+    "tdg_gate",
+    "sx_gate",
+    "sy_gate",
+    "rx_gate",
+    "ry_gate",
+    "rz_gate",
+    "phase_gate",
+    "u2_gate",
+    "u3_gate",
+    "swap_gate",
+    "iswap_gate",
+    "rzz_gate",
+    "rxx_gate",
+    "ryy_gate",
+    "fsim_gate",
+]

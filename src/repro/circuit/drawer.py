@@ -1,0 +1,117 @@
+"""ASCII rendering of quantum circuits.
+
+A dependency-aware text drawer: gates are packed into parallel layers
+(:func:`circuit_layers`) and printed on qubit wires, controls as ``●``,
+anti-controls as ``○``, X-targets as ``⊕``, other gates as boxed labels.
+Used by the examples and priceless when debugging generated circuits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .circuit import QuantumCircuit
+from .operations import Barrier, Measurement, Operation
+
+__all__ = ["circuit_layers", "draw"]
+
+
+def circuit_layers(circuit: QuantumCircuit) -> List[List[object]]:
+    """Group instructions into parallel layers (greedy ASAP packing).
+
+    Two instructions share a layer when their qubit sets are disjoint;
+    barriers and measurements participate like gates (a full-register
+    measurement occupies every wire).
+    """
+    layers: List[List[object]] = []
+    occupancy: List[set] = []
+
+    def qubits_of(instruction) -> set:
+        if isinstance(instruction, Operation):
+            return set(instruction.qubits)
+        if isinstance(instruction, (Measurement, Barrier)):
+            return set(instruction.qubits) or set(range(circuit.num_qubits))
+        return set(range(circuit.num_qubits))
+
+    for instruction in circuit:
+        needed = qubits_of(instruction)
+        placed = False
+        # ASAP with ordering respected: only try the last layer onward
+        # if any earlier layer after the instruction's dependencies is
+        # free.  Greedy: walk backwards while layers don't touch.
+        position = len(layers)
+        while position > 0 and not (occupancy[position - 1] & needed):
+            position -= 1
+        if position == len(layers):
+            layers.append([instruction])
+            occupancy.append(set(needed))
+        else:
+            layers[position].append(instruction)
+            occupancy[position] |= needed
+            placed = True
+    return layers
+
+
+def _gate_label(op: Operation) -> str:
+    name = op.gate.name.upper()
+    if op.gate.params:
+        return f"{name}({op.gate.params[0]:.2g})"
+    return name
+
+
+def draw(circuit: QuantumCircuit, max_width: int = 120) -> str:
+    """Render the circuit as ASCII art (wires top-to-bottom = q_{n-1}..q_0)."""
+    n = circuit.num_qubits
+    layers = circuit_layers(circuit)
+    # Build one text column per layer.
+    columns: List[Dict[int, str]] = []
+    for layer in layers:
+        column: Dict[int, str] = {}
+        for instruction in layer:
+            if isinstance(instruction, Barrier):
+                qubits = instruction.qubits or tuple(range(n))
+                for qubit in qubits:
+                    column[qubit] = "░"
+                continue
+            if isinstance(instruction, Measurement):
+                qubits = instruction.qubits or tuple(range(n))
+                for qubit in qubits:
+                    column[qubit] = "[M]"
+                continue
+            op = instruction
+            label = _gate_label(op)
+            if op.gate.name == "x" and op.is_controlled:
+                target_symbol = "⊕"
+            else:
+                target_symbol = f"[{label}]"
+            for target in op.targets:
+                column[target] = target_symbol
+            for control in op.controls:
+                column[control] = "●"
+            for control in op.neg_controls:
+                column[control] = "○"
+            # Vertical connector markers for in-between wires.
+            touched = sorted(op.qubits)
+            if len(touched) > 1:
+                for wire in range(touched[0] + 1, touched[-1]):
+                    if wire not in column:
+                        column[wire] = "│"
+        columns.append(column)
+
+    width_of = [max((len(c.get(q, "")) for q in range(n)), default=1) for c in columns]
+    lines = []
+    for qubit in range(n - 1, -1, -1):
+        pieces = [f"q{qubit}: "]
+        for column, width in zip(columns, width_of):
+            cell = column.get(qubit, "")
+            if not cell:
+                cell = "─" * width
+            else:
+                pad = width - len(cell)
+                cell = "─" * (pad // 2) + cell + "─" * (pad - pad // 2)
+            pieces.append(cell + "─")
+        line = "".join(pieces)
+        if len(line) > max_width:
+            line = line[: max_width - 3] + "..."
+        lines.append(line)
+    return "\n".join(lines)

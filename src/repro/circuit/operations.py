@@ -1,0 +1,151 @@
+"""Circuit instructions: gate applications, measurements, barriers.
+
+An :class:`Operation` binds a :class:`~repro.circuit.gates.Gate` to concrete
+target qubits, with optional positive and negative controls.  Controls are
+first-class here (rather than baked into enlarged matrices) because both the
+dense simulator and the decision-diagram simulator exploit them directly —
+a multi-controlled gate is a single traversal of the DD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Tuple
+
+import numpy as np
+
+from ..exceptions import CircuitError
+from .gates import Gate
+
+__all__ = ["Operation", "Measurement", "Barrier", "Instruction"]
+
+
+@dataclass(frozen=True)
+class Operation:
+    """A gate applied to ``targets``, conditioned on control qubits.
+
+    ``controls`` fire when the control qubit is |1⟩; ``neg_controls`` fire
+    when it is |0⟩ (anti-controls).  All qubit sets must be disjoint.
+    """
+
+    gate: Gate
+    targets: Tuple[int, ...]
+    controls: FrozenSet[int] = field(default_factory=frozenset)
+    neg_controls: FrozenSet[int] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if len(self.targets) != self.gate.num_qubits:
+            raise CircuitError(
+                f"gate {self.gate.name!r} acts on {self.gate.num_qubits} "
+                f"qubit(s) but got targets {self.targets}"
+            )
+        if len(set(self.targets)) != len(self.targets):
+            raise CircuitError(f"duplicate target qubits in {self.targets}")
+        all_qubits = set(self.targets) | self.controls | self.neg_controls
+        expected = len(self.targets) + len(self.controls) + len(self.neg_controls)
+        if len(all_qubits) != expected:
+            raise CircuitError(
+                "target, control, and anti-control qubits must be disjoint: "
+                f"targets={self.targets} controls={sorted(self.controls)} "
+                f"neg_controls={sorted(self.neg_controls)}"
+            )
+        if any(q < 0 for q in all_qubits):
+            raise CircuitError("qubit indices must be non-negative")
+
+    @property
+    def qubits(self) -> FrozenSet[int]:
+        """All qubits this operation touches."""
+        return frozenset(self.targets) | self.controls | self.neg_controls
+
+    @property
+    def max_qubit(self) -> int:
+        """The highest qubit index used by this operation."""
+        return max(self.qubits)
+
+    @property
+    def is_controlled(self) -> bool:
+        return bool(self.controls or self.neg_controls)
+
+    def inverse(self) -> "Operation":
+        """Return the adjoint operation (same qubits, inverse gate)."""
+        return Operation(
+            gate=self.gate.inverse(),
+            targets=self.targets,
+            controls=self.controls,
+            neg_controls=self.neg_controls,
+        )
+
+    def full_matrix(self, num_qubits: int) -> np.ndarray:
+        """Expand to a dense ``2^n x 2^n`` unitary on ``num_qubits`` qubits.
+
+        Intended for verification on small systems; the simulators never
+        build these matrices.
+        """
+        if self.max_qubit >= num_qubits:
+            raise CircuitError(
+                f"operation uses qubit {self.max_qubit} but the register has "
+                f"only {num_qubits} qubits"
+            )
+        dim = 2**num_qubits
+        matrix = np.zeros((dim, dim), dtype=np.complex128)
+        gate = self.gate.array
+        for column in range(dim):
+            fires = all((column >> c) & 1 for c in self.controls) and all(
+                not ((column >> c) & 1) for c in self.neg_controls
+            )
+            if not fires:
+                matrix[column, column] = 1.0
+                continue
+            sub_col = 0
+            for bit, qubit in enumerate(self.targets):
+                sub_col |= ((column >> qubit) & 1) << bit
+            base = column
+            for qubit in self.targets:
+                base &= ~(1 << qubit)
+            for sub_row in range(gate.shape[0]):
+                amplitude = gate[sub_row, sub_col]
+                if amplitude == 0:
+                    continue
+                row = base
+                for bit, qubit in enumerate(self.targets):
+                    row |= ((sub_row >> bit) & 1) << qubit
+                matrix[row, column] = amplitude
+        return matrix
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [str(self.gate)]
+        if self.controls:
+            parts.append("c" + ",".join(str(q) for q in sorted(self.controls)))
+        if self.neg_controls:
+            parts.append("nc" + ",".join(str(q) for q in sorted(self.neg_controls)))
+        parts.append("on " + ",".join(str(q) for q in self.targets))
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Computational-basis measurement of selected qubits.
+
+    With ``qubits=()`` the instruction measures the full register (the
+    common case for weak simulation — the paper samples whole bitstrings).
+    """
+
+    qubits: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(set(self.qubits)) != len(self.qubits):
+            raise CircuitError(f"duplicate measured qubits in {self.qubits}")
+
+    @property
+    def measures_all(self) -> bool:
+        return not self.qubits
+
+
+@dataclass(frozen=True)
+class Barrier:
+    """A no-op scheduling barrier (kept for QASM round-trips)."""
+
+    qubits: Tuple[int, ...] = ()
+
+
+Instruction = object  # Operation | Measurement | Barrier (kept loose for 3.9)

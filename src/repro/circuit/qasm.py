@@ -1,0 +1,373 @@
+"""OpenQASM 2.0 import and export (pragmatic subset).
+
+Supported statements: ``OPENQASM 2.0``, ``include``, ``qreg``, ``creg``,
+gate applications from the built-in registry (with ``c``-prefixed names for
+controlled versions, e.g. ``cx``, ``ccx``, ``cp(theta)``), ``measure``, and
+``barrier``.  Parameter expressions understand ``pi``, the four arithmetic
+operators, parentheses, and unary minus.
+
+This is enough to round-trip every circuit this library generates and to
+load typical benchmark files (QFT, Grover, adders) from other toolchains.
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+import re
+from typing import Dict, List, Tuple
+
+from ..exceptions import QasmError
+from . import gates as g
+from .circuit import QuantumCircuit
+from .operations import Barrier, Measurement, Operation
+
+__all__ = ["parse_qasm", "to_qasm"]
+
+_HEADER_RE = re.compile(r"OPENQASM\s+2(\.\d+)?\s*;")
+_QREG_RE = re.compile(r"qreg\s+([A-Za-z_][A-Za-z0-9_]*)\s*\[\s*(\d+)\s*\]\s*;")
+_CREG_RE = re.compile(r"creg\s+([A-Za-z_][A-Za-z0-9_]*)\s*\[\s*(\d+)\s*\]\s*;")
+# Parameter list allows one level of nested parentheses (macro expansion
+# wraps substituted expressions in parens).
+_GATE_RE = re.compile(
+    r"([A-Za-z_][A-Za-z0-9_]*)\s*(\(((?:[^()]|\([^()]*\))*)\))?\s+(.*?)\s*;"
+)
+_QUBIT_RE = re.compile(r"([A-Za-z_][A-Za-z0-9_]*)\s*\[\s*(\d+)\s*\]")
+_MEASURE_RE = re.compile(
+    r"measure\s+([A-Za-z_][A-Za-z0-9_]*)(\s*\[\s*(\d+)\s*\])?\s*->\s*"
+    r"([A-Za-z_][A-Za-z0-9_]*)(\s*\[\s*(\d+)\s*\])?\s*;"
+)
+
+# Controlled aliases: name -> (base gate name, number of controls)
+_CONTROL_ALIASES: Dict[str, Tuple[str, int]] = {
+    "cx": ("x", 1),
+    "cnot": ("x", 1),
+    "cy": ("y", 1),
+    "cz": ("z", 1),
+    "ch": ("h", 1),
+    "cs": ("s", 1),
+    "csdg": ("sdg", 1),
+    "ct": ("t", 1),
+    "cp": ("p", 1),
+    "cu1": ("p", 1),
+    "crx": ("rx", 1),
+    "cry": ("ry", 1),
+    "crz": ("rz", 1),
+    "ccx": ("x", 2),
+    "toffoli": ("x", 2),
+    "ccz": ("z", 2),
+    "cswap": ("swap", 1),
+    "fredkin": ("swap", 1),
+    "mcx": ("x", -1),
+    "mcz": ("z", -1),
+    "mcp": ("p", -1),
+}
+
+
+def _eval_param(expression: str, line: int) -> float:
+    """Safely evaluate a QASM parameter expression."""
+    expression = expression.strip().replace("PI", "pi")
+    try:
+        tree = ast.parse(expression, mode="eval")
+    except SyntaxError as exc:
+        raise QasmError(f"bad parameter expression {expression!r}", line) from exc
+
+    def walk(node: ast.AST) -> float:
+        if isinstance(node, ast.Expression):
+            return walk(node.body)
+        if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+            return float(node.value)
+        if isinstance(node, ast.Name) and node.id == "pi":
+            return math.pi
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+            value = walk(node.operand)
+            return -value if isinstance(node.op, ast.USub) else value
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.Add, ast.Sub, ast.Mult, ast.Div, ast.Pow)
+        ):
+            left, right = walk(node.left), walk(node.right)
+            if isinstance(node.op, ast.Add):
+                return left + right
+            if isinstance(node.op, ast.Sub):
+                return left - right
+            if isinstance(node.op, ast.Mult):
+                return left * right
+            if isinstance(node.op, ast.Div):
+                return left / right
+            return left**right
+        raise QasmError(f"unsupported expression {expression!r}", line)
+
+    return walk(tree)
+
+
+def _strip_comments(text: str) -> List[Tuple[int, str]]:
+    """Split source into (line_number, statement) pairs without comments."""
+    lines = []
+    for number, raw in enumerate(text.splitlines(), start=1):
+        code = raw.split("//", 1)[0].strip()
+        if code:
+            lines.append((number, code))
+    # Statements can span lines; re-join and re-split on ';'
+    statements: List[Tuple[int, str]] = []
+    buffer = ""
+    buffer_line = 0
+    for number, code in lines:
+        if not buffer:
+            buffer_line = number
+        buffer += " " + code
+        while ";" in buffer:
+            statement, buffer = buffer.split(";", 1)
+            statement = statement.strip()
+            if statement:
+                statements.append((buffer_line, statement + ";"))
+            buffer_line = number
+    if buffer.strip():
+        statements.append((buffer_line, buffer.strip() + ";"))
+    return statements
+
+
+_GATE_DEF_RE = re.compile(
+    r"gate\s+([A-Za-z_][A-Za-z0-9_]*)\s*(\(([^)]*)\))?\s*([^{]*)\{([^}]*)\}",
+    re.DOTALL,
+)
+
+
+class _GateMacro:
+    """A user-defined ``gate`` block (OpenQASM 2.0 macro)."""
+
+    def __init__(self, name: str, params: List[str], qubit_args: List[str], body: str):
+        self.name = name
+        self.params = params
+        self.qubit_args = qubit_args
+        self.body = body
+
+    def expand(
+        self, param_values: List[str], operands: List[str], line: int
+    ) -> List[Tuple[int, str]]:
+        """Substitute formals with actuals and return body statements."""
+        if len(param_values) != len(self.params):
+            raise QasmError(
+                f"gate {self.name!r} takes {len(self.params)} parameter(s), "
+                f"got {len(param_values)}",
+                line,
+            )
+        if len(operands) != len(self.qubit_args):
+            raise QasmError(
+                f"gate {self.name!r} takes {len(self.qubit_args)} qubit(s), "
+                f"got {len(operands)}",
+                line,
+            )
+        body = self.body
+        for formal, actual in zip(self.params, param_values):
+            body = re.sub(rf"\b{re.escape(formal)}\b", f"({actual})", body)
+        for formal, actual in zip(self.qubit_args, operands):
+            body = re.sub(rf"\b{re.escape(formal)}\b", actual, body)
+        return [
+            (line, piece.strip() + ";")
+            for piece in body.split(";")
+            if piece.strip()
+        ]
+
+
+def _extract_gate_definitions(text: str) -> Tuple[str, Dict[str, _GateMacro]]:
+    """Pull ``gate ... { ... }`` blocks out of the source."""
+    macros: Dict[str, _GateMacro] = {}
+
+    def record(match: re.Match) -> str:
+        name = match.group(1)
+        params = [p.strip() for p in (match.group(3) or "").split(",") if p.strip()]
+        qubit_args = [
+            q.strip() for q in match.group(4).split(",") if q.strip()
+        ]
+        macros[name.lower()] = _GateMacro(name, params, qubit_args, match.group(5))
+        return ""
+
+    remaining = _GATE_DEF_RE.sub(record, text)
+    return remaining, macros
+
+
+def parse_qasm(text: str) -> QuantumCircuit:
+    """Parse OpenQASM 2.0 source into a :class:`QuantumCircuit`.
+
+    Multiple quantum registers are concatenated in declaration order.
+    User-defined ``gate`` blocks are supported by macro expansion (bodies
+    may reference built-in gates and previously defined gates).
+    """
+    # Strip comments first so a commented-out gate body cannot confuse
+    # the block extractor, then pull out the gate definitions.
+    text = "\n".join(line.split("//", 1)[0] for line in text.splitlines())
+    text, macros = _extract_gate_definitions(text)
+    statements = _strip_comments(text)
+    if not statements:
+        raise QasmError("empty QASM input")
+
+    registers: Dict[str, Tuple[int, int]] = {}  # name -> (offset, size)
+    total_qubits = 0
+    circuit: QuantumCircuit | None = None
+    pending: List[Tuple[int, str]] = []
+
+    def qubit_index(name: str, index: int, line: int) -> int:
+        if name not in registers:
+            raise QasmError(f"unknown quantum register {name!r}", line)
+        offset, size = registers[name]
+        if index >= size:
+            raise QasmError(f"index {index} out of range for {name}[{size}]", line)
+        return offset + index
+
+    for line, statement in statements:
+        if _HEADER_RE.match(statement) or statement.startswith("include"):
+            continue
+        match = _QREG_RE.match(statement)
+        if match:
+            name, size = match.group(1), int(match.group(2))
+            if name in registers:
+                raise QasmError(f"duplicate register {name!r}", line)
+            registers[name] = (total_qubits, size)
+            total_qubits += size
+            continue
+        if _CREG_RE.match(statement):
+            continue
+        pending.append((line, statement))
+
+    if total_qubits == 0:
+        raise QasmError("no qreg declared")
+    circuit = QuantumCircuit(total_qubits, name="qasm")
+
+    from collections import deque
+
+    worklist = deque(pending)
+    expansion_guard = 0
+    while worklist:
+        line, statement = worklist.popleft()
+        expansion_guard += 1
+        if expansion_guard > 1_000_000:
+            raise QasmError("gate macro expansion does not terminate", line)
+        measure = _MEASURE_RE.match(statement)
+        if measure:
+            name, index = measure.group(1), measure.group(3)
+            if index is None:
+                circuit.measure_all()
+            else:
+                circuit.measure(qubit_index(name, int(index), line))
+            continue
+        match = _GATE_RE.match(statement)
+        if not match:
+            raise QasmError(f"cannot parse statement {statement!r}", line)
+        gate_name = match.group(1).lower()
+        params_src = match.group(3)
+        operands_src = match.group(4)
+        params = (
+            tuple(_eval_param(p, line) for p in params_src.split(","))
+            if params_src
+            else ()
+        )
+        qubits = [
+            qubit_index(name, int(index), line)
+            for name, index in _QUBIT_RE.findall(operands_src)
+        ]
+        if not qubits:
+            if gate_name == "barrier":
+                circuit.barrier()
+                continue
+            raise QasmError(f"no qubit operands in {statement!r}", line)
+
+        if gate_name == "barrier":
+            circuit.barrier(*qubits)
+            continue
+        if gate_name == "u":
+            gate_name = "u3"
+
+        num_controls = 0
+        base_name = gate_name
+        if gate_name in _CONTROL_ALIASES:
+            base_name, num_controls = _CONTROL_ALIASES[gate_name]
+        if base_name not in g.GATE_REGISTRY and gate_name in macros:
+            macro = macros[gate_name]
+            raw_params = (
+                [p.strip() for p in params_src.split(",")] if params_src else []
+            )
+            raw_operands = [o.strip() for o in operands_src.split(",") if o.strip()]
+            worklist.extendleft(
+                reversed(macro.expand(raw_params, raw_operands, line))
+            )
+            continue
+        if base_name not in g.GATE_REGISTRY:
+            raise QasmError(f"unknown gate {gate_name!r}", line)
+        gate = g.GATE_REGISTRY[base_name](*params)
+        if num_controls < 0:  # mcx / mcz / mcp: all but last operand control
+            num_controls = len(qubits) - gate.num_qubits
+        controls = qubits[:num_controls]
+        targets = qubits[num_controls:]
+        if len(targets) != gate.num_qubits:
+            raise QasmError(
+                f"gate {gate_name!r} expects {gate.num_qubits} target(s), "
+                f"got {len(targets)}",
+                line,
+            )
+        circuit.append(
+            Operation(
+                gate=gate, targets=tuple(targets), controls=frozenset(controls)
+            )
+        )
+    return circuit
+
+
+def _format_param(value: float) -> str:
+    """Render a parameter, using pi fractions when exact."""
+    for denominator in (1, 2, 3, 4, 6, 8, 16, 32, 64, 128, 256):
+        for numerator in range(-2 * denominator, 2 * denominator + 1):
+            if numerator == 0:
+                continue
+            if abs(value - numerator * math.pi / denominator) < 1e-12:
+                sign = "-" if numerator < 0 else ""
+                numerator = abs(numerator)
+                num = "pi" if numerator == 1 else f"{numerator}*pi"
+                return f"{sign}{num}" if denominator == 1 else f"{sign}{num}/{denominator}"
+    return repr(value)
+
+
+def to_qasm(circuit: QuantumCircuit) -> str:
+    """Serialise a circuit to OpenQASM 2.0.
+
+    Gates with more than two controls are emitted with the non-standard
+    ``mcx``/``mcz``/``mcp`` names that :func:`parse_qasm` understands.
+    """
+    lines = [
+        "OPENQASM 2.0;",
+        'include "qelib1.inc";',
+        f"qreg q[{circuit.num_qubits}];",
+        f"creg c[{circuit.num_qubits}];",
+    ]
+    for instruction in circuit:
+        if isinstance(instruction, Barrier):
+            if instruction.qubits:
+                operands = ",".join(f"q[{q}]" for q in instruction.qubits)
+                lines.append(f"barrier {operands};")
+            else:
+                lines.append("barrier q;")
+            continue
+        if isinstance(instruction, Measurement):
+            if instruction.measures_all:
+                lines.append("measure q -> c;")
+            else:
+                for qubit in instruction.qubits:
+                    lines.append(f"measure q[{qubit}] -> c[{qubit}];")
+            continue
+        op = instruction
+        if op.neg_controls:
+            raise QasmError(
+                "OpenQASM 2.0 cannot express anti-controls; decompose first"
+            )
+        name = op.gate.name
+        controls = sorted(op.controls)
+        if controls:
+            if len(controls) <= 2 and f"{'c' * len(controls)}{name}" in _CONTROL_ALIASES:
+                name = f"{'c' * len(controls)}{name}"
+            else:
+                name = f"mc{name}"
+        if op.gate.params:
+            rendered = ",".join(_format_param(p) for p in op.gate.params)
+            name = f"{name}({rendered})"
+        operands = ",".join(f"q[{q}]" for q in list(controls) + list(op.targets))
+        lines.append(f"{name} {operands};")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,101 @@
+"""Random circuit generation helpers.
+
+Used by tests (property-based fuzzing of the simulators) and by the Grover
+benchmark's random oracle.  All functions take an explicit ``numpy``
+Generator (or seed) so every random circuit is reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from . import gates as g
+from .circuit import QuantumCircuit
+
+__all__ = ["random_circuit", "random_clifford_t_circuit", "random_product_state_circuit"]
+
+_SINGLE_QUBIT_FIXED = ("x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx")
+_SINGLE_QUBIT_ROTATIONS = ("rx", "ry", "rz", "p")
+
+
+def _rng(seed: Union[int, np.random.Generator, None]) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def random_circuit(
+    num_qubits: int,
+    num_gates: int,
+    seed: Union[int, np.random.Generator, None] = None,
+    two_qubit_fraction: float = 0.3,
+    allow_controls: bool = True,
+) -> QuantumCircuit:
+    """Generate a random circuit mixing rotations, fixed gates, and CNOT/CZ.
+
+    ``two_qubit_fraction`` is the probability that a given gate entangles
+    two qubits (ignored when the register has a single qubit).
+    """
+    rng = _rng(seed)
+    circuit = QuantumCircuit(num_qubits, name=f"random_{num_qubits}q_{num_gates}g")
+    for _ in range(num_gates):
+        entangle = num_qubits >= 2 and rng.random() < two_qubit_fraction
+        if entangle and allow_controls:
+            control, target = rng.choice(num_qubits, size=2, replace=False)
+            if rng.random() < 0.5:
+                circuit.cx(int(control), int(target))
+            else:
+                circuit.cz(int(control), int(target))
+        elif entangle:
+            q1, q2 = rng.choice(num_qubits, size=2, replace=False)
+            circuit.swap(int(q1), int(q2))
+        else:
+            qubit = int(rng.integers(num_qubits))
+            if rng.random() < 0.5:
+                name = _SINGLE_QUBIT_FIXED[rng.integers(len(_SINGLE_QUBIT_FIXED))]
+                circuit.apply(g.GATE_REGISTRY[name](), qubit)
+            else:
+                name = _SINGLE_QUBIT_ROTATIONS[
+                    rng.integers(len(_SINGLE_QUBIT_ROTATIONS))
+                ]
+                theta = float(rng.uniform(0, 2 * np.pi))
+                circuit.apply(g.GATE_REGISTRY[name](theta), qubit)
+    return circuit
+
+
+def random_clifford_t_circuit(
+    num_qubits: int,
+    num_gates: int,
+    seed: Union[int, np.random.Generator, None] = None,
+) -> QuantumCircuit:
+    """Random circuit over the Clifford+T gate set {H, S, T, CNOT}."""
+    rng = _rng(seed)
+    circuit = QuantumCircuit(num_qubits, name=f"clifford_t_{num_qubits}q")
+    names = ("h", "s", "t")
+    for _ in range(num_gates):
+        if num_qubits >= 2 and rng.random() < 0.3:
+            control, target = rng.choice(num_qubits, size=2, replace=False)
+            circuit.cx(int(control), int(target))
+        else:
+            qubit = int(rng.integers(num_qubits))
+            circuit.apply(g.GATE_REGISTRY[names[rng.integers(3)]](), qubit)
+    return circuit
+
+
+def random_product_state_circuit(
+    num_qubits: int,
+    seed: Union[int, np.random.Generator, None] = None,
+) -> QuantumCircuit:
+    """One random ``u3`` per qubit — prepares a random product state.
+
+    Product states have decision diagrams of exactly ``num_qubits`` nodes,
+    which makes this generator useful for DD-size property tests.
+    """
+    rng = _rng(seed)
+    circuit = QuantumCircuit(num_qubits, name=f"product_{num_qubits}q")
+    for qubit in range(num_qubits):
+        theta, phi, lam = rng.uniform(0, 2 * np.pi, size=3)
+        circuit.u3(float(theta), float(phi), float(lam), qubit)
+    return circuit

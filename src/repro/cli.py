@@ -1,0 +1,121 @@
+"""``repro-sample``: weak simulation of OpenQASM files from the shell.
+
+The user-facing simulator binary: read a circuit, draw shots, print (or
+save) the counts.  Mirrors how one uses a cloud quantum backend::
+
+    repro-sample bell.qasm --shots 10000 --method dd --seed 7
+    repro-sample grover.qasm --shots 1000 --json results.json
+    repro-sample circuit.qasm --draw          # just show the circuit
+
+Exit status is 0 on success, 2 for bad input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .circuit.drawer import draw
+from .circuit.qasm import parse_qasm
+from .core.weak_sim import DD_METHODS, VECTOR_METHODS, simulate_and_sample
+from .exceptions import ReproError
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sample",
+        description="Weak simulation of an OpenQASM 2.0 circuit: produce "
+        "measurement samples like a physical quantum computer.",
+    )
+    parser.add_argument("qasm_file", help="path to the OpenQASM 2.0 circuit")
+    parser.add_argument("--shots", type=int, default=1024, help="samples to draw")
+    parser.add_argument(
+        "--method",
+        choices=DD_METHODS + VECTOR_METHODS,
+        default="dd",
+        help="sampling back-end (default: decision-diagram path sampling)",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="RNG seed")
+    parser.add_argument(
+        "--top", type=int, default=20, help="print at most this many outcomes"
+    )
+    parser.add_argument(
+        "--json",
+        metavar="FILE",
+        help="write the full counts as JSON to FILE ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--draw", action="store_true", help="print the circuit and exit"
+    )
+    parser.add_argument(
+        "--stats", action="store_true", help="print DD/timing statistics"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        with open(args.qasm_file, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    except OSError as error:
+        print(f"error: cannot read {args.qasm_file}: {error}", file=sys.stderr)
+        return 2
+    try:
+        circuit = parse_qasm(source)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.draw:
+        print(draw(circuit))
+        return 0
+
+    if args.shots < 1:
+        print("error: --shots must be positive", file=sys.stderr)
+        return 2
+
+    start = time.perf_counter()
+    try:
+        result = simulate_and_sample(
+            circuit, args.shots, method=args.method, seed=args.seed
+        )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - start
+
+    print(
+        f"{circuit.num_qubits} qubits, {circuit.num_operations} gates; "
+        f"{result.shots} shots via {args.method!r} in {elapsed:.3f} s"
+    )
+    for bitstring, count in result.most_common(args.top):
+        bar = "#" * max(1, round(40 * count / result.shots))
+        print(f"  |{bitstring}>  {count:>8}  {bar}")
+    remaining = result.distinct_outcomes - min(args.top, result.distinct_outcomes)
+    if remaining > 0:
+        print(f"  ... {remaining} more outcomes")
+
+    if args.stats:
+        print(
+            f"precompute: {result.precompute_seconds:.4f} s, "
+            f"sampling: {result.sampling_seconds:.4f} s, "
+            f"distinct outcomes: {result.distinct_outcomes}"
+        )
+
+    if args.json:
+        payload = result.to_json()
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,70 @@
+"""Weak simulation — the paper's primary contribution.
+
+* :func:`~repro.core.weak_sim.simulate_and_sample` — circuit to samples,
+* :class:`~repro.core.prefix_sampler.PrefixSampler` — vector-based
+  sampling via prefix sums and binary search (Section III),
+* :class:`~repro.core.dd_sampler.DDSampler` — DD-based sampling via
+  randomised path traversal (Section IV),
+* :class:`~repro.core.results.SampleResult` — sampled bitstring counts,
+* :mod:`~repro.core.indistinguishability` — statistical validation.
+"""
+
+from .alias_sampler import AliasSampler
+from .analysis import (
+    collision_probability,
+    empirical_tvd,
+    heavy_output_probability,
+    heavy_outputs,
+    miller_madow_entropy,
+    plugin_entropy,
+)
+from .dd_sampler import DDSampler
+from .shot_executor import ShotExecutor
+from .indistinguishability import (
+    ChiSquareResult,
+    chi_square_gof,
+    kl_divergence,
+    linear_xeb_fidelity,
+    total_variation_distance,
+    two_sample_chi_square,
+)
+from .prefix_sampler import (
+    OutOfCorePrefixSampler,
+    PrefixSampler,
+    probabilities_from_statevector,
+)
+from .results import SampleResult
+from .weak_sim import (
+    DD_METHODS,
+    VECTOR_METHODS,
+    sample_dd,
+    sample_statevector,
+    simulate_and_sample,
+)
+
+__all__ = [
+    "AliasSampler",
+    "ShotExecutor",
+    "plugin_entropy",
+    "miller_madow_entropy",
+    "heavy_outputs",
+    "heavy_output_probability",
+    "collision_probability",
+    "empirical_tvd",
+    "simulate_and_sample",
+    "sample_statevector",
+    "sample_dd",
+    "DD_METHODS",
+    "VECTOR_METHODS",
+    "SampleResult",
+    "PrefixSampler",
+    "OutOfCorePrefixSampler",
+    "probabilities_from_statevector",
+    "DDSampler",
+    "chi_square_gof",
+    "ChiSquareResult",
+    "total_variation_distance",
+    "kl_divergence",
+    "linear_xeb_fidelity",
+    "two_sample_chi_square",
+]

@@ -1,0 +1,99 @@
+"""Walker's alias method: O(1)-per-sample biased random selection.
+
+An alternative to the prefix-sum/binary-search baseline of the paper's
+Section III: after an O(2^n) table build, each sample costs a single
+uniform draw, one table lookup, and one comparison — no O(n) binary
+search.  Included as an extension baseline (benchmarked against prefix
+sampling in ``benchmarks/bench_alias_ablation.py``); like all dense
+methods it still pays the exponential memory bill the decision-diagram
+sampler avoids.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from ..exceptions import SamplingError
+from .prefix_sampler import probabilities_from_statevector
+from .results import SampleResult
+
+__all__ = ["AliasSampler"]
+
+
+def _as_rng(seed: Union[int, np.random.Generator, None]) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+class AliasSampler:
+    """Vose's stable formulation of Walker's alias method."""
+
+    def __init__(
+        self,
+        distribution: Sequence[float],
+        is_statevector: bool | None = None,
+        norm_tolerance: float = 1e-6,
+    ):
+        array = np.asarray(distribution)
+        if is_statevector is None:
+            is_statevector = np.iscomplexobj(array)
+        if is_statevector:
+            probabilities = probabilities_from_statevector(array)
+        else:
+            probabilities = np.asarray(array, dtype=np.float64)
+        if probabilities.ndim != 1 or probabilities.size == 0:
+            raise SamplingError("distribution must be a non-empty 1-D array")
+        total = float(probabilities.sum())
+        if abs(total - 1.0) > norm_tolerance:
+            raise SamplingError(f"probabilities sum to {total}, expected 1")
+        self.probabilities = probabilities
+        self.size = probabilities.size
+        self.num_qubits = int(np.round(np.log2(self.size)))
+        self._build_tables()
+
+    def _build_tables(self) -> None:
+        """Build the probability and alias tables (O(size))."""
+        n = self.size
+        scaled = self.probabilities * n
+        self._accept = np.ones(n, dtype=np.float64)
+        self._alias = np.arange(n, dtype=np.int64)
+        small = [i for i in range(n) if scaled[i] < 1.0]
+        large = [i for i in range(n) if scaled[i] >= 1.0]
+        scaled = scaled.copy()
+        while small and large:
+            lo = small.pop()
+            hi = large.pop()
+            self._accept[lo] = scaled[lo]
+            self._alias[lo] = hi
+            scaled[hi] = scaled[hi] - (1.0 - scaled[lo])
+            if scaled[hi] < 1.0:
+                small.append(hi)
+            else:
+                large.append(hi)
+        # Leftovers (floating point): accept with probability 1.
+        for index in small + large:
+            self._accept[index] = 1.0
+            self._alias[index] = index
+
+    def sample(
+        self, shots: int, rng: Union[int, np.random.Generator, None] = None
+    ) -> np.ndarray:
+        """Draw ``shots`` samples, O(1) work per sample."""
+        if shots < 0:
+            raise SamplingError("shots must be non-negative")
+        rng = _as_rng(rng)
+        columns = rng.integers(self.size, size=shots)
+        accept = rng.random(shots) < self._accept[columns]
+        return np.where(accept, columns, self._alias[columns])
+
+    def sample_one(self, rng: Union[int, np.random.Generator, None] = None) -> int:
+        return int(self.sample(1, rng)[0])
+
+    def sample_result(
+        self, shots: int, rng: Union[int, np.random.Generator, None] = None
+    ) -> SampleResult:
+        samples = self.sample(shots, rng)
+        return SampleResult.from_samples(self.num_qubits, samples, method="alias")

@@ -1,0 +1,296 @@
+"""Statistical indistinguishability of sampled output.
+
+The paper's goal is output "statistically indistinguishable from those of
+(error-free) physical quantum computers".  This module quantifies that
+claim: given empirical counts and the exact output distribution, it
+computes divergences (total variation, KL), a chi-square goodness-of-fit
+test, and the linear cross-entropy benchmarking (XEB) fidelity used for
+the supremacy-style circuits of Boixo et al. (reference [27]).
+
+The chi-square survival function uses SciPy when available and falls back
+to a self-contained regularised incomplete-gamma implementation, so the
+core library keeps NumPy as its only hard dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence, Union
+
+import numpy as np
+
+from ..exceptions import SamplingError
+from .results import SampleResult
+
+__all__ = [
+    "total_variation_distance",
+    "kl_divergence",
+    "chi_square_gof",
+    "ChiSquareResult",
+    "linear_xeb_fidelity",
+    "two_sample_chi_square",
+]
+
+_CountsLike = Union[SampleResult, Mapping[int, int]]
+
+
+def _counts_of(counts: _CountsLike) -> Dict[int, int]:
+    if isinstance(counts, SampleResult):
+        return counts.counts
+    return dict(counts)
+
+
+def _probability_of(probabilities, index: int) -> float:
+    """Probability lookup supporting arrays, dicts, and callables."""
+    if callable(probabilities):
+        return float(probabilities(index))
+    if isinstance(probabilities, Mapping):
+        return float(probabilities.get(index, 0.0))
+    return float(probabilities[index])
+
+
+# ---------------------------------------------------------------------------
+# Divergences
+# ---------------------------------------------------------------------------
+
+
+def total_variation_distance(
+    counts: _CountsLike, probabilities: Sequence[float]
+) -> float:
+    """TVD between the empirical distribution and exact probabilities.
+
+    ``probabilities`` must be a dense array over all ``2^n`` outcomes (the
+    mass of outcomes never sampled contributes too).
+    """
+    counts = _counts_of(counts)
+    shots = sum(counts.values())
+    if shots == 0:
+        raise SamplingError("no samples")
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    sampled_mass_diff = 0.0
+    sampled_prob = 0.0
+    for index, count in counts.items():
+        p = float(probabilities[index])
+        sampled_mass_diff += abs(count / shots - p)
+        sampled_prob += p
+    # Outcomes with zero counts contribute their full probability.
+    unsampled = max(0.0, float(probabilities.sum()) - sampled_prob)
+    return 0.5 * (sampled_mass_diff + unsampled)
+
+
+def kl_divergence(counts: _CountsLike, probabilities: Sequence[float]) -> float:
+    """D_KL(empirical || exact); infinite if a zero-probability outcome
+    was sampled (which would *prove* the sampler unfaithful)."""
+    counts = _counts_of(counts)
+    shots = sum(counts.values())
+    if shots == 0:
+        raise SamplingError("no samples")
+    total = 0.0
+    for index, count in counts.items():
+        q = _probability_of(probabilities, index)
+        p = count / shots
+        if q <= 0.0:
+            return math.inf
+        total += p * math.log(p / q)
+    return total
+
+
+# ---------------------------------------------------------------------------
+# Chi-square goodness of fit
+# ---------------------------------------------------------------------------
+
+
+def _regularized_gamma_upper(s: float, x: float) -> float:
+    """Q(s, x) = Gamma(s, x) / Gamma(s), via series / continued fraction.
+
+    Standard Numerical-Recipes-style implementation, accurate to ~1e-12
+    for the argument ranges a chi-square test produces.
+    """
+    if x < 0 or s <= 0:
+        raise ValueError("invalid arguments to the incomplete gamma")
+    if x == 0:
+        return 1.0
+    if x < s + 1.0:
+        # Lower series, then complement.
+        term = 1.0 / s
+        total = term
+        denominator = s
+        for _ in range(1000):
+            denominator += 1.0
+            term *= x / denominator
+            total += term
+            if abs(term) < abs(total) * 1e-15:
+                break
+        lower = total * math.exp(-x + s * math.log(x) - math.lgamma(s))
+        return max(0.0, 1.0 - lower)
+    # Continued fraction for the upper tail (modified Lentz).
+    tiny = 1e-300
+    b = x + 1.0 - s
+    c = 1.0 / tiny
+    d = 1.0 / b
+    h = d
+    for i in range(1, 1000):
+        an = -i * (i - s)
+        b += 2.0
+        d = an * d + b
+        if abs(d) < tiny:
+            d = tiny
+        c = b + an / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < 1e-15:
+            break
+    return h * math.exp(-x + s * math.log(x) - math.lgamma(s))
+
+
+def chi2_sf(statistic: float, dof: int) -> float:
+    """Chi-square survival function P(X >= statistic)."""
+    if dof < 1:
+        raise ValueError("degrees of freedom must be >= 1")
+    if statistic <= 0:
+        return 1.0
+    try:
+        from scipy.stats import chi2  # type: ignore
+
+        return float(chi2.sf(statistic, dof))
+    except ImportError:  # pragma: no cover - depends on environment
+        return _regularized_gamma_upper(dof / 2.0, statistic / 2.0)
+
+
+@dataclass(frozen=True)
+class ChiSquareResult:
+    """Outcome of a chi-square goodness-of-fit test."""
+
+    statistic: float
+    dof: int
+    p_value: float
+    bins: int
+
+    @property
+    def consistent(self) -> bool:
+        """Whether the sample is consistent at the 0.1% level."""
+        return self.p_value > 1e-3
+
+
+def chi_square_gof(
+    counts: _CountsLike,
+    probabilities: Sequence[float],
+    min_expected: float = 5.0,
+) -> ChiSquareResult:
+    """Pearson chi-square test of counts against exact probabilities.
+
+    Outcomes with expected count below ``min_expected`` are pooled into a
+    single tail bin (standard practice for valid chi-square asymptotics).
+    ``probabilities`` must be dense over all outcomes.
+    """
+    counts = _counts_of(counts)
+    shots = sum(counts.values())
+    if shots == 0:
+        raise SamplingError("no samples")
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    expected = probabilities * shots
+    big = expected >= min_expected
+    statistic = 0.0
+    bins = 0
+    for index in np.nonzero(big)[0]:
+        observed = counts.get(int(index), 0)
+        e = expected[index]
+        statistic += (observed - e) ** 2 / e
+        bins += 1
+    # Pool the tail.
+    tail_expected = float(expected[~big].sum())
+    tail_observed = sum(
+        count for index, count in counts.items() if not big[index]
+    )
+    if tail_expected > 0.0:
+        statistic += (tail_observed - tail_expected) ** 2 / tail_expected
+        bins += 1
+    elif tail_observed > 0:
+        # Sampled an outcome that has probability ~0: categorical failure.
+        return ChiSquareResult(
+            statistic=math.inf, dof=max(1, bins - 1), p_value=0.0, bins=bins
+        )
+    dof = max(1, bins - 1)
+    return ChiSquareResult(
+        statistic=float(statistic),
+        dof=dof,
+        p_value=chi2_sf(float(statistic), dof),
+        bins=bins,
+    )
+
+
+def two_sample_chi_square(
+    first: _CountsLike, second: _CountsLike
+) -> ChiSquareResult:
+    """Chi-square homogeneity test between two samplers' counts.
+
+    Used to check that, e.g., DD-based and vector-based weak simulation
+    are statistically indistinguishable *from each other*.
+    """
+    a = _counts_of(first)
+    b = _counts_of(second)
+    total_a = sum(a.values())
+    total_b = sum(b.values())
+    if total_a == 0 or total_b == 0:
+        raise SamplingError("both samples must be non-empty")
+    keys = sorted(set(a) | set(b))
+    statistic = 0.0
+    bins = 0
+    spill_a = 0
+    spill_b = 0
+    for key in keys:
+        ca, cb = a.get(key, 0), b.get(key, 0)
+        pooled = (ca + cb) / (total_a + total_b)
+        if pooled * min(total_a, total_b) < 5.0:
+            spill_a += ca
+            spill_b += cb
+            continue
+        ea, eb = pooled * total_a, pooled * total_b
+        statistic += (ca - ea) ** 2 / ea + (cb - eb) ** 2 / eb
+        bins += 1
+    if spill_a + spill_b:
+        pooled = (spill_a + spill_b) / (total_a + total_b)
+        ea, eb = pooled * total_a, pooled * total_b
+        if ea > 0 and eb > 0:
+            statistic += (spill_a - ea) ** 2 / ea + (spill_b - eb) ** 2 / eb
+            bins += 1
+    dof = max(1, bins - 1)
+    return ChiSquareResult(
+        statistic=float(statistic),
+        dof=dof,
+        p_value=chi2_sf(float(statistic), dof),
+        bins=bins,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Cross-entropy benchmarking
+# ---------------------------------------------------------------------------
+
+
+def linear_xeb_fidelity(
+    counts: _CountsLike,
+    probabilities,
+    num_qubits: int,
+) -> float:
+    """Linear cross-entropy benchmarking fidelity.
+
+    ``F_XEB = 2^n * E[p(x_sampled)] - 1``: approximately 1 when samples
+    come from the true distribution of a random circuit, 0 for uniform
+    noise.  ``probabilities`` may be a dense array, a dict, or a callable
+    ``index -> probability`` (so DD-backed amplitude lookups work without
+    dense expansion).
+    """
+    counts = _counts_of(counts)
+    shots = sum(counts.values())
+    if shots == 0:
+        raise SamplingError("no samples")
+    mean_probability = (
+        sum(count * _probability_of(probabilities, index) for index, count in counts.items())
+        / shots
+    )
+    return float(2**num_qubits * mean_probability - 1.0)

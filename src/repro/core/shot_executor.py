@@ -1,0 +1,189 @@
+"""Shot-by-shot execution of circuits with mid-circuit measurement.
+
+The samplers in this package assume all measurements sit at the end of
+the circuit (the weak-simulation setting of the paper).  Real programs
+sometimes measure *during* the computation and keep evolving the
+collapsed state.  :class:`ShotExecutor` handles that general case:
+
+* the circuit is split into unitary segments at measurement boundaries,
+* the state up to the first measurement is simulated **once** (it is
+  shot-independent),
+* per shot, each measurement samples outcomes for the measured qubits
+  and collapses the DD, then simulation continues with the next segment.
+
+When the circuit has no mid-circuit measurement, the executor simply
+defers to the fast samplers (one strong simulation, then batch
+sampling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.operations import Barrier, Measurement, Operation
+from ..dd.apply import GateApplier
+from ..dd.measure import collapse, qubit_probability
+from ..dd.node import Edge
+from ..dd.normalization import NormalizationScheme
+from ..dd.package import DDPackage
+from ..exceptions import SimulationError
+from .dd_sampler import DDSampler
+from ..dd.vector_dd import VectorDD
+from .results import SampleResult
+
+__all__ = ["ShotExecutor"]
+
+
+def _as_rng(seed: Union[int, np.random.Generator, None]) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+@dataclass
+class _Segment:
+    """A run of unitary operations followed by one measurement (or end)."""
+
+    operations: List[Operation]
+    measurement: Optional[Measurement]
+
+
+class ShotExecutor:
+    """Executes measure-and-continue circuits shot by shot."""
+
+    def __init__(
+        self,
+        circuit: QuantumCircuit,
+        scheme: NormalizationScheme = NormalizationScheme.L2,
+    ):
+        self.circuit = circuit
+        self.num_qubits = circuit.num_qubits
+        self.package = DDPackage(scheme=scheme)
+        self._applier = GateApplier(self.package, self.num_qubits)
+        self._segments = self._split(circuit)
+        #: The shot-independent state after the first unitary segment.
+        self._prefix_state: Optional[Edge] = None
+
+    @staticmethod
+    def _split(circuit: QuantumCircuit) -> List[_Segment]:
+        segments: List[_Segment] = []
+        pending: List[Operation] = []
+        for instruction in circuit:
+            if isinstance(instruction, Barrier):
+                continue
+            if isinstance(instruction, Measurement):
+                segments.append(_Segment(pending, instruction))
+                pending = []
+            else:
+                pending.append(instruction)
+        segments.append(_Segment(pending, None))
+        return segments
+
+    @property
+    def has_mid_circuit_measurement(self) -> bool:
+        """Whether any measurement is followed by further operations."""
+        for index, segment in enumerate(self._segments[:-1]):
+            if segment.measurement is not None:
+                remaining = self._segments[index + 1 :]
+                if any(s.operations for s in remaining):
+                    return True
+        return False
+
+    def _run_segment(self, state: Edge, segment: _Segment) -> Edge:
+        for op in segment.operations:
+            state = self._applier.apply(state, op)
+        return state
+
+    def _prefix(self) -> Edge:
+        if self._prefix_state is None:
+            state = self.package.basis_state(self.num_qubits, 0)
+            self._prefix_state = self._run_segment(state, self._segments[0])
+        return self._prefix_state
+
+    def _measure_qubits(
+        self, state: Edge, qubits: Sequence[int], rng: np.random.Generator
+    ) -> Tuple[Edge, int]:
+        """Sample and collapse the given qubits; returns (state, bits).
+
+        ``bits`` has the measured values in the qubits' register
+        positions; unmeasured positions are zero.
+        """
+        outcome_bits = 0
+        for qubit in sorted(qubits, reverse=True):
+            p_one = qubit_probability(state, qubit, self.num_qubits)
+            outcome = 1 if rng.random() < p_one else 0
+            probability = p_one if outcome else 1.0 - p_one
+            state = collapse(
+                self.package, state, qubit, outcome, self.num_qubits, probability
+            )
+            outcome_bits |= outcome << qubit
+        return state, outcome_bits
+
+    def run(
+        self,
+        shots: int,
+        seed: Union[int, np.random.Generator, None] = None,
+    ) -> SampleResult:
+        """Execute ``shots`` runs; returns accumulated measured bits.
+
+        Each shot's record is the OR of all measurement outcomes at their
+        register positions (re-measured qubits keep the latest value, as
+        on hardware with a single classical bit per qubit).
+        """
+        if shots < 0:
+            raise SimulationError("shots must be non-negative")
+        rng = _as_rng(seed)
+        if not self.has_mid_circuit_measurement:
+            return self._run_terminal_only(shots, rng)
+        counts: Dict[int, int] = {}
+        prefix = self._prefix()
+        for _ in range(shots):
+            state = prefix
+            record = 0
+            for index, segment in enumerate(self._segments):
+                if index > 0:
+                    state = self._run_segment(state, segment)
+                if segment.measurement is None:
+                    continue
+                qubits = (
+                    segment.measurement.qubits
+                    if segment.measurement.qubits
+                    else tuple(range(self.num_qubits))
+                )
+                mask = 0
+                for qubit in qubits:
+                    mask |= 1 << qubit
+                state, bits = self._measure_qubits(state, qubits, rng)
+                record = (record & ~mask) | bits
+            counts[record] = counts.get(record, 0) + 1
+        return SampleResult(
+            num_qubits=self.num_qubits, counts=counts, method="shot-executor"
+        )
+
+    def _run_terminal_only(
+        self, shots: int, rng: np.random.Generator
+    ) -> SampleResult:
+        """Fast path: no measure-and-continue — batch-sample the end state."""
+        state = self._prefix()
+        for segment in self._segments[1:]:
+            state = self._run_segment(state, segment)
+        measured: Optional[Tuple[int, ...]] = None
+        for segment in self._segments:
+            if segment.measurement is not None:
+                qubits = segment.measurement.qubits or tuple(range(self.num_qubits))
+                measured = tuple(sorted(set(qubits) | set(measured or ())))
+        sampler = DDSampler(VectorDD(self.package, state, self.num_qubits))
+        samples = sampler.sample(shots, rng)
+        if measured is not None and len(measured) < self.num_qubits:
+            mask = 0
+            for qubit in measured:
+                mask |= 1 << qubit
+            samples = samples & mask
+        result = SampleResult.from_samples(
+            self.num_qubits, samples, method="shot-executor"
+        )
+        return result

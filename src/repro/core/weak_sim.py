@@ -1,0 +1,161 @@
+"""The weak-simulation front door.
+
+:func:`simulate_and_sample` wires the full pipeline of the paper's Fig. 2:
+strong simulation (dense or DD) followed by output sampling with the
+chosen back-end.  :func:`sample_statevector` and :func:`sample_dd` are the
+second stage alone, for callers that already hold a final state.
+
+Methods (``method=`` argument):
+
+========================  ====================================================
+``"dd"``                  DD path sampling, vectorised per level (default)
+``"dd-path"``             DD path sampling, one pure-Python walk per shot
+``"dd-multinomial"``      recursive binomial shot splitting on the DD
+``"dd-collapse"``         per-shot sequential measurement collapse
+``"vector"``              dense prefix sums + binary search (Section III)
+``"vector-linear"``       dense linear traversal per sample
+``"vector-ooc"``          prefix sampling over an on-disk probability file
+``"vector-alias"``        Walker's alias method (O(1) per sample)
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Union
+
+import numpy as np
+
+from ..circuit.circuit import QuantumCircuit
+from ..dd.normalization import NormalizationScheme
+from ..dd.vector_dd import VectorDD
+from ..exceptions import SamplingError
+from ..simulators.dd_simulator import DDSimulator
+from ..simulators.statevector import DEFAULT_MEMORY_CAP, StatevectorSimulator
+from .dd_sampler import DDSampler
+from .prefix_sampler import (
+    OutOfCorePrefixSampler,
+    PrefixSampler,
+    probabilities_from_statevector,
+)
+from .results import SampleResult
+
+__all__ = [
+    "VECTOR_METHODS",
+    "DD_METHODS",
+    "simulate_and_sample",
+    "sample_statevector",
+    "sample_dd",
+]
+
+VECTOR_METHODS = ("vector", "vector-linear", "vector-ooc", "vector-alias")
+DD_METHODS = ("dd", "dd-path", "dd-multinomial", "dd-collapse")
+
+
+def sample_statevector(
+    statevector: np.ndarray,
+    shots: int,
+    method: str = "vector",
+    seed: Union[int, np.random.Generator, None] = None,
+) -> SampleResult:
+    """Weak simulation from a dense final state (paper Section III)."""
+    if method not in VECTOR_METHODS:
+        raise SamplingError(f"unknown vector sampling method {method!r}")
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    start = time.perf_counter()
+    probabilities = probabilities_from_statevector(statevector)
+    if method == "vector-ooc":
+        sampler = OutOfCorePrefixSampler.from_probabilities(probabilities)
+        precompute = time.perf_counter() - start
+        try:
+            start = time.perf_counter()
+            samples = sampler.sample(shots, rng)
+            sampling = time.perf_counter() - start
+        finally:
+            sampler.close()
+        result = SampleResult.from_samples(sampler.num_qubits, samples, method=method)
+    elif method == "vector-alias":
+        from .alias_sampler import AliasSampler
+
+        sampler = AliasSampler(probabilities, is_statevector=False)
+        precompute = time.perf_counter() - start
+        start = time.perf_counter()
+        samples = sampler.sample(shots, rng)
+        sampling = time.perf_counter() - start
+        result = SampleResult.from_samples(sampler.num_qubits, samples, method=method)
+    else:
+        sampler = PrefixSampler(probabilities, is_statevector=False)
+        precompute = time.perf_counter() - start
+        start = time.perf_counter()
+        if method == "vector-linear":
+            samples = sampler.sample_linear(shots, rng)
+        else:
+            samples = sampler.sample(shots, rng)
+        sampling = time.perf_counter() - start
+        result = SampleResult.from_samples(sampler.num_qubits, samples, method=method)
+    result.precompute_seconds = precompute
+    result.sampling_seconds = sampling
+    return result
+
+
+def sample_dd(
+    state: VectorDD,
+    shots: int,
+    method: str = "dd",
+    seed: Union[int, np.random.Generator, None] = None,
+    trust_l2_normalization: bool = True,
+) -> SampleResult:
+    """Weak simulation from a DD final state (paper Section IV)."""
+    if method not in DD_METHODS:
+        raise SamplingError(f"unknown DD sampling method {method!r}")
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    start = time.perf_counter()
+    sampler = DDSampler(state, trust_l2_normalization=trust_l2_normalization)
+    if method != "dd-multinomial":
+        # Building the level tables is part of precompute for the
+        # vectorised sampler; harmless for the others.
+        if method == "dd":
+            sampler._build_tables()
+    precompute = time.perf_counter() - start
+    start = time.perf_counter()
+    if method == "dd":
+        samples = sampler.sample(shots, rng)
+        result = SampleResult.from_samples(state.num_qubits, samples, method=method)
+    elif method == "dd-path":
+        samples = sampler.sample_paths(shots, rng)
+        result = SampleResult.from_samples(state.num_qubits, samples, method=method)
+    elif method == "dd-multinomial":
+        counts = sampler.sample_counts_multinomial(shots, rng)
+        result = SampleResult(num_qubits=state.num_qubits, counts=counts, method=method)
+    else:
+        samples = sampler.sample_collapse(shots, rng)
+        result = SampleResult.from_samples(state.num_qubits, samples, method=method)
+    result.sampling_seconds = time.perf_counter() - start
+    result.precompute_seconds = precompute
+    return result
+
+
+def simulate_and_sample(
+    circuit: QuantumCircuit,
+    shots: int,
+    method: str = "dd",
+    seed: Union[int, np.random.Generator, None] = None,
+    initial_state: int = 0,
+    scheme: NormalizationScheme = NormalizationScheme.L2,
+    memory_cap_bytes: int = DEFAULT_MEMORY_CAP,
+) -> SampleResult:
+    """Full weak simulation: run ``circuit``, then draw ``shots`` samples.
+
+    Raises :class:`~repro.exceptions.MemoryOutError` for vector methods
+    whose dense state would exceed ``memory_cap_bytes`` — the "MO" rows
+    of the paper's Table I.
+    """
+    if method in VECTOR_METHODS:
+        simulator = StatevectorSimulator(memory_cap_bytes=memory_cap_bytes)
+        statevector = simulator.run(circuit, initial_state=initial_state)
+        return sample_statevector(statevector, shots, method=method, seed=seed)
+    if method in DD_METHODS:
+        dd_simulator = DDSimulator(scheme=scheme)
+        state = dd_simulator.run(circuit, initial_state=initial_state)
+        return sample_dd(state, shots, method=method, seed=seed)
+    raise SamplingError(f"unknown weak-simulation method {method!r}")

@@ -1,0 +1,155 @@
+"""Approximate decision diagrams: trading fidelity for size.
+
+The paper defines weak simulation as mimicking a quantum computer
+"possibly with some error".  This module implements the natural DD
+realisation of that allowance (the direction explored by the authors'
+follow-up work): prune the edges that carry the least probability mass,
+renormalise, and sample from the smaller diagram.
+
+The contribution of an edge is its total sampled mass
+``upstream(node) * |w|^2 * downstream(child)`` — the probability that a
+sample's path traverses it.  :func:`prune_low_contribution` removes the
+cheapest edges until the requested mass budget is reached; the fidelity
+of the approximated state is approximately ``1 - removed mass``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..exceptions import DDError
+from .measure import downstream_probabilities, upstream_probabilities
+from .node import Edge, Node, is_terminal
+from .package import DDPackage
+from .vector_dd import VectorDD
+
+__all__ = ["ApproximationResult", "edge_contributions", "prune_low_contribution"]
+
+
+@dataclass(frozen=True)
+class ApproximationResult:
+    """Outcome of an approximation pass."""
+
+    state: VectorDD
+    removed_mass: float
+    removed_edges: int
+    nodes_before: int
+    nodes_after: int
+
+    @property
+    def expected_fidelity(self) -> float:
+        """First-order fidelity estimate ``1 - removed mass``."""
+        return max(0.0, 1.0 - self.removed_mass)
+
+
+def edge_contributions(state: VectorDD) -> Dict[Tuple[int, int], float]:
+    """Probability mass flowing through each (node.index, bit) edge."""
+    edge = state.edge
+    if edge.is_zero or is_terminal(edge.node):
+        return {}
+    downstream = downstream_probabilities(edge)
+    upstream = upstream_probabilities(edge, downstream)
+    contributions: Dict[Tuple[int, int], float] = {}
+    seen = set()
+
+    def visit(node: Node) -> None:
+        if is_terminal(node) or node.index in seen:
+            return
+        seen.add(node.index)
+        u_node = upstream.get(node.index, 0.0)
+        d_node = downstream[node.index]
+        for bit, child in enumerate(node.edges):
+            if child.is_zero:
+                continue
+            d_child = (
+                1.0 if is_terminal(child.node) else downstream[child.node.index]
+            )
+            # Share of the node's own mass taken by this branch, times
+            # the probability of reaching the node at all.
+            branch = abs(child.weight) ** 2 * d_child
+            contributions[(node.index, bit)] = (
+                u_node * branch / d_node if d_node > 0 else 0.0
+            )
+            visit(child.node)
+
+    visit(edge.node)
+    return contributions
+
+
+def prune_low_contribution(
+    state: VectorDD,
+    budget: float,
+    package: Optional[DDPackage] = None,
+) -> ApproximationResult:
+    """Remove the least-contributing edges up to ``budget`` total mass.
+
+    ``budget`` is the maximum probability mass allowed to be discarded
+    (e.g. 0.01 keeps ~99% fidelity).  The pruned state is renormalised
+    to unit norm; sampling from it is weak simulation "with some error"
+    bounded by the removed mass (in total variation).
+    """
+    if not 0.0 <= budget < 1.0:
+        raise DDError("approximation budget must be in [0, 1)")
+    package = package or state.package
+    contributions = edge_contributions(state)
+    # Cheapest edges first; never remove an edge whose sibling is
+    # already gone (that would zero a whole node unexpectedly) — the
+    # rebuild handles node collapse naturally, but we simply skip edges
+    # whose removal would exceed the budget.
+    doomed: set = set()
+    removed_mass = 0.0
+    for (node_index, bit), mass in sorted(contributions.items(), key=lambda kv: kv[1]):
+        if mass <= 0.0:
+            doomed.add((node_index, bit))
+            continue
+        if removed_mass + mass > budget:
+            break
+        removed_mass += mass
+        doomed.add((node_index, bit))
+
+    nodes_before = state.node_count
+    if not doomed:
+        return ApproximationResult(
+            state=state,
+            removed_mass=0.0,
+            removed_edges=0,
+            nodes_before=nodes_before,
+            nodes_after=nodes_before,
+        )
+
+    memo: Dict[int, Edge] = {}
+
+    def rebuild(edge: Edge, from_node: Optional[int], bit: Optional[int]) -> Edge:
+        if edge.is_zero:
+            return package.zero_edge
+        if from_node is not None and (from_node, bit) in doomed:
+            return package.zero_edge
+        node = edge.node
+        if is_terminal(node):
+            return package.terminal_edge(edge.weight)
+        cached = memo.get(node.index)
+        if cached is None:
+            children = tuple(
+                rebuild(node.edges[b], node.index, b) for b in range(2)
+            )
+            cached = package.make_vector_node(node.var, children)
+            memo[node.index] = cached
+        return package.scale(cached, edge.weight)
+
+    pruned = rebuild(state.edge, None, None)
+    if pruned.is_zero:
+        raise DDError("approximation removed the entire state")
+    norm_sq = package.norm_squared(pruned)
+    if norm_sq <= 0.0:
+        raise DDError("pruned state has zero norm")
+    pruned = package.scale(pruned, 1.0 / math.sqrt(norm_sq))
+    approximated = VectorDD(package, pruned, state.num_qubits)
+    return ApproximationResult(
+        state=approximated,
+        removed_mass=removed_mass,
+        removed_edges=len(doomed),
+        nodes_before=nodes_before,
+        nodes_after=approximated.node_count,
+    )

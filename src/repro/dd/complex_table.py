@@ -1,0 +1,115 @@
+"""Canonical storage of complex edge weights.
+
+Decision diagrams only compact well when amplitudes that are *numerically*
+equal are recognised as *structurally* equal — for instance, the 48-qubit
+QFT state collapses to 48 nodes only if the many occurrences of 1/sqrt(2)
+produced along different arithmetic routes unify.  Following the approach
+of Zulehner, Hillmich, Wille ("How to efficiently handle complex values?",
+ICCAD 2019 — reference [24] of the paper), every weight is interned through
+a :class:`ComplexTable` that performs tolerance-based lookup: values within
+``tolerance`` of an existing entry are replaced by that entry.
+
+The table buckets values on a grid of side ``tolerance`` and checks the
+neighbouring buckets, so lookup is O(1) and two values within tolerance of
+each other land at most one bucket apart per axis.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Tuple
+
+__all__ = ["ComplexTable", "DEFAULT_TOLERANCE"]
+
+DEFAULT_TOLERANCE = 1e-10
+
+
+class ComplexTable:
+    """Interning table for complex numbers with tolerance-based lookup."""
+
+    def __init__(self, tolerance: float = DEFAULT_TOLERANCE):
+        if tolerance <= 0:
+            raise ValueError("tolerance must be positive")
+        self.tolerance = tolerance
+        self._buckets: Dict[Tuple[int, int], complex] = {}
+        self.hits = 0
+        self.misses = 0
+        # Seed the exact constants that appear in virtually every circuit,
+        # so they are always the canonical representatives.
+        for seed in (
+            0.0,
+            1.0,
+            -1.0,
+            1j,
+            -1j,
+            complex(math.sqrt(0.5), 0.0),
+            complex(-math.sqrt(0.5), 0.0),
+            complex(0.0, math.sqrt(0.5)),
+            complex(0.0, -math.sqrt(0.5)),
+            0.5 + 0.0j,
+            -0.5 + 0.0j,
+        ):
+            self.lookup(complex(seed))
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+    def _key(self, value: complex) -> Tuple[int, int]:
+        return (
+            int(math.floor(value.real / self.tolerance + 0.5)),
+            int(math.floor(value.imag / self.tolerance + 0.5)),
+        )
+
+    def lookup(self, value: complex) -> complex:
+        """Return the canonical representative for ``value``.
+
+        If an entry within ``tolerance`` (Chebyshev distance) exists, that
+        entry is returned; otherwise ``value`` becomes a new canonical
+        entry.  ``-0.0`` components are normalised to ``+0.0`` first so the
+        zero is unique.
+        """
+        value = complex(
+            value.real if value.real != 0.0 else 0.0,
+            value.imag if value.imag != 0.0 else 0.0,
+        )
+        key = self._key(value)
+        # Check the home bucket and its eight neighbours.
+        for dr in (0, -1, 1):
+            for di in (0, -1, 1):
+                candidate = self._buckets.get((key[0] + dr, key[1] + di))
+                if candidate is not None and self._close(candidate, value):
+                    self.hits += 1
+                    return candidate
+        self._buckets[key] = value
+        self.misses += 1
+        return value
+
+    def _close(self, a: complex, b: complex) -> bool:
+        return (
+            abs(a.real - b.real) <= self.tolerance
+            and abs(a.imag - b.imag) <= self.tolerance
+        )
+
+    def is_zero(self, value: complex) -> bool:
+        """Whether ``value`` canonicalises to zero."""
+        return abs(value.real) <= self.tolerance and abs(value.imag) <= self.tolerance
+
+    def is_one(self, value: complex) -> bool:
+        """Whether ``value`` canonicalises to one."""
+        return (
+            abs(value.real - 1.0) <= self.tolerance
+            and abs(value.imag) <= self.tolerance
+        )
+
+    def clear(self) -> None:
+        """Drop all entries (and re-seed the standard constants)."""
+        self._buckets.clear()
+        self.hits = 0
+        self.misses = 0
+        self.__init__(self.tolerance)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ComplexTable(entries={len(self)}, hits={self.hits}, "
+            f"misses={self.misses}, tol={self.tolerance:g})"
+        )

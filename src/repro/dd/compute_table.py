@@ -1,0 +1,54 @@
+"""Memoisation tables for recursive decision-diagram operations.
+
+Addition, multiplication, inner products, and gate construction are all
+recursive over node pairs; without memoisation their cost would be the
+number of *paths* instead of the number of *nodes*.  A compute table maps
+operation-specific keys to result edges.
+
+Keys embed node ``index`` values (stable unique identifiers) and canonical
+weights, so equal sub-problems collide reliably.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .node import Edge
+
+__all__ = ["ComputeTable"]
+
+
+class ComputeTable:
+    """A single operation's memo table with hit/miss statistics."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._table: Dict[tuple, Edge] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def lookup(self, key: tuple) -> Optional[Edge]:
+        result = self._table.get(key)
+        if result is not None:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return result
+
+    def insert(self, key: tuple, result: Edge) -> Edge:
+        self._table[key] = result
+        return result
+
+    def clear(self) -> None:
+        self._table.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ComputeTable({self.name!r}, entries={len(self)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,106 @@
+"""Graphviz DOT export of decision diagrams.
+
+Renders vector DDs in the style of the paper's Fig. 4: one box per node
+labelled with its qubit, solid edges for the 1-successor and dashed edges
+for the 0-successor, weights on edge labels.  Optionally annotates each
+edge with its branch probability (Fig. 4c).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .measure import downstream_probabilities
+from .node import Edge, Node, is_terminal
+
+__all__ = ["to_dot"]
+
+
+def _format_weight(weight: complex) -> str:
+    real, imag = weight.real, weight.imag
+    if abs(imag) < 1e-12:
+        return f"{real:.3g}"
+    if abs(real) < 1e-12:
+        return f"{imag:.3g}i"
+    sign = "+" if imag >= 0 else "-"
+    return f"{real:.3g}{sign}{abs(imag):.3g}i"
+
+
+def to_dot(
+    edge: Edge,
+    num_qubits: int,
+    show_probabilities: bool = False,
+    graph_name: str = "dd",
+) -> str:
+    """Serialise a vector DD as a Graphviz DOT document."""
+    lines = [
+        f"digraph {graph_name} {{",
+        "  rankdir=TB;",
+        '  root [shape=point, label=""];',
+        '  terminal [shape=box, label="1"];',
+    ]
+    probabilities: Optional[Dict[int, float]] = None
+    if show_probabilities:
+        probabilities = downstream_probabilities(edge)
+
+    def edge_label(parent: Optional[Node], child: Edge) -> str:
+        if probabilities is not None and parent is not None:
+            mass = (
+                1.0
+                if is_terminal(child.node)
+                else probabilities.get(child.node.index, 0.0)
+            )
+            siblings = 0.0
+            for sibling in parent.edges:
+                if sibling.is_zero:
+                    continue
+                sibling_mass = (
+                    1.0
+                    if is_terminal(sibling.node)
+                    else probabilities.get(sibling.node.index, 0.0)
+                )
+                siblings += abs(sibling.weight) ** 2 * sibling_mass
+            if siblings > 0:
+                branch = abs(child.weight) ** 2 * mass / siblings
+                return f"{branch:.4g}"
+        return _format_weight(child.weight)
+
+    emitted = set()
+
+    def visit(node: Node) -> None:
+        if is_terminal(node) or node.index in emitted:
+            return
+        emitted.add(node.index)
+        lines.append(f'  n{node.index} [shape=circle, label="q{node.var}"];')
+        for bit, child in enumerate(node.edges):
+            style = "dashed" if bit == 0 else "solid"
+            if child.is_zero:
+                lines.append(
+                    f'  z{node.index}_{bit} [shape=point, label="", width=0.05];'
+                )
+                lines.append(
+                    f'  n{node.index} -> z{node.index}_{bit} '
+                    f'[style={style}, label="0"];'
+                )
+                continue
+            target = (
+                "terminal" if is_terminal(child.node) else f"n{child.node.index}"
+            )
+            label = edge_label(node, child)
+            lines.append(
+                f'  n{node.index} -> {target} [style={style}, label="{label}"];'
+            )
+            visit(child.node)
+
+    if edge.is_zero:
+        lines.append('  root -> terminal [label="0"];')
+    elif is_terminal(edge.node):
+        lines.append(f'  root -> terminal [label="{_format_weight(edge.weight)}"];')
+    else:
+        lines.append(
+            f'  root -> n{edge.node.index} '
+            f'[label="{_format_weight(edge.weight)}"];'
+        )
+        visit(edge.node)
+    lines.append("}")
+    return "\n".join(lines) + "\n"

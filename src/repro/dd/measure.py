@@ -1,0 +1,237 @@
+"""Measurement on vector decision diagrams.
+
+Provides the *downstream probability* traversal of the paper (Section
+IV-B) — the sum of squared-magnitude path products from a node to the
+terminal — plus single-qubit outcome probabilities, projective collapse,
+and the naive per-shot collapse measurement used as a baseline sampler.
+
+Simulated measurement never mutates the input DD: collapse returns a new
+root edge (the paper notes that simulated measurement is read-only and
+repeatable, unlike physical measurement).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..exceptions import SamplingError
+from .node import Edge, Node, is_terminal
+from .package import DDPackage
+
+__all__ = [
+    "downstream_probabilities",
+    "upstream_probabilities",
+    "qubit_probability",
+    "collapse",
+    "measure_all_collapse",
+]
+
+
+def downstream_probabilities(edge: Edge) -> Dict[int, float]:
+    """Map ``node.index -> D(node)`` for all nodes reachable from ``edge``.
+
+    ``D(node)`` is the total probability mass of the sub-vector the node
+    represents, with the node's own incoming weight excluded:
+    ``D(terminal) = 1`` and
+    ``D(node) = |w0|^2 D(c0) + |w1|^2 D(c1)``.
+
+    Under the paper's L2 normalisation scheme every ``D`` equals 1; under
+    left-most normalisation the values carry the per-node correction the
+    sampler needs.  Computed iteratively (explicit stack) so deep DDs do
+    not hit the Python recursion limit.
+    """
+    table: Dict[int, float] = {}
+    if edge.is_zero or is_terminal(edge.node):
+        return table
+    stack: List[Node] = [edge.node]
+    while stack:
+        node = stack[-1]
+        if node.index in table:
+            stack.pop()
+            continue
+        pending = [
+            child.node
+            for child in node.edges
+            if not child.is_zero
+            and not is_terminal(child.node)
+            and child.node.index not in table
+        ]
+        if pending:
+            stack.extend(pending)
+            continue
+        stack.pop()
+        total = 0.0
+        for child in node.edges:
+            if child.is_zero:
+                continue
+            child_mass = 1.0 if is_terminal(child.node) else table[child.node.index]
+            total += abs(child.weight) ** 2 * child_mass
+        table[node.index] = total
+    return table
+
+
+def upstream_probabilities(
+    edge: Edge, downstream: Optional[Dict[int, float]] = None
+) -> Dict[int, float]:
+    """Map ``node.index -> U(node)``: probability that a sample's path
+    passes through the node.
+
+    ``U(root) = 1``; each node passes
+    ``U(node) * |w_b|^2 D(c_b) / D(node)`` to child ``b`` (the breadth-
+    first traversal of the paper's Section IV-B).  The product
+    ``U(node) * |w_b|^2 * D(c_b)`` is the probability of taking edge
+    ``b`` out of the node across all samples.
+    """
+    table: Dict[int, float] = {}
+    if edge.is_zero or is_terminal(edge.node):
+        return table
+    if downstream is None:
+        downstream = downstream_probabilities(edge)
+    table[edge.node.index] = 1.0
+    # Process nodes level by level (top-down), accumulating into children.
+    by_level: Dict[int, List[Node]] = {}
+    seen = set()
+
+    def collect(node: Node) -> None:
+        if is_terminal(node) or node.index in seen:
+            return
+        seen.add(node.index)
+        by_level.setdefault(node.var, []).append(node)
+        for child in node.edges:
+            collect(child.node)
+
+    collect(edge.node)
+    for var in sorted(by_level, reverse=True):
+        for node in by_level[var]:
+            u_node = table.get(node.index, 0.0)
+            d_node = downstream[node.index]
+            if d_node <= 0.0:
+                continue
+            for child in node.edges:
+                if child.is_zero or is_terminal(child.node):
+                    continue
+                d_child = downstream[child.node.index]
+                share = u_node * (abs(child.weight) ** 2) * d_child / d_node
+                table[child.node.index] = table.get(child.node.index, 0.0) + share
+    return table
+
+
+def qubit_probability(
+    edge: Edge,
+    qubit: int,
+    num_qubits: int,
+    downstream: Optional[Dict[int, float]] = None,
+) -> float:
+    """Probability that measuring ``qubit`` yields 1.
+
+    Assumes a normalised state (total mass 1 at the root); the result is
+    normalised by the root mass so slightly-unnormalised states behave.
+    """
+    if edge.is_zero:
+        raise SamplingError("cannot measure the zero vector")
+    if downstream is None:
+        downstream = downstream_probabilities(edge)
+    memo: Dict[int, float] = {}
+
+    def mass_one(node: Node) -> float:
+        """Probability mass (within this subtree) having ``qubit`` = 1."""
+        if is_terminal(node):
+            return 0.0
+        cached = memo.get(node.index)
+        if cached is not None:
+            return cached
+        if node.var == qubit:
+            child = node.edges[1]
+            if child.is_zero:
+                result = 0.0
+            else:
+                d_child = (
+                    1.0 if is_terminal(child.node) else downstream[child.node.index]
+                )
+                result = abs(child.weight) ** 2 * d_child
+        else:
+            result = 0.0
+            for child in node.edges:
+                if child.is_zero:
+                    continue
+                result += abs(child.weight) ** 2 * mass_one(child.node)
+        memo[node.index] = result
+        return result
+
+    root_mass = abs(edge.weight) ** 2 * downstream[edge.node.index]
+    if root_mass <= 0.0:
+        raise SamplingError("state has zero norm")
+    return abs(edge.weight) ** 2 * mass_one(edge.node) / root_mass
+
+
+def collapse(
+    package: DDPackage,
+    edge: Edge,
+    qubit: int,
+    outcome: int,
+    num_qubits: int,
+    probability: Optional[float] = None,
+) -> Edge:
+    """Project ``qubit`` onto ``outcome`` and renormalise.
+
+    Returns the post-measurement state as a new DD.  ``probability`` may
+    be supplied when already known (to skip recomputation).
+    """
+    if outcome not in (0, 1):
+        raise SamplingError(f"measurement outcome must be 0 or 1, got {outcome}")
+    if probability is None:
+        p_one = qubit_probability(edge, qubit, num_qubits)
+        probability = p_one if outcome == 1 else 1.0 - p_one
+    if probability <= 0.0:
+        raise SamplingError(
+            f"cannot collapse qubit {qubit} to impossible outcome {outcome}"
+        )
+    memo: Dict[int, Edge] = {}
+
+    def project(current: Edge, var: int) -> Edge:
+        if current.is_zero:
+            return current
+        node = current.node
+        cached = memo.get(node.index)
+        if cached is not None:
+            return package.scale(cached, current.weight)
+        if node.var == qubit:
+            children = [package.zero_edge, package.zero_edge]
+            children[outcome] = node.edges[outcome]
+            result = package.make_vector_node(var, tuple(children))
+        else:
+            children = tuple(project(child, var - 1) for child in node.edges)
+            result = package.make_vector_node(var, children)
+        memo[node.index] = result
+        return package.scale(result, current.weight)
+
+    projected = project(edge, edge.node.var)
+    if projected.is_zero:
+        raise SamplingError("projection produced the zero vector")
+    return package.scale(projected, 1.0 / np.sqrt(probability))
+
+
+def measure_all_collapse(
+    package: DDPackage,
+    edge: Edge,
+    num_qubits: int,
+    rng: np.random.Generator,
+) -> int:
+    """Draw one full-register sample by sequential collapse (baseline).
+
+    Measures qubits from the most significant down, collapsing after each
+    outcome — the textbook procedure a physical machine implements.  Much
+    slower than path sampling (each collapse rebuilds the DD) but useful
+    as an independent correctness oracle.
+    """
+    result = 0
+    state = edge
+    for qubit in range(num_qubits - 1, -1, -1):
+        p_one = qubit_probability(state, qubit, num_qubits)
+        outcome = 1 if rng.random() < p_one else 0
+        probability = p_one if outcome else 1.0 - p_one
+        state = collapse(package, state, qubit, outcome, num_qubits, probability)
+        result |= outcome << qubit
+    return result

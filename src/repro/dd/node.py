@@ -1,0 +1,81 @@
+"""Decision-diagram nodes and edges.
+
+A node splits a (sub-)vector or (sub-)matrix on one qubit ``var``.  Vector
+nodes have two outgoing edges (0-successor, 1-successor); matrix nodes have
+four, indexed ``2*row_bit + col_bit``.  Each edge carries a canonical
+complex weight; the amplitude of a basis state is the product of the
+weights along its root-to-terminal path (paper Section IV-A).
+
+Nonzero edges never skip levels: a nonzero edge from a node at level ``v``
+points to a node at level ``v - 1`` (or to the terminal when ``v == 0``).
+Zero edges point directly to the terminal with weight 0 ("zero stubs").
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Tuple
+
+__all__ = ["Node", "Edge", "TERMINAL", "is_terminal"]
+
+
+class Node:
+    """A hash-consed decision-diagram node.
+
+    Instances are only created by :class:`~repro.dd.unique_table.UniqueTable`
+    (via the DD package), which guarantees that structurally equal nodes are
+    the *same object*; identity comparison is therefore sufficient and
+    nodes carry a unique ``index`` usable as a dictionary key.
+    """
+
+    __slots__ = ("var", "edges", "index")
+
+    def __init__(self, var: int, edges: Tuple["Edge", ...], index: int):
+        self.var = var
+        self.edges = edges
+        self.index = index
+
+    @property
+    def is_vector_node(self) -> bool:
+        return len(self.edges) == 2
+
+    @property
+    def is_matrix_node(self) -> bool:
+        return len(self.edges) == 4
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.var < 0:
+            return "Terminal"
+        kind = "V" if self.is_vector_node else "M"
+        return f"{kind}Node(q{self.var}, #{self.index})"
+
+
+class Edge(NamedTuple):
+    """A weighted edge to a node.
+
+    ``weight`` is always a canonical complex from the package's
+    :class:`~repro.dd.complex_table.ComplexTable`.
+    """
+
+    node: Node
+    weight: complex
+
+    @property
+    def is_zero(self) -> bool:
+        """Whether this edge represents the zero vector/matrix."""
+        return self.weight == 0
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.node.var < 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Edge({self.node!r}, {self.weight:.4g})"
+
+
+#: The shared terminal node (level -1, no successors).
+TERMINAL = Node(var=-1, edges=(), index=0)
+
+
+def is_terminal(node: Node) -> bool:
+    """Whether ``node`` is the terminal."""
+    return node.var < 0

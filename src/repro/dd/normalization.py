@@ -1,0 +1,87 @@
+"""Edge-weight normalisation schemes for vector nodes.
+
+Canonicity of the DD requires a convention fixing how a node's outgoing
+weights are scaled (the residual factor moves to the incoming edge).  Two
+schemes are implemented:
+
+* :attr:`NormalizationScheme.LEFTMOST` — divide both weights by the first
+  nonzero weight (classic QMDD convention, Fig. 4b of the paper).  The
+  first nonzero outgoing weight of every node is exactly 1.
+
+* :attr:`NormalizationScheme.L2` — the paper's proposal (Section IV-C,
+  Fig. 4d): divide by the 2-norm of the weight pair so the squared
+  magnitudes of the outgoing weights sum to 1, matching quantum
+  measurement semantics — the probability of descending to the 0/1
+  successor while sampling is directly the squared magnitude of the
+  corresponding weight.  For canonicity the residual phase of the first
+  nonzero weight is also pulled out, making that weight real positive.
+
+Both functions return ``(normalised_weights, common_factor)`` such that
+``common_factor * normalised_weights == original weights``.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Sequence, Tuple
+
+__all__ = ["NormalizationScheme", "normalize_weights"]
+
+
+class NormalizationScheme(enum.Enum):
+    """Which edge-weight convention a DD package uses for vector nodes."""
+
+    LEFTMOST = "leftmost"
+    L2 = "l2"
+
+
+def _first_nonzero(weights: Sequence[complex], tolerance: float) -> int:
+    for position, weight in enumerate(weights):
+        if abs(weight) > tolerance:
+            return position
+    return -1
+
+
+def normalize_weights(
+    weights: Sequence[complex],
+    scheme: NormalizationScheme,
+    tolerance: float = 1e-12,
+) -> Tuple[Tuple[complex, ...], complex]:
+    """Normalise ``weights`` under ``scheme``.
+
+    Returns the normalised weights and the extracted common factor.  An
+    all-zero input yields the zero weights and factor 0.
+    """
+    pivot = _first_nonzero(weights, tolerance)
+    if pivot < 0:
+        return tuple(0j for _ in weights), 0j
+
+    if scheme is NormalizationScheme.LEFTMOST:
+        factor = weights[pivot]
+        normalised = tuple(
+            (w / factor if abs(w) > tolerance else 0j) for w in weights
+        )
+        # The pivot becomes exactly 1 by construction; enforce it to avoid
+        # round-off drift.
+        normalised = (
+            normalised[:pivot] + (1.0 + 0j,) + normalised[pivot + 1 :]
+        )
+        return normalised, factor
+
+    if scheme is NormalizationScheme.L2:
+        magnitude = math.sqrt(sum(abs(w) ** 2 for w in weights))
+        phase = weights[pivot] / abs(weights[pivot])
+        factor = magnitude * phase
+        normalised = tuple(
+            (w / factor if abs(w) > tolerance else 0j) for w in weights
+        )
+        # Pivot weight is |w_pivot| / magnitude, real positive by
+        # construction; strip numerical imaginary dust.
+        pivot_value = complex(abs(weights[pivot]) / magnitude, 0.0)
+        normalised = (
+            normalised[:pivot] + (pivot_value,) + normalised[pivot + 1 :]
+        )
+        return normalised, factor
+
+    raise ValueError(f"unknown normalization scheme {scheme!r}")

@@ -1,0 +1,181 @@
+"""Expectation values of Pauli observables on decision diagrams.
+
+⟨ψ|P|ψ⟩ for a Pauli string P is computed without densifying: apply P to
+the state (X/Y/Z are one traversal each) and take the DD inner product
+with the original — cost O(DD size) per term.  A weighted sum of Pauli
+strings (:class:`PauliObservable`) models Hamiltonians such as the
+jellium energy used in the example applications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Mapping, Tuple, Union
+
+from ..circuit import gates as g
+from ..circuit.operations import Operation
+from ..exceptions import DDError
+from .apply import GateApplier
+from .node import Edge
+from .vector_dd import VectorDD
+
+__all__ = [
+    "PauliString",
+    "PauliObservable",
+    "expectation_value",
+    "dense_expectation_value",
+]
+
+_PAULI_GATES = {
+    "X": g.x_gate,
+    "Y": g.y_gate,
+    "Z": g.z_gate,
+    "I": g.identity_gate,
+}
+
+
+@dataclass(frozen=True)
+class PauliString:
+    """A tensor product of Paulis, e.g. ``PauliString({0: "Z", 3: "X"})``.
+
+    Qubits not listed act as identity.
+    """
+
+    paulis: Tuple[Tuple[int, str], ...]
+
+    def __init__(self, paulis: Union[Mapping[int, str], str]):
+        if isinstance(paulis, str):
+            # "XZI" style, leftmost = most significant qubit.
+            width = len(paulis)
+            mapping = {
+                width - 1 - position: letter.upper()
+                for position, letter in enumerate(paulis)
+                if letter.upper() != "I"
+            }
+        else:
+            mapping = {int(q): p.upper() for q, p in paulis.items()}
+        for qubit, pauli in mapping.items():
+            if pauli not in ("X", "Y", "Z"):
+                raise DDError(f"unknown Pauli {pauli!r} on qubit {qubit}")
+            if qubit < 0:
+                raise DDError("negative qubit index in Pauli string")
+        object.__setattr__(
+            self, "paulis", tuple(sorted(mapping.items()))
+        )
+
+    @property
+    def max_qubit(self) -> int:
+        return self.paulis[-1][0] if self.paulis else 0
+
+    @property
+    def is_identity(self) -> bool:
+        return not self.paulis
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if not self.paulis:
+            return "I"
+        return "*".join(f"{p}{q}" for q, p in self.paulis)
+
+
+@dataclass(frozen=True)
+class PauliObservable:
+    """A real-weighted sum of Pauli strings (a Hermitian observable)."""
+
+    terms: Tuple[Tuple[float, PauliString], ...]
+
+    def __init__(self, terms: Iterable[Tuple[float, Union[PauliString, str, Mapping[int, str]]]]):
+        normalised: List[Tuple[float, PauliString]] = []
+        for coefficient, string in terms:
+            if not isinstance(string, PauliString):
+                string = PauliString(string)
+            normalised.append((float(coefficient), string))
+        object.__setattr__(self, "terms", tuple(normalised))
+
+    @property
+    def max_qubit(self) -> int:
+        return max((s.max_qubit for _, s in self.terms), default=0)
+
+
+def _apply_pauli_string(
+    applier: GateApplier, state: Edge, string: PauliString
+) -> Edge:
+    for qubit, pauli in string.paulis:
+        op = Operation(gate=_PAULI_GATES[pauli](), targets=(qubit,))
+        state = applier.apply(state, op)
+    return state
+
+
+def expectation_value(
+    state: VectorDD,
+    observable: Union[PauliObservable, PauliString, str, Mapping[int, str]],
+) -> float:
+    """⟨ψ|O|ψ⟩ for a Pauli string or weighted Pauli sum.
+
+    The state must be normalised; the result is real (the imaginary
+    residue of floating-point arithmetic is discarded after a sanity
+    bound check).
+    """
+    if isinstance(observable, (str, Mapping)):
+        observable = PauliString(observable)
+    if isinstance(observable, PauliString):
+        observable = PauliObservable([(1.0, observable)])
+    if observable.max_qubit >= state.num_qubits:
+        raise DDError(
+            f"observable touches qubit {observable.max_qubit} outside the "
+            f"{state.num_qubits}-qubit state"
+        )
+    package = state.package
+    applier = GateApplier(package, state.num_qubits)
+    total = 0j
+    for coefficient, string in observable.terms:
+        if string.is_identity:
+            total += coefficient * package.inner_product(state.edge, state.edge)
+            continue
+        transformed = _apply_pauli_string(applier, state.edge, string)
+        total += coefficient * package.inner_product(state.edge, transformed)
+    if abs(total.imag) > 1e-8:
+        raise DDError(
+            f"expectation value came out complex ({total}); "
+            "is the observable Hermitian and the state normalised?"
+        )
+    return float(total.real)
+
+
+def dense_expectation_value(
+    statevector,
+    observable: Union[PauliObservable, PauliString, str, Mapping[int, str]],
+) -> float:
+    """⟨ψ|O|ψ⟩ on a dense state vector (reference implementation).
+
+    Applies each Pauli by bit manipulation (X flips the axis, Z phases,
+    Y both) — used to cross-validate the DD path in the test suite and
+    available for callers holding dense states.
+    """
+    import numpy as np
+
+    vector = np.asarray(statevector, dtype=complex)
+    num_qubits = int(round(__import__("math").log2(vector.size)))
+    if isinstance(observable, (str, Mapping)):
+        observable = PauliString(observable)
+    if isinstance(observable, PauliString):
+        observable = PauliObservable([(1.0, observable)])
+    if observable.max_qubit >= num_qubits:
+        raise DDError("observable outside the register")
+    total = 0j
+    indices = np.arange(vector.size)
+    for coefficient, string in observable.terms:
+        transformed = vector
+        for qubit, pauli in string.paulis:
+            bit = (indices >> qubit) & 1
+            if pauli == "Z":
+                transformed = transformed * np.where(bit, -1.0, 1.0)
+            elif pauli == "X":
+                transformed = transformed[indices ^ (1 << qubit)]
+            else:  # Y = i X Z ... careful: Y|0> = i|1>, Y|1> = -i|0>
+                flipped = transformed[indices ^ (1 << qubit)]
+                # After flip, position with bit=1 received old bit=0 comp.
+                transformed = flipped * np.where(bit, 1j, -1j)
+        total += coefficient * np.vdot(vector, transformed)
+    if abs(total.imag) > 1e-8:
+        raise DDError(f"expectation value came out complex ({total})")
+    return float(total.real)

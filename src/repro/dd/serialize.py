@@ -1,0 +1,139 @@
+"""Serialisation of vector decision diagrams.
+
+A compiled final state is expensive (strong simulation) but its DD is
+tiny; saving it lets a sampling service draw bitstrings later — or on
+another machine — without re-simulating.  The format is a plain JSON
+document listing nodes bottom-up:
+
+.. code-block:: json
+
+    {"format": "repro-dd", "version": 1, "num_qubits": 3,
+     "scheme": "l2",
+     "root": {"node": 4, "weight": [0.0, -1.0]},
+     "nodes": [
+        {"id": 0, "var": 0,
+         "edges": [{"node": -1, "weight": [0.0, 0.0]},
+                   {"node": -1, "weight": [1.0, 0.0]}]},
+        ...]}
+
+``node: -1`` denotes the terminal.  Loading re-normalises through
+:meth:`DDPackage.make_vector_node`, so a file produced under one
+normalisation scheme loads correctly into a package using the other.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from typing import Dict, List, Optional
+
+from ..exceptions import DDError
+from .node import Edge, Node, is_terminal
+from .package import DDPackage
+from .vector_dd import VectorDD
+
+__all__ = ["state_to_dict", "state_from_dict", "save_state", "load_state"]
+
+_FORMAT = "repro-dd"
+_VERSION = 1
+
+
+def state_to_dict(state: VectorDD) -> dict:
+    """Serialise a :class:`VectorDD` into a JSON-compatible dict."""
+    order: List[Node] = []
+    seen = set()
+
+    def topo(node: Node) -> None:
+        if is_terminal(node) or node.index in seen:
+            return
+        seen.add(node.index)
+        for child in node.edges:
+            topo(child.node)
+        order.append(node)  # children first
+
+    ids: Dict[int, int] = {}
+    nodes_payload = []
+    if not state.edge.is_zero and not is_terminal(state.edge.node):
+        topo(state.edge.node)
+        for compact, node in enumerate(order):
+            ids[node.index] = compact
+        for node in order:
+            edges = []
+            for child in node.edges:
+                target = -1 if is_terminal(child.node) else ids[child.node.index]
+                edges.append(
+                    {
+                        "node": target,
+                        "weight": [child.weight.real, child.weight.imag],
+                    }
+                )
+            nodes_payload.append(
+                {"id": ids[node.index], "var": node.var, "edges": edges}
+            )
+    root_target = (
+        -1 if is_terminal(state.edge.node) else ids[state.edge.node.index]
+    )
+    return {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "num_qubits": state.num_qubits,
+        "scheme": state.package.scheme.value,
+        "root": {
+            "node": root_target,
+            "weight": [state.edge.weight.real, state.edge.weight.imag],
+        },
+        "nodes": nodes_payload,
+    }
+
+
+def state_from_dict(payload: dict, package: Optional[DDPackage] = None) -> VectorDD:
+    """Rebuild a :class:`VectorDD` from :func:`state_to_dict` output."""
+    if payload.get("format") != _FORMAT:
+        raise DDError("not a repro-dd document")
+    if payload.get("version") != _VERSION:
+        raise DDError(f"unsupported repro-dd version {payload.get('version')!r}")
+    if package is None:
+        package = DDPackage()
+    num_qubits = int(payload["num_qubits"])
+    rebuilt: Dict[int, Edge] = {}
+
+    def edge_of(entry: dict) -> Edge:
+        weight = complex(entry["weight"][0], entry["weight"][1])
+        if entry["node"] == -1:
+            if abs(weight) <= package.tolerance:
+                return package.zero_edge
+            return package.terminal_edge(weight)
+        child = rebuilt[entry["node"]]
+        return package.scale(child, weight)
+
+    for node_payload in payload["nodes"]:
+        edges = tuple(edge_of(e) for e in node_payload["edges"])
+        if len(edges) != 2:
+            raise DDError("vector DD nodes must have two successors")
+        rebuilt[node_payload["id"]] = package.make_vector_node(
+            int(node_payload["var"]), edges
+        )
+    root = edge_of(payload["root"])
+    return VectorDD(package, root, num_qubits)
+
+
+def save_state(state: VectorDD, path: str) -> None:
+    """Write a state to ``path`` (gzip-compressed when it ends in .gz)."""
+    payload = state_to_dict(state)
+    if path.endswith(".gz"):
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+    else:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+
+
+def load_state(path: str, package: Optional[DDPackage] = None) -> VectorDD:
+    """Read a state written by :func:`save_state`."""
+    if path.endswith(".gz"):
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    else:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    return state_from_dict(payload, package)

@@ -1,0 +1,85 @@
+"""Size and memory accounting for states and state vectors.
+
+Table I of the paper compares the *size* of the sampled representation:
+``2^n`` amplitudes for the vector-based method versus the DD node count
+for the DD-based method.  These helpers compute both, plus byte estimates
+used for memory-out (MO) detection.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .node import Edge
+from .package import DDPackage
+
+__all__ = [
+    "BYTES_PER_AMPLITUDE",
+    "BYTES_PER_NODE",
+    "vector_bytes",
+    "dd_bytes",
+    "size_log2",
+    "RepresentationSize",
+]
+
+#: complex128 amplitude.
+BYTES_PER_AMPLITUDE = 16
+
+#: Rough per-node footprint of this Python implementation: node object,
+#: two edge tuples, unique-table entry.  (The paper's C++ package uses
+#: ~60 B/node; the constant only matters for MO thresholds, which we key
+#: off the dense vector anyway.)
+BYTES_PER_NODE = 256
+
+
+def vector_bytes(num_qubits: int) -> int:
+    """Bytes needed for a dense complex128 state vector."""
+    return BYTES_PER_AMPLITUDE * (2**num_qubits)
+
+
+def dd_bytes(node_count: int) -> int:
+    """Estimated bytes for a DD with ``node_count`` nodes."""
+    return BYTES_PER_NODE * node_count
+
+
+def size_log2(size: int) -> float:
+    """``log2(size)`` as the paper's Table I reports DD sizes (≈ 2^x)."""
+    if size <= 0:
+        return float("-inf")
+    return math.log2(size)
+
+
+@dataclass(frozen=True)
+class RepresentationSize:
+    """Size of both representations of one final state."""
+
+    num_qubits: int
+    dd_nodes: int
+
+    @property
+    def vector_entries(self) -> int:
+        return 2**self.num_qubits
+
+    @property
+    def vector_size_bytes(self) -> int:
+        return vector_bytes(self.num_qubits)
+
+    @property
+    def dd_size_bytes(self) -> int:
+        return dd_bytes(self.dd_nodes)
+
+    @property
+    def dd_log2(self) -> float:
+        return size_log2(self.dd_nodes)
+
+    @property
+    def compression_ratio(self) -> float:
+        """Dense entries per DD node (≫ 1 when the DD wins)."""
+        if self.dd_nodes == 0:
+            return float("inf")
+        return self.vector_entries / self.dd_nodes
+
+    @classmethod
+    def of(cls, package: DDPackage, edge: Edge, num_qubits: int) -> "RepresentationSize":
+        return cls(num_qubits=num_qubits, dd_nodes=package.node_count(edge))

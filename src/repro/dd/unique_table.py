@@ -1,0 +1,66 @@
+"""Hash-consing of decision-diagram nodes.
+
+The unique table guarantees canonicity: for a given variable and tuple of
+(successor, weight) pairs there is exactly one :class:`Node` object.  This
+is what turns the recursive vector decomposition of the paper's Section
+IV-A into a DAG with shared sub-structures instead of a tree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .node import Edge, Node
+
+__all__ = ["UniqueTable"]
+
+
+class UniqueTable:
+    """Node store keyed by (var, successors-with-weights)."""
+
+    def __init__(self) -> None:
+        self._table: Dict[tuple, Node] = {}
+        self._next_index = 1  # index 0 is the terminal
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def get_node(self, var: int, edges: Tuple[Edge, ...]) -> Node:
+        """Return the canonical node for ``(var, edges)``.
+
+        ``edges`` must already be normalised (weights canonicalised, the
+        scheme-specific weight convention applied); the unique table only
+        deduplicates.
+        """
+        key = (var, len(edges)) + tuple(
+            item for edge in edges for item in (edge.node.index, edge.weight)
+        )
+        node = self._table.get(key)
+        if node is not None:
+            self.hits += 1
+            return node
+        self.misses += 1
+        node = Node(var=var, edges=edges, index=self._next_index)
+        self._next_index += 1
+        self._table[key] = node
+        return node
+
+    def clear(self) -> None:
+        """Drop all entries.
+
+        The index counter is *not* reset: node indexes are unique for the
+        package lifetime, so nodes created before a
+        :meth:`~repro.dd.package.DDPackage.compact` can safely coexist
+        with (and be keyed against) nodes created afterwards.
+        """
+        self._table.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"UniqueTable(nodes={len(self)}, hits={self.hits}, "
+            f"misses={self.misses})"
+        )

@@ -1,0 +1,168 @@
+"""High-level handle for a quantum state stored as a decision diagram.
+
+:class:`VectorDD` bundles a root edge with its package and register width
+and exposes the queries users need — amplitudes, probabilities, dense
+export, node counts, fidelity — without dealing in raw edges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import DDError
+from .measure import qubit_probability
+from .node import Edge, is_terminal
+from .package import DDPackage
+
+__all__ = ["VectorDD"]
+
+
+class VectorDD:
+    """An ``num_qubits``-qubit quantum state as an edge-weighted DD."""
+
+    def __init__(self, package: DDPackage, edge: Edge, num_qubits: int):
+        if num_qubits < 1:
+            raise DDError("a state needs at least one qubit")
+        if not edge.is_zero and not is_terminal(edge.node):
+            if edge.node.var != num_qubits - 1:
+                raise DDError(
+                    f"root at level {edge.node.var} does not match "
+                    f"{num_qubits} qubits"
+                )
+        self.package = package
+        self.edge = edge
+        self.num_qubits = num_qubits
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def zero_state(
+        cls, package: DDPackage, num_qubits: int
+    ) -> "VectorDD":
+        """|0...0⟩."""
+        return cls(package, package.basis_state(num_qubits, 0), num_qubits)
+
+    @classmethod
+    def basis_state(
+        cls, package: DDPackage, num_qubits: int, index: int
+    ) -> "VectorDD":
+        """|index⟩ with bit ``k`` of ``index`` the value of qubit ``k``."""
+        return cls(package, package.basis_state(num_qubits, index), num_qubits)
+
+    @classmethod
+    def from_statevector(
+        cls, package: DDPackage, vector
+    ) -> "VectorDD":
+        """Compress a dense state vector into a DD."""
+        array = np.asarray(vector, dtype=np.complex128)
+        num_qubits = int(round(np.log2(array.size)))
+        edge = package.from_statevector(array)
+        return cls(package, edge, num_qubits)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def amplitude(self, index: int) -> complex:
+        """Amplitude of basis state ``index``."""
+        if not 0 <= index < 2**self.num_qubits:
+            raise DDError(f"basis index {index} out of range")
+        return self.package.amplitude(self.edge, index, self.num_qubits)
+
+    def amplitude_of(self, bitstring: str) -> complex:
+        """Amplitude of a bitstring written ``q_{n-1} ... q_0``."""
+        if len(bitstring) != self.num_qubits:
+            raise DDError(
+                f"bitstring {bitstring!r} does not have {self.num_qubits} bits"
+            )
+        return self.amplitude(int(bitstring, 2))
+
+    def probability(self, index: int) -> float:
+        """Measurement probability of basis state ``index``."""
+        return float(abs(self.amplitude(index)) ** 2)
+
+    def to_statevector(self) -> np.ndarray:
+        """Dense export (2^n entries — use only at verification sizes)."""
+        return self.package.to_statevector(self.edge, self.num_qubits)
+
+    def probabilities(self) -> np.ndarray:
+        """Dense probability vector (2^n entries)."""
+        vector = self.to_statevector()
+        return (vector.conj() * vector).real
+
+    @property
+    def node_count(self) -> int:
+        """DD size — the quantity in the paper's Table I ("size" column)."""
+        return self.package.node_count(self.edge)
+
+    def nodes_per_level(self) -> Dict[int, int]:
+        return self.package.nodes_per_level(self.edge)
+
+    def norm_squared(self) -> float:
+        return self.package.norm_squared(self.edge)
+
+    def fidelity(self, other: "VectorDD") -> float:
+        if other.num_qubits != self.num_qubits:
+            raise DDError("fidelity of states with different register sizes")
+        return self.package.fidelity(self.edge, other.edge)
+
+    def qubit_probability(self, qubit: int) -> float:
+        """Probability of measuring ``qubit`` as 1."""
+        if not 0 <= qubit < self.num_qubits:
+            raise DDError(f"qubit {qubit} out of range")
+        return qubit_probability(self.edge, qubit, self.num_qubits)
+
+    # ------------------------------------------------------------------
+    # Path iteration
+    # ------------------------------------------------------------------
+
+    def nonzero_paths(self, limit: Optional[int] = None) -> Iterator[Tuple[int, complex]]:
+        """Yield ``(basis_index, amplitude)`` for nonzero amplitudes.
+
+        The number of paths can be exponential; pass ``limit`` to stop
+        early.  Paths are yielded in increasing basis-index order.
+        """
+        if self.edge.is_zero:
+            return
+        count = 0
+
+        def walk(edge: Edge, var: int, prefix: int, weight: complex):
+            nonlocal count
+            if limit is not None and count >= limit:
+                return
+            if edge.is_zero:
+                return
+            weight = weight * edge.weight
+            if is_terminal(edge.node):
+                yield (prefix, weight)
+                count += 1
+                return
+            node = edge.node
+            for bit in range(2):
+                yield from walk(
+                    node.edges[bit], var - 1, prefix | (bit << node.var), weight
+                )
+
+        yield from walk(self.edge, self.num_qubits - 1, 0, 1.0 + 0j)
+
+    def support_size(self) -> int:
+        """Number of basis states with nonzero amplitude.
+
+        Exact and O(DD size) — counts paths by dynamic programming, so a
+        2^48-support state answers instantly.
+        """
+        return self.package.count_nonzero_paths(self.edge)
+
+    def format_bitstring(self, index: int) -> str:
+        """Render a basis index as ``q_{n-1} ... q_0``."""
+        return format(index, f"0{self.num_qubits}b")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"VectorDD(qubits={self.num_qubits}, nodes={self.node_count}, "
+            f"scheme={self.package.scheme.value})"
+        )

@@ -1,0 +1,31 @@
+"""Evaluation harness: benchmark catalog, Table-I and figure regeneration."""
+
+from .catalog import PAPER_TABLE, BenchmarkSpec, PaperRow, build_state, by_name, catalog
+from .figures import figure2_data, figure3_data, figure4_data, render_figures
+from .memory import MemoryPolicy, format_bytes
+from .report import format_table1, format_table1_markdown
+from .shape_checks import ShapeCheck, render_shape_report, run_shape_checks
+from .table1 import Table1Row, run_row, run_table1
+
+__all__ = [
+    "catalog",
+    "by_name",
+    "build_state",
+    "BenchmarkSpec",
+    "PaperRow",
+    "PAPER_TABLE",
+    "MemoryPolicy",
+    "format_bytes",
+    "run_table1",
+    "run_row",
+    "Table1Row",
+    "format_table1",
+    "format_table1_markdown",
+    "figure2_data",
+    "figure3_data",
+    "figure4_data",
+    "render_figures",
+    "ShapeCheck",
+    "run_shape_checks",
+    "render_shape_report",
+]

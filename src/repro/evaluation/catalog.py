@@ -1,0 +1,250 @@
+"""Benchmark catalog mirroring Table I of the paper.
+
+Every entry knows how to produce its final quantum state (circuit + DD
+simulation, or — for the paper-scale Shor instances — the emulated final
+state compressed into a DD) and carries the numbers the paper reports so
+the harness can print paper-vs-measured comparisons.
+
+Tiers (this implementation is pure Python; see DESIGN.md substitutions):
+
+* ``quick`` — scaled instances of every family, sized for seconds-to-
+  minutes total runtime.  This is the default for tests and benches.
+* ``full`` — the heavier instances that still complete in pure Python
+  (tens of minutes in aggregate).
+* ``paper`` — the exact Table-I instances.  All are *constructible*;
+  the largest (supremacy_5x5_10) needs hours and several GiB in pure
+  Python, which is why they are opt-in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..algorithms.grover import grover
+from ..algorithms.jellium import jellium
+from ..algorithms.qft import qft
+from ..algorithms.shor import shor_final_state
+from ..algorithms.supremacy import supremacy
+from ..dd.normalization import NormalizationScheme
+from ..dd.package import DDPackage
+from ..dd.vector_dd import VectorDD
+from ..simulators.dd_simulator import DDSimulator
+
+__all__ = ["BenchmarkSpec", "PaperRow", "PAPER_TABLE", "catalog", "build_state"]
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """One row of the paper's Table I (reference values)."""
+
+    name: str
+    qubits: int
+    vector_time_s: Optional[float]  # None == MO
+    dd_nodes: int
+    dd_time_s: float
+
+    @property
+    def vector_mo(self) -> bool:
+        return self.vector_time_s is None
+
+
+#: The paper's Table I, verbatim.
+PAPER_TABLE: Tuple[PaperRow, ...] = (
+    PaperRow("qft_16", 16, 0.12, 16, 0.22),
+    PaperRow("qft_32", 32, None, 32, 0.43),
+    PaperRow("qft_48", 48, None, 48, 0.63),
+    PaperRow("grover_20", 21, 0.70, 40, 0.23),
+    PaperRow("grover_25", 26, 17.91, 50, 0.27),
+    PaperRow("grover_30", 31, 993.99, 60, 0.29),
+    PaperRow("grover_35", 36, None, 70, 0.43),
+    PaperRow("shor_33_2", 18, 0.15, 48_793, 0.20),
+    PaperRow("shor_55_2", 18, 0.16, 93_478, 0.21),
+    PaperRow("shor_69_4", 21, 0.62, 196_382, 0.26),
+    PaperRow("shor_221_4", 24, 3.72, 1_048_574, 0.27),
+    PaperRow("shor_247_4", 24, 3.81, 1_376_221, 0.31),
+    PaperRow("jellium_2x2", 8, 0.04, 117, 0.09),
+    PaperRow("jellium_3x3", 18, 0.17, 59_475, 0.22),
+    PaperRow("supremacy_4x4_10", 16, 0.11, 65_070, 0.39),
+    PaperRow("supremacy_5x4_10", 20, 0.66, 486_503, 0.82),
+    PaperRow("supremacy_5x5_10", 25, 12.04, 16_779_617, 4.28),
+)
+
+_PAPER_BY_NAME: Dict[str, PaperRow] = {row.name: row for row in PAPER_TABLE}
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """A runnable benchmark instance."""
+
+    name: str
+    family: str
+    num_qubits: int
+    tier: str  # "quick" | "full" | "paper"
+    builder: Callable[[], object] = field(repr=False)
+    #: "circuit" builders return a QuantumCircuit to simulate; "state"
+    #: builders return a dense statevector (emulated Shor); "iterated"
+    #: builders return (init, iteration, repetitions) simulated via
+    #: :meth:`~repro.simulators.DDSimulator.run_iterated` (Grover).
+    kind: str = "circuit"
+    paper_row: Optional[str] = None  # Table-I row this instance scales
+
+    @property
+    def paper(self) -> Optional[PaperRow]:
+        if self.paper_row is None:
+            return None
+        return _PAPER_BY_NAME[self.paper_row]
+
+
+def _spec(name, family, qubits, tier, builder, kind="circuit", paper_row=None):
+    return BenchmarkSpec(
+        name=name,
+        family=family,
+        num_qubits=qubits,
+        tier=tier,
+        builder=builder,
+        kind=kind,
+        paper_row=paper_row,
+    )
+
+
+def _shor_builder(modulus: int, base: int):
+    def build():
+        statevector, _, _ = shor_final_state(modulus, base)
+        return statevector
+
+    return build
+
+
+def _grover_builder(num_data_qubits: int, seed: int):
+    def build():
+        instance = grover(num_data_qubits, seed=seed)
+        return (
+            instance.init_circuit(),
+            instance.iteration_circuit(),
+            instance.iterations,
+        )
+
+    return build
+
+
+def _all_specs() -> List[BenchmarkSpec]:
+    specs: List[BenchmarkSpec] = []
+    # ---- QFT: trivial at every scale (product intermediate states). ----
+    specs.append(_spec("qft_16", "qft", 16, "quick", lambda: qft(16), paper_row="qft_16"))
+    specs.append(_spec("qft_32", "qft", 32, "quick", lambda: qft(32), paper_row="qft_32"))
+    specs.append(_spec("qft_48", "qft", 48, "quick", lambda: qft(48), paper_row="qft_48"))
+    # ---- Grover: iterations grow as sqrt(2^n); scaled sizes for Python.
+    specs.append(
+        _spec("grover_10", "grover", 11, "quick", _grover_builder(10, 10),
+              kind="iterated", paper_row="grover_20")
+    )
+    specs.append(
+        _spec("grover_14", "grover", 15, "quick", _grover_builder(14, 14),
+              kind="iterated", paper_row="grover_25")
+    )
+    specs.append(
+        _spec("grover_16", "grover", 17, "full", _grover_builder(16, 16),
+              kind="iterated", paper_row="grover_30")
+    )
+    specs.append(
+        _spec("grover_18", "grover", 19, "full", _grover_builder(18, 18),
+              kind="iterated", paper_row="grover_35")
+    )
+    specs.append(
+        _spec("grover_20", "grover", 21, "paper", _grover_builder(20, 20),
+              kind="iterated", paper_row="grover_20")
+    )
+    # ---- Shor (emulated final state; qubit counts match Table I). ----
+    specs.append(
+        _spec("shor_33_2", "shor", 18, "quick", _shor_builder(33, 2), kind="state",
+              paper_row="shor_33_2")
+    )
+    specs.append(
+        _spec("shor_55_2", "shor", 18, "quick", _shor_builder(55, 2), kind="state",
+              paper_row="shor_55_2")
+    )
+    specs.append(
+        _spec("shor_69_4", "shor", 21, "full", _shor_builder(69, 4), kind="state",
+              paper_row="shor_69_4")
+    )
+    specs.append(
+        _spec("shor_221_4", "shor", 24, "paper", _shor_builder(221, 4), kind="state",
+              paper_row="shor_221_4")
+    )
+    specs.append(
+        _spec("shor_247_4", "shor", 24, "paper", _shor_builder(247, 4), kind="state",
+              paper_row="shor_247_4")
+    )
+    # ---- Jellium. ----
+    specs.append(
+        _spec("jellium_2x2", "jellium", 8, "quick", lambda: jellium(2),
+              paper_row="jellium_2x2")
+    )
+    specs.append(
+        _spec("jellium_3x3", "jellium", 18, "full", lambda: jellium(3),
+              paper_row="jellium_3x3")
+    )
+    # ---- Supremacy. ----
+    specs.append(
+        _spec("supremacy_4x4_5", "supremacy", 16, "quick",
+              lambda: supremacy(4, 4, 5, seed=0), paper_row="supremacy_4x4_10")
+    )
+    specs.append(
+        _spec("supremacy_4x4_10", "supremacy", 16, "full",
+              lambda: supremacy(4, 4, 10, seed=0), paper_row="supremacy_4x4_10")
+    )
+    specs.append(
+        _spec("supremacy_5x4_10", "supremacy", 20, "paper",
+              lambda: supremacy(5, 4, 10, seed=0), paper_row="supremacy_5x4_10")
+    )
+    specs.append(
+        _spec("supremacy_5x5_10", "supremacy", 25, "paper",
+              lambda: supremacy(5, 5, 10, seed=0), paper_row="supremacy_5x5_10")
+    )
+    return specs
+
+
+_TIER_ORDER = {"quick": 0, "full": 1, "paper": 2}
+
+
+def catalog(tier: str = "quick", families: Optional[List[str]] = None) -> List[BenchmarkSpec]:
+    """Benchmark specs up to and including ``tier``.
+
+    ``tier="full"`` includes quick+full; ``tier="paper"`` includes all.
+    Optionally filter to specific ``families``.
+    """
+    if tier not in _TIER_ORDER:
+        raise ValueError(f"unknown tier {tier!r}; pick quick, full, or paper")
+    limit = _TIER_ORDER[tier]
+    specs = [s for s in _all_specs() if _TIER_ORDER[s.tier] <= limit]
+    if families is not None:
+        wanted = set(families)
+        specs = [s for s in specs if s.family in wanted]
+    return specs
+
+
+def by_name(name: str) -> BenchmarkSpec:
+    """Look up one benchmark spec by name."""
+    for spec in _all_specs():
+        if spec.name == name:
+            return spec
+    raise KeyError(f"unknown benchmark {name!r}")
+
+
+def build_state(
+    spec: BenchmarkSpec,
+    package: Optional[DDPackage] = None,
+    scheme: NormalizationScheme = NormalizationScheme.L2,
+) -> VectorDD:
+    """Produce the final state of ``spec`` as a decision diagram."""
+    if package is None:
+        package = DDPackage(scheme=scheme)
+    built = spec.builder()
+    if spec.kind == "state":
+        return VectorDD.from_statevector(package, built)
+    simulator = DDSimulator(package=package)
+    if spec.kind == "iterated":
+        init, iteration, repetitions = built
+        return simulator.run_iterated(init, iteration, repetitions)
+    return simulator.run(built)

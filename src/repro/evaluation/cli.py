@@ -1,0 +1,136 @@
+"""Command-line entry point: ``repro-eval`` / ``python -m repro.evaluation``.
+
+Subcommands:
+
+* ``table1`` — regenerate the paper's Table I on a chosen tier,
+* ``figures`` — regenerate the running-example figures (Figs. 2-4),
+* ``list`` — list the benchmark catalog.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .catalog import catalog
+from .figures import render_figures
+from .memory import MemoryPolicy, format_bytes
+from .report import format_table1
+from .table1 import run_table1
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-eval",
+        description="Regenerate the evaluation of 'Just Like the Real Thing: "
+        "Fast Weak Simulation of Quantum Computation' (DAC 2020).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    table = sub.add_parser("table1", help="regenerate Table I")
+    table.add_argument(
+        "--tier",
+        choices=("quick", "full", "paper"),
+        default="quick",
+        help="benchmark scale (quick: seconds; full: minutes; paper: hours)",
+    )
+    table.add_argument("--shots", type=int, default=100_000, help="samples per row")
+    table.add_argument(
+        "--family",
+        action="append",
+        dest="families",
+        help="restrict to a family (repeatable): qft, grover, shor, jellium, supremacy",
+    )
+    table.add_argument(
+        "--memory-cap-gib",
+        type=float,
+        default=4.0,
+        help="memory cap for the vector-based method (MO beyond this)",
+    )
+    table.add_argument("--seed", type=int, default=0)
+    table.add_argument(
+        "--verify-agreement",
+        action="store_true",
+        help="two-sample chi-square test between the two samplers per row",
+    )
+    table.add_argument(
+        "--markdown",
+        action="store_true",
+        help="emit the table as markdown (for EXPERIMENTS.md)",
+    )
+    table.add_argument(
+        "--output",
+        help="also write the report to this file",
+    )
+
+    sub.add_parser("figures", help="regenerate the running-example figures")
+
+    sub.add_parser(
+        "shapes", help="check the paper's qualitative claims programmatically"
+    )
+
+    listing = sub.add_parser("list", help="list the benchmark catalog")
+    listing.add_argument("--tier", choices=("quick", "full", "paper"), default="paper")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "figures":
+        print(render_figures())
+        return 0
+    if args.command == "shapes":
+        from .shape_checks import render_shape_report, run_shape_checks
+
+        checks = run_shape_checks()
+        print(render_shape_report(checks))
+        return 0 if all(c.passed for c in checks) else 1
+    if args.command == "list":
+        print(f"{'name':<20} {'family':<10} {'qubits':>6} {'tier':<6}")
+        for spec in catalog(tier=args.tier):
+            print(f"{spec.name:<20} {spec.family:<10} {spec.num_qubits:>6} {spec.tier:<6}")
+        return 0
+    # table1
+    policy = MemoryPolicy(cap_bytes=int(args.memory_cap_gib * 1024**3))
+    print(
+        f"Regenerating Table I (tier={args.tier}, shots={args.shots}, "
+        f"{policy.describe()})"
+    )
+    rows = run_table1(
+        tier=args.tier,
+        shots=args.shots,
+        policy=policy,
+        seed=args.seed,
+        families=args.families,
+        verify_agreement=args.verify_agreement,
+    )
+    if args.markdown:
+        from .report import format_table1_markdown
+
+        report = format_table1_markdown(rows)
+    else:
+        report = format_table1(rows, shots=args.shots)
+    print(report)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+    if args.verify_agreement:
+        print()
+        for row in rows:
+            if row.agreement_p_value is not None:
+                verdict = "ok" if row.agreement_p_value > 1e-3 else "FAIL"
+                print(
+                    f"  {row.name}: samplers agree (chi-square p = "
+                    f"{row.agreement_p_value:.3f}) [{verdict}]"
+                )
+    mo_ok = all(row.mo_matches_paper for row in rows if row.paper_dd_nodes)
+    print()
+    print(f"MO pattern matches the paper's rows: {mo_ok}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,193 @@
+"""Regeneration of the paper's worked figures (Figs. 2, 3, 4).
+
+The paper's only quantitative artefacts besides Table I are the running
+example's numbers, which are exact and therefore *checkable*:
+
+* **Fig. 2** — the amplitudes/probabilities of the 3-qubit running
+  example and the sample drawn at p̂ = 1/2,
+* **Fig. 3** — the prefix array [0, 3/8, 3/8, 6/8, 7/8, 7/8, 7/8, 1] and
+  the binary-search result |011⟩ for p̂ = 1/2,
+* **Fig. 4b** — the left-most-normalised DD with root weight −0.612i and
+  q2-node weights (1, 0.578i),
+* **Fig. 4c** — branch probabilities (3/4, 1/4) at the root and
+  (1/2, 1/2) below,
+* **Fig. 4d** — the L2-normalised DD whose outgoing squared magnitudes
+  sum to 1 at every node.
+
+Each function returns plain data structures; ``render_figures`` prints a
+human-readable report.  The same values are asserted by
+``tests/test_figures.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..algorithms.states import (
+    RUNNING_EXAMPLE_PROBABILITIES,
+    running_example_circuit,
+    running_example_statevector,
+)
+from ..core.dd_sampler import DDSampler
+from ..core.prefix_sampler import PrefixSampler
+from ..dd.normalization import NormalizationScheme
+from ..dd.package import DDPackage
+from ..simulators.dd_simulator import DDSimulator
+
+__all__ = [
+    "figure2_data",
+    "figure3_data",
+    "figure4_data",
+    "render_figures",
+]
+
+
+@dataclass(frozen=True)
+class Figure2Data:
+    amplitudes: Tuple[complex, ...]
+    probabilities: Tuple[float, ...]
+    sample_at_half: str  # the measurement outcome for p-hat = 1/2
+
+
+def figure2_data() -> Figure2Data:
+    """Amplitudes, probabilities, and the p̂ = 1/2 sample (Fig. 2)."""
+    state = DDSimulator().run(running_example_circuit())
+    amplitudes = tuple(state.to_statevector())
+    probabilities = tuple(float(abs(a) ** 2) for a in amplitudes)
+    sampler = PrefixSampler(np.asarray(probabilities), is_statevector=False)
+    index = int(np.searchsorted(sampler.prefix, 0.5, side="right"))
+    return Figure2Data(
+        amplitudes=amplitudes,
+        probabilities=probabilities,
+        sample_at_half=format(index, "03b"),
+    )
+
+
+@dataclass(frozen=True)
+class Figure3Data:
+    probabilities: Tuple[float, ...]
+    prefix: Tuple[float, ...]
+    probe: float
+    result_index: int
+    result_bitstring: str
+
+
+def figure3_data(probe: float = 0.5) -> Figure3Data:
+    """The prefix array and binary-search sample of Fig. 3."""
+    sampler = PrefixSampler(
+        np.asarray(RUNNING_EXAMPLE_PROBABILITIES), is_statevector=False
+    )
+    index = int(np.searchsorted(sampler.prefix, probe, side="right"))
+    return Figure3Data(
+        probabilities=tuple(sampler.probabilities),
+        prefix=tuple(sampler.prefix),
+        probe=probe,
+        result_index=index,
+        result_bitstring=format(index, "03b"),
+    )
+
+
+@dataclass(frozen=True)
+class Figure4Data:
+    leftmost_root_weight: complex  # Fig. 4b: −0.612i
+    leftmost_q2_weights: Tuple[complex, complex]  # Fig. 4b: (1, 0.578i)
+    branch_probabilities: Dict[str, Tuple[float, float]]  # Fig. 4c
+    l2_weight_magnitudes: Dict[str, Tuple[float, float]]  # Fig. 4d
+    l2_node_count: int
+    leftmost_node_count: int
+
+
+def figure4_data() -> Figure4Data:
+    """The decision diagrams of Fig. 4 under both normalisation schemes."""
+    statevector = running_example_statevector()
+
+    # Fig. 4b: left-most normalisation.
+    left_package = DDPackage(scheme=NormalizationScheme.LEFTMOST)
+    left_state = left_package.from_statevector(statevector)
+    root = left_state.node
+    leftmost_q2 = (root.edges[0].weight, root.edges[1].weight)
+
+    # Fig. 4c: branch probabilities on the same DD.
+    from ..dd.vector_dd import VectorDD
+
+    sampler = DDSampler(
+        VectorDD(left_package, left_state, 3), trust_l2_normalization=False
+    )
+    branch: Dict[str, Tuple[float, float]] = {}
+    branch["q2"] = sampler.branch_probabilities(root)
+    for bit, label in ((0, "q1_left"), (1, "q1_right")):
+        child = root.edges[bit].node
+        branch[label] = sampler.branch_probabilities(child)
+
+    # Fig. 4d: the paper's L2 scheme.
+    l2_package = DDPackage(scheme=NormalizationScheme.L2)
+    l2_state = l2_package.from_statevector(statevector)
+    l2_root = l2_state.node
+    magnitudes: Dict[str, Tuple[float, float]] = {
+        "q2": (abs(l2_root.edges[0].weight), abs(l2_root.edges[1].weight))
+    }
+    for bit, label in ((0, "q1_left"), (1, "q1_right")):
+        child = l2_root.edges[bit].node
+        magnitudes[label] = (
+            abs(child.edges[0].weight),
+            abs(child.edges[1].weight),
+        )
+
+    return Figure4Data(
+        leftmost_root_weight=left_state.weight,
+        leftmost_q2_weights=leftmost_q2,
+        branch_probabilities=branch,
+        l2_weight_magnitudes=magnitudes,
+        l2_node_count=l2_package.node_count(l2_state),
+        leftmost_node_count=left_package.node_count(left_state),
+    )
+
+
+def render_figures() -> str:
+    """Human-readable report of Figs. 2-4, paper values alongside."""
+    lines: List[str] = []
+    fig2 = figure2_data()
+    lines.append("Figure 2 — running example")
+    lines.append("  amplitudes (paper: 0, -0.612i, 0, -0.612i, 0.354, 0, 0, 0.354):")
+    lines.append(
+        "    " + ", ".join(f"{a.real:+.3f}{a.imag:+.3f}i" for a in fig2.amplitudes)
+    )
+    lines.append("  probabilities (paper: 0, 3/8, 0, 3/8, 1/8, 0, 0, 1/8):")
+    lines.append("    " + ", ".join(f"{p:.4f}" for p in fig2.probabilities))
+    lines.append(f"  sample at p-hat = 1/2 (paper: |011>): |{fig2.sample_at_half}>")
+
+    fig3 = figure3_data()
+    lines.append("")
+    lines.append("Figure 3 — prefix array and binary search")
+    lines.append(
+        "  prefix (paper: 0, 3/8, 3/8, 6/8, 7/8, 7/8, 7/8, 1): "
+        + ", ".join(f"{r:.4f}" for r in fig3.prefix)
+    )
+    lines.append(
+        f"  binary search for {fig3.probe} -> index {fig3.result_index} "
+        f"= |{fig3.result_bitstring}> (paper: |011>)"
+    )
+
+    fig4 = figure4_data()
+    lines.append("")
+    lines.append("Figure 4 — decision diagrams")
+    lines.append(
+        f"  4b root weight (paper: -0.612i): "
+        f"{fig4.leftmost_root_weight:.4f}; q2 weights (paper: 1, 0.578i): "
+        + ", ".join(f"{w:.4f}" for w in fig4.leftmost_q2_weights)
+    )
+    p0, p1 = fig4.branch_probabilities["q2"]
+    lines.append(f"  4c root branch probabilities (paper: 3/4, 1/4): {p0:.4f}, {p1:.4f}")
+    mags = fig4.l2_weight_magnitudes["q2"]
+    lines.append(
+        f"  4d root |weights| (paper: sqrt(3)/2, 1/2): {mags[0]:.4f}, {mags[1]:.4f}"
+    )
+    lines.append(
+        f"  node counts: leftmost={fig4.leftmost_node_count}, "
+        f"l2={fig4.l2_node_count} (the paper draws 6 nodes; two of its "
+        "q0 nodes are identical and share in the canonical DD)"
+    )
+    return "\n".join(lines)

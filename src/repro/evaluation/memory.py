@@ -1,0 +1,49 @@
+"""Memory accounting and MO (memory-out) policy for the evaluation.
+
+The paper's Table I reports "MO" where the dense vector-based method
+exceeded 32 GiB RAM + 32 GiB swap.  This harness applies a configurable
+byte cap to the dense representation: rows whose state vector would not
+fit are reported as MO without attempting the allocation — the decision
+is analytic (``16 * 2^n`` bytes), exactly like the real failure mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dd.stats import dd_bytes, vector_bytes
+from ..simulators.statevector import DEFAULT_MEMORY_CAP
+
+__all__ = ["MemoryPolicy", "format_bytes"]
+
+
+def format_bytes(count: int) -> str:
+    """Human-readable byte count."""
+    value = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB", "PiB"):
+        if value < 1024.0 or unit == "PiB":
+            return f"{value:.3g} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+@dataclass(frozen=True)
+class MemoryPolicy:
+    """Decides which representations fit in memory."""
+
+    cap_bytes: int = DEFAULT_MEMORY_CAP
+
+    def vector_fits(self, num_qubits: int) -> bool:
+        """Whether a dense complex128 state vector fits under the cap."""
+        return vector_bytes(num_qubits) <= self.cap_bytes
+
+    def vector_verdict(self, num_qubits: int) -> str:
+        """"ok" or "MO" for the vector-based method."""
+        return "ok" if self.vector_fits(num_qubits) else "MO"
+
+    def dd_fits(self, node_count: int) -> bool:
+        """Whether a DD of ``node_count`` nodes fits under the cap."""
+        return dd_bytes(node_count) <= self.cap_bytes
+
+    def describe(self) -> str:
+        return f"memory cap {format_bytes(self.cap_bytes)}"

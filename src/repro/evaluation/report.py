@@ -1,0 +1,82 @@
+"""Text rendering of Table-I rows (paper format, plus reference columns)."""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from .table1 import Table1Row
+
+__all__ = ["format_table1", "format_row_markdown", "format_table1_markdown"]
+
+
+def _fmt_time(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "MO"
+    if seconds < 0.0005:
+        return "<1ms"
+    return f"{seconds:.2f}"
+
+
+def _fmt_size(size: int) -> str:
+    return f"2^{int(round(math.log2(size)))}" if size else "0"
+
+
+def _fmt_nodes(nodes: int) -> str:
+    if nodes <= 0:
+        return "0"
+    return f"{nodes} (~2^{math.log2(nodes):.1f})"
+
+
+def format_table1(rows: List[Table1Row], shots: Optional[int] = None) -> str:
+    """Render measured rows in the layout of the paper's Table I."""
+    header = (
+        f"{'benchmark':<18} {'qubits':>6} | {'vec size':>8} {'vec t[s]':>9} "
+        f"| {'dd size':>18} {'dd t[s]':>8} | {'paper vec':>9} {'paper dd':>10}"
+    )
+    lines = []
+    if shots is not None:
+        lines.append(f"Sampling {shots} bitstrings per benchmark (error-free).")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        vec_time = (
+            None
+            if row.vector_mo or row.vector_precompute_s is None
+            else row.vector_total_s
+        )
+        vec_cell = "MO" if row.vector_mo else _fmt_time(vec_time)
+        paper_vec = "MO" if row.paper_vector_mo else _fmt_time(row.paper_vector_time_s)
+        paper_dd = (
+            f"{row.paper_dd_nodes}/{_fmt_time(row.paper_dd_time_s)}"
+            if row.paper_dd_nodes is not None
+            else "-"
+        )
+        lines.append(
+            f"{row.name:<18} {row.qubits:>6} | {_fmt_size(row.vector_entries):>8} "
+            f"{vec_cell:>9} | {_fmt_nodes(row.dd_nodes):>18} "
+            f"{_fmt_time(row.dd_total_s):>8} | {paper_vec:>9} {paper_dd:>10}"
+        )
+    return "\n".join(lines)
+
+
+def format_row_markdown(row: Table1Row) -> str:
+    vec_cell = "MO" if row.vector_mo else _fmt_time(row.vector_total_s)
+    paper_vec = "MO" if row.paper_vector_mo else _fmt_time(row.paper_vector_time_s)
+    return (
+        f"| {row.name} | {row.qubits} | {_fmt_size(row.vector_entries)} | "
+        f"{vec_cell} | {row.dd_nodes} | {_fmt_time(row.dd_total_s)} | "
+        f"{paper_vec} | {row.paper_dd_nodes or '-'} / "
+        f"{_fmt_time(row.paper_dd_time_s)} |"
+    )
+
+
+def format_table1_markdown(rows: List[Table1Row]) -> str:
+    """Markdown rendering for EXPERIMENTS.md."""
+    lines = [
+        "| benchmark | qubits | vec size | vec t[s] | dd nodes | dd t[s] "
+        "| paper vec t[s] | paper dd nodes/t[s] |",
+        "|---|---|---|---|---|---|---|---|",
+    ]
+    lines.extend(format_row_markdown(row) for row in rows)
+    return "\n".join(lines)

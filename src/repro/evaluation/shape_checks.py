@@ -1,0 +1,207 @@
+"""Programmatic checks of the paper's qualitative ("shape") claims.
+
+Absolute times depend on hardware and language; what a reproduction must
+preserve is the *shape* of the evaluation.  Each check below encodes one
+claim from the paper as an executable assertion on freshly computed data:
+
+1. ``qft_n`` final states have exactly ``n`` DD nodes (Table I).
+2. ``grover_n`` final states have O(n) DD nodes (Table I: 2n-ish).
+3. Shor final-state DDs grow into the 10^4-10^6 node range and track the
+   paper's counts within a factor of ~1.3 (Table I).
+4. The vector-based method memory-outs exactly on the paper's MO rows
+   under the paper's 32 GiB RAM budget (Table I).
+5. DD-based per-sample cost is O(n): time per sample grows far slower
+   than state-vector size across the QFT family.
+6. The paper's Fig. 2/3/4 worked-example numbers are reproduced exactly.
+7. Both samplers produce output statistically indistinguishable from the
+   exact distribution (the paper's core claim).
+
+``run_shape_checks`` returns a list of (name, passed, detail) tuples and
+is wired to ``repro-eval shapes``; the same checks run in the test suite.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..algorithms.grover import grover
+from ..algorithms.qft import qft
+from ..algorithms.shor import shor_final_state
+from ..algorithms.states import RUNNING_EXAMPLE_PROBABILITIES
+from ..core.dd_sampler import DDSampler
+from ..core.indistinguishability import chi_square_gof
+from ..core.weak_sim import simulate_and_sample
+from ..dd.package import DDPackage
+from ..dd.vector_dd import VectorDD
+from ..simulators.dd_simulator import DDSimulator
+from .catalog import PAPER_TABLE
+from .figures import figure2_data, figure3_data, figure4_data
+from .memory import MemoryPolicy
+
+__all__ = ["ShapeCheck", "run_shape_checks", "render_shape_report"]
+
+
+@dataclass
+class ShapeCheck:
+    name: str
+    passed: bool
+    detail: str
+
+
+def _check_qft_sizes() -> ShapeCheck:
+    sizes = {}
+    for n in (8, 16, 32):
+        sizes[n] = DDSimulator().run(qft(n)).node_count
+    passed = all(sizes[n] == n for n in sizes)
+    return ShapeCheck(
+        "qft DD size == n (Table I)",
+        passed,
+        ", ".join(f"qft_{n}: {count}" for n, count in sizes.items()),
+    )
+
+
+def _check_grover_sizes() -> ShapeCheck:
+    sizes = {}
+    for n in (8, 10, 12):
+        instance = grover(n, seed=n)
+        state = DDSimulator().run_iterated(
+            instance.init_circuit(),
+            instance.iteration_circuit(),
+            instance.iterations,
+        )
+        sizes[n] = state.node_count
+    passed = all(count <= 3 * (n + 1) for n, count in sizes.items())
+    return ShapeCheck(
+        "grover DD size == O(n) (Table I: ~2n)",
+        passed,
+        ", ".join(f"grover_{n}: {count}" for n, count in sizes.items()),
+    )
+
+
+def _check_shor_sizes() -> ShapeCheck:
+    reference = {"shor_33_2": (33, 2, 48_793), "shor_55_2": (55, 2, 93_478)}
+    details = []
+    passed = True
+    for name, (modulus, base, paper_nodes) in reference.items():
+        statevector, _, _ = shor_final_state(modulus, base)
+        package = DDPackage()
+        nodes = VectorDD.from_statevector(package, statevector).node_count
+        ratio = nodes / paper_nodes
+        details.append(f"{name}: {nodes} vs paper {paper_nodes} (x{ratio:.2f})")
+        passed = passed and 0.7 < ratio < 1.3
+    return ShapeCheck("shor DD sizes track Table I", passed, "; ".join(details))
+
+
+def _check_mo_pattern() -> ShapeCheck:
+    policy = MemoryPolicy(cap_bytes=32 * 1024**3)  # the paper's RAM
+    mismatches = [
+        row.name
+        for row in PAPER_TABLE
+        if policy.vector_fits(row.qubits) == row.vector_mo
+    ]
+    return ShapeCheck(
+        "vector MO pattern matches Table I at 32 GiB",
+        not mismatches,
+        "mismatches: " + (", ".join(mismatches) if mismatches else "none"),
+    )
+
+
+def _check_per_sample_scaling() -> ShapeCheck:
+    # DD per-sample cost across qft_8..qft_32: vector size grows 2^24x,
+    # per-sample time must grow by only a small constant (O(n)).
+    times = {}
+    for n in (8, 32):
+        state = DDSimulator().run(qft(n))
+        sampler = DDSampler(state)
+        sampler._build_tables()
+        rng = np.random.default_rng(0)
+        start = time.perf_counter()
+        sampler.sample(200_000, rng)
+        times[n] = time.perf_counter() - start
+    growth = times[32] / max(times[8], 1e-9)
+    return ShapeCheck(
+        "DD per-sample cost is O(n), not O(2^n)",
+        growth < 32,  # generous bound; 2^24 would mean exponential cost
+        f"qft_8: {times[8]*1e3:.1f} ms, qft_32: {times[32]*1e3:.1f} ms "
+        f"for 200k samples (x{growth:.1f}; vector grew x2^24)",
+    )
+
+
+def _check_figures() -> ShapeCheck:
+    fig2 = figure2_data()
+    fig3 = figure3_data()
+    fig4 = figure4_data()
+    conditions = [
+        np.allclose(fig2.probabilities, RUNNING_EXAMPLE_PROBABILITIES, atol=1e-9),
+        fig2.sample_at_half == "011",
+        np.allclose(fig3.prefix, [0, 3/8, 3/8, 6/8, 7/8, 7/8, 7/8, 1], atol=1e-12),
+        fig3.result_bitstring == "011",
+        np.isclose(fig4.leftmost_root_weight, -0.6124j, atol=5e-4),
+        np.allclose(fig4.branch_probabilities["q2"], (0.75, 0.25), atol=1e-9),
+        np.allclose(
+            fig4.l2_weight_magnitudes["q2"], (np.sqrt(3) / 2, 0.5), atol=1e-9
+        ),
+    ]
+    return ShapeCheck(
+        "Figs. 2-4 worked-example numbers exact",
+        all(conditions),
+        f"{sum(bool(c) for c in conditions)}/{len(conditions)} conditions hold",
+    )
+
+
+def _check_statistical_faithfulness() -> ShapeCheck:
+    from ..algorithms.states import running_example_circuit
+
+    circuit = running_example_circuit()
+    exact = np.asarray(RUNNING_EXAMPLE_PROBABILITIES)
+    p_values = {}
+    for method in ("dd", "vector"):
+        result = simulate_and_sample(circuit, 50_000, method=method, seed=11)
+        p_values[method] = chi_square_gof(result, exact).p_value
+    passed = all(p > 1e-3 for p in p_values.values())
+    return ShapeCheck(
+        "samplers statistically indistinguishable from exact",
+        passed,
+        ", ".join(f"{m}: p={p:.3f}" for m, p in p_values.items()),
+    )
+
+
+_CHECKS: List[Callable[[], ShapeCheck]] = [
+    _check_qft_sizes,
+    _check_grover_sizes,
+    _check_shor_sizes,
+    _check_mo_pattern,
+    _check_per_sample_scaling,
+    _check_figures,
+    _check_statistical_faithfulness,
+]
+
+
+def run_shape_checks() -> List[ShapeCheck]:
+    """Run every shape check; never raises (failures are reported)."""
+    results = []
+    for check in _CHECKS:
+        try:
+            results.append(check())
+        except Exception as error:  # pragma: no cover - defensive
+            results.append(
+                ShapeCheck(check.__name__, False, f"crashed: {error!r}")
+            )
+    return results
+
+
+def render_shape_report(checks: Optional[List[ShapeCheck]] = None) -> str:
+    """Human-readable pass/fail report."""
+    checks = checks if checks is not None else run_shape_checks()
+    lines = ["Shape checks (the paper's qualitative claims):"]
+    for check in checks:
+        status = "PASS" if check.passed else "FAIL"
+        lines.append(f"  [{status}] {check.name}")
+        lines.append(f"         {check.detail}")
+    passed = sum(1 for c in checks if c.passed)
+    lines.append(f"{passed}/{len(checks)} checks passed")
+    return "\n".join(lines)

@@ -1,0 +1,163 @@
+"""Regeneration of the paper's Table I.
+
+For every catalog benchmark the runner produces one row holding both
+methods' results:
+
+* vector-based: state-vector size, prefix-sum precompute time, and
+  sampling time — or "MO" when the dense vector exceeds the memory cap
+  (decided analytically, like the paper's 32-GiB machine),
+* DD-based: node count, sampling-precompute time, and sampling time.
+
+Both methods sample from the *same* final state (the DD is expanded to
+the dense vector where it fits), so any statistical difference between
+their outputs is attributable to the samplers — which the
+``verify_agreement`` option checks with a two-sample chi-square test.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.dd_sampler import DDSampler
+from ..core.indistinguishability import two_sample_chi_square
+from ..core.prefix_sampler import PrefixSampler
+from ..core.results import SampleResult
+from ..dd.normalization import NormalizationScheme
+from ..dd.package import DDPackage
+from .catalog import BenchmarkSpec, build_state, catalog
+from .memory import MemoryPolicy
+
+__all__ = ["Table1Row", "run_row", "run_table1"]
+
+#: Practical ceiling for actually materialising the dense vector in this
+#: harness (2^26 amplitudes = 1 GiB): above it the row is still *reported*
+#: against the memory policy, but we refuse to expand even if the policy
+#: would allow it, to keep the harness snappy.
+_EXPAND_LIMIT_QUBITS = 26
+
+
+@dataclass
+class Table1Row:
+    """One measured row of Table I (plus paper reference values)."""
+
+    name: str
+    qubits: int
+    vector_entries: int
+    vector_mo: bool
+    vector_precompute_s: Optional[float]
+    vector_sampling_s: Optional[float]
+    dd_nodes: int
+    dd_precompute_s: float
+    dd_sampling_s: float
+    build_s: float
+    shots: int
+    paper_vector_time_s: Optional[float] = None
+    paper_vector_mo: bool = False
+    paper_dd_nodes: Optional[int] = None
+    paper_dd_time_s: Optional[float] = None
+    agreement_p_value: Optional[float] = None
+
+    @property
+    def vector_total_s(self) -> Optional[float]:
+        if self.vector_mo or self.vector_precompute_s is None:
+            return None
+        return self.vector_precompute_s + self.vector_sampling_s
+
+    @property
+    def dd_total_s(self) -> float:
+        return self.dd_precompute_s + self.dd_sampling_s
+
+    @property
+    def mo_matches_paper(self) -> bool:
+        """Whether this row reproduces the paper's MO verdict."""
+        return self.vector_mo == self.paper_vector_mo
+
+
+def run_row(
+    spec: BenchmarkSpec,
+    shots: int = 1_000_000,
+    policy: Optional[MemoryPolicy] = None,
+    seed: int = 0,
+    verify_agreement: bool = False,
+    scheme: NormalizationScheme = NormalizationScheme.L2,
+) -> Table1Row:
+    """Measure one benchmark with both sampling methods."""
+    policy = policy or MemoryPolicy()
+    rng = np.random.default_rng(seed)
+
+    start = time.perf_counter()
+    package = DDPackage(scheme=scheme)
+    state = build_state(spec, package=package)
+    build_s = time.perf_counter() - start
+
+    # ---- DD-based sampling (Section IV). ----
+    start = time.perf_counter()
+    sampler = DDSampler(state)
+    sampler._build_tables()
+    dd_precompute_s = time.perf_counter() - start
+    start = time.perf_counter()
+    dd_samples = sampler.sample(shots, rng)
+    dd_sampling_s = time.perf_counter() - start
+    dd_nodes = state.node_count
+
+    # ---- Vector-based sampling (Section III). ----
+    vector_mo = not policy.vector_fits(spec.num_qubits)
+    vector_precompute_s = vector_sampling_s = None
+    agreement_p = None
+    if not vector_mo and spec.num_qubits <= _EXPAND_LIMIT_QUBITS:
+        statevector = state.to_statevector()
+        start = time.perf_counter()
+        prefix = PrefixSampler(statevector)
+        vector_precompute_s = time.perf_counter() - start
+        start = time.perf_counter()
+        vector_samples = prefix.sample(shots, rng)
+        vector_sampling_s = time.perf_counter() - start
+        if verify_agreement:
+            first = SampleResult.from_samples(spec.num_qubits, dd_samples)
+            second = SampleResult.from_samples(spec.num_qubits, vector_samples)
+            agreement_p = two_sample_chi_square(first, second).p_value
+
+    paper = spec.paper
+    return Table1Row(
+        name=spec.name,
+        qubits=spec.num_qubits,
+        vector_entries=2**spec.num_qubits,
+        vector_mo=vector_mo,
+        vector_precompute_s=vector_precompute_s,
+        vector_sampling_s=vector_sampling_s,
+        dd_nodes=dd_nodes,
+        dd_precompute_s=dd_precompute_s,
+        dd_sampling_s=dd_sampling_s,
+        build_s=build_s,
+        shots=shots,
+        paper_vector_time_s=paper.vector_time_s if paper else None,
+        paper_vector_mo=paper.vector_mo if paper else False,
+        paper_dd_nodes=paper.dd_nodes if paper else None,
+        paper_dd_time_s=paper.dd_time_s if paper else None,
+        agreement_p_value=agreement_p,
+    )
+
+
+def run_table1(
+    tier: str = "quick",
+    shots: int = 100_000,
+    policy: Optional[MemoryPolicy] = None,
+    seed: int = 0,
+    families: Optional[List[str]] = None,
+    verify_agreement: bool = False,
+) -> List[Table1Row]:
+    """Run every catalog benchmark of ``tier`` and return the rows."""
+    return [
+        run_row(
+            spec,
+            shots=shots,
+            policy=policy,
+            seed=seed,
+            verify_agreement=verify_agreement,
+        )
+        for spec in catalog(tier=tier, families=families)
+    ]

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised deliberately by this library derive from
+:class:`ReproError` so that callers can catch library failures without
+accidentally swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CircuitError(ReproError):
+    """Raised for malformed circuits or invalid gate applications."""
+
+
+class QasmError(ReproError):
+    """Raised when OpenQASM input cannot be parsed."""
+
+    def __init__(self, message: str, line: int | None = None):
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+
+
+class DDError(ReproError):
+    """Raised for inconsistent decision-diagram operations."""
+
+
+class SimulationError(ReproError):
+    """Raised when a simulator cannot complete a requested simulation."""
+
+
+class MemoryOutError(SimulationError):
+    """Raised when an allocation would exceed the configured memory cap.
+
+    This mirrors the "MO" entries of Table I in the paper: the dense
+    vector-based method fails on instances whose state vector does not fit
+    in memory, while the decision-diagram method keeps working.
+    """
+
+    def __init__(self, requested_bytes: int, cap_bytes: int):
+        super().__init__(
+            f"allocation of {requested_bytes} bytes exceeds the memory cap "
+            f"of {cap_bytes} bytes (MO)"
+        )
+        self.requested_bytes = requested_bytes
+        self.cap_bytes = cap_bytes
+
+
+class SamplingError(ReproError):
+    """Raised when a sampler is asked to sample from an invalid state."""

@@ -1,0 +1,22 @@
+"""Strong simulators: dense statevector (baseline) and decision diagram."""
+
+from .base import SimulationStats, StrongSimulator
+from .dd_simulator import DDSimulator
+from .stabilizer import CLIFFORD_GATES, StabilizerSimulator, StabilizerState
+from .statevector import (
+    DEFAULT_MEMORY_CAP,
+    StatevectorSimulator,
+    apply_operation_dense,
+)
+
+__all__ = [
+    "StrongSimulator",
+    "SimulationStats",
+    "StatevectorSimulator",
+    "DDSimulator",
+    "StabilizerSimulator",
+    "StabilizerState",
+    "CLIFFORD_GATES",
+    "apply_operation_dense",
+    "DEFAULT_MEMORY_CAP",
+]

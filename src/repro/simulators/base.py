@@ -1,0 +1,46 @@
+"""Common interface for strong simulators.
+
+A strong simulator consumes a circuit and produces a representation of the
+final quantum state (dense array or decision diagram).  Weak simulation
+(:mod:`repro.core`) then samples from that representation — the two-stage
+flow of the paper's Fig. 2.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..circuit.circuit import QuantumCircuit
+
+__all__ = ["StrongSimulator", "SimulationStats"]
+
+
+@dataclass
+class SimulationStats:
+    """Bookkeeping collected during one strong-simulation run."""
+
+    num_qubits: int = 0
+    applied_operations: int = 0
+    peak_dd_nodes: int = 0
+    final_dd_nodes: int = 0
+    strategy_counts: Dict[str, int] = field(default_factory=dict)
+
+
+class StrongSimulator(abc.ABC):
+    """Base class for circuit-to-state simulators."""
+
+    @abc.abstractmethod
+    def run(self, circuit: QuantumCircuit, initial_state: int = 0):
+        """Simulate ``circuit`` from basis state ``initial_state``.
+
+        Returns the backend-specific state representation (a NumPy array
+        for the dense simulator, a :class:`~repro.dd.vector_dd.VectorDD`
+        for the DD simulator).
+        """
+
+    @property
+    @abc.abstractmethod
+    def stats(self) -> SimulationStats:
+        """Statistics from the most recent :meth:`run`."""

@@ -1,0 +1,287 @@
+"""Stabilizer (CHP) simulation: weak simulation of Clifford circuits.
+
+The paper's related work on weak simulation ([14] Van den Nest, [15]
+Bravyi et al.) is rooted in the Gottesman-Knill theorem: circuits built
+from {H, S, CNOT} (plus Paulis and measurement) can be weakly simulated
+in polynomial time with the stabilizer formalism, no amplitudes at all.
+This module implements the Aaronson-Gottesman CHP tableau so the
+library covers that corner of the weak-simulation landscape, and the
+test suite cross-validates it against the decision-diagram sampler on
+random Clifford circuits — two entirely different algorithms, one
+output distribution.
+
+Tableau layout (Aaronson & Gottesman, PRA 70, 052328):
+rows 0..n-1 are destabilizers, rows n..2n-1 stabilizers; row ``i`` has
+binary vectors ``x[i]``, ``z[i]`` and sign bit ``r[i]`` representing the
+Pauli ``(-1)^r  prod_q X_q^{x[i][q]} Z_q^{z[i][q]}``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.operations import Barrier, Measurement, Operation
+from ..core.results import SampleResult
+from ..exceptions import SimulationError
+
+__all__ = ["StabilizerState", "StabilizerSimulator", "CLIFFORD_GATES"]
+
+#: Gate names the stabilizer backend accepts (single controls on x/z
+#: make CX/CZ; ``swap`` is expanded to three CX).
+CLIFFORD_GATES = {"id", "x", "y", "z", "h", "s", "sdg", "swap"}
+
+
+def _as_rng(seed: Union[int, np.random.Generator, None]) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+class StabilizerState:
+    """An n-qubit stabilizer state as a CHP tableau."""
+
+    def __init__(self, num_qubits: int):
+        if num_qubits < 1:
+            raise SimulationError("need at least one qubit")
+        self.num_qubits = num_qubits
+        n = num_qubits
+        self.x = np.zeros((2 * n, n), dtype=np.uint8)
+        self.z = np.zeros((2 * n, n), dtype=np.uint8)
+        self.r = np.zeros(2 * n, dtype=np.uint8)
+        # |0...0>: destabilizer i = X_i, stabilizer n+i = Z_i.
+        for i in range(n):
+            self.x[i, i] = 1
+            self.z[n + i, i] = 1
+
+    def copy(self) -> "StabilizerState":
+        clone = StabilizerState.__new__(StabilizerState)
+        clone.num_qubits = self.num_qubits
+        clone.x = self.x.copy()
+        clone.z = self.z.copy()
+        clone.r = self.r.copy()
+        return clone
+
+    # ------------------------------------------------------------------
+    # Clifford gates
+    # ------------------------------------------------------------------
+
+    def apply_h(self, q: int) -> None:
+        self.r ^= self.x[:, q] & self.z[:, q]
+        self.x[:, q], self.z[:, q] = self.z[:, q].copy(), self.x[:, q].copy()
+
+    def apply_s(self, q: int) -> None:
+        self.r ^= self.x[:, q] & self.z[:, q]
+        self.z[:, q] ^= self.x[:, q]
+
+    def apply_sdg(self, q: int) -> None:
+        # S† = S Z.
+        self.apply_z(q)
+        self.apply_s(q)
+
+    def apply_x(self, q: int) -> None:
+        self.r ^= self.z[:, q]
+
+    def apply_z(self, q: int) -> None:
+        self.r ^= self.x[:, q]
+
+    def apply_y(self, q: int) -> None:
+        self.r ^= self.x[:, q] ^ self.z[:, q]
+
+    def apply_cx(self, control: int, target: int) -> None:
+        self.r ^= (
+            self.x[:, control]
+            & self.z[:, target]
+            & (self.x[:, target] ^ self.z[:, control] ^ 1)
+        )
+        self.x[:, target] ^= self.x[:, control]
+        self.z[:, control] ^= self.z[:, target]
+
+    def apply_cz(self, control: int, target: int) -> None:
+        # CZ = (I x H) CX (I x H).
+        self.apply_h(target)
+        self.apply_cx(control, target)
+        self.apply_h(target)
+
+    def apply_swap(self, a: int, b: int) -> None:
+        self.apply_cx(a, b)
+        self.apply_cx(b, a)
+        self.apply_cx(a, b)
+
+    # ------------------------------------------------------------------
+    # Row arithmetic (phase-tracking Pauli multiplication)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _g(x1, z1, x2, z2):
+        """Phase exponent contribution of multiplying single-qubit Paulis."""
+        # Vectorised version of the CHP g function; returns values in
+        # {-1, 0, 1} per qubit.  Case split on the first Pauli:
+        # I -> 0;  Y -> z2 - x2;  X -> z2*(2*x2 - 1);  Z -> x2*(1 - 2*z2).
+        x1 = x1.astype(np.int16)
+        z1 = z1.astype(np.int16)
+        x2 = x2.astype(np.int16)
+        z2 = z2.astype(np.int16)
+        is_y = x1 * z1
+        is_x = x1 * (1 - z1)
+        is_z = (1 - x1) * z1
+        return (
+            is_y * (z2 - x2)
+            + is_x * z2 * (2 * x2 - 1)
+            + is_z * x2 * (1 - 2 * z2)
+        )
+
+    def _rowsum(self, h: int, i: int) -> None:
+        """Row h := row h * row i (Pauli product with sign tracking)."""
+        phase = 2 * int(self.r[h]) + 2 * int(self.r[i]) + int(
+            self._g(self.x[i], self.z[i], self.x[h], self.z[h]).sum()
+        )
+        self.r[h] = 1 if phase % 4 == 2 else 0
+        self.x[h] ^= self.x[i]
+        self.z[h] ^= self.z[i]
+
+    def _rowsum_into(self, scratch_x, scratch_z, scratch_r, i: int):
+        phase = 2 * int(scratch_r) + 2 * int(self.r[i]) + int(
+            self._g(self.x[i], self.z[i], scratch_x, scratch_z).sum()
+        )
+        scratch_r = 1 if phase % 4 == 2 else 0
+        scratch_x ^= self.x[i]
+        scratch_z ^= self.z[i]
+        return scratch_x, scratch_z, scratch_r
+
+    # ------------------------------------------------------------------
+    # Measurement
+    # ------------------------------------------------------------------
+
+    def measure(self, q: int, rng: np.random.Generator) -> int:
+        """Measure qubit ``q`` in the computational basis (collapsing)."""
+        n = self.num_qubits
+        # Random outcome iff some stabilizer anticommutes with Z_q.
+        candidates = np.nonzero(self.x[n:, q])[0]
+        if candidates.size:
+            p = int(candidates[0]) + n
+            for h in range(2 * n):
+                if h != p and self.x[h, q]:
+                    self._rowsum(h, p)
+            # Destabilizer p-n becomes the old stabilizer p.
+            self.x[p - n] = self.x[p]
+            self.z[p - n] = self.z[p]
+            self.r[p - n] = self.r[p]
+            outcome = int(rng.integers(2))
+            self.x[p] = 0
+            self.z[p] = 0
+            self.z[p, q] = 1
+            self.r[p] = outcome
+            return outcome
+        # Deterministic: accumulate the destabilizer combination.
+        scratch_x = np.zeros(n, dtype=np.uint8)
+        scratch_z = np.zeros(n, dtype=np.uint8)
+        scratch_r = 0
+        for i in range(n):
+            if self.x[i, q]:
+                scratch_x, scratch_z, scratch_r = self._rowsum_into(
+                    scratch_x, scratch_z, scratch_r, i + n
+                )
+        return int(scratch_r)
+
+    def measure_all(self, rng: np.random.Generator) -> int:
+        """Measure every qubit (most significant first); returns bits."""
+        result = 0
+        for q in range(self.num_qubits - 1, -1, -1):
+            result |= self.measure(q, rng) << q
+        return result
+
+    def sample(
+        self, shots: int, rng: Union[int, np.random.Generator, None] = None
+    ) -> np.ndarray:
+        """Draw ``shots`` full-register samples (tableau copied per shot)."""
+        rng = _as_rng(rng)
+        out = np.empty(shots, dtype=np.int64)
+        for shot in range(shots):
+            out[shot] = self.copy().measure_all(rng)
+        return out
+
+    def sample_result(
+        self, shots: int, rng: Union[int, np.random.Generator, None] = None
+    ) -> SampleResult:
+        samples = self.sample(shots, rng)
+        return SampleResult.from_samples(self.num_qubits, samples, method="stabilizer")
+
+    def expectation_z(self, q: int) -> Optional[int]:
+        """⟨Z_q⟩ when deterministic (+1/-1), else None (it is 0)."""
+        n = self.num_qubits
+        if np.any(self.x[n:, q]):
+            return None
+        scratch_x = np.zeros(n, dtype=np.uint8)
+        scratch_z = np.zeros(n, dtype=np.uint8)
+        scratch_r = 0
+        for i in range(n):
+            if self.x[i, q]:
+                scratch_x, scratch_z, scratch_r = self._rowsum_into(
+                    scratch_x, scratch_z, scratch_r, i + n
+                )
+        return -1 if scratch_r else 1
+
+
+class StabilizerSimulator:
+    """Runs Clifford circuits on the CHP tableau."""
+
+    def __init__(self) -> None:
+        self._mid_circuit_rng: Optional[np.random.Generator] = None
+
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        seed: Union[int, np.random.Generator, None] = None,
+    ) -> StabilizerState:
+        """Simulate ``circuit``; terminal measurements are skipped (use
+        :meth:`StabilizerState.sample`), mid-circuit measurement raises.
+        """
+        state = StabilizerState(circuit.num_qubits)
+        instructions = list(circuit)
+        for position, instruction in enumerate(instructions):
+            if isinstance(instruction, Barrier):
+                continue
+            if isinstance(instruction, Measurement):
+                remaining = instructions[position + 1 :]
+                if any(isinstance(i, Operation) for i in remaining):
+                    raise SimulationError(
+                        "mid-circuit measurement is not supported by the "
+                        "stabilizer backend; use ShotExecutor"
+                    )
+                continue
+            self._apply(state, instruction)
+        return state
+
+    @staticmethod
+    def _apply(state: StabilizerState, op: Operation) -> None:
+        name = op.gate.name
+        if op.neg_controls:
+            raise SimulationError("anti-controls are not Clifford-representable here")
+        if op.controls:
+            if len(op.controls) != 1:
+                raise SimulationError("multi-controlled gates are not Clifford")
+            control = next(iter(op.controls))
+            target = op.targets[0]
+            if name == "x":
+                state.apply_cx(control, target)
+            elif name == "z":
+                state.apply_cz(control, target)
+            elif name == "y":
+                # CY = S_t CX S_t^dagger.
+                state.apply_sdg(target)
+                state.apply_cx(control, target)
+                state.apply_s(target)
+            else:
+                raise SimulationError(f"controlled {name!r} is not Clifford")
+            return
+        if name not in CLIFFORD_GATES:
+            raise SimulationError(f"gate {name!r} is outside the Clifford set")
+        if name == "id":
+            return
+        if name == "swap":
+            state.apply_swap(op.targets[0], op.targets[1])
+            return
+        getattr(state, f"apply_{name}")(op.targets[0])

@@ -1,0 +1,22 @@
+"""DD-based verification of quantum circuits.
+
+Decision diagrams are canonical, so two circuits are equivalent exactly
+when their matrix DDs coincide (up to global phase).  This subpackage
+provides that check plus a cheaper stimuli-based falsifier — the
+verification use of DDs the paper cites ([22], [23]) and the tool this
+repository uses to validate its own circuit transformations.
+"""
+
+from .equivalence import (
+    EquivalenceResult,
+    assert_equivalent,
+    check_equivalence,
+    random_stimuli_check,
+)
+
+__all__ = [
+    "check_equivalence",
+    "assert_equivalent",
+    "random_stimuli_check",
+    "EquivalenceResult",
+]

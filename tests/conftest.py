@@ -1,0 +1,42 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dd import DDPackage, NormalizationScheme
+
+
+@pytest.fixture
+def package():
+    """A fresh L2-normalised DD package."""
+    return DDPackage(scheme=NormalizationScheme.L2)
+
+
+@pytest.fixture
+def leftmost_package():
+    """A fresh left-most-normalised DD package."""
+    return DDPackage(scheme=NormalizationScheme.LEFTMOST)
+
+
+@pytest.fixture(params=[NormalizationScheme.L2, NormalizationScheme.LEFTMOST])
+def any_scheme_package(request):
+    """Parametrised over both normalisation schemes."""
+    return DDPackage(scheme=request.param)
+
+
+def random_statevector(num_qubits: int, rng: np.random.Generator) -> np.ndarray:
+    """A Haar-ish random normalised state vector."""
+    vector = rng.normal(size=2**num_qubits) + 1j * rng.normal(size=2**num_qubits)
+    return vector / np.linalg.norm(vector)
+
+
+def sparse_statevector(
+    num_qubits: int, num_nonzero: int, rng: np.random.Generator
+) -> np.ndarray:
+    """A normalised state vector supported on few basis states."""
+    vector = np.zeros(2**num_qubits, dtype=np.complex128)
+    support = rng.choice(2**num_qubits, size=num_nonzero, replace=False)
+    vector[support] = rng.normal(size=num_nonzero) + 1j * rng.normal(size=num_nonzero)
+    return vector / np.linalg.norm(vector)

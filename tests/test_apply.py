@@ -1,0 +1,159 @@
+"""Unit tests for gate application to vector DDs (all strategies)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit, gates as g, random_circuit
+from repro.circuit.operations import Operation
+from repro.dd import DDPackage, GateApplier, NormalizationScheme, apply_operation
+from repro.simulators import StatevectorSimulator
+
+
+def dense_reference(circuit):
+    return StatevectorSimulator().run(circuit)
+
+
+@pytest.fixture
+def pkg():
+    return DDPackage()
+
+
+def run_dd(circuit, pkg=None, use_fast_paths=True):
+    pkg = pkg or DDPackage()
+    applier = GateApplier(pkg, circuit.num_qubits, use_fast_paths=use_fast_paths)
+    state = pkg.basis_state(circuit.num_qubits, 0)
+    for op in circuit.operations:
+        state = applier.apply(state, op)
+    return pkg.to_statevector(state, circuit.num_qubits), applier
+
+
+class TestStrategyRouting:
+    def test_diagonal_gates_use_phase_path(self, pkg):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).h(1).h(2)
+        circuit.cz(0, 2).t(1).mcp(0.3, [0, 1], 2).rzz(0.7, 0, 1)
+        _, applier = run_dd(circuit)
+        assert applier.strategy_counts()["diagonal"] == 4
+
+    def test_descent_for_controls_above(self, pkg):
+        circuit = QuantumCircuit(3)
+        circuit.h(2)
+        circuit.apply(g.x_gate(), 0, controls=(2,))
+        _, applier = run_dd(circuit)
+        assert applier.strategy_counts()["descent"] == 2
+
+    def test_matvec_for_controls_below(self, pkg):
+        circuit = QuantumCircuit(3)
+        circuit.h(0)
+        circuit.apply(g.x_gate(), 2, controls=(0,))
+        _, applier = run_dd(circuit)
+        assert applier.strategy_counts()["matvec"] == 1
+
+    def test_fast_paths_disabled_forces_matvec(self, pkg):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).cz(0, 1).x(1)
+        _, applier = run_dd(circuit, use_fast_paths=False)
+        counts = applier.strategy_counts()
+        assert counts["diagonal"] == 0
+        assert counts["descent"] == 0
+        assert counts["matvec"] == 3
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_circuits_match_dense(self, seed):
+        circuit = random_circuit(5, 40, seed=seed)
+        dense = dense_reference(circuit)
+        dd, _ = run_dd(circuit)
+        assert np.allclose(dd, dense, atol=1e-8)
+
+    @pytest.mark.parametrize("scheme", list(NormalizationScheme))
+    def test_both_schemes_match(self, scheme):
+        circuit = random_circuit(4, 30, seed=77)
+        dense = dense_reference(circuit)
+        dd, _ = run_dd(circuit, pkg=DDPackage(scheme=scheme))
+        assert np.allclose(dd, dense, atol=1e-8)
+
+    def test_engines_agree(self):
+        circuit = random_circuit(5, 35, seed=123)
+        fast, _ = run_dd(circuit, use_fast_paths=True)
+        slow, _ = run_dd(circuit, use_fast_paths=False)
+        assert np.allclose(fast, slow, atol=1e-8)
+
+    def test_anticontrols(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(2)
+        circuit.append(
+            Operation(gate=g.x_gate(), targets=(0,), neg_controls=frozenset({2}))
+        )
+        dense = dense_reference(circuit)
+        dd, _ = run_dd(circuit)
+        assert np.allclose(dd, dense, atol=1e-10)
+
+    def test_multi_controlled_phase(self):
+        circuit = QuantumCircuit(4)
+        for qubit in range(4):
+            circuit.h(qubit)
+        circuit.mcp(0.9, [0, 1, 2], 3)
+        dense = dense_reference(circuit)
+        dd, _ = run_dd(circuit)
+        assert np.allclose(dd, dense, atol=1e-9)
+
+    def test_two_qubit_diagonal_with_control(self):
+        circuit = QuantumCircuit(3)
+        for qubit in range(3):
+            circuit.h(qubit)
+        circuit.apply(g.rzz_gate(1.1), (0, 1), controls=(2,))
+        dense = dense_reference(circuit)
+        dd, _ = run_dd(circuit)
+        assert np.allclose(dd, dense, atol=1e-9)
+
+    def test_swap_and_fsim(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).rx(0.6, 1)
+        circuit.swap(0, 2).fsim(0.5, 0.2, 1, 2)
+        dense = dense_reference(circuit)
+        dd, _ = run_dd(circuit)
+        assert np.allclose(dd, dense, atol=1e-9)
+
+    def test_subspace_phase_direct(self, pkg):
+        applier = GateApplier(pkg, 3)
+        state = pkg.basis_state(3, 0)
+        circuit = QuantumCircuit(3)
+        for qubit in range(3):
+            circuit.h(qubit)
+        for op in circuit.operations:
+            state = applier.apply(state, op)
+        phased = applier.apply_subspace_phase(state, ones={2}, zeros={0}, phase=1j)
+        vector = pkg.to_statevector(phased, 3)
+        for index in range(8):
+            expected = 1 / math.sqrt(8)
+            if (index >> 2) & 1 and not index & 1:
+                expected *= 1j
+            assert np.isclose(vector[index], expected, atol=1e-10)
+
+    def test_apply_operation_wrapper(self, pkg):
+        state = pkg.basis_state(2, 0)
+        op = Operation(gate=g.x_gate(), targets=(1,))
+        new = apply_operation(pkg, state, op, 2)
+        assert np.isclose(pkg.to_statevector(new, 2)[2], 1.0)
+
+
+class TestStatePreservation:
+    def test_input_dd_not_mutated(self, pkg):
+        applier = GateApplier(pkg, 2)
+        state = pkg.basis_state(2, 0)
+        before = pkg.to_statevector(state, 2).copy()
+        applier.apply(
+            state, Operation(gate=g.h_gate(), targets=(0,))
+        )
+        after = pkg.to_statevector(state, 2)
+        assert np.allclose(before, after)
+
+    def test_norm_preserved_over_long_circuit(self):
+        circuit = random_circuit(4, 120, seed=5)
+        pkg = DDPackage()
+        dd, _ = run_dd(circuit, pkg=pkg)
+        assert np.isclose(np.linalg.norm(dd), 1.0, atol=1e-8)

@@ -1,0 +1,102 @@
+"""Tests for approximate weak simulation via DD pruning."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import supremacy
+from repro.algorithms.states import running_example_statevector
+from repro.core import sample_dd, total_variation_distance
+from repro.dd import (
+    DDPackage,
+    VectorDD,
+    edge_contributions,
+    prune_low_contribution,
+)
+from repro.exceptions import DDError
+from repro.simulators import DDSimulator
+
+from .conftest import random_statevector
+
+
+@pytest.fixture(scope="module")
+def scrambled_state():
+    return DDSimulator().run(supremacy(3, 3, 10, seed=1))
+
+
+class TestEdgeContributions:
+    def test_root_contributions_sum_to_one(self):
+        pkg = DDPackage()
+        state = VectorDD.from_statevector(pkg, running_example_statevector())
+        contributions = edge_contributions(state)
+        root = state.edge.node.index
+        total = contributions[(root, 0)] + contributions[(root, 1)]
+        assert np.isclose(total, 1.0, atol=1e-9)
+        assert np.isclose(contributions[(root, 0)], 0.75, atol=1e-9)
+
+    def test_level_masses_sum_to_one(self, scrambled_state):
+        contributions = edge_contributions(scrambled_state)
+        per_level = {}
+        # Map node index -> level via a walk.
+        from repro.dd import is_terminal
+
+        levels = {}
+        seen = set()
+
+        def visit(node):
+            if is_terminal(node) or node.index in seen:
+                return
+            seen.add(node.index)
+            levels[node.index] = node.var
+            for child in node.edges:
+                visit(child.node)
+
+        visit(scrambled_state.edge.node)
+        for (node_index, _bit), mass in contributions.items():
+            level = levels[node_index]
+            per_level[level] = per_level.get(level, 0.0) + mass
+        for level, total in per_level.items():
+            assert np.isclose(total, 1.0, atol=1e-6), level
+
+
+class TestPruning:
+    def test_zero_budget_keeps_structural_zero_edges_only(self):
+        pkg = DDPackage()
+        rng = np.random.default_rng(0)
+        state = VectorDD.from_statevector(pkg, random_statevector(4, rng))
+        result = prune_low_contribution(state, budget=0.0)
+        assert result.removed_mass == 0.0
+        assert np.isclose(state.fidelity(result.state), 1.0, atol=1e-9)
+
+    def test_budget_bounds_removed_mass(self, scrambled_state):
+        for budget in (0.01, 0.05, 0.2):
+            result = prune_low_contribution(scrambled_state, budget=budget)
+            assert result.removed_mass <= budget + 1e-12
+
+    def test_fidelity_tracks_removed_mass(self, scrambled_state):
+        result = prune_low_contribution(scrambled_state, budget=0.05)
+        fidelity = scrambled_state.fidelity(result.state)
+        assert fidelity >= 1.0 - 2 * result.removed_mass - 0.01
+        assert result.expected_fidelity >= 0.95
+
+    def test_size_shrinks_with_budget(self, scrambled_state):
+        small = prune_low_contribution(scrambled_state, budget=0.01).nodes_after
+        large = prune_low_contribution(scrambled_state, budget=0.2).nodes_after
+        assert large <= small <= scrambled_state.node_count
+        assert large < scrambled_state.node_count
+
+    def test_pruned_state_is_normalised(self, scrambled_state):
+        result = prune_low_contribution(scrambled_state, budget=0.1)
+        assert np.isclose(result.state.norm_squared(), 1.0, atol=1e-9)
+
+    def test_sampling_error_bounded(self, scrambled_state):
+        result = prune_low_contribution(scrambled_state, budget=0.02)
+        samples = sample_dd(result.state, 50_000, method="dd", seed=3)
+        tvd = total_variation_distance(samples, scrambled_state.probabilities())
+        # Removed mass 2% -> TVD of roughly that order (plus shot noise).
+        assert tvd < 4 * 0.02 + 0.02
+
+    def test_invalid_budget(self, scrambled_state):
+        with pytest.raises(DDError):
+            prune_low_contribution(scrambled_state, budget=1.0)
+        with pytest.raises(DDError):
+            prune_low_contribution(scrambled_state, budget=-0.1)

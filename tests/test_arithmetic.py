@@ -1,0 +1,175 @@
+"""Unit tests for the Fourier-space arithmetic substrate (Shor's helpers)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms.arithmetic import (
+    add_const,
+    cmult_mod,
+    controlled_modular_multiplier,
+    egcd,
+    modinv,
+    phi_add_const,
+    phi_add_const_mod,
+)
+from repro.algorithms.qft import apply_inverse_qft, apply_qft
+from repro.circuit import QuantumCircuit
+from repro.exceptions import CircuitError
+from repro.simulators import StatevectorSimulator
+
+
+def classical_result(circuit):
+    """Run a (classical-input) circuit and return the single basis index."""
+    state = StatevectorSimulator().run(circuit)
+    index = int(np.argmax(np.abs(state)))
+    assert np.isclose(abs(state[index]), 1.0, atol=1e-8), "state not classical"
+    return index
+
+
+def set_register(circuit, qubits, value):
+    for position, qubit in enumerate(qubits):
+        if (value >> position) & 1:
+            circuit.x(qubit)
+
+
+class TestClassicalHelpers:
+    def test_egcd(self):
+        g, x, y = egcd(240, 46)
+        assert g == 2
+        assert 240 * x + 46 * y == 2
+
+    def test_modinv(self):
+        assert modinv(7, 15) == 13
+        assert (7 * modinv(7, 15)) % 15 == 1
+        with pytest.raises(CircuitError):
+            modinv(6, 15)
+
+
+class TestPlainAdder:
+    @pytest.mark.parametrize("value,constant", [(0, 5), (7, 9), (12, -3), (15, 1)])
+    def test_add_const_mod_2n(self, value, constant):
+        circuit = QuantumCircuit(4)
+        set_register(circuit, range(4), value)
+        add_const(circuit, list(range(4)), constant)
+        assert classical_result(circuit) == (value + constant) % 16
+
+    def test_phi_add_on_superposition_is_unitary(self):
+        # Adding in Fourier space on a superposition shifts every branch.
+        circuit = QuantumCircuit(3)
+        circuit.h(0)  # |0> + |1>
+        add_const(circuit, list(range(3)), 3)
+        state = StatevectorSimulator().run(circuit)
+        assert np.isclose(abs(state[3]), 1 / math.sqrt(2), atol=1e-9)
+        assert np.isclose(abs(state[4]), 1 / math.sqrt(2), atol=1e-9)
+
+    def test_controlled_add(self):
+        for control_value in (0, 1):
+            circuit = QuantumCircuit(5)
+            set_register(circuit, range(4), 6)
+            if control_value:
+                circuit.x(4)
+            apply_qft(circuit, range(4))
+            phi_add_const(circuit, list(range(4)), 5, controls=(4,))
+            apply_inverse_qft(circuit, range(4))
+            expected = (6 + 5 * control_value) % 16 + (control_value << 4)
+            assert classical_result(circuit) == expected
+
+
+class TestModularAdder:
+    @pytest.mark.parametrize("modulus", [7, 13])
+    def test_phi_add_const_mod_exhaustive_small(self, modulus):
+        m = modulus.bit_length() + 1
+        for constant in (0, 3, modulus - 1):
+            for value in (0, 1, modulus - 1):
+                circuit = QuantumCircuit(m + 1)
+                set_register(circuit, range(m - 1), value)
+                apply_qft(circuit, range(m))
+                phi_add_const_mod(
+                    circuit, list(range(m)), constant, modulus, ancilla=m
+                )
+                apply_inverse_qft(circuit, range(m))
+                assert classical_result(circuit) == (value + constant) % modulus
+
+    def test_ancilla_restored(self):
+        modulus, m = 11, 5
+        circuit = QuantumCircuit(m + 1)
+        set_register(circuit, range(m - 1), 9)
+        apply_qft(circuit, range(m))
+        phi_add_const_mod(circuit, list(range(m)), 8, modulus, ancilla=m)
+        apply_inverse_qft(circuit, range(m))
+        result = classical_result(circuit)
+        assert (result >> m) & 1 == 0  # ancilla back to |0>
+        assert result & (2**m - 1) == (9 + 8) % modulus
+
+    def test_register_too_small_rejected(self):
+        circuit = QuantumCircuit(4)
+        with pytest.raises(CircuitError):
+            phi_add_const_mod(circuit, [0, 1, 2], 3, 13, ancilla=3)
+
+    def test_controlled_modular_add_fires_only_when_set(self):
+        modulus, m = 7, 4
+        for controls_set in (False, True):
+            circuit = QuantumCircuit(m + 2)
+            set_register(circuit, range(m - 1), 5)
+            if controls_set:
+                circuit.x(m + 1)
+            apply_qft(circuit, range(m))
+            phi_add_const_mod(
+                circuit, list(range(m)), 4, modulus, ancilla=m, controls=(m + 1,)
+            )
+            apply_inverse_qft(circuit, range(m))
+            result = classical_result(circuit) & (2**m - 1)
+            assert result == ((5 + 4) % modulus if controls_set else 5)
+
+
+class TestModularMultiplier:
+    def test_cmult_mod_accumulates(self):
+        # |c=1>|x=3>|b=2>  ->  |b + 5*3 mod 13> = |4>
+        modulus, a, n = 13, 5, 4
+        circuit = QuantumCircuit(n + (n + 1) + 2)
+        x_qubits = list(range(n))
+        b_qubits = list(range(n, 2 * n + 1))
+        ancilla = 2 * n + 1
+        control = 2 * n + 2
+        set_register(circuit, x_qubits, 3)
+        set_register(circuit, b_qubits, 2)
+        circuit.x(control)
+        cmult_mod(circuit, control, x_qubits, b_qubits, a, modulus, ancilla)
+        result = classical_result(circuit)
+        b_value = (result >> n) & (2 ** (n + 1) - 1)
+        assert b_value == (2 + a * 3) % modulus
+
+    @pytest.mark.parametrize("x_value", [1, 4, 11, 14])
+    def test_controlled_ua_maps_x_to_ax(self, x_value):
+        modulus, a, n = 15, 7, 4
+        circuit = QuantumCircuit(2 * n + 3)
+        x_qubits = list(range(n))
+        b_qubits = list(range(n, 2 * n + 1))
+        ancilla = 2 * n + 1
+        control = 2 * n + 2
+        set_register(circuit, x_qubits, x_value)
+        circuit.x(control)
+        controlled_modular_multiplier(
+            circuit, control, x_qubits, b_qubits, a, modulus, ancilla
+        )
+        result = classical_result(circuit)
+        assert result & (2**n - 1) == (a * x_value) % modulus
+        # Helper register and ancilla back to |0>; only the control is set.
+        assert result >> n == 1 << (n + 2)
+
+    def test_controlled_ua_identity_when_control_clear(self):
+        modulus, a, n = 15, 7, 4
+        circuit = QuantumCircuit(2 * n + 3)
+        set_register(circuit, range(n), 6)
+        controlled_modular_multiplier(
+            circuit,
+            2 * n + 2,
+            list(range(n)),
+            list(range(n, 2 * n + 1)),
+            a,
+            modulus,
+            2 * n + 1,
+        )
+        assert classical_result(circuit) == 6

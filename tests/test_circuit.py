@@ -1,0 +1,138 @@
+"""Unit tests for the QuantumCircuit container."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit, random_circuit
+from repro.circuit.operations import Barrier, Measurement, Operation
+from repro.exceptions import CircuitError
+
+
+def test_needs_at_least_one_qubit():
+    with pytest.raises(CircuitError):
+        QuantumCircuit(0)
+
+
+def test_fluent_builders_chain():
+    c = QuantumCircuit(3)
+    result = c.h(0).x(1).cx(0, 1).ccx(0, 1, 2).measure_all()
+    assert result is c
+    assert len(c) == 5
+    assert c.num_operations == 4
+
+
+def test_qubit_range_validation():
+    c = QuantumCircuit(2)
+    with pytest.raises(CircuitError):
+        c.h(2)
+    with pytest.raises(CircuitError):
+        c.cx(0, 5)
+
+
+def test_count_gates():
+    c = QuantumCircuit(3)
+    c.h(0).h(1).cx(0, 1).mcz([0, 1], 2)
+    counts = c.count_gates()
+    assert counts["h"] == 2
+    assert counts["cx"] == 1
+    assert counts["ccz"] == 1
+
+
+def test_depth_serial_vs_parallel():
+    serial = QuantumCircuit(1)
+    serial.h(0).h(0).h(0)
+    assert serial.depth() == 3
+
+    parallel = QuantumCircuit(3)
+    parallel.h(0).h(1).h(2)
+    assert parallel.depth() == 1
+
+    mixed = QuantumCircuit(2)
+    mixed.h(0).h(1).cx(0, 1)
+    assert mixed.depth() == 2
+
+
+def test_two_qubit_gate_count():
+    c = QuantumCircuit(3)
+    c.h(0).cx(0, 1).swap(1, 2).t(2)
+    assert c.two_qubit_gate_count() == 2
+
+
+def test_copy_is_independent():
+    c = QuantumCircuit(2)
+    c.h(0)
+    clone = c.copy()
+    clone.x(1)
+    assert len(c) == 1
+    assert len(clone) == 2
+
+
+def test_inverse_reverses_and_adjoints():
+    c = QuantumCircuit(2)
+    c.h(0).s(1).cx(0, 1).measure_all()
+    inv = c.inverse()
+    assert inv.num_operations == 3  # measurement dropped
+    combined = c.copy().compose(inv)
+    unitary = combined.unitary()
+    assert np.allclose(unitary, np.eye(4), atol=1e-10)
+
+
+def test_inverse_of_random_circuit_is_identity():
+    c = random_circuit(4, 25, seed=11)
+    combined = c.copy().compose(c.inverse())
+    assert np.allclose(combined.unitary(), np.eye(16), atol=1e-9)
+
+
+def test_compose_size_check():
+    big = QuantumCircuit(3)
+    small = QuantumCircuit(5)
+    with pytest.raises(CircuitError):
+        big.compose(small)
+
+
+def test_controlled_circuit():
+    inner = QuantumCircuit(1)
+    inner.x(0)
+    controlled = inner.controlled(1)
+    assert controlled.num_qubits == 2
+    unitary = controlled.unitary()
+    # Acts as CNOT with control = new qubit 1.
+    state = np.zeros(4, dtype=complex)
+    state[2] = 1  # |10>: control set
+    assert np.isclose((unitary @ state)[3], 1.0)
+    state2 = np.zeros(4, dtype=complex)
+    state2[0] = 1  # control clear -> unchanged
+    assert np.isclose((unitary @ state2)[0], 1.0)
+
+
+def test_controlled_rejects_clashing_index():
+    inner = QuantumCircuit(2)
+    inner.x(0)
+    with pytest.raises(CircuitError):
+        inner.controlled(0)
+
+
+def test_unitary_refuses_large_registers():
+    c = QuantumCircuit(13)
+    with pytest.raises(CircuitError):
+        c.unitary()
+
+
+def test_append_rejects_foreign_objects():
+    c = QuantumCircuit(1)
+    with pytest.raises(CircuitError):
+        c.append("not an instruction")
+
+
+def test_instruction_kinds_roundtrip():
+    c = QuantumCircuit(2)
+    c.h(0).barrier().measure(1)
+    kinds = [type(i) for i in c]
+    assert kinds == [Operation, Barrier, Measurement]
+
+
+def test_measure_all_records_measurement():
+    c = QuantumCircuit(2)
+    c.h(0).measure_all()
+    assert isinstance(c[1], Measurement)
+    assert c[1].measures_all

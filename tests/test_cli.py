@@ -1,0 +1,77 @@
+"""Tests for the repro-eval command-line interface."""
+
+import pytest
+
+from repro.evaluation.cli import main
+
+
+def test_figures_command(capsys):
+    assert main(["figures"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 2" in out
+    assert "|011>" in out
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "qft_48" in out
+    assert "supremacy_5x5_10" in out
+    assert "shor_221_4" in out
+
+
+def test_list_tier_filter(capsys):
+    assert main(["list", "--tier", "quick"]) == 0
+    out = capsys.readouterr().out
+    assert "qft_16" in out
+    assert "supremacy_5x5_10" not in out
+
+
+def test_table1_single_family(capsys):
+    assert main(
+        ["table1", "--tier", "quick", "--shots", "2000", "--family", "qft",
+         "--seed", "3"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "qft_16" in out
+    assert "MO" in out  # qft_32 / qft_48 memory out
+    assert "MO pattern matches the paper's rows: True" in out
+
+
+def test_table1_verify_agreement(capsys):
+    assert main(
+        ["table1", "--tier", "quick", "--shots", "20000", "--family",
+         "jellium", "--verify-agreement"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "samplers agree" in out
+    assert "[ok]" in out
+
+
+def test_table1_custom_memory_cap(capsys):
+    # A tiny cap makes even qft_16 MO.
+    assert main(
+        ["table1", "--tier", "quick", "--shots", "1000", "--family", "qft",
+         "--memory-cap-gib", "0.0000001"]
+    ) == 0
+    out = capsys.readouterr().out
+    line = next(l for l in out.splitlines() if l.startswith("qft_16"))
+    assert "MO" in line
+
+
+def test_table1_markdown_and_output(tmp_path, capsys):
+    output = tmp_path / "table.md"
+    assert main(
+        ["table1", "--tier", "quick", "--shots", "1000", "--family", "qft",
+         "--markdown", "--output", str(output)]
+    ) == 0
+    stdout = capsys.readouterr().out
+    assert "| qft_16 |" in stdout
+    written = output.read_text()
+    assert written.startswith("| benchmark")
+    assert "| qft_48 |" in written
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])

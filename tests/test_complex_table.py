@@ -1,0 +1,89 @@
+"""Unit tests for the canonical complex-number table."""
+
+import math
+
+import pytest
+
+from repro.dd.complex_table import ComplexTable
+
+
+def test_exact_values_intern_to_same_object_value():
+    table = ComplexTable()
+    a = table.lookup(0.5 + 0.25j)
+    b = table.lookup(0.5 + 0.25j)
+    assert a == b
+
+
+def test_values_within_tolerance_merge():
+    table = ComplexTable(tolerance=1e-10)
+    a = table.lookup(complex(math.sqrt(0.5), 0.0))
+    b = table.lookup(complex(math.sqrt(0.5) + 3e-11, 0.0))
+    assert a == b
+    c = table.lookup(complex(math.sqrt(0.5), -4e-11))
+    assert a == c
+
+
+def test_values_beyond_tolerance_stay_distinct():
+    table = ComplexTable(tolerance=1e-10)
+    a = table.lookup(0.3 + 0j)
+    b = table.lookup(0.3 + 5e-9 + 0j)
+    assert a != b
+
+
+def test_negative_zero_normalised():
+    table = ComplexTable()
+    value = table.lookup(complex(-0.0, -0.0))
+    assert math.copysign(1.0, value.real) == 1.0
+    assert math.copysign(1.0, value.imag) == 1.0
+    assert value == 0
+
+
+def test_zero_detection():
+    table = ComplexTable(tolerance=1e-10)
+    assert table.is_zero(0)
+    assert table.is_zero(5e-11 + 5e-11j)
+    assert not table.is_zero(1e-9)
+    assert table.is_one(1.0 + 0j)
+    assert table.is_one(1.0 + 5e-11j)
+    assert not table.is_one(1.0001)
+
+
+def test_seeded_constants_are_canonical():
+    table = ComplexTable()
+    # sqrt(1/2) computed independently should snap to the seeded constant.
+    value = table.lookup(complex(1.0 / math.sqrt(2.0), 0.0))
+    assert value == table.lookup(complex(math.sqrt(0.5), 0.0))
+
+
+def test_hit_miss_counters():
+    table = ComplexTable()
+    misses0 = table.misses
+    table.lookup(0.123 + 0.456j)
+    assert table.misses == misses0 + 1
+    table.lookup(0.123 + 0.456j)
+    assert table.hits >= 1
+
+
+def test_clear_reseeds():
+    table = ComplexTable()
+    table.lookup(0.777 + 0j)
+    table.clear()
+    assert table.lookup(1.0 + 0j) == 1.0  # seeded constants still present
+    assert len(table) > 0
+
+
+def test_invalid_tolerance():
+    with pytest.raises(ValueError):
+        ComplexTable(tolerance=0.0)
+    with pytest.raises(ValueError):
+        ComplexTable(tolerance=-1e-9)
+
+
+def test_boundary_bucket_neighbours():
+    # Two values straddling a bucket boundary but within tolerance merge.
+    tol = 1e-10
+    table = ComplexTable(tolerance=tol)
+    base = 7.05e-10  # near a bucket edge
+    a = table.lookup(complex(base - 0.4 * tol, 0))
+    b = table.lookup(complex(base + 0.4 * tol, 0))
+    assert a == b

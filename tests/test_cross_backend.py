@@ -1,0 +1,89 @@
+"""Cross-backend stress tests: every simulator and sampler, one truth.
+
+The strongest systemic evidence the library can give: dense, DD, and
+(where applicable) stabilizer strong simulation agree amplitude-for-
+amplitude, and every sampling method draws from that same distribution.
+These tests sweep randomized circuits (seeded) across the full pipeline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit, random_circuit
+from repro.core import (
+    DD_METHODS,
+    VECTOR_METHODS,
+    chi_square_gof,
+    sample_dd,
+    sample_statevector,
+)
+from repro.dd import NormalizationScheme
+from repro.simulators import DDSimulator, StatevectorSimulator
+
+
+FAST_METHODS = [m for m in DD_METHODS + VECTOR_METHODS
+                if m not in ("dd-collapse", "vector-linear")]
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_strong_simulators_agree(seed):
+    circuit = random_circuit(5, 45, seed=1000 + seed)
+    dense = StatevectorSimulator().run(circuit)
+    for scheme in NormalizationScheme:
+        dd = DDSimulator(scheme=scheme).run(circuit)
+        assert np.allclose(dd.to_statevector(), dense, atol=1e-8), scheme
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_all_samplers_pass_gof_on_random_circuit(seed):
+    circuit = random_circuit(4, 30, seed=2000 + seed)
+    dense = StatevectorSimulator().run(circuit)
+    probabilities = (dense.conj() * dense).real
+    dd_state = DDSimulator().run(circuit)
+    shots = 20_000
+    for method in FAST_METHODS:
+        if method.startswith("dd"):
+            result = sample_dd(dd_state, shots, method=method, seed=seed)
+        else:
+            result = sample_statevector(dense, shots, method=method, seed=seed)
+        gof = chi_square_gof(result, probabilities)
+        assert gof.consistent, (method, gof)
+
+
+@pytest.mark.parametrize("num_qubits", [2, 4, 6])
+def test_pipeline_on_layered_entanglers(num_qubits):
+    """A CZ-brickwork circuit: worst case for naive samplers' zero
+    handling (lots of exact amplitude coincidences)."""
+    circuit = QuantumCircuit(num_qubits)
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    for layer in range(3):
+        for qubit in range(layer % 2, num_qubits - 1, 2):
+            circuit.cz(qubit, qubit + 1)
+        for qubit in range(num_qubits):
+            circuit.t(qubit)
+    dense = StatevectorSimulator().run(circuit)
+    probabilities = (dense.conj() * dense).real
+    state = DDSimulator().run(circuit)
+    assert np.allclose(state.probabilities(), probabilities, atol=1e-9)
+    result = sample_dd(state, 20_000, method="dd", seed=0)
+    assert chi_square_gof(result, probabilities).consistent
+
+
+def test_amplitude_queries_match_across_backends():
+    circuit = random_circuit(6, 50, seed=77)
+    dense = StatevectorSimulator().run(circuit)
+    state = DDSimulator().run(circuit)
+    rng = np.random.default_rng(0)
+    for index in rng.integers(64, size=20):
+        assert np.isclose(
+            state.amplitude(int(index)), dense[int(index)], atol=1e-8
+        )
+
+
+def test_fidelity_against_dense_is_one():
+    circuit = random_circuit(5, 40, seed=88)
+    dense = StatevectorSimulator().run(circuit)
+    state = DDSimulator().run(circuit)
+    overlap = np.vdot(dense, state.to_statevector())
+    assert np.isclose(abs(overlap), 1.0, atol=1e-8)

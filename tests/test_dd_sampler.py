@@ -1,0 +1,191 @@
+"""Unit tests for DD-based weak simulation (the paper's Section IV)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms.states import (
+    RUNNING_EXAMPLE_PROBABILITIES,
+    running_example_statevector,
+)
+from repro.core.dd_sampler import DDSampler
+from repro.core.indistinguishability import chi_square_gof
+from repro.dd import DDPackage, NormalizationScheme, VectorDD
+from repro.exceptions import SamplingError
+
+from .conftest import random_statevector, sparse_statevector
+
+
+def make_state(vector, scheme=NormalizationScheme.L2):
+    pkg = DDPackage(scheme=scheme)
+    return VectorDD.from_statevector(pkg, vector)
+
+
+class TestBranchProbabilities:
+    def test_running_example_root_probabilities(self):
+        # Fig. 4c: root branches with 3/4 and 1/4.
+        state = make_state(running_example_statevector())
+        sampler = DDSampler(state)
+        p0, p1 = sampler.branch_probabilities(state.edge.node)
+        assert np.isclose(p0, 0.75, atol=1e-9)
+        assert np.isclose(p1, 0.25, atol=1e-9)
+
+    def test_leftmost_scheme_needs_downstream(self):
+        state = make_state(
+            running_example_statevector(), NormalizationScheme.LEFTMOST
+        )
+        sampler = DDSampler(state)
+        assert sampler.downstream is not None
+        p0, p1 = sampler.branch_probabilities(state.edge.node)
+        assert np.isclose(p0, 0.75, atol=1e-9)
+
+    def test_l2_scheme_skips_downstream(self):
+        state = make_state(running_example_statevector())
+        sampler = DDSampler(state)
+        assert sampler.downstream is None  # the paper's enhancement
+
+    def test_trust_flag_forces_downstream(self):
+        state = make_state(running_example_statevector())
+        sampler = DDSampler(state, trust_l2_normalization=False)
+        assert sampler.downstream is not None
+
+    def test_edge_probabilities_table(self):
+        state = make_state(running_example_statevector())
+        sampler = DDSampler(state)
+        table = sampler.edge_probabilities()
+        root = state.edge.node
+        assert np.isclose(table[(root.index, 0)], 0.75)
+        assert np.isclose(table[(root.index, 1)], 0.25)
+        # probabilities per node sum to 1
+        by_node = {}
+        for (node_index, bit), p in table.items():
+            by_node.setdefault(node_index, 0.0)
+            by_node[node_index] += p
+        for total in by_node.values():
+            assert np.isclose(total, 1.0, atol=1e-9)
+
+    def test_node_visit_probabilities(self):
+        state = make_state(running_example_statevector())
+        sampler = DDSampler(state)
+        visits = sampler.node_visit_probabilities()
+        assert np.isclose(visits[state.edge.node.index], 1.0)
+
+    def test_zero_state_rejected(self):
+        pkg = DDPackage()
+        with pytest.raises(SamplingError):
+            DDSampler(VectorDD(pkg, pkg.zero_edge, 2))
+
+
+class TestSamplingCorrectness:
+    @pytest.mark.parametrize("scheme", list(NormalizationScheme))
+    def test_vectorised_sampler_gof(self, scheme):
+        rng = np.random.default_rng(0)
+        vector = random_statevector(4, rng)
+        state = make_state(vector, scheme)
+        sampler = DDSampler(state)
+        samples = sampler.sample(50_000, rng=1)
+        counts = {int(v): int(c) for v, c in zip(*np.unique(samples, return_counts=True))}
+        gof = chi_square_gof(counts, np.abs(vector) ** 2)
+        assert gof.p_value > 1e-4
+
+    def test_path_sampler_matches_distribution(self):
+        vector = running_example_statevector()
+        state = make_state(vector)
+        sampler = DDSampler(state)
+        samples = sampler.sample_paths(20_000, rng=2)
+        assert set(np.unique(samples)) <= {1, 3, 4, 7}
+        counts = np.bincount(samples, minlength=8) / 20_000
+        assert np.abs(counts - np.asarray(RUNNING_EXAMPLE_PROBABILITIES)).max() < 0.02
+
+    def test_vectorised_equals_path_distribution(self):
+        rng = np.random.default_rng(3)
+        vector = sparse_statevector(5, 6, rng)
+        state = make_state(vector)
+        sampler = DDSampler(state)
+        fast = np.bincount(sampler.sample(30_000, rng=4), minlength=32) / 30_000
+        slow = np.bincount(sampler.sample_paths(30_000, rng=5), minlength=32) / 30_000
+        assert np.abs(fast - slow).max() < 0.02
+
+    def test_multinomial_counts_distribution(self):
+        rng = np.random.default_rng(6)
+        vector = random_statevector(3, rng)
+        state = make_state(vector)
+        sampler = DDSampler(state)
+        counts = sampler.sample_counts_multinomial(40_000, rng=7)
+        assert sum(counts.values()) == 40_000
+        gof = chi_square_gof(counts, np.abs(vector) ** 2)
+        assert gof.p_value > 1e-4
+
+    def test_multinomial_zero_shots(self):
+        state = make_state(running_example_statevector())
+        sampler = DDSampler(state)
+        assert sampler.sample_counts_multinomial(0, rng=0) == {}
+
+    def test_collapse_sampler_distribution(self):
+        vector = running_example_statevector()
+        state = make_state(vector)
+        sampler = DDSampler(state)
+        samples = sampler.sample_collapse(2_000, rng=8)
+        counts = np.bincount(samples, minlength=8) / 2_000
+        assert np.abs(counts - np.asarray(RUNNING_EXAMPLE_PROBABILITIES)).max() < 0.05
+
+    def test_sample_one_respects_zero_amplitudes(self):
+        vector = running_example_statevector()
+        state = make_state(vector)
+        sampler = DDSampler(state)
+        rng = np.random.default_rng(9)
+        for _ in range(200):
+            assert sampler.sample_one(rng) in {1, 3, 4, 7}
+
+    def test_deterministic_state_sampling(self):
+        # |101> with certainty: every method returns 5.
+        pkg = DDPackage()
+        state = VectorDD.basis_state(pkg, 3, 5)
+        sampler = DDSampler(state)
+        assert set(sampler.sample(100, rng=0)) == {5}
+        assert sampler.sample_counts_multinomial(100, rng=0) == {5: 100}
+        assert set(sampler.sample_collapse(10, rng=0)) == {5}
+
+    def test_sample_negative_shots(self):
+        state = make_state(running_example_statevector())
+        with pytest.raises(SamplingError):
+            DDSampler(state).sample(-5)
+
+    def test_sample_result_wrapper(self):
+        state = make_state(running_example_statevector())
+        result = DDSampler(state).sample_result(1_000, rng=10)
+        assert result.shots == 1_000
+        assert result.method == "dd"
+        multinomial = DDSampler(state).sample_result_multinomial(1_000, rng=11)
+        assert multinomial.method == "dd-multinomial"
+        assert multinomial.shots == 1_000
+
+
+class TestScaling:
+    def test_beyond_int64_guard(self):
+        """Vectorised sampling refuses > 62 qubits (int64 packing); the
+        per-sample walk still works."""
+        pkg = DDPackage()
+        state = VectorDD.basis_state(pkg, 70, 0)
+        sampler = DDSampler(state)
+        with pytest.raises(SamplingError):
+            sampler.sample(10, rng=0)
+        assert sampler.sample_one(rng=0) == 0
+
+    def test_sampling_wide_registers(self):
+        # 40-qubit GHZ-like state: samples must be 0 or 2^40 - 1.
+        pkg = DDPackage()
+        n = 40
+        ghz_top = pkg.basis_state(n, 0)
+        ghz_bottom = pkg.basis_state(n, 2**n - 1)
+        edge = pkg.add(
+            pkg.scale(ghz_top, 1 / math.sqrt(2)),
+            pkg.scale(ghz_bottom, 1 / math.sqrt(2)),
+        )
+        state = VectorDD(pkg, edge, n)
+        sampler = DDSampler(state)
+        samples = sampler.sample(2_000, rng=12)
+        values = set(int(s) for s in np.unique(samples))
+        assert values <= {0, 2**n - 1}
+        assert len(values) == 2

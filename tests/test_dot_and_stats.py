@@ -1,0 +1,79 @@
+"""Unit tests for DOT export and size/memory accounting."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms.states import running_example_statevector
+from repro.dd import DDPackage, RepresentationSize, to_dot
+from repro.dd.stats import dd_bytes, size_log2, vector_bytes
+
+
+class TestDot:
+    def test_running_example_dot(self):
+        pkg = DDPackage()
+        edge = pkg.from_statevector(running_example_statevector())
+        dot = to_dot(edge, 3)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert 'label="q2"' in dot
+        assert 'label="q1"' in dot
+        assert 'label="q0"' in dot
+        assert "terminal" in dot
+
+    def test_dot_with_probabilities(self):
+        pkg = DDPackage()
+        edge = pkg.from_statevector(running_example_statevector())
+        dot = to_dot(edge, 3, show_probabilities=True)
+        assert "0.75" in dot
+        assert "0.25" in dot
+
+    def test_dot_weight_formatting(self):
+        pkg = DDPackage()
+        edge = pkg.from_statevector(np.array([0.6, 0.8j]))
+        dot = to_dot(edge, 1)
+        assert "0.6" in dot
+        assert "0.8i" in dot
+
+    def test_dot_zero_and_terminal_edges(self):
+        pkg = DDPackage()
+        assert "-> terminal" in to_dot(pkg.zero_edge, 0)
+        scalar = pkg.terminal_edge(0.5)
+        assert 'label="0.5"' in to_dot(scalar, 0)
+
+    def test_dashed_zero_edge_styling(self):
+        pkg = DDPackage()
+        edge = pkg.basis_state(2, 0b10)
+        dot = to_dot(edge, 2)
+        assert "style=dashed" in dot
+        assert "style=solid" in dot
+
+
+class TestSizes:
+    def test_vector_bytes(self):
+        assert vector_bytes(10) == 16 * 1024
+        assert vector_bytes(30) == 16 * 2**30
+
+    def test_dd_bytes_monotone(self):
+        assert dd_bytes(100) == 100 * dd_bytes(1)
+
+    def test_size_log2(self):
+        assert size_log2(1024) == 10.0
+        assert size_log2(0) == float("-inf")
+        assert np.isclose(size_log2(48_793), 15.57, atol=0.01)  # shor_33_2 row
+
+    def test_representation_size(self):
+        pkg = DDPackage()
+        edge = pkg.from_statevector(np.full(2**10, 2**-5))
+        size = RepresentationSize.of(pkg, edge, 10)
+        assert size.vector_entries == 1024
+        assert size.dd_nodes == 10
+        assert size.compression_ratio == 1024 / 10
+        assert size.vector_size_bytes == 16 * 1024
+        assert size.dd_size_bytes > 0
+        assert np.isclose(size.dd_log2, math.log2(10))
+
+    def test_zero_nodes_infinite_compression(self):
+        size = RepresentationSize(num_qubits=4, dd_nodes=0)
+        assert size.compression_ratio == float("inf")

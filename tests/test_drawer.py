@@ -1,0 +1,66 @@
+"""Tests for the ASCII circuit drawer and layer packing."""
+
+from repro.circuit import QuantumCircuit, circuit_layers, draw
+from repro.algorithms.states import running_example_circuit
+
+
+def test_layers_pack_disjoint_gates():
+    circuit = QuantumCircuit(3)
+    circuit.h(0).h(1).h(2)  # all disjoint -> one layer
+    assert len(circuit_layers(circuit)) == 1
+
+
+def test_layers_respect_dependencies():
+    circuit = QuantumCircuit(2)
+    circuit.h(0).cx(0, 1).h(0)
+    assert len(circuit_layers(circuit)) == 3
+
+
+def test_layers_measurement_blocks_everything():
+    circuit = QuantumCircuit(2)
+    circuit.h(0).measure_all()
+    circuit.h(1)
+    layers = circuit_layers(circuit)
+    assert len(layers) == 3  # h | measure | h
+
+
+def test_draw_contains_wires_and_gates():
+    circuit = QuantumCircuit(2)
+    circuit.h(1).cx(1, 0).measure_all()
+    art = draw(circuit)
+    lines = art.splitlines()
+    assert len(lines) == 2
+    assert lines[0].startswith("q1:")
+    assert lines[1].startswith("q0:")
+    assert "[H]" in art
+    assert "●" in art
+    assert "⊕" in art
+    assert "[M]" in art
+
+
+def test_draw_anticontrols_and_params():
+    art = draw(running_example_circuit())
+    assert "○" in art  # anti-controls of the running example
+    assert "[RX(2.1)]" in art
+
+
+def test_draw_vertical_connectors():
+    circuit = QuantumCircuit(3)
+    circuit.cx(2, 0)  # q1 in between gets a connector
+    art = draw(circuit)
+    assert "│" in art
+
+
+def test_draw_barrier():
+    circuit = QuantumCircuit(1)
+    circuit.h(0).barrier().h(0)
+    assert "░" in draw(circuit)
+
+
+def test_draw_truncates_long_circuits():
+    circuit = QuantumCircuit(1)
+    for _ in range(200):
+        circuit.h(0)
+    art = draw(circuit, max_width=80)
+    assert all(len(line) <= 80 for line in art.splitlines())
+    assert "..." in art

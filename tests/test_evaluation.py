@@ -1,0 +1,135 @@
+"""Unit tests for the evaluation harness (catalog, Table-I runner, report)."""
+
+import numpy as np
+import pytest
+
+from repro.dd.stats import vector_bytes
+from repro.evaluation import (
+    PAPER_TABLE,
+    MemoryPolicy,
+    build_state,
+    by_name,
+    catalog,
+    format_bytes,
+    format_table1,
+    format_table1_markdown,
+    run_row,
+)
+from repro.evaluation.catalog import BenchmarkSpec
+
+
+class TestPaperTable:
+    def test_seventeen_rows(self):
+        assert len(PAPER_TABLE) == 17
+
+    def test_mo_rows(self):
+        mo_rows = {row.name for row in PAPER_TABLE if row.vector_mo}
+        assert mo_rows == {"qft_32", "qft_48", "grover_35"}
+
+    def test_known_values(self):
+        by = {row.name: row for row in PAPER_TABLE}
+        assert by["shor_221_4"].dd_nodes == 1_048_574
+        assert by["supremacy_5x5_10"].dd_time_s == 4.28
+        assert by["qft_16"].qubits == 16
+
+
+class TestCatalog:
+    def test_tiers_nest(self):
+        quick = {s.name for s in catalog("quick")}
+        full = {s.name for s in catalog("full")}
+        paper = {s.name for s in catalog("paper")}
+        assert quick < full < paper
+
+    def test_all_families_in_quick(self):
+        families = {s.family for s in catalog("quick")}
+        assert families == {"qft", "grover", "shor", "jellium", "supremacy"}
+
+    def test_family_filter(self):
+        specs = catalog("paper", families=["qft"])
+        assert specs
+        assert all(s.family == "qft" for s in specs)
+
+    def test_unknown_tier(self):
+        with pytest.raises(ValueError):
+            catalog("enormous")
+
+    def test_by_name(self):
+        spec = by_name("qft_16")
+        assert spec.num_qubits == 16
+        with pytest.raises(KeyError):
+            by_name("nope_7")
+
+    def test_paper_row_links_resolve(self):
+        for spec in catalog("paper"):
+            assert spec.paper is not None
+            assert spec.paper.name == spec.paper_row
+
+
+class TestMemoryPolicy:
+    def test_vector_fits(self):
+        policy = MemoryPolicy(cap_bytes=vector_bytes(20))
+        assert policy.vector_fits(20)
+        assert not policy.vector_fits(21)
+        assert policy.vector_verdict(21) == "MO"
+        assert policy.vector_verdict(10) == "ok"
+
+    def test_default_cap_reproduces_paper_pattern_at_scale(self):
+        # With the paper's 32 GiB of RAM, the 2^32-amplitude qft_32 state
+        # (64 GiB) is MO while the 2^31 grover_30 state (32 GiB) still
+        # ran (with swap, hence its 994 s).
+        policy = MemoryPolicy(cap_bytes=32 * 1024**3)
+        for row in PAPER_TABLE:
+            assert policy.vector_fits(row.qubits) == (not row.vector_mo), row.name
+
+    def test_format_bytes(self):
+        assert format_bytes(512) == "512 B"
+        assert format_bytes(4 * 1024**3) == "4 GiB"
+
+
+class TestRunRow:
+    def test_qft16_row(self):
+        row = run_row(by_name("qft_16"), shots=5_000, seed=1)
+        assert row.dd_nodes == 16
+        assert not row.vector_mo
+        assert row.vector_total_s is not None
+        assert row.dd_total_s >= 0
+        assert row.shots == 5_000
+        assert row.paper_dd_nodes == 16
+        assert row.mo_matches_paper
+
+    def test_qft32_is_mo(self):
+        row = run_row(by_name("qft_32"), shots=1_000, seed=1)
+        assert row.vector_mo
+        assert row.vector_total_s is None
+        assert row.dd_nodes == 32
+        assert row.mo_matches_paper
+
+    def test_agreement_check(self):
+        row = run_row(
+            by_name("jellium_2x2"), shots=20_000, seed=2, verify_agreement=True
+        )
+        assert row.agreement_p_value is not None
+        assert row.agreement_p_value > 1e-4
+
+    def test_build_state_kinds(self):
+        for name in ("qft_16", "grover_10", "shor_33_2"):
+            state = build_state(by_name(name))
+            assert state.num_qubits == by_name(name).num_qubits
+            assert np.isclose(state.norm_squared(), 1.0, atol=1e-6)
+
+
+class TestReport:
+    def _rows(self):
+        return [run_row(by_name("qft_16"), shots=1_000, seed=0),
+                run_row(by_name("qft_32"), shots=1_000, seed=0)]
+
+    def test_format_table1(self):
+        text = format_table1(self._rows(), shots=1_000)
+        assert "qft_16" in text
+        assert "MO" in text
+        assert "2^32" in text
+
+    def test_format_markdown(self):
+        text = format_table1_markdown(self._rows())
+        assert text.startswith("| benchmark")
+        assert "| qft_32 |" in text

@@ -1,0 +1,247 @@
+"""Tests for sampler extensions: alias method, top-qubit marginals,
+streaming, the shot executor, and DD serialisation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms import shor_final_state
+from repro.algorithms.states import running_example_statevector
+from repro.circuit import QuantumCircuit
+from repro.core import AliasSampler, DDSampler, ShotExecutor, chi_square_gof
+from repro.core.prefix_sampler import PrefixSampler
+from repro.dd import (
+    DDPackage,
+    NormalizationScheme,
+    VectorDD,
+    load_state,
+    save_state,
+    state_from_dict,
+    state_to_dict,
+)
+from repro.exceptions import DDError, SamplingError
+
+from .conftest import random_statevector
+
+
+class TestAliasSampler:
+    def test_matches_distribution(self):
+        rng = np.random.default_rng(0)
+        raw = rng.exponential(size=64)
+        probabilities = raw / raw.sum()
+        sampler = AliasSampler(probabilities, is_statevector=False)
+        samples = sampler.sample(60_000, rng=1)
+        counts = {int(v): int(c) for v, c in zip(*np.unique(samples, return_counts=True))}
+        assert chi_square_gof(counts, probabilities).consistent
+
+    def test_agrees_with_prefix_sampler_distribution(self):
+        vector = running_example_statevector()
+        alias = AliasSampler(vector)
+        prefix = PrefixSampler(vector)
+        a = np.bincount(alias.sample(50_000, rng=2), minlength=8) / 50_000
+        b = np.bincount(prefix.sample(50_000, rng=3), minlength=8) / 50_000
+        assert np.abs(a - b).max() < 0.01
+
+    def test_zero_probability_never_sampled(self):
+        sampler = AliasSampler(np.array([0.5, 0.0, 0.5, 0.0]), is_statevector=False)
+        samples = sampler.sample(10_000, rng=4)
+        assert set(np.unique(samples)) <= {0, 2}
+
+    def test_deterministic_distribution(self):
+        sampler = AliasSampler(np.array([0.0, 1.0]), is_statevector=False)
+        assert set(sampler.sample(100, rng=5)) == {1}
+        assert sampler.sample_one(rng=6) == 1
+
+    def test_sample_result(self):
+        sampler = AliasSampler(np.array([0.25] * 4), is_statevector=False)
+        result = sampler.sample_result(100, rng=7)
+        assert result.method == "alias"
+        assert result.shots == 100
+
+    def test_validation(self):
+        with pytest.raises(SamplingError):
+            AliasSampler(np.array([0.6, 0.6]), is_statevector=False)
+        with pytest.raises(SamplingError):
+            AliasSampler(np.array([]), is_statevector=False)
+        sampler = AliasSampler(np.array([1.0]), is_statevector=False)
+        with pytest.raises(SamplingError):
+            sampler.sample(-1)
+
+
+class TestTopQubitSampling:
+    def test_shor_counting_register(self):
+        statevector, precision, n_out = shor_final_state(15, 7, precision=6)
+        package = DDPackage()
+        state = VectorDD.from_statevector(package, statevector)
+        sampler = DDSampler(state)
+        readings = sampler.sample_top_qubits(precision, 20_000, rng=0)
+        # Order 4: counting peaks exactly at multiples of 2^6/4 = 16.
+        assert set(np.unique(readings)) == {0, 16, 32, 48}
+
+    def test_marginal_matches_full_sampling(self):
+        rng = np.random.default_rng(1)
+        vector = random_statevector(5, rng)
+        package = DDPackage()
+        state = VectorDD.from_statevector(package, vector)
+        sampler = DDSampler(state)
+        top = sampler.sample_top_qubits(2, 40_000, rng=2)
+        full = sampler.sample(40_000, rng=3) >> 3
+        a = np.bincount(top, minlength=4) / 40_000
+        b = np.bincount(full, minlength=4) / 40_000
+        assert np.abs(a - b).max() < 0.02
+
+    def test_full_width_equals_sample(self):
+        rng = np.random.default_rng(4)
+        vector = random_statevector(3, rng)
+        package = DDPackage()
+        sampler = DDSampler(VectorDD.from_statevector(package, vector))
+        a = sampler.sample_top_qubits(3, 500, rng=5)
+        b = sampler.sample(500, rng=5)
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        package = DDPackage()
+        sampler = DDSampler(VectorDD.basis_state(package, 3, 1))
+        with pytest.raises(SamplingError):
+            sampler.sample_top_qubits(0, 10)
+        with pytest.raises(SamplingError):
+            sampler.sample_top_qubits(4, 10)
+
+    def test_sample_iter_stream(self):
+        package = DDPackage()
+        sampler = DDSampler(VectorDD.basis_state(package, 3, 5))
+        stream = sampler.sample_iter(rng=0)
+        assert [next(stream) for _ in range(5)] == [5] * 5
+
+
+class TestShotExecutor:
+    def test_terminal_measurement_fast_path(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(1).cx(1, 0).measure_all()
+        executor = ShotExecutor(circuit)
+        assert not executor.has_mid_circuit_measurement
+        result = executor.run(5_000, seed=0)
+        assert set(result.counts) == {0, 3}
+
+    def test_mid_circuit_measurement_collapses(self):
+        # Measure a |+> qubit, then CNOT onto a fresh qubit: outcomes are
+        # perfectly correlated 00/11 — only if collapse really happened.
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.measure(0)
+        circuit.cx(0, 1)
+        circuit.measure_all()
+        executor = ShotExecutor(circuit)
+        assert executor.has_mid_circuit_measurement
+        result = executor.run(500, seed=1)
+        assert set(result.counts) <= {0b00, 0b11}
+        assert len(result.counts) == 2
+        share = result.counts[0] / result.shots
+        assert 0.4 < share < 0.6
+
+    def test_repeated_measurement_is_stable(self):
+        # Measuring twice without evolution gives the same outcome: the
+        # state collapsed.
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        circuit.measure(0)
+        circuit.measure(0)
+        circuit.h(0)  # ensure mid-circuit path is taken
+        circuit.measure(0)
+        result = ShotExecutor(circuit).run(300, seed=2)
+        assert result.shots == 300
+
+    def test_partial_measurement_masks_unmeasured(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).h(1).h(2)
+        circuit.measure(1)
+        executor = ShotExecutor(circuit)
+        result = executor.run(1_000, seed=3)
+        for sample in result.counts:
+            assert sample & ~0b010 == 0  # only qubit 1 recorded
+
+    def test_statistics_match_deferred_measurement(self):
+        # Principle of deferred measurement: measuring q0 mid-circuit and
+        # then entangling classically-controlled... here plain case: the
+        # final distribution over (q0, q1) equals the no-collapse one.
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.measure(0)
+        circuit.cx(0, 1)
+        circuit.measure_all()
+        with_collapse = ShotExecutor(circuit).run(20_000, seed=4)
+        deferred = QuantumCircuit(2)
+        deferred.h(0).cx(0, 1).measure_all()
+        reference = ShotExecutor(deferred).run(20_000, seed=5)
+        a = with_collapse.empirical_probabilities()
+        b = reference.empirical_probabilities()
+        for key in set(a) | set(b):
+            assert abs(a.get(key, 0) - b.get(key, 0)) < 0.02
+
+    def test_negative_shots(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0).measure_all()
+        from repro.exceptions import SimulationError
+
+        with pytest.raises(SimulationError):
+            ShotExecutor(circuit).run(-1)
+
+
+class TestSerialization:
+    def test_roundtrip_dict(self):
+        rng = np.random.default_rng(0)
+        vector = random_statevector(5, rng)
+        package = DDPackage()
+        state = VectorDD.from_statevector(package, vector)
+        payload = state_to_dict(state)
+        assert payload["format"] == "repro-dd"
+        restored = state_from_dict(payload)
+        assert np.allclose(restored.to_statevector(), vector, atol=1e-9)
+        assert restored.node_count == state.node_count
+
+    def test_roundtrip_file(self, tmp_path):
+        rng = np.random.default_rng(1)
+        vector = random_statevector(4, rng)
+        package = DDPackage()
+        state = VectorDD.from_statevector(package, vector)
+        path = str(tmp_path / "state.json")
+        save_state(state, path)
+        restored = load_state(path)
+        assert np.allclose(restored.to_statevector(), vector, atol=1e-9)
+
+    def test_roundtrip_gzip(self, tmp_path):
+        rng = np.random.default_rng(2)
+        vector = random_statevector(4, rng)
+        package = DDPackage()
+        state = VectorDD.from_statevector(package, vector)
+        path = str(tmp_path / "state.json.gz")
+        save_state(state, path)
+        restored = load_state(path)
+        assert np.allclose(restored.to_statevector(), vector, atol=1e-9)
+
+    def test_cross_scheme_loading(self):
+        vector = running_example_statevector()
+        source = DDPackage(scheme=NormalizationScheme.LEFTMOST)
+        state = VectorDD.from_statevector(source, vector)
+        payload = state_to_dict(state)
+        target = DDPackage(scheme=NormalizationScheme.L2)
+        restored = state_from_dict(payload, package=target)
+        assert np.allclose(restored.to_statevector(), vector, atol=1e-9)
+
+    def test_sampling_after_reload(self, tmp_path):
+        vector = running_example_statevector()
+        package = DDPackage()
+        state = VectorDD.from_statevector(package, vector)
+        path = str(tmp_path / "run.json")
+        save_state(state, path)
+        restored = load_state(path)
+        sampler = DDSampler(restored)
+        samples = sampler.sample(5_000, rng=0)
+        assert set(np.unique(samples)) <= {1, 3, 4, 7}
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(DDError):
+            state_from_dict({"format": "something-else"})
+        with pytest.raises(DDError):
+            state_from_dict({"format": "repro-dd", "version": 99})

@@ -1,0 +1,104 @@
+"""Reproduction tests for the paper's Figures 2, 3, and 4.
+
+These pin the library's output to the exact numbers printed in the paper,
+which is the strongest correctness anchor available (Table I only gives
+machine-dependent timings; the figures are analytic).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.evaluation.figures import (
+    figure2_data,
+    figure3_data,
+    figure4_data,
+    render_figures,
+)
+
+
+class TestFigure2:
+    def test_amplitudes(self):
+        data = figure2_data()
+        expected = [0, -0.6124j, 0, -0.6124j, 0.3536, 0, 0, 0.3536]
+        assert np.allclose(data.amplitudes, expected, atol=5e-4)
+
+    def test_probabilities(self):
+        data = figure2_data()
+        assert np.allclose(
+            data.probabilities, [0, 3 / 8, 0, 3 / 8, 1 / 8, 0, 0, 1 / 8], atol=1e-9
+        )
+
+    def test_sample_at_half_is_011(self):
+        assert figure2_data().sample_at_half == "011"
+
+
+class TestFigure3:
+    def test_prefix_array(self):
+        data = figure3_data()
+        assert np.allclose(
+            data.prefix, [0, 3 / 8, 3 / 8, 6 / 8, 7 / 8, 7 / 8, 7 / 8, 1], atol=1e-12
+        )
+
+    def test_result_for_half(self):
+        data = figure3_data(0.5)
+        assert data.result_index == 3
+        assert data.result_bitstring == "011"
+
+    def test_other_probes(self):
+        assert figure3_data(0.1).result_bitstring == "001"
+        assert figure3_data(0.80).result_bitstring == "100"
+        assert figure3_data(0.95).result_bitstring == "111"
+
+
+class TestFigure4:
+    def test_4b_root_weight(self):
+        data = figure4_data()
+        # Paper: root edge weight -0.612i.
+        assert np.isclose(data.leftmost_root_weight, -0.6124j, atol=5e-4)
+
+    def test_4b_q2_weights(self):
+        data = figure4_data()
+        w0, w1 = data.leftmost_q2_weights
+        # Paper Fig. 4b: left weight 1, right weight 0.578i.
+        assert np.isclose(w0, 1.0, atol=1e-9)
+        assert np.isclose(w1, 0.5774j, atol=5e-4)
+
+    def test_4c_branch_probabilities(self):
+        data = figure4_data()
+        assert np.allclose(data.branch_probabilities["q2"], (0.75, 0.25), atol=1e-9)
+        assert np.allclose(
+            data.branch_probabilities["q1_left"], (0.5, 0.5), atol=1e-9
+        )
+        assert np.allclose(
+            data.branch_probabilities["q1_right"], (0.5, 0.5), atol=1e-9
+        )
+
+    def test_4d_l2_magnitudes(self):
+        data = figure4_data()
+        # Paper Fig. 4d: root weights -sqrt(3/4)i and 1/sqrt(4).
+        assert np.allclose(
+            data.l2_weight_magnitudes["q2"],
+            (math.sqrt(3) / 2, 0.5),
+            atol=1e-9,
+        )
+        assert np.allclose(
+            data.l2_weight_magnitudes["q1_left"],
+            (1 / math.sqrt(2), 1 / math.sqrt(2)),
+            atol=1e-9,
+        )
+
+    def test_node_counts(self):
+        # The paper's drawing shows three q0 nodes, but two of them are
+        # identical ([0, 1]) and the canonical DD shares them: 5 nodes.
+        data = figure4_data()
+        assert data.leftmost_node_count == 5
+        assert data.l2_node_count == 5
+
+
+def test_render_figures_mentions_paper_values():
+    text = render_figures()
+    assert "|011>" in text
+    assert "3/8" in text
+    assert "0.75" in text or "3/4" in text

@@ -1,0 +1,153 @@
+"""Unit tests for the gate library."""
+
+import cmath
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit import gates as g
+from repro.exceptions import CircuitError
+
+
+ALL_FIXED = [
+    g.identity_gate,
+    g.x_gate,
+    g.y_gate,
+    g.z_gate,
+    g.h_gate,
+    g.s_gate,
+    g.sdg_gate,
+    g.t_gate,
+    g.tdg_gate,
+    g.sx_gate,
+    g.sxdg_gate,
+    g.sy_gate,
+    g.sydg_gate,
+    g.swap_gate,
+    g.iswap_gate,
+]
+
+PARAMETRIC = [
+    lambda: g.rx_gate(0.7),
+    lambda: g.ry_gate(-1.3),
+    lambda: g.rz_gate(2.1),
+    lambda: g.phase_gate(0.4),
+    lambda: g.u2_gate(0.3, 1.1),
+    lambda: g.u3_gate(0.9, 0.2, -0.5),
+    lambda: g.rzz_gate(0.8),
+    lambda: g.rxx_gate(1.7),
+    lambda: g.ryy_gate(-0.6),
+    lambda: g.fsim_gate(0.5, 0.3),
+]
+
+
+@pytest.mark.parametrize("maker", ALL_FIXED + PARAMETRIC)
+def test_every_gate_is_unitary(maker):
+    gate = maker()
+    assert g.is_unitary(gate.array)
+
+
+@pytest.mark.parametrize("maker", ALL_FIXED + PARAMETRIC)
+def test_inverse_matrix_is_adjoint(maker):
+    gate = maker()
+    inverse = gate.inverse()
+    product = gate.array @ inverse.array
+    assert np.allclose(product, np.eye(2**gate.num_qubits), atol=1e-12)
+
+
+def test_inverse_name_toggles_dg_suffix():
+    assert g.s_gate().inverse().name == "sdg"
+    assert g.sdg_gate().inverse().name == "s"
+
+
+def test_x_squares_to_identity():
+    x = g.x_gate().array
+    assert np.allclose(x @ x, np.eye(2))
+
+
+def test_sx_squares_to_x():
+    sx = g.sx_gate().array
+    assert np.allclose(sx @ sx, g.x_gate().array, atol=1e-12)
+
+
+def test_sy_squares_to_y():
+    sy = g.sy_gate().array
+    assert np.allclose(sy @ sy, g.y_gate().array, atol=1e-12)
+
+
+def test_t_squares_to_s():
+    t = g.t_gate().array
+    assert np.allclose(t @ t, g.s_gate().array, atol=1e-12)
+
+
+def test_h_creates_superposition():
+    h = g.h_gate().array
+    plus = h @ np.array([1, 0])
+    assert np.allclose(plus, [1 / math.sqrt(2), 1 / math.sqrt(2)])
+
+
+def test_rx_full_turn_is_minus_identity():
+    rx = g.rx_gate(2 * math.pi).array
+    assert np.allclose(rx, -np.eye(2), atol=1e-12)
+
+
+def test_rz_phases():
+    rz = g.rz_gate(math.pi).array
+    assert np.allclose(rz, [[-1j, 0], [0, 1j]], atol=1e-12)
+
+
+def test_phase_gate_diagonal():
+    p = g.phase_gate(0.9)
+    assert p.is_diagonal()
+    assert np.isclose(p.array[1, 1], cmath.exp(0.9j))
+
+
+def test_diagonal_detection():
+    assert g.z_gate().is_diagonal()
+    assert g.t_gate().is_diagonal()
+    assert g.rzz_gate(0.4).is_diagonal()
+    assert not g.x_gate().is_diagonal()
+    assert not g.h_gate().is_diagonal()
+    assert not g.swap_gate().is_diagonal()
+
+
+def test_swap_action():
+    swap = g.swap_gate().array
+    # |01> (qubit0=1) <-> |10> (qubit1=1)
+    state = np.array([0, 1, 0, 0], dtype=complex)
+    assert np.allclose(swap @ state, [0, 0, 1, 0])
+
+
+def test_fsim_zero_is_identity():
+    assert np.allclose(g.fsim_gate(0.0, 0.0).array, np.eye(4), atol=1e-12)
+
+
+def test_fsim_pi_half_is_iswap_like():
+    fsim = g.fsim_gate(math.pi / 2, 0.0).array
+    # excitation transfer amplitude is -i
+    assert np.isclose(fsim[1, 2], -1j)
+    assert np.isclose(fsim[2, 1], -1j)
+
+
+def test_u3_special_cases():
+    assert np.allclose(g.u3_gate(0, 0, 0).array, np.eye(2), atol=1e-12)
+    h_via_u = g.u3_gate(math.pi / 2, 0, math.pi).array
+    assert np.allclose(h_via_u, g.h_gate().array, atol=1e-12)
+
+
+def test_registry_contains_all_names():
+    for name in ("x", "h", "t", "rx", "p", "swap", "rzz", "fsim"):
+        assert name in g.GATE_REGISTRY
+
+
+def test_gate_matrix_shape_validation():
+    with pytest.raises(CircuitError):
+        g.Gate(name="bad", num_qubits=2, matrix=((1, 0), (0, 1)))
+
+
+def test_gates_are_value_objects():
+    assert g.x_gate() == g.x_gate()
+    assert g.rx_gate(0.5) == g.rx_gate(0.5)
+    assert g.rx_gate(0.5) != g.rx_gate(0.6)
+    assert hash(g.t_gate()) == hash(g.t_gate())

@@ -1,0 +1,115 @@
+"""Unit tests for Grover's search."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import grover, optimal_iterations, success_probability
+from repro.core import sample_dd
+from repro.exceptions import CircuitError
+from repro.simulators import DDSimulator, StatevectorSimulator
+
+
+def test_optimal_iterations_growth():
+    assert optimal_iterations(2) == 1
+    assert optimal_iterations(4) == 3
+    assert optimal_iterations(10) == 25
+    # sqrt scaling: doubling n multiplies iterations by ~sqrt(2^n)
+    assert optimal_iterations(20) > 700
+
+
+def test_success_probability_close_to_one_at_optimum():
+    for n in (4, 8, 12):
+        assert success_probability(n, optimal_iterations(n)) > 0.9
+
+
+def test_instance_metadata():
+    instance = grover(5, marked=17, seed=0)
+    assert instance.marked == 17
+    assert instance.num_qubits == 6
+    assert instance.circuit.num_qubits == 6
+    assert instance.data_value(0b100011) == 0b00011
+
+
+def test_random_oracle_is_seeded():
+    a = grover(6, seed=3)
+    b = grover(6, seed=3)
+    c = grover(6, seed=4)
+    assert a.marked == b.marked
+    assert a.marked != c.marked or a.marked == c.marked  # both valid; check range
+    assert 0 <= a.marked < 64
+
+
+def test_validation():
+    with pytest.raises(CircuitError):
+        grover(1)
+    with pytest.raises(CircuitError):
+        grover(4, marked=100)
+
+
+@pytest.mark.parametrize("n,marked", [(3, 5), (4, 9), (5, 0)])
+def test_amplifies_marked_element(n, marked):
+    instance = grover(n, marked=marked)
+    state = StatevectorSimulator().run(instance.circuit)
+    probabilities = np.abs(state) ** 2
+    p_marked = sum(
+        probabilities[i]
+        for i in range(len(probabilities))
+        if instance.data_value(i) == marked
+    )
+    assert np.isclose(p_marked, instance.expected_success_probability, atol=1e-6)
+    assert p_marked > 0.8
+
+
+def test_dd_size_is_linear_in_qubits():
+    """Table I: grover_n settles at ~2n DD nodes."""
+    for n in (8, 10, 12):
+        instance = grover(n, seed=n)
+        state = DDSimulator().run_iterated(
+            instance.init_circuit(), instance.iteration_circuit(), instance.iterations
+        )
+        assert state.node_count <= 3 * (n + 1)
+
+
+def test_iterated_equals_flat_circuit():
+    instance = grover(6, marked=33, seed=0)
+    flat = DDSimulator().run(instance.circuit)
+    iterated = DDSimulator().run_iterated(
+        instance.init_circuit(), instance.iteration_circuit(), instance.iterations
+    )
+    assert np.allclose(
+        flat.to_statevector(), iterated.to_statevector(), atol=1e-7
+    )
+
+
+def test_sampling_finds_marked_element():
+    instance = grover(8, marked=123, seed=1)
+    state = DDSimulator().run_iterated(
+        instance.init_circuit(), instance.iteration_circuit(), instance.iterations
+    )
+    result = sample_dd(state, 2_000, method="dd", seed=2)
+    hits = sum(
+        count
+        for sample, count in result.counts.items()
+        if instance.data_value(sample) == 123
+    )
+    assert hits / result.shots > 0.9
+
+
+def test_ancilla_stays_in_minus_state():
+    instance = grover(5, marked=7, seed=0)
+    state = DDSimulator().run(instance.circuit)
+    # p(ancilla = 1) must be exactly 1/2 (|−⟩).
+    assert np.isclose(state.qubit_probability(5), 0.5, atol=1e-9)
+
+
+def test_custom_iteration_count():
+    instance = grover(6, marked=1, iterations=2)
+    assert instance.iterations == 2
+    state = StatevectorSimulator().run(instance.circuit)
+    probabilities = np.abs(state) ** 2
+    p_marked = sum(
+        probabilities[i]
+        for i in range(64 * 2)
+        if instance.data_value(i) == 1
+    )
+    assert np.isclose(p_marked, success_probability(6, 2), atol=1e-6)

@@ -1,0 +1,147 @@
+"""Unit tests for the statistical indistinguishability toolkit."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.indistinguishability import (
+    _regularized_gamma_upper,
+    chi2_sf,
+    chi_square_gof,
+    kl_divergence,
+    linear_xeb_fidelity,
+    total_variation_distance,
+    two_sample_chi_square,
+)
+from repro.core.results import SampleResult
+from repro.exceptions import SamplingError
+
+
+def test_gamma_upper_against_scipy():
+    scipy_special = pytest.importorskip("scipy.special")
+    for s in (0.5, 1.0, 2.5, 10.0, 50.0):
+        for x in (0.1, 1.0, 5.0, 40.0, 120.0):
+            mine = _regularized_gamma_upper(s, x)
+            reference = float(scipy_special.gammaincc(s, x))
+            assert np.isclose(mine, reference, atol=1e-10), (s, x)
+
+
+def test_chi2_sf_basics():
+    assert chi2_sf(0.0, 5) == 1.0
+    assert chi2_sf(-1.0, 5) == 1.0
+    # Median of chi2 with k dof is ~ k - 2/3.
+    assert 0.4 < chi2_sf(4.35, 5) < 0.6
+    with pytest.raises(ValueError):
+        chi2_sf(1.0, 0)
+
+
+def test_tvd_perfect_sample():
+    probs = np.array([0.5, 0.5])
+    counts = {0: 500, 1: 500}
+    assert total_variation_distance(counts, probs) == 0.0
+
+
+def test_tvd_counts_unsampled_mass():
+    probs = np.array([0.5, 0.25, 0.25, 0.0])
+    counts = {0: 100}  # never sampled outcomes 1, 2
+    # |1 - 0.5|/2 + (0.25 + 0.25)/2 = 0.5
+    assert np.isclose(total_variation_distance(counts, probs), 0.5)
+
+
+def test_tvd_empty_raises():
+    with pytest.raises(SamplingError):
+        total_variation_distance({}, np.array([1.0]))
+
+
+def test_kl_divergence():
+    probs = np.array([0.5, 0.5])
+    assert np.isclose(kl_divergence({0: 50, 1: 50}, probs), 0.0)
+    skewed = kl_divergence({0: 90, 1: 10}, probs)
+    assert skewed > 0
+    assert kl_divergence({0: 1}, np.array([0.0, 1.0])) == math.inf
+
+
+def test_chi_square_accepts_faithful_sample():
+    rng = np.random.default_rng(0)
+    probs = np.array([0.4, 0.3, 0.2, 0.1])
+    samples = rng.choice(4, size=20_000, p=probs)
+    result = SampleResult.from_samples(2, samples)
+    gof = chi_square_gof(result, probs)
+    assert gof.consistent
+    assert gof.dof >= 1
+
+
+def test_chi_square_rejects_wrong_distribution():
+    rng = np.random.default_rng(1)
+    samples = rng.choice(4, size=20_000, p=[0.25] * 4)
+    result = SampleResult.from_samples(2, samples)
+    gof = chi_square_gof(result, np.array([0.4, 0.3, 0.2, 0.1]))
+    assert not gof.consistent
+    assert gof.p_value < 1e-6
+
+
+def test_chi_square_pools_small_bins():
+    probs = np.array([0.97, 0.01, 0.01, 0.01])
+    counts = {0: 97, 1: 1, 2: 1, 3: 1}
+    gof = chi_square_gof(counts, probs)
+    assert gof.bins == 2  # big bin + pooled tail
+
+
+def test_chi_square_impossible_outcome_fails_hard():
+    probs = np.array([1.0, 0.0])
+    gof = chi_square_gof({0: 99, 1: 1}, probs)
+    assert gof.p_value == 0.0
+    assert not gof.consistent
+
+
+def test_two_sample_same_source_consistent():
+    rng = np.random.default_rng(2)
+    probs = [0.5, 0.2, 0.2, 0.1]
+    a = SampleResult.from_samples(2, rng.choice(4, size=10_000, p=probs))
+    b = SampleResult.from_samples(2, rng.choice(4, size=10_000, p=probs))
+    assert two_sample_chi_square(a, b).consistent
+
+
+def test_two_sample_different_sources_rejected():
+    rng = np.random.default_rng(3)
+    a = SampleResult.from_samples(2, rng.choice(4, size=10_000, p=[0.7, 0.1, 0.1, 0.1]))
+    b = SampleResult.from_samples(2, rng.choice(4, size=10_000, p=[0.25] * 4))
+    assert not two_sample_chi_square(a, b).consistent
+
+
+def test_two_sample_empty_raises():
+    a = SampleResult(num_qubits=1, counts={})
+    b = SampleResult.from_samples(1, [0])
+    with pytest.raises(SamplingError):
+        two_sample_chi_square(a, b)
+
+
+def test_linear_xeb_faithful_vs_uniform():
+    rng = np.random.default_rng(4)
+    num_qubits = 10
+    dim = 2**num_qubits
+    # Porter-Thomas-ish probabilities.
+    raw = rng.exponential(size=dim)
+    probs = raw / raw.sum()
+    faithful = rng.choice(dim, size=50_000, p=probs)
+    uniform = rng.integers(dim, size=50_000)
+    f_good = linear_xeb_fidelity(
+        SampleResult.from_samples(num_qubits, faithful), probs, num_qubits
+    )
+    f_bad = linear_xeb_fidelity(
+        SampleResult.from_samples(num_qubits, uniform), probs, num_qubits
+    )
+    assert f_good > 0.8
+    assert abs(f_bad) < 0.2
+
+
+def test_linear_xeb_accepts_callable():
+    probs = np.array([0.5, 0.5])
+    value = linear_xeb_fidelity({0: 10, 1: 10}, lambda i: probs[i], 1)
+    assert np.isclose(value, 0.0)  # 2 * 0.5 - 1
+
+
+def test_linear_xeb_accepts_dict():
+    value = linear_xeb_fidelity({0: 10}, {0: 1.0}, 1)
+    assert np.isclose(value, 1.0)

@@ -1,0 +1,137 @@
+"""End-to-end integration tests spanning the whole pipeline.
+
+These follow the paper's Fig. 2 flow for real workloads: build a
+benchmark circuit, strong-simulate it into a DD, weak-simulate samples,
+and verify the samples do what the algorithm promises (find the marked
+element, reveal the period, pass the statistical tests).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    grover,
+    qft,
+    recover_period,
+    factor_from_order,
+    shor_final_state,
+    supremacy,
+)
+from repro.algorithms.jellium import jellium
+from repro.core import (
+    DDSampler,
+    chi_square_gof,
+    linear_xeb_fidelity,
+    sample_dd,
+    sample_statevector,
+    simulate_and_sample,
+    two_sample_chi_square,
+)
+from repro.dd import DDPackage, VectorDD
+from repro.simulators import DDSimulator, StatevectorSimulator
+
+
+def test_qft_sampling_is_uniform():
+    result = simulate_and_sample(qft(10), 50_000, method="dd", seed=0)
+    gof = chi_square_gof(result, np.full(1024, 1 / 1024))
+    assert gof.consistent
+
+
+def test_grover_end_to_end_search():
+    """Weak simulation actually *finds* the needle."""
+    instance = grover(10, seed=0)
+    state = DDSimulator().run_iterated(
+        instance.init_circuit(), instance.iteration_circuit(), instance.iterations
+    )
+    result = sample_dd(state, 1_000, method="dd", seed=1)
+    best_data_value = max(
+        ((instance.data_value(k), v) for k, v in result.counts.items()),
+        key=lambda item: item[1],
+    )[0]
+    assert best_data_value == instance.marked
+
+
+def test_shor_end_to_end_factoring():
+    """Sample the emulated Shor state, run continued fractions, factor."""
+    modulus, base = 33, 5  # base 2 hits the a^{r/2} = -1 failure mode
+    state, precision, n_out = shor_final_state(modulus, base, precision=10)
+    result = sample_statevector(state, 500, method="vector", seed=3)
+    factorisations = set()
+    for sample, count in result.counts.items():
+        measured = sample >> n_out
+        order = recover_period(measured, precision, modulus, base)
+        if order:
+            factors = factor_from_order(modulus, base, order)
+            if factors:
+                factorisations.add(factors)
+    assert (3, 11) in factorisations
+
+
+def test_shor_dd_sampling_equivalent_to_vector():
+    state_vec, precision, n_out = shor_final_state(15, 7)
+    pkg = DDPackage()
+    dd_state = VectorDD.from_statevector(pkg, state_vec)
+    a = sample_dd(dd_state, 30_000, method="dd", seed=4)
+    b = sample_statevector(state_vec, 30_000, method="vector", seed=5)
+    assert two_sample_chi_square(a, b).consistent
+
+
+def test_supremacy_xeb_close_to_one():
+    """Faithful weak simulation of a random circuit gives XEB ~ 1; a
+    uniform sampler gives ~ 0 (the supremacy-benchmark criterion)."""
+    circuit = supremacy(3, 3, 10, seed=2)
+    state = DDSimulator().run(circuit)
+    probabilities = state.probabilities()
+    dim = probabilities.size
+    # For a faithful sampler, E[XEB] = dim * sum(p^2) - 1 (≈ 1 once the
+    # circuit reaches Porter-Thomas; smaller while still scrambling).
+    expected_xeb = float(dim * (probabilities**2).sum() - 1.0)
+    result = sample_dd(state, 20_000, method="dd", seed=6)
+    xeb = linear_xeb_fidelity(result, probabilities, circuit.num_qubits)
+    assert xeb > 0.5 * expected_xeb
+    assert xeb > 0.3  # decisively separated from a uniform sampler
+
+    rng = np.random.default_rng(7)
+    uniform_counts = {}
+    for sample in rng.integers(2**9, size=20_000):
+        uniform_counts[int(sample)] = uniform_counts.get(int(sample), 0) + 1
+    xeb_uniform = linear_xeb_fidelity(uniform_counts, probabilities, 9)
+    assert xeb_uniform < 0.5 * xeb
+
+
+def test_jellium_sampling_matches_dense():
+    circuit = jellium(2)
+    dense = StatevectorSimulator().run(circuit)
+    probabilities = (dense.conj() * dense).real
+    result = simulate_and_sample(circuit, 30_000, method="dd", seed=8)
+    gof = chi_square_gof(result, probabilities)
+    assert gof.consistent
+
+
+def test_all_dd_methods_agree_on_workload():
+    circuit = supremacy(2, 3, 8, seed=4)
+    state = DDSimulator().run(circuit)
+    reference = sample_dd(state, 30_000, method="dd", seed=9)
+    for method in ("dd-path", "dd-multinomial"):
+        other = sample_dd(state, 30_000, method=method, seed=10)
+        assert two_sample_chi_square(reference, other).consistent, method
+
+
+def test_wide_register_weak_simulation():
+    """Sampling a 48-qubit state without ever building 2^48 amplitudes —
+    the punchline of the paper."""
+    state = DDSimulator().run(qft(48))
+    assert state.node_count == 48
+    sampler = DDSampler(state)
+    samples = sampler.sample(10_000, rng=11)
+    assert samples.min() >= 0
+    # Uniform over 2^48: collisions in 10k samples are essentially
+    # impossible; every sample distinct.
+    assert len(np.unique(samples)) == 10_000
+    # Bit-marginals are each ~1/2.
+    ones = np.zeros(48)
+    for bit in range(48):
+        ones[bit] = ((samples >> bit) & 1).mean()
+    assert np.abs(ones - 0.5).max() < 0.05

@@ -1,0 +1,82 @@
+"""Unit tests for the jellium Trotter circuits."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.jellium import jellium, jellium_bonds, jellium_qubit
+from repro.exceptions import CircuitError
+from repro.simulators import DDSimulator, StatevectorSimulator
+
+
+def test_qubit_indexing():
+    assert jellium_qubit(0, 0, 0, 2) == 0
+    assert jellium_qubit(1, 1, 0, 2) == 3
+    assert jellium_qubit(0, 0, 1, 2) == 4  # spin-down block on top
+    assert jellium_qubit(1, 1, 1, 2) == 7
+    with pytest.raises(CircuitError):
+        jellium_qubit(2, 0, 0, 2)
+    with pytest.raises(CircuitError):
+        jellium_qubit(0, 0, 2, 2)
+
+
+def test_bond_count():
+    # A x A grid: 2 * A * (A - 1) nearest-neighbour bonds.
+    assert len(jellium_bonds(2)) == 4
+    assert len(jellium_bonds(3)) == 12
+    assert len(jellium_bonds(4)) == 24
+
+
+def test_register_size_matches_paper():
+    assert jellium(2).num_qubits == 8  # jellium_2x2 row of Table I
+    assert jellium(3).num_qubits == 18  # jellium_3x3 row of Table I
+
+
+def test_minimum_size():
+    with pytest.raises(CircuitError):
+        jellium(1)
+
+
+def test_state_is_normalised():
+    state = DDSimulator().run(jellium(2, steps=1))
+    assert np.isclose(state.norm_squared(), 1.0, atol=1e-8)
+
+
+def test_particle_number_is_conserved():
+    """The Trotter step is built from number-conserving terms (Z
+    rotations, CP, fSim), so the total occupation stays at half filling."""
+    circuit = jellium(2, steps=1)
+    state = StatevectorSimulator().run(circuit)
+    probabilities = np.abs(state) ** 2
+    total = 0.0
+    for index, probability in enumerate(probabilities):
+        if probability > 1e-12:
+            total += probability * bin(index).count("1")
+    assert np.isclose(total, 4.0, atol=1e-8)  # 4 particles on 2x2 half fill
+
+
+def test_dd_matches_dense():
+    circuit = jellium(2, steps=1)
+    dense = StatevectorSimulator().run(circuit)
+    dd = DDSimulator().run(circuit)
+    assert np.allclose(dd.to_statevector(), dense, atol=1e-8)
+
+
+def test_more_steps_more_entanglement():
+    one = DDSimulator().run(jellium(2, steps=1)).node_count
+    two = DDSimulator().run(jellium(2, steps=2)).node_count
+    assert two >= one
+
+
+def test_deterministic_construction():
+    a = jellium(2)
+    b = jellium(2)
+    assert len(a) == len(b)
+    assert a.count_gates() == b.count_gates()
+
+
+def test_gate_families_present():
+    counts = jellium(2).count_gates()
+    assert "rz" in counts
+    assert "cp" in counts
+    assert "fsim" in counts
+    assert "x" in counts

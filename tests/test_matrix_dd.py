@@ -1,0 +1,125 @@
+"""Unit tests for matrix decision diagrams and operator construction."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit, gates as g, random_circuit
+from repro.circuit.operations import Operation
+from repro.dd import DDPackage, circuit_dd, identity_dd, operation_dd
+from repro.dd.matrix_dd import OperationDDCache
+from repro.exceptions import DDError
+
+
+@pytest.fixture
+def pkg():
+    return DDPackage()
+
+
+def test_identity_dd(pkg):
+    for n in (1, 2, 4):
+        edge = identity_dd(pkg, n)
+        assert np.allclose(pkg.matrix_to_array(edge, n), np.eye(2**n))
+        assert pkg.node_count(edge) == n
+
+
+def test_single_qubit_gate_embedding(pkg):
+    op = Operation(gate=g.h_gate(), targets=(1,))
+    edge = operation_dd(pkg, op, 3)
+    assert np.allclose(pkg.matrix_to_array(edge, 3), op.full_matrix(3), atol=1e-10)
+
+
+def test_cnot_all_orientations(pkg):
+    for control, target in ((0, 1), (1, 0), (0, 2), (2, 0)):
+        op = Operation(gate=g.x_gate(), targets=(target,), controls=frozenset({control}))
+        edge = operation_dd(pkg, op, 3)
+        assert np.allclose(
+            pkg.matrix_to_array(edge, 3), op.full_matrix(3), atol=1e-10
+        ), (control, target)
+
+
+def test_anticontrol_operator(pkg):
+    op = Operation(gate=g.z_gate(), targets=(0,), neg_controls=frozenset({2}))
+    edge = operation_dd(pkg, op, 3)
+    assert np.allclose(pkg.matrix_to_array(edge, 3), op.full_matrix(3), atol=1e-10)
+
+
+def test_toffoli_with_mixed_control_positions(pkg):
+    op = Operation(gate=g.x_gate(), targets=(1,), controls=frozenset({0, 2}))
+    edge = operation_dd(pkg, op, 3)
+    assert np.allclose(pkg.matrix_to_array(edge, 3), op.full_matrix(3), atol=1e-10)
+
+
+def test_two_qubit_gate_nonadjacent_targets(pkg):
+    op = Operation(gate=g.fsim_gate(0.4, 0.9), targets=(0, 2))
+    edge = operation_dd(pkg, op, 3)
+    assert np.allclose(pkg.matrix_to_array(edge, 3), op.full_matrix(3), atol=1e-10)
+
+
+def test_controlled_swap(pkg):
+    op = Operation(gate=g.swap_gate(), targets=(0, 1), controls=frozenset({2}))
+    edge = operation_dd(pkg, op, 3)
+    assert np.allclose(pkg.matrix_to_array(edge, 3), op.full_matrix(3), atol=1e-10)
+
+
+def test_operator_unitarity(pkg):
+    op = Operation(gate=g.u3_gate(0.5, 1.0, -0.3), targets=(1,), controls=frozenset({3}))
+    edge = operation_dd(pkg, op, 4)
+    matrix = pkg.matrix_to_array(edge, 4)
+    assert np.allclose(matrix @ matrix.conj().T, np.eye(16), atol=1e-9)
+
+
+def test_operation_outside_register_rejected(pkg):
+    op = Operation(gate=g.x_gate(), targets=(5,))
+    with pytest.raises(DDError):
+        operation_dd(pkg, op, 3)
+
+
+def test_circuit_dd_matches_unitary(pkg):
+    circuit = random_circuit(4, 20, seed=21)
+    edge = circuit_dd(pkg, circuit)
+    assert np.allclose(pkg.matrix_to_array(edge, 4), circuit.unitary(), atol=1e-8)
+
+
+def test_circuit_dd_identity_for_self_inverse(pkg):
+    circuit = QuantumCircuit(3)
+    circuit.h(0).cx(0, 1).cx(0, 1).h(0)
+    edge = circuit_dd(pkg, circuit)
+    assert np.allclose(pkg.matrix_to_array(edge, 3), np.eye(8), atol=1e-10)
+
+
+def test_matrix_roundtrip(pkg):
+    rng = np.random.default_rng(3)
+    random = rng.normal(size=(8, 8)) + 1j * rng.normal(size=(8, 8))
+    q, _ = np.linalg.qr(random)
+    edge = pkg.matrix_from_array(q)
+    assert np.allclose(pkg.matrix_to_array(edge, 3), q, atol=1e-9)
+
+
+def test_matrix_node_count_identity_small(pkg):
+    # Identity compresses to one node per level.
+    edge = pkg.matrix_from_array(np.eye(16))
+    assert pkg.node_count(edge) == 4
+
+
+def test_operation_cache_hits(pkg):
+    cache = OperationDDCache(pkg, 3)
+    op = Operation(gate=g.h_gate(), targets=(0,))
+    first = cache.get(op)
+    second = cache.get(op)
+    assert first == second
+    assert cache.hits == 1
+    assert cache.misses == 1
+    assert len(cache) == 1
+
+
+def test_mat_mat_matches_numpy(pkg):
+    c1 = random_circuit(3, 10, seed=1)
+    c2 = random_circuit(3, 10, seed=2)
+    e1 = circuit_dd(pkg, c1)
+    e2 = circuit_dd(pkg, c2)
+    product = pkg.mat_mat(e1, e2)
+    assert np.allclose(
+        pkg.matrix_to_array(product, 3),
+        c1.unitary() @ c2.unitary(),
+        atol=1e-8,
+    )

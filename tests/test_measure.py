@@ -1,0 +1,153 @@
+"""Unit tests for measurement: downstream/upstream traversals, collapse."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dd import (
+    DDPackage,
+    NormalizationScheme,
+    VectorDD,
+    collapse,
+    downstream_probabilities,
+    measure_all_collapse,
+    qubit_probability,
+    upstream_probabilities,
+)
+from repro.exceptions import SamplingError
+
+from .conftest import random_statevector
+
+
+@pytest.fixture
+def pkg():
+    return DDPackage()
+
+
+def test_downstream_all_ones_under_l2(pkg):
+    rng = np.random.default_rng(1)
+    edge = pkg.from_statevector(random_statevector(5, rng))
+    table = downstream_probabilities(edge)
+    assert table
+    for value in table.values():
+        assert np.isclose(value, 1.0, atol=1e-9)
+
+
+def test_downstream_under_leftmost_gives_masses():
+    pkg = DDPackage(scheme=NormalizationScheme.LEFTMOST)
+    rng = np.random.default_rng(2)
+    vector = random_statevector(4, rng)
+    edge = pkg.from_statevector(vector)
+    table = downstream_probabilities(edge)
+    root_mass = abs(edge.weight) ** 2 * table[edge.node.index]
+    assert np.isclose(root_mass, 1.0, atol=1e-9)
+
+
+def test_upstream_root_is_one_and_sums_per_level(pkg):
+    rng = np.random.default_rng(3)
+    edge = pkg.from_statevector(random_statevector(5, rng))
+    upstream = upstream_probabilities(edge)
+    assert np.isclose(upstream[edge.node.index], 1.0)
+    # Visit probabilities of nodes at one level sum to <= 1 (paths per
+    # level are exclusive); with no zero stubs they sum to exactly 1.
+    levels = {}
+    from repro.dd import is_terminal
+
+    seen = set()
+
+    def gather(node):
+        if is_terminal(node) or node.index in seen:
+            return
+        seen.add(node.index)
+        levels.setdefault(node.var, 0.0)
+        levels[node.var] += upstream[node.index]
+        for child in node.edges:
+            gather(child.node)
+
+    gather(edge.node)
+    for level, total in levels.items():
+        assert total <= 1.0 + 1e-9
+
+
+def test_upstream_matches_brute_force_small(pkg):
+    # For the paper's running example: root visited with probability 1,
+    # left q1 node with 3/4, right q1 node with 1/4.
+    from repro.algorithms.states import running_example_statevector
+
+    edge = pkg.from_statevector(running_example_statevector())
+    upstream = upstream_probabilities(edge)
+    left = edge.node.edges[0].node
+    right = edge.node.edges[1].node
+    assert np.isclose(upstream[left.index], 0.75, atol=1e-9)
+    assert np.isclose(upstream[right.index], 0.25, atol=1e-9)
+
+
+@pytest.mark.parametrize("scheme", list(NormalizationScheme))
+def test_qubit_probability_matches_dense(scheme):
+    pkg = DDPackage(scheme=scheme)
+    rng = np.random.default_rng(4)
+    vector = random_statevector(5, rng)
+    edge = pkg.from_statevector(vector)
+    probabilities = np.abs(vector) ** 2
+    for qubit in range(5):
+        expected = probabilities[
+            [i for i in range(32) if (i >> qubit) & 1]
+        ].sum()
+        assert np.isclose(
+            qubit_probability(edge, qubit, 5), expected, atol=1e-9
+        )
+
+
+def test_collapse_projects_and_renormalises(pkg):
+    rng = np.random.default_rng(5)
+    vector = random_statevector(4, rng)
+    edge = pkg.from_statevector(vector)
+    for qubit in range(4):
+        for outcome in (0, 1):
+            projected = vector.copy()
+            for index in range(16):
+                if ((index >> qubit) & 1) != outcome:
+                    projected[index] = 0
+            norm = np.linalg.norm(projected)
+            result = collapse(pkg, edge, qubit, outcome, 4)
+            assert np.allclose(
+                pkg.to_statevector(result, 4), projected / norm, atol=1e-9
+            )
+
+
+def test_collapse_impossible_outcome_raises(pkg):
+    edge = pkg.basis_state(3, 0)  # qubit 1 is definitely 0
+    with pytest.raises(SamplingError):
+        collapse(pkg, edge, 1, 1, 3)
+
+
+def test_collapse_invalid_outcome(pkg):
+    edge = pkg.basis_state(2, 0)
+    with pytest.raises(SamplingError):
+        collapse(pkg, edge, 0, 2, 2)
+
+
+def test_collapse_is_nondestructive(pkg):
+    rng = np.random.default_rng(6)
+    vector = random_statevector(3, rng)
+    edge = pkg.from_statevector(vector)
+    collapse(pkg, edge, 0, 0 if abs(vector[0]) > 0 else 1, 3)
+    assert np.allclose(pkg.to_statevector(edge, 3), vector, atol=1e-12)
+
+
+def test_measure_all_collapse_statistics(pkg):
+    # Bell state: outcomes only 00 and 11, roughly balanced.
+    vector = np.zeros(4, dtype=complex)
+    vector[0] = vector[3] = 1 / math.sqrt(2)
+    edge = pkg.from_statevector(vector)
+    rng = np.random.default_rng(7)
+    samples = [measure_all_collapse(pkg, edge, 2, rng) for _ in range(400)]
+    assert set(samples) <= {0, 3}
+    ones = sum(1 for s in samples if s == 3)
+    assert 120 < ones < 280
+
+
+def test_measure_zero_vector_raises(pkg):
+    with pytest.raises(SamplingError):
+        qubit_probability(pkg.zero_edge, 0, 2)

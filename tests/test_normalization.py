@@ -1,0 +1,84 @@
+"""Unit tests for the two edge-weight normalisation schemes."""
+
+import cmath
+import math
+
+import numpy as np
+import pytest
+
+from repro.dd.normalization import NormalizationScheme, normalize_weights
+
+
+def test_leftmost_makes_pivot_one():
+    weights, factor = normalize_weights(
+        (0.6 + 0.2j, -0.3j), NormalizationScheme.LEFTMOST
+    )
+    assert weights[0] == 1.0 + 0j
+    assert np.isclose(factor, 0.6 + 0.2j)
+    assert np.isclose(weights[1] * factor, -0.3j)
+
+
+def test_leftmost_skips_leading_zero():
+    weights, factor = normalize_weights((0.0, -0.5j), NormalizationScheme.LEFTMOST)
+    assert weights == (0j, 1.0 + 0j)
+    assert np.isclose(factor, -0.5j)
+
+
+def test_l2_unit_norm_property():
+    weights, factor = normalize_weights(
+        (0.6 + 0.2j, -0.3j + 0.1), NormalizationScheme.L2
+    )
+    assert np.isclose(abs(weights[0]) ** 2 + abs(weights[1]) ** 2, 1.0)
+
+
+def test_l2_pivot_real_positive():
+    weights, __ = normalize_weights((-0.6j, 0.8), NormalizationScheme.L2)
+    assert weights[0].imag == 0.0
+    assert weights[0].real > 0.0
+
+
+def test_l2_reconstruction():
+    original = (0.37 - 0.21j, -0.11 + 0.87j)
+    weights, factor = normalize_weights(original, NormalizationScheme.L2)
+    for got, expected in zip(weights, original):
+        assert np.isclose(got * factor, expected, atol=1e-12)
+
+
+def test_all_zero_input():
+    for scheme in NormalizationScheme:
+        weights, factor = normalize_weights((0.0, 0.0), scheme)
+        assert factor == 0j
+        assert weights == (0j, 0j)
+
+
+def test_l2_matches_paper_figure4d_root():
+    # Root weights of Fig. 4b are (-0.612i, 0.354); Fig. 4d divides by the
+    # 2-norm (which is ~0.7071), giving magnitudes sqrt(3)/2 and 1/2.
+    w0 = -1j * math.sqrt(3 / 8)
+    w1 = math.sqrt(1 / 8)
+    weights, factor = normalize_weights((w0, w1), NormalizationScheme.L2)
+    assert np.isclose(abs(weights[0]), math.sqrt(3.0) / 2.0)
+    assert np.isclose(abs(weights[1]), 0.5)
+    assert np.isclose(abs(factor), math.sqrt(abs(w0) ** 2 + abs(w1) ** 2))
+
+
+def test_single_entry_semantics_preserved():
+    # (x, 0) normalises to (1, 0) under both schemes.
+    for scheme in NormalizationScheme:
+        weights, factor = normalize_weights((0.25j, 0.0), scheme)
+        assert weights[1] == 0j
+        assert np.isclose(weights[0] * factor, 0.25j)
+
+
+def test_phases_preserved_under_l2():
+    w = (cmath.exp(0.7j) * 0.3, cmath.exp(-1.2j) * 0.4)
+    weights, factor = normalize_weights(w, NormalizationScheme.L2)
+    # Relative phase between the two entries must be unchanged.
+    original_rel = cmath.phase(w[1] / w[0])
+    new_rel = cmath.phase(weights[1] / weights[0])
+    assert np.isclose(original_rel, new_rel, atol=1e-12)
+
+
+def test_unknown_scheme_rejected():
+    with pytest.raises(ValueError):
+        normalize_weights((1.0, 0.0), "bogus")  # type: ignore[arg-type]

@@ -1,0 +1,219 @@
+"""Tests for Pauli expectation values and sample analysis utilities."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.core import (
+    collision_probability,
+    empirical_tvd,
+    heavy_output_probability,
+    heavy_outputs,
+    miller_madow_entropy,
+    plugin_entropy,
+    sample_dd,
+)
+from repro.core.results import SampleResult
+from repro.dd import (
+    DDPackage,
+    PauliObservable,
+    PauliString,
+    VectorDD,
+    expectation_value,
+)
+from repro.exceptions import DDError, SamplingError
+from repro.simulators import DDSimulator
+
+from .conftest import random_statevector
+
+
+class TestPauliString:
+    def test_from_mapping(self):
+        string = PauliString({0: "z", 2: "X"})
+        assert string.paulis == ((0, "Z"), (2, "X"))
+        assert string.max_qubit == 2
+        assert not string.is_identity
+
+    def test_from_text(self):
+        # "XZI": leftmost letter = most significant qubit.
+        string = PauliString("XZI")
+        assert string.paulis == ((1, "Z"), (2, "X"))
+
+    def test_identity(self):
+        assert PauliString("III").is_identity
+        assert PauliString({}).is_identity
+
+    def test_validation(self):
+        with pytest.raises(DDError):
+            PauliString({0: "Q"})
+        with pytest.raises(DDError):
+            PauliString({-1: "X"})
+
+
+class TestExpectationValues:
+    def test_z_on_basis_states(self, package=None):
+        pkg = DDPackage()
+        up = VectorDD.basis_state(pkg, 2, 0b00)
+        down = VectorDD.basis_state(pkg, 2, 0b01)
+        assert np.isclose(expectation_value(up, {0: "Z"}), 1.0)
+        assert np.isclose(expectation_value(down, {0: "Z"}), -1.0)
+
+    def test_x_on_plus_state(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        state = DDSimulator().run(circuit)
+        assert np.isclose(expectation_value(state, {0: "X"}), 1.0, atol=1e-9)
+        assert np.isclose(expectation_value(state, {0: "Z"}), 0.0, atol=1e-9)
+
+    def test_bell_correlations(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(1).cx(1, 0)
+        state = DDSimulator().run(circuit)
+        assert np.isclose(expectation_value(state, "ZZ"), 1.0, atol=1e-9)
+        assert np.isclose(expectation_value(state, "XX"), 1.0, atol=1e-9)
+        assert np.isclose(expectation_value(state, "YY"), -1.0, atol=1e-9)
+        assert np.isclose(expectation_value(state, {0: "Z"}), 0.0, atol=1e-9)
+
+    def test_matches_dense_computation(self):
+        rng = np.random.default_rng(0)
+        vector = random_statevector(3, rng)
+        pkg = DDPackage()
+        state = VectorDD.from_statevector(pkg, vector)
+        for string, dense in (
+            ({1: "Z"}, np.diag([1, 1, -1, -1, 1, 1, -1, -1])),
+            ({0: "X"}, np.kron(np.eye(4), [[0, 1], [1, 0]])),
+        ):
+            expected = float(np.real(vector.conj() @ (dense @ vector)))
+            assert np.isclose(expectation_value(state, string), expected, atol=1e-9)
+
+    def test_weighted_observable(self):
+        pkg = DDPackage()
+        state = VectorDD.basis_state(pkg, 2, 0b01)
+        observable = PauliObservable([(0.5, {0: "Z"}), (2.0, {1: "Z"}), (1.0, "II")])
+        # q0 = 1 -> Z0 = -1; q1 = 0 -> Z1 = +1; identity -> 1.
+        assert np.isclose(expectation_value(state, observable), -0.5 + 2.0 + 1.0)
+
+    def test_out_of_range_rejected(self):
+        pkg = DDPackage()
+        state = VectorDD.basis_state(pkg, 2, 0)
+        with pytest.raises(DDError):
+            expectation_value(state, {5: "Z"})
+
+    def test_dense_reference_agrees_with_dd(self):
+        from repro.dd.observables import dense_expectation_value
+
+        rng = np.random.default_rng(11)
+        vector = random_statevector(4, rng)
+        pkg = DDPackage()
+        state = VectorDD.from_statevector(pkg, vector)
+        observable = PauliObservable(
+            [(0.7, {0: "X", 2: "Z"}), (-0.3, {1: "Y"}), (1.1, {3: "Z", 1: "X"})]
+        )
+        assert np.isclose(
+            expectation_value(state, observable),
+            dense_expectation_value(vector, observable),
+            atol=1e-9,
+        )
+
+    def test_dense_reference_range_check(self):
+        from repro.dd.observables import dense_expectation_value
+
+        with pytest.raises(DDError):
+            dense_expectation_value(np.array([1.0, 0.0]), {3: "Z"})
+
+
+class TestEntropy:
+    def test_uniform_sample_entropy(self):
+        counts = {i: 100 for i in range(16)}
+        assert np.isclose(plugin_entropy(counts), 4.0)
+        assert miller_madow_entropy(counts) >= plugin_entropy(counts)
+
+    def test_deterministic_sample_entropy(self):
+        assert plugin_entropy({5: 1000}) == 0.0
+
+    def test_natural_base(self):
+        counts = {0: 50, 1: 50}
+        assert np.isclose(plugin_entropy(counts, base=math.e), math.log(2))
+
+    def test_empty_raises(self):
+        with pytest.raises(SamplingError):
+            plugin_entropy({})
+
+
+class TestHeavyOutputs:
+    def test_heavy_set(self):
+        probabilities = np.array([0.4, 0.3, 0.2, 0.1])
+        heavy = set(heavy_outputs(probabilities))
+        assert heavy == {0, 1}
+
+    def test_faithful_sampler_scores_high(self):
+        rng = np.random.default_rng(1)
+        raw = rng.exponential(size=256)
+        probabilities = raw / raw.sum()
+        samples = rng.choice(256, size=30_000, p=probabilities)
+        result = SampleResult.from_samples(8, samples)
+        hog = heavy_output_probability(result, probabilities)
+        # Porter-Thomas ideal: (1 + ln 2) / 2 ~ 0.847.
+        assert 0.78 < hog < 0.91
+
+    def test_uniform_sampler_scores_half(self):
+        rng = np.random.default_rng(2)
+        raw = rng.exponential(size=256)
+        probabilities = raw / raw.sum()
+        samples = rng.integers(256, size=30_000)
+        result = SampleResult.from_samples(8, samples)
+        hog = heavy_output_probability(result, probabilities)
+        assert 0.45 < hog < 0.55
+
+
+class TestCollision:
+    def test_uniform_collision(self):
+        rng = np.random.default_rng(3)
+        samples = rng.integers(64, size=50_000)
+        result = SampleResult.from_samples(6, samples)
+        assert np.isclose(collision_probability(result), 1 / 64, rtol=0.1)
+
+    def test_porter_thomas_collision_doubles(self):
+        rng = np.random.default_rng(4)
+        raw = rng.exponential(size=1024)
+        probabilities = raw / raw.sum()
+        samples = rng.choice(1024, size=80_000, p=probabilities)
+        result = SampleResult.from_samples(10, samples)
+        estimate = collision_probability(result)
+        assert 1.5 / 1024 < estimate < 2.5 / 1024
+
+    def test_needs_two_samples(self):
+        with pytest.raises(SamplingError):
+            collision_probability({0: 1})
+
+
+class TestEmpiricalTVD:
+    def test_identical_samples(self):
+        counts = {0: 10, 1: 20}
+        assert empirical_tvd(counts, counts) == 0.0
+
+    def test_disjoint_samples(self):
+        assert empirical_tvd({0: 10}, {1: 10}) == 1.0
+
+    def test_same_source_small(self):
+        rng = np.random.default_rng(5)
+        a = SampleResult.from_samples(4, rng.integers(16, size=40_000))
+        b = SampleResult.from_samples(4, rng.integers(16, size=40_000))
+        assert empirical_tvd(a, b) < 0.05
+
+
+class TestSupportCounting:
+    def test_exact_support_of_wide_state(self):
+        from repro.algorithms import qft
+
+        state = DDSimulator().run(qft(40))
+        assert state.support_size() == 2**40
+
+    def test_sparse_support(self):
+        pkg = DDPackage()
+        from repro.algorithms.states import running_example_statevector
+
+        state = VectorDD.from_statevector(pkg, running_example_statevector())
+        assert state.support_size() == 4

@@ -1,0 +1,121 @@
+"""Unit tests for circuit operations (controls, matrices, validation)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import gates as g
+from repro.circuit.operations import Barrier, Measurement, Operation
+from repro.exceptions import CircuitError
+
+
+def test_target_count_must_match_gate():
+    with pytest.raises(CircuitError):
+        Operation(gate=g.x_gate(), targets=(0, 1))
+
+
+def test_duplicate_targets_rejected():
+    with pytest.raises(CircuitError):
+        Operation(gate=g.swap_gate(), targets=(1, 1))
+
+
+def test_overlapping_controls_rejected():
+    with pytest.raises(CircuitError):
+        Operation(gate=g.x_gate(), targets=(0,), controls=frozenset({0}))
+    with pytest.raises(CircuitError):
+        Operation(
+            gate=g.x_gate(),
+            targets=(0,),
+            controls=frozenset({1}),
+            neg_controls=frozenset({1}),
+        )
+
+
+def test_negative_qubits_rejected():
+    with pytest.raises(CircuitError):
+        Operation(gate=g.x_gate(), targets=(-1,))
+
+
+def test_qubits_property():
+    op = Operation(
+        gate=g.x_gate(),
+        targets=(2,),
+        controls=frozenset({0}),
+        neg_controls=frozenset({4}),
+    )
+    assert op.qubits == {0, 2, 4}
+    assert op.max_qubit == 4
+    assert op.is_controlled
+
+
+def test_inverse_keeps_qubits():
+    op = Operation(gate=g.s_gate(), targets=(1,), controls=frozenset({0}))
+    inv = op.inverse()
+    assert inv.targets == (1,)
+    assert inv.controls == frozenset({0})
+    assert np.allclose(inv.gate.array, g.sdg_gate().array)
+
+
+def test_full_matrix_cnot():
+    # CNOT with control 0, target 1: |01> -> |11>, |11> -> |01>
+    op = Operation(gate=g.x_gate(), targets=(1,), controls=frozenset({0}))
+    matrix = op.full_matrix(2)
+    expected = np.array(
+        [
+            [1, 0, 0, 0],
+            [0, 0, 0, 1],
+            [0, 0, 1, 0],
+            [0, 1, 0, 0],
+        ],
+        dtype=complex,
+    )
+    assert np.allclose(matrix, expected)
+
+
+def test_full_matrix_anticontrol():
+    op = Operation(gate=g.x_gate(), targets=(1,), neg_controls=frozenset({0}))
+    matrix = op.full_matrix(2)
+    # fires when qubit0 = 0: |00> -> |10>
+    state = np.zeros(4, dtype=complex)
+    state[0] = 1
+    out = matrix @ state
+    assert np.isclose(out[2], 1.0)
+
+
+def test_full_matrix_is_unitary_for_random_ops():
+    rng = np.random.default_rng(3)
+    for _ in range(10):
+        theta = float(rng.uniform(0, 2 * np.pi))
+        op = Operation(
+            gate=g.u3_gate(theta, 0.3, -0.7),
+            targets=(1,),
+            controls=frozenset({3}),
+            neg_controls=frozenset({0}),
+        )
+        matrix = op.full_matrix(4)
+        assert np.allclose(matrix @ matrix.conj().T, np.eye(16), atol=1e-10)
+
+
+def test_full_matrix_two_qubit_gate_nonadjacent():
+    op = Operation(gate=g.swap_gate(), targets=(0, 2))
+    matrix = op.full_matrix(3)
+    # |001> (q0=1) -> |100> (q2=1)
+    state = np.zeros(8, dtype=complex)
+    state[1] = 1
+    assert np.isclose((matrix @ state)[4], 1.0)
+
+
+def test_full_matrix_out_of_range():
+    op = Operation(gate=g.x_gate(), targets=(5,))
+    with pytest.raises(CircuitError):
+        op.full_matrix(3)
+
+
+def test_measurement_all_vs_partial():
+    assert Measurement().measures_all
+    assert not Measurement(qubits=(1,)).measures_all
+    with pytest.raises(CircuitError):
+        Measurement(qubits=(1, 1))
+
+
+def test_barrier_holds_qubits():
+    assert Barrier(qubits=(0, 2)).qubits == (0, 2)

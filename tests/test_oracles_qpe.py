@@ -1,0 +1,133 @@
+"""Unit tests for Bernstein-Vazirani, Deutsch-Jozsa, QPE, quantum volume."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    bernstein_vazirani,
+    deutsch_jozsa,
+    phase_estimation,
+    phase_estimation_distribution,
+    quantum_volume,
+)
+from repro.core import chi_square_gof, simulate_and_sample
+from repro.exceptions import CircuitError
+from repro.simulators import DDSimulator
+
+
+class TestBernsteinVazirani:
+    @pytest.mark.parametrize("secret", [0, 1, 0b1011, 0b11111])
+    def test_recovers_secret_deterministically(self, secret):
+        instance = bernstein_vazirani(5, secret=secret)
+        result = simulate_and_sample(instance.circuit, 200, method="dd", seed=0)
+        values = {instance.data_value(k) for k in result.counts}
+        assert values == {secret}
+
+    def test_random_secret_seeded(self):
+        a = bernstein_vazirani(8, seed=1)
+        b = bernstein_vazirani(8, seed=1)
+        assert a.secret == b.secret
+
+    def test_dd_stays_linear(self):
+        instance = bernstein_vazirani(20, secret=0b10110111011011011011)
+        state = DDSimulator().run(instance.circuit)
+        assert state.node_count <= 2 * 21
+
+    def test_validation(self):
+        with pytest.raises(CircuitError):
+            bernstein_vazirani(0)
+        with pytest.raises(CircuitError):
+            bernstein_vazirani(3, secret=8)
+
+
+class TestDeutschJozsa:
+    def test_constant_oracle_reads_zero(self):
+        instance = deutsch_jozsa(6, constant=True, seed=0)
+        result = simulate_and_sample(instance.circuit, 100, method="dd", seed=1)
+        for sample in result.counts:
+            assert instance.verdict(instance.data_value(sample)) == "constant"
+
+    def test_balanced_oracle_reads_nonzero(self):
+        instance = deutsch_jozsa(6, constant=False, seed=2)
+        result = simulate_and_sample(instance.circuit, 100, method="dd", seed=3)
+        for sample in result.counts:
+            assert instance.verdict(instance.data_value(sample)) == "balanced"
+
+    def test_validation(self):
+        with pytest.raises(CircuitError):
+            deutsch_jozsa(0, constant=True)
+
+
+class TestPhaseEstimation:
+    def test_exact_phase_is_deterministic(self):
+        instance = phase_estimation(4, phase=5 / 16)
+        result = simulate_and_sample(instance.circuit, 300, method="dd", seed=0)
+        readings = {instance.counting_value(k) for k in result.counts}
+        assert readings == {5}
+
+    def test_inexact_phase_peaks_at_best_estimate(self):
+        instance = phase_estimation(5, phase=0.3)
+        result = simulate_and_sample(instance.circuit, 20_000, method="dd", seed=1)
+        histogram = {}
+        for sample, count in result.counts.items():
+            reading = instance.counting_value(sample)
+            histogram[reading] = histogram.get(reading, 0) + count
+        best = max(histogram, key=histogram.get)
+        assert best == instance.best_estimate
+        # The main peak of the Dirichlet kernel carries > 40% of the mass.
+        assert histogram[best] / result.shots > 0.4
+
+    def test_distribution_formula_matches_simulation(self):
+        precision, phase = 5, 0.3
+        instance = phase_estimation(precision, phase)
+        state = DDSimulator().run(instance.circuit)
+        probabilities = state.probabilities()
+        marginal = np.zeros(2**precision)
+        for index, probability in enumerate(probabilities):
+            marginal[instance.counting_value(index)] += probability
+        assert np.allclose(
+            marginal, phase_estimation_distribution(precision, phase), atol=1e-9
+        )
+
+    def test_sampling_consistent_with_formula(self):
+        precision, phase = 4, 0.137
+        instance = phase_estimation(precision, phase)
+        result = simulate_and_sample(instance.circuit, 30_000, method="dd", seed=2)
+        counting_counts = {}
+        for sample, count in result.counts.items():
+            reading = instance.counting_value(sample)
+            counting_counts[reading] = counting_counts.get(reading, 0) + count
+        expected = phase_estimation_distribution(precision, phase)
+        gof = chi_square_gof(counting_counts, expected)
+        assert gof.consistent
+
+    def test_validation(self):
+        with pytest.raises(CircuitError):
+            phase_estimation(0, 0.5)
+
+
+class TestQuantumVolume:
+    def test_shape(self):
+        circuit = quantum_volume(4, seed=0)
+        assert circuit.num_qubits == 4
+        assert circuit.depth() >= 4
+
+    def test_seeded_determinism(self):
+        a = quantum_volume(4, seed=5)
+        b = quantum_volume(4, seed=5)
+        assert np.allclose(a.unitary(), b.unitary(), atol=1e-12)
+
+    def test_state_normalised(self):
+        state = DDSimulator().run(quantum_volume(5, seed=1))
+        assert np.isclose(state.norm_squared(), 1.0, atol=1e-8)
+
+    def test_scrambles_harder_than_structured(self):
+        qv = DDSimulator().run(quantum_volume(6, seed=2)).node_count
+        from repro.algorithms import ghz
+
+        structured = DDSimulator().run(ghz(6)).node_count
+        assert qv > structured
+
+    def test_validation(self):
+        with pytest.raises(CircuitError):
+            quantum_volume(1)

@@ -1,0 +1,79 @@
+"""Sanity tests of the public package surface.
+
+Guards the advertised API: everything in ``__all__`` must exist, the
+README quickstart must run, and version metadata must be present.
+"""
+
+import importlib
+
+import pytest
+
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.circuit",
+    "repro.dd",
+    "repro.simulators",
+    "repro.core",
+    "repro.algorithms",
+    "repro.verify",
+    "repro.evaluation",
+]
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_all_exports_resolve(module_name):
+    module = importlib.import_module(module_name)
+    assert hasattr(module, "__all__")
+    for name in module.__all__:
+        assert hasattr(module, name), f"{module_name}.{name} missing"
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+
+
+def test_readme_quickstart_runs():
+    from repro import QuantumCircuit, simulate_and_sample
+
+    circuit = QuantumCircuit(2)
+    circuit.h(1)
+    circuit.cx(1, 0)
+    circuit.measure_all()
+    result = simulate_and_sample(circuit, shots=1000, method="dd", seed=0)
+    outcomes = dict(result.most_common())
+    assert set(outcomes) == {"00", "11"}
+    assert sum(outcomes.values()) == 1000
+
+
+def test_exception_hierarchy():
+    from repro import (
+        CircuitError,
+        DDError,
+        MemoryOutError,
+        QasmError,
+        ReproError,
+        SamplingError,
+        SimulationError,
+    )
+
+    for error_type in (
+        CircuitError,
+        QasmError,
+        DDError,
+        SimulationError,
+        SamplingError,
+    ):
+        assert issubclass(error_type, ReproError)
+    assert issubclass(MemoryOutError, SimulationError)
+
+
+def test_memory_out_error_payload():
+    from repro import MemoryOutError
+
+    error = MemoryOutError(requested_bytes=1024, cap_bytes=512)
+    assert error.requested_bytes == 1024
+    assert error.cap_bytes == 512
+    assert "MO" in str(error)

@@ -1,0 +1,158 @@
+"""Unit tests for vector-based sampling (prefix sums, binary search, OOC)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.states import RUNNING_EXAMPLE_PROBABILITIES
+from repro.core.prefix_sampler import (
+    OutOfCorePrefixSampler,
+    PrefixSampler,
+    probabilities_from_statevector,
+)
+from repro.exceptions import SamplingError
+
+
+def test_probabilities_from_statevector():
+    vector = np.array([1 / np.sqrt(2), 0, 0, 1j / np.sqrt(2)])
+    probabilities = probabilities_from_statevector(vector)
+    assert np.allclose(probabilities, [0.5, 0, 0, 0.5])
+
+
+def test_prefix_array_matches_figure3():
+    sampler = PrefixSampler(
+        np.asarray(RUNNING_EXAMPLE_PROBABILITIES), is_statevector=False
+    )
+    expected = [0, 3 / 8, 3 / 8, 6 / 8, 7 / 8, 7 / 8, 7 / 8, 1.0]
+    assert np.allclose(sampler.prefix, expected)
+
+
+def test_binary_search_sample_of_figure3():
+    sampler = PrefixSampler(
+        np.asarray(RUNNING_EXAMPLE_PROBABILITIES), is_statevector=False
+    )
+    index = int(np.searchsorted(sampler.prefix, 0.5, side="right"))
+    assert index == 3  # |011> as in the paper's Example 8
+
+
+def test_accepts_complex_statevector_directly():
+    vector = np.zeros(4, dtype=complex)
+    vector[1] = 1.0
+    sampler = PrefixSampler(vector)
+    assert np.allclose(sampler.probabilities, [0, 1, 0, 0])
+
+
+def test_sampling_distribution_uniform():
+    probabilities = np.full(8, 1 / 8)
+    sampler = PrefixSampler(probabilities, is_statevector=False)
+    samples = sampler.sample(40_000, rng=0)
+    counts = np.bincount(samples, minlength=8)
+    assert counts.min() > 4_400
+    assert counts.max() < 5_600
+
+
+def test_sampling_distribution_skewed():
+    probabilities = np.array([0.9, 0.1, 0.0, 0.0])
+    sampler = PrefixSampler(probabilities, is_statevector=False)
+    samples = sampler.sample(20_000, rng=1)
+    assert not np.any(samples >= 2)
+    share = (samples == 0).mean()
+    assert 0.88 < share < 0.92
+
+
+def test_zero_probability_outcomes_never_sampled():
+    sampler = PrefixSampler(
+        np.asarray(RUNNING_EXAMPLE_PROBABILITIES), is_statevector=False
+    )
+    samples = sampler.sample(50_000, rng=2)
+    assert set(np.unique(samples)) <= {1, 3, 4, 7}
+
+
+def test_sample_one_and_result():
+    sampler = PrefixSampler(np.array([0.0, 1.0]), is_statevector=False)
+    assert sampler.sample_one(rng=3) == 1
+    result = sampler.sample_result(100, rng=4)
+    assert result.shots == 100
+    assert result.counts == {1: 100}
+    assert result.method == "vector"
+
+
+def test_linear_scan_matches_distribution():
+    probabilities = np.array([0.25, 0.25, 0.5])
+    # pad to power of two with zero
+    sampler = PrefixSampler(np.array([0.25, 0.25, 0.5, 0.0]), is_statevector=False)
+    samples = sampler.sample_linear(4_000, rng=5)
+    counts = np.bincount(samples, minlength=4)
+    assert counts[3] == 0
+    assert abs(counts[2] / 4_000 - 0.5) < 0.04
+
+
+def test_validation_errors():
+    with pytest.raises(SamplingError):
+        PrefixSampler(np.array([0.5, 0.6]), is_statevector=False)  # sum > 1
+    with pytest.raises(SamplingError):
+        PrefixSampler(np.array([-0.1, 1.1]), is_statevector=False)
+    with pytest.raises(SamplingError):
+        PrefixSampler(np.array([]), is_statevector=False)
+    sampler = PrefixSampler(np.array([1.0]), is_statevector=False)
+    with pytest.raises(SamplingError):
+        sampler.sample(-1)
+
+
+def test_last_bucket_clamped():
+    # A probe equal to ~1.0 must clamp to the final index.
+    sampler = PrefixSampler(np.array([0.5, 0.5]), is_statevector=False)
+    samples = sampler.sample(1000, rng=6)
+    assert samples.max() <= 1
+
+
+class TestOutOfCore:
+    def test_matches_in_memory_distribution(self, tmp_path):
+        rng = np.random.default_rng(7)
+        probabilities = rng.random(64)
+        probabilities /= probabilities.sum()
+        sampler = OutOfCorePrefixSampler.from_probabilities(
+            probabilities, directory=str(tmp_path), block_size=8
+        )
+        try:
+            samples = sampler.sample(30_000, rng=8)
+            counts = np.bincount(samples, minlength=64) / 30_000
+            assert np.abs(counts - probabilities).max() < 0.02
+        finally:
+            sampler.close()
+
+    def test_identical_stream_to_prefix_sampler(self, tmp_path):
+        # Same RNG seed => same uniforms => identical samples.
+        probabilities = np.array([0.125] * 8)
+        in_memory = PrefixSampler(probabilities, is_statevector=False)
+        on_disk = OutOfCorePrefixSampler.from_probabilities(
+            probabilities, directory=str(tmp_path), block_size=2
+        )
+        try:
+            a = in_memory.sample(500, rng=np.random.default_rng(9))
+            b = on_disk.sample(500, rng=np.random.default_rng(9))
+            assert np.array_equal(a, b)
+        finally:
+            on_disk.close()
+
+    def test_sample_result_method_tag(self, tmp_path):
+        sampler = OutOfCorePrefixSampler.from_probabilities(
+            np.array([0.5, 0.5]), directory=str(tmp_path)
+        )
+        try:
+            result = sampler.sample_result(50, rng=10)
+            assert result.method == "vector-ooc"
+            assert result.shots == 50
+        finally:
+            sampler.close()
+
+    def test_bad_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.probs"
+        path.write_bytes(b"123")  # not a float64 array
+        with pytest.raises(SamplingError):
+            OutOfCorePrefixSampler(str(path))
+
+    def test_unnormalised_file_rejected(self, tmp_path):
+        path = tmp_path / "unnorm.probs"
+        path.write_bytes(np.array([0.3, 0.3]).tobytes())
+        with pytest.raises(SamplingError):
+            OutOfCorePrefixSampler(str(path))

@@ -1,0 +1,265 @@
+"""Property-based tests (hypothesis) for the core data structures.
+
+These pin the invariants the whole system rests on:
+
+* DD round-trip: any state vector survives compress -> expand exactly,
+* canonicity: equal vectors produce identical root edges,
+* normalisation invariants per scheme,
+* gate application preserves norm and matches dense linear algebra,
+* sampling only ever emits outcomes with nonzero probability,
+* prefix sums are monotone and end at 1.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import QuantumCircuit, random_circuit
+from repro.core.dd_sampler import DDSampler
+from repro.core.prefix_sampler import PrefixSampler
+from repro.dd import DDPackage, NormalizationScheme, VectorDD, is_terminal
+from repro.simulators import DDSimulator, StatevectorSimulator
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def statevectors(draw, min_qubits=1, max_qubits=5):
+    num_qubits = draw(st.integers(min_qubits, max_qubits))
+    dim = 2**num_qubits
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    sparse = draw(st.booleans())
+    if sparse:
+        support = draw(st.integers(1, dim))
+        vector = np.zeros(dim, dtype=np.complex128)
+        positions = rng.choice(dim, size=support, replace=False)
+        vector[positions] = rng.normal(size=support) + 1j * rng.normal(size=support)
+    else:
+        vector = rng.normal(size=dim) + 1j * rng.normal(size=dim)
+    norm = np.linalg.norm(vector)
+    return vector / norm
+
+
+@st.composite
+def schemes(draw):
+    return draw(st.sampled_from(list(NormalizationScheme)))
+
+
+class TestDDInvariants:
+    @SETTINGS
+    @given(vector=statevectors(), scheme=schemes())
+    def test_roundtrip_exact(self, vector, scheme):
+        pkg = DDPackage(scheme=scheme)
+        edge = pkg.from_statevector(vector)
+        num_qubits = int(round(math.log2(vector.size)))
+        back = pkg.to_statevector(edge, num_qubits)
+        assert np.allclose(back, vector, atol=1e-8)
+
+    @SETTINGS
+    @given(vector=statevectors(), scheme=schemes())
+    def test_canonicity(self, vector, scheme):
+        pkg = DDPackage(scheme=scheme)
+        e1 = pkg.from_statevector(vector)
+        e2 = pkg.from_statevector(vector.copy())
+        assert e1.node is e2.node
+        assert e1.weight == e2.weight
+
+    @SETTINGS
+    @given(vector=statevectors())
+    def test_l2_node_invariant(self, vector):
+        pkg = DDPackage(scheme=NormalizationScheme.L2)
+        edge = pkg.from_statevector(vector)
+        seen = set()
+
+        def check(node):
+            if is_terminal(node) or node.index in seen:
+                return
+            seen.add(node.index)
+            assert np.isclose(
+                sum(abs(e.weight) ** 2 for e in node.edges), 1.0, atol=1e-8
+            )
+            for child in node.edges:
+                check(child.node)
+
+        check(edge.node)
+
+    @SETTINGS
+    @given(vector=statevectors(max_qubits=4), scheme=schemes())
+    def test_amplitude_path_products(self, vector, scheme):
+        pkg = DDPackage(scheme=scheme)
+        edge = pkg.from_statevector(vector)
+        num_qubits = int(round(math.log2(vector.size)))
+        for index in range(vector.size):
+            assert np.isclose(
+                pkg.amplitude(edge, index, num_qubits), vector[index], atol=1e-8
+            )
+
+    @SETTINGS
+    @given(vector=statevectors(max_qubits=4))
+    def test_node_count_at_most_full_tree(self, vector):
+        pkg = DDPackage()
+        edge = pkg.from_statevector(vector)
+        num_qubits = int(round(math.log2(vector.size)))
+        assert pkg.node_count(edge) <= 2**num_qubits - 1
+
+
+class TestSimulationInvariants:
+    @SETTINGS
+    @given(
+        seed=st.integers(0, 10_000),
+        num_qubits=st.integers(2, 5),
+        num_gates=st.integers(1, 25),
+    )
+    def test_dd_matches_dense_simulator(self, seed, num_qubits, num_gates):
+        circuit = random_circuit(num_qubits, num_gates, seed=seed)
+        dense = StatevectorSimulator().run(circuit)
+        dd = DDSimulator().run(circuit)
+        assert np.allclose(dd.to_statevector(), dense, atol=1e-8)
+
+    @SETTINGS
+    @given(seed=st.integers(0, 10_000))
+    def test_norm_preserved(self, seed):
+        circuit = random_circuit(4, 30, seed=seed)
+        dd = DDSimulator().run(circuit)
+        assert np.isclose(dd.norm_squared(), 1.0, atol=1e-8)
+
+
+class TestSamplingInvariants:
+    @SETTINGS
+    @given(vector=statevectors(min_qubits=2, max_qubits=5), seed=st.integers(0, 999))
+    def test_dd_samples_have_support(self, vector, seed):
+        pkg = DDPackage()
+        state = VectorDD.from_statevector(pkg, vector)
+        sampler = DDSampler(state)
+        samples = sampler.sample(200, rng=seed)
+        probabilities = np.abs(vector) ** 2
+        for sample in np.unique(samples):
+            assert probabilities[int(sample)] > 1e-12
+
+    @SETTINGS
+    @given(vector=statevectors(min_qubits=2, max_qubits=5), seed=st.integers(0, 999))
+    def test_multinomial_total_preserved(self, vector, seed):
+        pkg = DDPackage()
+        state = VectorDD.from_statevector(pkg, vector)
+        counts = DDSampler(state).sample_counts_multinomial(1234, rng=seed)
+        assert sum(counts.values()) == 1234
+        probabilities = np.abs(vector) ** 2
+        for outcome in counts:
+            assert probabilities[outcome] > 1e-12
+
+    @SETTINGS
+    @given(vector=statevectors(min_qubits=1, max_qubits=6))
+    def test_prefix_monotone_and_complete(self, vector):
+        sampler = PrefixSampler(vector)
+        assert np.all(np.diff(sampler.prefix) >= -1e-15)
+        assert np.isclose(sampler.prefix[-1], 1.0, atol=1e-9)
+
+    @SETTINGS
+    @given(vector=statevectors(min_qubits=2, max_qubits=5), seed=st.integers(0, 999))
+    def test_vector_samples_have_support(self, vector, seed):
+        sampler = PrefixSampler(vector)
+        samples = sampler.sample(200, rng=seed)
+        probabilities = np.abs(vector) ** 2
+        for sample in np.unique(samples):
+            assert probabilities[int(sample)] > 1e-12
+
+    @SETTINGS
+    @given(
+        vector=statevectors(min_qubits=2, max_qubits=4),
+        seed=st.integers(0, 999),
+    )
+    def test_dd_and_vector_same_support_universe(self, vector, seed):
+        """Both samplers draw from exactly the same outcome set."""
+        pkg = DDPackage()
+        state = VectorDD.from_statevector(pkg, vector)
+        dd_samples = set(int(s) for s in DDSampler(state).sample(500, rng=seed))
+        vec_samples = set(int(s) for s in PrefixSampler(vector).sample(500, rng=seed))
+        support = {i for i, p in enumerate(np.abs(vector) ** 2) if p > 1e-12}
+        assert dd_samples <= support
+        assert vec_samples <= support
+
+
+class TestTransformInvariants:
+    @SETTINGS
+    @given(
+        seed=st.integers(0, 10_000),
+        num_gates=st.integers(1, 20),
+    )
+    def test_lowering_preserves_semantics(self, seed, num_gates):
+        from repro.circuit.transforms import lower_to_basis, merge_adjacent_gates
+
+        circuit = random_circuit(3, num_gates, seed=seed)
+        lowered = lower_to_basis(circuit)
+        merged = merge_adjacent_gates(lowered)
+        assert np.allclose(circuit.unitary(), lowered.unitary(), atol=1e-8)
+        assert np.allclose(circuit.unitary(), merged.unitary(), atol=1e-8)
+
+    @SETTINGS
+    @given(seed=st.integers(0, 10_000))
+    def test_equivalence_checker_accepts_lowering(self, seed):
+        from repro.circuit.transforms import lower_to_basis
+        from repro.verify import check_equivalence
+
+        circuit = random_circuit(3, 12, seed=seed)
+        assert check_equivalence(circuit, lower_to_basis(circuit))
+
+    @SETTINGS
+    @given(seed=st.integers(0, 10_000), broken_qubit=st.integers(0, 2))
+    def test_equivalence_checker_rejects_mutations(self, seed, broken_qubit):
+        from repro.verify import check_equivalence
+
+        circuit = random_circuit(3, 12, seed=seed)
+        mutated = circuit.copy()
+        mutated.x(broken_qubit)
+        assert not check_equivalence(circuit, mutated)
+
+    @SETTINGS
+    @given(seed=st.integers(0, 10_000))
+    def test_inverse_roundtrip_is_identity(self, seed):
+        from repro.verify import check_equivalence
+        from repro.circuit import QuantumCircuit
+
+        circuit = random_circuit(3, 15, seed=seed)
+        roundtrip = circuit.copy().compose(circuit.inverse())
+        empty = QuantumCircuit(3)
+        assert check_equivalence(roundtrip, empty)
+
+
+class TestSerializationInvariants:
+    @SETTINGS
+    @given(vector=statevectors(min_qubits=1, max_qubits=5), scheme=schemes())
+    def test_dd_serialization_roundtrip(self, vector, scheme):
+        from repro.dd import state_from_dict, state_to_dict
+
+        pkg = DDPackage(scheme=scheme)
+        state = VectorDD.from_statevector(pkg, vector)
+        restored = state_from_dict(state_to_dict(state))
+        assert np.allclose(restored.to_statevector(), vector, atol=1e-8)
+        assert restored.node_count == state.node_count
+
+
+class TestMeasurementInvariants:
+    @SETTINGS
+    @given(vector=statevectors(min_qubits=2, max_qubits=5), scheme=schemes())
+    def test_qubit_probabilities_sum_rule(self, vector, scheme):
+        from repro.dd import qubit_probability
+
+        pkg = DDPackage(scheme=scheme)
+        edge = pkg.from_statevector(vector)
+        num_qubits = int(round(math.log2(vector.size)))
+        probabilities = np.abs(vector) ** 2
+        for qubit in range(num_qubits):
+            expected = sum(
+                p for i, p in enumerate(probabilities) if (i >> qubit) & 1
+            )
+            assert np.isclose(
+                qubit_probability(edge, qubit, num_qubits), expected, atol=1e-8
+            )

@@ -1,0 +1,179 @@
+"""Unit tests for OpenQASM 2.0 parsing and serialisation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit, parse_qasm, random_circuit, to_qasm
+from repro.circuit.operations import Measurement, Operation
+from repro.exceptions import QasmError
+
+
+BELL = """
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+h q[0];
+cx q[0],q[1];
+measure q -> c;
+"""
+
+
+def test_parse_bell():
+    circuit = parse_qasm(BELL)
+    assert circuit.num_qubits == 2
+    ops = circuit.operations
+    assert ops[0].gate.name == "h"
+    assert ops[1].gate.name == "x"
+    assert ops[1].controls == frozenset({0})
+    assert isinstance(circuit[-1], Measurement)
+
+
+def test_parse_parameters_with_pi():
+    circuit = parse_qasm(
+        "OPENQASM 2.0; qreg q[1]; rz(pi/4) q[0]; p(-3*pi/2) q[0]; rx(0.5) q[0];"
+    )
+    ops = circuit.operations
+    assert np.isclose(ops[0].gate.params[0], math.pi / 4)
+    assert np.isclose(ops[1].gate.params[0], -3 * math.pi / 2)
+    assert np.isclose(ops[2].gate.params[0], 0.5)
+
+
+def test_parse_multi_register():
+    circuit = parse_qasm(
+        "OPENQASM 2.0; qreg a[2]; qreg b[2]; x a[1]; x b[0];"
+    )
+    assert circuit.num_qubits == 4
+    assert circuit.operations[0].targets == (1,)
+    assert circuit.operations[1].targets == (2,)  # offset by register a
+
+
+def test_parse_comments_and_whitespace():
+    circuit = parse_qasm(
+        "OPENQASM 2.0; // header\nqreg q[1];\n// comment line\nh q[0]; // trailing"
+    )
+    assert circuit.num_operations == 1
+
+
+def test_parse_ccx_and_u():
+    circuit = parse_qasm(
+        "OPENQASM 2.0; qreg q[3]; ccx q[0],q[1],q[2]; u(0.1,0.2,0.3) q[0];"
+    )
+    assert circuit.operations[0].controls == frozenset({0, 1})
+    assert circuit.operations[1].gate.name == "u3"
+
+
+def test_parse_single_qubit_measure():
+    circuit = parse_qasm(
+        "OPENQASM 2.0; qreg q[2]; creg c[2]; measure q[1] -> c[1];"
+    )
+    assert isinstance(circuit[0], Measurement)
+    assert circuit[0].qubits == (1,)
+
+
+def test_parse_errors():
+    with pytest.raises(QasmError):
+        parse_qasm("")
+    with pytest.raises(QasmError):
+        parse_qasm("OPENQASM 2.0; h q[0];")  # no qreg
+    with pytest.raises(QasmError):
+        parse_qasm("OPENQASM 2.0; qreg q[1]; frobnicate q[0];")
+    with pytest.raises(QasmError):
+        parse_qasm("OPENQASM 2.0; qreg q[1]; h q[3];")  # index out of range
+    with pytest.raises(QasmError):
+        parse_qasm("OPENQASM 2.0; qreg q[1]; rz(import) q[0];")
+
+
+def test_roundtrip_preserves_semantics():
+    original = random_circuit(4, 30, seed=5)
+    reparsed = parse_qasm(to_qasm(original))
+    assert np.allclose(original.unitary(), reparsed.unitary(), atol=1e-9)
+
+
+def test_roundtrip_multi_controlled():
+    circuit = QuantumCircuit(4)
+    circuit.mcz([0, 1, 2], 3).mcx([1, 2], 0)
+    reparsed = parse_qasm(to_qasm(circuit))
+    assert np.allclose(circuit.unitary(), reparsed.unitary(), atol=1e-9)
+
+
+def test_roundtrip_parameter_formatting():
+    circuit = QuantumCircuit(1)
+    circuit.p(math.pi / 64, 0).rz(-math.pi, 0).rx(1.234567, 0)
+    reparsed = parse_qasm(to_qasm(circuit))
+    assert np.allclose(circuit.unitary(), reparsed.unitary(), atol=1e-12)
+
+
+def test_emit_rejects_anticontrols():
+    circuit = QuantumCircuit(2)
+    from repro.circuit import x_gate
+
+    circuit.append(
+        Operation(gate=x_gate(), targets=(0,), neg_controls=frozenset({1}))
+    )
+    with pytest.raises(QasmError):
+        to_qasm(circuit)
+
+
+def test_emit_measure_all():
+    circuit = QuantumCircuit(2)
+    circuit.h(0).measure_all()
+    assert "measure q -> c;" in to_qasm(circuit)
+
+
+class TestGateMacros:
+    def test_simple_macro(self):
+        circuit = parse_qasm(
+            "OPENQASM 2.0;"
+            "gate bellify a,b { h a; cx a,b; }"
+            "qreg q[2]; bellify q[0],q[1];"
+        )
+        reference = QuantumCircuit(2)
+        reference.h(0).cx(0, 1)
+        assert np.allclose(circuit.unitary(), reference.unitary(), atol=1e-10)
+
+    def test_parametrised_macro(self):
+        circuit = parse_qasm(
+            "OPENQASM 2.0;"
+            "gate wiggle(a,b) q { rz(a) q; ry(a+b) q; }"
+            "qreg q[1]; wiggle(pi/4, pi/8) q[0];"
+        )
+        reference = QuantumCircuit(1)
+        reference.rz(math.pi / 4, 0).ry(math.pi / 4 + math.pi / 8, 0)
+        assert np.allclose(circuit.unitary(), reference.unitary(), atol=1e-10)
+
+    def test_nested_macros(self):
+        circuit = parse_qasm(
+            "OPENQASM 2.0;"
+            "gate pair a,b { h a; cx a,b; }"
+            "gate chain a,b,c { pair a,b; pair b,c; }"
+            "qreg q[3]; chain q[0],q[1],q[2];"
+        )
+        reference = QuantumCircuit(3)
+        reference.h(0).cx(0, 1).h(1).cx(1, 2)
+        assert np.allclose(circuit.unitary(), reference.unitary(), atol=1e-10)
+
+    def test_macro_arity_checked(self):
+        with pytest.raises(QasmError):
+            parse_qasm(
+                "OPENQASM 2.0; gate pair a,b { cx a,b; } "
+                "qreg q[2]; pair q[0];"
+            )
+
+    def test_multiline_macro_with_comments(self):
+        source = """
+        OPENQASM 2.0;
+        gate majority a,b,c {
+          cx c,b;   // comment inside body
+          cx c,a;
+          ccx a,b,c;
+        }
+        qreg q[3];
+        majority q[0],q[1],q[2];
+        """
+        circuit = parse_qasm(source)
+        reference = QuantumCircuit(3)
+        reference.cx(2, 1).cx(2, 0).ccx(0, 1, 2)
+        assert np.allclose(circuit.unitary(), reference.unitary(), atol=1e-10)

@@ -1,0 +1,102 @@
+"""Unit tests for the QFT circuits."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import apply_inverse_qft, apply_qft, inverse_qft, qft
+from repro.circuit import QuantumCircuit
+from repro.simulators import DDSimulator, StatevectorSimulator
+
+
+def dft_matrix(num_qubits: int) -> np.ndarray:
+    dim = 2**num_qubits
+    omega = np.exp(2j * np.pi / dim)
+    return np.array(
+        [[omega ** (row * col) for col in range(dim)] for row in range(dim)]
+    ) / np.sqrt(dim)
+
+
+@pytest.mark.parametrize("num_qubits", [1, 2, 3, 4, 5])
+def test_qft_equals_dft(num_qubits):
+    assert np.allclose(
+        qft(num_qubits).unitary(), dft_matrix(num_qubits), atol=1e-9
+    )
+
+
+@pytest.mark.parametrize("num_qubits", [2, 3, 4])
+def test_inverse_qft_is_adjoint(num_qubits):
+    assert np.allclose(
+        inverse_qft(num_qubits).unitary(),
+        dft_matrix(num_qubits).conj().T,
+        atol=1e-9,
+    )
+
+
+def test_qft_then_inverse_is_identity():
+    circuit = QuantumCircuit(4)
+    apply_qft(circuit, range(4))
+    apply_inverse_qft(circuit, range(4))
+    assert np.allclose(circuit.unitary(), np.eye(16), atol=1e-9)
+
+
+def test_qft_on_subset_of_register():
+    # QFT on qubits (1, 2) of a 3-qubit register leaves qubit 0 alone.
+    circuit = QuantumCircuit(3)
+    apply_qft(circuit, [1, 2])
+    unitary = circuit.unitary()
+    # Input |001> (only q0 set): q0 untouched, q1q2 transformed from |00>.
+    state = np.zeros(8, dtype=complex)
+    state[1] = 1
+    out = unitary @ state
+    # result: q0=1 tensor uniform on q1,q2
+    expected = np.zeros(8, dtype=complex)
+    for pattern in range(4):
+        expected[1 + 2 * (pattern & 1) + 4 * (pattern >> 1)] = 0.5
+    assert np.allclose(out, expected, atol=1e-9)
+
+
+def test_qft_without_swaps_differs_by_bit_reversal():
+    plain = qft(3, include_swaps=True).unitary()
+    noswap = qft(3, include_swaps=False).unitary()
+    # Applying the bit-reversal permutation to rows of noswap gives plain.
+    def reverse(index, width=3):
+        return int(format(index, f"0{width}b")[::-1], 2)
+
+    permuted = np.zeros_like(noswap)
+    for row in range(8):
+        permuted[reverse(row)] = noswap[row]
+    assert np.allclose(permuted, plain, atol=1e-9)
+
+
+def test_qft_gate_count():
+    circuit = qft(6)
+    counts = circuit.count_gates()
+    assert counts["h"] == 6
+    assert counts["cp"] == 15  # n(n-1)/2
+    assert counts["swap"] == 3
+
+
+@pytest.mark.parametrize("num_qubits", [8, 16, 32])
+def test_qft_dd_size_is_n(num_qubits):
+    """Table I: qft_n collapses to exactly n DD nodes on |0...0>."""
+    state = DDSimulator().run(qft(num_qubits))
+    assert state.node_count == num_qubits
+
+
+def test_qft_output_is_uniform_on_zero_input():
+    state = DDSimulator().run(qft(16))
+    # Check a few amplitudes: all 2^{-8} in magnitude.
+    for index in (0, 1, 12345, 65535):
+        assert np.isclose(abs(state.amplitude(index)), 2.0**-8, atol=1e-9)
+
+
+def test_qft_on_basis_state_phases():
+    n = 4
+    value = 5
+    circuit = qft(n)
+    state = StatevectorSimulator().run(circuit, initial_state=value)
+    dim = 2**n
+    expected = np.array(
+        [np.exp(2j * np.pi * value * w / dim) for w in range(dim)]
+    ) / np.sqrt(dim)
+    assert np.allclose(state, expected, atol=1e-9)

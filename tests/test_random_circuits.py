@@ -1,0 +1,75 @@
+"""Unit tests for the random circuit generators."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    random_circuit,
+    random_clifford_t_circuit,
+    random_product_state_circuit,
+)
+from repro.simulators import DDSimulator
+
+
+def test_gate_count_and_width():
+    circuit = random_circuit(5, 37, seed=0)
+    assert circuit.num_qubits == 5
+    assert circuit.num_operations == 37
+
+
+def test_seed_reproducibility():
+    a = random_circuit(4, 20, seed=9)
+    b = random_circuit(4, 20, seed=9)
+    assert np.allclose(a.unitary(), b.unitary(), atol=1e-12)
+    c = random_circuit(4, 20, seed=10)
+    assert not np.allclose(a.unitary(), c.unitary(), atol=1e-6)
+
+
+def test_generator_object_accepted():
+    rng = np.random.default_rng(3)
+    first = random_circuit(3, 10, seed=rng)
+    second = random_circuit(3, 10, seed=rng)  # advances the same stream
+    assert not np.allclose(first.unitary(), second.unitary(), atol=1e-6)
+
+
+def test_two_qubit_fraction_extremes():
+    none = random_circuit(4, 30, seed=1, two_qubit_fraction=0.0)
+    assert none.two_qubit_gate_count() == 0
+    everything = random_circuit(4, 30, seed=1, two_qubit_fraction=1.0)
+    assert everything.two_qubit_gate_count() == 30
+
+
+def test_no_controls_uses_swaps():
+    circuit = random_circuit(4, 30, seed=2, two_qubit_fraction=1.0, allow_controls=False)
+    for op in circuit.operations:
+        assert not op.is_controlled
+        if len(op.qubits) == 2:
+            assert op.gate.name == "swap"
+
+
+def test_single_qubit_register():
+    circuit = random_circuit(1, 15, seed=4)
+    assert circuit.two_qubit_gate_count() == 0
+    assert circuit.num_operations == 15
+
+
+def test_clifford_t_gate_set():
+    circuit = random_clifford_t_circuit(4, 50, seed=5)
+    allowed = {"h", "s", "t", "x"}
+    for op in circuit.operations:
+        assert op.gate.name in allowed
+        if op.controls:
+            assert op.gate.name == "x"
+
+
+def test_product_state_circuit_gives_n_node_dd():
+    circuit = random_product_state_circuit(7, seed=6)
+    state = DDSimulator().run(circuit)
+    assert state.node_count == 7
+    assert np.isclose(state.norm_squared(), 1.0, atol=1e-9)
+
+
+def test_circuits_are_normalised():
+    circuit = random_circuit(5, 60, seed=7)
+    state = DDSimulator().run(circuit)
+    assert np.isclose(state.norm_squared(), 1.0, atol=1e-8)

@@ -1,0 +1,115 @@
+"""Unit tests for SampleResult."""
+
+import numpy as np
+import pytest
+
+from repro.core.results import SampleResult
+from repro.exceptions import SamplingError
+
+
+def test_from_samples_aggregates():
+    result = SampleResult.from_samples(2, [0, 1, 1, 3, 3, 3])
+    assert result.counts == {0: 1, 1: 2, 3: 3}
+    assert result.shots == 6
+    assert result.distinct_outcomes == 3
+
+
+def test_from_samples_range_check():
+    with pytest.raises(SamplingError):
+        SampleResult.from_samples(2, [4])
+    with pytest.raises(SamplingError):
+        SampleResult.from_samples(2, [-1])
+
+
+def test_frequency():
+    result = SampleResult.from_samples(2, [0, 0, 1, 3])
+    assert result.frequency(0) == 0.5
+    assert result.frequency(2) == 0.0
+
+
+def test_frequency_empty_raises():
+    result = SampleResult(num_qubits=2, counts={})
+    with pytest.raises(SamplingError):
+        result.frequency(0)
+
+
+def test_bitstring_counts_msb_first():
+    result = SampleResult.from_samples(3, [5, 5, 1])
+    strings = result.bitstring_counts()
+    assert strings == {"101": 2, "001": 1}
+
+
+def test_most_common_ordering():
+    result = SampleResult.from_samples(2, [0, 1, 1, 1, 2, 2])
+    ranked = result.most_common(2)
+    assert ranked == [("01", 3), ("10", 2)]
+
+
+def test_empirical_probabilities():
+    result = SampleResult.from_samples(1, [0, 0, 1, 1])
+    assert result.empirical_probabilities() == {0: 0.5, 1: 0.5}
+
+
+def test_marginal_probability():
+    result = SampleResult.from_samples(2, [0b01, 0b01, 0b10, 0b11])
+    assert result.marginal_probability(0) == 0.75
+    assert result.marginal_probability(1) == 0.5
+    with pytest.raises(SamplingError):
+        result.marginal_probability(2)
+
+
+def test_marginal_counts():
+    result = SampleResult.from_samples(3, [0b101, 0b101, 0b001, 0b110])
+    reduced = result.marginal_counts([0, 2])  # bits q0, q2
+    assert reduced == {0b11: 2, 0b01: 1, 0b10: 1}
+    with pytest.raises(SamplingError):
+        result.marginal_counts([0, 0])
+
+
+def test_merge():
+    a = SampleResult.from_samples(2, [0, 1], method="dd")
+    b = SampleResult.from_samples(2, [1, 2], method="dd")
+    merged = a.merge(b)
+    assert merged.counts == {0: 1, 1: 2, 2: 1}
+    assert merged.method == "dd"
+    c = SampleResult.from_samples(2, [0], method="vector")
+    assert a.merge(c).method == "mixed"
+    with pytest.raises(SamplingError):
+        a.merge(SampleResult.from_samples(3, [0]))
+
+
+def test_to_array():
+    result = SampleResult.from_samples(2, [0, 3, 3])
+    assert list(result.to_array()) == [1, 0, 0, 2]
+    wide = SampleResult(num_qubits=30, counts={0: 1})
+    with pytest.raises(SamplingError):
+        wide.to_array()
+
+
+def test_timing_metadata():
+    result = SampleResult.from_samples(
+        1, [0], precompute_seconds=0.25, sampling_seconds=0.5
+    )
+    assert result.total_seconds == 0.75
+
+
+def test_numpy_input():
+    samples = np.array([1, 1, 0], dtype=np.int64)
+    result = SampleResult.from_samples(1, samples)
+    assert result.counts == {0: 1, 1: 2}
+
+
+def test_json_roundtrip():
+    original = SampleResult.from_samples(
+        3, [5, 5, 1, 0], method="dd", precompute_seconds=0.1, sampling_seconds=0.2
+    )
+    restored = SampleResult.from_json(original.to_json())
+    assert restored.counts == original.counts
+    assert restored.num_qubits == 3
+    assert restored.method == "dd"
+    assert restored.precompute_seconds == 0.1
+
+
+def test_json_rejects_foreign_documents():
+    with pytest.raises(SamplingError):
+        SampleResult.from_json('{"format": "other"}')

@@ -1,0 +1,82 @@
+"""Tests for the repro-sample command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+BELL = """OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+h q[0];
+cx q[0],q[1];
+measure q -> c;
+"""
+
+
+@pytest.fixture
+def bell_file(tmp_path):
+    path = tmp_path / "bell.qasm"
+    path.write_text(BELL)
+    return str(path)
+
+
+def test_samples_bell_pair(bell_file, capsys):
+    assert main([bell_file, "--shots", "2000", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "2 qubits" in out
+    assert "|00>" in out
+    assert "|11>" in out
+    assert "|01>" not in out
+
+
+def test_method_selection(bell_file, capsys):
+    assert main([bell_file, "--shots", "500", "--method", "vector", "--seed", "2"]) == 0
+    assert "'vector'" in capsys.readouterr().out
+
+
+def test_json_output(bell_file, tmp_path, capsys):
+    out_file = tmp_path / "counts.json"
+    assert main(
+        [bell_file, "--shots", "100", "--seed", "3", "--json", str(out_file)]
+    ) == 0
+    payload = json.loads(out_file.read_text())
+    assert payload["format"] == "repro-samples"
+    assert sum(payload["counts"].values()) == 100
+    assert set(payload["counts"]) <= {"00", "11"}
+
+
+def test_json_to_stdout(bell_file, capsys):
+    assert main([bell_file, "--shots", "50", "--seed", "4", "--json", "-"]) == 0
+    out = capsys.readouterr().out
+    assert '"format": "repro-samples"' in out
+
+
+def test_draw_mode(bell_file, capsys):
+    assert main([bell_file, "--draw"]) == 0
+    out = capsys.readouterr().out
+    assert "[H]" in out
+    assert "⊕" in out
+
+
+def test_stats_flag(bell_file, capsys):
+    assert main([bell_file, "--shots", "100", "--stats", "--seed", "5"]) == 0
+    assert "precompute" in capsys.readouterr().out
+
+
+def test_missing_file(capsys):
+    assert main(["/nonexistent/file.qasm"]) == 2
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_bad_qasm(tmp_path, capsys):
+    path = tmp_path / "bad.qasm"
+    path.write_text("OPENQASM 2.0; qreg q[1]; frobnicate q[0];")
+    assert main([str(path)]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_bad_shots(bell_file, capsys):
+    assert main([bell_file, "--shots", "0"]) == 2

@@ -1,0 +1,35 @@
+"""The shape checks are the executable summary of the reproduction —
+they must all pass, and the report must render."""
+
+import pytest
+
+from repro.evaluation import render_shape_report, run_shape_checks
+
+
+@pytest.fixture(scope="module")
+def checks():
+    return run_shape_checks()
+
+
+def test_all_shape_checks_pass(checks):
+    failed = [c for c in checks if not c.passed]
+    assert not failed, "\n".join(f"{c.name}: {c.detail}" for c in failed)
+
+
+def test_expected_number_of_checks(checks):
+    assert len(checks) == 7
+
+
+def test_report_renders(checks):
+    report = render_shape_report(checks)
+    assert "7/7 checks passed" in report
+    assert "[PASS]" in report
+    assert "Table I" in report
+
+
+def test_cli_shapes_command(capsys, checks):
+    from repro.evaluation.cli import main
+
+    assert main(["shapes"]) == 0
+    out = capsys.readouterr().out
+    assert "checks passed" in out

@@ -1,0 +1,131 @@
+"""Unit tests for Shor's algorithm (circuit, emulated state, post-processing)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms.shor import (
+    factor_from_order,
+    multiplicative_order,
+    recover_period,
+    shor_circuit,
+    shor_classical_reference,
+    shor_final_state,
+)
+from repro.core import sample_statevector
+from repro.dd import DDPackage, VectorDD
+from repro.exceptions import CircuitError
+from repro.simulators import DDSimulator
+
+
+class TestClassical:
+    def test_multiplicative_order(self):
+        assert multiplicative_order(7, 15) == 4
+        assert multiplicative_order(2, 33) == 10
+        assert multiplicative_order(4, 69) == 11
+        with pytest.raises(CircuitError):
+            multiplicative_order(6, 15)
+
+    def test_factor_from_order(self):
+        assert factor_from_order(15, 7, 4) == (3, 5)
+        assert factor_from_order(15, 7, 3) is None  # odd order
+        assert shor_classical_reference(15, 7) == (3, 5)
+        # Known failure mode: 2^5 = 32 = -1 (mod 33), so base 2 yields no
+        # factors of 33 and Shor must retry with another base.
+        assert shor_classical_reference(33, 2) is None
+        assert shor_classical_reference(33, 5) == (3, 11)
+
+    def test_recover_period(self):
+        # measurement 2^t * s / r for r = 4, t = 8: e.g. 64 -> s/r = 1/4.
+        assert recover_period(64, 8, 15, 7) == 4
+        assert recover_period(192, 8, 15, 7) == 4
+        assert recover_period(0, 8, 15, 7) is None
+
+
+class TestEmulatedState:
+    def test_state_is_normalised(self):
+        state, t, n_out = shor_final_state(15, 7, precision=6)
+        assert np.isclose(np.linalg.norm(state), 1.0, atol=1e-9)
+        assert t == 6
+        assert n_out == 4
+
+    def test_default_precision_matches_paper_sizes(self):
+        _, t, n_out = shor_final_state(33, 2)
+        assert t + n_out == 18  # Table I row shor_33_2
+        _, t, n_out = shor_final_state(69, 4)
+        assert t + n_out == 21  # Table I row shor_69_4
+
+    def test_function_register_holds_powers(self):
+        state, t, n_out = shor_final_state(15, 7, precision=5)
+        # Marginal over the function register: only residues 7^x mod 15
+        # = {1, 7, 4, 13} can appear.
+        probabilities = np.abs(state.reshape(2**t, 2**n_out)) ** 2
+        support = set(np.nonzero(probabilities.sum(axis=0) > 1e-12)[0])
+        assert support == {1, 7, 4, 13}
+
+    def test_counting_register_peaks_at_multiples(self):
+        state, t, n_out = shor_final_state(15, 7, precision=6)
+        marginal = (np.abs(state.reshape(2**t, 2**n_out)) ** 2).sum(axis=1)
+        # Order 4: peaks at multiples of 2^6 / 4 = 16.
+        peaks = set(np.nonzero(marginal > 0.1)[0])
+        assert peaks == {0, 16, 32, 48}
+
+    def test_base_not_coprime_rejected(self):
+        with pytest.raises(CircuitError):
+            shor_final_state(15, 5)
+
+    def test_sampling_recovers_factors(self):
+        state, t, n_out = shor_final_state(21, 2, precision=8)
+        result = sample_statevector(state, 200, method="vector", seed=0)
+        orders = []
+        for sample, count in result.counts.items():
+            measured = sample >> n_out  # counting register on top
+            order = recover_period(measured, t, 21, 2)
+            if order:
+                orders.extend([order] * count)
+        assert orders, "no successful period recoveries"
+        factors = factor_from_order(21, 2, orders[0])
+        assert factors == (3, 7)
+
+
+class TestFullCircuit:
+    def test_circuit_layout(self):
+        circuit, layout = shor_circuit(15, 7, precision=3)
+        assert layout.num_qubits == 3 + 2 * 4 + 2
+        assert circuit.num_qubits == layout.num_qubits
+        assert layout.counting_value(0b101 << layout.counting_qubits[0]) == 0b101
+
+    def test_validation(self):
+        with pytest.raises(CircuitError):
+            shor_circuit(15, 6)  # not coprime
+        with pytest.raises(CircuitError):
+            shor_circuit(8, 3)  # even modulus
+        with pytest.raises(CircuitError):
+            shor_circuit(15, 7, precision=0)
+
+    def test_full_circuit_matches_emulated_distribution(self):
+        """The gate-level Beauregard circuit and the emulated final state
+        produce the same counting-register distribution."""
+        precision = 4
+        circuit, layout = shor_circuit(15, 7, precision=precision)
+        dd_state = DDSimulator().run(circuit)
+        probabilities = dd_state.probabilities()
+        circuit_marginal = np.zeros(2**precision)
+        for index, probability in enumerate(probabilities):
+            circuit_marginal[layout.counting_value(index)] += probability
+
+        state, t, n_out = shor_final_state(15, 7, precision=precision)
+        emulated_marginal = (
+            np.abs(state.reshape(2**t, 2**n_out)) ** 2
+        ).sum(axis=1)
+        assert np.allclose(circuit_marginal, emulated_marginal, atol=1e-8)
+
+    def test_emulated_state_compresses_to_dd(self):
+        state, t, n_out = shor_final_state(15, 2, precision=8)
+        package = DDPackage()
+        dd = VectorDD.from_statevector(package, state)
+        assert dd.num_qubits == t + n_out
+        # Highly structured: far smaller than 2^12.
+        assert dd.node_count < 2 ** (t + n_out - 2)
+        assert np.isclose(dd.norm_squared(), 1.0, atol=1e-9)

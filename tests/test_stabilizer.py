@@ -1,0 +1,172 @@
+"""Tests for the CHP stabilizer simulator (Clifford weak simulation)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.core import sample_dd, two_sample_chi_square
+from repro.core.results import SampleResult
+from repro.exceptions import SimulationError
+from repro.simulators import DDSimulator, StabilizerSimulator, StabilizerState
+
+
+def random_clifford(num_qubits: int, num_gates: int, seed: int) -> QuantumCircuit:
+    rng = np.random.default_rng(seed)
+    circuit = QuantumCircuit(num_qubits)
+    for _ in range(num_gates):
+        r = rng.random()
+        q = int(rng.integers(num_qubits))
+        if r < 0.3:
+            circuit.h(q)
+        elif r < 0.5:
+            circuit.s(q)
+        elif r < 0.6:
+            circuit.x(q)
+        elif r < 0.65:
+            circuit.y(q)
+        elif num_qubits >= 2:
+            a, b = rng.choice(num_qubits, 2, replace=False)
+            if r < 0.85:
+                circuit.cx(int(a), int(b))
+            else:
+                circuit.cz(int(a), int(b))
+    return circuit
+
+
+class TestBasics:
+    def test_zero_state_measures_zero(self):
+        state = StabilizerState(4)
+        rng = np.random.default_rng(0)
+        assert state.copy().measure_all(rng) == 0
+
+    def test_x_flips(self):
+        circuit = QuantumCircuit(3)
+        circuit.x(0).x(2)
+        state = StabilizerSimulator().run(circuit)
+        assert state.copy().measure_all(np.random.default_rng(0)) == 0b101
+
+    def test_h_gives_uniform_bit(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        state = StabilizerSimulator().run(circuit)
+        samples = state.sample(2_000, rng=1)
+        share = samples.mean()
+        assert 0.45 < share < 0.55
+
+    def test_measurement_collapses(self):
+        # Measuring twice gives the same answer.
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        state = StabilizerSimulator().run(circuit)
+        rng = np.random.default_rng(2)
+        working = state.copy()
+        first = working.measure(0, rng)
+        second = working.measure(0, rng)
+        assert first == second
+
+    def test_ghz_correlations(self):
+        circuit = QuantumCircuit(4)
+        circuit.h(3).cx(3, 2).cx(2, 1).cx(1, 0)
+        state = StabilizerSimulator().run(circuit)
+        samples = state.sample(1_000, rng=3)
+        assert set(np.unique(samples)) == {0, 15}
+
+    def test_bell_phase_state(self):
+        # (|00> - |11>)/sqrt(2) via Z on the control after entangling.
+        circuit = QuantumCircuit(2)
+        circuit.h(1).cx(1, 0).z(1)
+        state = StabilizerSimulator().run(circuit)
+        samples = state.sample(500, rng=4)
+        assert set(np.unique(samples)) == {0, 3}
+
+    def test_expectation_z(self):
+        circuit = QuantumCircuit(2)
+        circuit.x(0)
+        state = StabilizerSimulator().run(circuit)
+        assert state.expectation_z(0) == -1
+        assert state.expectation_z(1) == 1
+        superpos = QuantumCircuit(1)
+        superpos.h(0)
+        assert StabilizerSimulator().run(superpos).expectation_z(0) is None
+
+    def test_sdg_is_s_inverse(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0).s(0).sdg(0).h(0)
+        state = StabilizerSimulator().run(circuit)
+        assert state.copy().measure_all(np.random.default_rng(5)) == 0
+
+    def test_swap(self):
+        circuit = QuantumCircuit(2)
+        circuit.x(0).swap(0, 1)
+        state = StabilizerSimulator().run(circuit)
+        assert state.copy().measure_all(np.random.default_rng(6)) == 0b10
+
+    def test_cy_matches_dense(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).cy(0, 1)
+        stab = StabilizerSimulator().run(circuit)
+        a = SampleResult.from_samples(2, stab.sample(20_000, rng=7))
+        dd = DDSimulator().run(circuit)
+        b = sample_dd(dd, 20_000, method="dd", seed=8)
+        assert two_sample_chi_square(a, b).consistent
+
+
+class TestValidation:
+    def test_non_clifford_rejected(self):
+        circuit = QuantumCircuit(1)
+        circuit.t(0)
+        with pytest.raises(SimulationError):
+            StabilizerSimulator().run(circuit)
+
+    def test_multi_controls_rejected(self):
+        circuit = QuantumCircuit(3)
+        circuit.ccx(0, 1, 2)
+        with pytest.raises(SimulationError):
+            StabilizerSimulator().run(circuit)
+
+    def test_mid_circuit_measurement_rejected(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        circuit.measure(0)
+        circuit.h(0)
+        with pytest.raises(SimulationError):
+            StabilizerSimulator().run(circuit)
+
+    def test_terminal_measurement_tolerated(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0).measure_all()
+        state = StabilizerSimulator().run(circuit)
+        assert isinstance(state, StabilizerState)
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_distribution_matches_dd_simulator(self, seed):
+        """Two unrelated weak-simulation algorithms, one distribution."""
+        circuit = random_clifford(4, 30, seed)
+        stab = StabilizerSimulator().run(circuit)
+        a = SampleResult.from_samples(4, stab.sample(20_000, rng=seed))
+        dd = DDSimulator().run(circuit)
+        b = sample_dd(dd, 20_000, method="dd", seed=seed + 100)
+        assert two_sample_chi_square(a, b).consistent
+
+    def test_sample_result_wrapper(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        result = StabilizerSimulator().run(circuit).sample_result(100, rng=0)
+        assert result.method == "stabilizer"
+        assert result.shots == 100
+
+    def test_deterministic_support_matches_dd(self):
+        circuit = random_clifford(5, 40, seed=99)
+        stab_support = set(
+            int(s)
+            for s in StabilizerSimulator().run(circuit).sample(3_000, rng=0)
+        )
+        dd = DDSimulator().run(circuit)
+        probabilities = dd.probabilities()
+        dd_support = {i for i, p in enumerate(probabilities) if p > 1e-12}
+        assert stab_support <= dd_support
+        # Stabilizer states are uniform over their support: with 3000
+        # samples of at most 2^5 outcomes we should see all of it.
+        assert stab_support == dd_support

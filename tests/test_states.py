@@ -1,0 +1,94 @@
+"""Unit tests for the utility state-preparation circuits."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms.states import (
+    RUNNING_EXAMPLE_PROBABILITIES,
+    bell_pair,
+    ghz,
+    running_example_circuit,
+    running_example_statevector,
+    uniform_superposition,
+    w_state,
+)
+from repro.exceptions import CircuitError
+from repro.simulators import DDSimulator, StatevectorSimulator
+
+
+def test_bell_pair():
+    state = StatevectorSimulator().run(bell_pair())
+    expected = np.zeros(4, dtype=complex)
+    expected[0] = expected[3] = 1 / math.sqrt(2)
+    assert np.allclose(state, expected, atol=1e-10)
+
+
+@pytest.mark.parametrize("n", [2, 4, 7])
+def test_ghz(n):
+    state = StatevectorSimulator().run(ghz(n))
+    assert np.isclose(state[0], 1 / math.sqrt(2), atol=1e-10)
+    assert np.isclose(state[-1], 1 / math.sqrt(2), atol=1e-10)
+    assert np.isclose(np.abs(state[1:-1]).max(), 0.0, atol=1e-10)
+
+
+def test_ghz_dd_size():
+    state = DDSimulator().run(ghz(12))
+    assert state.node_count == 2 * 12 - 1
+
+
+@pytest.mark.parametrize("n", [2, 3, 5, 8])
+def test_w_state(n):
+    state = StatevectorSimulator().run(w_state(n))
+    probabilities = np.abs(state) ** 2
+    for k in range(n):
+        assert np.isclose(probabilities[1 << k], 1 / n, atol=1e-9)
+    assert np.isclose(probabilities.sum(), 1.0, atol=1e-9)
+
+
+def test_uniform_superposition():
+    state = StatevectorSimulator().run(uniform_superposition(5))
+    assert np.allclose(np.abs(state), 2.0**-2.5, atol=1e-10)
+
+
+def test_validation():
+    with pytest.raises(CircuitError):
+        ghz(1)
+    with pytest.raises(CircuitError):
+        w_state(1)
+
+
+class TestRunningExample:
+    """The paper's Fig. 2 worked example, exactly."""
+
+    def test_statevector_constants(self):
+        vector = running_example_statevector()
+        assert np.isclose(vector[1], -1j * 0.6123724356957945, atol=1e-12)
+        assert np.isclose(vector[4], 0.3535533905932738, atol=1e-12)
+        assert np.isclose(np.linalg.norm(vector), 1.0, atol=1e-12)
+
+    def test_circuit_produces_paper_amplitudes(self):
+        state = StatevectorSimulator().run(running_example_circuit())
+        assert np.allclose(state, running_example_statevector(), atol=1e-9)
+
+    def test_probabilities_match_figure2(self):
+        state = DDSimulator().run(running_example_circuit())
+        assert np.allclose(
+            state.probabilities(),
+            np.asarray(RUNNING_EXAMPLE_PROBABILITIES),
+            atol=1e-9,
+        )
+
+    def test_probability_constants(self):
+        assert RUNNING_EXAMPLE_PROBABILITIES == (0.0, 3 / 8, 0.0, 3 / 8, 1 / 8, 0.0, 0.0, 1 / 8)
+        assert np.isclose(sum(RUNNING_EXAMPLE_PROBABILITIES), 1.0)
+
+    def test_dd_structure_matches_figure4(self):
+        # Fig. 4b draws one q2 node, two q1 nodes, and three q0 nodes,
+        # but two of the drawn q0 nodes are identical ([0, 1]); the
+        # canonical (fully shared) DD therefore has 5 nodes.
+        state = DDSimulator().run(running_example_circuit())
+        assert state.node_count == 5
+        per_level = state.nodes_per_level()
+        assert per_level == {2: 1, 1: 2, 0: 2}

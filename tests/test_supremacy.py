@@ -1,0 +1,108 @@
+"""Unit tests for the GRCS-style supremacy circuits."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.supremacy import NUM_LAYOUTS, cz_layout, supremacy
+from repro.exceptions import CircuitError
+from repro.simulators import DDSimulator, StatevectorSimulator
+
+
+def test_layout_pairs_are_neighbours():
+    for layout in range(NUM_LAYOUTS):
+        for a, b in cz_layout(layout, 4, 5):
+            row_a, col_a = divmod(a, 5)
+            row_b, col_b = divmod(b, 5)
+            assert abs(row_a - row_b) + abs(col_a - col_b) == 1
+
+
+def test_layouts_are_disjoint_within_cycle():
+    for layout in range(NUM_LAYOUTS):
+        qubits = [q for pair in cz_layout(layout, 4, 4) for q in pair]
+        assert len(qubits) == len(set(qubits))
+
+
+def test_every_bond_fires_once_per_eight_cycles():
+    rows = cols = 4
+    fired = set()
+    for layout in range(NUM_LAYOUTS):
+        for pair in cz_layout(layout, rows, cols):
+            assert pair not in fired, "bond fired twice in eight cycles"
+            fired.add(pair)
+    horizontal = rows * (cols - 1)
+    vertical = (rows - 1) * cols
+    assert len(fired) == horizontal + vertical
+
+
+def test_circuit_shape():
+    circuit = supremacy(4, 4, 10, seed=0)
+    assert circuit.num_qubits == 16
+    counts = circuit.count_gates()
+    assert counts["h"] == 16  # initial Hadamard cycle
+    assert counts["cz"] > 0
+    assert counts.get("t", 0) > 0
+
+
+def test_first_single_qubit_gate_is_t():
+    circuit = supremacy(4, 4, 10, seed=3)
+    first_sq = {}
+    for op in circuit.operations:
+        name = op.gate.name
+        if name in ("t", "sx", "sy"):
+            qubit = op.targets[0]
+            if qubit not in first_sq:
+                first_sq[qubit] = name
+    assert first_sq, "no single-qubit gates generated"
+    assert all(name == "t" for name in first_sq.values())
+
+
+def test_no_consecutive_repeats():
+    circuit = supremacy(5, 5, 16, seed=7)
+    history = {}
+    for op in circuit.operations:
+        name = op.gate.name
+        if name in ("t", "sx", "sy"):
+            qubit = op.targets[0]
+            assert history.get(qubit) != name, f"gate repeated on qubit {qubit}"
+            history[qubit] = name
+
+
+def test_seeded_determinism():
+    a = supremacy(4, 4, 8, seed=5)
+    b = supremacy(4, 4, 8, seed=5)
+    assert [str(op) for op in a.operations] == [str(op) for op in b.operations]
+    c = supremacy(4, 4, 8, seed=6)
+    assert [str(op) for op in a.operations] != [str(op) for op in c.operations]
+
+
+def test_validation():
+    with pytest.raises(CircuitError):
+        supremacy(1, 4, 5)
+    with pytest.raises(CircuitError):
+        supremacy(4, 4, 0)
+
+
+def test_dd_matches_dense_small():
+    circuit = supremacy(2, 3, 6, seed=0)
+    dense = StatevectorSimulator().run(circuit)
+    dd = DDSimulator().run(circuit)
+    assert np.allclose(dd.to_statevector(), dense, atol=1e-8)
+
+
+def test_dd_size_grows_with_depth():
+    """The Table-I trend: deeper supremacy circuits scramble harder."""
+    shallow = DDSimulator().run(supremacy(3, 3, 4, seed=0)).node_count
+    deep = DDSimulator().run(supremacy(3, 3, 12, seed=0)).node_count
+    assert deep > shallow
+
+
+def test_output_distribution_not_uniform():
+    """Random circuits produce Porter-Thomas-style speckle, not uniform
+    output — the basis of cross-entropy benchmarking."""
+    circuit = supremacy(3, 3, 12, seed=1)
+    state = StatevectorSimulator().run(circuit)
+    probabilities = np.abs(state) ** 2
+    dim = probabilities.size
+    # For Porter-Thomas, E[p^2] = 2 / dim^2; uniform would give 1 / dim^2.
+    second_moment = float((probabilities**2).sum() * dim)
+    assert second_moment > 1.4

@@ -1,0 +1,81 @@
+"""Unit tests for the unique table and compute tables."""
+
+import pytest
+
+from repro.dd import DDPackage, Edge, TERMINAL
+from repro.dd.compute_table import ComputeTable
+from repro.dd.unique_table import UniqueTable
+
+
+class TestUniqueTable:
+    def test_identical_requests_share_node(self):
+        table = UniqueTable()
+        edges = (Edge(TERMINAL, 1.0 + 0j), Edge(TERMINAL, 0j))
+        first = table.get_node(0, edges)
+        second = table.get_node(0, edges)
+        assert first is second
+        assert table.hits == 1
+        assert table.misses == 1
+        assert len(table) == 1
+
+    def test_different_weights_different_nodes(self):
+        table = UniqueTable()
+        a = table.get_node(0, (Edge(TERMINAL, 1.0 + 0j), Edge(TERMINAL, 0j)))
+        b = table.get_node(0, (Edge(TERMINAL, 0.5 + 0j), Edge(TERMINAL, 0j)))
+        assert a is not b
+
+    def test_different_levels_different_nodes(self):
+        table = UniqueTable()
+        edges = (Edge(TERMINAL, 1.0 + 0j), Edge(TERMINAL, 0j))
+        assert table.get_node(0, edges) is not table.get_node(1, edges)
+
+    def test_indexes_are_unique_and_monotonic(self):
+        table = UniqueTable()
+        a = table.get_node(0, (Edge(TERMINAL, 1.0 + 0j), Edge(TERMINAL, 0j)))
+        b = table.get_node(1, (Edge(a, 1.0 + 0j), Edge(TERMINAL, 0j)))
+        assert b.index > a.index > TERMINAL.index
+
+    def test_clear_preserves_index_counter(self):
+        """Nodes created before a clear must never collide with nodes
+        created after (compact() relies on this)."""
+        table = UniqueTable()
+        before = table.get_node(0, (Edge(TERMINAL, 1.0 + 0j), Edge(TERMINAL, 0j)))
+        table.clear()
+        after = table.get_node(0, (Edge(TERMINAL, 0.5 + 0j), Edge(TERMINAL, 0j)))
+        assert after.index > before.index
+
+
+class TestComputeTable:
+    def test_lookup_miss_then_hit(self):
+        table = ComputeTable("test")
+        key = (1, 2, 0.5)
+        assert table.lookup(key) is None
+        table.insert(key, Edge(TERMINAL, 1.0 + 0j))
+        assert table.lookup(key) == Edge(TERMINAL, 1.0 + 0j)
+        assert table.hits == 1
+        assert table.misses == 1
+
+    def test_clear(self):
+        table = ComputeTable("test")
+        table.insert(("k",), Edge(TERMINAL, 1.0 + 0j))
+        table.clear()
+        assert len(table) == 0
+        assert table.lookup(("k",)) is None
+
+
+class TestPackageTables:
+    def test_statistics_counters_move(self):
+        package = DDPackage()
+        package.basis_state(4, 3)
+        package.basis_state(4, 3)
+        stats = package.statistics()
+        assert stats["unique_hits"] > 0  # second build reused everything
+
+    def test_clear_compute_tables(self):
+        package = DDPackage()
+        a = package.basis_state(3, 1)
+        b = package.basis_state(3, 5)
+        package.add(package.scale(a, 0.6), package.scale(b, 0.8))
+        assert package.statistics()["add_entries"] > 0
+        package.clear_compute_tables()
+        assert package.statistics()["add_entries"] == 0

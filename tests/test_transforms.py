@@ -1,0 +1,202 @@
+"""Unit tests for circuit transformations (decompositions, peephole)."""
+
+import cmath
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit, gates as g, random_circuit
+from repro.circuit.transforms import (
+    decompose_controlled_single_qubit,
+    decompose_mcx,
+    decompose_swap,
+    decompose_toffoli,
+    lower_to_basis,
+    merge_adjacent_gates,
+    zyz_angles,
+    _reconstruct_zyz,
+)
+from repro.exceptions import CircuitError
+
+
+class TestZYZ:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_unitaries_roundtrip(self, seed):
+        rng = np.random.default_rng(seed)
+        raw = rng.normal(size=(2, 2)) + 1j * rng.normal(size=(2, 2))
+        unitary, _ = np.linalg.qr(raw)
+        angles = zyz_angles(unitary)
+        assert np.allclose(_reconstruct_zyz(*angles), unitary, atol=1e-9)
+
+    def test_named_gates(self):
+        for maker in (g.h_gate, g.x_gate, g.t_gate, g.s_gate, g.y_gate):
+            gate = maker()
+            angles = zyz_angles(gate.array)
+            assert np.allclose(_reconstruct_zyz(*angles), gate.array, atol=1e-10)
+
+    def test_diagonal_case(self):
+        angles = zyz_angles(g.rz_gate(0.8).array)
+        assert np.allclose(_reconstruct_zyz(*angles), g.rz_gate(0.8).array, atol=1e-10)
+
+    def test_antidiagonal_case(self):
+        angles = zyz_angles(g.x_gate().array)
+        assert np.allclose(_reconstruct_zyz(*angles), g.x_gate().array, atol=1e-10)
+
+    def test_shape_validation(self):
+        with pytest.raises(CircuitError):
+            zyz_angles(np.eye(4))
+
+
+class TestDecompositions:
+    def test_toffoli(self):
+        reference = QuantumCircuit(3)
+        reference.ccx(0, 1, 2)
+        decomposed = decompose_toffoli(0, 1, 2)
+        assert np.allclose(reference.unitary(), decomposed.unitary(), atol=1e-9)
+        counts = decomposed.count_gates()
+        assert counts["cx"] == 6
+        assert "ccx" not in counts
+
+    def test_toffoli_permuted_qubits(self):
+        reference = QuantumCircuit(3)
+        reference.ccx(2, 0, 1)
+        decomposed = decompose_toffoli(2, 0, 1)
+        assert np.allclose(reference.unitary(), decomposed.unitary(), atol=1e-9)
+
+    def test_swap(self):
+        reference = QuantumCircuit(2)
+        reference.swap(0, 1)
+        assert np.allclose(
+            reference.unitary(), decompose_swap(0, 1).unitary(), atol=1e-12
+        )
+
+    @pytest.mark.parametrize(
+        "maker",
+        [g.h_gate, g.t_gate, g.y_gate, lambda: g.rx_gate(0.7),
+         lambda: g.u3_gate(0.4, 1.0, -0.2), lambda: g.phase_gate(2.2)],
+    )
+    def test_controlled_single_qubit_abc(self, maker):
+        gate = maker()
+        reference = QuantumCircuit(2)
+        reference.apply(gate, 1, controls=(0,))
+        decomposed = decompose_controlled_single_qubit(gate, 0, 1)
+        assert np.allclose(reference.unitary(), decomposed.unitary(), atol=1e-9)
+        assert all(
+            len(op.controls) <= 1 and op.gate.num_qubits == 1
+            for op in decomposed.operations
+        )
+
+    def test_abc_rejects_multiqubit(self):
+        with pytest.raises(CircuitError):
+            decompose_controlled_single_qubit(g.swap_gate(), 0, 1)
+
+    @pytest.mark.parametrize("k", [0, 1, 2])
+    def test_mcx_small_cases(self, k):
+        controls = list(range(k))
+        reference = QuantumCircuit(k + 1)
+        reference.mcx(controls, k)
+        decomposed = decompose_mcx(controls, k)
+        assert np.allclose(reference.unitary(), decomposed.unitary(), atol=1e-10)
+
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_mcx_vchain(self, k):
+        controls = list(range(k))
+        target = k
+        ancillas = list(range(k + 1, k + 1 + (k - 2)))
+        width = k + 1 + (k - 2)
+        reference = QuantumCircuit(width)
+        reference.mcx(controls, target)
+        decomposed = decompose_mcx(controls, target, ancillas=ancillas)
+        ref_u = reference.unitary()
+        dec_u = decomposed.unitary()
+        # Compare action on inputs where ancillas are |0⟩.
+        for column in range(2 ** (k + 1)):
+            assert np.allclose(ref_u[:, column], dec_u[:, column], atol=1e-9)
+        counts = decomposed.count_gates()
+        assert counts["ccx"] == 2 * k - 3
+
+    def test_mcx_insufficient_ancillas(self):
+        with pytest.raises(CircuitError):
+            decompose_mcx([0, 1, 2, 3], 4, ancillas=[5])
+
+
+class TestLowering:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_circuit_lowering(self, seed):
+        circuit = random_circuit(4, 20, seed=seed)
+        lowered = lower_to_basis(circuit)
+        assert np.allclose(circuit.unitary(), lowered.unitary(), atol=1e-8)
+        for op in lowered.operations:
+            assert not op.neg_controls
+            assert len(op.controls) <= 1
+            if op.controls:
+                assert op.gate.name == "x"
+
+    def test_lowering_toffoli_and_ccz(self):
+        circuit = QuantumCircuit(3)
+        circuit.ccx(0, 1, 2).mcz([0, 1], 2)
+        lowered = lower_to_basis(circuit)
+        assert np.allclose(circuit.unitary(), lowered.unitary(), atol=1e-9)
+
+    def test_lowering_anticontrols(self):
+        from repro.circuit.operations import Operation
+
+        circuit = QuantumCircuit(2)
+        circuit.append(
+            Operation(gate=g.x_gate(), targets=(0,), neg_controls=frozenset({1}))
+        )
+        lowered = lower_to_basis(circuit)
+        assert np.allclose(circuit.unitary(), lowered.unitary(), atol=1e-10)
+
+    def test_lowering_rzz(self):
+        circuit = QuantumCircuit(2)
+        circuit.rzz(0.9, 0, 1)
+        lowered = lower_to_basis(circuit)
+        assert np.allclose(circuit.unitary(), lowered.unitary(), atol=1e-10)
+
+    def test_unknown_basis(self):
+        with pytest.raises(CircuitError):
+            lower_to_basis(QuantumCircuit(1), basis="braiding")
+
+    def test_measurements_pass_through(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0).measure_all()
+        lowered = lower_to_basis(circuit)
+        from repro.circuit.operations import Measurement
+
+        assert isinstance(lowered[-1], Measurement)
+
+
+class TestPeephole:
+    def test_hh_cancels(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0).h(0)
+        merged = merge_adjacent_gates(circuit)
+        assert merged.num_operations == 0
+
+    def test_fusion_preserves_semantics(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0).t(0).rx(0.5, 0).sdg(0)
+        merged = merge_adjacent_gates(circuit)
+        assert merged.num_operations == 1
+        assert np.allclose(circuit.unitary(), merged.unitary(), atol=1e-10)
+
+    def test_multiqubit_gates_are_barriers(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).cx(0, 1).h(0)
+        merged = merge_adjacent_gates(circuit)
+        assert merged.num_operations == 3  # nothing fused across the CX
+
+    def test_random_circuit_semantics(self):
+        circuit = random_circuit(4, 40, seed=77)
+        merged = merge_adjacent_gates(circuit)
+        assert merged.num_operations <= circuit.num_operations
+        assert np.allclose(circuit.unitary(), merged.unitary(), atol=1e-8)
+
+    def test_rz_rz_fuses(self):
+        circuit = QuantumCircuit(1)
+        circuit.rz(0.3, 0).rz(0.4, 0)
+        merged = merge_adjacent_gates(circuit)
+        assert merged.num_operations == 1
+        assert np.allclose(circuit.unitary(), merged.unitary(), atol=1e-12)

@@ -1,0 +1,116 @@
+"""Unit tests for the VectorDD handle."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dd import DDPackage, VectorDD
+from repro.exceptions import DDError
+
+from .conftest import random_statevector, sparse_statevector
+
+
+@pytest.fixture
+def pkg():
+    return DDPackage()
+
+
+def test_zero_state_constructor(pkg):
+    state = VectorDD.zero_state(pkg, 4)
+    assert np.isclose(state.probability(0), 1.0)
+    assert state.node_count == 4
+
+
+def test_basis_state_constructor(pkg):
+    state = VectorDD.basis_state(pkg, 3, 5)
+    assert np.isclose(state.amplitude(5), 1.0)
+    assert state.probability(4) == 0.0
+
+
+def test_from_statevector_infers_width(pkg):
+    rng = np.random.default_rng(0)
+    state = VectorDD.from_statevector(pkg, random_statevector(4, rng))
+    assert state.num_qubits == 4
+
+
+def test_amplitude_of_bitstring(pkg):
+    state = VectorDD.basis_state(pkg, 3, 0b101)
+    assert np.isclose(state.amplitude_of("101"), 1.0)
+    with pytest.raises(DDError):
+        state.amplitude_of("10")
+
+
+def test_amplitude_out_of_range(pkg):
+    state = VectorDD.zero_state(pkg, 2)
+    with pytest.raises(DDError):
+        state.amplitude(4)
+
+
+def test_probabilities_sum_to_one(pkg):
+    rng = np.random.default_rng(1)
+    state = VectorDD.from_statevector(pkg, random_statevector(5, rng))
+    assert np.isclose(state.probabilities().sum(), 1.0, atol=1e-9)
+
+
+def test_qubit_probability(pkg):
+    state = VectorDD.basis_state(pkg, 3, 0b010)
+    assert np.isclose(state.qubit_probability(1), 1.0)
+    assert np.isclose(state.qubit_probability(0), 0.0)
+    with pytest.raises(DDError):
+        state.qubit_probability(3)
+
+
+def test_fidelity(pkg):
+    rng = np.random.default_rng(2)
+    a = random_statevector(4, rng)
+    sa = VectorDD.from_statevector(pkg, a)
+    sb = VectorDD.from_statevector(pkg, a * np.exp(0.3j))
+    assert np.isclose(sa.fidelity(sb), 1.0, atol=1e-9)  # global phase invariant
+    other = VectorDD.zero_state(pkg, 3)
+    with pytest.raises(DDError):
+        sa.fidelity(other)
+
+
+def test_nonzero_paths_enumeration(pkg):
+    rng = np.random.default_rng(3)
+    vector = sparse_statevector(5, 4, rng)
+    state = VectorDD.from_statevector(pkg, vector)
+    paths = dict(state.nonzero_paths())
+    support = {int(i) for i in np.nonzero(vector)[0]}
+    assert set(paths) == support
+    for index, amplitude in paths.items():
+        assert np.isclose(amplitude, vector[index], atol=1e-9)
+
+
+def test_nonzero_paths_sorted_and_limited(pkg):
+    vector = np.full(8, 1 / math.sqrt(8))
+    state = VectorDD.from_statevector(pkg, vector)
+    indices = [i for i, _ in state.nonzero_paths()]
+    assert indices == sorted(indices)
+    limited = list(state.nonzero_paths(limit=3))
+    assert len(limited) == 3
+
+
+def test_support_size(pkg):
+    rng = np.random.default_rng(4)
+    vector = sparse_statevector(6, 7, rng)
+    state = VectorDD.from_statevector(pkg, vector)
+    assert state.support_size() == 7
+
+
+def test_format_bitstring(pkg):
+    state = VectorDD.zero_state(pkg, 4)
+    assert state.format_bitstring(5) == "0101"
+
+
+def test_root_level_validation(pkg):
+    edge = pkg.basis_state(3, 0)
+    with pytest.raises(DDError):
+        VectorDD(pkg, edge, 5)
+
+
+def test_nodes_per_level_keys(pkg):
+    state = VectorDD.zero_state(pkg, 4)
+    histogram = state.nodes_per_level()
+    assert set(histogram) == {0, 1, 2, 3}

@@ -1,0 +1,111 @@
+"""Unit tests for DD-based equivalence checking."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit, random_circuit
+from repro.circuit.transforms import lower_to_basis, merge_adjacent_gates
+from repro.exceptions import ReproError
+from repro.verify import (
+    assert_equivalent,
+    check_equivalence,
+    random_stimuli_check,
+)
+
+
+def test_circuit_equivalent_to_itself():
+    circuit = random_circuit(4, 20, seed=0)
+    result = check_equivalence(circuit, circuit.copy())
+    assert result
+    assert np.isclose(result.phase, 1.0)
+
+
+def test_different_circuits_rejected():
+    circuit = random_circuit(4, 20, seed=1)
+    other = circuit.copy()
+    other.x(0)
+    assert not check_equivalence(circuit, other)
+
+
+def test_register_size_mismatch():
+    assert not check_equivalence(QuantumCircuit(2), QuantumCircuit(3))
+
+
+def test_equivalence_up_to_global_phase():
+    first = QuantumCircuit(1)
+    first.rz(1.0, 0)
+    second = QuantumCircuit(1)
+    second.p(1.0, 0)  # differs by e^{-i/2}
+    assert check_equivalence(first, second)
+    result = check_equivalence(first, second, up_to_global_phase=False)
+    assert not result
+
+
+def test_phase_reported():
+    first = QuantumCircuit(1)
+    first.rz(1.0, 0)
+    second = QuantumCircuit(1)
+    second.p(1.0, 0)
+    result = check_equivalence(first, second)
+    assert np.isclose(result.phase, np.exp(-0.5j), atol=1e-9)
+
+
+def test_lowered_circuits_equivalent():
+    circuit = random_circuit(4, 25, seed=3)
+    lowered = lower_to_basis(circuit)
+    assert check_equivalence(circuit, lowered)
+    merged = merge_adjacent_gates(lowered)
+    assert check_equivalence(circuit, merged)
+
+
+def test_commuted_gates_equivalent():
+    first = QuantumCircuit(3)
+    first.h(0).h(1).cz(0, 1)
+    second = QuantumCircuit(3)
+    second.h(1).h(0).cz(1, 0)  # CZ is symmetric; H's commute on disjoint wires
+    assert check_equivalence(first, second)
+
+
+def test_hxh_equals_z():
+    first = QuantumCircuit(1)
+    first.h(0).x(0).h(0)
+    second = QuantumCircuit(1)
+    second.z(0)
+    assert check_equivalence(first, second)
+
+
+def test_assert_equivalent():
+    circuit = random_circuit(3, 10, seed=4)
+    assert_equivalent(circuit, circuit.copy())
+    broken = circuit.copy()
+    broken.t(0)
+    with pytest.raises(ReproError):
+        assert_equivalent(circuit, broken)
+
+
+class TestStimuli:
+    def test_equivalent_passes(self):
+        circuit = random_circuit(4, 20, seed=5)
+        lowered = lower_to_basis(circuit)
+        result = random_stimuli_check(circuit, lowered, num_stimuli=4)
+        assert result
+        assert result.min_fidelity > 1.0 - 1e-8
+        assert result.counterexample is None
+
+    def test_inequivalent_fails_with_counterexample(self):
+        circuit = random_circuit(4, 20, seed=6)
+        broken = circuit.copy()
+        broken.x(2)
+        result = random_stimuli_check(circuit, broken, num_stimuli=4)
+        assert not result
+        assert result.counterexample is not None
+
+    def test_global_phase_invisible_to_stimuli(self):
+        first = QuantumCircuit(2)
+        first.rz(0.8, 0)
+        second = QuantumCircuit(2)
+        second.p(0.8, 0)
+        assert random_stimuli_check(first, second)
+
+    def test_size_mismatch(self):
+        assert not random_stimuli_check(QuantumCircuit(2), QuantumCircuit(3))

@@ -1,0 +1,134 @@
+"""Integration tests for the weak-simulation front door."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.states import (
+    RUNNING_EXAMPLE_PROBABILITIES,
+    running_example_circuit,
+)
+from repro.core import (
+    DD_METHODS,
+    VECTOR_METHODS,
+    chi_square_gof,
+    sample_dd,
+    sample_statevector,
+    simulate_and_sample,
+)
+from repro.core.weak_sim import simulate_and_sample as _sas
+from repro.circuit import QuantumCircuit
+from repro.dd import DDPackage, NormalizationScheme, VectorDD
+from repro.exceptions import MemoryOutError, SamplingError
+from repro.simulators import DDSimulator
+
+
+ALL_METHODS = DD_METHODS + VECTOR_METHODS
+
+
+@pytest.mark.parametrize("method", ALL_METHODS)
+def test_every_method_is_statistically_faithful(method):
+    """The paper's central claim, per back-end: samples from the running
+    example are consistent with [0, 3/8, 0, 3/8, 1/8, 0, 0, 1/8]."""
+    shots = 2_000 if method in ("dd-collapse", "vector-linear") else 30_000
+    result = simulate_and_sample(
+        running_example_circuit(), shots, method=method, seed=42
+    )
+    assert result.shots == shots
+    assert result.method == method
+    gof = chi_square_gof(result, np.asarray(RUNNING_EXAMPLE_PROBABILITIES))
+    assert gof.consistent, (method, gof)
+
+
+@pytest.mark.parametrize("method", ALL_METHODS)
+def test_impossible_outcomes_never_appear(method):
+    shots = 500 if method in ("dd-collapse", "vector-linear") else 5_000
+    result = simulate_and_sample(
+        running_example_circuit(), shots, method=method, seed=7
+    )
+    assert set(result.counts) <= {1, 3, 4, 7}
+
+
+def test_unknown_method_rejected():
+    with pytest.raises(SamplingError):
+        simulate_and_sample(QuantumCircuit(1), 10, method="quantum-magic")
+    with pytest.raises(SamplingError):
+        sample_statevector(np.array([1.0, 0.0]), 10, method="dd")
+    pkg = DDPackage()
+    state = VectorDD.basis_state(pkg, 1, 0)
+    with pytest.raises(SamplingError):
+        sample_dd(state, 10, method="vector")
+
+
+def test_memory_out_for_vector_method():
+    circuit = QuantumCircuit(12)
+    circuit.h(0)
+    with pytest.raises(MemoryOutError):
+        simulate_and_sample(
+            circuit, 10, method="vector", memory_cap_bytes=1024
+        )
+
+
+def test_dd_method_survives_where_vector_mo():
+    """The core Table-I contrast: same circuit, same cap — vector MOs,
+    DD-based weak simulation completes."""
+    circuit = QuantumCircuit(12)
+    for q in range(12):
+        circuit.h(q)
+    result = simulate_and_sample(circuit, 1_000, method="dd", seed=0)
+    assert result.shots == 1_000
+
+
+def test_sampling_timing_recorded():
+    result = simulate_and_sample(
+        running_example_circuit(), 10_000, method="vector", seed=1
+    )
+    assert result.precompute_seconds >= 0.0
+    assert result.sampling_seconds >= 0.0
+
+
+def test_seed_reproducibility():
+    a = simulate_and_sample(running_example_circuit(), 1_000, method="dd", seed=5)
+    b = simulate_and_sample(running_example_circuit(), 1_000, method="dd", seed=5)
+    assert a.counts == b.counts
+    c = simulate_and_sample(running_example_circuit(), 1_000, method="dd", seed=6)
+    assert a.counts != c.counts
+
+
+def test_initial_state_propagates():
+    circuit = QuantumCircuit(3)
+    circuit.i(0)
+    result = simulate_and_sample(
+        circuit, 100, method="dd", seed=0, initial_state=0b110
+    )
+    assert result.counts == {0b110: 100}
+
+
+def test_scheme_option():
+    result = simulate_and_sample(
+        running_example_circuit(),
+        5_000,
+        method="dd",
+        seed=3,
+        scheme=NormalizationScheme.LEFTMOST,
+    )
+    gof = chi_square_gof(result, np.asarray(RUNNING_EXAMPLE_PROBABILITIES))
+    assert gof.consistent
+
+
+def test_sample_dd_from_existing_state():
+    state = DDSimulator().run(running_example_circuit())
+    result = sample_dd(state, 10_000, method="dd-multinomial", seed=11)
+    gof = chi_square_gof(result, np.asarray(RUNNING_EXAMPLE_PROBABILITIES))
+    assert gof.consistent
+
+
+def test_cross_method_agreement():
+    """DD-based and vector-based samplers are indistinguishable from each
+    other (two-sample test), not just from the exact distribution."""
+    from repro.core import two_sample_chi_square
+
+    a = simulate_and_sample(running_example_circuit(), 30_000, method="dd", seed=1)
+    b = simulate_and_sample(
+        running_example_circuit(), 30_000, method="vector", seed=2
+    )
+    assert two_sample_chi_square(a, b).consistent
