@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench quick-table full-table figures shapes examples clean
+.PHONY: install test bench bench-sampling bench-smoke quick-table full-table figures shapes examples clean
 
 install:
 	PIP_NO_BUILD_ISOLATION=false pip install -e .
@@ -12,6 +12,16 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Full compiled-engine harness: writes BENCH_sampling.json (minutes).
+bench-sampling:
+	PYTHONPATH=src $(PYTHON) -m repro.perf.bench --out BENCH_sampling.json
+
+# Toy-size harness run + schema validation; fails on JSON-schema drift.
+bench-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.perf.bench --smoke --out BENCH_smoke.json
+	PYTHONPATH=src $(PYTHON) -m repro.perf.bench --validate BENCH_smoke.json
+	rm -f BENCH_smoke.json
 
 quick-table:
 	$(PYTHON) -m repro.evaluation table1 --tier quick --shots 100000

@@ -1,0 +1,105 @@
+"""Benchmarks for the compiled sampling engine (``repro.perf``).
+
+Measures the stages the CompiledDD refactor separated:
+
+* ``compile`` — flattening the DD into ``(p0, child0, child1)`` arrays
+  (paid once per root, then cached),
+* ``sample_compiled`` — the vectorised walk over the compiled arrays,
+* ``sample_cached`` — end-to-end sampler construction + draw when the
+  compiled artifact is already cached (the steady-state cost),
+* ``branching`` vs ``per_shot`` — the outcome-branching shot executor
+  against the literal per-shot reference on a mid-circuit circuit,
+* ``parallel_chunked`` — seed-stable chunked sampling overhead.
+
+Run:  pytest benchmarks/bench_compiled_engine.py --benchmark-only
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.core.dd_sampler import DDSampler
+from repro.core.shot_executor import ShotExecutor
+from repro.perf.compiled_dd import compile_edge
+from repro.perf.parallel import sample_chunked
+
+from .conftest import cached_state
+
+SHOTS = 100_000
+STATE = "shor_33_2"
+MID_CIRCUIT_SHOTS = 100_000
+
+
+@pytest.fixture(scope="module")
+def state():
+    return cached_state(STATE)
+
+
+@pytest.fixture(scope="module")
+def compiled(state):
+    return DDSampler(state).compiled()
+
+
+def test_compile_stage(benchmark, state):
+    sampler = DDSampler(state)
+    compiled = benchmark(
+        lambda: compile_edge(sampler._edge, sampler.num_qubits, sampler.downstream)
+    )
+    assert compiled.size > 0
+    benchmark.extra_info["dd_nodes"] = compiled.size
+
+
+def test_sample_compiled(benchmark, compiled):
+    rng = np.random.default_rng(0)
+    samples = benchmark(lambda: compiled.sample(SHOTS, rng))
+    assert samples.shape == (SHOTS,)
+
+
+def test_sample_cached_end_to_end(benchmark, state, compiled):
+    # Sampler construction + compiled() lookup + draw; the cache makes
+    # the flattening a dictionary hit.
+    rng = np.random.default_rng(1)
+
+    def draw():
+        return DDSampler(state).sample(SHOTS, rng)
+
+    samples = benchmark(draw)
+    assert samples.shape == (SHOTS,)
+
+
+def test_parallel_chunked(benchmark, compiled):
+    samples = benchmark(
+        lambda: sample_chunked(compiled.sample, SHOTS, seed=2, workers=2)
+    )
+    assert samples.shape == (SHOTS,)
+
+
+def _mid_circuit_circuit(num_qubits: int = 6) -> QuantumCircuit:
+    circuit = QuantumCircuit(num_qubits)
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    circuit.measure(0)
+    for qubit in range(num_qubits - 1):
+        circuit.cx(qubit, qubit + 1)
+    circuit.measure(1)
+    circuit.h(0)
+    circuit.measure_all()
+    return circuit
+
+
+def test_mid_circuit_branching(benchmark):
+    executor = ShotExecutor(_mid_circuit_circuit())
+    result = benchmark(lambda: executor.run(MID_CIRCUIT_SHOTS, seed=3))
+    assert sum(result.counts.values()) == MID_CIRCUIT_SHOTS
+
+
+def test_mid_circuit_per_shot(benchmark):
+    executor = ShotExecutor(_mid_circuit_circuit())
+    shots = MID_CIRCUIT_SHOTS // 100  # per-shot DD work; scale down
+
+    def run():
+        return executor.run_per_shot(shots, seed=4)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert sum(result.counts.values()) == shots
+    benchmark.extra_info["shots_scale"] = 100

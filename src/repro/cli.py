@@ -41,6 +41,14 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=None, help="RNG seed")
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="sample in seed-stable chunks on N worker threads "
+        "(method 'dd' only; same seed gives the same samples for any N)",
+    )
+    parser.add_argument(
         "--top", type=int, default=20, help="print at most this many outcomes"
     )
     parser.add_argument(
@@ -78,11 +86,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.shots < 1:
         print("error: --shots must be positive", file=sys.stderr)
         return 2
+    if args.workers is not None and args.workers < 1:
+        print("error: --workers must be positive", file=sys.stderr)
+        return 2
 
     start = time.perf_counter()
     try:
         result = simulate_and_sample(
-            circuit, args.shots, method=args.method, seed=args.seed
+            circuit,
+            args.shots,
+            method=args.method,
+            seed=args.seed,
+            workers=args.workers,
         )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -106,6 +121,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"sampling: {result.sampling_seconds:.4f} s, "
             f"distinct outcomes: {result.distinct_outcomes}"
         )
+        dd_stats = result.metadata.get("dd_statistics")
+        if dd_stats:
+            rendered = ", ".join(f"{k}={v}" for k, v in sorted(dd_stats.items()))
+            print(f"dd tables: {rendered}")
+        cache_stats = result.metadata.get("compiled_cache")
+        if cache_stats:
+            print(
+                "compiled DDs: "
+                + ", ".join(f"{k}={v}" for k, v in sorted(cache_stats.items()))
+            )
 
     if args.json:
         payload = result.to_json()

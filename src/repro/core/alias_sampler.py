@@ -54,6 +54,18 @@ class AliasSampler:
         self.num_qubits = int(np.round(np.log2(self.size)))
         self._build_tables()
 
+    @classmethod
+    def from_dd(cls, state) -> "AliasSampler":
+        """Alias sampler over a DD state's exact output distribution.
+
+        Uses the state's cached :class:`~repro.perf.compiled_dd.CompiledDD`
+        artifact (shared with the DD samplers) to expand probabilities.
+        """
+        from .dd_sampler import DDSampler
+
+        compiled = DDSampler(state).compiled()
+        return cls(compiled.probabilities(), is_statevector=False)
+
     def _build_tables(self) -> None:
         """Build the probability and alias tables (O(size))."""
         n = self.size

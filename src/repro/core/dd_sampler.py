@@ -22,6 +22,13 @@ Samplers provided:
 * :meth:`DDSampler.sample_collapse` — naive sequential-collapse baseline
   (delegates to :func:`repro.dd.measure.measure_all_collapse`).
 
+The flattened traversal tables behind the vectorised paths are a
+:class:`~repro.perf.compiled_dd.CompiledDD` artifact obtained from the
+process-wide cache, so repeated samplers over the same final state pay
+the flattening cost once; :meth:`DDSampler.sample_result` can fan large
+shot counts out to a worker pool with seed-stable chunking
+(:mod:`repro.perf.parallel`).
+
 ``edge_probabilities`` reproduces the probability-annotated DD of the
 paper's Fig. 4c; ``node_visit_probabilities`` exposes the upstream /
 downstream products of Section IV-B.
@@ -42,6 +49,9 @@ from ..dd.node import Edge, Node, is_terminal
 from ..dd.normalization import NormalizationScheme
 from ..dd.vector_dd import VectorDD
 from ..exceptions import SamplingError
+from ..perf import compiled_dd as _compiled_dd
+from ..perf.compiled_dd import CompiledDD
+from ..perf.parallel import DEFAULT_CHUNK_SHOTS, sample_chunked
 from .results import SampleResult
 
 __all__ = ["DDSampler"]
@@ -77,7 +87,7 @@ class DDSampler:
         self.downstream: Optional[Dict[int, float]] = (
             None if self._is_l2 else downstream_probabilities(self._edge)
         )
-        self._tables: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray, Dict[int, int]]] = None
+        self._compiled: Optional[CompiledDD] = None
 
     # ------------------------------------------------------------------
     # Branch probabilities
@@ -102,21 +112,25 @@ class DDSampler:
         return mass0 / total, mass1 / total
 
     def edge_probabilities(self) -> Dict[Tuple[int, int], float]:
-        """Branch probability per (node.index, bit) — the paper's Fig. 4c."""
+        """Branch probability per (node.index, bit) — the paper's Fig. 4c.
+
+        Traversed with an explicit stack so deep registers (n in the
+        hundreds) do not hit the Python recursion limit.
+        """
         table: Dict[Tuple[int, int], float] = {}
         seen = set()
-
-        def visit(node: Node) -> None:
+        stack: List[Node] = [self._edge.node]
+        while stack:
+            node = stack.pop()
             if is_terminal(node) or node.index in seen:
-                return
+                continue
             seen.add(node.index)
             p0, p1 = self.branch_probabilities(node)
             table[(node.index, 0)] = p0
             table[(node.index, 1)] = p1
             for child in node.edges:
-                visit(child.node)
-
-        visit(self._edge.node)
+                if not child.is_zero:
+                    stack.append(child.node)
         return table
 
     def node_visit_probabilities(self) -> Dict[int, float]:
@@ -161,43 +175,26 @@ class DDSampler:
     # Vectorised batch sampling
     # ------------------------------------------------------------------
 
-    def _build_tables(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Dict[int, int]]:
-        """Flatten the DD into arrays for NumPy-driven traversal.
+    def compiled(self) -> CompiledDD:
+        """The flattened traversal tables, from the process-wide cache.
 
         Every nonzero path visits exactly one node per level (nonzero
         edges never skip levels), so all walkers sit at the same depth in
-        lockstep and each level is one vectorised step.
+        lockstep and each level is one vectorised step.  Two samplers over
+        the same root share one artifact.
         """
-        if self._tables is not None:
-            return self._tables
-        id_of: Dict[int, int] = {}
-        nodes: List[Node] = []
+        if self._compiled is None:
+            # Late-bound attribute lookup so tests and the bench harness
+            # can swap the process-wide cache.
+            self._compiled = _compiled_dd.DEFAULT_CACHE.get_or_build(
+                self.state.package, self._edge, self.num_qubits, self.downstream
+            )
+        return self._compiled
 
-        def collect(node: Node) -> None:
-            if is_terminal(node) or node.index in id_of:
-                return
-            id_of[node.index] = len(nodes)
-            nodes.append(node)
-            for child in node.edges:
-                collect(child.node)
-
-        collect(self._edge.node)
-        count = len(nodes)
-        p0 = np.zeros(count)
-        child0 = np.zeros(count, dtype=np.int64)
-        child1 = np.zeros(count, dtype=np.int64)
-        for node in nodes:
-            compact = id_of[node.index]
-            prob0, _ = self.branch_probabilities(node)
-            p0[compact] = prob0
-            for bit, child_array in ((0, child0), (1, child1)):
-                child = node.edges[bit]
-                if child.is_zero or is_terminal(child.node):
-                    child_array[compact] = 0  # never dereferenced
-                else:
-                    child_array[compact] = id_of[child.node.index]
-        self._tables = (p0, child0, child1, id_of)
-        return self._tables
+    def _build_tables(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Dict[int, int]]:
+        """Backward-compatible view of :meth:`compiled` as raw arrays."""
+        compiled = self.compiled()
+        return (compiled.p0, compiled.child0, compiled.child1, compiled.id_of)
 
     def sample(
         self, shots: int, rng: Union[int, np.random.Generator, None] = None
@@ -215,24 +212,34 @@ class DDSampler:
                 "vectorised sampling packs outcomes into int64 and supports "
                 "at most 62 qubits; use sample_one/sample_iter beyond that"
             )
-        rng = _as_rng(rng)
-        p0, child0, child1, id_of = self._build_tables()
-        current = np.zeros(shots, dtype=np.int64)
-        current[:] = id_of[self._edge.node.index]
-        indices = np.zeros(shots, dtype=np.int64)
-        for var in range(self.num_qubits - 1, -1, -1):
-            ones = rng.random(shots) >= p0[current]
-            indices |= ones.astype(np.int64) << var
-            current = np.where(ones, child1[current], child0[current])
-        return indices
+        return self.compiled().sample(shots, _as_rng(rng))
+
+    def marginal_probabilities(self) -> np.ndarray:
+        """Exact ``P(qubit = 1)`` per qubit, from the compiled tables."""
+        return self.compiled().marginal_probabilities()
 
     def sample_result(
         self,
         shots: int,
         rng: Union[int, np.random.Generator, None] = None,
         method: str = "dd",
+        workers: Optional[int] = None,
+        chunk_shots: int = DEFAULT_CHUNK_SHOTS,
     ) -> SampleResult:
-        samples = self.sample(shots, rng)
+        """Sample and aggregate into a :class:`SampleResult`.
+
+        With ``workers`` set (any value, including 1) the shots are drawn
+        in fixed-size chunks with per-chunk ``SeedSequence`` streams, so
+        the result for a given ``rng`` seed is identical for every worker
+        count; ``workers > 1`` runs the chunks on a thread pool.
+        """
+        if workers is None:
+            samples = self.sample(shots, rng)
+        else:
+            compiled = self.compiled()
+            samples = sample_chunked(
+                compiled.sample, shots, rng, workers=workers, chunk_shots=chunk_shots
+            )
         return SampleResult.from_samples(self.num_qubits, samples, method=method)
 
     # ------------------------------------------------------------------
@@ -263,17 +270,7 @@ class DDSampler:
             )
         if num_qubits > 62:
             raise SamplingError("top-qubit sampling packs into int64: max 62")
-        rng = _as_rng(rng)
-        p0, child0, child1, id_of = self._build_tables()
-        shift = self.num_qubits - num_qubits
-        current = np.zeros(shots, dtype=np.int64)
-        current[:] = id_of[self._edge.node.index]
-        indices = np.zeros(shots, dtype=np.int64)
-        for var in range(self.num_qubits - 1, shift - 1, -1):
-            ones = rng.random(shots) >= p0[current]
-            indices |= ones.astype(np.int64) << (var - shift)
-            current = np.where(ones, child1[current], child0[current])
-        return indices
+        return self.compiled().sample_top(num_qubits, shots, _as_rng(rng))
 
     def sample_iter(
         self, rng: Union[int, np.random.Generator, None] = None

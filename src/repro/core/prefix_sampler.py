@@ -79,6 +79,20 @@ class PrefixSampler:
         self.size = probabilities.size
         self.num_qubits = int(np.round(np.log2(self.size)))
 
+    @classmethod
+    def from_dd(cls, state) -> "PrefixSampler":
+        """Prefix sampler over a DD state's exact output distribution.
+
+        Expands the probabilities through the state's cached
+        :class:`~repro.perf.compiled_dd.CompiledDD` artifact (shared with
+        the DD samplers) instead of a dense statevector export, so the
+        amplitude phases are never materialised.
+        """
+        from .dd_sampler import DDSampler
+
+        compiled = DDSampler(state).compiled()
+        return cls(compiled.probabilities(), is_statevector=False)
+
     # ------------------------------------------------------------------
     # Binary-search sampling (the production path)
     # ------------------------------------------------------------------

@@ -8,8 +8,8 @@ returns after repeated runs — the object weak simulation mimics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Tuple
 
 import numpy as np
 
@@ -27,6 +27,9 @@ class SampleResult:
     method: str = "unknown"
     precompute_seconds: float = 0.0
     sampling_seconds: float = 0.0
+    #: Free-form diagnostics (DD/table statistics, worker counts, …);
+    #: not part of the statistical result.
+    metadata: Dict[str, Any] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Constructors
@@ -145,16 +148,17 @@ class SampleResult:
         """Serialise to JSON (counts keyed by bitstring for readability)."""
         import json
 
-        return json.dumps(
-            {
-                "format": "repro-samples",
-                "num_qubits": self.num_qubits,
-                "method": self.method,
-                "precompute_seconds": self.precompute_seconds,
-                "sampling_seconds": self.sampling_seconds,
-                "counts": self.bitstring_counts(),
-            }
-        )
+        payload = {
+            "format": "repro-samples",
+            "num_qubits": self.num_qubits,
+            "method": self.method,
+            "precompute_seconds": self.precompute_seconds,
+            "sampling_seconds": self.sampling_seconds,
+            "counts": self.bitstring_counts(),
+        }
+        if self.metadata:
+            payload["metadata"] = self.metadata
+        return json.dumps(payload)
 
     @classmethod
     def from_json(cls, text: str) -> "SampleResult":
@@ -170,6 +174,7 @@ class SampleResult:
             method=payload.get("method", "unknown"),
             precompute_seconds=float(payload.get("precompute_seconds", 0.0)),
             sampling_seconds=float(payload.get("sampling_seconds", 0.0)),
+            metadata=payload.get("metadata", {}),
         )
 
     def to_array(self) -> np.ndarray:

@@ -1,4 +1,4 @@
-"""Shot-by-shot execution of circuits with mid-circuit measurement.
+"""Execution of circuits with mid-circuit measurement.
 
 The samplers in this package assume all measurements sit at the end of
 the circuit (the weak-simulation setting of the paper).  Real programs
@@ -8,9 +8,15 @@ collapsed state.  :class:`ShotExecutor` handles that general case:
 * the circuit is split into unitary segments at measurement boundaries,
 * the state up to the first measurement is simulated **once** (it is
   shot-independent),
-* per shot, each measurement samples outcomes for the measured qubits
-  and collapses the DD, then simulation continues with the next segment.
+* the shot count is **binomially split** at every measured qubit — the
+  two collapsed branches each continue with their share of the shots —
+  so DD work scales with the number of *distinct measurement-outcome
+  prefixes* instead of ``shots × segments``.  The joint distribution of
+  the resulting counts equals that of independent per-shot runs (the
+  same argument as multinomial shot splitting in the sampler).
 
+:meth:`ShotExecutor.run_per_shot` keeps the literal one-shot-at-a-time
+loop as the statistical reference the branching path is tested against.
 When the circuit has no mid-circuit measurement, the executor simply
 defers to the fast samplers (one strong simulation, then batch
 sampling).
@@ -123,16 +129,112 @@ class ShotExecutor:
             outcome_bits |= outcome << qubit
         return state, outcome_bits
 
+    def _measured_qubits(self, segment: _Segment) -> Tuple[int, ...]:
+        """The qubits a segment's measurement reads (all when unspecified)."""
+        assert segment.measurement is not None
+        return segment.measurement.qubits or tuple(range(self.num_qubits))
+
+    @staticmethod
+    def _binomial_split(
+        pending: int, p_one: float, rng: np.random.Generator
+    ) -> int:
+        """Shots (out of ``pending``) assigned to the outcome-1 branch."""
+        if p_one <= 0.0:
+            return 0
+        if p_one >= 1.0:
+            return pending
+        return int(rng.binomial(pending, p_one))
+
     def run(
         self,
         shots: int,
         seed: Union[int, np.random.Generator, None] = None,
+        strategy: str = "branching",
     ) -> SampleResult:
         """Execute ``shots`` runs; returns accumulated measured bits.
 
         Each shot's record is the OR of all measurement outcomes at their
         register positions (re-measured qubits keep the latest value, as
         on hardware with a single classical bit per qubit).
+
+        ``strategy`` selects ``"branching"`` (outcome-prefix batching,
+        the default) or ``"per-shot"`` (the literal reference loop).
+        """
+        if shots < 0:
+            raise SimulationError("shots must be non-negative")
+        if strategy not in ("branching", "per-shot"):
+            raise SimulationError(f"unknown execution strategy {strategy!r}")
+        rng = _as_rng(seed)
+        if not self.has_mid_circuit_measurement:
+            return self._run_terminal_only(shots, rng)
+        if strategy == "per-shot":
+            return self.run_per_shot(shots, rng)
+        counts: Dict[int, int] = {}
+        # Work items: (segment index, state with that segment's unitaries
+        # already applied, record so far, shots on this branch).
+        # Depth-first with an explicit stack: branch count — not shots,
+        # not recursion depth — bounds the memory.
+        stack = [(0, self._prefix(), 0, shots)]
+        while stack:
+            index, state, record, pending = stack.pop()
+            if pending == 0:
+                continue
+            segment = self._segments[index]
+            if segment.measurement is None:
+                # Final segment: its unitaries were applied on push.
+                counts[record] = counts.get(record, 0) + pending
+                continue
+            qubits = self._measured_qubits(segment)
+            mask = 0
+            for qubit in qubits:
+                mask |= 1 << qubit
+            # Split the pending shots over the joint outcomes of this
+            # measurement, collapsing each surviving branch exactly once.
+            branches = [(state, 0, pending)]
+            for qubit in sorted(qubits, reverse=True):
+                split: List[Tuple[Edge, int, int]] = []
+                for branch_state, bits, branch_shots in branches:
+                    p_one = qubit_probability(
+                        branch_state, qubit, self.num_qubits
+                    )
+                    ones = self._binomial_split(branch_shots, p_one, rng)
+                    for outcome, share in ((0, branch_shots - ones), (1, ones)):
+                        if share == 0:
+                            continue
+                        probability = p_one if outcome else 1.0 - p_one
+                        collapsed = collapse(
+                            self.package,
+                            branch_state,
+                            qubit,
+                            outcome,
+                            self.num_qubits,
+                            probability,
+                        )
+                        split.append(
+                            (collapsed, bits | (outcome << qubit), share)
+                        )
+                branches = split
+            for branch_state, bits, branch_shots in branches:
+                next_state = self._run_segment(
+                    branch_state, self._segments[index + 1]
+                )
+                stack.append(
+                    (index + 1, next_state, (record & ~mask) | bits, branch_shots)
+                )
+        return SampleResult(
+            num_qubits=self.num_qubits, counts=counts, method="shot-executor"
+        )
+
+    def run_per_shot(
+        self,
+        shots: int,
+        seed: Union[int, np.random.Generator, None] = None,
+    ) -> SampleResult:
+        """The literal per-shot loop — one full collapse sequence per shot.
+
+        O(shots × segments) DD work; kept as the statistical reference
+        the branching strategy is validated against, and as the slow
+        baseline in the compiled-engine benchmark.
         """
         if shots < 0:
             raise SimulationError("shots must be non-negative")
@@ -149,11 +251,7 @@ class ShotExecutor:
                     state = self._run_segment(state, segment)
                 if segment.measurement is None:
                     continue
-                qubits = (
-                    segment.measurement.qubits
-                    if segment.measurement.qubits
-                    else tuple(range(self.num_qubits))
-                )
+                qubits = self._measured_qubits(segment)
                 mask = 0
                 for qubit in qubits:
                     mask |= 1 << qubit
@@ -174,7 +272,7 @@ class ShotExecutor:
         measured: Optional[Tuple[int, ...]] = None
         for segment in self._segments:
             if segment.measurement is not None:
-                qubits = segment.measurement.qubits or tuple(range(self.num_qubits))
+                qubits = self._measured_qubits(segment)
                 measured = tuple(sorted(set(qubits) | set(measured or ())))
         sampler = DDSampler(VectorDD(self.package, state, self.num_qubits))
         samples = sampler.sample(shots, rng)

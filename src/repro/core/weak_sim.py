@@ -22,7 +22,7 @@ Methods (``method=`` argument):
 from __future__ import annotations
 
 import time
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 
@@ -30,6 +30,7 @@ from ..circuit.circuit import QuantumCircuit
 from ..dd.normalization import NormalizationScheme
 from ..dd.vector_dd import VectorDD
 from ..exceptions import SamplingError
+from ..perf import compiled_dd as _compiled_dd
 from ..simulators.dd_simulator import DDSimulator
 from ..simulators.statevector import DEFAULT_MEMORY_CAP, StatevectorSimulator
 from .dd_sampler import DDSampler
@@ -104,23 +105,30 @@ def sample_dd(
     method: str = "dd",
     seed: Union[int, np.random.Generator, None] = None,
     trust_l2_normalization: bool = True,
+    workers: Optional[int] = None,
 ) -> SampleResult:
-    """Weak simulation from a DD final state (paper Section IV)."""
+    """Weak simulation from a DD final state (paper Section IV).
+
+    ``workers`` (``"dd"`` method only) draws the shots in fixed-size
+    chunks with per-chunk seed streams — reproducible for a given seed
+    at any worker count — and runs the chunks on a thread pool when
+    ``workers > 1``.
+    """
     if method not in DD_METHODS:
         raise SamplingError(f"unknown DD sampling method {method!r}")
+    if workers is not None and method != "dd":
+        raise SamplingError("parallel chunked sampling requires method='dd'")
     rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
     start = time.perf_counter()
     sampler = DDSampler(state, trust_l2_normalization=trust_l2_normalization)
-    if method != "dd-multinomial":
-        # Building the level tables is part of precompute for the
-        # vectorised sampler; harmless for the others.
-        if method == "dd":
-            sampler._build_tables()
+    if method == "dd":
+        # Compiling the traversal tables is part of precompute for the
+        # vectorised sampler (cache may make this a no-op).
+        sampler.compiled()
     precompute = time.perf_counter() - start
     start = time.perf_counter()
     if method == "dd":
-        samples = sampler.sample(shots, rng)
-        result = SampleResult.from_samples(state.num_qubits, samples, method=method)
+        result = sampler.sample_result(shots, rng, method=method, workers=workers)
     elif method == "dd-path":
         samples = sampler.sample_paths(shots, rng)
         result = SampleResult.from_samples(state.num_qubits, samples, method=method)
@@ -132,6 +140,10 @@ def sample_dd(
         result = SampleResult.from_samples(state.num_qubits, samples, method=method)
     result.sampling_seconds = time.perf_counter() - start
     result.precompute_seconds = precompute
+    result.metadata["dd_statistics"] = state.package.stats()
+    result.metadata["compiled_cache"] = _compiled_dd.DEFAULT_CACHE.stats()
+    if workers is not None:
+        result.metadata["workers"] = workers
     return result
 
 
@@ -143,19 +155,23 @@ def simulate_and_sample(
     initial_state: int = 0,
     scheme: NormalizationScheme = NormalizationScheme.L2,
     memory_cap_bytes: int = DEFAULT_MEMORY_CAP,
+    workers: Optional[int] = None,
 ) -> SampleResult:
     """Full weak simulation: run ``circuit``, then draw ``shots`` samples.
 
     Raises :class:`~repro.exceptions.MemoryOutError` for vector methods
     whose dense state would exceed ``memory_cap_bytes`` — the "MO" rows
-    of the paper's Table I.
+    of the paper's Table I.  ``workers`` enables seed-stable parallel
+    chunked sampling for the default ``"dd"`` method.
     """
     if method in VECTOR_METHODS:
+        if workers is not None:
+            raise SamplingError("parallel chunked sampling requires method='dd'")
         simulator = StatevectorSimulator(memory_cap_bytes=memory_cap_bytes)
         statevector = simulator.run(circuit, initial_state=initial_state)
         return sample_statevector(statevector, shots, method=method, seed=seed)
     if method in DD_METHODS:
         dd_simulator = DDSimulator(scheme=scheme)
         state = dd_simulator.run(circuit, initial_state=initial_state)
-        return sample_dd(state, shots, method=method, seed=seed)
+        return sample_dd(state, shots, method=method, seed=seed, workers=workers)
     raise SamplingError(f"unknown weak-simulation method {method!r}")

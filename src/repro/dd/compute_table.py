@@ -7,6 +7,11 @@ operation-specific keys to result edges.
 
 Keys embed node ``index`` values (stable unique identifiers) and canonical
 weights, so equal sub-problems collide reliably.
+
+Growth can be bounded with ``max_entries``: when an insert would exceed
+the bound the table is cleared wholesale (CUDD-style), trading re-derived
+results for a hard memory ceiling.  ``hit_rate()`` and the ``clears``
+counter make the trade-off observable through ``DDPackage.stats()``.
 """
 
 from __future__ import annotations
@@ -21,11 +26,16 @@ __all__ = ["ComputeTable"]
 class ComputeTable:
     """A single operation's memo table with hit/miss statistics."""
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, max_entries: Optional[int] = None):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be positive when given")
         self.name = name
+        self.max_entries = max_entries
         self._table: Dict[tuple, Edge] = {}
         self.hits = 0
         self.misses = 0
+        #: Clear-on-overflow events since the last explicit ``clear()``.
+        self.clears = 0
 
     def __len__(self) -> int:
         return len(self._table)
@@ -39,13 +49,31 @@ class ComputeTable:
         return result
 
     def insert(self, key: tuple, result: Edge) -> Edge:
+        if (
+            self.max_entries is not None
+            and len(self._table) >= self.max_entries
+            and key not in self._table
+        ):
+            # CUDD-style overflow handling: drop everything rather than
+            # tracking per-entry age.  Hit/miss counters keep running so
+            # hit_rate() reflects the whole session.
+            self._table.clear()
+            self.clears += 1
         self._table[key] = result
         return result
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the table (0.0 when unused)."""
+        total = self.hits + self.misses
+        if total == 0:
+            return 0.0
+        return self.hits / total
 
     def clear(self) -> None:
         self._table.clear()
         self.hits = 0
         self.misses = 0
+        self.clears = 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -93,16 +93,16 @@ def upstream_probabilities(
     # Process nodes level by level (top-down), accumulating into children.
     by_level: Dict[int, List[Node]] = {}
     seen = set()
-
-    def collect(node: Node) -> None:
+    stack: List[Node] = [edge.node]
+    while stack:
+        node = stack.pop()
         if is_terminal(node) or node.index in seen:
-            return
+            continue
         seen.add(node.index)
         by_level.setdefault(node.var, []).append(node)
         for child in node.edges:
-            collect(child.node)
-
-    collect(edge.node)
+            if not child.is_zero:
+                stack.append(child.node)
     for var in sorted(by_level, reverse=True):
         for node in by_level[var]:
             u_node = table.get(node.index, 0.0)
@@ -133,37 +133,53 @@ def qubit_probability(
         raise SamplingError("cannot measure the zero vector")
     if downstream is None:
         downstream = downstream_probabilities(edge)
-    memo: Dict[int, float] = {}
 
-    def mass_one(node: Node) -> float:
-        """Probability mass (within this subtree) having ``qubit`` = 1."""
-        if is_terminal(node):
-            return 0.0
-        cached = memo.get(node.index)
-        if cached is not None:
-            return cached
+    # mass_one(node): probability mass within the subtree having
+    # ``qubit`` = 1.  Computed bottom-up over the reachable nodes at or
+    # above the qubit's level (an explicit post-order stack instead of
+    # recursion, so 1000-qubit registers stay within Python limits).
+    memo: Dict[int, float] = {}
+    if is_terminal(edge.node):
+        raise SamplingError("cannot measure a bare terminal state")
+    stack: List[Node] = [edge.node]
+    while stack:
+        node = stack[-1]
+        if node.index in memo:
+            stack.pop()
+            continue
         if node.var == qubit:
             child = node.edges[1]
             if child.is_zero:
-                result = 0.0
+                memo[node.index] = 0.0
             else:
                 d_child = (
                     1.0 if is_terminal(child.node) else downstream[child.node.index]
                 )
-                result = abs(child.weight) ** 2 * d_child
-        else:
-            result = 0.0
-            for child in node.edges:
-                if child.is_zero:
-                    continue
-                result += abs(child.weight) ** 2 * mass_one(child.node)
-        memo[node.index] = result
-        return result
+                memo[node.index] = abs(child.weight) ** 2 * d_child
+            stack.pop()
+            continue
+        pending = [
+            child.node
+            for child in node.edges
+            if not child.is_zero
+            and not is_terminal(child.node)
+            and child.node.index not in memo
+        ]
+        if pending:
+            stack.extend(pending)
+            continue
+        stack.pop()
+        total = 0.0
+        for child in node.edges:
+            if child.is_zero or is_terminal(child.node):
+                continue
+            total += abs(child.weight) ** 2 * memo[child.node.index]
+        memo[node.index] = total
 
     root_mass = abs(edge.weight) ** 2 * downstream[edge.node.index]
     if root_mass <= 0.0:
         raise SamplingError("state has zero norm")
-    return abs(edge.weight) ** 2 * mass_one(edge.node) / root_mass
+    return abs(edge.weight) ** 2 * memo[edge.node.index] / root_mass
 
 
 def collapse(
@@ -188,26 +204,47 @@ def collapse(
         raise SamplingError(
             f"cannot collapse qubit {qubit} to impossible outcome {outcome}"
         )
+    if edge.is_zero:
+        raise SamplingError("cannot collapse the zero vector")
+
+    # Rebuild the nodes at or above the qubit's level bottom-up.  Nodes
+    # are collected with an explicit stack and processed in ascending
+    # level order (children at level v-1 before parents at v), so deep
+    # registers never touch the Python recursion limit.
+    by_level: Dict[int, List[Node]] = {}
+    seen = set()
+    stack: List[Node] = [edge.node]
+    while stack:
+        node = stack.pop()
+        if node.index in seen:
+            continue
+        seen.add(node.index)
+        by_level.setdefault(node.var, []).append(node)
+        if node.var > qubit:
+            for child in node.edges:
+                if not child.is_zero and not is_terminal(child.node):
+                    stack.append(child.node)
+
     memo: Dict[int, Edge] = {}
+    for var in sorted(by_level):
+        for node in by_level[var]:
+            if node.var == qubit:
+                children = [package.zero_edge, package.zero_edge]
+                children[outcome] = node.edges[outcome]
+                result = package.make_vector_node(node.var, tuple(children))
+            else:
+                rebuilt = []
+                for child in node.edges:
+                    if child.is_zero:
+                        rebuilt.append(child)
+                    else:
+                        rebuilt.append(
+                            package.scale(memo[child.node.index], child.weight)
+                        )
+                result = package.make_vector_node(node.var, tuple(rebuilt))
+            memo[node.index] = result
 
-    def project(current: Edge, var: int) -> Edge:
-        if current.is_zero:
-            return current
-        node = current.node
-        cached = memo.get(node.index)
-        if cached is not None:
-            return package.scale(cached, current.weight)
-        if node.var == qubit:
-            children = [package.zero_edge, package.zero_edge]
-            children[outcome] = node.edges[outcome]
-            result = package.make_vector_node(var, tuple(children))
-        else:
-            children = tuple(project(child, var - 1) for child in node.edges)
-            result = package.make_vector_node(var, children)
-        memo[node.index] = result
-        return package.scale(result, current.weight)
-
-    projected = project(edge, edge.node.var)
+    projected = package.scale(memo[edge.node.index], edge.weight)
     if projected.is_zero:
         raise SamplingError("projection produced the zero vector")
     return package.scale(projected, 1.0 / np.sqrt(probability))

@@ -19,7 +19,7 @@ and repeatable (Section IV-B).
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -40,16 +40,18 @@ class DDPackage:
         self,
         scheme: NormalizationScheme = NormalizationScheme.L2,
         tolerance: float = DEFAULT_TOLERANCE,
+        compute_table_max_entries: Optional[int] = None,
     ):
         self.scheme = scheme
         self.tolerance = tolerance
         self.complex_table = ComplexTable(tolerance)
         self.unique_table = UniqueTable()
-        self._add_table = ComputeTable("add")
-        self._matvec_table = ComputeTable("matvec")
-        self._matmat_table = ComputeTable("matmat")
-        self._kron_table = ComputeTable("kron")
-        self._inner_table = ComputeTable("inner")
+        bound = compute_table_max_entries
+        self._add_table = ComputeTable("add", max_entries=bound)
+        self._matvec_table = ComputeTable("matvec", max_entries=bound)
+        self._matmat_table = ComputeTable("matmat", max_entries=bound)
+        self._kron_table = ComputeTable("kron", max_entries=bound)
+        self._inner_table = ComputeTable("inner", max_entries=bound)
 
     # ------------------------------------------------------------------
     # Elementary edges
@@ -592,17 +594,27 @@ class DDPackage:
 
     def statistics(self) -> Dict[str, int]:
         """Table sizes and hit counters, for diagnostics and benches."""
-        return {
+        stats = {
             "unique_nodes": len(self.unique_table),
             "unique_hits": self.unique_table.hits,
             "unique_misses": self.unique_table.misses,
             "complex_entries": len(self.complex_table),
-            "add_entries": len(self._add_table),
-            "matvec_entries": len(self._matvec_table),
-            "matmat_entries": len(self._matmat_table),
-            "kron_entries": len(self._kron_table),
-            "inner_entries": len(self._inner_table),
         }
+        for table in (
+            self._add_table,
+            self._matvec_table,
+            self._matmat_table,
+            self._kron_table,
+            self._inner_table,
+        ):
+            stats[f"{table.name}_entries"] = len(table)
+            stats[f"{table.name}_hit_rate"] = round(table.hit_rate(), 4)
+            stats[f"{table.name}_clears"] = table.clears
+        return stats
+
+    def stats(self) -> Dict[str, int]:
+        """Alias for :meth:`statistics` (the short name benches use)."""
+        return self.statistics()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

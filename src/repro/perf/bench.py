@@ -1,0 +1,306 @@
+"""Sampling-performance harness: emits ``BENCH_sampling.json``.
+
+Gives every future PR a perf trajectory to defend.  One run measures
+
+* **staged timings** — strong simulation (build), DD flattening
+  (compile), and sampling, per catalog-style case,
+* **compiled-DD reuse** — cache counters proving that a second sampler
+  over the same state skips the flattening,
+* **outcome branching** — the mid-circuit-measurement executor against
+  the per-shot reference loop (the headline speedup),
+* **parallel chunked sampling** — wall time per worker count, plus a
+  bit-identity check of the worker-independence guarantee.
+
+Run it with::
+
+    python -m repro.perf.bench --out BENCH_sampling.json
+    python -m repro.perf.bench --smoke          # toy sizes, seconds
+    python -m repro.perf.bench --validate BENCH_sampling.json
+
+The JSON layout is versioned and checked by :func:`validate_payload`;
+``make bench-smoke`` and the tier-1 suite fail on schema drift.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..algorithms.qft import qft
+from ..algorithms.states import ghz
+from ..circuit.circuit import QuantumCircuit
+from ..core.dd_sampler import DDSampler
+from ..core.shot_executor import ShotExecutor
+from ..core.indistinguishability import two_sample_chi_square
+from ..simulators.dd_simulator import DDSimulator
+from .compiled_dd import CompiledDDCache
+from .parallel import sample_chunked
+
+__all__ = ["FORMAT", "VERSION", "run_harness", "validate_payload", "main"]
+
+FORMAT = "repro-bench-sampling"
+VERSION = 1
+
+#: Top-level keys every payload must carry, with the per-section keys.
+_SCHEMA: Dict[str, List[str]] = {
+    "cases": [
+        "name",
+        "num_qubits",
+        "dd_nodes",
+        "shots",
+        "build_seconds",
+        "compile_seconds",
+        "sample_seconds",
+    ],
+    "mid_circuit": [
+        "circuit",
+        "num_qubits",
+        "shots",
+        "per_shot_seconds",
+        "branching_seconds",
+        "speedup",
+        "distributions_consistent",
+    ],
+    "compiled_cache": ["builds", "reuses", "evictions", "entries"],
+    "parallel": ["shots", "chunk_shots", "workers", "seconds", "reproducible"],
+}
+
+
+def _mid_circuit_circuit(num_qubits: int) -> QuantumCircuit:
+    """A measure-and-continue circuit exercising every executor branch."""
+    circuit = QuantumCircuit(num_qubits)
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    circuit.measure(0)
+    for qubit in range(num_qubits - 1):
+        circuit.cx(qubit, qubit + 1)
+    circuit.measure(1)
+    circuit.h(0)
+    circuit.measure_all()
+    return circuit
+
+
+def _stage_case(name: str, circuit: QuantumCircuit, shots: int, seed: int) -> Dict:
+    start = time.perf_counter()
+    state = DDSimulator().run(circuit)
+    build = time.perf_counter() - start
+    sampler = DDSampler(state)
+    start = time.perf_counter()
+    compiled = sampler.compiled()
+    compile_seconds = time.perf_counter() - start
+    rng = np.random.default_rng(seed)
+    start = time.perf_counter()
+    samples = compiled.sample(shots, rng)
+    sample_seconds = time.perf_counter() - start
+    assert samples.shape == (shots,)
+    return {
+        "name": name,
+        "num_qubits": circuit.num_qubits,
+        "dd_nodes": compiled.size,
+        "shots": shots,
+        "build_seconds": round(build, 6),
+        "compile_seconds": round(compile_seconds, 6),
+        "sample_seconds": round(sample_seconds, 6),
+    }
+
+
+def run_harness(
+    shots: int = 100_000,
+    mid_circuit_shots: int = 100_000,
+    workers: tuple = (1, 2, 4),
+    seed: int = 7,
+    smoke: bool = False,
+) -> Dict:
+    """Execute all harness sections and return the payload dict."""
+    if smoke:
+        shots = min(shots, 5_000)
+        mid_circuit_shots = min(mid_circuit_shots, 1_000)
+    # A private cache isolates the reuse counters from whatever the
+    # process did before the harness ran (samplers look the cache up
+    # late-bound through the module attribute).
+    from . import compiled_dd
+
+    cache = CompiledDDCache()
+    previous_cache = compiled_dd.DEFAULT_CACHE
+    compiled_dd.DEFAULT_CACHE = cache
+    try:
+        payload = {
+            "format": FORMAT,
+            "version": VERSION,
+            "config": {
+                "shots": shots,
+                "mid_circuit_shots": mid_circuit_shots,
+                "seed": seed,
+                "smoke": smoke,
+            },
+            "cases": [],
+        }
+
+        # -- staged timings ------------------------------------------------
+        sizes = (8, 12) if smoke else (16, 20)
+        for n in sizes:
+            payload["cases"].append(
+                _stage_case(f"ghz_{n}", ghz(n), shots, seed)
+            )
+            payload["cases"].append(
+                _stage_case(f"qft_{n}", qft(n), shots, seed + 1)
+            )
+
+        # -- compiled-DD reuse --------------------------------------------
+        # Two fresh samplers over one state: the second must reuse.
+        state = DDSimulator().run(ghz(sizes[0]))
+        DDSampler(state).compiled()
+        DDSampler(state).compiled()
+        payload["compiled_cache"] = cache.stats()
+
+        # -- outcome branching vs per-shot reference -----------------------
+        num_mid = 4 if smoke else 6
+        circuit = _mid_circuit_circuit(num_mid)
+        executor = ShotExecutor(circuit)
+        start = time.perf_counter()
+        branching = executor.run(mid_circuit_shots, seed=seed)
+        branching_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        per_shot = executor.run_per_shot(mid_circuit_shots, seed=seed + 1)
+        per_shot_seconds = time.perf_counter() - start
+        consistent = bool(
+            two_sample_chi_square(branching.counts, per_shot.counts).consistent
+        )
+        payload["mid_circuit"] = {
+            "circuit": f"mid_circuit_{num_mid}",
+            "num_qubits": num_mid,
+            "shots": mid_circuit_shots,
+            "per_shot_seconds": round(per_shot_seconds, 6),
+            "branching_seconds": round(branching_seconds, 6),
+            "speedup": round(per_shot_seconds / max(branching_seconds, 1e-9), 2),
+            "distributions_consistent": consistent,
+        }
+
+        # -- parallel chunked sampling ------------------------------------
+        compiled = DDSampler(state).compiled()
+        chunk_shots = 1_024 if smoke else 16_384
+        seconds: Dict[str, float] = {}
+        reference: Optional[np.ndarray] = None
+        reproducible = True
+        for count in workers:
+            start = time.perf_counter()
+            samples = sample_chunked(
+                compiled.sample,
+                shots,
+                seed,
+                workers=count,
+                chunk_shots=chunk_shots,
+            )
+            seconds[str(count)] = round(time.perf_counter() - start, 6)
+            if reference is None:
+                reference = samples
+            elif not np.array_equal(reference, samples):
+                reproducible = False
+        payload["parallel"] = {
+            "shots": shots,
+            "chunk_shots": chunk_shots,
+            "workers": list(workers),
+            "seconds": seconds,
+            "reproducible": reproducible,
+        }
+        return payload
+    finally:
+        compiled_dd.DEFAULT_CACHE = previous_cache
+
+
+def validate_payload(payload: Dict) -> None:
+    """Raise ``ValueError`` when ``payload`` drifts from the schema."""
+    if payload.get("format") != FORMAT:
+        raise ValueError(f"format must be {FORMAT!r}")
+    if payload.get("version") != VERSION:
+        raise ValueError(f"version must be {VERSION}")
+    if "config" not in payload:
+        raise ValueError("missing section 'config'")
+    for section, keys in _SCHEMA.items():
+        if section not in payload:
+            raise ValueError(f"missing section {section!r}")
+        entries = payload[section]
+        if section == "cases":
+            if not isinstance(entries, list) or not entries:
+                raise ValueError("'cases' must be a non-empty list")
+        else:
+            entries = [entries]
+        for entry in entries:
+            missing = [key for key in keys if key not in entry]
+            if missing:
+                raise ValueError(f"section {section!r} missing keys {missing}")
+    if not payload["parallel"]["reproducible"]:
+        raise ValueError("parallel sampling was not worker-count reproducible")
+    if not payload["mid_circuit"]["distributions_consistent"]:
+        raise ValueError("branching executor distribution drifted")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench-sampling",
+        description="Benchmark the compiled sampling engine and emit "
+        "BENCH_sampling.json.",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_sampling.json", help="output JSON path"
+    )
+    parser.add_argument(
+        "--shots", type=int, default=100_000, help="shots per staged case"
+    )
+    parser.add_argument(
+        "--mid-circuit-shots",
+        type=int,
+        default=100_000,
+        help="shots for the branching-vs-per-shot comparison",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="harness RNG seed")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="toy sizes: exercises every section in seconds",
+    )
+    parser.add_argument(
+        "--validate",
+        metavar="FILE",
+        help="validate an existing payload against the schema and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.validate:
+        with open(args.validate, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        try:
+            validate_payload(payload)
+        except ValueError as error:
+            print(f"schema drift: {error}", file=sys.stderr)
+            return 1
+        print(f"{args.validate}: schema ok (version {payload['version']})")
+        return 0
+
+    payload = run_harness(
+        shots=args.shots,
+        mid_circuit_shots=args.mid_circuit_shots,
+        seed=args.seed,
+        smoke=args.smoke,
+    )
+    validate_payload(payload)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    mid = payload["mid_circuit"]
+    print(
+        f"wrote {args.out}: branching speedup {mid['speedup']}x over "
+        f"per-shot at {mid['shots']} shots; compiled cache "
+        f"{payload['compiled_cache']['reuses']} reuses / "
+        f"{payload['compiled_cache']['builds']} builds"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

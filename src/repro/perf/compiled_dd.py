@@ -1,0 +1,320 @@
+"""Compiled decision diagrams: the flat sampling artifact.
+
+The vectorised sampler flattens a DD into per-node arrays once and then
+advances all shots one level per NumPy operation.  This module promotes
+that flattening to a first-class, *cached* artifact:
+
+* :class:`CompiledDD` — the ``(p0, child0, child1)`` arrays plus level
+  index, built **iteratively** (no recursion, so registers with hundreds
+  of qubits compile fine) and usable by every consumer that needs branch
+  probabilities: the vectorised sampler, top-qubit marginal sampling,
+  exact per-qubit marginals, and the dense alias/prefix samplers.
+* :class:`CompiledDDCache` — a per-package cache keyed on the DD root,
+  with build/reuse counters.  Node indexes are unique for a package's
+  lifetime (they survive ``compact()``), so ``(root index, scheme flag)``
+  identifies a compiled artifact exactly.  Packages are held weakly; a
+  garbage-collected package takes its compiled entries with it.
+
+The module-level :data:`DEFAULT_CACHE` is shared by all
+:class:`~repro.core.dd_sampler.DDSampler` instances, so two samplers over
+the same final state pay the flattening cost once.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from ..dd.node import Edge, is_terminal
+from ..exceptions import SamplingError
+
+__all__ = ["CompiledDD", "CompiledDDCache", "DEFAULT_CACHE", "compile_edge"]
+
+
+#: Dense expansion guard: ``probabilities()`` materialises 2^n floats.
+_DENSE_QUBIT_CAP = 26
+
+#: Vectorised sampling packs outcomes into int64.
+_PACKED_QUBIT_CAP = 62
+
+
+class CompiledDD:
+    """Flattened traversal tables of one DD root.
+
+    Compact node ``i`` descends to its 0-successor with probability
+    ``p0[i]``; ``child0[i]``/``child1[i]`` are the successors' compact
+    ids (0 — never dereferenced — for zero or terminal children, which
+    either carry probability 0 or end the walk).  ``levels[v]`` lists the
+    compact ids of the nodes splitting qubit ``v``.
+    """
+
+    __slots__ = (
+        "num_qubits",
+        "root",
+        "p0",
+        "child0",
+        "child1",
+        "id_of",
+        "levels",
+    )
+
+    def __init__(
+        self,
+        num_qubits: int,
+        root: int,
+        p0: np.ndarray,
+        child0: np.ndarray,
+        child1: np.ndarray,
+        id_of: Dict[int, int],
+        levels: List[np.ndarray],
+    ):
+        self.num_qubits = num_qubits
+        self.root = root
+        self.p0 = p0
+        self.child0 = child0
+        self.child1 = child1
+        self.id_of = id_of
+        self.levels = levels
+
+    @property
+    def size(self) -> int:
+        """Number of non-terminal nodes in the compiled DD."""
+        return self.p0.size
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+
+    def sample(self, shots: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``shots`` samples, one vectorised step per level."""
+        if shots < 0:
+            raise SamplingError("shots must be non-negative")
+        if self.num_qubits > _PACKED_QUBIT_CAP:
+            raise SamplingError(
+                "vectorised sampling packs outcomes into int64 and supports "
+                f"at most {_PACKED_QUBIT_CAP} qubits"
+            )
+        return self.sample_top(self.num_qubits, shots, rng)
+
+    def sample_top(
+        self, num_qubits: int, shots: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Sample the ``num_qubits`` most significant qubits (exact marginal).
+
+        The walk stops after ``num_qubits`` levels; results are
+        right-aligned (bit ``j`` is register qubit ``n - num_qubits + j``).
+        """
+        if not 0 < num_qubits <= self.num_qubits:
+            raise SamplingError(
+                f"cannot sample {num_qubits} top qubits of a "
+                f"{self.num_qubits}-qubit register"
+            )
+        if num_qubits > _PACKED_QUBIT_CAP:
+            raise SamplingError(
+                f"top-qubit sampling packs into int64: max {_PACKED_QUBIT_CAP}"
+            )
+        shift = self.num_qubits - num_qubits
+        current = np.full(shots, self.root, dtype=np.int64)
+        indices = np.zeros(shots, dtype=np.int64)
+        for var in range(self.num_qubits - 1, shift - 1, -1):
+            ones = rng.random(shots) >= self.p0[current]
+            indices |= ones.astype(np.int64) << (var - shift)
+            current = np.where(ones, self.child1[current], self.child0[current])
+        return indices
+
+    # ------------------------------------------------------------------
+    # Exact distributions derived from the compiled tables
+    # ------------------------------------------------------------------
+
+    def marginal_probabilities(self) -> np.ndarray:
+        """Exact ``P(qubit = 1)`` for every qubit, in O(size).
+
+        Propagates the visit probability (the upstream quantity of the
+        paper's Section IV-B) level by level through the flat arrays.
+        """
+        visit = np.zeros(self.size, dtype=np.float64)
+        visit[self.root] = 1.0
+        p_one = np.zeros(self.num_qubits, dtype=np.float64)
+        for var in range(self.num_qubits - 1, -1, -1):
+            ids = self.levels[var]
+            if ids.size == 0:
+                continue
+            weights = visit[ids]
+            prob0 = self.p0[ids]
+            prob1 = 1.0 - prob0
+            p_one[var] = float(weights @ prob1)
+            if var == 0:
+                continue
+            mass0 = weights * prob0
+            mass1 = weights * prob1
+            keep0 = mass0 > 0.0
+            keep1 = mass1 > 0.0
+            np.add.at(visit, self.child0[ids][keep0], mass0[keep0])
+            np.add.at(visit, self.child1[ids][keep1], mass1[keep1])
+        return p_one
+
+    def probabilities(self) -> np.ndarray:
+        """Dense probability vector (2^n entries) from the compiled tables.
+
+        Built bottom-up over the levels, so sub-DD sharing is exploited:
+        each node's subtree vector is computed once.  Intended for the
+        dense alias/prefix samplers at verification sizes.
+        """
+        if self.num_qubits > _DENSE_QUBIT_CAP:
+            raise SamplingError(
+                f"dense expansion beyond {_DENSE_QUBIT_CAP} qubits refused"
+            )
+        vectors: Dict[int, np.ndarray] = {}
+        for var in range(self.num_qubits):
+            half = 1 << var
+            for cid in self.levels[var]:
+                out = np.zeros(2 * half, dtype=np.float64)
+                prob0 = self.p0[cid]
+                prob1 = 1.0 - prob0
+                if var == 0:
+                    out[0] = prob0
+                    out[1] = prob1
+                else:
+                    if prob0 > 0.0:
+                        out[:half] = prob0 * vectors[self.child0[cid]]
+                    if prob1 > 0.0:
+                        out[half:] = prob1 * vectors[self.child1[cid]]
+                vectors[cid] = out
+        return vectors[self.root]
+
+
+def compile_edge(
+    edge: Edge,
+    num_qubits: int,
+    downstream: Optional[Dict[int, float]] = None,
+) -> CompiledDD:
+    """Flatten the DD under ``edge`` into a :class:`CompiledDD`.
+
+    ``downstream`` carries the per-node correction masses for non-L2
+    normalisation schemes; ``None`` asserts the L2 invariant (all masses
+    1).  The traversal is an explicit-stack DFS, so register depth is not
+    limited by the Python recursion limit.
+    """
+    if edge.is_zero:
+        raise SamplingError("cannot compile the zero vector")
+    if is_terminal(edge.node):
+        raise SamplingError("cannot compile a bare terminal edge")
+
+    id_of: Dict[int, int] = {}
+    nodes: List = []
+    stack = [edge.node]
+    while stack:
+        node = stack.pop()
+        if is_terminal(node) or node.index in id_of:
+            continue
+        id_of[node.index] = len(nodes)
+        nodes.append(node)
+        for child in node.edges:
+            if not child.is_zero and not is_terminal(child.node):
+                stack.append(child.node)
+
+    count = len(nodes)
+    p0 = np.zeros(count, dtype=np.float64)
+    child0 = np.zeros(count, dtype=np.int64)
+    child1 = np.zeros(count, dtype=np.int64)
+    per_level: List[List[int]] = [[] for _ in range(num_qubits)]
+    for node in nodes:
+        compact = id_of[node.index]
+        masses = []
+        for child in node.edges:
+            if child.is_zero:
+                masses.append(0.0)
+                continue
+            weight_sq = abs(child.weight) ** 2
+            if downstream is None or is_terminal(child.node):
+                masses.append(weight_sq)
+            else:
+                masses.append(weight_sq * downstream[child.node.index])
+        total = masses[0] + masses[1]
+        if total <= 0.0:
+            raise SamplingError("node with zero probability mass")
+        p0[compact] = masses[0] / total
+        for bit, child_array in ((0, child0), (1, child1)):
+            child = node.edges[bit]
+            if child.is_zero or is_terminal(child.node):
+                child_array[compact] = 0  # never dereferenced
+            else:
+                child_array[compact] = id_of[child.node.index]
+        per_level[node.var].append(compact)
+
+    levels = [np.asarray(ids, dtype=np.int64) for ids in per_level]
+    return CompiledDD(
+        num_qubits=num_qubits,
+        root=id_of[edge.node.index],
+        p0=p0,
+        child0=child0,
+        child1=child1,
+        id_of=id_of,
+        levels=levels,
+    )
+
+
+class CompiledDDCache:
+    """Per-package cache of :class:`CompiledDD` artifacts.
+
+    Keys are ``(root node index, downstream-free flag)``; packages are
+    weak keys.  ``max_entries`` bounds each package's table with FIFO
+    eviction.
+    """
+
+    def __init__(self, max_entries: int = 128):
+        if max_entries < 1:
+            raise SamplingError("cache needs at least one entry")
+        self.max_entries = max_entries
+        self._per_package: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+        self.builds = 0
+        self.reuses = 0
+        self.evictions = 0
+
+    def get_or_build(
+        self,
+        package,
+        edge: Edge,
+        num_qubits: int,
+        downstream: Optional[Dict[int, float]] = None,
+    ) -> CompiledDD:
+        """Return the cached artifact for ``edge``, compiling on miss."""
+        table = self._per_package.get(package)
+        if table is None:
+            table = {}
+            self._per_package[package] = table
+        key = (edge.node.index, downstream is None)
+        cached = table.get(key)
+        if cached is not None:
+            self.reuses += 1
+            return cached
+        compiled = compile_edge(edge, num_qubits, downstream)
+        if len(table) >= self.max_entries:
+            table.pop(next(iter(table)))
+            self.evictions += 1
+        table[key] = compiled
+        self.builds += 1
+        return compiled
+
+    def stats(self) -> Dict[str, int]:
+        """Build/reuse/eviction counters plus current entry count."""
+        entries = sum(len(table) for table in self._per_package.values())
+        return {
+            "builds": self.builds,
+            "reuses": self.reuses,
+            "evictions": self.evictions,
+            "entries": entries,
+        }
+
+    def clear(self) -> None:
+        """Drop all cached artifacts and reset counters."""
+        self._per_package.clear()
+        self.builds = 0
+        self.reuses = 0
+        self.evictions = 0
+
+
+#: Process-wide cache shared by all samplers.
+DEFAULT_CACHE = CompiledDDCache()

@@ -1,0 +1,84 @@
+"""Parallel chunked sampling with worker-count-independent results.
+
+Samples are embarrassingly parallel, but naive parallelisation breaks
+reproducibility: the shots drawn depend on how the work was divided.
+This module fixes the division *before* choosing a worker count:
+
+* ``shots`` is split into fixed-size chunks (the layout depends only on
+  ``shots`` and ``chunk_shots``),
+* one ``np.random.SeedSequence`` child stream is spawned per chunk, so
+  chunk ``i`` draws the same values no matter which worker runs it,
+* chunk results are concatenated in chunk order.
+
+A given ``(seed, shots, chunk_shots)`` therefore produces bit-identical
+samples for any ``workers`` — the property the seed-reproducibility
+tests pin.  Workers are threads: the sampling kernels are NumPy-bound
+(the heavy steps release the GIL) and DD nodes never cross a process
+boundary, so no pickling of diagram state is needed.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional, Union
+
+import numpy as np
+
+from ..exceptions import SamplingError
+
+__all__ = ["DEFAULT_CHUNK_SHOTS", "chunk_layout", "sample_chunked"]
+
+#: Shots per chunk.  Large enough that per-chunk overhead is noise,
+#: small enough that a 100k-shot request still exposes parallelism.
+DEFAULT_CHUNK_SHOTS = 16_384
+
+SeedLike = Union[int, None, np.random.SeedSequence, np.random.Generator]
+
+
+def _as_seed_sequence(seed: SeedLike) -> np.random.SeedSequence:
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    if isinstance(seed, np.random.Generator):
+        # Derive a root entropy value from the caller's stream so the
+        # generator's state still controls the outcome deterministically.
+        return np.random.SeedSequence(int(seed.integers(2**63)))
+    return np.random.SeedSequence(seed)
+
+
+def chunk_layout(shots: int, chunk_shots: int = DEFAULT_CHUNK_SHOTS) -> List[int]:
+    """Chunk sizes for ``shots`` — a pure function of the two arguments."""
+    if shots < 0:
+        raise SamplingError("shots must be non-negative")
+    if chunk_shots < 1:
+        raise SamplingError("chunk size must be positive")
+    full, rest = divmod(shots, chunk_shots)
+    sizes = [chunk_shots] * full
+    if rest:
+        sizes.append(rest)
+    return sizes
+
+
+def sample_chunked(
+    draw: Callable[[int, np.random.Generator], np.ndarray],
+    shots: int,
+    seed: SeedLike = None,
+    workers: Optional[int] = None,
+    chunk_shots: int = DEFAULT_CHUNK_SHOTS,
+) -> np.ndarray:
+    """Draw ``shots`` samples via ``draw(chunk_shots, rng)`` in chunks.
+
+    ``draw`` must be thread-safe for distinct ``rng`` arguments (all
+    samplers in this package are: sampling never mutates the DD).  The
+    result is identical for every ``workers`` value.
+    """
+    sizes = chunk_layout(shots, chunk_shots)
+    if not sizes:
+        return np.empty(0, dtype=np.int64)
+    children = _as_seed_sequence(seed).spawn(len(sizes))
+    rngs = [np.random.default_rng(child) for child in children]
+    if workers is None or workers <= 1 or len(sizes) == 1:
+        parts = [draw(size, rng) for size, rng in zip(sizes, rngs)]
+    else:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            parts = list(pool.map(draw, sizes, rngs))
+    return np.concatenate(parts)

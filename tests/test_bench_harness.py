@@ -1,0 +1,92 @@
+"""Schema and smoke tests for the sampling benchmark harness."""
+
+import json
+
+import pytest
+
+from repro.perf import bench
+
+
+@pytest.fixture(scope="module")
+def smoke_payload():
+    # One harness run shared by the schema tests; smoke sizes keep it to
+    # a couple of seconds.
+    return bench.run_harness(workers=(1, 2), smoke=True)
+
+
+class TestHarness:
+    def test_payload_passes_validation(self, smoke_payload):
+        bench.validate_payload(smoke_payload)
+
+    def test_all_sections_present(self, smoke_payload):
+        for section in ("config", "cases", "mid_circuit", "compiled_cache", "parallel"):
+            assert section in smoke_payload
+
+    def test_cache_section_shows_reuse(self, smoke_payload):
+        cache = smoke_payload["compiled_cache"]
+        assert cache["builds"] >= 1
+        assert cache["reuses"] >= 1
+
+    def test_parallel_reproducible(self, smoke_payload):
+        assert smoke_payload["parallel"]["reproducible"] is True
+
+    def test_mid_circuit_consistent(self, smoke_payload):
+        assert smoke_payload["mid_circuit"]["distributions_consistent"] is True
+
+    def test_global_cache_restored(self, smoke_payload):
+        from repro.perf import compiled_dd
+
+        assert compiled_dd.DEFAULT_CACHE is not None
+        assert compiled_dd.DEFAULT_CACHE.stats()["builds"] >= 0
+
+
+class TestValidation:
+    def test_rejects_wrong_format(self, smoke_payload):
+        bad = dict(smoke_payload, format="something-else")
+        with pytest.raises(ValueError, match="format"):
+            bench.validate_payload(bad)
+
+    def test_rejects_wrong_version(self, smoke_payload):
+        bad = dict(smoke_payload, version=bench.VERSION + 1)
+        with pytest.raises(ValueError, match="version"):
+            bench.validate_payload(bad)
+
+    def test_rejects_missing_section(self, smoke_payload):
+        bad = {k: v for k, v in smoke_payload.items() if k != "parallel"}
+        with pytest.raises(ValueError, match="parallel"):
+            bench.validate_payload(bad)
+
+    def test_rejects_missing_case_key(self, smoke_payload):
+        bad = json.loads(json.dumps(smoke_payload))
+        del bad["cases"][0]["dd_nodes"]
+        with pytest.raises(ValueError, match="dd_nodes"):
+            bench.validate_payload(bad)
+
+    def test_rejects_irreproducible_parallel(self, smoke_payload):
+        bad = json.loads(json.dumps(smoke_payload))
+        bad["parallel"]["reproducible"] = False
+        with pytest.raises(ValueError, match="reproducible"):
+            bench.validate_payload(bad)
+
+
+class TestCLI:
+    def test_main_writes_and_validates(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_sampling.json"
+        assert bench.main(["--out", str(out), "--smoke"]) == 0
+        payload = json.loads(out.read_text())
+        bench.validate_payload(payload)
+        assert payload["config"]["smoke"] is True
+        assert "branching speedup" in capsys.readouterr().out
+
+    def test_main_validate_mode(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_sampling.json"
+        bench.main(["--out", str(out), "--smoke"])
+        capsys.readouterr()
+        assert bench.main(["--validate", str(out)]) == 0
+        assert "schema ok" in capsys.readouterr().out
+
+    def test_main_validate_rejects_drift(self, tmp_path, capsys):
+        out = tmp_path / "bad.json"
+        out.write_text(json.dumps({"format": "other"}))
+        assert bench.main(["--validate", str(out)]) == 1
+        assert "schema drift" in capsys.readouterr().err

@@ -1,0 +1,153 @@
+"""Tests for the compiled-DD artifact and its process-wide cache."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.core import DDSampler
+from repro.core.alias_sampler import AliasSampler
+from repro.core.prefix_sampler import PrefixSampler
+from repro.dd import DDPackage, NormalizationScheme, VectorDD
+from repro.exceptions import SamplingError
+from repro.perf import CompiledDDCache, compile_edge
+from repro.perf import compiled_dd as compiled_dd_module
+from repro.simulators.dd_simulator import DDSimulator
+
+from .conftest import random_statevector
+
+
+@pytest.fixture
+def fresh_cache(monkeypatch):
+    """Swap in an empty cache so counters start from zero."""
+    cache = CompiledDDCache()
+    monkeypatch.setattr(compiled_dd_module, "DEFAULT_CACHE", cache)
+    return cache
+
+
+def _random_state(num_qubits: int, seed: int, scheme=NormalizationScheme.L2):
+    rng = np.random.default_rng(seed)
+    package = DDPackage(scheme=scheme)
+    return VectorDD.from_statevector(package, random_statevector(num_qubits, rng))
+
+
+class TestCompileEdge:
+    def test_matches_dense_probabilities(self):
+        state = _random_state(6, 0)
+        compiled = compile_edge(state.edge, state.num_qubits)
+        assert np.allclose(compiled.probabilities(), state.probabilities(), atol=1e-10)
+
+    def test_matches_dense_probabilities_leftmost(self):
+        state = _random_state(5, 1, scheme=NormalizationScheme.LEFTMOST)
+        sampler = DDSampler(state)
+        compiled = compile_edge(state.edge, state.num_qubits, sampler.downstream)
+        assert np.allclose(compiled.probabilities(), state.probabilities(), atol=1e-10)
+
+    def test_sample_distribution(self):
+        state = _random_state(4, 2)
+        compiled = compile_edge(state.edge, state.num_qubits)
+        samples = compiled.sample(60_000, np.random.default_rng(3))
+        empirical = np.bincount(samples, minlength=16) / 60_000
+        assert np.abs(empirical - state.probabilities()).max() < 0.01
+
+    def test_marginal_probabilities_exact(self):
+        state = _random_state(5, 4)
+        compiled = compile_edge(state.edge, state.num_qubits)
+        marginals = compiled.marginal_probabilities()
+        expected = [state.qubit_probability(q) for q in range(5)]
+        assert np.allclose(marginals, expected, atol=1e-10)
+
+    def test_zero_vector_rejected(self):
+        package = DDPackage()
+        with pytest.raises(SamplingError):
+            compile_edge(package.zero_edge, 3)
+
+    def test_deep_register_no_recursion_error(self):
+        # ~1000 levels exceed the default Python recursion limit; the
+        # compiled build, edge probabilities, and marginals must all be
+        # iterative.
+        package = DDPackage()
+        num_qubits = 1_200
+        state = VectorDD.basis_state(package, num_qubits, (1 << 600) | 5)
+        sampler = DDSampler(state)
+        compiled = sampler.compiled()
+        assert compiled.size == num_qubits
+        table = sampler.edge_probabilities()
+        assert len(table) == 2 * num_qubits
+        marginals = sampler.marginal_probabilities()
+        assert marginals[600] == 1.0 and marginals[2] == 1.0
+        assert marginals.sum() == 3.0
+
+
+class TestCompiledCache:
+    def test_reuse_across_samplers(self, fresh_cache):
+        state = _random_state(5, 5)
+        first = DDSampler(state)
+        second = DDSampler(state)
+        assert first.compiled() is second.compiled()
+        assert fresh_cache.builds == 1
+        assert fresh_cache.reuses == 1
+
+    def test_shared_by_sampling_paths_and_dense_samplers(self, fresh_cache):
+        state = _random_state(5, 6)
+        sampler = DDSampler(state)
+        sampler.sample(100, rng=0)
+        sampler.sample_top_qubits(2, 100, rng=1)
+        sampler.marginal_probabilities()
+        AliasSampler.from_dd(state)
+        PrefixSampler.from_dd(state)
+        assert fresh_cache.builds == 1
+        assert fresh_cache.reuses >= 2  # alias + prefix samplers
+
+    def test_distinct_roots_distinct_entries(self, fresh_cache):
+        a = _random_state(4, 7)
+        DDSampler(a).compiled()
+        package = a.package
+        b = VectorDD.basis_state(package, 4, 9)
+        DDSampler(b).compiled()
+        assert fresh_cache.builds == 2
+        assert fresh_cache.stats()["entries"] == 2
+
+    def test_eviction_bound(self, fresh_cache):
+        fresh_cache.max_entries = 2
+        package = DDPackage()
+        for index in range(4):
+            DDSampler(VectorDD.basis_state(package, 3, index)).compiled()
+        assert fresh_cache.evictions == 2
+        assert fresh_cache.stats()["entries"] == 2
+
+    def test_l2_and_downstream_entries_are_separate(self, fresh_cache):
+        state = _random_state(4, 8)
+        DDSampler(state, trust_l2_normalization=True).compiled()
+        DDSampler(state, trust_l2_normalization=False).compiled()
+        assert fresh_cache.builds == 2
+
+    def test_from_dd_samplers_match_statevector_route(self):
+        state = _random_state(6, 9)
+        probabilities = state.probabilities()
+        alias = AliasSampler.from_dd(state)
+        prefix = PrefixSampler.from_dd(state)
+        assert np.allclose(alias.probabilities, probabilities, atol=1e-10)
+        assert np.allclose(prefix.probabilities, probabilities, atol=1e-10)
+
+
+class TestCompiledSamplingEquivalence:
+    def test_sample_matches_legacy_tables_draws(self):
+        # The compiled path must consume the RNG exactly like the legacy
+        # in-sampler tables did: one uniform array per level.
+        state = _random_state(5, 10)
+        sampler = DDSampler(state)
+        compiled = sampler.compiled()
+        a = sampler.sample(1_000, rng=11)
+        b = compiled.sample(1_000, np.random.default_rng(11))
+        assert np.array_equal(a, b)
+
+    def test_sample_vs_path_walk_distribution(self):
+        circuit = QuantumCircuit(4)
+        circuit.h(0).cx(0, 1).h(2).cx(2, 3)
+        state = DDSimulator().run(circuit)
+        sampler = DDSampler(state)
+        fast = sampler.sample(40_000, rng=12)
+        slow = sampler.sample_paths(4_000, rng=13)
+        a = np.bincount(fast, minlength=16) / 40_000
+        b = np.bincount(slow, minlength=16) / 4_000
+        assert np.abs(a - b).max() < 0.03

@@ -1,0 +1,131 @@
+"""Seed-stable parallel chunked sampling tests."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.states import ghz
+from repro.core import DDSampler
+from repro.core.indistinguishability import two_sample_chi_square
+from repro.core.weak_sim import sample_dd, simulate_and_sample
+from repro.exceptions import SamplingError
+from repro.perf.parallel import DEFAULT_CHUNK_SHOTS, chunk_layout, sample_chunked
+from repro.simulators.dd_simulator import DDSimulator
+
+
+def _counting_draw(shots, rng):
+    """Draw that records the rng stream it was handed."""
+    return rng.integers(0, 1 << 16, size=shots)
+
+
+class TestChunkLayout:
+    def test_exact_division(self):
+        assert chunk_layout(100, 25) == [25, 25, 25, 25]
+
+    def test_remainder_last(self):
+        assert chunk_layout(10, 4) == [4, 4, 2]
+
+    def test_single_chunk(self):
+        assert chunk_layout(5, 100) == [5]
+
+    def test_zero_shots(self):
+        assert chunk_layout(0, 100) == []
+
+    def test_layout_independent_of_workers(self):
+        # The layout is a pure function of (shots, chunk_shots) — workers
+        # never appear, which is what makes results worker-independent.
+        assert sum(chunk_layout(123_457, DEFAULT_CHUNK_SHOTS)) == 123_457
+
+    def test_invalid_chunk_shots(self):
+        with pytest.raises(SamplingError):
+            chunk_layout(10, 0)
+
+
+class TestSampleChunked:
+    def test_reproducible_across_worker_counts(self):
+        results = [
+            sample_chunked(_counting_draw, 10_000, seed=42, workers=w, chunk_shots=1_024)
+            for w in (1, 2, 4)
+        ]
+        assert np.array_equal(results[0], results[1])
+        assert np.array_equal(results[0], results[2])
+
+    def test_reproducible_for_generator_seed(self):
+        a = sample_chunked(
+            _counting_draw, 5_000, seed=np.random.default_rng(3), workers=1,
+            chunk_shots=512,
+        )
+        b = sample_chunked(
+            _counting_draw, 5_000, seed=np.random.default_rng(3), workers=4,
+            chunk_shots=512,
+        )
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = sample_chunked(_counting_draw, 1_000, seed=0, workers=1, chunk_shots=100)
+        b = sample_chunked(_counting_draw, 1_000, seed=1, workers=1, chunk_shots=100)
+        assert not np.array_equal(a, b)
+
+    def test_zero_shots(self):
+        out = sample_chunked(_counting_draw, 0, seed=0, workers=4)
+        assert out.shape == (0,)
+
+    def test_total_length(self):
+        out = sample_chunked(_counting_draw, 10_001, seed=0, workers=2, chunk_shots=999)
+        assert out.shape == (10_001,)
+
+
+class TestParallelDDSampling:
+    def test_worker_counts_bit_identical_on_dd(self):
+        state = DDSimulator().run(ghz(6))
+        compiled = DDSampler(state).compiled()
+        results = [
+            sample_chunked(compiled.sample, 20_000, seed=9, workers=w, chunk_shots=2_048)
+            for w in (1, 2, 4)
+        ]
+        assert np.array_equal(results[0], results[1])
+        assert np.array_equal(results[0], results[2])
+
+    def test_chunked_matches_serial_distribution(self):
+        state = DDSimulator().run(ghz(5))
+        sampler = DDSampler(state)
+        serial = sampler.sample(30_000, rng=10)
+        chunked = sample_chunked(
+            sampler.compiled().sample, 30_000, seed=11, workers=2, chunk_shots=4_096
+        )
+        serial_counts = dict(zip(*np.unique(serial, return_counts=True)))
+        chunked_counts = dict(zip(*np.unique(chunked, return_counts=True)))
+        assert two_sample_chi_square(
+            {int(k): int(v) for k, v in serial_counts.items()},
+            {int(k): int(v) for k, v in chunked_counts.items()},
+        ).consistent
+
+    def test_sample_result_workers_path(self):
+        state = DDSimulator().run(ghz(5))
+        sampler = DDSampler(state)
+        parallel = sampler.sample_result(8_000, rng=12, workers=2, chunk_shots=1_000)
+        again = sampler.sample_result(8_000, rng=12, workers=4, chunk_shots=1_000)
+        assert parallel.counts == again.counts
+        assert sum(parallel.counts.values()) == 8_000
+
+
+class TestWeakSimIntegration:
+    def test_sample_dd_workers_metadata(self):
+        state = DDSimulator().run(ghz(4))
+        result = sample_dd(state, 2_000, seed=13, workers=2)
+        assert result.metadata["workers"] == 2
+        assert sum(result.counts.values()) == 2_000
+
+    def test_sample_dd_workers_requires_dd_method(self):
+        state = DDSimulator().run(ghz(4))
+        with pytest.raises(SamplingError):
+            sample_dd(state, 100, method="dd-path", workers=2)
+
+    def test_simulate_and_sample_workers_requires_dd(self):
+        with pytest.raises(SamplingError):
+            simulate_and_sample(ghz(3), 100, method="vector", workers=2)
+
+    def test_simulate_and_sample_workers_reproducible(self):
+        circuit = ghz(5)
+        a = simulate_and_sample(circuit, 4_000, seed=14, workers=1)
+        b = simulate_and_sample(circuit, 4_000, seed=14, workers=3)
+        assert a.counts == b.counts

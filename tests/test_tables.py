@@ -62,6 +62,48 @@ class TestComputeTable:
         assert len(table) == 0
         assert table.lookup(("k",)) is None
 
+    def test_unbounded_by_default(self):
+        table = ComputeTable("test")
+        for index in range(10_000):
+            table.insert((index,), Edge(TERMINAL, 1.0 + 0j))
+        assert len(table) == 10_000
+        assert table.clears == 0
+
+    def test_max_entries_clears_on_overflow(self):
+        # CUDD-style: hitting the bound wipes the table wholesale rather
+        # than evicting one entry — O(1) amortised, no LRU bookkeeping.
+        table = ComputeTable("test", max_entries=3)
+        for index in range(3):
+            table.insert((index,), Edge(TERMINAL, 1.0 + 0j))
+        assert len(table) == 3 and table.clears == 0
+        table.insert((3,), Edge(TERMINAL, 1.0 + 0j))
+        assert len(table) == 1
+        assert table.clears == 1
+        assert table.lookup((0,)) is None
+        assert table.lookup((3,)) == Edge(TERMINAL, 1.0 + 0j)
+
+    def test_reinserting_present_key_never_clears(self):
+        table = ComputeTable("test", max_entries=2)
+        table.insert((0,), Edge(TERMINAL, 1.0 + 0j))
+        table.insert((1,), Edge(TERMINAL, 1.0 + 0j))
+        table.insert((1,), Edge(TERMINAL, 0.5 + 0j))
+        assert len(table) == 2
+        assert table.clears == 0
+        assert table.lookup((1,)) == Edge(TERMINAL, 0.5 + 0j)
+
+    def test_invalid_max_entries(self):
+        with pytest.raises(ValueError):
+            ComputeTable("test", max_entries=0)
+
+    def test_hit_rate(self):
+        table = ComputeTable("test")
+        assert table.hit_rate() == 0.0
+        table.lookup(("k",))
+        table.insert(("k",), Edge(TERMINAL, 1.0 + 0j))
+        table.lookup(("k",))
+        table.lookup(("k",))
+        assert table.hit_rate() == pytest.approx(2 / 3)
+
 
 class TestPackageTables:
     def test_statistics_counters_move(self):
@@ -79,3 +121,24 @@ class TestPackageTables:
         assert package.statistics()["add_entries"] > 0
         package.clear_compute_tables()
         assert package.statistics()["add_entries"] == 0
+
+    def test_statistics_report_hit_rate_and_clears(self):
+        package = DDPackage()
+        package.basis_state(4, 3)
+        stats = package.statistics()
+        for name in ("add", "matvec", "matmat", "kron", "inner"):
+            assert f"{name}_hit_rate" in stats
+            assert f"{name}_clears" in stats
+
+    def test_stats_alias(self):
+        package = DDPackage()
+        assert package.stats() == package.statistics()
+
+    def test_bounded_package_tables_clear_instead_of_growing(self):
+        bounded = DDPackage(compute_table_max_entries=4)
+        a = bounded.basis_state(3, 1)
+        b = bounded.basis_state(3, 5)
+        for scale in (0.3, 0.4, 0.5, 0.6, 0.7, 0.8):
+            bounded.add(bounded.scale(a, scale), bounded.scale(b, 1.0 - scale))
+        stats = bounded.statistics()
+        assert stats["add_entries"] <= 4
