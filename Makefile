@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-sampling bench-smoke quick-table full-table figures shapes examples clean
+.PHONY: install test bench bench-sampling bench-compile bench-smoke quick-table full-table figures shapes examples clean
 
 install:
 	PIP_NO_BUILD_ISOLATION=false pip install -e .
@@ -17,11 +17,18 @@ bench:
 bench-sampling:
 	PYTHONPATH=src $(PYTHON) -m repro.perf.bench --out BENCH_sampling.json
 
+# Compile-pipeline harness: writes BENCH_build.json (seconds).
+bench-compile:
+	PYTHONPATH=src $(PYTHON) -m repro.compile.bench --out BENCH_build.json
+
 # Toy-size harness run + schema validation; fails on JSON-schema drift.
 bench-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.perf.bench --smoke --out BENCH_smoke.json
 	PYTHONPATH=src $(PYTHON) -m repro.perf.bench --validate BENCH_smoke.json
 	rm -f BENCH_smoke.json
+	PYTHONPATH=src $(PYTHON) -m repro.compile.bench --smoke --out BENCH_build_smoke.json
+	PYTHONPATH=src $(PYTHON) -m repro.compile.bench --validate BENCH_build_smoke.json
+	rm -f BENCH_build_smoke.json
 
 quick-table:
 	$(PYTHON) -m repro.evaluation table1 --tier quick --shots 100000

@@ -1,0 +1,51 @@
+"""Compile-pipeline benchmarks: rewrite cost and build-phase payoff.
+
+Times :func:`repro.compile.optimize_circuit` itself per benchmark family
+and the resulting strong-simulation build with/without the pipeline.
+The JSON artifact counterpart is ``make bench-compile``
+(:mod:`repro.compile.bench`); this file is for ``pytest --benchmark-only``
+exploration.
+
+Run:  pytest benchmarks/bench_compile.py --benchmark-only
+"""
+
+import pytest
+
+from repro.algorithms.grover import grover
+from repro.algorithms.qft import qft
+from repro.algorithms.supremacy import supremacy
+from repro.compile import optimize_circuit
+from repro.simulators.dd_simulator import DDSimulator
+
+CASES = {
+    "qft_16": lambda: qft(16),
+    "grover_8": lambda: grover(8, seed=1).circuit,
+    "supremacy_4x4_5": lambda: supremacy(4, 4, 5, seed=1),
+}
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_pipeline_rewrite(benchmark, name):
+    circuit = CASES[name]()
+
+    optimized, stats = benchmark(optimize_circuit, circuit)
+
+    assert optimized.num_operations <= circuit.num_operations
+    benchmark.extra_info["ops_before"] = stats.input_operations
+    benchmark.extra_info["ops_after"] = stats.output_operations
+    benchmark.extra_info["reduction_percent"] = round(
+        stats.reduction_percent, 2
+    )
+    assert stats.reduction_percent >= 25.0
+
+
+@pytest.mark.parametrize("optimize", [False, True], ids=["raw", "optimized"])
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_build_with_pipeline(benchmark, name, optimize):
+    circuit = CASES[name]()
+
+    def build():
+        return DDSimulator(optimize=optimize).run(circuit)
+
+    state = benchmark.pedantic(build, rounds=3, iterations=1)
+    assert state.num_qubits == circuit.num_qubits

@@ -25,6 +25,7 @@ circuits), :mod:`repro.evaluation` (Table-I/figure regeneration).
 """
 
 from .circuit import QuantumCircuit, parse_qasm, to_qasm
+from .compile import CompilePipeline, CompileStats, optimize_circuit
 from .core import (
     DDSampler,
     PrefixSampler,
@@ -54,6 +55,9 @@ __all__ = [
     "QuantumCircuit",
     "parse_qasm",
     "to_qasm",
+    "optimize_circuit",
+    "CompilePipeline",
+    "CompileStats",
     "simulate_and_sample",
     "sample_statevector",
     "sample_dd",

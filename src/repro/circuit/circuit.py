@@ -14,7 +14,7 @@ import numpy as np
 
 from ..exceptions import CircuitError
 from . import gates as g
-from .operations import Barrier, Measurement, Operation
+from .operations import Barrier, BaseOperation, DiagonalOperation, Measurement, Operation
 
 __all__ = ["QuantumCircuit"]
 
@@ -51,9 +51,13 @@ class QuantumCircuit:
         return tuple(self._instructions)
 
     @property
-    def operations(self) -> List[Operation]:
-        """Only the unitary operations, in order."""
-        return [op for op in self._instructions if isinstance(op, Operation)]
+    def operations(self) -> List[BaseOperation]:
+        """Only the unitary operations, in order.
+
+        Includes both plain gate applications and coalesced
+        :class:`~repro.circuit.operations.DiagonalOperation` blocks.
+        """
+        return [op for op in self._instructions if isinstance(op, BaseOperation)]
 
     # ------------------------------------------------------------------
     # Low-level append
@@ -68,7 +72,7 @@ class QuantumCircuit:
 
     def append(self, instruction) -> "QuantumCircuit":
         """Append a pre-built instruction, validating qubit indices."""
-        if isinstance(instruction, Operation):
+        if isinstance(instruction, BaseOperation):
             self._check_qubits(instruction.qubits)
         elif isinstance(instruction, (Measurement, Barrier)):
             self._check_qubits(instruction.qubits)
@@ -238,6 +242,9 @@ class QuantumCircuit:
         """Histogram of gate names (controlled gates prefixed with ``c``)."""
         counts: dict = {}
         for op in self.operations:
+            if isinstance(op, DiagonalOperation):
+                counts["diag"] = counts.get("diag", 0) + 1
+                continue
             name = op.gate.name
             total_controls = len(op.controls) + len(op.neg_controls)
             if total_controls:
@@ -257,6 +264,8 @@ class QuantumCircuit:
         depth = 0
         for op in self.operations:
             qubits = op.qubits
+            if not qubits:  # pure global-phase block
+                continue
             level = max(levels[q] for q in qubits) + 1
             for q in qubits:
                 levels[q] = level
@@ -309,6 +318,24 @@ class QuantumCircuit:
                 "clashing with existing qubits"
             )
         for op in self.operations:
+            if isinstance(op, DiagonalOperation):
+                # Controlling a product of subspace phases controls each
+                # term: the block fires only when the control is |1⟩.
+                from .operations import PhaseTerm
+
+                result.append(
+                    DiagonalOperation(
+                        terms=tuple(
+                            PhaseTerm(
+                                ones=t.ones | {control},
+                                zeros=t.zeros,
+                                angle=t.angle,
+                            )
+                            for t in op.terms
+                        )
+                    )
+                )
+                continue
             result.append(
                 Operation(
                     gate=op.gate,

@@ -11,7 +11,13 @@ from __future__ import annotations
 from typing import Dict, List
 
 from .circuit import QuantumCircuit
-from .operations import Barrier, Measurement, Operation
+from .operations import (
+    Barrier,
+    BaseOperation,
+    DiagonalOperation,
+    Measurement,
+    Operation,
+)
 
 __all__ = ["circuit_layers", "draw"]
 
@@ -27,7 +33,7 @@ def circuit_layers(circuit: QuantumCircuit) -> List[List[object]]:
     occupancy: List[set] = []
 
     def qubits_of(instruction) -> set:
-        if isinstance(instruction, Operation):
+        if isinstance(instruction, BaseOperation):
             return set(instruction.qubits)
         if isinstance(instruction, (Measurement, Barrier)):
             return set(instruction.qubits) or set(range(circuit.num_qubits))
@@ -54,6 +60,9 @@ def circuit_layers(circuit: QuantumCircuit) -> List[List[object]]:
 
 def _gate_label(op: Operation) -> str:
     name = op.gate.name.upper()
+    if op.gate.name == "u3" and len(op.gate.params) == 3:
+        theta, phi, lam = op.gate.params
+        return f"U3({theta:.2g},{phi:.2g},{lam:.2g})"
     if op.gate.params:
         return f"{name}({op.gate.params[0]:.2g})"
     return name
@@ -77,6 +86,15 @@ def draw(circuit: QuantumCircuit, max_width: int = 120) -> str:
                 qubits = instruction.qubits or tuple(range(n))
                 for qubit in qubits:
                     column[qubit] = "[M]"
+                continue
+            if isinstance(instruction, DiagonalOperation):
+                touched = sorted(instruction.qubits)
+                for qubit in touched:
+                    column[qubit] = "◆"
+                if len(touched) > 1:
+                    for wire in range(touched[0] + 1, touched[-1]):
+                        if wire not in column:
+                            column[wire] = "│"
                 continue
             op = instruction
             label = _gate_label(op)

@@ -52,6 +52,7 @@ __all__ = [
     "ry_gate",
     "rz_gate",
     "phase_gate",
+    "gphase_gate",
     "u2_gate",
     "u3_gate",
     "swap_gate",
@@ -243,6 +244,18 @@ def phase_gate(theta: float) -> Gate:
     return _gate("p", [[1, 0], [0, cmath.exp(1j * theta)]], (theta,))
 
 
+def gphase_gate(theta: float) -> Gate:
+    """Global phase ``e^{i theta}`` carried on one qubit.
+
+    Applied uncontrolled this is an unobservable global phase; it exists
+    so the compile pipeline and decompositions can keep circuits *exactly*
+    equivalent (not just up to phase), which matters once an op is placed
+    under control.
+    """
+    phase = cmath.exp(1j * theta)
+    return _gate("gphase", [[phase, 0], [0, phase]], (theta,))
+
+
 def u2_gate(phi: float, lam: float) -> Gate:
     """The OpenQASM ``u2`` gate."""
     return _gate(
@@ -390,6 +403,7 @@ GATE_REGISTRY: Dict[str, Callable[..., Gate]] = {
     "ry": ry_gate,
     "rz": rz_gate,
     "p": phase_gate,
+    "gphase": gphase_gate,
     "u1": phase_gate,
     "u2": u2_gate,
     "u3": u3_gate,

@@ -9,19 +9,39 @@ a multi-controlled gate is a single traversal of the DD.
 
 from __future__ import annotations
 
+import cmath
+
 from dataclasses import dataclass, field
-from typing import FrozenSet, Tuple
+from typing import FrozenSet, List, Tuple
 
 import numpy as np
 
 from ..exceptions import CircuitError
 from .gates import Gate
 
-__all__ = ["Operation", "Measurement", "Barrier", "Instruction"]
+__all__ = [
+    "BaseOperation",
+    "Operation",
+    "PhaseTerm",
+    "DiagonalOperation",
+    "Measurement",
+    "Barrier",
+    "Instruction",
+]
+
+
+class BaseOperation:
+    """Marker base for unitary circuit instructions.
+
+    Both :class:`Operation` (a gate application) and
+    :class:`DiagonalOperation` (a coalesced block of subspace phases
+    produced by the compile pipeline) derive from it; consumers that only
+    care about "is this a unitary instruction" test against this class.
+    """
 
 
 @dataclass(frozen=True)
-class Operation:
+class Operation(BaseOperation):
     """A gate applied to ``targets``, conditioned on control qubits.
 
     ``controls`` fire when the control qubit is |1⟩; ``neg_controls`` fire
@@ -120,6 +140,150 @@ class Operation:
             parts.append("nc" + ",".join(str(q) for q in sorted(self.neg_controls)))
         parts.append("on " + ",".join(str(q) for q in self.targets))
         return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class PhaseTerm:
+    """One subspace phase: multiply ``e^{i angle}`` where all ``ones``
+    qubits are |1⟩ and all ``zeros`` qubits are |0⟩.
+
+    With both sets empty the term is a plain global phase.  Terms are the
+    monomials of a phase polynomial: a diagonal unitary over qubits
+    ``{q_1..q_k}`` is exactly the product of at most ``2^k`` such terms.
+    """
+
+    ones: FrozenSet[int] = field(default_factory=frozenset)
+    zeros: FrozenSet[int] = field(default_factory=frozenset)
+    angle: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.ones & self.zeros:
+            raise CircuitError(
+                f"PhaseTerm qubits must be disjoint: ones={sorted(self.ones)} "
+                f"zeros={sorted(self.zeros)}"
+            )
+        if any(q < 0 for q in self.ones | self.zeros):
+            raise CircuitError("qubit indices must be non-negative")
+
+    @property
+    def qubits(self) -> FrozenSet[int]:
+        return self.ones | self.zeros
+
+
+@dataclass(frozen=True)
+class DiagonalOperation(BaseOperation):
+    """A coalesced diagonal unitary: an ordered product of subspace phases.
+
+    The compile pipeline's diagonal-coalescing pass folds runs of adjacent
+    diagonal gates (Z/S/T/P/RZ/CZ/CP/RZZ, controlled or not) into one of
+    these.  The DD applier walks the state once per *term* instead of once
+    per original gate, and merged terms (e.g. two CP ladders hitting the
+    same qubit pair) collapse into a single traversal.
+    """
+
+    terms: Tuple[PhaseTerm, ...] = ()
+
+    def __post_init__(self) -> None:
+        for term in self.terms:
+            if not isinstance(term, PhaseTerm):
+                raise CircuitError(
+                    f"DiagonalOperation terms must be PhaseTerm, got "
+                    f"{type(term).__name__}"
+                )
+
+    @property
+    def qubits(self) -> FrozenSet[int]:
+        qubits: FrozenSet[int] = frozenset()
+        for term in self.terms:
+            qubits |= term.qubits
+        return qubits
+
+    @property
+    def max_qubit(self) -> int:
+        """Highest qubit index used; ``-1`` for a purely global phase."""
+        return max(self.qubits, default=-1)
+
+    @property
+    def is_controlled(self) -> bool:
+        return False
+
+    def inverse(self) -> "DiagonalOperation":
+        """Adjoint block: every phase negated (order is irrelevant)."""
+        return DiagonalOperation(
+            terms=tuple(
+                PhaseTerm(ones=t.ones, zeros=t.zeros, angle=-t.angle)
+                for t in self.terms
+            )
+        )
+
+    def full_matrix(self, num_qubits: int) -> np.ndarray:
+        """Dense diagonal unitary on ``num_qubits`` qubits (verification)."""
+        if self.max_qubit >= num_qubits:
+            raise CircuitError(
+                f"operation uses qubit {self.max_qubit} but the register has "
+                f"only {num_qubits} qubits"
+            )
+        dim = 2**num_qubits
+        angles = np.zeros(dim, dtype=np.float64)
+        indices = np.arange(dim)
+        for term in self.terms:
+            select = np.ones(dim, dtype=bool)
+            for qubit in term.ones:
+                select &= (indices >> qubit) & 1 == 1
+            for qubit in term.zeros:
+                select &= (indices >> qubit) & 1 == 0
+            angles[select] += term.angle
+        return np.diag(np.exp(1j * angles))
+
+    def to_operations(self) -> List["Operation"]:
+        """Lower to plain :class:`Operation` instructions (one per term).
+
+        Used by consumers that need gate semantics — matrix-DD
+        construction, QASM emission, equivalence checking.  Terms with
+        ``ones`` become (multi-controlled) phase gates; ``zeros`` become
+        anti-controls; a bare global phase becomes a ``gphase`` gate.
+        """
+        from .gates import Gate as _Gate, gphase_gate, phase_gate
+
+        operations: List[Operation] = []
+        for term in self.terms:
+            if term.ones:
+                target = min(term.ones)
+                operations.append(
+                    Operation(
+                        gate=phase_gate(term.angle),
+                        targets=(target,),
+                        controls=term.ones - {target},
+                        neg_controls=term.zeros,
+                    )
+                )
+            elif term.zeros:
+                # Phase on the all-zeros subspace: diag(e^{i a}, 1) on one
+                # qubit, anti-controlled on the rest.
+                target = min(term.zeros)
+                phase = cmath.exp(1j * term.angle)
+                gate = _Gate(
+                    name="p0",
+                    num_qubits=1,
+                    matrix=((phase, 0j), (0j, 1 + 0j)),
+                    params=(term.angle,),
+                )
+                operations.append(
+                    Operation(
+                        gate=gate,
+                        targets=(target,),
+                        neg_controls=term.zeros - {target},
+                    )
+                )
+            else:
+                operations.append(
+                    Operation(gate=gphase_gate(term.angle), targets=(0,))
+                )
+        return operations
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        qubits = ",".join(str(q) for q in sorted(self.qubits))
+        return f"diag[{len(self.terms)} terms] on {qubits or 'global'}"
 
 
 @dataclass(frozen=True)

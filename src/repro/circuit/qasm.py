@@ -20,7 +20,7 @@ from typing import Dict, List, Tuple
 from ..exceptions import QasmError
 from . import gates as g
 from .circuit import QuantumCircuit
-from .operations import Barrier, Measurement, Operation
+from .operations import Barrier, DiagonalOperation, Measurement, Operation
 
 __all__ = ["parse_qasm", "to_qasm"]
 
@@ -326,11 +326,35 @@ def _format_param(value: float) -> str:
     return repr(value)
 
 
+def _operation_line(op: Operation) -> str:
+    """Render one :class:`Operation` as a QASM gate statement."""
+    if op.neg_controls:
+        raise QasmError(
+            "OpenQASM 2.0 cannot express anti-controls; decompose first"
+        )
+    name = op.gate.name
+    controls = sorted(op.controls)
+    if controls:
+        if len(controls) <= 2 and f"{'c' * len(controls)}{name}" in _CONTROL_ALIASES:
+            name = f"{'c' * len(controls)}{name}"
+        else:
+            name = f"mc{name}"
+    if op.gate.params:
+        rendered = ",".join(_format_param(p) for p in op.gate.params)
+        name = f"{name}({rendered})"
+    operands = ",".join(f"q[{q}]" for q in list(controls) + list(op.targets))
+    return f"{name} {operands};"
+
+
 def to_qasm(circuit: QuantumCircuit) -> str:
     """Serialise a circuit to OpenQASM 2.0.
 
     Gates with more than two controls are emitted with the non-standard
     ``mcx``/``mcz``/``mcp`` names that :func:`parse_qasm` understands.
+    Coalesced diagonal blocks (:class:`DiagonalOperation`) are lowered to
+    one (multi-controlled) phase gate per term; fused ``u3`` gates are
+    emitted by their ZYZ parameters, so re-parsing recovers them up to a
+    global phase.
     """
     lines = [
         "OPENQASM 2.0;",
@@ -353,21 +377,15 @@ def to_qasm(circuit: QuantumCircuit) -> str:
                 for qubit in instruction.qubits:
                     lines.append(f"measure q[{qubit}] -> c[{qubit}];")
             continue
-        op = instruction
-        if op.neg_controls:
-            raise QasmError(
-                "OpenQASM 2.0 cannot express anti-controls; decompose first"
-            )
-        name = op.gate.name
-        controls = sorted(op.controls)
-        if controls:
-            if len(controls) <= 2 and f"{'c' * len(controls)}{name}" in _CONTROL_ALIASES:
-                name = f"{'c' * len(controls)}{name}"
-            else:
-                name = f"mc{name}"
-        if op.gate.params:
-            rendered = ",".join(_format_param(p) for p in op.gate.params)
-            name = f"{name}({rendered})"
-        operands = ",".join(f"q[{q}]" for q in list(controls) + list(op.targets))
-        lines.append(f"{name} {operands};")
+        if isinstance(instruction, DiagonalOperation):
+            for piece in instruction.to_operations():
+                if piece.gate.name == "p0":
+                    # Anti-controlled phase terms have no QASM 2.0 spelling.
+                    raise QasmError(
+                        "OpenQASM 2.0 cannot express anti-controls; "
+                        "decompose first"
+                    )
+                lines.append(_operation_line(piece))
+            continue
+        lines.append(_operation_line(instruction))
     return "\n".join(lines) + "\n"

@@ -62,6 +62,11 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--stats", action="store_true", help="print DD/timing statistics"
     )
+    parser.add_argument(
+        "--no-optimize",
+        action="store_true",
+        help="skip the compile pipeline and simulate the circuit verbatim",
+    )
     return parser
 
 
@@ -98,6 +103,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             method=args.method,
             seed=args.seed,
             workers=args.workers,
+            optimize=not args.no_optimize,
         )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -121,6 +127,30 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"sampling: {result.sampling_seconds:.4f} s, "
             f"distinct outcomes: {result.distinct_outcomes}"
         )
+        build = result.metadata.get("build")
+        if build:
+            compile_info = build.get("compile") or {}
+            line = f"build: {build['applied_operations']} operations applied"
+            if compile_info:
+                line += (
+                    f" ({compile_info['input_operations']} before optimization, "
+                    f"{compile_info['reduction_percent']}% removed)"
+                )
+            print(line)
+            strategies = build.get("strategy_counts") or {}
+            if strategies:
+                rendered = ", ".join(
+                    f"{k}={v}" for k, v in sorted(strategies.items())
+                )
+                print(
+                    f"strategies: {rendered}, "
+                    f"diagonal terms={build['diagonal_term_applications']}"
+                )
+            for pass_name, counters in (compile_info.get("passes") or {}).items():
+                rendered = ", ".join(
+                    f"{k}={v}" for k, v in sorted(counters.items())
+                )
+                print(f"optimizer {pass_name}: {rendered}")
         dd_stats = result.metadata.get("dd_statistics")
         if dd_stats:
             rendered = ", ".join(f"{k}={v}" for k, v in sorted(dd_stats.items()))

@@ -1,0 +1,43 @@
+"""Circuit compilation: pass-based optimisation before simulation.
+
+The strong-simulation *build* phase costs one DD (or dense) traversal per
+applied operation, so the cheapest gate is the one never applied.  This
+package rewrites a :class:`~repro.circuit.circuit.QuantumCircuit` into an
+equivalent circuit with fewer, cheaper operations:
+
+* :class:`~repro.compile.passes.CancelInversePairs` — adjacent
+  self-inverting pairs (H·H, CX·CX, P(θ)·P(−θ)) and identity gates vanish,
+* :class:`~repro.compile.passes.CommuteDiagonals` — diagonal gates slide
+  left past commuting neighbours to lengthen fusable runs,
+* :class:`~repro.compile.passes.SingleQubitFusion` — runs of adjacent
+  single-qubit gates collapse into one exact 2×2 unitary,
+* :class:`~repro.compile.passes.DiagonalCoalescing` — runs of diagonal
+  gates merge into one
+  :class:`~repro.circuit.operations.DiagonalOperation` block of subspace
+  phases.
+
+:func:`optimize_circuit` runs the default pipeline; the simulators invoke
+it automatically unless constructed with ``optimize=False``.
+"""
+
+from .passes import (
+    CancelInversePairs,
+    CommuteDiagonals,
+    DiagonalCoalescing,
+    SingleQubitFusion,
+    diagonal_phase_terms,
+    is_diagonal_instruction,
+)
+from .pipeline import CompilePipeline, CompileStats, optimize_circuit
+
+__all__ = [
+    "CancelInversePairs",
+    "CommuteDiagonals",
+    "DiagonalCoalescing",
+    "SingleQubitFusion",
+    "CompilePipeline",
+    "CompileStats",
+    "optimize_circuit",
+    "diagonal_phase_terms",
+    "is_diagonal_instruction",
+]

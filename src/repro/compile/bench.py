@@ -1,0 +1,240 @@
+"""Compile-pipeline harness: emits ``BENCH_build.json``.
+
+Quantifies what the circuit optimizer buys the DD build phase.  For each
+benchmark family (QFT, Grover, supremacy-style random circuits) one run
+records
+
+* **operation counts** before and after the pipeline (the acceptance bar
+  is a >= 25% reduction on every family),
+* **build wall time** with and without optimisation — strong simulation
+  of the raw circuit versus pipeline + strong simulation of the rewrite,
+* **per-pass rewrite counters** (fusions, coalesced runs, cancelled
+  pairs, commutation moves),
+* **indistinguishability** — a two-sample chi-square test between shots
+  drawn from the optimised and unoptimised simulations, proving the
+  rewrite does not move the output distribution.
+
+Run it with::
+
+    python -m repro.compile.bench --out BENCH_build.json
+    python -m repro.compile.bench --smoke          # toy sizes, seconds
+    python -m repro.compile.bench --validate BENCH_build.json
+
+The JSON layout is versioned and checked by :func:`validate_payload`;
+``make bench-compile`` and the tier-1 suite fail on schema drift.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import time
+from typing import Dict, List, Optional
+
+from ..algorithms.grover import grover
+from ..algorithms.qft import qft
+from ..algorithms.supremacy import supremacy
+from ..circuit.circuit import QuantumCircuit
+from ..core.indistinguishability import two_sample_chi_square
+from ..core.weak_sim import simulate_and_sample
+from ..simulators.dd_simulator import DDSimulator
+from .pipeline import optimize_circuit
+
+__all__ = ["FORMAT", "VERSION", "run_harness", "validate_payload", "main"]
+
+FORMAT = "repro-bench-build"
+VERSION = 1
+
+#: Minimum applied-operation reduction (percent) each family must show.
+REDUCTION_FLOOR = 25.0
+
+#: Top-level keys every payload must carry, with the per-section keys.
+_SCHEMA: Dict[str, List[str]] = {
+    "cases": [
+        "name",
+        "num_qubits",
+        "ops_before",
+        "ops_after",
+        "reduction_percent",
+        "build_seconds_unoptimized",
+        "build_seconds_optimized",
+        "build_speedup",
+        "passes",
+    ],
+    "sampling": [
+        "circuit",
+        "shots",
+        "distributions_consistent",
+    ],
+}
+
+
+def _families(smoke: bool) -> List[tuple]:
+    """(name, circuit) per benchmark family; sizes scale with ``smoke``."""
+    if smoke:
+        return [
+            ("qft_8", qft(8)),
+            ("grover_5", grover(5, seed=1).circuit),
+            ("supremacy_3x3_5", supremacy(3, 3, 5, seed=1)),
+        ]
+    return [
+        ("qft_16", qft(16)),
+        ("grover_8", grover(8, seed=1).circuit),
+        ("supremacy_4x4_5", supremacy(4, 4, 5, seed=1)),
+    ]
+
+
+def _bench_case(name: str, circuit: QuantumCircuit, repeats: int = 3) -> Dict:
+    unoptimized = math.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        DDSimulator(optimize=False).run(circuit)
+        unoptimized = min(unoptimized, time.perf_counter() - start)
+    # The optimised timing includes the pipeline itself: what a user pays
+    # end to end, not just the cheaper simulation.
+    optimized = math.inf
+    for _ in range(repeats):
+        simulator = DDSimulator(optimize=True)
+        start = time.perf_counter()
+        simulator.run(circuit)
+        optimized = min(optimized, time.perf_counter() - start)
+    rewrite = simulator.stats.compile_stats
+    before = rewrite["input_operations"]
+    after = rewrite["output_operations"]
+    return {
+        "name": name,
+        "num_qubits": circuit.num_qubits,
+        "ops_before": before,
+        "ops_after": after,
+        "reduction_percent": rewrite["reduction_percent"],
+        "build_seconds_unoptimized": round(unoptimized, 6),
+        "build_seconds_optimized": round(optimized, 6),
+        "build_speedup": round(unoptimized / max(optimized, 1e-9), 2),
+        "passes": rewrite["passes"],
+    }
+
+
+def run_harness(shots: int = 50_000, seed: int = 7, smoke: bool = False) -> Dict:
+    """Execute all harness sections and return the payload dict."""
+    if smoke:
+        shots = min(shots, 4_000)
+    payload: Dict = {
+        "format": FORMAT,
+        "version": VERSION,
+        "config": {"shots": shots, "seed": seed, "smoke": smoke},
+        "cases": [],
+    }
+    families = _families(smoke)
+    for name, circuit in families:
+        payload["cases"].append(_bench_case(name, circuit))
+
+    # -- indistinguishability ---------------------------------------------
+    # Different seeds on purpose: identical streams would make the test
+    # degenerate (identical counts regardless of the rewrite).
+    chi_name, chi_circuit = families[0]
+    optimized = simulate_and_sample(
+        chi_circuit, shots, seed=seed, optimize=True
+    )
+    verbatim = simulate_and_sample(
+        chi_circuit, shots, seed=seed + 1, optimize=False
+    )
+    consistent = bool(
+        two_sample_chi_square(optimized.counts, verbatim.counts).consistent
+    )
+    payload["sampling"] = {
+        "circuit": chi_name,
+        "shots": shots,
+        "distributions_consistent": consistent,
+    }
+    return payload
+
+
+def validate_payload(payload: Dict) -> None:
+    """Raise ``ValueError`` when ``payload`` drifts from the schema."""
+    if payload.get("format") != FORMAT:
+        raise ValueError(f"format must be {FORMAT!r}")
+    if payload.get("version") != VERSION:
+        raise ValueError(f"version must be {VERSION}")
+    if "config" not in payload:
+        raise ValueError("missing section 'config'")
+    for section, keys in _SCHEMA.items():
+        if section not in payload:
+            raise ValueError(f"missing section {section!r}")
+        entries = payload[section]
+        if section == "cases":
+            if not isinstance(entries, list) or not entries:
+                raise ValueError("'cases' must be a non-empty list")
+        else:
+            entries = [entries]
+        for entry in entries:
+            missing = [key for key in keys if key not in entry]
+            if missing:
+                raise ValueError(f"section {section!r} missing keys {missing}")
+    for case in payload["cases"]:
+        if case["reduction_percent"] < REDUCTION_FLOOR:
+            raise ValueError(
+                f"case {case['name']!r} reduction "
+                f"{case['reduction_percent']}% below the "
+                f"{REDUCTION_FLOOR}% floor"
+            )
+    if not payload["sampling"]["distributions_consistent"]:
+        raise ValueError("optimised sampling distribution drifted")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench-build",
+        description="Benchmark the compile pipeline and emit "
+        "BENCH_build.json.",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_build.json", help="output JSON path"
+    )
+    parser.add_argument(
+        "--shots",
+        type=int,
+        default=50_000,
+        help="shots for the indistinguishability check",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="harness RNG seed")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="toy sizes: exercises every section in seconds",
+    )
+    parser.add_argument(
+        "--validate",
+        metavar="FILE",
+        help="validate an existing payload against the schema and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.validate:
+        with open(args.validate, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        try:
+            validate_payload(payload)
+        except ValueError as error:
+            print(f"schema drift: {error}", file=sys.stderr)
+            return 1
+        print(f"{args.validate}: schema ok (version {payload['version']})")
+        return 0
+
+    payload = run_harness(shots=args.shots, seed=args.seed, smoke=args.smoke)
+    validate_payload(payload)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    worst = min(case["reduction_percent"] for case in payload["cases"])
+    print(
+        f"wrote {args.out}: {len(payload['cases'])} families, "
+        f"worst reduction {worst}%, distributions consistent: "
+        f"{payload['sampling']['distributions_consistent']}"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,111 @@
+"""Pipeline driver: pass ordering, fixpoint iteration, rewrite stats.
+
+The default pipeline is
+
+    cancel  →  reorder  →  fuse  →  coalesce
+
+run to a fixpoint (bounded): cancellation first so dead gates never reach
+the later passes, reordering next so diagonal gates line up into runs,
+fusion before coalescing so a fused diagonal product can still join a
+phase block.  Adding a pass means implementing
+``run(circuit) -> (circuit, counters)`` with a ``name`` attribute and
+inserting it into the sequence — see ``docs/architecture.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..circuit.circuit import QuantumCircuit
+from ..dd.complex_table import DEFAULT_TOLERANCE
+from .passes import (
+    CancelInversePairs,
+    CommuteDiagonals,
+    DiagonalCoalescing,
+    SingleQubitFusion,
+)
+
+__all__ = ["CompilePipeline", "CompileStats", "optimize_circuit"]
+
+
+@dataclass
+class CompileStats:
+    """Aggregated rewrite counters for one pipeline run."""
+
+    input_operations: int = 0
+    output_operations: int = 0
+    iterations: int = 0
+    passes: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def operations_removed(self) -> int:
+        return self.input_operations - self.output_operations
+
+    @property
+    def reduction_percent(self) -> float:
+        if self.input_operations == 0:
+            return 0.0
+        return 100.0 * self.operations_removed / self.input_operations
+
+    def to_dict(self) -> Dict:
+        return {
+            "input_operations": self.input_operations,
+            "output_operations": self.output_operations,
+            "operations_removed": self.operations_removed,
+            "reduction_percent": round(self.reduction_percent, 2),
+            "iterations": self.iterations,
+            "passes": {name: dict(c) for name, c in self.passes.items()},
+        }
+
+
+class CompilePipeline:
+    """Runs an ordered sequence of rewrite passes to a fixpoint."""
+
+    def __init__(
+        self,
+        passes: Optional[Sequence] = None,
+        tolerance: float = DEFAULT_TOLERANCE,
+        max_iterations: int = 3,
+    ):
+        if passes is None:
+            passes = (
+                CancelInversePairs(tolerance),
+                CommuteDiagonals(tolerance),
+                SingleQubitFusion(tolerance),
+                DiagonalCoalescing(tolerance),
+            )
+        self.passes = tuple(passes)
+        self.max_iterations = max_iterations
+
+    def run(self, circuit: QuantumCircuit) -> Tuple[QuantumCircuit, CompileStats]:
+        stats = CompileStats(input_operations=circuit.num_operations)
+        current = circuit
+        for _ in range(self.max_iterations):
+            stats.iterations += 1
+            before = list(current)
+            for compile_pass in self.passes:
+                current, counters = compile_pass.run(current)
+                merged = stats.passes.setdefault(compile_pass.name, {})
+                for key, value in counters.items():
+                    merged[key] = merged.get(key, 0) + value
+            if list(current) == before:
+                break
+        stats.output_operations = current.num_operations
+        return current, stats
+
+
+def optimize_circuit(
+    circuit: QuantumCircuit,
+    tolerance: float = DEFAULT_TOLERANCE,
+    pipeline: Optional[CompilePipeline] = None,
+) -> Tuple[QuantumCircuit, CompileStats]:
+    """Optimise ``circuit`` with the default (or a custom) pipeline.
+
+    Returns the rewritten circuit and the rewrite statistics.  The result
+    is exactly unitarily equivalent to the input — measurements, barriers,
+    and global phase included.
+    """
+    if pipeline is None:
+        pipeline = CompilePipeline(tolerance=tolerance)
+    return pipeline.run(circuit)

@@ -65,7 +65,16 @@ class ShotExecutor:
         self,
         circuit: QuantumCircuit,
         scheme: NormalizationScheme = NormalizationScheme.L2,
+        optimize: bool = True,
     ):
+        self.compile_stats: dict = {}
+        if optimize:
+            from ..compile import optimize_circuit
+
+            # Measurements fence every rewrite pass, so optimising the
+            # whole circuit up front is safe for mid-circuit measurement.
+            circuit, rewrite = optimize_circuit(circuit)
+            self.compile_stats = rewrite.to_dict()
         self.circuit = circuit
         self.num_qubits = circuit.num_qubits
         self.package = DDPackage(scheme=scheme)

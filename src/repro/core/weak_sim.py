@@ -147,6 +147,16 @@ def sample_dd(
     return result
 
 
+def _build_metadata(stats) -> dict:
+    """Build-phase diagnostics attached to every result (CLI ``--stats``)."""
+    return {
+        "applied_operations": stats.applied_operations,
+        "strategy_counts": dict(stats.strategy_counts),
+        "diagonal_term_applications": stats.diagonal_term_applications,
+        "compile": dict(stats.compile_stats),
+    }
+
+
 def simulate_and_sample(
     circuit: QuantumCircuit,
     shots: int,
@@ -156,22 +166,31 @@ def simulate_and_sample(
     scheme: NormalizationScheme = NormalizationScheme.L2,
     memory_cap_bytes: int = DEFAULT_MEMORY_CAP,
     workers: Optional[int] = None,
+    optimize: bool = True,
 ) -> SampleResult:
     """Full weak simulation: run ``circuit``, then draw ``shots`` samples.
 
     Raises :class:`~repro.exceptions.MemoryOutError` for vector methods
     whose dense state would exceed ``memory_cap_bytes`` — the "MO" rows
     of the paper's Table I.  ``workers`` enables seed-stable parallel
-    chunked sampling for the default ``"dd"`` method.
+    chunked sampling for the default ``"dd"`` method.  ``optimize``
+    routes the circuit through the compile pipeline first (exact rewrite;
+    pass ``False`` to simulate the circuit verbatim).
     """
     if method in VECTOR_METHODS:
         if workers is not None:
             raise SamplingError("parallel chunked sampling requires method='dd'")
-        simulator = StatevectorSimulator(memory_cap_bytes=memory_cap_bytes)
+        simulator = StatevectorSimulator(
+            memory_cap_bytes=memory_cap_bytes, optimize=optimize
+        )
         statevector = simulator.run(circuit, initial_state=initial_state)
-        return sample_statevector(statevector, shots, method=method, seed=seed)
+        result = sample_statevector(statevector, shots, method=method, seed=seed)
+        result.metadata["build"] = _build_metadata(simulator.stats)
+        return result
     if method in DD_METHODS:
-        dd_simulator = DDSimulator(scheme=scheme)
+        dd_simulator = DDSimulator(scheme=scheme, optimize=optimize)
         state = dd_simulator.run(circuit, initial_state=initial_state)
-        return sample_dd(state, shots, method=method, seed=seed, workers=workers)
+        result = sample_dd(state, shots, method=method, seed=seed, workers=workers)
+        result.metadata["build"] = _build_metadata(dd_simulator.stats)
+        return result
     raise SamplingError(f"unknown weak-simulation method {method!r}")

@@ -21,7 +21,7 @@ from typing import Dict, Tuple
 
 import numpy as np
 
-from ..circuit.operations import Operation
+from ..circuit.operations import DiagonalOperation, Operation
 from ..exceptions import DDError
 from .node import Edge
 from .package import DDPackage
@@ -100,16 +100,26 @@ def circuit_dd(package: DDPackage, circuit, num_qubits: int = None) -> Edge:
         num_qubits = circuit.num_qubits
     result = identity_dd(package, num_qubits)
     for op in circuit.operations:
+        if isinstance(op, DiagonalOperation):
+            for lowered in op.to_operations():
+                result = package.mat_mat(
+                    operation_dd(package, lowered, num_qubits), result
+                )
+            continue
         result = package.mat_mat(operation_dd(package, op, num_qubits), result)
     return result
 
 
 class OperationDDCache:
-    """Cache of operation DDs keyed by the (hashable) operation.
+    """Cache of operation DDs keyed by normalised operation content.
 
     Circuits repeat gates heavily — Grover reuses the same diffusion
     operator hundreds of times — so the DD of each distinct operation is
-    built once per package.
+    built once per package.  The key quantises the gate matrix to the
+    package tolerance, so operations whose matrices agree within
+    tolerance share one entry regardless of gate name or parameter
+    round-off (``z`` and ``p(pi)`` hit the same DD).  Hit/miss counters
+    also feed ``DDPackage.stats()``.
     """
 
     def __init__(self, package: DDPackage, num_qubits: int):
@@ -119,15 +129,27 @@ class OperationDDCache:
         self.hits = 0
         self.misses = 0
 
+    def _key(self, op: Operation) -> tuple:
+        """Quantise the matrix so tolerance-equal operations collide."""
+        quantum = max(self.package.tolerance, 1e-15)
+        matrix = tuple(
+            (round(value.real / quantum), round(value.imag / quantum))
+            for row in op.gate.matrix
+            for value in row
+        )
+        return (matrix, op.targets, op.controls, op.neg_controls)
+
     def get(self, op: Operation) -> Edge:
-        key = (op.gate, op.targets, op.controls, op.neg_controls)
+        key = self._key(op)
         edge = self._cache.get(key)
         if edge is None:
             self.misses += 1
+            self.package.op_cache_misses += 1
             edge = operation_dd(self.package, op, self.num_qubits)
             self._cache[key] = edge
         else:
             self.hits += 1
+            self.package.op_cache_hits += 1
         return edge
 
     def __len__(self) -> int:

@@ -52,6 +52,9 @@ class DDPackage:
         self._matmat_table = ComputeTable("matmat", max_entries=bound)
         self._kron_table = ComputeTable("kron", max_entries=bound)
         self._inner_table = ComputeTable("inner", max_entries=bound)
+        # Aggregated OperationDDCache traffic (all appliers on this package).
+        self.op_cache_hits = 0
+        self.op_cache_misses = 0
 
     # ------------------------------------------------------------------
     # Elementary edges
@@ -599,6 +602,8 @@ class DDPackage:
             "unique_hits": self.unique_table.hits,
             "unique_misses": self.unique_table.misses,
             "complex_entries": len(self.complex_table),
+            "op_cache_hits": self.op_cache_hits,
+            "op_cache_misses": self.op_cache_misses,
         }
         for table in (
             self._add_table,

@@ -26,6 +26,12 @@ class SimulationStats:
     peak_dd_nodes: int = 0
     final_dd_nodes: int = 0
     strategy_counts: Dict[str, int] = field(default_factory=dict)
+    #: Subspace-phase traversals performed inside coalesced diagonal
+    #: blocks (each block counts once in ``strategy_counts["diagonal"]``).
+    diagonal_term_applications: int = 0
+    #: Rewrite counters from the compile pipeline (empty when the run
+    #: was not optimised); see :meth:`repro.compile.CompileStats.to_dict`.
+    compile_stats: Dict = field(default_factory=dict)
 
 
 class StrongSimulator(abc.ABC):

@@ -14,6 +14,7 @@ from typing import Optional
 
 from ..circuit.circuit import QuantumCircuit
 from ..circuit.operations import Barrier, Measurement
+from ..compile import optimize_circuit
 from ..dd.apply import GateApplier
 from ..dd.normalization import NormalizationScheme
 from ..dd.package import DDPackage
@@ -39,10 +40,15 @@ class DDSimulator(StrongSimulator):
         use_fast_paths: bool = True,
         track_peak: bool = False,
         auto_compact_threshold: int = 400_000,
+        optimize: bool = True,
     ):
         self.package = package if package is not None else DDPackage(scheme=scheme)
         self.use_fast_paths = use_fast_paths
         self.track_peak = track_peak
+        #: Run the compile pipeline (:mod:`repro.compile`) on every input
+        #: circuit before simulation.  The rewrite is exactly equivalent;
+        #: disable for apples-to-apples benchmarking of the raw circuit.
+        self.optimize = optimize
         #: Garbage-collect the package when the unique table exceeds this
         #: many nodes (0 disables).  Long iterative circuits (Grover)
         #: otherwise retain every intermediate state ever built.
@@ -60,11 +66,18 @@ class DDSimulator(StrongSimulator):
         the full final state, ready for weak simulation.
         """
         package = self.package
+        compile_stats: dict = {}
+        if self.optimize:
+            circuit, rewrite = optimize_circuit(
+                circuit, tolerance=package.tolerance
+            )
+            compile_stats = rewrite.to_dict()
         applier = GateApplier(
             package, circuit.num_qubits, use_fast_paths=self.use_fast_paths
         )
         state = package.basis_state(circuit.num_qubits, initial_state)
         self._stats = SimulationStats(num_qubits=circuit.num_qubits)
+        self._stats.compile_stats = compile_stats
         peak = package.node_count(state) if self.track_peak else 0
         for instruction in circuit:
             if isinstance(instruction, (Measurement, Barrier)):
@@ -82,6 +95,7 @@ class DDSimulator(StrongSimulator):
                     package, circuit.num_qubits, use_fast_paths=self.use_fast_paths
                 )
         self._stats.strategy_counts = applier.strategy_counts()
+        self._stats.diagonal_term_applications = applier.diagonal_term_applications
         self._stats.final_dd_nodes = package.node_count(state)
         self._stats.peak_dd_nodes = max(peak, self._stats.final_dd_nodes)
         return VectorDD(package, state, circuit.num_qubits)
@@ -109,6 +123,8 @@ class DDSimulator(StrongSimulator):
             raise ValueError("init and iteration must act on the same register")
         package = self.package
         state = self.run(init, initial_state=initial_state)
+        if self.optimize:
+            iteration, _ = optimize_circuit(iteration, tolerance=package.tolerance)
         operator = circuit_dd(package, iteration)
         edge = state.edge
         applied = self._stats.applied_operations
@@ -141,5 +157,6 @@ class DDSimulator(StrongSimulator):
             edge = applier.apply(edge, op)
             self._stats.applied_operations += 1
         self._stats.strategy_counts = applier.strategy_counts()
+        self._stats.diagonal_term_applications = applier.diagonal_term_applications
         self._stats.final_dd_nodes = self.package.node_count(edge)
         return VectorDD(self.package, edge, circuit.num_qubits)

@@ -18,7 +18,8 @@ from typing import Sequence
 import numpy as np
 
 from ..circuit.circuit import QuantumCircuit
-from ..circuit.operations import Barrier, Measurement, Operation
+from ..circuit.operations import Barrier, DiagonalOperation, Measurement, Operation
+from ..compile import optimize_circuit
 from ..dd.stats import vector_bytes
 from ..exceptions import MemoryOutError, SimulationError
 from .base import SimulationStats, StrongSimulator
@@ -31,17 +32,29 @@ __all__ = ["StatevectorSimulator", "apply_operation_dense", "DEFAULT_MEMORY_CAP"
 DEFAULT_MEMORY_CAP = 4 * 1024**3
 
 
-def apply_operation_dense(state: np.ndarray, op: Operation, num_qubits: int) -> None:
+def apply_operation_dense(state: np.ndarray, op, num_qubits: int) -> None:
     """Apply ``op`` to ``state`` in place.
 
     ``state`` must be a contiguous complex array of ``2^num_qubits``
     entries; qubit ``k`` is bit ``k`` of the flat index (so axis
-    ``num_qubits - 1 - k`` of the tensor view).
+    ``num_qubits - 1 - k`` of the tensor view).  Accepts both plain
+    operations and coalesced :class:`DiagonalOperation` blocks (applied
+    as one in-place phase multiplication per term).
     """
     if op.max_qubit >= num_qubits:
         raise SimulationError(
             f"operation touches qubit {op.max_qubit} outside the register"
         )
+    if isinstance(op, DiagonalOperation):
+        view = state.reshape((2,) * num_qubits)
+        for term in op.terms:
+            slicer: list = [slice(None)] * num_qubits
+            for qubit in term.ones:
+                slicer[num_qubits - 1 - qubit] = 1
+            for qubit in term.zeros:
+                slicer[num_qubits - 1 - qubit] = 0
+            view[tuple(slicer)] *= np.exp(1j * term.angle)
+        return
     view = state.reshape((2,) * num_qubits)
     slicer: list = [slice(None)] * num_qubits
     for control in op.controls:
@@ -75,8 +88,12 @@ def apply_operation_dense(state: np.ndarray, op: Operation, num_qubits: int) -> 
 class StatevectorSimulator(StrongSimulator):
     """Array-based strong simulator with memory-out detection."""
 
-    def __init__(self, memory_cap_bytes: int = DEFAULT_MEMORY_CAP):
+    def __init__(
+        self, memory_cap_bytes: int = DEFAULT_MEMORY_CAP, optimize: bool = True
+    ):
         self.memory_cap_bytes = memory_cap_bytes
+        #: Run the compile pipeline on input circuits (see ``repro.compile``).
+        self.optimize = optimize
         self._stats = SimulationStats()
 
     @property
@@ -100,8 +117,13 @@ class StatevectorSimulator(StrongSimulator):
         Measurement instructions are ignored (weak simulation samples from
         the returned amplitudes instead); barriers are skipped.
         """
+        compile_stats: dict = {}
+        if self.optimize:
+            circuit, rewrite = optimize_circuit(circuit)
+            compile_stats = rewrite.to_dict()
         state = self.initial_state(circuit.num_qubits, initial_state)
         self._stats = SimulationStats(num_qubits=circuit.num_qubits)
+        self._stats.compile_stats = compile_stats
         for instruction in circuit:
             if isinstance(instruction, (Measurement, Barrier)):
                 continue

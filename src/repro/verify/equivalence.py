@@ -22,6 +22,7 @@ from typing import Optional, Union
 import numpy as np
 
 from ..circuit.circuit import QuantumCircuit
+from ..circuit.operations import DiagonalOperation
 from ..dd.matrix_dd import OperationDDCache, identity_dd
 from ..dd.normalization import NormalizationScheme
 from ..dd.package import DDPackage
@@ -72,11 +73,20 @@ def check_equivalence(
     package = DDPackage(scheme=NormalizationScheme.LEFTMOST)
     cache = OperationDDCache(package, num_qubits)
     result = identity_dd(package, num_qubits)
-    forward = list(first.operations)
+    def lowered(op):
+        # Coalesced diagonal blocks carry no single gate matrix; expand
+        # them into the phase-gate operations the cache understands.
+        if isinstance(op, DiagonalOperation):
+            return op.to_operations()
+        return [op]
+
+    forward = [piece for op in first.operations for piece in lowered(op)]
     # C2^dagger = op_1^dagger · op_2^dagger · ... as a left-to-right matrix
     # product; appending on the right therefore consumes the inverses in
     # original gate order.
-    backward = [op.inverse() for op in second.operations]
+    backward = [
+        piece for op in second.operations for piece in lowered(op.inverse())
+    ]
     # Interleave proportionally so the product stays near identity when
     # the circuits match (the ASP-DAC 2020 strategy).
     total_f, total_b = len(forward), len(backward)

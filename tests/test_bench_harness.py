@@ -1,9 +1,10 @@
-"""Schema and smoke tests for the sampling benchmark harness."""
+"""Schema and smoke tests for the sampling and compile benchmark harnesses."""
 
 import json
 
 import pytest
 
+from repro.compile import bench as compile_bench
 from repro.perf import bench
 
 
@@ -90,3 +91,89 @@ class TestCLI:
         out.write_text(json.dumps({"format": "other"}))
         assert bench.main(["--validate", str(out)]) == 1
         assert "schema drift" in capsys.readouterr().err
+
+
+@pytest.fixture(scope="module")
+def build_payload():
+    # One compile-harness run shared by the schema tests (smoke sizes).
+    return compile_bench.run_harness(smoke=True)
+
+
+class TestCompileHarness:
+    def test_payload_passes_validation(self, build_payload):
+        compile_bench.validate_payload(build_payload)
+
+    def test_all_sections_present(self, build_payload):
+        for section in ("config", "cases", "sampling"):
+            assert section in build_payload
+
+    def test_reduction_meets_floor_on_every_family(self, build_payload):
+        for case in build_payload["cases"]:
+            assert case["reduction_percent"] >= compile_bench.REDUCTION_FLOOR
+
+    def test_families_covered(self, build_payload):
+        names = {case["name"] for case in build_payload["cases"]}
+        assert any(name.startswith("qft") for name in names)
+        assert any(name.startswith("grover") for name in names)
+        assert any(name.startswith("supremacy") for name in names)
+
+    def test_sampling_indistinguishable(self, build_payload):
+        assert build_payload["sampling"]["distributions_consistent"] is True
+
+    def test_pass_counters_recorded(self, build_payload):
+        for case in build_payload["cases"]:
+            assert set(case["passes"]) == {
+                "cancel",
+                "reorder",
+                "fuse",
+                "coalesce",
+            }
+
+
+class TestCompileValidation:
+    def test_rejects_wrong_format(self, build_payload):
+        bad = dict(build_payload, format="something-else")
+        with pytest.raises(ValueError, match="format"):
+            compile_bench.validate_payload(bad)
+
+    def test_rejects_missing_section(self, build_payload):
+        bad = {k: v for k, v in build_payload.items() if k != "sampling"}
+        with pytest.raises(ValueError, match="sampling"):
+            compile_bench.validate_payload(bad)
+
+    def test_rejects_missing_case_key(self, build_payload):
+        bad = json.loads(json.dumps(build_payload))
+        del bad["cases"][0]["reduction_percent"]
+        with pytest.raises(ValueError, match="reduction_percent"):
+            compile_bench.validate_payload(bad)
+
+    def test_rejects_weak_reduction(self, build_payload):
+        bad = json.loads(json.dumps(build_payload))
+        bad["cases"][0]["reduction_percent"] = 5.0
+        with pytest.raises(ValueError, match="floor"):
+            compile_bench.validate_payload(bad)
+
+
+class TestCompileCLI:
+    def test_main_writes_and_validates(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_build.json"
+        assert compile_bench.main(["--out", str(out), "--smoke"]) == 0
+        payload = json.loads(out.read_text())
+        compile_bench.validate_payload(payload)
+        assert payload["config"]["smoke"] is True
+        assert "worst reduction" in capsys.readouterr().out
+
+    def test_main_validate_mode(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_build.json"
+        compile_bench.main(["--out", str(out), "--smoke"])
+        capsys.readouterr()
+        assert compile_bench.main(["--validate", str(out)]) == 0
+        assert "schema ok" in capsys.readouterr().out
+
+    def test_committed_artifact_passes_schema(self):
+        import pathlib
+
+        artifact = pathlib.Path(__file__).parent.parent / "BENCH_build.json"
+        if not artifact.exists():
+            pytest.skip("BENCH_build.json not generated")
+        compile_bench.validate_payload(json.loads(artifact.read_text()))

@@ -1,0 +1,650 @@
+"""Tests for the circuit compile pipeline (:mod:`repro.compile`).
+
+Covers the diagonal IR (:class:`PhaseTerm` / :class:`DiagonalOperation`),
+each rewrite pass in isolation, metamorphic equivalence of the full
+pipeline on benchmark families and random circuits, idempotence and
+never-grows properties, the operation-DD cache normalisation, and the
+integration points (simulators, executor, CLI, QASM, drawer).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms.grover import grover
+from repro.algorithms.qft import qft
+from repro.algorithms.supremacy import supremacy
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.drawer import draw
+from repro.circuit.gates import GATE_REGISTRY, gphase_gate, phase_gate
+from repro.circuit.operations import DiagonalOperation, Operation, PhaseTerm
+from repro.circuit.qasm import parse_qasm, to_qasm
+from repro.compile import (
+    CancelInversePairs,
+    CommuteDiagonals,
+    CompilePipeline,
+    DiagonalCoalescing,
+    SingleQubitFusion,
+    diagonal_phase_terms,
+    optimize_circuit,
+)
+from repro.core.indistinguishability import two_sample_chi_square
+from repro.core.shot_executor import ShotExecutor
+from repro.core.weak_sim import simulate_and_sample
+from repro.dd.matrix_dd import OperationDDCache
+from repro.dd.package import DDPackage
+from repro.simulators.dd_simulator import DDSimulator
+from repro.simulators.statevector import StatevectorSimulator
+from repro.verify.equivalence import check_equivalence
+
+
+def random_circuit(num_qubits: int, depth: int, seed: int) -> QuantumCircuit:
+    """A seeded mixed circuit: 1q gates, CX, and plenty of diagonals."""
+    rng = np.random.default_rng(seed)
+    circuit = QuantumCircuit(num_qubits, name=f"random_{seed}")
+    one_qubit = ("h", "x", "s", "t", "sdg", "tdg", "z")
+    for _ in range(depth):
+        choice = rng.integers(5)
+        qubit = int(rng.integers(num_qubits))
+        if choice == 0:
+            getattr(circuit, one_qubit[int(rng.integers(len(one_qubit)))])(qubit)
+        elif choice == 1:
+            other = int(rng.integers(num_qubits - 1))
+            other += other >= qubit
+            circuit.cx(qubit, other)
+        elif choice == 2:
+            circuit.p(float(rng.uniform(-math.pi, math.pi)), qubit)
+        elif choice == 3:
+            other = int(rng.integers(num_qubits - 1))
+            other += other >= qubit
+            circuit.cp(float(rng.uniform(-math.pi, math.pi)), qubit, other)
+        else:
+            circuit.rz(float(rng.uniform(-math.pi, math.pi)), qubit)
+    return circuit
+
+
+def dense_unitary(circuit: QuantumCircuit) -> np.ndarray:
+    """Full unitary by columns of the dense simulator (small circuits)."""
+    dim = 2**circuit.num_qubits
+    simulator = StatevectorSimulator(optimize=False)
+    columns = [
+        simulator.run(circuit, initial_state=basis) for basis in range(dim)
+    ]
+    return np.stack(columns, axis=1)
+
+
+def assert_same_unitary(first: QuantumCircuit, second: QuantumCircuit,
+                        up_to_global_phase: bool = False) -> None:
+    a, b = dense_unitary(first), dense_unitary(second)
+    if up_to_global_phase:
+        index = np.unravel_index(np.argmax(np.abs(a)), a.shape)
+        b = b * (a[index] / b[index])
+    np.testing.assert_allclose(a, b, atol=1e-8)
+
+
+class TestPhaseTerm:
+    def test_disjoint_validation(self):
+        from repro.exceptions import CircuitError
+
+        with pytest.raises(CircuitError):
+            PhaseTerm(ones=frozenset({0}), zeros=frozenset({0}), angle=1.0)
+
+    def test_qubits_union(self):
+        term = PhaseTerm(ones=frozenset({2}), zeros=frozenset({0}), angle=0.5)
+        assert term.qubits == frozenset({0, 2})
+
+
+class TestDiagonalOperation:
+    def test_full_matrix_matches_phase_gate(self):
+        term = PhaseTerm(ones=frozenset({1}), angle=0.7)
+        block = DiagonalOperation(terms=(term,))
+        expected = np.diag(
+            [np.exp(0.7j) if (i >> 1) & 1 else 1.0 for i in range(4)]
+        )
+        np.testing.assert_allclose(block.full_matrix(2), expected, atol=1e-12)
+
+    def test_inverse_negates_angles(self):
+        block = DiagonalOperation(
+            terms=(PhaseTerm(ones=frozenset({0}), angle=0.3),)
+        )
+        product = block.full_matrix(1) @ block.inverse().full_matrix(1)
+        np.testing.assert_allclose(product, np.eye(2), atol=1e-12)
+
+    def test_to_operations_reconstructs_matrix(self):
+        terms = (
+            PhaseTerm(ones=frozenset({0}), angle=0.4),
+            PhaseTerm(ones=frozenset({0, 1}), angle=-1.1),
+        )
+        block = DiagonalOperation(terms=terms)
+        circuit = QuantumCircuit(2)
+        for op in block.to_operations():
+            circuit.append(op)
+        reference = QuantumCircuit(2)
+        reference.append(block)
+        assert_same_unitary(circuit, reference)
+
+    def test_controlled_adds_control_to_every_term(self):
+        circuit = QuantumCircuit(2)
+        circuit.append(
+            DiagonalOperation(terms=(PhaseTerm(ones=frozenset({0}), angle=0.9),))
+        )
+        controlled = circuit.controlled(2)
+        (block,) = controlled.operations
+        assert isinstance(block, DiagonalOperation)
+        assert block.terms[0].ones == frozenset({0, 2})
+
+
+class TestDiagonalPhaseTerms:
+    @pytest.mark.parametrize("name,args", [
+        ("z", ()), ("s", ()), ("t", ()), ("sdg", ()),
+        ("p", (0.37,)), ("rz", (-1.2,)),
+    ])
+    def test_single_qubit_diagonals(self, name, args):
+        gate = GATE_REGISTRY[name](*args)
+        op = Operation(gate=gate, targets=(0,))
+        terms = diagonal_phase_terms(op)
+        reference = QuantumCircuit(1)
+        reference.append(op)
+        rebuilt = QuantumCircuit(1)
+        rebuilt.append(DiagonalOperation(terms=tuple(terms)))
+        assert_same_unitary(reference, rebuilt)
+
+    def test_controls_fold_into_ones(self):
+        op = Operation(
+            gate=phase_gate(0.5), targets=(0,), controls=frozenset({2})
+        )
+        (term,) = diagonal_phase_terms(op)
+        assert term.ones == frozenset({0, 2})
+
+    def test_two_qubit_diagonal_moebius(self):
+        circuit = QuantumCircuit(2)
+        circuit.rzz(0.8, 0, 1)
+        (op,) = circuit.operations
+        terms = diagonal_phase_terms(op)
+        rebuilt = QuantumCircuit(2)
+        rebuilt.append(DiagonalOperation(terms=tuple(terms)))
+        assert_same_unitary(circuit, rebuilt)
+
+    def test_non_diagonal_returns_none(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        assert diagonal_phase_terms(circuit.operations[0]) is None
+
+
+class TestCancelInversePairs:
+    def test_hh_cancels(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0).h(0)
+        optimized, counters = CancelInversePairs().run(circuit)
+        assert optimized.num_operations == 0
+        assert counters["pairs_cancelled"] == 1
+
+    def test_cascading_cancellation(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0).x(0).x(0).h(0)
+        optimized, _ = CancelInversePairs().run(circuit)
+        assert optimized.num_operations == 0
+
+    def test_cx_pair_cancels(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1).cx(0, 1)
+        optimized, _ = CancelInversePairs().run(circuit)
+        assert optimized.num_operations == 0
+
+    def test_opposite_phases_cancel(self):
+        circuit = QuantumCircuit(1)
+        circuit.p(0.7, 0).p(-0.7, 0)
+        optimized, _ = CancelInversePairs().run(circuit)
+        assert optimized.num_operations == 0
+
+    def test_identity_gate_removed(self):
+        circuit = QuantumCircuit(1)
+        circuit.i(0).h(0)
+        optimized, counters = CancelInversePairs().run(circuit)
+        assert optimized.num_operations == 1
+        assert counters["identities_removed"] == 1
+
+    def test_measurement_fences(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        circuit.measure(0)
+        circuit.h(0)
+        optimized, counters = CancelInversePairs().run(circuit)
+        assert optimized.num_operations == 2
+        assert counters["pairs_cancelled"] == 0
+
+    def test_interleaved_wire_blocks_cancellation(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1).x(1).cx(0, 1)
+        optimized, _ = CancelInversePairs().run(circuit)
+        assert optimized.num_operations == 3
+
+
+class TestSingleQubitFusion:
+    def test_run_fuses_to_u3(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0).s(0).h(0)
+        optimized, counters = SingleQubitFusion().run(circuit)
+        assert optimized.num_operations == 1
+        assert optimized.operations[0].gate.name == "u3"
+        assert counters["runs_fused"] == 1
+        assert counters["gates_eliminated"] == 2
+        assert_same_unitary(circuit, optimized)
+
+    def test_identity_product_dropped(self):
+        circuit = QuantumCircuit(1)
+        circuit.x(0).x(0)
+        optimized, counters = SingleQubitFusion().run(circuit)
+        assert optimized.num_operations == 0
+        assert counters["gates_eliminated"] == 2
+
+    def test_pure_phase_becomes_gphase(self):
+        circuit = QuantumCircuit(1)
+        circuit.z(0).x(0).z(0).x(0)  # X·Z·X·Z = -I
+        optimized, _ = SingleQubitFusion().run(circuit)
+        assert optimized.num_operations == 1
+        assert optimized.operations[0].gate.name == "gphase"
+        assert_same_unitary(circuit, optimized)
+
+    def test_single_gate_untouched(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        optimized, counters = SingleQubitFusion().run(circuit)
+        assert optimized.operations[0].gate.name == "h"
+        assert counters["runs_fused"] == 0
+
+    def test_controlled_gate_breaks_run(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).cx(1, 0).h(0)
+        optimized, counters = SingleQubitFusion().run(circuit)
+        assert optimized.num_operations == 3
+        assert counters["runs_fused"] == 0
+
+    def test_measurement_flushes_run(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0).s(0)
+        circuit.measure(0)
+        circuit.t(0)
+        optimized, _ = SingleQubitFusion().run(circuit)
+        names = [
+            op.gate.name for op in optimized.operations
+        ]
+        assert names == ["u3", "t"]
+
+
+class TestCommuteDiagonals:
+    def test_diagonal_slides_left_to_join_run(self):
+        circuit = QuantumCircuit(2)
+        circuit.t(0)
+        circuit.h(1)  # disjoint wire: the z on 0 can slide past it
+        circuit.z(0)
+        optimized, counters = CommuteDiagonals().run(circuit)
+        assert counters["moves"] == 1
+        names = [op.gate.name for op in optimized.operations]
+        assert names == ["t", "z", "h"]
+
+    def test_no_gratuitous_moves(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(1)
+        circuit.z(0)  # would slide left but lands next to nothing diagonal
+        optimized, counters = CommuteDiagonals().run(circuit)
+        assert counters["moves"] == 0
+        names = [op.gate.name for op in optimized.operations]
+        assert names == ["h", "z"]
+
+    def test_diagonal_slides_past_own_wire_control(self):
+        circuit = QuantumCircuit(2)
+        circuit.t(0)
+        circuit.cx(0, 1)  # qubit 0 is the control: commutes with diagonals
+        circuit.z(0)
+        optimized, counters = CommuteDiagonals().run(circuit)
+        assert counters["moves"] == 1
+        names = [op.gate.name for op in optimized.operations]
+        assert names == ["t", "z", "x"]
+        assert_same_unitary(circuit, optimized)
+
+    def test_blocked_by_non_commuting_gate(self):
+        circuit = QuantumCircuit(1)
+        circuit.t(0).h(0).z(0)
+        optimized, counters = CommuteDiagonals().run(circuit)
+        assert counters["moves"] == 0
+        names = [op.gate.name for op in optimized.operations]
+        assert names == ["t", "h", "z"]
+
+
+class TestDiagonalCoalescing:
+    def test_same_wire_phases_merge(self):
+        circuit = QuantumCircuit(1)
+        circuit.t(0).t(0)
+        optimized, counters = DiagonalCoalescing().run(circuit)
+        (block,) = optimized.operations
+        assert isinstance(block, DiagonalOperation)
+        assert len(block.terms) == 1
+        assert block.terms[0].angle == pytest.approx(math.pi / 2)
+        assert counters["runs_coalesced"] == 1
+
+    def test_opposite_phases_vanish(self):
+        circuit = QuantumCircuit(2)
+        circuit.cz(0, 1).cz(0, 1)
+        optimized, counters = DiagonalCoalescing().run(circuit)
+        assert optimized.num_operations == 0
+        assert counters["phases_cancelled"] == 1
+
+    def test_lone_diagonal_gate_untouched(self):
+        circuit = QuantumCircuit(1)
+        circuit.t(0)
+        optimized, _ = DiagonalCoalescing().run(circuit)
+        assert optimized.operations[0].gate.name == "t"
+
+    def test_mixed_run_coalesces_across_wires(self):
+        circuit = QuantumCircuit(3)
+        circuit.t(0)
+        circuit.cz(1, 2)
+        circuit.p(0.4, 1)
+        optimized, counters = DiagonalCoalescing().run(circuit)
+        (block,) = optimized.operations
+        assert isinstance(block, DiagonalOperation)
+        assert counters["gates_coalesced"] == 2
+        assert_same_unitary(circuit, optimized)
+
+
+FAMILIES = [
+    ("qft_5", lambda: qft(5)),
+    ("grover_4", lambda: grover(4, seed=3).circuit),
+    ("supremacy_2x3_5", lambda: supremacy(2, 3, 5, seed=2)),
+    ("random_11", lambda: random_circuit(4, 60, seed=11)),
+    ("random_12", lambda: random_circuit(5, 80, seed=12)),
+]
+
+
+class TestPipelineMetamorphic:
+    """Optimised circuit ≡ original — exactly, including global phase."""
+
+    @pytest.mark.parametrize("name,factory", FAMILIES)
+    def test_dd_equivalence(self, name, factory):
+        circuit = factory()
+        optimized, _ = optimize_circuit(circuit)
+        result = check_equivalence(circuit, optimized, up_to_global_phase=False)
+        assert result.equivalent, name
+
+    @pytest.mark.parametrize("name,factory", FAMILIES[:1] + FAMILIES[3:])
+    def test_dense_unitary_equality(self, name, factory):
+        circuit = factory()
+        optimized, _ = optimize_circuit(circuit)
+        assert_same_unitary(circuit, optimized)
+
+    @pytest.mark.parametrize("seed", [21, 22, 23, 24, 25])
+    def test_random_circuits_exact(self, seed):
+        circuit = random_circuit(4, 50, seed=seed)
+        optimized, _ = optimize_circuit(circuit)
+        assert_same_unitary(circuit, optimized)
+
+    def test_statevector_agreement(self):
+        circuit = random_circuit(5, 70, seed=31)
+        optimized = StatevectorSimulator(optimize=True).run(circuit)
+        verbatim = StatevectorSimulator(optimize=False).run(circuit)
+        np.testing.assert_allclose(optimized, verbatim, atol=1e-8)
+
+
+class TestPipelineProperties:
+    @pytest.mark.parametrize("name,factory", FAMILIES)
+    def test_idempotent(self, name, factory):
+        circuit = factory()
+        once, _ = optimize_circuit(circuit)
+        twice, stats = optimize_circuit(once)
+        assert list(twice) == list(once), name
+        assert stats.operations_removed == 0
+
+    @pytest.mark.parametrize("seed", range(40, 48))
+    def test_gate_count_never_increases(self, seed):
+        circuit = random_circuit(4, 40, seed=seed)
+        optimized, stats = optimize_circuit(circuit)
+        assert optimized.num_operations <= circuit.num_operations
+        assert stats.output_operations <= stats.input_operations
+
+    @pytest.mark.parametrize("seed", range(50, 54))
+    def test_each_pass_never_increases_count(self, seed):
+        circuit = random_circuit(4, 40, seed=seed)
+        for pass_class in (
+            CancelInversePairs,
+            CommuteDiagonals,
+            SingleQubitFusion,
+            DiagonalCoalescing,
+        ):
+            rewritten, _ = pass_class().run(circuit)
+            assert rewritten.num_operations <= circuit.num_operations
+
+    def test_reduction_counters_consistent(self):
+        circuit = qft(6)
+        optimized, stats = optimize_circuit(circuit)
+        assert stats.input_operations == circuit.num_operations
+        assert stats.output_operations == optimized.num_operations
+        assert stats.operations_removed == (
+            stats.input_operations - stats.output_operations
+        )
+        assert 0.0 <= stats.reduction_percent <= 100.0
+
+    @pytest.mark.parametrize("name,factory", FAMILIES[:3])
+    def test_benchmark_families_hit_reduction_floor(self, name, factory):
+        circuit = factory()
+        _, stats = optimize_circuit(circuit)
+        assert stats.reduction_percent >= 25.0, name
+
+
+class TestApplierIntegration:
+    def test_diagonal_block_applied_in_one_operation(self):
+        circuit = qft(6)
+        simulator = DDSimulator(optimize=True)
+        simulator.run(circuit)
+        stats = simulator.stats
+        assert stats.applied_operations < circuit.num_operations
+        # Coalesced blocks count once but traverse once per term.
+        assert stats.diagonal_term_applications >= stats.strategy_counts[
+            "diagonal"
+        ]
+
+    def test_strategy_counts_keys_stable(self):
+        simulator = DDSimulator(optimize=True)
+        simulator.run(qft(4))
+        assert set(simulator.stats.strategy_counts) == {
+            "diagonal",
+            "descent",
+            "matvec",
+        }
+
+    def test_sampling_distribution_unchanged(self):
+        circuit = qft(7)
+        optimized = simulate_and_sample(circuit, 20_000, seed=5, optimize=True)
+        verbatim = simulate_and_sample(circuit, 20_000, seed=6, optimize=False)
+        assert two_sample_chi_square(
+            optimized.counts, verbatim.counts
+        ).consistent
+
+    def test_metadata_records_compile_stats(self):
+        result = simulate_and_sample(qft(4), 100, seed=0, optimize=True)
+        build = result.metadata["build"]
+        assert build["compile"]["input_operations"] == qft(4).num_operations
+        assert build["compile"]["passes"]
+        disabled = simulate_and_sample(qft(4), 100, seed=0, optimize=False)
+        assert disabled.metadata["build"]["compile"] == {}
+
+
+class TestOperationDDCacheNormalization:
+    def test_equal_matrices_share_entry(self):
+        package = DDPackage()
+        cache = OperationDDCache(package, 1)
+        circuit = QuantumCircuit(1)
+        circuit.z(0)
+        circuit.p(math.pi, 0)
+        z_op, p_op = circuit.operations
+        first = cache.get(z_op)
+        second = cache.get(p_op)
+        assert first is second
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_package_stats_expose_counters(self):
+        package = DDPackage()
+        cache = OperationDDCache(package, 1)
+        circuit = QuantumCircuit(1)
+        circuit.z(0)
+        cache.get(circuit.operations[0])
+        cache.get(circuit.operations[0])
+        stats = package.stats()
+        assert stats["op_cache_misses"] == 1
+        assert stats["op_cache_hits"] == 1
+
+    def test_different_targets_not_shared(self):
+        package = DDPackage()
+        cache = OperationDDCache(package, 2)
+        circuit = QuantumCircuit(2)
+        circuit.z(0)
+        circuit.z(1)
+        first, second = (cache.get(op) for op in circuit.operations)
+        assert first is not second
+
+
+class TestShotExecutorWithPipeline:
+    def _mid_circuit(self) -> QuantumCircuit:
+        circuit = QuantumCircuit(2)
+        circuit.h(0).t(0).tdg(0)  # fodder for the optimizer
+        circuit.measure(0)
+        circuit.h(1).cx(1, 0)
+        circuit.measure_all()
+        return circuit
+
+    def test_optimized_executor_distribution_consistent(self):
+        circuit = self._mid_circuit()
+        optimized = ShotExecutor(circuit, optimize=True).run(20_000, seed=1)
+        verbatim = ShotExecutor(circuit, optimize=False).run(20_000, seed=2)
+        assert two_sample_chi_square(
+            optimized.counts, verbatim.counts
+        ).consistent
+
+    def test_compile_stats_attached(self):
+        executor = ShotExecutor(self._mid_circuit(), optimize=True)
+        assert executor.compile_stats["input_operations"] == 5
+        assert ShotExecutor(self._mid_circuit(), optimize=False).compile_stats == {}
+
+
+class TestQasmRoundTrip:
+    def test_optimized_qft_round_trips(self):
+        optimized, _ = optimize_circuit(qft(5))
+        recovered = parse_qasm(to_qasm(optimized))
+        result = check_equivalence(optimized, recovered)
+        assert result.equivalent
+
+    def test_fused_u3_round_trips_up_to_phase(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0).s(0).h(0).t(0)
+        optimized, _ = optimize_circuit(circuit)
+        assert any(op.gate.name == "u3" for op in optimized.operations)
+        recovered = parse_qasm(to_qasm(optimized))
+        assert check_equivalence(optimized, recovered).equivalent
+
+    def test_diagonal_block_round_trips(self):
+        circuit = QuantumCircuit(3)
+        circuit.t(0)
+        circuit.cp(0.8, 0, 1)
+        circuit.cz(1, 2)
+        optimized, _ = optimize_circuit(circuit)
+        assert any(
+            isinstance(op, DiagonalOperation) for op in optimized.operations
+        )
+        recovered = parse_qasm(to_qasm(optimized))
+        assert check_equivalence(optimized, recovered).equivalent
+
+    def test_random_circuits_round_trip(self):
+        for seed in (61, 62):
+            optimized, _ = optimize_circuit(random_circuit(4, 40, seed=seed))
+            recovered = parse_qasm(to_qasm(optimized))
+            assert check_equivalence(optimized, recovered).equivalent
+
+
+class TestDrawer:
+    def test_diagonal_block_glyph(self):
+        circuit = QuantumCircuit(2)
+        circuit.t(0).cz(0, 1)
+        optimized, _ = optimize_circuit(circuit)
+        assert any(
+            isinstance(op, DiagonalOperation) for op in optimized.operations
+        )
+        assert "◆" in draw(optimized)
+
+    def test_u3_label_shows_parameters(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0).s(0).h(0).t(0)
+        optimized, _ = optimize_circuit(circuit)
+        art = draw(optimized)
+        assert "U3(" in art
+
+
+class TestGphaseGate:
+    def test_matrix_is_scalar_phase(self):
+        gate = gphase_gate(0.9)
+        np.testing.assert_allclose(
+            gate.array, np.exp(0.9j) * np.eye(2), atol=1e-12
+        )
+
+    def test_in_registry(self):
+        assert GATE_REGISTRY["gphase"](0.3).name == "gphase"
+
+
+class TestCLI:
+    @pytest.fixture()
+    def qasm_file(self, tmp_path):
+        path = tmp_path / "qft.qasm"
+        path.write_text(to_qasm(qft(4)))
+        return str(path)
+
+    def test_stats_show_optimizer_counters(self, qasm_file, capsys):
+        from repro.cli import main
+
+        assert main([qasm_file, "--shots", "50", "--seed", "1", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "before optimization" in out
+        assert "optimizer coalesce" in out
+        assert "diagonal terms=" in out
+
+    def test_no_optimize_flag(self, qasm_file, capsys):
+        from repro.cli import main
+
+        assert main(
+            [qasm_file, "--shots", "50", "--seed", "1", "--stats", "--no-optimize"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "before optimization" not in out
+
+    def test_pipeline_knob_reduces_count(self, qasm_file, capsys):
+        from repro.cli import main
+
+        main([qasm_file, "--shots", "50", "--seed", "1", "--stats"])
+        optimized_out = capsys.readouterr().out
+        main([qasm_file, "--shots", "50", "--seed", "1", "--stats", "--no-optimize"])
+        verbatim_out = capsys.readouterr().out
+        # Same circuit, fewer applied operations with the pipeline on.
+        def applied(text):
+            for line in text.splitlines():
+                if line.startswith("build:"):
+                    return int(line.split()[1])
+            raise AssertionError("no build line")
+
+        assert applied(optimized_out) < applied(verbatim_out)
+
+
+class TestCustomPipeline:
+    def test_pass_subset(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0).h(0).t(0).t(0)
+        pipeline = CompilePipeline(passes=[CancelInversePairs()])
+        optimized, stats = pipeline.run(circuit)
+        # Only cancellation ran: T·T stays as two gates.
+        assert optimized.num_operations == 2
+        assert "coalesce" not in stats.passes
+
+    def test_iteration_cap_respected(self):
+        circuit = random_circuit(4, 30, seed=71)
+        pipeline = CompilePipeline(max_iterations=1)
+        _, stats = pipeline.run(circuit)
+        assert stats.iterations == 1
