@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-sampling bench-compile bench-smoke quick-table full-table figures shapes examples clean
+.PHONY: install test bench bench-sampling bench-compile bench-smoke docs-check quick-table full-table figures shapes examples clean
 
 install:
 	PIP_NO_BUILD_ISOLATION=false pip install -e .
@@ -29,6 +29,11 @@ bench-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.compile.bench --smoke --out BENCH_build_smoke.json
 	PYTHONPATH=src $(PYTHON) -m repro.compile.bench --validate BENCH_build_smoke.json
 	rm -f BENCH_build_smoke.json
+
+# Docstring-coverage gate: every public definition must be documented
+# (also runs inside the test suite via tests/test_docstrings.py).
+docs-check:
+	$(PYTHON) tools/check_docstrings.py
 
 quick-table:
 	$(PYTHON) -m repro.evaluation table1 --tier quick --shots 100000

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Observability walkthrough: trace a QFT-12 weak simulation.
+
+Attaches a :class:`repro.telemetry.Telemetry` session to one
+``simulate_and_sample`` call, then shows the three things the session
+captured:
+
+* the **phase breakdown** — how the wall time split across compile,
+  build (strong simulation), sampling precompute, and sampling,
+* the **hot spans** — which gates the build actually spent its time on,
+* the **metrics snapshot** — every counter the stack produced (rewrite
+  counts, applier strategy routing, compute-table hit rates) in one
+  dict.
+
+The same data round-trips through the JSONL trace format, so the demo
+ends by exporting the trace and re-rendering it from disk the way
+``python -m repro.telemetry.report`` would.
+
+Run:  python examples/telemetry_demo.py
+"""
+
+import os
+import tempfile
+
+from repro import simulate_and_sample
+from repro.algorithms import qft
+from repro.telemetry import Telemetry, read_trace
+from repro.telemetry.report import format_phase_table, hot_spans
+
+
+def main() -> None:
+    circuit = qft(12)
+    circuit.measure_all()
+    print(f"qft_12: {circuit.num_qubits} qubits, {circuit.num_operations} gates")
+
+    telemetry = Telemetry()
+    result = simulate_and_sample(circuit, 100_000, seed=0, telemetry=telemetry)
+    print(f"sampled {result.shots} shots, {result.distinct_outcomes} distinct\n")
+
+    # -- phase breakdown (straight from the in-memory session) ----------
+    trace = {
+        "header": {},
+        "spans": [s.to_dict() for s in telemetry.tracer.spans],
+        "probes": telemetry.prober.records,
+        "metrics": telemetry.registry.snapshot(),
+    }
+    print(format_phase_table(trace))
+
+    print("\nhot spans:")
+    for entry in hot_spans(trace, top=5):
+        print(f"  {entry['span']:<24} x{entry['count']:<5} {entry['seconds']:.6f} s")
+
+    # -- the unified metrics snapshot -----------------------------------
+    snapshot = telemetry.registry.snapshot()
+    print("\nselected metrics:")
+    for name in (
+        "compile.input_operations",
+        "compile.output_operations",
+        "build.applied_operations",
+        "apply.strategy.diagonal",
+        "apply.strategy.descent",
+        "sample.shots",
+    ):
+        print(f"  {name} = {snapshot['counters'].get(name, 0)}")
+    print(f"  dd.matvec_hit_rate = {snapshot['gauges'].get('dd.matvec_hit_rate')}")
+
+    # -- JSONL round trip -----------------------------------------------
+    path = os.path.join(tempfile.mkdtemp(), "qft12_trace.jsonl")
+    records = telemetry.export(path)
+    reread = read_trace(path)
+    print(
+        f"\nexported {records} records to {path}; "
+        f"re-read {len(reread['spans'])} spans, "
+        f"{len(reread['probes'])} probes "
+        f"(render: python -m repro.telemetry.report {path})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -48,10 +48,12 @@ class GroverInstance:
 
     @property
     def num_qubits(self) -> int:
+        """Data qubits plus the oracle ancilla."""
         return self.num_data_qubits + 1
 
     @property
     def expected_success_probability(self) -> float:
+        """sin^2((2k+1) theta) for k iterations."""
         return success_probability(self.num_data_qubits, self.iterations)
 
     def data_value(self, sample: int) -> int:

@@ -84,6 +84,7 @@ class DeutschJozsaInstance:
     is_constant: bool
 
     def data_value(self, sample: int) -> int:
+        """The hidden bit pattern the oracle encodes."""
         return sample & ((1 << self.num_data_qubits) - 1)
 
     def verdict(self, data_value: int) -> str:

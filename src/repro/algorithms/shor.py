@@ -60,6 +60,7 @@ class ShorLayout:
 
     @property
     def num_qubits(self) -> int:
+        """Total register width: counting + work + ancilla qubits."""
         return self.precision + 2 * self.num_bits + 2
 
     def counting_value(self, sample: int) -> int:

@@ -48,6 +48,7 @@ class QuantumCircuit:
 
     @property
     def instructions(self) -> Sequence[object]:
+        """Every instruction — operations, measurements, barriers — in order."""
         return tuple(self._instructions)
 
     @property
@@ -104,51 +105,67 @@ class QuantumCircuit:
     # ------------------------------------------------------------------
 
     def i(self, qubit: int) -> "QuantumCircuit":
+        """Append an identity gate on ``qubit``."""
         return self.apply(g.identity_gate(), qubit)
 
     def x(self, qubit: int) -> "QuantumCircuit":
+        """Append a Pauli-X (NOT) gate on ``qubit``."""
         return self.apply(g.x_gate(), qubit)
 
     def y(self, qubit: int) -> "QuantumCircuit":
+        """Append a Pauli-Y gate on ``qubit``."""
         return self.apply(g.y_gate(), qubit)
 
     def z(self, qubit: int) -> "QuantumCircuit":
+        """Append a Pauli-Z gate on ``qubit``."""
         return self.apply(g.z_gate(), qubit)
 
     def h(self, qubit: int) -> "QuantumCircuit":
+        """Append a Hadamard gate on ``qubit``."""
         return self.apply(g.h_gate(), qubit)
 
     def s(self, qubit: int) -> "QuantumCircuit":
+        """Append an S (sqrt-Z phase) gate on ``qubit``."""
         return self.apply(g.s_gate(), qubit)
 
     def sdg(self, qubit: int) -> "QuantumCircuit":
+        """Append an S-dagger gate on ``qubit``."""
         return self.apply(g.sdg_gate(), qubit)
 
     def t(self, qubit: int) -> "QuantumCircuit":
+        """Append a T (pi/8 phase) gate on ``qubit``."""
         return self.apply(g.t_gate(), qubit)
 
     def tdg(self, qubit: int) -> "QuantumCircuit":
+        """Append a T-dagger gate on ``qubit``."""
         return self.apply(g.tdg_gate(), qubit)
 
     def sx(self, qubit: int) -> "QuantumCircuit":
+        """Append a sqrt-X gate on ``qubit``."""
         return self.apply(g.sx_gate(), qubit)
 
     def sy(self, qubit: int) -> "QuantumCircuit":
+        """Append a sqrt-Y gate on ``qubit``."""
         return self.apply(g.sy_gate(), qubit)
 
     def rx(self, theta: float, qubit: int) -> "QuantumCircuit":
+        """Append an X-rotation by ``theta`` on ``qubit``."""
         return self.apply(g.rx_gate(theta), qubit)
 
     def ry(self, theta: float, qubit: int) -> "QuantumCircuit":
+        """Append a Y-rotation by ``theta`` on ``qubit``."""
         return self.apply(g.ry_gate(theta), qubit)
 
     def rz(self, theta: float, qubit: int) -> "QuantumCircuit":
+        """Append a Z-rotation by ``theta`` on ``qubit``."""
         return self.apply(g.rz_gate(theta), qubit)
 
     def p(self, theta: float, qubit: int) -> "QuantumCircuit":
+        """Append a phase gate diag(1, e^{i theta}) on ``qubit``."""
         return self.apply(g.phase_gate(theta), qubit)
 
     def u3(self, theta: float, phi: float, lam: float, qubit: int) -> "QuantumCircuit":
+        """Append the general single-qubit unitary U3(theta, phi, lambda)."""
         return self.apply(g.u3_gate(theta, phi, lam), qubit)
 
     # ------------------------------------------------------------------
@@ -160,6 +177,7 @@ class QuantumCircuit:
         return self.apply(g.x_gate(), target, controls=(control,))
 
     def cy(self, control: int, target: int) -> "QuantumCircuit":
+        """Controlled-Y."""
         return self.apply(g.y_gate(), target, controls=(control,))
 
     def cz(self, control: int, target: int) -> "QuantumCircuit":
@@ -167,6 +185,7 @@ class QuantumCircuit:
         return self.apply(g.z_gate(), target, controls=(control,))
 
     def ch(self, control: int, target: int) -> "QuantumCircuit":
+        """Controlled-Hadamard."""
         return self.apply(g.h_gate(), target, controls=(control,))
 
     def cp(self, theta: float, control: int, target: int) -> "QuantumCircuit":
@@ -174,12 +193,15 @@ class QuantumCircuit:
         return self.apply(g.phase_gate(theta), target, controls=(control,))
 
     def crx(self, theta: float, control: int, target: int) -> "QuantumCircuit":
+        """Controlled X-rotation by ``theta``."""
         return self.apply(g.rx_gate(theta), target, controls=(control,))
 
     def cry(self, theta: float, control: int, target: int) -> "QuantumCircuit":
+        """Controlled Y-rotation by ``theta``."""
         return self.apply(g.ry_gate(theta), target, controls=(control,))
 
     def crz(self, theta: float, control: int, target: int) -> "QuantumCircuit":
+        """Controlled Z-rotation by ``theta``."""
         return self.apply(g.rz_gate(theta), target, controls=(control,))
 
     def ccx(self, control1: int, control2: int, target: int) -> "QuantumCircuit":
@@ -199,6 +221,7 @@ class QuantumCircuit:
         return self.apply(g.phase_gate(theta), target, controls=tuple(controls))
 
     def swap(self, qubit1: int, qubit2: int) -> "QuantumCircuit":
+        """Exchange two qubits."""
         return self.apply(g.swap_gate(), (qubit1, qubit2))
 
     def cswap(self, control: int, qubit1: int, qubit2: int) -> "QuantumCircuit":
@@ -206,18 +229,23 @@ class QuantumCircuit:
         return self.apply(g.swap_gate(), (qubit1, qubit2), controls=(control,))
 
     def iswap(self, qubit1: int, qubit2: int) -> "QuantumCircuit":
+        """iSWAP: exchange two qubits with an i phase on |01>/|10>."""
         return self.apply(g.iswap_gate(), (qubit1, qubit2))
 
     def rzz(self, theta: float, qubit1: int, qubit2: int) -> "QuantumCircuit":
+        """Two-qubit ZZ interaction by ``theta`` (diagonal)."""
         return self.apply(g.rzz_gate(theta), (qubit1, qubit2))
 
     def rxx(self, theta: float, qubit1: int, qubit2: int) -> "QuantumCircuit":
+        """Two-qubit XX interaction by ``theta``."""
         return self.apply(g.rxx_gate(theta), (qubit1, qubit2))
 
     def ryy(self, theta: float, qubit1: int, qubit2: int) -> "QuantumCircuit":
+        """Two-qubit YY interaction by ``theta``."""
         return self.apply(g.ryy_gate(theta), (qubit1, qubit2))
 
     def fsim(self, theta: float, phi: float, qubit1: int, qubit2: int) -> "QuantumCircuit":
+        """Google fSim(theta, phi) gate (supremacy-circuit entangler)."""
         return self.apply(g.fsim_gate(theta, phi), (qubit1, qubit2))
 
     # ------------------------------------------------------------------
@@ -229,9 +257,11 @@ class QuantumCircuit:
         return self.append(Measurement())
 
     def measure(self, *qubits: int) -> "QuantumCircuit":
+        """Measure the listed qubits (mid-circuit when gates follow)."""
         return self.append(Measurement(qubits=tuple(qubits)))
 
     def barrier(self, *qubits: int) -> "QuantumCircuit":
+        """Append a no-op barrier (an optimization fence)."""
         return self.append(Barrier(qubits=tuple(qubits)))
 
     # ------------------------------------------------------------------
@@ -256,6 +286,7 @@ class QuantumCircuit:
 
     @property
     def num_operations(self) -> int:
+        """Number of unitary operations (measurements/barriers excluded)."""
         return len(self.operations)
 
     def depth(self) -> int:
@@ -281,6 +312,7 @@ class QuantumCircuit:
     # ------------------------------------------------------------------
 
     def copy(self, name: Optional[str] = None) -> "QuantumCircuit":
+        """Shallow copy: new instruction list, shared immutable operations."""
         clone = QuantumCircuit(self.num_qubits, name or self.name)
         clone._instructions = list(self._instructions)
         return clone

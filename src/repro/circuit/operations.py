@@ -84,6 +84,7 @@ class Operation(BaseOperation):
 
     @property
     def is_controlled(self) -> bool:
+        """Whether the operation has any (anti-)controls."""
         return bool(self.controls or self.neg_controls)
 
     def inverse(self) -> "Operation":
@@ -167,6 +168,7 @@ class PhaseTerm:
 
     @property
     def qubits(self) -> FrozenSet[int]:
+        """All qubits the term conditions on, ascending."""
         return self.ones | self.zeros
 
 
@@ -193,6 +195,7 @@ class DiagonalOperation(BaseOperation):
 
     @property
     def qubits(self) -> FrozenSet[int]:
+        """Union of all term qubits, ascending."""
         qubits: FrozenSet[int] = frozenset()
         for term in self.terms:
             qubits |= term.qubits
@@ -205,6 +208,7 @@ class DiagonalOperation(BaseOperation):
 
     @property
     def is_controlled(self) -> bool:
+        """Always ``False`` — controls are folded into the terms."""
         return False
 
     def inverse(self) -> "DiagonalOperation":
@@ -302,6 +306,7 @@ class Measurement:
 
     @property
     def measures_all(self) -> bool:
+        """Whether this measurement reads the full register."""
         return not self.qubits
 
 

@@ -63,6 +63,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--stats", action="store_true", help="print DD/timing statistics"
     )
     parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="record a telemetry trace of the run and write it as JSONL "
+        "to FILE (render with 'python -m repro.telemetry.report FILE')",
+    )
+    parser.add_argument(
         "--no-optimize",
         action="store_true",
         help="skip the compile pipeline and simulate the circuit verbatim",
@@ -71,6 +77,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro-sample``; returns the process exit code."""
     args = _build_parser().parse_args(argv)
     try:
         with open(args.qasm_file, "r", encoding="utf-8") as handle:
@@ -95,6 +102,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("error: --workers must be positive", file=sys.stderr)
         return 2
 
+    session = None
+    if args.trace:
+        from .telemetry import Telemetry
+
+        session = Telemetry()
+
     start = time.perf_counter()
     try:
         result = simulate_and_sample(
@@ -104,6 +117,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             seed=args.seed,
             workers=args.workers,
             optimize=not args.no_optimize,
+            telemetry=session,
         )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -161,6 +175,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "compiled DDs: "
                 + ", ".join(f"{k}={v}" for k, v in sorted(cache_stats.items()))
             )
+
+    if session is not None:
+        try:
+            records = session.export(args.trace)
+        except OSError as error:
+            print(f"error: cannot write {args.trace}: {error}", file=sys.stderr)
+            return 2
+        print(
+            f"trace: {records} records -> {args.trace} "
+            f"(render: python -m repro.telemetry.report {args.trace})"
+        )
 
     if args.json:
         payload = result.to_json()

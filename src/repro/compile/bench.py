@@ -184,6 +184,7 @@ def validate_payload(payload: Dict) -> None:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro.compile.bench``."""
     parser = argparse.ArgumentParser(
         prog="repro-bench-build",
         description="Benchmark the compile pipeline and emit "

@@ -206,6 +206,7 @@ class CancelInversePairs:
         self.tolerance = tolerance
 
     def run(self, circuit: QuantumCircuit) -> Tuple[QuantumCircuit, Dict[str, int]]:
+        """Remove identity gates and adjacent inverse pairs (one sweep)."""
         out: List[object] = []
         alive: List[bool] = []
         stacks: Dict[int, List[int]] = {}
@@ -285,6 +286,7 @@ class CommuteDiagonals:
         self.tolerance = tolerance
 
     def run(self, circuit: QuantumCircuit) -> Tuple[QuantumCircuit, Dict[str, int]]:
+        """Bubble diagonal gates left past commuting neighbours (one sweep)."""
         out: List[object] = []
         moves = 0
         for instruction in circuit:
@@ -364,6 +366,7 @@ class SingleQubitFusion:
         out.append(Operation(gate=gate, targets=(qubit,)))
 
     def run(self, circuit: QuantumCircuit) -> Tuple[QuantumCircuit, Dict[str, int]]:
+        """Fuse runs of single-qubit gates into exact ``u3`` products."""
         out: List[object] = []
         pending: Dict[int, Tuple[np.ndarray, List[Operation]]] = {}
         counters = {"runs_fused": 0, "gates_eliminated": 0}
@@ -449,6 +452,7 @@ class DiagonalCoalescing:
         return [DiagonalOperation(terms=tuple(terms))]
 
     def run(self, circuit: QuantumCircuit) -> Tuple[QuantumCircuit, Dict[str, int]]:
+        """Coalesce adjacent diagonal gates into one phase block."""
         out: List[object] = []
         buffer: List[object] = []
         counters = {

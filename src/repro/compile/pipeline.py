@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import telemetry
 from ..circuit.circuit import QuantumCircuit
 from ..dd.complex_table import DEFAULT_TOLERANCE
 from .passes import (
@@ -40,15 +41,18 @@ class CompileStats:
 
     @property
     def operations_removed(self) -> int:
+        """Net operation count removed by the rewrite."""
         return self.input_operations - self.output_operations
 
     @property
     def reduction_percent(self) -> float:
+        """Removed operations as a percentage of the input size."""
         if self.input_operations == 0:
             return 0.0
         return 100.0 * self.operations_removed / self.input_operations
 
     def to_dict(self) -> Dict:
+        """The stats as one JSON-ready dict (CLI ``--stats``, telemetry)."""
         return {
             "input_operations": self.input_operations,
             "output_operations": self.output_operations,
@@ -79,19 +83,37 @@ class CompilePipeline:
         self.max_iterations = max_iterations
 
     def run(self, circuit: QuantumCircuit) -> Tuple[QuantumCircuit, CompileStats]:
+        """Rewrite ``circuit`` to a fixpoint; returns (circuit, stats).
+
+        When a telemetry session is active, the run is traced as one
+        ``compile`` span with a ``compile.pass`` child per pass
+        execution, and the rewrite counters are absorbed into the
+        metrics registry.
+        """
         stats = CompileStats(input_operations=circuit.num_operations)
         current = circuit
-        for _ in range(self.max_iterations):
-            stats.iterations += 1
-            before = list(current)
-            for compile_pass in self.passes:
-                current, counters = compile_pass.run(current)
-                merged = stats.passes.setdefault(compile_pass.name, {})
-                for key, value in counters.items():
-                    merged[key] = merged.get(key, 0) + value
-            if list(current) == before:
-                break
-        stats.output_operations = current.num_operations
+        with telemetry.span("compile", input_operations=stats.input_operations) as root:
+            for _ in range(self.max_iterations):
+                stats.iterations += 1
+                before = list(current)
+                for compile_pass in self.passes:
+                    with telemetry.span(
+                        "compile.pass",
+                        name=compile_pass.name,
+                        iteration=stats.iterations,
+                    ):
+                        current, counters = compile_pass.run(current)
+                    merged = stats.passes.setdefault(compile_pass.name, {})
+                    for key, value in counters.items():
+                        merged[key] = merged.get(key, 0) + value
+                if list(current) == before:
+                    break
+            stats.output_operations = current.num_operations
+            root.set_attr("output_operations", stats.output_operations)
+            root.set_attr("iterations", stats.iterations)
+        session = telemetry.active()
+        if session is not None:
+            session.registry.record_compile(stats.to_dict())
         return current, stats
 
 

@@ -102,10 +102,12 @@ class AliasSampler:
         return np.where(accept, columns, self._alias[columns])
 
     def sample_one(self, rng: Union[int, np.random.Generator, None] = None) -> int:
+        """Draw a single basis-state index."""
         return int(self.sample(1, rng)[0])
 
     def sample_result(
         self, shots: int, rng: Union[int, np.random.Generator, None] = None
     ) -> SampleResult:
+        """Draw ``shots`` samples and wrap them in a ``SampleResult``."""
         samples = self.sample(shots, rng)
         return SampleResult.from_samples(self.num_qubits, samples, method="alias")

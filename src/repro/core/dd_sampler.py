@@ -321,6 +321,7 @@ class DDSampler:
     def sample_result_multinomial(
         self, shots: int, rng: Union[int, np.random.Generator, None] = None
     ) -> SampleResult:
+        """Multinomial-split counts wrapped in a ``SampleResult``."""
         counts = self.sample_counts_multinomial(shots, rng)
         return SampleResult(
             num_qubits=self.num_qubits, counts=counts, method="dd-multinomial"

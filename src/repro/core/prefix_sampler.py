@@ -249,6 +249,7 @@ class OutOfCorePrefixSampler:
     def sample_result(
         self, shots: int, rng: Union[int, np.random.Generator, None] = None
     ) -> SampleResult:
+        """Draw ``shots`` samples and wrap them in a ``SampleResult``."""
         samples = self.sample(shots, rng)
         return SampleResult.from_samples(self.num_qubits, samples, method="vector-ooc")
 

@@ -64,14 +64,17 @@ class SampleResult:
 
     @property
     def shots(self) -> int:
+        """Total number of recorded samples."""
         return sum(self.counts.values())
 
     @property
     def total_seconds(self) -> float:
+        """Precompute plus sampling time (when both were recorded)."""
         return self.precompute_seconds + self.sampling_seconds
 
     @property
     def distinct_outcomes(self) -> int:
+        """Number of different bitstrings observed."""
         return len(self.counts)
 
     def frequency(self, index: int) -> float:

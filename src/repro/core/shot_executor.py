@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from .. import telemetry as _telemetry
 from ..circuit.circuit import QuantumCircuit
 from ..circuit.operations import Barrier, Measurement, Operation
 from ..dd.apply import GateApplier
@@ -66,22 +67,43 @@ class ShotExecutor:
         circuit: QuantumCircuit,
         scheme: NormalizationScheme = NormalizationScheme.L2,
         optimize: bool = True,
+        telemetry: Optional["_telemetry.Telemetry"] = None,
     ):
+        #: Optional telemetry session activated around every run (the
+        #: branching counters below are absorbed into its registry).
+        self.telemetry = telemetry
         self.compile_stats: dict = {}
-        if optimize:
-            from ..compile import optimize_circuit
+        with _telemetry.activate(telemetry):
+            if optimize:
+                from ..compile import optimize_circuit
 
-            # Measurements fence every rewrite pass, so optimising the
-            # whole circuit up front is safe for mid-circuit measurement.
-            circuit, rewrite = optimize_circuit(circuit)
-            self.compile_stats = rewrite.to_dict()
+                # Measurements fence every rewrite pass, so optimising the
+                # whole circuit up front is safe for mid-circuit measurement.
+                circuit, rewrite = optimize_circuit(circuit)
+                self.compile_stats = rewrite.to_dict()
         self.circuit = circuit
         self.num_qubits = circuit.num_qubits
         self.package = DDPackage(scheme=scheme)
         self._applier = GateApplier(self.package, self.num_qubits)
         self._segments = self._split(circuit)
+        #: Branching diagnostics for the most recent run: outcome
+        #: branches explored, collapse operations, binomial splits,
+        #: segments executed (``Registry.snapshot()`` exposes these as
+        #: ``shots.*`` counters when telemetry is active).
+        self.stats: Dict[str, int] = self._fresh_stats()
         #: The shot-independent state after the first unitary segment.
         self._prefix_state: Optional[Edge] = None
+
+    @staticmethod
+    def _fresh_stats() -> Dict[str, int]:
+        """Zeroed branching counters for one run."""
+        return {
+            "branches": 0,
+            "collapses": 0,
+            "binomial_splits": 0,
+            "segments_run": 0,
+            "terminal_fast_path": 0,
+        }
 
     @staticmethod
     def _split(circuit: QuantumCircuit) -> List[_Segment]:
@@ -109,6 +131,7 @@ class ShotExecutor:
         return False
 
     def _run_segment(self, state: Edge, segment: _Segment) -> Edge:
+        self.stats["segments_run"] += 1
         for op in segment.operations:
             state = self._applier.apply(state, op)
         return state
@@ -135,6 +158,7 @@ class ShotExecutor:
             state = collapse(
                 self.package, state, qubit, outcome, self.num_qubits, probability
             )
+            self.stats["collapses"] += 1
             outcome_bits |= outcome << qubit
         return state, outcome_bits
 
@@ -174,10 +198,19 @@ class ShotExecutor:
         if strategy not in ("branching", "per-shot"):
             raise SimulationError(f"unknown execution strategy {strategy!r}")
         rng = _as_rng(seed)
-        if not self.has_mid_circuit_measurement:
-            return self._run_terminal_only(shots, rng)
-        if strategy == "per-shot":
-            return self.run_per_shot(shots, rng)
+        with _telemetry.activate(self.telemetry):
+            self.stats = self._fresh_stats()
+            if not self.has_mid_circuit_measurement:
+                return self._run_terminal_only(shots, rng)
+            if strategy == "per-shot":
+                return self._run_per_shot_counted(shots, rng)
+            with _telemetry.span("shots.run", strategy=strategy, shots=shots):
+                result = self._run_branching(shots, rng)
+            self._record_shot_stats()
+            return result
+
+    def _run_branching(self, shots: int, rng: np.random.Generator) -> SampleResult:
+        """The outcome-branching strategy body (see :meth:`run`)."""
         counts: Dict[int, int] = {}
         # Work items: (segment index, state with that segment's unitaries
         # already applied, record so far, shots on this branch).
@@ -207,6 +240,7 @@ class ShotExecutor:
                         branch_state, qubit, self.num_qubits
                     )
                     ones = self._binomial_split(branch_shots, p_one, rng)
+                    self.stats["binomial_splits"] += 1
                     for outcome, share in ((0, branch_shots - ones), (1, ones)):
                         if share == 0:
                             continue
@@ -219,11 +253,13 @@ class ShotExecutor:
                             self.num_qubits,
                             probability,
                         )
+                        self.stats["collapses"] += 1
                         split.append(
                             (collapsed, bits | (outcome << qubit), share)
                         )
                 branches = split
             for branch_state, bits, branch_shots in branches:
+                self.stats["branches"] += 1
                 next_state = self._run_segment(
                     branch_state, self._segments[index + 1]
                 )
@@ -233,6 +269,12 @@ class ShotExecutor:
         return SampleResult(
             num_qubits=self.num_qubits, counts=counts, method="shot-executor"
         )
+
+    def _record_shot_stats(self) -> None:
+        """Absorb the branching counters into the active registry, if any."""
+        session = _telemetry.active()
+        if session is not None:
+            session.registry.record_shots(self.stats)
 
     def run_per_shot(
         self,
@@ -248,8 +290,16 @@ class ShotExecutor:
         if shots < 0:
             raise SimulationError("shots must be non-negative")
         rng = _as_rng(seed)
-        if not self.has_mid_circuit_measurement:
-            return self._run_terminal_only(shots, rng)
+        with _telemetry.activate(self.telemetry):
+            self.stats = self._fresh_stats()
+            if not self.has_mid_circuit_measurement:
+                return self._run_terminal_only(shots, rng)
+            return self._run_per_shot_counted(shots, rng)
+
+    def _run_per_shot_counted(
+        self, shots: int, rng: np.random.Generator
+    ) -> SampleResult:
+        """The per-shot loop body (stats already reset by the caller)."""
         counts: Dict[int, int] = {}
         prefix = self._prefix()
         for _ in range(shots):
@@ -267,6 +317,7 @@ class ShotExecutor:
                 state, bits = self._measure_qubits(state, qubits, rng)
                 record = (record & ~mask) | bits
             counts[record] = counts.get(record, 0) + 1
+        self._record_shot_stats()
         return SampleResult(
             num_qubits=self.num_qubits, counts=counts, method="shot-executor"
         )
@@ -275,6 +326,7 @@ class ShotExecutor:
         self, shots: int, rng: np.random.Generator
     ) -> SampleResult:
         """Fast path: no measure-and-continue — batch-sample the end state."""
+        self.stats["terminal_fast_path"] += 1
         state = self._prefix()
         for segment in self._segments[1:]:
             state = self._run_segment(state, segment)
@@ -293,4 +345,5 @@ class ShotExecutor:
         result = SampleResult.from_samples(
             self.num_qubits, samples, method="shot-executor"
         )
+        self._record_shot_stats()
         return result

@@ -26,6 +26,7 @@ from typing import Optional, Union
 
 import numpy as np
 
+from .. import telemetry as _telemetry
 from ..circuit.circuit import QuantumCircuit
 from ..dd.normalization import NormalizationScheme
 from ..dd.vector_dd import VectorDD
@@ -58,40 +59,40 @@ def sample_statevector(
     shots: int,
     method: str = "vector",
     seed: Union[int, np.random.Generator, None] = None,
+    telemetry: Optional["_telemetry.Telemetry"] = None,
 ) -> SampleResult:
-    """Weak simulation from a dense final state (paper Section III)."""
+    """Weak simulation from a dense final state (paper Section III).
+
+    ``telemetry`` activates an observability session for the call: the
+    precompute and sampling stages become trace spans (see
+    ``docs/observability.md``).
+    """
     if method not in VECTOR_METHODS:
         raise SamplingError(f"unknown vector sampling method {method!r}")
     rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
-    start = time.perf_counter()
-    probabilities = probabilities_from_statevector(statevector)
-    if method == "vector-ooc":
-        sampler = OutOfCorePrefixSampler.from_probabilities(probabilities)
-        precompute = time.perf_counter() - start
-        try:
-            start = time.perf_counter()
-            samples = sampler.sample(shots, rng)
-            sampling = time.perf_counter() - start
-        finally:
-            sampler.close()
-        result = SampleResult.from_samples(sampler.num_qubits, samples, method=method)
-    elif method == "vector-alias":
-        from .alias_sampler import AliasSampler
+    with _telemetry.activate(telemetry):
+        start = time.perf_counter()
+        with _telemetry.span("precompute", method=method):
+            probabilities = probabilities_from_statevector(statevector)
+            if method == "vector-ooc":
+                sampler = OutOfCorePrefixSampler.from_probabilities(probabilities)
+            elif method == "vector-alias":
+                from .alias_sampler import AliasSampler
 
-        sampler = AliasSampler(probabilities, is_statevector=False)
+                sampler = AliasSampler(probabilities, is_statevector=False)
+            else:
+                sampler = PrefixSampler(probabilities, is_statevector=False)
         precompute = time.perf_counter() - start
         start = time.perf_counter()
-        samples = sampler.sample(shots, rng)
-        sampling = time.perf_counter() - start
-        result = SampleResult.from_samples(sampler.num_qubits, samples, method=method)
-    else:
-        sampler = PrefixSampler(probabilities, is_statevector=False)
-        precompute = time.perf_counter() - start
-        start = time.perf_counter()
-        if method == "vector-linear":
-            samples = sampler.sample_linear(shots, rng)
-        else:
-            samples = sampler.sample(shots, rng)
+        try:
+            with _telemetry.span("sampling", method=method, shots=shots):
+                if method == "vector-linear":
+                    samples = sampler.sample_linear(shots, rng)
+                else:
+                    samples = sampler.sample(shots, rng)
+        finally:
+            if method == "vector-ooc":
+                sampler.close()
         sampling = time.perf_counter() - start
         result = SampleResult.from_samples(sampler.num_qubits, samples, method=method)
     result.precompute_seconds = precompute
@@ -106,44 +107,64 @@ def sample_dd(
     seed: Union[int, np.random.Generator, None] = None,
     trust_l2_normalization: bool = True,
     workers: Optional[int] = None,
+    telemetry: Optional["_telemetry.Telemetry"] = None,
 ) -> SampleResult:
     """Weak simulation from a DD final state (paper Section IV).
 
     ``workers`` (``"dd"`` method only) draws the shots in fixed-size
     chunks with per-chunk seed streams — reproducible for a given seed
     at any worker count — and runs the chunks on a thread pool when
-    ``workers > 1``.
+    ``workers > 1``.  ``telemetry`` activates an observability session:
+    the precompute and sampling stages become trace spans and the DD
+    table / compiled-cache counters land in the metrics registry.
     """
     if method not in DD_METHODS:
         raise SamplingError(f"unknown DD sampling method {method!r}")
     if workers is not None and method != "dd":
         raise SamplingError("parallel chunked sampling requires method='dd'")
     rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
-    start = time.perf_counter()
-    sampler = DDSampler(state, trust_l2_normalization=trust_l2_normalization)
-    if method == "dd":
-        # Compiling the traversal tables is part of precompute for the
-        # vectorised sampler (cache may make this a no-op).
-        sampler.compiled()
-    precompute = time.perf_counter() - start
-    start = time.perf_counter()
-    if method == "dd":
-        result = sampler.sample_result(shots, rng, method=method, workers=workers)
-    elif method == "dd-path":
-        samples = sampler.sample_paths(shots, rng)
-        result = SampleResult.from_samples(state.num_qubits, samples, method=method)
-    elif method == "dd-multinomial":
-        counts = sampler.sample_counts_multinomial(shots, rng)
-        result = SampleResult(num_qubits=state.num_qubits, counts=counts, method=method)
-    else:
-        samples = sampler.sample_collapse(shots, rng)
-        result = SampleResult.from_samples(state.num_qubits, samples, method=method)
-    result.sampling_seconds = time.perf_counter() - start
-    result.precompute_seconds = precompute
-    result.metadata["dd_statistics"] = state.package.stats()
-    result.metadata["compiled_cache"] = _compiled_dd.DEFAULT_CACHE.stats()
-    if workers is not None:
-        result.metadata["workers"] = workers
+    with _telemetry.activate(telemetry):
+        start = time.perf_counter()
+        with _telemetry.span("precompute", method=method) as precompute_span:
+            sampler = DDSampler(state, trust_l2_normalization=trust_l2_normalization)
+            if method == "dd":
+                # Compiling the traversal tables is part of precompute for
+                # the vectorised sampler (cache may make this a no-op).
+                sampler.compiled()
+            precompute_span.set_attr("dd_nodes", state.node_count)
+        precompute = time.perf_counter() - start
+        start = time.perf_counter()
+        with _telemetry.span("sampling", method=method, shots=shots):
+            if method == "dd":
+                result = sampler.sample_result(
+                    shots, rng, method=method, workers=workers
+                )
+            elif method == "dd-path":
+                samples = sampler.sample_paths(shots, rng)
+                result = SampleResult.from_samples(
+                    state.num_qubits, samples, method=method
+                )
+            elif method == "dd-multinomial":
+                counts = sampler.sample_counts_multinomial(shots, rng)
+                result = SampleResult(
+                    num_qubits=state.num_qubits, counts=counts, method=method
+                )
+            else:
+                samples = sampler.sample_collapse(shots, rng)
+                result = SampleResult.from_samples(
+                    state.num_qubits, samples, method=method
+                )
+        result.sampling_seconds = time.perf_counter() - start
+        result.precompute_seconds = precompute
+        result.metadata["dd_statistics"] = state.package.stats()
+        result.metadata["compiled_cache"] = _compiled_dd.DEFAULT_CACHE.stats()
+        if workers is not None:
+            result.metadata["workers"] = workers
+        session = _telemetry.active()
+        if session is not None:
+            session.registry.record_dd_tables(result.metadata["dd_statistics"])
+            session.registry.record_compiled_cache(result.metadata["compiled_cache"])
+            session.registry.counter("sample.shots").inc(shots)
     return result
 
 
@@ -167,6 +188,7 @@ def simulate_and_sample(
     memory_cap_bytes: int = DEFAULT_MEMORY_CAP,
     workers: Optional[int] = None,
     optimize: bool = True,
+    telemetry: Optional["_telemetry.Telemetry"] = None,
 ) -> SampleResult:
     """Full weak simulation: run ``circuit``, then draw ``shots`` samples.
 
@@ -175,22 +197,26 @@ def simulate_and_sample(
     of the paper's Table I.  ``workers`` enables seed-stable parallel
     chunked sampling for the default ``"dd"`` method.  ``optimize``
     routes the circuit through the compile pipeline first (exact rewrite;
-    pass ``False`` to simulate the circuit verbatim).
+    pass ``False`` to simulate the circuit verbatim).  ``telemetry``
+    attaches a :class:`repro.telemetry.Telemetry` session covering the
+    whole pipeline — compile, build, precompute, sampling — ready for
+    JSONL export (CLI flag ``--trace``).
     """
-    if method in VECTOR_METHODS:
-        if workers is not None:
-            raise SamplingError("parallel chunked sampling requires method='dd'")
-        simulator = StatevectorSimulator(
-            memory_cap_bytes=memory_cap_bytes, optimize=optimize
-        )
-        statevector = simulator.run(circuit, initial_state=initial_state)
-        result = sample_statevector(statevector, shots, method=method, seed=seed)
-        result.metadata["build"] = _build_metadata(simulator.stats)
-        return result
-    if method in DD_METHODS:
-        dd_simulator = DDSimulator(scheme=scheme, optimize=optimize)
-        state = dd_simulator.run(circuit, initial_state=initial_state)
-        result = sample_dd(state, shots, method=method, seed=seed, workers=workers)
-        result.metadata["build"] = _build_metadata(dd_simulator.stats)
-        return result
-    raise SamplingError(f"unknown weak-simulation method {method!r}")
+    with _telemetry.activate(telemetry):
+        if method in VECTOR_METHODS:
+            if workers is not None:
+                raise SamplingError("parallel chunked sampling requires method='dd'")
+            simulator = StatevectorSimulator(
+                memory_cap_bytes=memory_cap_bytes, optimize=optimize
+            )
+            statevector = simulator.run(circuit, initial_state=initial_state)
+            result = sample_statevector(statevector, shots, method=method, seed=seed)
+            result.metadata["build"] = _build_metadata(simulator.stats)
+            return result
+        if method in DD_METHODS:
+            dd_simulator = DDSimulator(scheme=scheme, optimize=optimize)
+            state = dd_simulator.run(circuit, initial_state=initial_state)
+            result = sample_dd(state, shots, method=method, seed=seed, workers=workers)
+            result.metadata["build"] = _build_metadata(dd_simulator.stats)
+            return result
+        raise SamplingError(f"unknown weak-simulation method {method!r}")

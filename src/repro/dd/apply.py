@@ -221,6 +221,7 @@ class GateApplier:
     # ------------------------------------------------------------------
 
     def strategy_counts(self) -> Dict[str, int]:
+        """How many operations each application strategy handled."""
         return {
             "diagonal": self.diagonal_applications,
             "descent": self.descent_applications,

@@ -41,6 +41,7 @@ class ComputeTable:
         return len(self._table)
 
     def lookup(self, key: tuple) -> Optional[Edge]:
+        """Cached result for ``key``, or ``None`` on a miss."""
         result = self._table.get(key)
         if result is not None:
             self.hits += 1
@@ -49,6 +50,7 @@ class ComputeTable:
         return result
 
     def insert(self, key: tuple, result: Edge) -> Edge:
+        """Memoise ``result`` under ``key`` (evicts on collision)."""
         if (
             self.max_entries is not None
             and len(self._table) >= self.max_entries
@@ -70,6 +72,7 @@ class ComputeTable:
         return self.hits / total
 
     def clear(self) -> None:
+        """Drop every entry (keeps the hit/miss counters)."""
         self._table.clear()
         self.hits = 0
         self.misses = 0

@@ -140,6 +140,7 @@ class OperationDDCache:
         return (matrix, op.targets, op.controls, op.neg_controls)
 
     def get(self, op: Operation) -> Edge:
+        """Operator DD for ``operation``, built on first use."""
         key = self._key(op)
         edge = self._cache.get(key)
         if edge is None:

@@ -36,10 +36,12 @@ class Node:
 
     @property
     def is_vector_node(self) -> bool:
+        """Whether this node has vector arity (two successors)."""
         return len(self.edges) == 2
 
     @property
     def is_matrix_node(self) -> bool:
+        """Whether this node has matrix arity (four successors)."""
         return len(self.edges) == 4
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -66,6 +68,7 @@ class Edge(NamedTuple):
 
     @property
     def is_terminal(self) -> bool:
+        """Whether the edge points at the terminal node."""
         return self.node.var < 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -65,10 +65,12 @@ class PauliString:
 
     @property
     def max_qubit(self) -> int:
+        """Highest qubit index the string acts on (-1 for identity)."""
         return self.paulis[-1][0] if self.paulis else 0
 
     @property
     def is_identity(self) -> bool:
+        """Whether the string has no non-identity factors."""
         return not self.paulis
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
@@ -93,6 +95,7 @@ class PauliObservable:
 
     @property
     def max_qubit(self) -> int:
+        """Highest qubit index across all terms (-1 when empty)."""
         return max((s.max_qubit for _, s in self.terms), default=0)
 
 

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import telemetry as _telemetry
 from ..exceptions import DDError
 from .complex_table import DEFAULT_TOLERANCE, ComplexTable
 from .compute_table import ComputeTable
@@ -552,37 +553,46 @@ class DDPackage:
         intermediate node in the unique table; this rebuilds the table
         from the live roots and clears the compute tables, bounding
         memory.  Returns the rebuilt root edges (same states, possibly
-        different node objects).
+        different node objects).  Each collection is traced as a
+        ``dd.compact`` span (with before/after table sizes) when a
+        telemetry session is active.
         """
-        old_nodes: Dict[int, Node] = {}
+        with _telemetry.span("dd.compact", roots=len(roots)) as span:
+            span.set_attr("nodes_before", len(self.unique_table))
+            old_nodes: Dict[int, Node] = {}
 
-        def snapshot(node: Node) -> None:
-            if is_terminal(node) or node.index in old_nodes:
-                return
-            old_nodes[node.index] = node
-            for child in node.edges:
-                snapshot(child.node)
+            def snapshot(node: Node) -> None:
+                if is_terminal(node) or node.index in old_nodes:
+                    return
+                old_nodes[node.index] = node
+                for child in node.edges:
+                    snapshot(child.node)
 
-        for root in roots:
-            snapshot(root.node)
-        self.unique_table.clear()
-        self.clear_compute_tables()
-        rebuilt: Dict[int, Node] = {}
+            for root in roots:
+                snapshot(root.node)
+            self.unique_table.clear()
+            self.clear_compute_tables()
+            rebuilt: Dict[int, Node] = {}
 
-        def rebuild(node: Node) -> Node:
-            if is_terminal(node):
-                return node
-            cached = rebuilt.get(node.index)
-            if cached is not None:
-                return cached
-            edges = tuple(
-                Edge(rebuild(child.node), child.weight) for child in node.edges
-            )
-            new_node = self.unique_table.get_node(node.var, edges)
-            rebuilt[node.index] = new_node
-            return new_node
+            def rebuild(node: Node) -> Node:
+                if is_terminal(node):
+                    return node
+                cached = rebuilt.get(node.index)
+                if cached is not None:
+                    return cached
+                edges = tuple(
+                    Edge(rebuild(child.node), child.weight) for child in node.edges
+                )
+                new_node = self.unique_table.get_node(node.var, edges)
+                rebuilt[node.index] = new_node
+                return new_node
 
-        return [Edge(rebuild(root.node), root.weight) for root in roots]
+            results = [Edge(rebuild(root.node), root.weight) for root in roots]
+            span.set_attr("nodes_after", len(self.unique_table))
+            session = _telemetry.active()
+            if session is not None:
+                session.registry.counter("dd.compactions").inc()
+        return results
 
     def clear_compute_tables(self) -> None:
         """Drop memoisation tables (e.g. between unrelated simulations)."""

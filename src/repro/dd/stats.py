@@ -59,18 +59,22 @@ class RepresentationSize:
 
     @property
     def vector_entries(self) -> int:
+        """Number of amplitudes the dense vector would hold (2^n)."""
         return 2**self.num_qubits
 
     @property
     def vector_size_bytes(self) -> int:
+        """Bytes of the dense complex128 vector."""
         return vector_bytes(self.num_qubits)
 
     @property
     def dd_size_bytes(self) -> int:
+        """Bytes of the DD (nodes + edge weights)."""
         return dd_bytes(self.dd_nodes)
 
     @property
     def dd_log2(self) -> float:
+        """log2 of the DD byte size (Table-I style scale)."""
         return size_log2(self.dd_nodes)
 
     @property
@@ -82,4 +86,5 @@ class RepresentationSize:
 
     @classmethod
     def of(cls, package: DDPackage, edge: Edge, num_qubits: int) -> "RepresentationSize":
+        """Measure ``edge`` inside ``package`` (the one constructor)."""
         return cls(num_qubits=num_qubits, dd_nodes=package.node_count(edge))

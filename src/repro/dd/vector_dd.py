@@ -100,12 +100,15 @@ class VectorDD:
         return self.package.node_count(self.edge)
 
     def nodes_per_level(self) -> Dict[int, int]:
+        """Node count per qubit level, top-down."""
         return self.package.nodes_per_level(self.edge)
 
     def norm_squared(self) -> float:
+        """<psi|psi> of the represented state."""
         return self.package.norm_squared(self.edge)
 
     def fidelity(self, other: "VectorDD") -> float:
+        """|<self|other>|^2 against another state DD."""
         if other.num_qubits != self.num_qubits:
             raise DDError("fidelity of states with different register sizes")
         return self.package.fidelity(self.edge, other.edge)

@@ -46,6 +46,7 @@ class PaperRow:
 
     @property
     def vector_mo(self) -> bool:
+        """Whether the paper reports memory-out for the vector method."""
         return self.vector_time_s is None
 
 
@@ -91,6 +92,7 @@ class BenchmarkSpec:
 
     @property
     def paper(self) -> Optional[PaperRow]:
+        """The paper's Table-I row for this benchmark, if it has one."""
         if self.paper_row is None:
             return None
         return _PAPER_BY_NAME[self.paper_row]

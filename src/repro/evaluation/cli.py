@@ -65,6 +65,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--output",
         help="also write the report to this file",
     )
+    table.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="record a telemetry trace of the whole table run and write it "
+        "as JSONL to FILE (render with 'python -m repro.telemetry.report')",
+    )
 
     sub.add_parser("figures", help="regenerate the running-example figures")
 
@@ -78,6 +84,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro-eval``; returns the process exit code."""
     args = _build_parser().parse_args(argv)
     if args.command == "figures":
         print(render_figures())
@@ -99,14 +106,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"Regenerating Table I (tier={args.tier}, shots={args.shots}, "
         f"{policy.describe()})"
     )
-    rows = run_table1(
-        tier=args.tier,
-        shots=args.shots,
-        policy=policy,
-        seed=args.seed,
-        families=args.families,
-        verify_agreement=args.verify_agreement,
-    )
+    session = None
+    if args.trace:
+        from ..telemetry import Telemetry
+
+        session = Telemetry()
+    from .. import telemetry as _telemetry
+
+    # Activating here is enough: every instrumented layer below
+    # (compile pipeline, simulators, samplers) finds the session via
+    # telemetry.active(), so each table row contributes its spans.
+    with _telemetry.activate(session):
+        rows = run_table1(
+            tier=args.tier,
+            shots=args.shots,
+            policy=policy,
+            seed=args.seed,
+            families=args.families,
+            verify_agreement=args.verify_agreement,
+        )
+    if session is not None:
+        records = session.export(args.trace)
+        print(
+            f"trace: {records} records -> {args.trace} "
+            f"(render: python -m repro.telemetry.report {args.trace})"
+        )
     if args.markdown:
         from .report import format_table1_markdown
 

@@ -47,6 +47,7 @@ __all__ = [
 
 @dataclass(frozen=True)
 class Figure2Data:
+    """The running example's amplitudes and probabilities (paper Fig. 2)."""
     amplitudes: Tuple[complex, ...]
     probabilities: Tuple[float, ...]
     sample_at_half: str  # the measurement outcome for p-hat = 1/2
@@ -68,6 +69,7 @@ def figure2_data() -> Figure2Data:
 
 @dataclass(frozen=True)
 class Figure3Data:
+    """Prefix array and binary-search trace for one sample (paper Fig. 3)."""
     probabilities: Tuple[float, ...]
     prefix: Tuple[float, ...]
     probe: float
@@ -92,6 +94,7 @@ def figure3_data(probe: float = 0.5) -> Figure3Data:
 
 @dataclass(frozen=True)
 class Figure4Data:
+    """DD forms of the running example (paper Fig. 4a-4d)."""
     leftmost_root_weight: complex  # Fig. 4b: −0.612i
     leftmost_q2_weights: Tuple[complex, complex]  # Fig. 4b: (1, 0.578i)
     branch_probabilities: Dict[str, Tuple[float, float]]  # Fig. 4c

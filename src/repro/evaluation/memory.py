@@ -46,4 +46,5 @@ class MemoryPolicy:
         return dd_bytes(node_count) <= self.cap_bytes
 
     def describe(self) -> str:
+        """Human-readable cap description for report headers."""
         return f"memory cap {format_bytes(self.cap_bytes)}"

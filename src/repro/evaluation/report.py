@@ -61,6 +61,7 @@ def format_table1(rows: List[Table1Row], shots: Optional[int] = None) -> str:
 
 
 def format_row_markdown(row: Table1Row) -> str:
+    """One Table-I row as a markdown table line."""
     vec_cell = "MO" if row.vector_mo else _fmt_time(row.vector_total_s)
     paper_vec = "MO" if row.paper_vector_mo else _fmt_time(row.paper_vector_time_s)
     return (

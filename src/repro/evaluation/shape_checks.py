@@ -47,6 +47,7 @@ __all__ = ["ShapeCheck", "run_shape_checks", "render_shape_report"]
 
 @dataclass
 class ShapeCheck:
+    """One qualitative paper claim checked programmatically."""
     name: str
     passed: bool
     detail: str

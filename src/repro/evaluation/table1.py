@@ -63,12 +63,14 @@ class Table1Row:
 
     @property
     def vector_total_s(self) -> Optional[float]:
+        """Vector-method build + sampling seconds (None on MO)."""
         if self.vector_mo or self.vector_precompute_s is None:
             return None
         return self.vector_precompute_s + self.vector_sampling_s
 
     @property
     def dd_total_s(self) -> float:
+        """DD-method build + sampling seconds."""
         return self.dd_precompute_s + self.dd_sampling_s
 
     @property

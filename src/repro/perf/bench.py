@@ -9,7 +9,10 @@ Gives every future PR a perf trajectory to defend.  One run measures
 * **outcome branching** — the mid-circuit-measurement executor against
   the per-shot reference loop (the headline speedup),
 * **parallel chunked sampling** — wall time per worker count, plus a
-  bit-identity check of the worker-independence guarantee.
+  bit-identity check of the worker-independence guarantee,
+* **telemetry overhead** — the full weak-simulation pipeline with and
+  without an active :class:`repro.telemetry.Telemetry` session, guarding
+  the observability layer's stay-cheap contract.
 
 Run it with::
 
@@ -44,7 +47,13 @@ from .parallel import sample_chunked
 __all__ = ["FORMAT", "VERSION", "run_harness", "validate_payload", "main"]
 
 FORMAT = "repro-bench-sampling"
-VERSION = 1
+VERSION = 2
+
+#: Fail validation when the telemetry-enabled pipeline is this much
+#: slower than the disabled one — generous because the measured circuit
+#: is small (absolute overhead is microseconds per gate), tight enough
+#: to catch an accidentally expensive hot-path hook.
+TELEMETRY_OVERHEAD_LIMIT_PERCENT = 100.0
 
 #: Top-level keys every payload must carry, with the per-section keys.
 _SCHEMA: Dict[str, List[str]] = {
@@ -68,6 +77,15 @@ _SCHEMA: Dict[str, List[str]] = {
     ],
     "compiled_cache": ["builds", "reuses", "evictions", "entries"],
     "parallel": ["shots", "chunk_shots", "workers", "seconds", "reproducible"],
+    "telemetry": [
+        "circuit",
+        "shots",
+        "repeats",
+        "disabled_seconds",
+        "enabled_seconds",
+        "overhead_percent",
+        "trace_records",
+    ],
 }
 
 
@@ -107,6 +125,49 @@ def _stage_case(name: str, circuit: QuantumCircuit, shots: int, seed: int) -> Di
         "compile_seconds": round(compile_seconds, 6),
         "sample_seconds": round(sample_seconds, 6),
     }
+
+
+def _telemetry_overhead(num_qubits: int, shots: int, seed: int, repeats: int) -> Dict:
+    """Time the full pipeline with telemetry off and on (min of repeats).
+
+    The minimum over ``repeats`` runs is the standard noise-resistant
+    estimator for short benchmarks: any scheduler hiccup only ever makes
+    a run *slower*, so the minimum is the cleanest observation.
+    """
+    from ..telemetry import Telemetry
+
+    circuit = qft(num_qubits)
+    disabled = min(
+        _timed_pipeline(circuit, shots, seed + i, telemetry=None)[0]
+        for i in range(repeats)
+    )
+    enabled_runs = [
+        _timed_pipeline(circuit, shots, seed + i, telemetry=Telemetry())
+        for i in range(repeats)
+    ]
+    enabled = min(seconds for seconds, _ in enabled_runs)
+    trace_records = enabled_runs[0][1]
+    overhead = 100.0 * (enabled - disabled) / max(disabled, 1e-9)
+    return {
+        "circuit": f"qft_{num_qubits}",
+        "shots": shots,
+        "repeats": repeats,
+        "disabled_seconds": round(disabled, 6),
+        "enabled_seconds": round(enabled, 6),
+        "overhead_percent": round(overhead, 2),
+        "trace_records": trace_records,
+    }
+
+
+def _timed_pipeline(circuit: QuantumCircuit, shots: int, seed: int, telemetry):
+    """One ``simulate_and_sample`` run; returns (seconds, trace records)."""
+    from ..core.weak_sim import simulate_and_sample
+
+    start = time.perf_counter()
+    simulate_and_sample(circuit, shots, seed=seed, telemetry=telemetry)
+    seconds = time.perf_counter() - start
+    records = len(telemetry.records()) if telemetry is not None else 0
+    return seconds, records
 
 
 def run_harness(
@@ -208,6 +269,14 @@ def run_harness(
             "seconds": seconds,
             "reproducible": reproducible,
         }
+
+        # -- telemetry overhead -------------------------------------------
+        payload["telemetry"] = _telemetry_overhead(
+            num_qubits=8 if smoke else 12,
+            shots=shots,
+            seed=seed,
+            repeats=3 if smoke else 5,
+        )
         return payload
     finally:
         compiled_dd.DEFAULT_CACHE = previous_cache
@@ -238,9 +307,19 @@ def validate_payload(payload: Dict) -> None:
         raise ValueError("parallel sampling was not worker-count reproducible")
     if not payload["mid_circuit"]["distributions_consistent"]:
         raise ValueError("branching executor distribution drifted")
+    telemetry = payload["telemetry"]
+    if telemetry["overhead_percent"] > TELEMETRY_OVERHEAD_LIMIT_PERCENT:
+        raise ValueError(
+            "telemetry overhead "
+            f"{telemetry['overhead_percent']}% exceeds the "
+            f"{TELEMETRY_OVERHEAD_LIMIT_PERCENT}% budget"
+        )
+    if telemetry["trace_records"] <= 0:
+        raise ValueError("telemetry-enabled run produced no trace records")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro.perf.bench``."""
     parser = argparse.ArgumentParser(
         prog="repro-bench-sampling",
         description="Benchmark the compiled sampling engine and emit "
@@ -297,7 +376,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"wrote {args.out}: branching speedup {mid['speedup']}x over "
         f"per-shot at {mid['shots']} shots; compiled cache "
         f"{payload['compiled_cache']['reuses']} reuses / "
-        f"{payload['compiled_cache']['builds']} builds"
+        f"{payload['compiled_cache']['builds']} builds; telemetry overhead "
+        f"{payload['telemetry']['overhead_percent']}%"
     )
     return 0
 

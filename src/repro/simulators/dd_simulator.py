@@ -12,6 +12,7 @@ from __future__ import annotations
 import math
 from typing import Optional
 
+from .. import telemetry as _telemetry
 from ..circuit.circuit import QuantumCircuit
 from ..circuit.operations import Barrier, Measurement
 from ..compile import optimize_circuit
@@ -24,6 +25,17 @@ from .base import SimulationStats, StrongSimulator
 __all__ = ["DDSimulator"]
 
 
+def _gate_label(instruction) -> str:
+    """Short telemetry label for an instruction (gate name or block size)."""
+    gate = getattr(instruction, "gate", None)
+    if gate is not None:
+        return gate.name
+    terms = getattr(instruction, "terms", None)
+    if terms is not None:
+        return f"diagonal[{len(terms)}]"
+    return type(instruction).__name__.lower()
+
+
 class DDSimulator(StrongSimulator):
     """Decision-diagram strong simulator.
 
@@ -31,6 +43,10 @@ class DDSimulator(StrongSimulator):
     scheme (the default) is what makes subsequent sampling trivial.
     ``track_peak`` counts nodes after every gate — useful diagnostics, but
     it adds an O(size) traversal per gate, so benchmarks disable it.
+    ``telemetry`` attaches a :class:`repro.telemetry.Telemetry` session:
+    every run is then traced (``compile``/``build`` spans, per-gate
+    ``apply`` spans, periodic DD/RSS probes) and the run's counters are
+    absorbed into the session's metrics registry.
     """
 
     def __init__(
@@ -41,6 +57,7 @@ class DDSimulator(StrongSimulator):
         track_peak: bool = False,
         auto_compact_threshold: int = 400_000,
         optimize: bool = True,
+        telemetry: Optional["_telemetry.Telemetry"] = None,
     ):
         self.package = package if package is not None else DDPackage(scheme=scheme)
         self.use_fast_paths = use_fast_paths
@@ -53,10 +70,15 @@ class DDSimulator(StrongSimulator):
         #: many nodes (0 disables).  Long iterative circuits (Grover)
         #: otherwise retain every intermediate state ever built.
         self.auto_compact_threshold = auto_compact_threshold
+        #: Optional telemetry session activated for the duration of every
+        #: run (when ``None`` the simulator still honours a session that
+        #: an outer caller — e.g. ``simulate_and_sample`` — activated).
+        self.telemetry = telemetry
         self._stats = SimulationStats()
 
     @property
     def stats(self) -> SimulationStats:
+        """Statistics from the most recent :meth:`run`."""
         return self._stats
 
     def run(self, circuit: QuantumCircuit, initial_state: int = 0) -> VectorDD:
@@ -65,6 +87,11 @@ class DDSimulator(StrongSimulator):
         Measurements and barriers are skipped; the returned DD represents
         the full final state, ready for weak simulation.
         """
+        with _telemetry.activate(self.telemetry):
+            return self._run_traced(circuit, initial_state)
+
+    def _run_traced(self, circuit: QuantumCircuit, initial_state: int) -> VectorDD:
+        """The :meth:`run` body, executed under the active telemetry (if any)."""
         package = self.package
         compile_stats: dict = {}
         if self.optimize:
@@ -79,25 +106,52 @@ class DDSimulator(StrongSimulator):
         self._stats = SimulationStats(num_qubits=circuit.num_qubits)
         self._stats.compile_stats = compile_stats
         peak = package.node_count(state) if self.track_peak else 0
-        for instruction in circuit:
-            if isinstance(instruction, (Measurement, Barrier)):
-                continue
-            state = applier.apply(state, instruction)
-            self._stats.applied_operations += 1
-            if self.track_peak:
-                peak = max(peak, package.node_count(state))
-            if (
-                self.auto_compact_threshold
-                and len(package.unique_table) > self.auto_compact_threshold
-            ):
-                state = package.compact([state])[0]
-                applier = GateApplier(
-                    package, circuit.num_qubits, use_fast_paths=self.use_fast_paths
-                )
+        # Single hot-path hook: the per-gate span and probe code run only
+        # when a session is active; the disabled path is the plain loop.
+        session = _telemetry.active()
+        build_span = (
+            session.span("build", num_qubits=circuit.num_qubits, backend="dd")
+            if session is not None
+            else _telemetry.NULL_SPAN
+        )
+        with build_span:
+            for instruction in circuit:
+                if isinstance(instruction, (Measurement, Barrier)):
+                    continue
+                if session is not None:
+                    with session.span("apply", gate=_gate_label(instruction)):
+                        state = applier.apply(state, instruction)
+                else:
+                    state = applier.apply(state, instruction)
+                self._stats.applied_operations += 1
+                if session is not None and session.prober.due(
+                    self._stats.applied_operations
+                ):
+                    session.prober.record(
+                        session.tracer.clock(),
+                        self._stats.applied_operations,
+                        state_nodes=package.node_count(state),
+                        unique_nodes=len(package.unique_table),
+                    )
+                if self.track_peak:
+                    peak = max(peak, package.node_count(state))
+                if (
+                    self.auto_compact_threshold
+                    and len(package.unique_table) > self.auto_compact_threshold
+                ):
+                    state = package.compact([state])[0]
+                    applier = GateApplier(
+                        package, circuit.num_qubits, use_fast_paths=self.use_fast_paths
+                    )
         self._stats.strategy_counts = applier.strategy_counts()
         self._stats.diagonal_term_applications = applier.diagonal_term_applications
         self._stats.final_dd_nodes = package.node_count(state)
         self._stats.peak_dd_nodes = max(peak, self._stats.final_dd_nodes)
+        if session is not None:
+            build_span.set_attr("applied_operations", self._stats.applied_operations)
+            build_span.set_attr("final_dd_nodes", self._stats.final_dd_nodes)
+            session.registry.record_build(self._stats)
+            session.registry.record_dd_tables(package.stats())
         return VectorDD(package, state, circuit.num_qubits)
 
     def run_iterated(
@@ -123,19 +177,29 @@ class DDSimulator(StrongSimulator):
             raise ValueError("init and iteration must act on the same register")
         package = self.package
         state = self.run(init, initial_state=initial_state)
-        if self.optimize:
-            iteration, _ = optimize_circuit(iteration, tolerance=package.tolerance)
-        operator = circuit_dd(package, iteration)
-        edge = state.edge
-        applied = self._stats.applied_operations
-        for _ in range(repetitions):
-            edge = package.mat_vec(operator, edge)
-            applied += iteration.num_operations
-            if (
-                self.auto_compact_threshold
-                and len(package.unique_table) > self.auto_compact_threshold
-            ):
-                edge, operator = package.compact([edge, operator])
+        with _telemetry.activate(self.telemetry):
+            if self.optimize:
+                iteration, _ = optimize_circuit(iteration, tolerance=package.tolerance)
+            operator = circuit_dd(package, iteration)
+            edge = state.edge
+            applied = self._stats.applied_operations
+            session = _telemetry.active()
+            with _telemetry.span("iterate", repetitions=repetitions):
+                for index in range(repetitions):
+                    edge = package.mat_vec(operator, edge)
+                    applied += iteration.num_operations
+                    if session is not None and session.prober.due(index + 1):
+                        session.prober.record(
+                            session.tracer.clock(),
+                            applied,
+                            state_nodes=package.node_count(edge),
+                            unique_nodes=len(package.unique_table),
+                        )
+                    if (
+                        self.auto_compact_threshold
+                        and len(package.unique_table) > self.auto_compact_threshold
+                    ):
+                        edge, operator = package.compact([edge, operator])
         self._stats.applied_operations = applied
         # Hundreds of operator applications accumulate float drift in the
         # overall norm (each multiplication renormalises structure, not

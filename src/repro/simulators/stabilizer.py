@@ -57,6 +57,7 @@ class StabilizerState:
             self.z[n + i, i] = 1
 
     def copy(self) -> "StabilizerState":
+        """Independent copy of the tableau."""
         clone = StabilizerState.__new__(StabilizerState)
         clone.num_qubits = self.num_qubits
         clone.x = self.x.copy()
@@ -69,28 +70,35 @@ class StabilizerState:
     # ------------------------------------------------------------------
 
     def apply_h(self, q: int) -> None:
+        """Hadamard on ``qubit`` (X<->Z column swap)."""
         self.r ^= self.x[:, q] & self.z[:, q]
         self.x[:, q], self.z[:, q] = self.z[:, q].copy(), self.x[:, q].copy()
 
     def apply_s(self, q: int) -> None:
+        """Phase gate S on ``qubit``."""
         self.r ^= self.x[:, q] & self.z[:, q]
         self.z[:, q] ^= self.x[:, q]
 
     def apply_sdg(self, q: int) -> None:
         # S† = S Z.
+        """S-dagger on ``qubit`` (S applied three times)."""
         self.apply_z(q)
         self.apply_s(q)
 
     def apply_x(self, q: int) -> None:
+        """Pauli-X on ``qubit`` (phase flip on Z columns)."""
         self.r ^= self.z[:, q]
 
     def apply_z(self, q: int) -> None:
+        """Pauli-Z on ``qubit`` (phase flip on X columns)."""
         self.r ^= self.x[:, q]
 
     def apply_y(self, q: int) -> None:
+        """Pauli-Y on ``qubit`` (Z then X with phase)."""
         self.r ^= self.x[:, q] ^ self.z[:, q]
 
     def apply_cx(self, control: int, target: int) -> None:
+        """CNOT from ``control`` to ``target`` (tableau update)."""
         self.r ^= (
             self.x[:, control]
             & self.z[:, target]
@@ -101,11 +109,13 @@ class StabilizerState:
 
     def apply_cz(self, control: int, target: int) -> None:
         # CZ = (I x H) CX (I x H).
+        """Controlled-Z via H-conjugated CNOT."""
         self.apply_h(target)
         self.apply_cx(control, target)
         self.apply_h(target)
 
     def apply_swap(self, a: int, b: int) -> None:
+        """Exchange two qubits (three CNOTs)."""
         self.apply_cx(a, b)
         self.apply_cx(b, a)
         self.apply_cx(a, b)
@@ -206,6 +216,7 @@ class StabilizerState:
     def sample_result(
         self, shots: int, rng: Union[int, np.random.Generator, None] = None
     ) -> SampleResult:
+        """Draw ``shots`` measurement records as a ``SampleResult``."""
         samples = self.sample(shots, rng)
         return SampleResult.from_samples(self.num_qubits, samples, method="stabilizer")
 

@@ -17,6 +17,7 @@ from typing import Sequence
 
 import numpy as np
 
+from .. import telemetry as _telemetry
 from ..circuit.circuit import QuantumCircuit
 from ..circuit.operations import Barrier, DiagonalOperation, Measurement, Operation
 from ..compile import optimize_circuit
@@ -89,15 +90,21 @@ class StatevectorSimulator(StrongSimulator):
     """Array-based strong simulator with memory-out detection."""
 
     def __init__(
-        self, memory_cap_bytes: int = DEFAULT_MEMORY_CAP, optimize: bool = True
+        self,
+        memory_cap_bytes: int = DEFAULT_MEMORY_CAP,
+        optimize: bool = True,
+        telemetry: "_telemetry.Telemetry" = None,
     ):
         self.memory_cap_bytes = memory_cap_bytes
         #: Run the compile pipeline on input circuits (see ``repro.compile``).
         self.optimize = optimize
+        #: Optional telemetry session activated for the duration of runs.
+        self.telemetry = telemetry
         self._stats = SimulationStats()
 
     @property
     def stats(self) -> SimulationStats:
+        """Statistics from the most recent :meth:`run`."""
         return self._stats
 
     def initial_state(self, num_qubits: int, index: int = 0) -> np.ndarray:
@@ -117,19 +124,51 @@ class StatevectorSimulator(StrongSimulator):
         Measurement instructions are ignored (weak simulation samples from
         the returned amplitudes instead); barriers are skipped.
         """
-        compile_stats: dict = {}
-        if self.optimize:
-            circuit, rewrite = optimize_circuit(circuit)
-            compile_stats = rewrite.to_dict()
-        state = self.initial_state(circuit.num_qubits, initial_state)
-        self._stats = SimulationStats(num_qubits=circuit.num_qubits)
-        self._stats.compile_stats = compile_stats
-        for instruction in circuit:
-            if isinstance(instruction, (Measurement, Barrier)):
-                continue
-            apply_operation_dense(state, instruction, circuit.num_qubits)
-            self._stats.applied_operations += 1
-        return state
+        with _telemetry.activate(self.telemetry):
+            compile_stats: dict = {}
+            if self.optimize:
+                circuit, rewrite = optimize_circuit(circuit)
+                compile_stats = rewrite.to_dict()
+            state = self.initial_state(circuit.num_qubits, initial_state)
+            self._stats = SimulationStats(num_qubits=circuit.num_qubits)
+            self._stats.compile_stats = compile_stats
+            # Single hot-path hook: per-gate spans only when a session is
+            # active; the disabled loop is the plain pre-telemetry path.
+            session = _telemetry.active()
+            build_span = (
+                session.span(
+                    "build", num_qubits=circuit.num_qubits, backend="vector"
+                )
+                if session is not None
+                else _telemetry.NULL_SPAN
+            )
+            with build_span:
+                for instruction in circuit:
+                    if isinstance(instruction, (Measurement, Barrier)):
+                        continue
+                    if session is not None:
+                        gate = getattr(instruction, "gate", None)
+                        label = gate.name if gate is not None else "diagonal"
+                        with session.span("apply", gate=label):
+                            apply_operation_dense(
+                                state, instruction, circuit.num_qubits
+                            )
+                    else:
+                        apply_operation_dense(state, instruction, circuit.num_qubits)
+                    self._stats.applied_operations += 1
+                    if session is not None and session.prober.due(
+                        self._stats.applied_operations
+                    ):
+                        session.prober.record(
+                            session.tracer.clock(),
+                            self._stats.applied_operations,
+                        )
+            if session is not None:
+                build_span.set_attr(
+                    "applied_operations", self._stats.applied_operations
+                )
+                session.registry.record_build(self._stats)
+            return state
 
     def run_from_vector(
         self, circuit: QuantumCircuit, state: Sequence[complex]

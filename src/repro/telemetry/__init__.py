@@ -1,0 +1,149 @@
+"""Unified telemetry: trace spans, metrics, probes, JSONL export.
+
+One :class:`Telemetry` object is one observability session — a
+:class:`~repro.telemetry.trace.Tracer` for hierarchical timing spans, a
+:class:`~repro.telemetry.metrics.Registry` unifying every counter the
+simulator stack produces, and a :class:`~repro.telemetry.probes.Prober`
+sampling DD size and process RSS during strong simulation.
+
+Telemetry is **off by default** and activated explicitly::
+
+    from repro.telemetry import Telemetry
+
+    telemetry = Telemetry()
+    result = simulate_and_sample(circuit, 10_000, telemetry=telemetry)
+    telemetry.export("trace.jsonl")
+    print(telemetry.registry.snapshot()["counters"])
+
+Instrumented code does not thread the session through every call —
+inside an :meth:`Telemetry.activate` block the session is installed as
+the process-wide active session, and hot paths reach it through
+:func:`active` / :func:`span`, which cost a single ``None`` check when
+telemetry is off.  Render a saved trace with::
+
+    python -m repro.telemetry.report trace.jsonl
+
+See ``docs/observability.md`` for the span/metric naming scheme and the
+JSONL format.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, Iterator, Optional, Union
+
+from .export import TRACE_FORMAT, TRACE_VERSION, read_trace, trace_records, write_trace
+from .metrics import Counter, Gauge, Histogram, Registry
+from .probes import DEFAULT_PROBE_INTERVAL, Prober, read_rss_bytes
+from .trace import NULL_SPAN, NullSpan, Span, Tracer
+
+__all__ = [
+    "Telemetry",
+    "active",
+    "enabled",
+    "span",
+    "activate",
+    "Tracer",
+    "Span",
+    "NullSpan",
+    "NULL_SPAN",
+    "Registry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Prober",
+    "read_rss_bytes",
+    "DEFAULT_PROBE_INTERVAL",
+    "TRACE_FORMAT",
+    "TRACE_VERSION",
+    "read_trace",
+    "trace_records",
+    "write_trace",
+]
+
+
+class Telemetry:
+    """One observability session: tracer + registry + prober.
+
+    ``probe_interval`` sets how many applied operations pass between two
+    DD/RSS probes during strong simulation (the probe itself costs an
+    O(DD size) traversal, so the cadence matters).
+    """
+
+    def __init__(self, probe_interval: int = DEFAULT_PROBE_INTERVAL):
+        self.tracer = Tracer()
+        self.registry = Registry()
+        self.prober = Prober(interval=probe_interval)
+
+    def span(self, _name: str, **attrs: Any) -> Span:
+        """Open a span on this session's tracer (see :meth:`Tracer.span`)."""
+        return self.tracer.span(_name, **attrs)
+
+    @contextlib.contextmanager
+    def activate(self) -> Iterator["Telemetry"]:
+        """Install this session as the process-wide active session.
+
+        Re-entrant: nested activations (a CLI activating around a
+        simulator that also received ``telemetry=``) restore the
+        previous session on exit.
+        """
+        global _ACTIVE
+        previous = _ACTIVE
+        _ACTIVE = self
+        try:
+            yield self
+        finally:
+            _ACTIVE = previous
+
+    def export(self, destination: Union[str, Any]) -> int:
+        """Write the session as a JSONL trace; returns the record count."""
+        return write_trace(destination, self.tracer, self.registry, self.prober)
+
+    def records(self) -> list:
+        """The session's trace records without writing them anywhere."""
+        return trace_records(self.tracer, self.registry, self.prober)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Telemetry(spans={len(self.tracer.spans)}, "
+            f"probes={len(self.prober.records)})"
+        )
+
+
+#: The process-wide active session (``None`` = telemetry off).
+_ACTIVE: Optional[Telemetry] = None
+
+
+def active() -> Optional[Telemetry]:
+    """The currently active session, or ``None`` when telemetry is off."""
+    return _ACTIVE
+
+
+def enabled() -> bool:
+    """Whether a telemetry session is currently active."""
+    return _ACTIVE is not None
+
+
+def span(_name: str, **attrs: Any) -> Union[Span, NullSpan]:
+    """Open a span on the active session — or a shared no-op when off.
+
+    This is the hot-path hook: with telemetry off it costs one ``None``
+    check and returns the singleton :data:`NULL_SPAN`.
+    """
+    telemetry = _ACTIVE
+    if telemetry is None:
+        return NULL_SPAN
+    return telemetry.tracer.span(_name, **attrs)
+
+
+def activate(telemetry: Optional[Telemetry]):
+    """Context manager activating ``telemetry`` (no-op for ``None``).
+
+    The convenience form instrumented entry points use::
+
+        with telemetry_module.activate(maybe_session):
+            ...
+    """
+    if telemetry is None:
+        return contextlib.nullcontext()
+    return telemetry.activate()

@@ -1,0 +1,120 @@
+"""JSONL trace export and parsing.
+
+A trace file is newline-delimited JSON with four record types, keyed by
+``"type"``:
+
+``header``
+    First line.  ``format`` (``"repro-trace"``), ``version``,
+    ``epoch_unix`` (Unix time of the session start), ``pid``.
+``span``
+    One finished span: ``id``, ``parent`` (``null`` for roots),
+    ``name``, ``start``/``end`` (seconds since session start),
+    ``duration``, ``attrs`` (free-form object).
+``probe``
+    One resource sample: ``t`` (same clock), ``ops_applied``,
+    ``state_nodes``, ``unique_nodes``, ``rss_bytes`` (all nullable).
+``metrics``
+    Last line.  ``snapshot`` holds ``Registry.snapshot()`` verbatim
+    (``counters``/``gauges``/``histograms``).
+
+The format is append-only by design — a crashed run still leaves a
+parseable prefix — and versioned so readers can reject drift.
+:func:`read_trace` is the one parser both the report tool and the tests
+use.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, IO, Iterable, List, Union
+
+__all__ = ["TRACE_FORMAT", "TRACE_VERSION", "trace_records", "write_trace", "read_trace"]
+
+TRACE_FORMAT = "repro-trace"
+TRACE_VERSION = 1
+
+
+def trace_records(tracer, registry, prober=None) -> List[Dict[str, Any]]:
+    """All trace records — header, spans, probes, metrics — in file order."""
+    records: List[Dict[str, Any]] = [
+        {
+            "type": "header",
+            "format": TRACE_FORMAT,
+            "version": TRACE_VERSION,
+            "epoch_unix": round(tracer.epoch_unix, 6),
+            "pid": os.getpid(),
+        }
+    ]
+    spans = sorted(tracer.spans, key=lambda s: (s.start, s.span_id))
+    records.extend(span.to_dict() for span in spans)
+    if prober is not None:
+        records.extend(prober.records)
+    records.append({"type": "metrics", "snapshot": registry.snapshot()})
+    return records
+
+
+def write_trace(destination: Union[str, IO[str]], tracer, registry, prober=None) -> int:
+    """Write a complete JSONL trace; returns the number of records.
+
+    ``destination`` is a path or an open text handle (``"-"`` is *not*
+    special-cased here — the CLIs handle stdout themselves).
+    """
+    records = trace_records(tracer, registry, prober)
+    if hasattr(destination, "write"):
+        _write_lines(destination, records)
+    else:
+        with open(destination, "w", encoding="utf-8") as handle:
+            _write_lines(handle, records)
+    return len(records)
+
+
+def _write_lines(handle: IO[str], records: Iterable[Dict[str, Any]]) -> None:
+    """Serialise records one per line (compact separators)."""
+    for record in records:
+        handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+
+
+def read_trace(source: Union[str, IO[str]]) -> Dict[str, Any]:
+    """Parse a JSONL trace into ``{header, spans, probes, metrics}``.
+
+    Raises ``ValueError`` on format/version drift or malformed lines, so
+    schema regressions fail loudly in tests and in the report tool.
+    """
+    if hasattr(source, "read"):
+        lines = source.read().splitlines()
+    else:
+        with open(source, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    header: Dict[str, Any] = {}
+    spans: List[Dict[str, Any]] = []
+    probes: List[Dict[str, Any]] = []
+    metrics: Dict[str, Any] = {}
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"line {number}: not valid JSON ({error})") from error
+        kind = record.get("type")
+        if kind == "header":
+            if record.get("format") != TRACE_FORMAT:
+                raise ValueError(f"line {number}: format must be {TRACE_FORMAT!r}")
+            if record.get("version") != TRACE_VERSION:
+                raise ValueError(
+                    f"line {number}: unsupported trace version "
+                    f"{record.get('version')!r} (expected {TRACE_VERSION})"
+                )
+            header = record
+        elif kind == "span":
+            spans.append(record)
+        elif kind == "probe":
+            probes.append(record)
+        elif kind == "metrics":
+            metrics = record.get("snapshot", {})
+        else:
+            raise ValueError(f"line {number}: unknown record type {kind!r}")
+    if not header:
+        raise ValueError("trace has no header record")
+    return {"header": header, "spans": spans, "probes": probes, "metrics": metrics}

@@ -1,0 +1,210 @@
+"""Metrics registry: counters, gauges, histograms, one snapshot.
+
+Before this layer existed, the repo's counters were smeared across
+``SimulationStats`` (compile passes, applier strategies),
+``DDPackage.stats()`` (table sizes and hit rates), the compiled-DD cache,
+and ad-hoc dicts in the bench harnesses.  The :class:`Registry` gives
+them one home: instrumented subsystems *absorb* their counters into it
+at natural boundaries (end of a build, end of a sampling call) and
+``Registry.snapshot()`` returns everything as one plain dict, ready for
+JSONL export or assertion in tests.
+
+Metric names are dotted paths grouped by subsystem::
+
+    compile.cancel.cancelled_pairs      rewrite-pass counters
+    apply.strategy.diagonal             GateApplier routing counts
+    dd.matvec_hit_rate                  ComputeTable hit rates
+    sampler.compiled_cache.reuses       CompiledDD cache traffic
+    shots.branches                      ShotExecutor outcome branches
+
+The full naming scheme is documented in ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Union
+
+__all__ = ["Counter", "Gauge", "Histogram", "Registry"]
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A point-in-time numeric measurement (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Union[int, float] = 0
+
+    def set(self, value: Union[int, float]) -> None:
+        """Record the current value of the measured quantity."""
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Gauge({self.name!r}, {self.value})"
+
+
+class Histogram:
+    """Streaming summary of observed values: count/total/min/max/mean.
+
+    Deliberately bucket-free — the consumers here want "how many, how
+    big, how spread" for quantities like per-segment DD sizes, not
+    quantile estimation; raw distributions belong in the trace.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Union[int, float, None] = None
+        self.max: Union[int, float, None] = None
+
+    def observe(self, value: Union[int, float]) -> None:
+        """Fold one observation into the summary."""
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def summary(self) -> Dict[str, Union[int, float, None]]:
+        """The histogram as a plain dict (snapshot shape)."""
+        mean = self.total / self.count if self.count else 0.0
+        return {
+            "count": self.count,
+            "total": round(self.total, 9),
+            "min": self.min,
+            "max": self.max,
+            "mean": round(mean, 9),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Histogram({self.name!r}, count={self.count})"
+
+
+class Registry:
+    """Named metrics with get-or-create access and one-call snapshot."""
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # Instrument access
+    # ------------------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """Get (or create) the counter called ``name``."""
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        """Get (or create) the gauge called ``name``."""
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        """Get (or create) the histogram called ``name``."""
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(name)
+        return metric
+
+    # ------------------------------------------------------------------
+    # Absorption of the pre-existing scattered counters
+    # ------------------------------------------------------------------
+
+    def record_build(self, stats: Any) -> None:
+        """Absorb a ``SimulationStats`` (applied ops + applier strategy counts).
+
+        Called by the simulators at the end of every run; ``stats`` is
+        duck-typed so this module stays dependency-free.  Compile-pass
+        counters are *not* read from here — the pipeline records them
+        itself while it runs (:meth:`record_compile`), which avoids
+        double counting.
+        """
+        self.counter("build.applied_operations").inc(stats.applied_operations)
+        self.gauge("build.num_qubits").set(stats.num_qubits)
+        self.gauge("build.final_dd_nodes").set(stats.final_dd_nodes)
+        self.gauge("build.peak_dd_nodes").set(stats.peak_dd_nodes)
+        for strategy, count in (stats.strategy_counts or {}).items():
+            self.counter(f"apply.strategy.{strategy}").inc(count)
+        self.counter("apply.diagonal_terms").inc(stats.diagonal_term_applications)
+
+    def record_compile(self, compile_stats: Mapping[str, Any]) -> None:
+        """Absorb compile-pipeline rewrite counters (``CompileStats.to_dict``)."""
+        for key in ("input_operations", "output_operations", "operations_removed"):
+            if key in compile_stats:
+                self.counter(f"compile.{key}").inc(int(compile_stats[key]))
+        if "iterations" in compile_stats:
+            self.counter("compile.iterations").inc(int(compile_stats["iterations"]))
+        for pass_name, counters in (compile_stats.get("passes") or {}).items():
+            for key, value in counters.items():
+                self.counter(f"compile.{pass_name}.{key}").inc(int(value))
+
+    def record_dd_tables(self, package_stats: Mapping[str, Any]) -> None:
+        """Absorb ``DDPackage.stats()`` (unique/compute-table traffic)."""
+        for key, value in package_stats.items():
+            self.gauge(f"dd.{key}").set(value)
+
+    def record_compiled_cache(self, cache_stats: Mapping[str, Any]) -> None:
+        """Absorb the CompiledDD cache counters (builds/reuses/evictions)."""
+        for key, value in cache_stats.items():
+            self.gauge(f"sampler.compiled_cache.{key}").set(value)
+
+    def record_shots(self, executor_stats: Mapping[str, int]) -> None:
+        """Absorb ShotExecutor branching counters (``ShotExecutor.stats``)."""
+        for key, value in executor_stats.items():
+            self.counter(f"shots.{key}").inc(int(value))
+
+    # ------------------------------------------------------------------
+    # Snapshot
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Everything the registry holds, as one JSON-ready dict."""
+        return {
+            "counters": {
+                name: metric.value for name, metric in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: metric.value for name, metric in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: metric.summary()
+                for name, metric in sorted(self._histograms.items())
+            },
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Registry(counters={len(self._counters)}, gauges={len(self._gauges)}, "
+            f"histograms={len(self._histograms)})"
+        )

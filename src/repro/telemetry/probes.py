@@ -1,0 +1,90 @@
+"""Periodic resource probes: DD growth and process RSS over time.
+
+Strong simulation's memory driver is the size of the *intermediate*
+decision diagrams, not the final state (see ``DDSimulator.track_peak``).
+A probe is one sample of that trajectory: taken every ``interval``
+applied operations, it records the live state's node count, the unique
+table's total size, and the process resident set.  Probes land in the
+JSONL trace as ``{"type": "probe", ...}`` records, so
+``repro.telemetry.report`` can show DD-growth-over-time next to the
+phase breakdown.
+
+RSS is read without dependencies: ``/proc/self/statm`` where available
+(Linux), ``resource.getrusage`` otherwise, ``None`` when neither works.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional
+
+__all__ = ["read_rss_bytes", "Prober", "DEFAULT_PROBE_INTERVAL"]
+
+#: Operations applied between two probes (keeps the O(size) node count
+#: traversal off the per-gate path even with telemetry enabled).
+DEFAULT_PROBE_INTERVAL = 25
+
+_PAGE_SIZE = os.sysconf("SC_PAGE_SIZE") if hasattr(os, "sysconf") else 4096
+
+
+def read_rss_bytes() -> Optional[int]:
+    """Resident set size of this process in bytes (``None`` if unknown)."""
+    try:
+        with open("/proc/self/statm", "r", encoding="ascii") as handle:
+            fields = handle.read().split()
+        return int(fields[1]) * _PAGE_SIZE
+    except (OSError, IndexError, ValueError):
+        pass
+    try:
+        import resource
+
+        usage = resource.getrusage(resource.RUSAGE_SELF)
+        # ru_maxrss is KiB on Linux, bytes on macOS; normalise to bytes.
+        factor = 1 if usage.ru_maxrss > 1 << 32 else 1024
+        return int(usage.ru_maxrss) * factor
+    except (ImportError, ValueError, OSError):  # pragma: no cover - exotic OS
+        return None
+
+
+class Prober:
+    """Collects probe records on a fixed applied-operation cadence."""
+
+    def __init__(self, interval: int = DEFAULT_PROBE_INTERVAL):
+        if interval < 1:
+            raise ValueError("probe interval must be positive")
+        self.interval = interval
+        #: Probe records in capture order (JSONL-ready dicts).
+        self.records: List[Dict[str, Any]] = []
+
+    def due(self, ops_applied: int) -> bool:
+        """Whether a probe should fire after ``ops_applied`` operations."""
+        return ops_applied % self.interval == 0
+
+    def record(
+        self,
+        clock: float,
+        ops_applied: int,
+        state_nodes: Optional[int] = None,
+        unique_nodes: Optional[int] = None,
+        **extra: Any,
+    ) -> Dict[str, Any]:
+        """Capture one probe at tracer time ``clock``; returns the record."""
+        probe: Dict[str, Any] = {
+            "type": "probe",
+            "t": round(clock, 9),
+            "ops_applied": ops_applied,
+            "state_nodes": state_nodes,
+            "unique_nodes": unique_nodes,
+            "rss_bytes": read_rss_bytes(),
+        }
+        probe.update(extra)
+        self.records.append(probe)
+        return probe
+
+    def peak(self, key: str) -> Optional[int]:
+        """Largest non-``None`` value of ``key`` across records."""
+        values = [r.get(key) for r in self.records if r.get(key) is not None]
+        return max(values) if values else None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Prober(interval={self.interval}, records={len(self.records)})"

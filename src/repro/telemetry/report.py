@@ -1,0 +1,210 @@
+"""Trace summarizer: ``python -m repro.telemetry.report trace.jsonl``.
+
+Reads a JSONL trace (see :mod:`repro.telemetry.export`) and renders
+
+* a **per-phase breakdown** — root spans grouped by name with count,
+  wall seconds, and share of the traced wall time, plus a coverage line
+  (how much of the wall the phases explain),
+* a **hot-spans table** — the most expensive nested span groups (e.g.
+  per-gate ``apply`` spans grouped by gate name),
+* a **DD growth summary** from the probe records (final/peak node
+  counts, peak RSS),
+* the headline **metrics** from the final snapshot.
+
+All functions take parsed trace dicts so the example scripts and tests
+can render in-memory sessions without touching the filesystem.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Dict, List, Optional
+
+from .export import read_trace
+
+__all__ = [
+    "phase_breakdown",
+    "hot_spans",
+    "format_phase_table",
+    "render_report",
+    "main",
+]
+
+
+def _wall_seconds(spans: List[Dict[str, Any]]) -> float:
+    """End of the last span minus start of the first (0.0 when empty)."""
+    timed = [s for s in spans if s.get("end") is not None]
+    if not timed:
+        return 0.0
+    return max(s["end"] for s in timed) - min(s["start"] for s in timed)
+
+
+def phase_breakdown(trace: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Root spans grouped by name: count, seconds, share of wall time.
+
+    Returns one row per phase name, ordered by first occurrence, with a
+    ``percent`` key relative to the traced wall time.
+    """
+    spans = trace["spans"]
+    wall = _wall_seconds(spans)
+    rows: List[Dict[str, Any]] = []
+    by_name: Dict[str, Dict[str, Any]] = {}
+    for span in spans:
+        if span.get("parent") is not None:
+            continue
+        row = by_name.get(span["name"])
+        if row is None:
+            row = by_name[span["name"]] = {
+                "phase": span["name"],
+                "count": 0,
+                "seconds": 0.0,
+            }
+            rows.append(row)
+        row["count"] += 1
+        row["seconds"] += span.get("duration", 0.0)
+    for row in rows:
+        row["seconds"] = round(row["seconds"], 6)
+        row["percent"] = round(100.0 * row["seconds"] / wall, 1) if wall else 0.0
+    return rows
+
+
+def hot_spans(trace: Dict[str, Any], top: int = 10) -> List[Dict[str, Any]]:
+    """Nested spans grouped by (name, gate attr), heaviest first."""
+    groups: Dict[str, Dict[str, Any]] = {}
+    for span in trace["spans"]:
+        if span.get("parent") is None:
+            continue
+        gate = (span.get("attrs") or {}).get("gate")
+        label = f"{span['name']}[{gate}]" if gate else span["name"]
+        row = groups.setdefault(label, {"span": label, "count": 0, "seconds": 0.0})
+        row["count"] += 1
+        row["seconds"] += span.get("duration", 0.0)
+    ordered = sorted(groups.values(), key=lambda r: r["seconds"], reverse=True)
+    for row in ordered:
+        row["seconds"] = round(row["seconds"], 6)
+    return ordered[:top]
+
+
+def format_phase_table(trace: Dict[str, Any]) -> str:
+    """The per-phase breakdown as an aligned text table with coverage."""
+    rows = phase_breakdown(trace)
+    wall = _wall_seconds(trace["spans"])
+    lines = [f"{'phase':<28} {'count':>7} {'seconds':>12} {'% wall':>8}"]
+    covered = 0.0
+    for row in rows:
+        covered += row["seconds"]
+        lines.append(
+            f"{row['phase']:<28} {row['count']:>7} "
+            f"{row['seconds']:>12.6f} {row['percent']:>7.1f}%"
+        )
+    coverage = 100.0 * covered / wall if wall else 0.0
+    lines.append(
+        f"{'(traced wall)':<28} {'':>7} {wall:>12.6f} "
+        f"{'':>3}cov {coverage:.1f}%"
+    )
+    return "\n".join(lines)
+
+
+def _format_bytes(value: Optional[int]) -> str:
+    """Human-readable byte count (``'?'`` when unknown)."""
+    if value is None:
+        return "?"
+    size = float(value)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if size < 1024 or unit == "GiB":
+            return f"{size:.1f} {unit}"
+        size /= 1024
+    return f"{size:.1f} GiB"  # pragma: no cover - unreachable
+
+
+def _probe_summary(trace: Dict[str, Any]) -> List[str]:
+    """DD growth and RSS lines from the probe records (may be empty)."""
+    probes = trace["probes"]
+    if not probes:
+        return []
+    node_values = [p["state_nodes"] for p in probes if p.get("state_nodes") is not None]
+    rss_values = [p["rss_bytes"] for p in probes if p.get("rss_bytes") is not None]
+    lines = [f"probes: {len(probes)} samples"]
+    if node_values:
+        lines.append(
+            f"  state DD nodes: first {node_values[0]}, "
+            f"peak {max(node_values)}, last {node_values[-1]}"
+        )
+    if rss_values:
+        lines.append(f"  peak RSS: {_format_bytes(max(rss_values))}")
+    return lines
+
+
+def _metrics_summary(trace: Dict[str, Any], limit: int = 12) -> List[str]:
+    """The most informative counters/gauges from the final snapshot."""
+    snapshot = trace.get("metrics") or {}
+    counters = snapshot.get("counters") or {}
+    gauges = snapshot.get("gauges") or {}
+    lines: List[str] = []
+    if counters:
+        lines.append("counters:")
+        for name, value in list(sorted(counters.items()))[:limit]:
+            lines.append(f"  {name} = {value}")
+        if len(counters) > limit:
+            lines.append(f"  ... {len(counters) - limit} more")
+    interesting = [
+        name
+        for name in sorted(gauges)
+        if name.endswith("_hit_rate") or name.startswith("build.")
+    ]
+    if interesting:
+        lines.append("gauges:")
+        for name in interesting[:limit]:
+            lines.append(f"  {name} = {gauges[name]}")
+    return lines
+
+
+def render_report(trace: Dict[str, Any], top: int = 10) -> str:
+    """The full text report for one parsed trace."""
+    lines = [
+        f"trace: {len(trace['spans'])} spans, {len(trace['probes'])} probes "
+        f"(format {trace['header']['format']} v{trace['header']['version']})",
+        "",
+        format_phase_table(trace),
+    ]
+    hot = hot_spans(trace, top=top)
+    if hot:
+        lines.append("")
+        lines.append(f"{'hot spans':<34} {'count':>7} {'seconds':>12}")
+        for row in hot:
+            lines.append(f"{row['span']:<34} {row['count']:>7} {row['seconds']:>12.6f}")
+    probe_lines = _probe_summary(trace)
+    if probe_lines:
+        lines.append("")
+        lines.extend(probe_lines)
+    metric_lines = _metrics_summary(trace)
+    if metric_lines:
+        lines.append("")
+        lines.extend(metric_lines)
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point: parse a trace file and print the report."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry.report",
+        description="Summarise a repro JSONL telemetry trace: per-phase "
+        "time breakdown, hot spans, DD growth, metrics.",
+    )
+    parser.add_argument("trace_file", help="path to the JSONL trace")
+    parser.add_argument(
+        "--top", type=int, default=10, help="rows in the hot-spans table"
+    )
+    args = parser.parse_args(argv)
+    try:
+        trace = read_trace(args.trace_file)
+    except (OSError, ValueError) as error:
+        print(f"error: cannot read trace: {error}", file=sys.stderr)
+        return 2
+    print(render_report(trace, top=args.top))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,160 @@
+"""Hierarchical trace spans with wall-clock timing.
+
+A :class:`Span` measures one named phase of work — ``build``, ``apply``,
+``sampling`` — with a start/end offset on a monotonic clock and free-form
+attributes (gate name, shot count, …).  Spans nest: the :class:`Tracer`
+keeps a stack, so a span opened while another is active records that
+span as its parent, and the exported trace reconstructs the full tree.
+
+Design constraints (see ``docs/observability.md``):
+
+* **Zero dependencies** — standard library only.
+* **Cheap when disabled** — callers that might run without telemetry go
+  through :func:`repro.telemetry.span`, which returns the shared
+  :data:`NULL_SPAN` after a single ``None`` check; no allocation, no
+  clock read.
+* **Monotonic time** — offsets come from :func:`time.perf_counter`
+  relative to the tracer's epoch, so spans are immune to wall-clock
+  adjustments; the epoch itself is recorded once as Unix time for
+  cross-referencing with logs.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+__all__ = ["Span", "NullSpan", "NULL_SPAN", "Tracer"]
+
+
+class Span:
+    """One timed, attributed phase of work; usable as a context manager."""
+
+    __slots__ = ("tracer", "name", "span_id", "parent_id", "start", "end", "attrs")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        span_id: int,
+        parent_id: Optional[int],
+        attrs: Dict[str, Any],
+    ):
+        self.tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self.start: float = 0.0
+        self.end: Optional[float] = None
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (0.0 while the span is still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def set_attr(self, key: str, value: Any) -> None:
+        """Attach or overwrite one attribute on the span."""
+        self.attrs[key] = value
+
+    def __enter__(self) -> "Span":
+        self.start = self.tracer.clock()
+        self.tracer._stack.append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.end = self.tracer.clock()
+        stack = self.tracer._stack
+        if stack and stack[-1] is self:
+            stack.pop()
+        elif self in stack:  # pragma: no cover - defensive unwinding
+            stack.remove(self)
+        self.tracer.spans.append(self)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The span as one JSONL record (see ``docs/observability.md``)."""
+        return {
+            "type": "span",
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start": round(self.start, 9),
+            "end": round(self.end, 9) if self.end is not None else None,
+            "duration": round(self.duration, 9),
+            "attrs": self.attrs,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Span({self.name!r}, id={self.span_id}, duration={self.duration:.6f})"
+
+
+class NullSpan:
+    """The do-nothing span returned when telemetry is inactive.
+
+    Supports the same surface as :class:`Span` (context manager plus
+    :meth:`set_attr`) so instrumented code needs no branching beyond the
+    initial enabled check.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+    def set_attr(self, key: str, value: Any) -> None:
+        """Discard the attribute (telemetry is inactive)."""
+
+
+#: Shared no-op span: one instance for the whole process.
+NULL_SPAN = NullSpan()
+
+
+class Tracer:
+    """Collects finished spans for one telemetry session."""
+
+    def __init__(self):
+        #: Unix time of the session start (for log correlation only).
+        self.epoch_unix = time.time()
+        self._origin = time.perf_counter()
+        #: Finished spans in completion order (children before parents).
+        self.spans: List[Span] = []
+        self._stack: List[Span] = []
+        self._next_id = 1
+
+    def clock(self) -> float:
+        """Monotonic seconds since the tracer was created."""
+        return time.perf_counter() - self._origin
+
+    def span(self, _name: str, **attrs: Any) -> Span:
+        """Open a new span; nest it under the currently active span.
+
+        The span name is positional-style (``_name``) so any attribute
+        keyword — including ``name=`` — stays usable.
+        """
+        parent = self._stack[-1].span_id if self._stack else None
+        span = Span(self, _name, self._next_id, parent, attrs)
+        self._next_id += 1
+        return span
+
+    @property
+    def wall_seconds(self) -> float:
+        """Span of recorded activity: last span end minus first start."""
+        if not self.spans:
+            return 0.0
+        start = min(s.start for s in self.spans)
+        end = max(s.end for s in self.spans if s.end is not None)
+        return max(0.0, end - start)
+
+    def roots(self) -> List[Span]:
+        """Finished spans that have no parent, in start order."""
+        return sorted(
+            (s for s in self.spans if s.parent_id is None), key=lambda s: s.start
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Tracer(spans={len(self.spans)}, open={len(self._stack)})"

@@ -1,0 +1,60 @@
+"""Docstring-coverage gate, wired into the test suite.
+
+Runs the same checker as ``make docs-check`` (``tools/check_docstrings.py``)
+over ``src/repro`` and fails listing every undocumented public
+definition, so documentation debt cannot land silently.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from check_docstrings import check_file, check_tree  # noqa: E402
+
+
+def test_package_docstring_coverage_is_complete():
+    """Every public module/class/function/method in src/repro is documented."""
+    missing = check_tree(REPO_ROOT / "src" / "repro")
+    report = "\n".join(
+        f"{m.path}:{m.line}: undocumented {m.kind} {m.name}" for m in missing
+    )
+    assert not missing, f"undocumented public definitions:\n{report}"
+
+
+def test_checker_flags_missing_docstrings(tmp_path):
+    """The checker itself detects undocumented defs (it is not a no-op)."""
+    source = tmp_path / "sample.py"
+    source.write_text(
+        '"""Module docstring."""\n'
+        "def documented():\n"
+        '    """Has one."""\n'
+        "def undocumented():\n"
+        "    return 1\n"
+        "class Thing:\n"
+        "    def method(self):\n"
+        "        return 2\n"
+    )
+    missing = check_file(source)
+    names = {m.name for m in missing}
+    assert names == {"undocumented", "Thing", "Thing.method"}
+
+
+def test_checker_exempts_private_and_stubs(tmp_path):
+    """Underscore names, dunders, and pass-only stubs are exempt."""
+    source = tmp_path / "sample.py"
+    source.write_text(
+        '"""Module docstring."""\n'
+        "def _private():\n"
+        "    return 1\n"
+        "class Widget:\n"
+        '    """A widget."""\n'
+        "    def __init__(self, x):\n"
+        "        self.x = x\n"
+        "    def __repr__(self):\n"
+        "        return 'Widget'\n"
+        "    def stub(self):\n"
+        "        ...\n"
+    )
+    assert check_file(source) == []

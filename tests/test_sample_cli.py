@@ -66,6 +66,60 @@ def test_stats_flag(bell_file, capsys):
     assert "precompute" in capsys.readouterr().out
 
 
+def test_stats_output_stays_parseable(bell_file, capsys):
+    """The --stats block keeps its 'key: value, key=value' line shape."""
+    assert main([bell_file, "--shots", "200", "--stats", "--seed", "6"]) == 0
+    out = capsys.readouterr().out
+    for prefix in ("precompute:", "build:", "strategies:", "dd tables:", "compiled DDs:"):
+        assert any(line.startswith(prefix) for line in out.splitlines()), prefix
+    stats_line = next(line for line in out.splitlines() if line.startswith("dd tables:"))
+    pairs = dict(
+        item.split("=", 1) for item in stats_line[len("dd tables: "):].split(", ")
+    )
+    assert "unique_nodes" in pairs
+    float(pairs["matvec_hit_rate"])  # numeric
+
+
+def test_trace_flag_writes_valid_jsonl(bell_file, tmp_path, capsys):
+    from repro.telemetry import read_trace
+
+    trace_file = tmp_path / "trace.jsonl"
+    assert main(
+        [bell_file, "--shots", "300", "--seed", "7", "--trace", str(trace_file)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert f"-> {trace_file}" in out
+    trace = read_trace(str(trace_file))
+    assert trace["header"]["format"] == "repro-trace"
+    root_names = [s["name"] for s in trace["spans"] if s["parent"] is None]
+    assert root_names == ["compile", "build", "precompute", "sampling"]
+    assert trace["metrics"]["counters"]["sample.shots"] == 300
+
+
+def test_trace_and_stats_together(bell_file, tmp_path, capsys):
+    trace_file = tmp_path / "trace.jsonl"
+    assert main(
+        [
+            bell_file,
+            "--shots", "100",
+            "--seed", "8",
+            "--stats",
+            "--trace", str(trace_file),
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "precompute" in out
+    assert "trace:" in out
+    assert trace_file.exists()
+
+
+def test_trace_unwritable_path_fails_cleanly(bell_file, capsys):
+    assert main(
+        [bell_file, "--shots", "10", "--trace", "/nonexistent/dir/trace.jsonl"]
+    ) == 2
+    assert "cannot write" in capsys.readouterr().err
+
+
 def test_missing_file(capsys):
     assert main(["/nonexistent/file.qasm"]) == 2
     assert "cannot read" in capsys.readouterr().err

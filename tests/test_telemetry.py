@@ -1,0 +1,388 @@
+"""Tests for the unified telemetry layer (repro.telemetry).
+
+Covers the tracer/span tree, the metrics registry and its absorption
+methods, the resource prober, the JSONL schema (round trip + loud
+failure on drift), the report renderer, and the end-to-end integration
+with ``simulate_and_sample`` and ``ShotExecutor``.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro import telemetry as tel
+from repro.algorithms.qft import qft
+from repro.algorithms.states import ghz
+from repro.circuit.circuit import QuantumCircuit
+from repro.core.shot_executor import ShotExecutor
+from repro.core.weak_sim import simulate_and_sample
+from repro.telemetry import (
+    NULL_SPAN,
+    Prober,
+    Registry,
+    Telemetry,
+    Tracer,
+    read_trace,
+)
+from repro.telemetry.report import (
+    format_phase_table,
+    hot_spans,
+    phase_breakdown,
+    render_report,
+)
+
+
+# ----------------------------------------------------------------------
+# Tracer / spans
+# ----------------------------------------------------------------------
+
+
+class TestTracer:
+    def test_spans_nest_parent_child(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert len(tracer.spans) == 2
+
+    def test_span_records_duration_and_attrs(self):
+        tracer = Tracer()
+        with tracer.span("work", gate="h") as span:
+            span.set_attr("extra", 42)
+        assert span.end is not None and span.end >= span.start
+        assert span.attrs == {"gate": "h", "extra": 42}
+
+    def test_name_attribute_keyword_is_usable(self):
+        # The span-name parameter is `_name` precisely so callers can
+        # attach an attribute literally called "name".
+        tracer = Tracer()
+        with tracer.span("compile.pass", name="fuse") as span:
+            pass
+        assert span.name == "compile.pass"
+        assert span.attrs["name"] == "fuse"
+
+    def test_roots_ordered_by_start(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [s.name for s in tracer.roots()] == ["a", "b"]
+
+    def test_wall_seconds_spans_first_to_last(self):
+        tracer = Tracer()
+        assert tracer.wall_seconds == 0.0
+        with tracer.span("a"):
+            pass
+        assert tracer.wall_seconds >= 0.0
+
+
+class TestModuleHooks:
+    def test_span_is_null_when_inactive(self):
+        assert tel.active() is None
+        assert tel.span("anything") is NULL_SPAN
+        assert not tel.enabled()
+
+    def test_null_span_supports_span_surface(self):
+        with tel.span("off") as span:
+            span.set_attr("ignored", 1)  # must not raise
+
+    def test_activation_installs_and_restores(self):
+        session = Telemetry()
+        with session.activate():
+            assert tel.active() is session
+            with tel.span("on"):
+                pass
+        assert tel.active() is None
+        assert [s.name for s in session.tracer.spans] == ["on"]
+
+    def test_activation_is_reentrant(self):
+        outer, inner = Telemetry(), Telemetry()
+        with outer.activate():
+            with inner.activate():
+                assert tel.active() is inner
+            assert tel.active() is outer
+
+    def test_activate_none_is_noop(self):
+        with tel.activate(None):
+            assert tel.active() is None
+
+
+# ----------------------------------------------------------------------
+# Metrics registry
+# ----------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_counter_accumulates_and_rejects_negative(self):
+        registry = Registry()
+        registry.counter("x").inc()
+        registry.counter("x").inc(4)
+        assert registry.counter("x").value == 5
+        with pytest.raises(ValueError):
+            registry.counter("x").inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        registry = Registry()
+        registry.gauge("g").set(10)
+        registry.gauge("g").set(3)
+        assert registry.gauge("g").value == 3
+
+    def test_histogram_summary(self):
+        registry = Registry()
+        for value in (1, 2, 9):
+            registry.histogram("h").observe(value)
+        summary = registry.histogram("h").summary()
+        assert summary["count"] == 3
+        assert summary["min"] == 1 and summary["max"] == 9
+        assert summary["mean"] == 4.0
+
+    def test_snapshot_shape_and_sorting(self):
+        registry = Registry()
+        registry.counter("b").inc()
+        registry.counter("a").inc()
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(2)
+        snapshot = registry.snapshot()
+        assert set(snapshot) == {"counters", "gauges", "histograms"}
+        assert list(snapshot["counters"]) == ["a", "b"]
+        assert snapshot["gauges"] == {"g": 1.5}
+        assert snapshot["histograms"]["h"]["count"] == 1
+
+    def test_record_shots_prefixes(self):
+        registry = Registry()
+        registry.record_shots({"branches": 3, "collapses": 7})
+        counters = registry.snapshot()["counters"]
+        assert counters["shots.branches"] == 3
+        assert counters["shots.collapses"] == 7
+
+    def test_record_dd_tables_and_cache_are_gauges(self):
+        registry = Registry()
+        registry.record_dd_tables({"unique_nodes": 12, "matvec_hit_rate": 0.5})
+        registry.record_compiled_cache({"builds": 2, "reuses": 1})
+        gauges = registry.snapshot()["gauges"]
+        assert gauges["dd.unique_nodes"] == 12
+        assert gauges["sampler.compiled_cache.reuses"] == 1
+
+
+# ----------------------------------------------------------------------
+# Probes
+# ----------------------------------------------------------------------
+
+
+class TestProber:
+    def test_due_on_interval(self):
+        prober = Prober(interval=10)
+        assert prober.due(10) and prober.due(20)
+        assert not prober.due(5)
+
+    def test_record_shape_and_peak(self):
+        prober = Prober(interval=1)
+        prober.record(0.5, 10, state_nodes=4, unique_nodes=9)
+        prober.record(0.9, 20, state_nodes=7, unique_nodes=12)
+        record = prober.records[0]
+        assert record["type"] == "probe"
+        assert record["t"] == 0.5 and record["ops_applied"] == 10
+        assert "rss_bytes" in record
+        assert prober.peak("state_nodes") == 7
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Prober(interval=0)
+
+
+# ----------------------------------------------------------------------
+# JSONL schema
+# ----------------------------------------------------------------------
+
+
+def _traced_session(shots=256):
+    """One end-to-end session over a small QFT weak simulation."""
+    circuit = qft(4)
+    circuit.measure_all()
+    session = Telemetry(probe_interval=1)
+    simulate_and_sample(circuit, shots, seed=0, telemetry=session)
+    return session
+
+
+class TestJSONLSchema:
+    def test_first_record_is_versioned_header(self):
+        session = _traced_session()
+        records = session.records()
+        header = records[0]
+        assert header["type"] == "header"
+        assert header["format"] == "repro-trace"
+        assert header["version"] == 1
+        assert header["epoch_unix"] > 0
+        assert header["pid"] > 0
+
+    def test_every_line_is_json_with_known_type(self):
+        session = _traced_session()
+        buffer = io.StringIO()
+        count = session.export(buffer)
+        lines = buffer.getvalue().splitlines()
+        assert len(lines) == count
+        kinds = [json.loads(line)["type"] for line in lines]
+        assert kinds[0] == "header"
+        assert kinds[-1] == "metrics"
+        assert set(kinds) <= {"header", "span", "probe", "metrics"}
+
+    def test_span_records_carry_required_keys(self):
+        session = _traced_session()
+        for record in session.records():
+            if record["type"] != "span":
+                continue
+            assert set(record) == {
+                "type", "id", "parent", "name", "start", "end", "duration", "attrs",
+            }
+            assert record["end"] >= record["start"]
+
+    def test_round_trip_through_file(self, tmp_path):
+        session = _traced_session()
+        path = tmp_path / "trace.jsonl"
+        written = session.export(str(path))
+        trace = read_trace(str(path))
+        assert trace["header"]["format"] == "repro-trace"
+        total = 1 + len(trace["spans"]) + len(trace["probes"]) + 1
+        assert total == written
+        assert set(trace["metrics"]) == {"counters", "gauges", "histograms"}
+
+    def test_root_phases_cover_the_pipeline(self):
+        session = _traced_session()
+        roots = [s.name for s in session.tracer.roots()]
+        assert roots == ["compile", "build", "precompute", "sampling"]
+
+    def test_read_trace_rejects_version_drift(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type":"header","format":"repro-trace","version":99}\n')
+        with pytest.raises(ValueError, match="version"):
+            read_trace(str(path))
+
+    def test_read_trace_rejects_malformed_lines(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ValueError, match="line 1"):
+            read_trace(str(path))
+
+    def test_read_trace_requires_header(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type":"metrics","snapshot":{}}\n')
+        with pytest.raises(ValueError, match="header"):
+            read_trace(str(path))
+
+
+# ----------------------------------------------------------------------
+# Registry integration: every pre-existing counter in one snapshot
+# ----------------------------------------------------------------------
+
+
+class TestUnifiedSnapshot:
+    def test_all_subsystem_counters_reachable(self):
+        session = _traced_session()
+        snapshot = session.registry.snapshot()
+        counters, gauges = snapshot["counters"], snapshot["gauges"]
+        # compile pipeline
+        assert counters["compile.input_operations"] > 0
+        assert "compile.fuse.gates_eliminated" in counters
+        # build / applier strategies
+        assert counters["build.applied_operations"] > 0
+        assert any(name.startswith("apply.strategy.") for name in counters)
+        # DD tables and compiled cache
+        assert "dd.matvec_hit_rate" in gauges
+        assert "sampler.compiled_cache.builds" in gauges
+        # sampling
+        assert counters["sample.shots"] == 256
+
+    def test_compile_counters_not_double_counted(self):
+        circuit = qft(4)
+        circuit.measure_all()
+        session = Telemetry()
+        simulate_and_sample(circuit, 16, seed=0, telemetry=session)
+        counters = session.registry.snapshot()["counters"]
+        assert counters["compile.input_operations"] == circuit.num_operations
+
+    def test_shot_executor_counters(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.measure(0)
+        circuit.cx(0, 1)
+        circuit.measure_all()
+        session = Telemetry()
+        executor = ShotExecutor(circuit, telemetry=session)
+        executor.run(100, seed=0)
+        counters = session.registry.snapshot()["counters"]
+        assert counters["shots.branches"] >= 2
+        assert counters["shots.collapses"] >= 2
+        assert counters["shots.binomial_splits"] >= 1
+
+    def test_probes_fire_during_build(self):
+        session = _traced_session()
+        assert session.prober.records
+        assert session.prober.peak("state_nodes") >= 1
+
+    def test_disabled_runs_leave_no_trace(self):
+        circuit = ghz(3)
+        circuit.measure_all()
+        result = simulate_and_sample(circuit, 64, seed=0)
+        assert result.shots == 64
+        assert tel.active() is None
+
+
+# ----------------------------------------------------------------------
+# Report
+# ----------------------------------------------------------------------
+
+
+class TestReport:
+    def test_phase_breakdown_sums_within_wall(self, tmp_path):
+        session = _traced_session()
+        path = tmp_path / "trace.jsonl"
+        session.export(str(path))
+        trace = read_trace(str(path))
+        phases = phase_breakdown(trace)
+        names = [row["phase"] for row in phases]
+        assert names == ["compile", "build", "precompute", "sampling"]
+        covered = sum(row["seconds"] for row in phases)
+        assert covered <= session.tracer.wall_seconds * 1.001
+
+    def test_hot_spans_group_by_gate(self, tmp_path):
+        session = _traced_session()
+        path = tmp_path / "trace.jsonl"
+        session.export(str(path))
+        trace = read_trace(str(path))
+        labels = {row["span"] for row in hot_spans(trace)}
+        assert any(label.startswith("apply[") for label in labels)
+
+    def test_render_report_mentions_every_section(self, tmp_path):
+        session = _traced_session()
+        path = tmp_path / "trace.jsonl"
+        session.export(str(path))
+        report = render_report(read_trace(str(path)))
+        for fragment in ("phase", "cov ", "hot spans", "probes:", "counters:"):
+            assert fragment in report
+
+    def test_report_cli_renders_and_fails_loudly(self, tmp_path, capsys):
+        from repro.telemetry.report import main as report_main
+
+        session = _traced_session()
+        path = tmp_path / "trace.jsonl"
+        session.export(str(path))
+        assert report_main([str(path)]) == 0
+        assert "phase" in capsys.readouterr().out
+
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("nope\n")
+        assert report_main([str(bad)]) == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_format_phase_table_is_aligned_text(self, tmp_path):
+        session = _traced_session()
+        path = tmp_path / "trace.jsonl"
+        session.export(str(path))
+        table = format_phase_table(read_trace(str(path)))
+        lines = table.splitlines()
+        assert lines[0].startswith("phase")
+        assert lines[-1].lstrip().startswith("(traced wall)")

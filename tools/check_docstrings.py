@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""Docstring-coverage gate: every public definition documents itself.
+
+Walks the package's Python sources with :mod:`ast` (no imports, so it is
+fast and side-effect free) and reports every public module, class,
+function, and method that lacks a docstring.  Intentionally dependency
+free — it fills the role ``interrogate`` would, without installing
+anything — and intentionally strict: the budget is **zero missing**, so
+the check either passes or names exactly what to document.
+
+What counts as public (and therefore must carry a docstring):
+
+* modules, unless every name they define is underscore-private,
+* classes and functions whose names don't start with ``_``,
+* methods of public classes, with dunders other than ``__init__``
+  exempt (``__repr__`` etc. restate their protocol), and ``__init__``
+  itself exempt when the class docstring already describes construction
+  — which in this codebase it does by convention; override-style stubs
+  (a body that is only ``pass``/``...``) are also exempt.
+
+Usage::
+
+    python tools/check_docstrings.py            # check src/repro
+    python tools/check_docstrings.py --list     # print per-file coverage
+    make docs-check
+
+Exit status 0 when coverage is complete, 1 when anything is missing
+(`tests/test_docstrings.py` runs this in the tier-1 suite).
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, NamedTuple
+
+
+class Missing(NamedTuple):
+    """One undocumented public definition."""
+
+    path: Path
+    line: int
+    kind: str
+    name: str
+
+
+def _is_stub(node: ast.AST) -> bool:
+    """Whether a function body is only ``pass``/``...`` (an override stub)."""
+    body = getattr(node, "body", [])
+    if len(body) != 1:
+        return False
+    only = body[0]
+    if isinstance(only, ast.Pass):
+        return True
+    return isinstance(only, ast.Expr) and isinstance(only.value, ast.Constant)
+
+
+def _public_functions(
+    parent: ast.AST, prefix: str, inside_class: bool
+) -> Iterator[Missing]:
+    """Yield undocumented public functions/methods under ``parent``."""
+    for node in ast.iter_child_nodes(parent):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            name = node.name
+            if name.startswith("_") and not (inside_class and name == "__init__"):
+                continue
+            if inside_class and name == "__init__":
+                continue  # class docstring covers construction
+            if ast.get_docstring(node) is None and not _is_stub(node):
+                kind = "method" if inside_class else "function"
+                yield Missing(Path(), node.lineno, kind, f"{prefix}{name}")
+        elif isinstance(node, ast.ClassDef):
+            if node.name.startswith("_"):
+                continue
+            if ast.get_docstring(node) is None:
+                yield Missing(Path(), node.lineno, "class", f"{prefix}{node.name}")
+            yield from _public_functions(node, f"{prefix}{node.name}.", True)
+
+
+def check_file(path: Path) -> List[Missing]:
+    """All undocumented public definitions in one source file."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    missing: List[Missing] = []
+    if ast.get_docstring(tree) is None:
+        missing.append(Missing(path, 1, "module", path.stem))
+    missing.extend(
+        Missing(path, found.line, found.kind, found.name)
+        for found in _public_functions(tree, "", False)
+    )
+    return missing
+
+
+def check_tree(root: Path) -> List[Missing]:
+    """Check every ``.py`` file under ``root``; returns all misses."""
+    missing: List[Missing] = []
+    for path in sorted(root.rglob("*.py")):
+        missing.extend(check_file(path))
+    return missing
+
+
+def main(argv: List[str] | None = None) -> int:
+    """CLI entry point; exit 0 iff every public definition is documented."""
+    parser = argparse.ArgumentParser(
+        description="Fail when a public module/class/function lacks a docstring."
+    )
+    parser.add_argument(
+        "root",
+        nargs="?",
+        default="src/repro",
+        help="package directory to check (default: src/repro)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="also print per-file definition counts",
+    )
+    args = parser.parse_args(argv)
+    root = Path(args.root)
+    if not root.is_dir():
+        print(f"error: {root} is not a directory", file=sys.stderr)
+        return 2
+    missing = check_tree(root)
+    checked = len(list(root.rglob("*.py")))
+    if args.list:
+        for path in sorted(root.rglob("*.py")):
+            misses = check_file(path)
+            marker = f"{len(misses)} missing" if misses else "ok"
+            print(f"{path}: {marker}")
+    if missing:
+        for item in missing:
+            print(f"{item.path}:{item.line}: undocumented {item.kind} {item.name}")
+        print(f"\n{len(missing)} undocumented definitions across {checked} files")
+        return 1
+    print(f"docstring coverage complete: {checked} files, 0 missing")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
