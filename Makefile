@@ -2,13 +2,30 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-sampling bench-compile bench-smoke docs-check quick-table full-table figures shapes examples clean
+.PHONY: install test bench bench-sampling bench-compile bench-smoke fuzz fuzz-smoke fuzz-self-check docs-check quick-table full-table figures shapes examples clean
 
 install:
 	PIP_NO_BUILD_ISOLATION=false pip install -e .
 
-test:
+test: fuzz-smoke
 	$(PYTHON) -m pytest tests/
+
+# Seeded differential-fuzzing smoke: 200 circuits across all families
+# and backend pairs, deterministic, finishes well inside 60 seconds.
+# Failures are minimised and saved to tests/corpus/ for triage.
+fuzz-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.fuzz --max-circuits 200 --seed 7
+
+# Open-ended fuzzing session (10-minute budget, random-ish seed welcome:
+# override with FUZZ_SEED=...).  See docs/fuzzing.md.
+FUZZ_SEED ?= 0
+fuzz:
+	PYTHONPATH=src $(PYTHON) -m repro.fuzz --time-budget 600 --max-circuits 100000 --seed $(FUZZ_SEED)
+
+# Mutation check: inject a known DD normalisation bug and assert the
+# fuzzer catches it and minimises the reproducer to <= 8 instructions.
+fuzz-self-check:
+	PYTHONPATH=src $(PYTHON) -m repro.fuzz --self-check
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -15,7 +15,7 @@ from __future__ import annotations
 import ast
 import math
 import re
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..exceptions import QasmError
 from . import gates as g
@@ -313,17 +313,66 @@ def parse_qasm(text: str) -> QuantumCircuit:
 
 
 def _format_param(value: float) -> str:
-    """Render a parameter, using pi fractions when exact."""
+    """Render a parameter, using pi fractions when *bit-exact*.
+
+    A pi fraction is emitted only when re-evaluating it reproduces
+    ``value`` exactly (``==``, not within a tolerance): the importer
+    evaluates ``n*pi/d`` as ``(n * math.pi) / d``, which is precisely the
+    float this formatter tests against.  Values merely *near* a pi
+    fraction — e.g. wrapped phases like ``2π - 2e-13`` accumulated by the
+    diagonal-coalescing pass — fall through to ``repr``, which round-trips
+    every float bit-exactly.  A tolerance here would silently snap such
+    phases to the fraction and break export→import equality.
+    """
     for denominator in (1, 2, 3, 4, 6, 8, 16, 32, 64, 128, 256):
         for numerator in range(-2 * denominator, 2 * denominator + 1):
             if numerator == 0:
                 continue
-            if abs(value - numerator * math.pi / denominator) < 1e-12:
+            if value == numerator * math.pi / denominator:
                 sign = "-" if numerator < 0 else ""
                 numerator = abs(numerator)
                 num = "pi" if numerator == 1 else f"{numerator}*pi"
                 return f"{sign}{num}" if denominator == 1 else f"{sign}{num}/{denominator}"
     return repr(value)
+
+
+def _u3_phase_correction(op: Operation) -> Optional[str]:
+    """Global-phase line restoring exactness of a fused ``u3``, or None.
+
+    The fusion pass emits ``u3``-named gates carrying the *exact* product
+    matrix, which may differ from the textbook ``u3(θ,φ,λ)`` matrix by a
+    global phase ``e^{iα}``.  Re-parsing the bare ``u3(θ,φ,λ)`` would drop
+    that phase, so the exporter emits an explicit ``gphase(α)`` companion
+    statement whenever the stored matrix and the parameter reconstruction
+    disagree.
+    """
+    import cmath
+
+    import numpy as np
+
+    from .gates import u3_gate
+
+    if op.gate.name != "u3" or len(op.gate.params) != 3:
+        return None
+    actual = np.asarray(op.gate.array, dtype=complex)
+    reference = np.asarray(u3_gate(*op.gate.params).array, dtype=complex)
+    if np.abs(actual - reference).max() <= 1e-12:
+        return None
+    pivot = int(np.argmax(np.abs(reference)))
+    alpha = cmath.phase(actual.flat[pivot] / reference.flat[pivot])
+    if np.abs(actual - cmath.exp(1j * alpha) * reference).max() > 1e-9:
+        raise QasmError(
+            f"u3 gate matrix does not match its parameters {op.gate.params} "
+            "even up to a global phase; cannot serialise faithfully"
+        )
+    if op.is_controlled:
+        # Under control the phase is observable and gphase no longer
+        # commutes out; refuse rather than silently change the circuit.
+        raise QasmError(
+            "cannot serialise a controlled u3 whose matrix carries a "
+            "global phase; decompose first"
+        )
+    return f"gphase({_format_param(alpha)}) q[{op.targets[0]}];"
 
 
 def _operation_line(op: Operation) -> str:
@@ -387,5 +436,8 @@ def to_qasm(circuit: QuantumCircuit) -> str:
                     )
                 lines.append(_operation_line(piece))
             continue
+        correction = _u3_phase_correction(instruction)
+        if correction is not None:
+            lines.append(correction)
         lines.append(_operation_line(instruction))
     return "\n".join(lines) + "\n"

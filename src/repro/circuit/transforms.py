@@ -30,7 +30,7 @@ import numpy as np
 from ..exceptions import CircuitError
 from . import gates as g
 from .circuit import QuantumCircuit
-from .operations import Barrier, Measurement, Operation
+from .operations import Barrier, DiagonalOperation, Measurement, Operation, PhaseTerm
 
 __all__ = [
     "zyz_angles",
@@ -40,7 +40,70 @@ __all__ = [
     "decompose_controlled_single_qubit",
     "lower_to_basis",
     "merge_adjacent_gates",
+    "permute_qubits",
 ]
+
+
+def permute_qubits(
+    circuit: QuantumCircuit,
+    mapping: Sequence[int],
+    num_qubits: int | None = None,
+) -> QuantumCircuit:
+    """Relabel every qubit ``q`` of ``circuit`` to ``mapping[q]``.
+
+    ``mapping`` must cover every qubit an instruction touches; entries for
+    unused qubits are ignored, which lets callers compact a circuit onto
+    fewer wires (pass the smaller ``num_qubits`` explicitly).  With a
+    plain permutation the output distribution is the input distribution
+    with its index bits permuted — the metamorphic relabeling oracle of
+    :mod:`repro.fuzz` relies on exactly this.
+    """
+    if num_qubits is None:
+        num_qubits = max(mapping) + 1 if mapping else circuit.num_qubits
+    if len(mapping) < circuit.num_qubits:
+        raise CircuitError(
+            f"mapping covers {len(mapping)} qubits but the circuit has "
+            f"{circuit.num_qubits}"
+        )
+    out = QuantumCircuit(num_qubits, name=f"{circuit.name}_relabeled")
+    for instruction in circuit:
+        if isinstance(instruction, Operation):
+            out.append(
+                Operation(
+                    gate=instruction.gate,
+                    targets=tuple(mapping[q] for q in instruction.targets),
+                    controls=frozenset(mapping[q] for q in instruction.controls),
+                    neg_controls=frozenset(
+                        mapping[q] for q in instruction.neg_controls
+                    ),
+                )
+            )
+        elif isinstance(instruction, DiagonalOperation):
+            out.append(
+                DiagonalOperation(
+                    terms=tuple(
+                        PhaseTerm(
+                            ones=frozenset(mapping[q] for q in term.ones),
+                            zeros=frozenset(mapping[q] for q in term.zeros),
+                            angle=term.angle,
+                        )
+                        for term in instruction.terms
+                    )
+                )
+            )
+        elif isinstance(instruction, Measurement):
+            out.append(
+                Measurement(qubits=tuple(mapping[q] for q in instruction.qubits))
+            )
+        elif isinstance(instruction, Barrier):
+            out.append(
+                Barrier(qubits=tuple(mapping[q] for q in instruction.qubits))
+            )
+        else:  # pragma: no cover - defensive
+            raise CircuitError(
+                f"cannot relabel {type(instruction).__name__} instruction"
+            )
+    return out
 
 
 def zyz_angles(matrix: np.ndarray) -> Tuple[float, float, float, float]:

@@ -24,6 +24,7 @@ sampling).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -33,7 +34,7 @@ from .. import telemetry as _telemetry
 from ..circuit.circuit import QuantumCircuit
 from ..circuit.operations import Barrier, Measurement, Operation
 from ..dd.apply import GateApplier
-from ..dd.measure import collapse, qubit_probability
+from ..dd.measure import MIN_COLLAPSE_PROBABILITY, collapse, qubit_probability
 from ..dd.node import Edge
 from ..dd.normalization import NormalizationScheme
 from ..dd.package import DDPackage
@@ -153,7 +154,19 @@ class ShotExecutor:
         outcome_bits = 0
         for qubit in sorted(qubits, reverse=True):
             p_one = qubit_probability(state, qubit, self.num_qubits)
-            outcome = 1 if rng.random() < p_one else 0
+            if math.isnan(p_one):
+                raise SimulationError(
+                    "measurement probability is NaN; the simulated state "
+                    "is corrupted"
+                )
+            # Clamp numerically-certain outcomes so the draw can never
+            # land on a branch collapse() rejects as impossible.
+            if p_one <= MIN_COLLAPSE_PROBABILITY:
+                outcome = 0
+            elif p_one >= 1.0 - MIN_COLLAPSE_PROBABILITY:
+                outcome = 1
+            else:
+                outcome = 1 if rng.random() < p_one else 0
             probability = p_one if outcome else 1.0 - p_one
             state = collapse(
                 self.package, state, qubit, outcome, self.num_qubits, probability
@@ -171,10 +184,23 @@ class ShotExecutor:
     def _binomial_split(
         pending: int, p_one: float, rng: np.random.Generator
     ) -> int:
-        """Shots (out of ``pending``) assigned to the outcome-1 branch."""
-        if p_one <= 0.0:
+        """Shots (out of ``pending``) assigned to the outcome-1 branch.
+
+        Probabilities within :data:`~repro.dd.measure.MIN_COLLAPSE_PROBABILITY`
+        of 0 or 1 are treated as certain, so no shots are ever routed onto a
+        branch :func:`~repro.dd.measure.collapse` would reject as
+        numerically impossible.  A NaN probability (a corrupted state)
+        raises :class:`~repro.exceptions.SimulationError` instead of
+        leaking ``numpy``'s ``ValueError`` out of ``rng.binomial``.
+        """
+        if math.isnan(p_one):
+            raise SimulationError(
+                "measurement probability is NaN; the simulated state is "
+                "corrupted (likely a collapse on a near-zero branch)"
+            )
+        if p_one <= MIN_COLLAPSE_PROBABILITY:
             return 0
-        if p_one >= 1.0:
+        if p_one >= 1.0 - MIN_COLLAPSE_PROBABILITY:
             return pending
         return int(rng.binomial(pending, p_one))
 
@@ -200,6 +226,8 @@ class ShotExecutor:
         rng = _as_rng(seed)
         with _telemetry.activate(self.telemetry):
             self.stats = self._fresh_stats()
+            if shots == 0:
+                return self._empty_result()
             if not self.has_mid_circuit_measurement:
                 return self._run_terminal_only(shots, rng)
             if strategy == "per-shot":
@@ -208,6 +236,13 @@ class ShotExecutor:
                 result = self._run_branching(shots, rng)
             self._record_shot_stats()
             return result
+
+    def _empty_result(self) -> SampleResult:
+        """A well-formed zero-shot result; skips simulation entirely."""
+        self._record_shot_stats()
+        return SampleResult(
+            num_qubits=self.num_qubits, counts={}, method="shot-executor"
+        )
 
     def _run_branching(self, shots: int, rng: np.random.Generator) -> SampleResult:
         """The outcome-branching strategy body (see :meth:`run`)."""
@@ -292,6 +327,8 @@ class ShotExecutor:
         rng = _as_rng(seed)
         with _telemetry.activate(self.telemetry):
             self.stats = self._fresh_stats()
+            if shots == 0:
+                return self._empty_result()
             if not self.has_mid_circuit_measurement:
                 return self._run_terminal_only(shots, rng)
             return self._run_per_shot_counted(shots, rng)

@@ -69,6 +69,8 @@ def sample_statevector(
     """
     if method not in VECTOR_METHODS:
         raise SamplingError(f"unknown vector sampling method {method!r}")
+    if shots < 0:
+        raise SamplingError(f"shots must be non-negative, got {shots}")
     rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
     with _telemetry.activate(telemetry):
         start = time.perf_counter()
@@ -120,6 +122,8 @@ def sample_dd(
     """
     if method not in DD_METHODS:
         raise SamplingError(f"unknown DD sampling method {method!r}")
+    if shots < 0:
+        raise SamplingError(f"shots must be non-negative, got {shots}")
     if workers is not None and method != "dd":
         raise SamplingError("parallel chunked sampling requires method='dd'")
     rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)

@@ -63,23 +63,44 @@ class ComplexTable:
     def lookup(self, value: complex) -> complex:
         """Return the canonical representative for ``value``.
 
-        If an entry within ``tolerance`` (Chebyshev distance) exists, that
-        entry is returned; otherwise ``value`` becomes a new canonical
-        entry.  ``-0.0`` components are normalised to ``+0.0`` first so the
-        zero is unique.
+        If an entry within ``tolerance`` (Chebyshev distance) exists, the
+        *nearest* such entry is returned; otherwise ``value`` becomes a new
+        canonical entry.  ``-0.0`` components are normalised to ``+0.0``
+        first so the zero is unique.
+
+        A value sitting within tolerance of two canonical entries (they can
+        be up to ``2 * tolerance`` apart, one bucket to each side) resolves
+        to the nearest one by Euclidean distance; exact distance ties break
+        on the lexicographically smaller ``(real, imag)`` pair.  This makes
+        the result a pure function of the value and the canonical set —
+        independent of bucket-scan order and of the insertion order that
+        placed the entries — so boundary values canonicalise identically
+        in every run.
         """
         value = complex(
             value.real if value.real != 0.0 else 0.0,
             value.imag if value.imag != 0.0 else 0.0,
         )
         key = self._key(value)
-        # Check the home bucket and its eight neighbours.
+        # Check the home bucket and its eight neighbours, keeping the best
+        # in-tolerance candidate rather than the first one scanned.
+        best: complex | None = None
+        best_rank: Tuple[float, float, float] | None = None
         for dr in (0, -1, 1):
             for di in (0, -1, 1):
                 candidate = self._buckets.get((key[0] + dr, key[1] + di))
-                if candidate is not None and self._close(candidate, value):
-                    self.hits += 1
-                    return candidate
+                if candidate is None or not self._close(candidate, value):
+                    continue
+                rank = (
+                    abs(candidate - value),
+                    candidate.real,
+                    candidate.imag,
+                )
+                if best_rank is None or rank < best_rank:
+                    best, best_rank = candidate, rank
+        if best is not None:
+            self.hits += 1
+            return best
         self._buckets[key] = value
         self.misses += 1
         return value

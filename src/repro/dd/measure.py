@@ -21,12 +21,20 @@ from .node import Edge, Node, is_terminal
 from .package import DDPackage
 
 __all__ = [
+    "MIN_COLLAPSE_PROBABILITY",
     "downstream_probabilities",
     "upstream_probabilities",
     "qubit_probability",
     "collapse",
     "measure_all_collapse",
 ]
+
+#: Outcomes with probability below this are treated as impossible.  The
+#: renormalisation divides by ``sqrt(probability)``; letting probabilities
+#: of ~1e-30 through would amplify floating-point dust by ~1e15 and
+#: NaN-propagate into every later measurement, so :func:`collapse` raises
+#: a clear error instead.
+MIN_COLLAPSE_PROBABILITY = 1e-12
 
 
 def downstream_probabilities(edge: Edge) -> Dict[int, float]:
@@ -193,16 +201,26 @@ def collapse(
     """Project ``qubit`` onto ``outcome`` and renormalise.
 
     Returns the post-measurement state as a new DD.  ``probability`` may
-    be supplied when already known (to skip recomputation).
+    be supplied when already known (to skip recomputation); it is used
+    only to reject impossible outcomes early — the renormalisation always
+    divides by the projected state's *actual* L2 norm, so both outcome
+    branches are rescaled by the same rule and accumulated rounding in a
+    caller-computed ``1 - p`` cannot de-normalise the result.
+
+    Raises :class:`~repro.exceptions.SamplingError` (a
+    :class:`~repro.exceptions.ReproError`) when the outcome probability
+    is below :data:`MIN_COLLAPSE_PROBABILITY`.
     """
     if outcome not in (0, 1):
         raise SamplingError(f"measurement outcome must be 0 or 1, got {outcome}")
     if probability is None:
         p_one = qubit_probability(edge, qubit, num_qubits)
         probability = p_one if outcome == 1 else 1.0 - p_one
-    if probability <= 0.0:
+    if not probability >= MIN_COLLAPSE_PROBABILITY:  # also rejects NaN
         raise SamplingError(
-            f"cannot collapse qubit {qubit} to impossible outcome {outcome}"
+            f"cannot collapse qubit {qubit} to outcome {outcome}: outcome "
+            f"probability {probability!r} is below the tolerance "
+            f"{MIN_COLLAPSE_PROBABILITY:g} (numerically impossible outcome)"
         )
     if edge.is_zero:
         raise SamplingError("cannot collapse the zero vector")
@@ -247,7 +265,20 @@ def collapse(
     projected = package.scale(memo[edge.node.index], edge.weight)
     if projected.is_zero:
         raise SamplingError("projection produced the zero vector")
-    return package.scale(projected, 1.0 / np.sqrt(probability))
+    # Renormalise by the projection's measured L2 norm (|w|^2 · D(root))
+    # rather than the predicted ``probability``: under either scheme this
+    # returns a unit-norm state for both outcome branches even when the
+    # prediction carries rounding error.
+    norm_squared = abs(projected.weight) ** 2
+    if not is_terminal(projected.node):
+        norm_squared *= downstream_probabilities(projected)[projected.node.index]
+    if not norm_squared >= MIN_COLLAPSE_PROBABILITY:  # also rejects NaN
+        raise SamplingError(
+            f"cannot collapse qubit {qubit} to outcome {outcome}: projected "
+            f"state norm² {norm_squared!r} is below the tolerance "
+            f"{MIN_COLLAPSE_PROBABILITY:g}"
+        )
+    return package.scale(projected, 1.0 / np.sqrt(norm_squared))
 
 
 def measure_all_collapse(

@@ -67,8 +67,20 @@ class DDPackage:
         return Edge(TERMINAL, 0j)
 
     def terminal_edge(self, weight: complex) -> Edge:
-        """A scalar: terminal node with the given canonical weight."""
-        return Edge(TERMINAL, self.complex_table.lookup(complex(weight)))
+        """A scalar: terminal node with the given canonical weight.
+
+        A nonzero scalar the complex table would snap to zero keeps its
+        raw value: terminal weights are relative to the (unbounded, under
+        left-most normalisation) edge weights above them, so an absolute
+        snap-to-zero can delete O(1) matrix content.
+        """
+        value = complex(weight)
+        if value == 0:
+            return Edge(TERMINAL, 0j)
+        interned = self.complex_table.lookup(value)
+        if interned == 0:
+            return Edge(TERMINAL, value)
+        return Edge(TERMINAL, interned)
 
     def basis_state(self, num_qubits: int, index: int = 0) -> Edge:
         """The computational basis state ``|index⟩`` on ``num_qubits``.
@@ -121,19 +133,30 @@ class DDPackage:
         if len(edges) != 4:
             raise DDError("matrix nodes have exactly four successors")
         weights = [e.weight for e in edges]
+        # Matrix successors are normalised with an exact-zero test rather
+        # than the package tolerance: left-most normalisation stores
+        # subtree entries relative to the first nonzero weight, so a
+        # child weight far below its siblings can still scale O(1)
+        # content — dropping it on magnitude alone is unsound (found by
+        # the differential fuzzer on the near-zero-amplitude family).
         normalised, factor = normalize_weights(
-            weights, NormalizationScheme.LEFTMOST, self.tolerance
+            weights, NormalizationScheme.LEFTMOST, 0.0
         )
-        factor = self.complex_table.lookup(factor)
         if factor == 0:
             return self.zero_edge
+        interned_factor = self.complex_table.lookup(factor)
+        if interned_factor != 0:
+            factor = interned_factor
         children = []
         for edge, weight in zip(edges, normalised):
-            weight = self.complex_table.lookup(weight)
             if weight == 0:
                 children.append(Edge(TERMINAL, 0j))
-            else:
+                continue
+            interned = self.complex_table.lookup(weight)
+            if interned == 0:
                 children.append(Edge(edge.node, weight))
+            else:
+                children.append(Edge(edge.node, interned))
         node = self.unique_table.get_node(var, tuple(children))
         return Edge(node, factor)
 
@@ -142,10 +165,24 @@ class DDPackage:
     # ------------------------------------------------------------------
 
     def scale(self, edge: Edge, factor: complex) -> Edge:
-        """Multiply a DD by a scalar (weight adjustment only)."""
-        product = self.complex_table.lookup(edge.weight * factor)
-        if product == 0:
+        """Multiply a DD by a scalar (weight adjustment only).
+
+        A nonzero product that the complex table would snap to zero is
+        kept at its raw value instead: under left-most normalisation the
+        subtree entries below an edge are unbounded (each level stores
+        children relative to its first nonzero weight), so a root weight
+        below the absolute tolerance can still scale O(1) matrix
+        content — snapping it to zero deletes that content outright.
+        This exact bug was found by the differential fuzzer on the
+        near-zero-amplitude family (equivalence products of circuits
+        with 1e-6-scale rotations).
+        """
+        raw = edge.weight * factor
+        if raw == 0:
             return self.zero_edge
+        product = self.complex_table.lookup(raw)
+        if product == 0:
+            return Edge(edge.node, raw)
         return Edge(edge.node, product)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,47 @@
+"""Differential fuzzing of the simulation backends.
+
+The paper's central claim is that weak-simulation samples are
+statistically indistinguishable from the true circuit distribution, so
+silent numerical drift between the statevector, decision-diagram,
+compiled-DD, and stabilizer paths is the highest-severity bug class in
+this repository.  This package cross-checks every backend pair on
+randomized circuits, in the spirit of the differential/metamorphic
+oracles used by DD equivalence checking (Burgholzer & Wille, ASP-DAC
+2020) and the JKQ DD simulation package (Zulehner & Wille, TCAD 2019):
+
+* :mod:`~repro.fuzz.families` — randomized circuit generators
+  (Clifford-only, diagonal-heavy, mid-circuit-measurement, deep-register,
+  near-zero-amplitude adversarial),
+* :mod:`~repro.fuzz.oracles` — differential and metamorphic checks
+  (exact distribution equality where tractable, chi-square/TVD on
+  samples otherwise; optimize on/off, worker counts, qubit relabeling,
+  gate-inverse round-trips, QASM round-trips),
+* :mod:`~repro.fuzz.minimize` — delta-debugging of failing circuits to
+  locally-minimal reproducers,
+* :mod:`~repro.fuzz.corpus` — QASM serialization of reproducers under
+  ``tests/corpus/`` and deterministic replay,
+* :mod:`~repro.fuzz.runner` — the fuzzing loop
+  (:func:`~repro.fuzz.runner.run_fuzz`), with telemetry counters/spans,
+* ``python -m repro.fuzz`` — the command-line front end
+  (``make fuzz-smoke`` runs the seeded 60-second budget).
+"""
+
+from .families import FAMILIES, CircuitFamily, get_family
+from .minimize import minimize_circuit
+from .oracles import ORACLES, Oracle, applicable_oracles, get_oracle
+from .runner import FuzzConfig, FuzzFailure, FuzzReport, run_fuzz
+
+__all__ = [
+    "FAMILIES",
+    "CircuitFamily",
+    "get_family",
+    "ORACLES",
+    "Oracle",
+    "applicable_oracles",
+    "get_oracle",
+    "minimize_circuit",
+    "FuzzConfig",
+    "FuzzFailure",
+    "FuzzReport",
+    "run_fuzz",
+]

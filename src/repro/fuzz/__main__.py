@@ -1,0 +1,169 @@
+"""Command-line front end for the differential fuzzer.
+
+Examples::
+
+    python -m repro.fuzz --max-circuits 200 --seed 7     # smoke budget
+    python -m repro.fuzz --time-budget 3600              # long soak
+    python -m repro.fuzz --families clifford,nearzero
+    python -m repro.fuzz --self-check                    # mutation test
+
+``--self-check`` deliberately injects a normalisation bug into the DD
+package and verifies the fuzzer catches it and minimizes the reproducer
+to a handful of gates — proof the oracles have teeth (documented in
+``docs/fuzzing.md``).  Exit status is non-zero when failures are found
+(or, under ``--self-check``, when the injected bug is *not* found).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+from typing import List, Optional
+
+from .. import telemetry as _telemetry
+from ..dd import package as _dd_package
+from .families import FAMILIES
+from .runner import FuzzConfig, FuzzReport, run_fuzz
+
+#: The injected self-check bug minimizes to at most this many instructions.
+SELF_CHECK_MAX_GATES = 8
+
+
+def _parse_args(argv: Optional[List[str]] = None) -> argparse.Namespace:
+    """Build and evaluate the command-line interface."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description="differential fuzzing of the simulation backends",
+    )
+    parser.add_argument(
+        "--families",
+        default=",".join(FAMILIES),
+        help=f"comma-separated family names (default: all of {sorted(FAMILIES)})",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master seed")
+    parser.add_argument(
+        "--max-circuits",
+        type=int,
+        default=200,
+        help="stop after this many circuits (0 = unlimited)",
+    )
+    parser.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stop after this much wall-clock time",
+    )
+    parser.add_argument(
+        "--corpus-dir",
+        type=Path,
+        default=None,
+        help="where to write reproducers (default: tests/corpus/)",
+    )
+    parser.add_argument(
+        "--no-minimize",
+        action="store_true",
+        help="report failures without delta-debugging them",
+    )
+    parser.add_argument(
+        "--no-save",
+        action="store_true",
+        help="do not serialize reproducers to the corpus",
+    )
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="export a telemetry JSONL trace of the run",
+    )
+    parser.add_argument(
+        "--self-check",
+        action="store_true",
+        help="inject a known normalisation bug and verify the fuzzer catches it",
+    )
+    return parser.parse_args(argv)
+
+
+def _config_from_args(args: argparse.Namespace) -> FuzzConfig:
+    """Translate parsed CLI flags into a :class:`FuzzConfig`."""
+    return FuzzConfig(
+        families=tuple(
+            name.strip() for name in args.families.split(",") if name.strip()
+        ),
+        seed=args.seed,
+        max_circuits=args.max_circuits or None,
+        time_budget_seconds=args.time_budget,
+        minimize=not args.no_minimize,
+        corpus_dir=args.corpus_dir,
+        save_failures=not args.no_save,
+    )
+
+
+def _skewed_normalize(weights, scheme, tolerance=1e-12):
+    """The injected bug: skew the first child weight by 0.1 percent.
+
+    Only kicks in when both children are nonzero, so trivial product
+    states stay exact and the failure needs genuine superposition —
+    exactly the kind of subtle drift the differential oracles exist for.
+    """
+    normalised, factor = _ORIGINAL_NORMALIZE(weights, scheme, tolerance)
+    if all(abs(w) > tolerance for w in normalised):
+        skewed = (normalised[0] * (1.0 + 1e-3),) + tuple(normalised[1:])
+        return skewed, factor
+    return normalised, factor
+
+
+_ORIGINAL_NORMALIZE = _dd_package.normalize_weights
+
+
+def _run_self_check(args: argparse.Namespace) -> int:
+    """Mutation test: the fuzzer must catch the injected skew bug."""
+    with tempfile.TemporaryDirectory() as scratch:
+        config = FuzzConfig(
+            families=("clifford", "diagonal"),
+            seed=args.seed,
+            max_circuits=20,
+            corpus_dir=Path(scratch),
+        )
+        _dd_package.normalize_weights = _skewed_normalize
+        try:
+            report = run_fuzz(config)
+        finally:
+            _dd_package.normalize_weights = _ORIGINAL_NORMALIZE
+    if not report.failures:
+        print("self-check FAILED: injected normalisation bug went undetected")
+        return 1
+    smallest = min(len(f.circuit) for f in report.failures)
+    print(
+        f"self-check passed: injected bug caught {len(report.failures)} time(s); "
+        f"smallest reproducer has {smallest} instruction(s)"
+    )
+    if smallest > SELF_CHECK_MAX_GATES:
+        print(
+            f"self-check FAILED: smallest reproducer ({smallest} gates) "
+            f"exceeds the {SELF_CHECK_MAX_GATES}-gate bound"
+        )
+        return 1
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    args = _parse_args(argv)
+    if args.self_check:
+        return _run_self_check(args)
+    config = _config_from_args(args)
+    session = _telemetry.Telemetry() if args.trace else None
+    report: FuzzReport = run_fuzz(config, telemetry=session)
+    print(report.summary())
+    if session is not None:
+        session.export(str(args.trace))
+        print(f"trace written to {args.trace}")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,108 @@
+"""QASM corpus of minimized fuzz reproducers.
+
+Every confirmed, minimized failure is serialized to OpenQASM 2.0 under
+``tests/corpus/`` with a ``//``-comment metadata header recording which
+family produced it, which oracle flagged it, and the seed material that
+replays it.  The corpus doubles as a deterministic regression suite:
+``tests/test_fuzz_corpus.py`` re-runs every file's oracle on every
+pytest invocation, so a fixed bug stays fixed.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.qasm import parse_qasm, to_qasm
+
+__all__ = ["CorpusEntry", "default_corpus_dir", "save_reproducer", "load_corpus"]
+
+#: Metadata keys written into (and parsed back out of) the file header.
+_HEADER_KEYS = ("family", "oracle", "seed", "detail", "minimized_from")
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One reproducer: the circuit plus the metadata that explains it."""
+
+    path: Path
+    circuit: QuantumCircuit
+    metadata: Dict[str, str]
+
+
+def default_corpus_dir() -> Path:
+    """``tests/corpus/`` relative to the repository root."""
+    return Path(__file__).resolve().parents[3] / "tests" / "corpus"
+
+
+def _slug(text: str) -> str:
+    """Filesystem-safe fragment for file names."""
+    return re.sub(r"[^A-Za-z0-9_-]+", "-", text).strip("-") or "x"
+
+
+def save_reproducer(
+    circuit: QuantumCircuit,
+    family: str,
+    oracle: str,
+    seed: str,
+    detail: str,
+    directory: Path | None = None,
+    minimized_from: int | None = None,
+) -> Path:
+    """Write a minimized reproducer to the corpus; returns the file path.
+
+    The header is plain ``// key: value`` lines, so the file stays a
+    valid QASM program (the parser strips comments) while remaining
+    greppable and self-describing.
+    """
+    directory = default_corpus_dir() if directory is None else directory
+    directory.mkdir(parents=True, exist_ok=True)
+    name = f"{_slug(family)}_{_slug(oracle)}_{_slug(seed)}.qasm"
+    header = [
+        f"// family: {family}",
+        f"// oracle: {oracle}",
+        f"// seed: {seed}",
+        f"// detail: {' '.join(detail.split())}",
+    ]
+    if minimized_from is not None:
+        header.append(f"// minimized_from: {minimized_from} instructions")
+    path = directory / name
+    path.write_text("\n".join(header) + "\n" + to_qasm(circuit) + "\n")
+    return path
+
+
+def _parse_header(text: str) -> Dict[str, str]:
+    """Extract ``// key: value`` metadata lines from a corpus file."""
+    metadata: Dict[str, str] = {}
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped.startswith("//"):
+            if stripped:
+                break
+            continue
+        body = stripped[2:].strip()
+        key, _, value = body.partition(":")
+        if key.strip() in _HEADER_KEYS:
+            metadata[key.strip()] = value.strip()
+    return metadata
+
+
+def load_corpus(directory: Path | None = None) -> List[CorpusEntry]:
+    """All corpus reproducers, sorted by file name for determinism."""
+    directory = default_corpus_dir() if directory is None else directory
+    if not directory.is_dir():
+        return []
+    entries: List[CorpusEntry] = []
+    for path in sorted(directory.glob("*.qasm")):
+        text = path.read_text()
+        entries.append(
+            CorpusEntry(
+                path=path,
+                circuit=parse_qasm(text),
+                metadata=_parse_header(text),
+            )
+        )
+    return entries

@@ -1,0 +1,186 @@
+"""Delta-debugging of failing circuits to locally-minimal reproducers.
+
+Given a circuit and a predicate (``check(circuit) -> failure detail or
+None``), :func:`minimize_circuit` shrinks along three axes:
+
+1. **ddmin** over the instruction stream (Zeller's delta debugging with
+   complement testing and halving granularity),
+2. a greedy **one-removal fixpoint** — no single instruction can be
+   dropped while keeping the failure,
+3. **qubit compaction** — unused wires are squeezed out so the
+   reproducer's register is as narrow as the bug allows.
+
+The result is locally minimal by construction, which is what the corpus
+wants: small enough to eyeball, still failing deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.operations import BaseOperation, Barrier, Measurement
+from ..circuit.transforms import permute_qubits
+
+__all__ = ["MinimizationResult", "minimize_circuit"]
+
+#: Stop shrinking after this many predicate evaluations; the predicate
+#: reruns a full differential oracle, so the budget bounds wall-clock.
+DEFAULT_MAX_CHECKS = 400
+
+CheckFn = Callable[[QuantumCircuit], Optional[str]]
+
+
+@dataclass
+class MinimizationResult:
+    """The shrunk circuit plus bookkeeping from the search."""
+
+    circuit: QuantumCircuit
+    #: Failure detail reported by the predicate on the minimal circuit.
+    detail: str
+    #: Number of predicate evaluations spent.
+    checks: int
+    #: Instruction counts before and after shrinking.
+    original_size: int
+    minimized_size: int
+
+
+class _Budget:
+    """Counts predicate evaluations against a hard cap."""
+
+    def __init__(self, check: CheckFn, limit: int):
+        """Wrap ``check`` so every call decrements the shared ``limit``."""
+        self._check = check
+        self._limit = limit
+        self.spent = 0
+
+    def exhausted(self) -> bool:
+        """True once no further predicate evaluations are allowed."""
+        return self.spent >= self._limit
+
+    def __call__(self, circuit: QuantumCircuit) -> Optional[str]:
+        """Evaluate the predicate, or give up (None) past the budget."""
+        if self.exhausted():
+            return None
+        self.spent += 1
+        return self._check(circuit)
+
+
+def _rebuild(
+    circuit: QuantumCircuit, instructions: Sequence[object]
+) -> QuantumCircuit:
+    """A same-width circuit containing exactly ``instructions``."""
+    out = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    for instruction in instructions:
+        out.append(instruction)
+    return out
+
+
+def _ddmin(
+    circuit: QuantumCircuit,
+    instructions: List[object],
+    check: _Budget,
+) -> List[object]:
+    """Classic ddmin over the instruction list (subsets + complements)."""
+    granularity = 2
+    while len(instructions) >= 2 and not check.exhausted():
+        chunk = max(1, len(instructions) // granularity)
+        chunks = [
+            instructions[i : i + chunk]
+            for i in range(0, len(instructions), chunk)
+        ]
+        reduced = False
+        for index in range(len(chunks)):
+            complement = [
+                op for j, piece in enumerate(chunks) if j != index for op in piece
+            ]
+            if not complement:
+                continue
+            if check(_rebuild(circuit, complement)) is not None:
+                instructions = complement
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(instructions):
+                break
+            granularity = min(len(instructions), 2 * granularity)
+    return instructions
+
+
+def _one_removal_fixpoint(
+    circuit: QuantumCircuit,
+    instructions: List[object],
+    check: _Budget,
+) -> List[object]:
+    """Drop single instructions until none can go (local minimality)."""
+    changed = True
+    while changed and not check.exhausted():
+        changed = False
+        for index in range(len(instructions)):
+            candidate = instructions[:index] + instructions[index + 1 :]
+            if candidate and check(_rebuild(circuit, candidate)) is not None:
+                instructions = candidate
+                changed = True
+                break
+    return instructions
+
+
+def _compact_qubits(
+    circuit: QuantumCircuit, check: _Budget
+) -> QuantumCircuit:
+    """Squeeze out unused wires when the failure survives the relabeling."""
+    used = set()
+    measure_all = False
+    for instruction in circuit:
+        if isinstance(instruction, BaseOperation):
+            used.update(instruction.qubits)
+        elif isinstance(instruction, (Measurement, Barrier)):
+            if isinstance(instruction, Measurement) and not instruction.qubits:
+                measure_all = True
+            used.update(instruction.qubits)
+    if measure_all or not used or len(used) == circuit.num_qubits:
+        return circuit
+    order = sorted(used)
+    mapping = [0] * circuit.num_qubits
+    for new, old in enumerate(order):
+        mapping[old] = new
+    compacted = permute_qubits(circuit, mapping, num_qubits=len(order))
+    if check(compacted) is not None:
+        return compacted
+    return circuit
+
+
+def minimize_circuit(
+    circuit: QuantumCircuit,
+    check: CheckFn,
+    max_checks: int = DEFAULT_MAX_CHECKS,
+) -> MinimizationResult:
+    """Shrink ``circuit`` to a locally-minimal still-failing reproducer.
+
+    ``check`` must return a failure detail for the input circuit (the
+    caller observed the failure already); raises ``ValueError`` if the
+    failure does not reproduce on the unmodified circuit, which would
+    mean the predicate is flaky and minimization meaningless.
+    """
+    budget = _Budget(check, max_checks)
+    initial = budget(circuit)
+    if initial is None:
+        raise ValueError(
+            "failure does not reproduce on the original circuit; "
+            "refusing to minimize a flaky predicate"
+        )
+    instructions = list(circuit.instructions)
+    instructions = _ddmin(circuit, instructions, budget)
+    instructions = _one_removal_fixpoint(circuit, instructions, budget)
+    shrunk = _rebuild(circuit, instructions)
+    shrunk = _compact_qubits(shrunk, budget)
+    detail = check(shrunk)
+    return MinimizationResult(
+        circuit=shrunk,
+        detail=detail if detail is not None else initial,
+        checks=budget.spent,
+        original_size=len(circuit),
+        minimized_size=len(shrunk),
+    )

@@ -1,0 +1,402 @@
+"""Differential and metamorphic oracles over the simulation backends.
+
+Every oracle takes a circuit plus a dedicated RNG stream and either
+returns ``None`` (agreement) or a human-readable failure detail.  Exact
+probability distributions are compared where tractable (dense reference
+within :data:`MAX_EXACT_QUBITS`); sampling backends are compared by
+chi-square with a p-value floor low enough that a seeded pass never
+flakes, yet many orders of magnitude above what a real bug produces.
+
+Exceptions raised *inside* a backend count as failures too — a crash on
+a valid circuit is as much a bug as a wrong distribution — so the
+minimizer can shrink crashing circuits with the same machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.qasm import parse_qasm, to_qasm
+from ..circuit.transforms import permute_qubits
+from ..core.dd_sampler import DDSampler
+from ..core.indistinguishability import (
+    chi_square_gof,
+    total_variation_distance,
+    two_sample_chi_square,
+)
+from ..core.shot_executor import ShotExecutor
+from ..core.weak_sim import sample_dd
+from ..exceptions import ReproError
+from ..simulators.dd_simulator import DDSimulator
+from ..simulators.stabilizer import StabilizerSimulator
+from ..simulators.statevector import StatevectorSimulator
+from .families import CircuitFamily
+
+__all__ = [
+    "ATOL",
+    "P_VALUE_FLOOR",
+    "SAMPLE_SHOTS",
+    "PER_SHOT_SAMPLE_SHOTS",
+    "MAX_EXACT_QUBITS",
+    "Oracle",
+    "ORACLES",
+    "get_oracle",
+    "applicable_oracles",
+]
+
+#: Absolute tolerance for exact distribution comparison.
+ATOL = 1e-9
+
+#: Chi-square p-values below this fail a sampling check.  Seeded runs are
+#: deterministic, so any failure is exactly replayable; a genuine backend
+#: bug drives the p-value to ~0 rather than hovering near the floor.
+P_VALUE_FLOOR = 1e-6
+
+#: Shots drawn for the sampling (chi-square) oracles.
+SAMPLE_SHOTS = 1024
+
+#: Shots for oracles whose reference side is the literal per-shot loop
+#: (O(shots x segments) DD work); kept small so the smoke budget holds.
+PER_SHOT_SAMPLE_SHOTS = 128
+
+#: Largest register for which the dense reference distribution is built.
+MAX_EXACT_QUBITS = 16
+
+
+@dataclass(frozen=True)
+class Oracle:
+    """One differential/metamorphic check between backend configurations."""
+
+    name: str
+    description: str
+    #: The backend pair (or transform pair) this oracle compares.
+    pair: Tuple[str, str]
+    #: Whether the oracle applies to a given circuit family.
+    applies: Callable[[CircuitFamily], bool] = field(repr=False)
+    #: ``run(circuit, rng) -> None | failure detail``.
+    run: Callable[[QuantumCircuit, np.random.Generator], Optional[str]] = field(
+        repr=False
+    )
+
+
+def _statevector_probabilities(
+    circuit: QuantumCircuit, optimize: bool = True
+) -> np.ndarray:
+    """Dense reference distribution via the statevector simulator."""
+    vector = StatevectorSimulator(optimize=optimize).run(circuit)
+    return np.abs(vector) ** 2
+
+
+def _dd_probabilities(circuit: QuantumCircuit, optimize: bool = True) -> np.ndarray:
+    """Dense distribution via the decision-diagram simulator."""
+    return DDSimulator(optimize=optimize).run(circuit).probabilities()
+
+
+def _compare_dense(
+    first: np.ndarray, second: np.ndarray, label: str
+) -> Optional[str]:
+    """Max-abs and TVD comparison of two dense distributions."""
+    worst = float(np.abs(first - second).max())
+    if worst <= ATOL:
+        return None
+    tvd = 0.5 * float(np.abs(first - second).sum())
+    return f"{label}: max |Δp| = {worst:.3e}, TVD = {tvd:.3e} (atol {ATOL:g})"
+
+
+def _exact_applies(family: CircuitFamily) -> bool:
+    """Exact-distribution oracles need unitary circuits of bounded width."""
+    return not family.mid_circuit
+
+
+def _check_dd_vs_statevector(
+    circuit: QuantumCircuit, rng: np.random.Generator
+) -> Optional[str]:
+    """DD and dense simulators must produce identical distributions."""
+    return _compare_dense(
+        _dd_probabilities(circuit),
+        _statevector_probabilities(circuit),
+        "dd vs statevector",
+    )
+
+
+def _check_compiled_vs_dd(
+    circuit: QuantumCircuit, rng: np.random.Generator
+) -> Optional[str]:
+    """The compiled flat-array sampler must match its source DD exactly."""
+    state = DDSimulator().run(circuit)
+    compiled = DDSampler(state).compiled()
+    return _compare_dense(
+        compiled.probabilities(), state.probabilities(), "compiled vs dd"
+    )
+
+
+def _check_optimize_metamorphic(
+    circuit: QuantumCircuit, rng: np.random.Generator
+) -> Optional[str]:
+    """The compile pipeline must not change the output distribution."""
+    return _compare_dense(
+        _dd_probabilities(circuit, optimize=True),
+        _dd_probabilities(circuit, optimize=False),
+        "optimize on vs off",
+    )
+
+
+def _check_qasm_roundtrip(
+    circuit: QuantumCircuit, rng: np.random.Generator
+) -> Optional[str]:
+    """Export→import must preserve the distribution bit-for-bit."""
+    restored = parse_qasm(to_qasm(circuit))
+    return _compare_dense(
+        _dd_probabilities(restored, optimize=False),
+        _dd_probabilities(circuit, optimize=False),
+        "qasm round-trip",
+    )
+
+
+def _check_relabel_metamorphic(
+    circuit: QuantumCircuit, rng: np.random.Generator
+) -> Optional[str]:
+    """Permuting qubit labels must permute the distribution's index bits."""
+    num_qubits = circuit.num_qubits
+    permutation = [int(q) for q in rng.permutation(num_qubits)]
+    relabeled = permute_qubits(circuit, permutation)
+    original = _dd_probabilities(circuit)
+    permuted = _dd_probabilities(relabeled)
+    indices = np.arange(1 << num_qubits)
+    mapped = np.zeros_like(indices)
+    for qubit, target in enumerate(permutation):
+        mapped |= ((indices >> qubit) & 1) << target
+    return _compare_dense(
+        original, permuted[mapped], f"relabel {permutation}"
+    )
+
+
+def _check_inverse_roundtrip(
+    circuit: QuantumCircuit, rng: np.random.Generator
+) -> Optional[str]:
+    """Appending the inverse of a suffix must undo exactly that suffix."""
+    operations = circuit.operations
+    if not operations:
+        return None
+    length = int(rng.integers(1, len(operations) + 1))
+    padded = QuantumCircuit(circuit.num_qubits, name=f"{circuit.name}_inv")
+    for op in operations:
+        padded.append(op)
+    for op in reversed(operations[-length:]):
+        padded.append(op.inverse())
+    truncated = QuantumCircuit(circuit.num_qubits, name=f"{circuit.name}_trunc")
+    for op in operations[:-length]:
+        truncated.append(op)
+    return _compare_dense(
+        _dd_probabilities(padded),
+        _dd_probabilities(truncated),
+        f"inverse round-trip of last {length} ops",
+    )
+
+
+def _check_stabilizer_vs_exact(
+    circuit: QuantumCircuit, rng: np.random.Generator
+) -> Optional[str]:
+    """Stabilizer samples must be consistent with the exact distribution."""
+    state = StabilizerSimulator().run(circuit)
+    result = state.sample_result(SAMPLE_SHOTS, rng)
+    reference = _statevector_probabilities(circuit)
+    outcome = chi_square_gof(result, reference)
+    if outcome.p_value >= P_VALUE_FLOOR:
+        return None
+    tvd = total_variation_distance(result, reference)
+    return (
+        f"stabilizer vs statevector: chi²={outcome.statistic:.2f} "
+        f"(dof {outcome.dof}), p={outcome.p_value:.3e}, TVD={tvd:.3e}"
+    )
+
+
+def _check_dd_sampler_vs_exact(
+    circuit: QuantumCircuit, rng: np.random.Generator
+) -> Optional[str]:
+    """DD path-sampled counts must be consistent with the DD distribution."""
+    state = DDSimulator().run(circuit)
+    result = sample_dd(state, SAMPLE_SHOTS, method="dd", seed=rng)
+    outcome = chi_square_gof(result, state.probabilities())
+    if outcome.p_value >= P_VALUE_FLOOR:
+        return None
+    return (
+        f"dd sampler vs exact: chi²={outcome.statistic:.2f} "
+        f"(dof {outcome.dof}), p={outcome.p_value:.3e}"
+    )
+
+
+def _check_workers_metamorphic(
+    circuit: QuantumCircuit, rng: np.random.Generator
+) -> Optional[str]:
+    """Chunked parallel sampling must be bit-identical at any worker count."""
+    state = DDSimulator().run(circuit)
+    seed = int(rng.integers(2**63))
+    serial = sample_dd(state, SAMPLE_SHOTS, method="dd", seed=seed, workers=1)
+    threaded = sample_dd(state, SAMPLE_SHOTS, method="dd", seed=seed, workers=3)
+    if serial.counts == threaded.counts:
+        return None
+    return (
+        "workers 1 vs 3: counts diverged for identical seed "
+        f"({serial.distinct_outcomes} vs {threaded.distinct_outcomes} outcomes)"
+    )
+
+
+def _check_branching_vs_per_shot(
+    circuit: QuantumCircuit, rng: np.random.Generator
+) -> Optional[str]:
+    """Outcome-branching and per-shot execution must match statistically."""
+    branching = ShotExecutor(circuit).run(
+        PER_SHOT_SAMPLE_SHOTS, seed=int(rng.integers(2**63)), strategy="branching"
+    )
+    per_shot = ShotExecutor(circuit).run(
+        PER_SHOT_SAMPLE_SHOTS, seed=int(rng.integers(2**63)), strategy="per-shot"
+    )
+    outcome = two_sample_chi_square(branching, per_shot)
+    if outcome.p_value >= P_VALUE_FLOOR:
+        return None
+    return (
+        f"branching vs per-shot: chi²={outcome.statistic:.2f} "
+        f"(dof {outcome.dof}), p={outcome.p_value:.3e}"
+    )
+
+
+def _check_midmeasure_optimize(
+    circuit: QuantumCircuit, rng: np.random.Generator
+) -> Optional[str]:
+    """Compiling a measure-and-continue circuit must not skew outcomes."""
+    optimized = ShotExecutor(circuit, optimize=True).run(
+        SAMPLE_SHOTS, seed=int(rng.integers(2**63))
+    )
+    verbatim = ShotExecutor(circuit, optimize=False).run(
+        SAMPLE_SHOTS, seed=int(rng.integers(2**63))
+    )
+    outcome = two_sample_chi_square(optimized, verbatim)
+    if outcome.p_value >= P_VALUE_FLOOR:
+        return None
+    return (
+        f"midmeasure optimize on vs off: chi²={outcome.statistic:.2f} "
+        f"(dof {outcome.dof}), p={outcome.p_value:.3e}"
+    )
+
+
+def _wrap(
+    run: Callable[[QuantumCircuit, np.random.Generator], Optional[str]],
+) -> Callable[[QuantumCircuit, np.random.Generator], Optional[str]]:
+    """Convert backend exceptions into failure details (crash = bug)."""
+
+    def guarded(
+        circuit: QuantumCircuit, rng: np.random.Generator
+    ) -> Optional[str]:
+        try:
+            return run(circuit, rng)
+        except Exception as error:  # noqa: BLE001 - any crash is a finding
+            return f"raised {type(error).__name__}: {error}"
+
+    guarded.__doc__ = run.__doc__
+    return guarded
+
+
+ORACLES: Dict[str, Oracle] = {
+    oracle.name: oracle
+    for oracle in (
+        Oracle(
+            name="dd-vs-statevector",
+            description="exact distribution: DD vs dense simulator",
+            pair=("dd", "statevector"),
+            applies=_exact_applies,
+            run=_wrap(_check_dd_vs_statevector),
+        ),
+        Oracle(
+            name="compiled-vs-dd",
+            description="exact distribution: compiled sampler vs DD",
+            pair=("compiled-dd", "dd"),
+            applies=_exact_applies,
+            run=_wrap(_check_compiled_vs_dd),
+        ),
+        Oracle(
+            name="optimize-onoff",
+            description="metamorphic: compile pipeline on vs off",
+            pair=("dd+optimize", "dd"),
+            applies=_exact_applies,
+            run=_wrap(_check_optimize_metamorphic),
+        ),
+        Oracle(
+            name="qasm-roundtrip",
+            description="metamorphic: QASM export → import",
+            pair=("dd", "dd+qasm"),
+            applies=_exact_applies,
+            run=_wrap(_check_qasm_roundtrip),
+        ),
+        Oracle(
+            name="relabel",
+            description="metamorphic: qubit relabeling permutes the distribution",
+            pair=("dd", "dd+relabel"),
+            applies=_exact_applies,
+            run=_wrap(_check_relabel_metamorphic),
+        ),
+        Oracle(
+            name="inverse-roundtrip",
+            description="metamorphic: suffix followed by its inverse vanishes",
+            pair=("dd", "dd+inverse"),
+            applies=_exact_applies,
+            run=_wrap(_check_inverse_roundtrip),
+        ),
+        Oracle(
+            name="stabilizer-vs-exact",
+            description="chi-square: stabilizer samples vs dense distribution",
+            pair=("stabilizer", "statevector"),
+            applies=lambda family: family.clifford and not family.mid_circuit,
+            run=_wrap(_check_stabilizer_vs_exact),
+        ),
+        Oracle(
+            name="sampler-vs-exact",
+            description="chi-square: DD path samples vs DD distribution",
+            pair=("dd-sampler", "dd"),
+            applies=_exact_applies,
+            run=_wrap(_check_dd_sampler_vs_exact),
+        ),
+        Oracle(
+            name="workers",
+            description="metamorphic: worker count 1 vs 3 is bit-identical",
+            pair=("dd-sampler@1", "dd-sampler@3"),
+            applies=_exact_applies,
+            run=_wrap(_check_workers_metamorphic),
+        ),
+        Oracle(
+            name="branching-vs-pershot",
+            description="chi-square: outcome branching vs per-shot execution",
+            pair=("shot-executor:branching", "shot-executor:per-shot"),
+            applies=lambda family: family.mid_circuit,
+            run=_wrap(_check_branching_vs_per_shot),
+        ),
+        Oracle(
+            name="midmeasure-optimize",
+            description="chi-square: ShotExecutor optimize on vs off",
+            pair=("shot-executor+optimize", "shot-executor"),
+            applies=lambda family: family.mid_circuit,
+            run=_wrap(_check_midmeasure_optimize),
+        ),
+    )
+}
+
+
+def get_oracle(name: str) -> Oracle:
+    """Look up an oracle by name, raising :class:`ReproError` when unknown."""
+    try:
+        return ORACLES[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown oracle {name!r}; available: {sorted(ORACLES)}"
+        ) from None
+
+
+def applicable_oracles(family: CircuitFamily) -> Tuple[Oracle, ...]:
+    """The oracles that apply to circuits of ``family``, in registry order."""
+    return tuple(
+        oracle for oracle in ORACLES.values() if oracle.applies(family)
+    )

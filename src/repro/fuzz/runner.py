@@ -1,0 +1,251 @@
+"""The differential fuzzing loop.
+
+:func:`run_fuzz` interleaves the circuit families round-robin, runs each
+generated circuit through every applicable oracle, and — on a mismatch —
+delta-debugs the circuit to a locally-minimal reproducer and serializes
+it to the QASM corpus.  Everything is seeded: the circuit drawn as
+``(family, index)`` and the oracle's own randomness both derive from
+``FuzzConfig.seed`` through independent ``numpy`` SeedSequence streams,
+so any reported failure replays exactly from its seed material alone.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from .. import telemetry as _telemetry
+from ..circuit.circuit import QuantumCircuit
+from .corpus import save_reproducer
+from .families import FAMILIES, get_family
+from .minimize import DEFAULT_MAX_CHECKS, minimize_circuit
+from .oracles import Oracle, applicable_oracles
+
+__all__ = ["FuzzConfig", "FuzzFailure", "FuzzReport", "run_fuzz"]
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Tuning knobs for one fuzzing run (all deterministic given ``seed``)."""
+
+    #: Family names to draw from, round-robin.
+    families: Tuple[str, ...] = tuple(FAMILIES)
+    #: Master seed; every circuit and oracle stream derives from it.
+    seed: int = 0
+    #: Stop after this many circuits (``None`` = no count limit).
+    max_circuits: Optional[int] = 200
+    #: Stop once this much wall-clock has elapsed (``None`` = no limit).
+    time_budget_seconds: Optional[float] = None
+    #: Delta-debug failures down to minimal reproducers.
+    minimize: bool = True
+    #: Predicate-evaluation budget per minimization.
+    max_minimize_checks: int = DEFAULT_MAX_CHECKS
+    #: Where reproducers are written (``None`` = ``tests/corpus/``).
+    corpus_dir: Optional[Path] = None
+    #: Serialize minimized failures to the corpus.
+    save_failures: bool = True
+
+
+@dataclass
+class FuzzFailure:
+    """One confirmed oracle mismatch, minimized where possible."""
+
+    family: str
+    oracle: str
+    #: Seed material that regenerates the original circuit.
+    seed_material: Tuple[int, ...]
+    detail: str
+    circuit: QuantumCircuit
+    #: Instruction count before minimization.
+    original_size: int
+    #: Path of the serialized reproducer (``None`` if saving disabled).
+    corpus_path: Optional[Path] = None
+
+    def replay_id(self) -> str:
+        """Compact identifier used in corpus file names and reports."""
+        return "-".join(str(part) for part in self.seed_material)
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate outcome of a fuzzing run."""
+
+    config: FuzzConfig
+    circuits: int = 0
+    checks: int = 0
+    elapsed_seconds: float = 0.0
+    failures: List[FuzzFailure] = field(default_factory=list)
+    per_family: Dict[str, int] = field(default_factory=dict)
+    per_oracle: Dict[str, int] = field(default_factory=dict)
+    #: Distinct backend pairs exercised at least once.
+    pairs: Set[Tuple[str, str]] = field(default_factory=set)
+
+    @property
+    def ok(self) -> bool:
+        """True when every oracle agreed on every circuit."""
+        return not self.failures
+
+    def stats(self) -> Dict[str, int]:
+        """Counter-shaped summary for :meth:`Registry.record_fuzz`."""
+        return {
+            "circuits": self.circuits,
+            "checks": self.checks,
+            "failures": len(self.failures),
+        }
+
+    def summary(self) -> str:
+        """Human-readable multi-line run summary."""
+        lines = [
+            f"fuzz: {self.circuits} circuits, {self.checks} checks, "
+            f"{len(self.failures)} failures in {self.elapsed_seconds:.1f}s",
+            "families: "
+            + ", ".join(
+                f"{name}={count}" for name, count in sorted(self.per_family.items())
+            ),
+            f"backend pairs: {len(self.pairs)}",
+        ]
+        for failure in self.failures:
+            where = failure.corpus_path.name if failure.corpus_path else "(not saved)"
+            lines.append(
+                f"  FAIL {failure.family}/{failure.oracle} "
+                f"seed={failure.replay_id()} -> {where}: {failure.detail}"
+            )
+        return "\n".join(lines)
+
+
+def _oracle_rng(
+    config: FuzzConfig, material: Sequence[int], salt: int
+) -> np.random.Generator:
+    """Deterministic per-(circuit, oracle) random stream."""
+    return np.random.default_rng(list(material) + [salt])
+
+
+def _handle_failure(
+    config: FuzzConfig,
+    report: FuzzReport,
+    circuit: QuantumCircuit,
+    family_name: str,
+    oracle: Oracle,
+    seed_material: Tuple[int, ...],
+    oracle_index: int,
+    detail: str,
+) -> None:
+    """Minimize, record, and (optionally) serialize one mismatch."""
+    original_size = len(circuit)
+    minimized = circuit
+    with _telemetry.span(
+        "fuzz.minimize", family=family_name, oracle=oracle.name
+    ):
+        if config.minimize:
+            # The predicate re-derives the oracle RNG every call, so the
+            # check is a deterministic function of the candidate circuit.
+            def check(candidate: QuantumCircuit) -> Optional[str]:
+                return oracle.run(
+                    candidate, _oracle_rng(config, seed_material, oracle_index)
+                )
+
+            try:
+                minimized = minimize_circuit(
+                    circuit, check, max_checks=config.max_minimize_checks
+                ).circuit
+            except ValueError:
+                # Flaky reproduction: keep the original circuit so the
+                # failure is still reported, just unminimized.
+                minimized = circuit
+    failure = FuzzFailure(
+        family=family_name,
+        oracle=oracle.name,
+        seed_material=seed_material,
+        detail=detail,
+        circuit=minimized,
+        original_size=original_size,
+    )
+    if config.save_failures:
+        failure.corpus_path = save_reproducer(
+            minimized,
+            family=family_name,
+            oracle=oracle.name,
+            seed=failure.replay_id(),
+            detail=detail,
+            directory=config.corpus_dir,
+            minimized_from=original_size,
+        )
+    report.failures.append(failure)
+    session = _telemetry.active()
+    if session is not None:
+        session.registry.counter("fuzz.failures").inc()
+
+
+def run_fuzz(
+    config: FuzzConfig = FuzzConfig(),
+    telemetry: Optional["_telemetry.Telemetry"] = None,
+) -> FuzzReport:
+    """Run the differential fuzzing loop described by ``config``.
+
+    Families are interleaved round-robin so a short run still covers all
+    of them.  ``telemetry`` activates an observability session: the loop
+    and each minimization become trace spans and the circuit/check/
+    failure counters land in the metrics registry (``fuzz.*``).
+    """
+    families = [get_family(name) for name in config.families]
+    if not families:
+        raise ValueError("at least one circuit family is required")
+    report = FuzzReport(config=config)
+    started = time.perf_counter()
+    with _telemetry.activate(telemetry):
+        with _telemetry.span("fuzz.run", seed=config.seed):
+            index = 0
+            while True:
+                if (
+                    config.max_circuits is not None
+                    and report.circuits >= config.max_circuits
+                ):
+                    break
+                if (
+                    config.time_budget_seconds is not None
+                    and time.perf_counter() - started >= config.time_budget_seconds
+                ):
+                    break
+                family_index = index % len(families)
+                family = families[family_index]
+                circuit_number = index // len(families)
+                seed_material = (config.seed, family_index, circuit_number)
+                circuit = family.generate(
+                    np.random.default_rng(list(seed_material))
+                )
+                report.circuits += 1
+                report.per_family[family.name] = (
+                    report.per_family.get(family.name, 0) + 1
+                )
+                for oracle_index, oracle in enumerate(
+                    applicable_oracles(family)
+                ):
+                    detail = oracle.run(
+                        circuit, _oracle_rng(config, seed_material, oracle_index)
+                    )
+                    report.checks += 1
+                    report.per_oracle[oracle.name] = (
+                        report.per_oracle.get(oracle.name, 0) + 1
+                    )
+                    report.pairs.add(oracle.pair)
+                    if detail is not None:
+                        _handle_failure(
+                            config,
+                            report,
+                            circuit,
+                            family.name,
+                            oracle,
+                            seed_material,
+                            oracle_index,
+                            detail,
+                        )
+                index += 1
+        report.elapsed_seconds = time.perf_counter() - started
+        session = _telemetry.active()
+        if session is not None:
+            session.registry.record_fuzz(report.stats())
+    return report

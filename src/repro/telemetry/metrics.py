@@ -184,6 +184,11 @@ class Registry:
         for key, value in executor_stats.items():
             self.counter(f"shots.{key}").inc(int(value))
 
+    def record_fuzz(self, fuzz_stats: Mapping[str, int]) -> None:
+        """Absorb differential-fuzzing counters (``FuzzReport.stats()``)."""
+        for key, value in fuzz_stats.items():
+            self.counter(f"fuzz.{key}").inc(int(value))
+
     # ------------------------------------------------------------------
     # Snapshot
     # ------------------------------------------------------------------

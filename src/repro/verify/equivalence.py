@@ -24,6 +24,7 @@ import numpy as np
 from ..circuit.circuit import QuantumCircuit
 from ..circuit.operations import DiagonalOperation
 from ..dd.matrix_dd import OperationDDCache, identity_dd
+from ..dd.node import Edge, is_terminal
 from ..dd.normalization import NormalizationScheme
 from ..dd.package import DDPackage
 from ..exceptions import ReproError
@@ -36,6 +37,13 @@ __all__ = [
     "random_stimuli_check",
 ]
 
+
+#: Smallest trace-fidelity deviation the DD product can resolve.  The
+#: complex table interns weights on a ~1e-10 grid and every ``mat_mat``
+#: re-interns, so the computed trace of an exactly-equivalent pair still
+#: drifts by ~1e-13 in fidelity (deviation ~1e-6 after the square root).
+#: Demanding more than this floor flags pure rounding as inequivalence.
+_TRACE_DEVIATION_FLOOR = 1e-6
 
 @dataclass(frozen=True)
 class EquivalenceResult:
@@ -103,14 +111,55 @@ def check_equivalence(
             j += 1
 
     identity = identity_dd(package, num_qubits)
-    if result.node is not identity.node:
-        return EquivalenceResult(equivalent=False, method="dd")
-    phase = result.weight / identity.weight
-    if abs(abs(phase) - 1.0) > tolerance:
-        return EquivalenceResult(equivalent=False, method="dd")
+    if result.node is identity.node:
+        phase = result.weight / identity.weight
+        if abs(abs(phase) - 1.0) > tolerance:
+            return EquivalenceResult(equivalent=False, method="dd")
+    else:
+        # Structural mismatch does not yet prove inequivalence: exact
+        # compiler rewrites may drop sub-tolerance rotations, leaving a
+        # product within ``tolerance`` of a phase times the identity but
+        # with off-diagonal weights too large for the DD's own (much
+        # tighter) canonicalisation tolerance to absorb.  For a unitary
+        # U, |tr(U)| = 2^n holds iff U = e^{i θ}·I, and
+        # ||U - e^{i θ}·I||_F² = 2·2^n·(1 - |tr(U)|/2^n), so the RMS
+        # per-eigenvalue deviation sqrt(2·(1 - |tr|/2^n)) measures the
+        # distance to the nearest phase-identity — compare *that* to the
+        # requested tolerance.
+        trace = _matrix_trace(result)
+        fidelity = abs(trace) / (1 << num_qubits)
+        deviation = np.sqrt(max(0.0, 2.0 * (1.0 - fidelity)))
+        if deviation > max(tolerance, _TRACE_DEVIATION_FLOOR):
+            return EquivalenceResult(
+                equivalent=False, method="dd", min_fidelity=fidelity
+            )
+        phase = trace / abs(trace)
     if not up_to_global_phase and abs(phase - 1.0) > tolerance:
         return EquivalenceResult(equivalent=False, method="dd", phase=phase)
     return EquivalenceResult(equivalent=True, method="dd", phase=phase)
+
+
+def _matrix_trace(edge: Edge) -> complex:
+    """Trace of a matrix DD (memoised; linear in the node count).
+
+    Matrix DDs in this package are fully leveled (only the zero edge
+    terminates early), so the trace is the weighted sum of the diagonal
+    successors' traces with terminal weight as the base case.
+    """
+    memo: dict = {}
+
+    def walk(current: Edge) -> complex:
+        if current.is_zero:
+            return 0j
+        if is_terminal(current.node):
+            return current.weight
+        node_trace = memo.get(current.node.index)
+        if node_trace is None:
+            node_trace = walk(current.node.edges[0]) + walk(current.node.edges[3])
+            memo[current.node.index] = node_trace
+        return current.weight * node_trace
+
+    return walk(edge)
 
 
 def assert_equivalent(

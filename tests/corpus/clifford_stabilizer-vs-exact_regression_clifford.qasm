@@ -1,0 +1,14 @@
+// family: clifford
+// oracle: stabilizer-vs-exact
+// seed: regression_clifford
+// detail: regression: stabilizer sampling vs dense distribution
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+h q[0];
+cx q[0],q[1];
+s q[1];
+cz q[1],q[2];
+h q[2];
+

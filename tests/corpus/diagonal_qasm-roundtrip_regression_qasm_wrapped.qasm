@@ -1,0 +1,14 @@
+// family: diagonal
+// oracle: qasm-roundtrip
+// seed: regression_qasm_wrapped
+// detail: regression: pi-fraction snap corrupted wrapped phases in export
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+h q[0];
+p(6.283185307179366) q[0];
+h q[1];
+cp(-3.141592653589893) q[0],q[1];
+rz(12.566370613359172) q[1];
+

@@ -1,0 +1,12 @@
+// family: diagonal
+// oracle: qasm-roundtrip
+// seed: regression_u3_phase
+// detail: regression: u3 fusion dropped global phase in QASM export
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+gphase(-0.35000000000000003) q[0];
+u3(pi/2,3.056194490192345,-pi) q[0];
+h q[1];
+

@@ -1,0 +1,14 @@
+// family: midmeasure
+// oracle: branching-vs-pershot
+// seed: regression_midmeasure_reuse
+// detail: regression: degenerate branch probabilities crashed the binomial splitter
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+h q[0];
+measure q[0] -> c[0];
+h q[0];
+cx q[0],q[1];
+measure q -> c;
+

@@ -1,0 +1,14 @@
+// family: nearzero
+// oracle: dd-vs-statevector
+// seed: regression_nearzero_collapse
+// detail: regression: sub-tolerance branch amplified silently before collapse guard
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+ry(1e-08) q[0];
+h q[1];
+p(1e-10) q[1];
+h q[1];
+cx q[0],q[1];
+

@@ -1,0 +1,32 @@
+"""Deterministic replay of the fuzz reproducer corpus.
+
+Every ``tests/corpus/*.qasm`` file records the oracle that once flagged
+it (see the ``// oracle:`` header).  Replaying the oracle on the parsed
+circuit must now report agreement — a corpus entry failing here means a
+previously fixed bug has regressed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fuzz.corpus import default_corpus_dir, load_corpus
+from repro.fuzz.oracles import get_oracle
+
+ENTRIES = load_corpus()
+
+
+def test_corpus_is_present_and_annotated():
+    assert ENTRIES, f"no reproducers found under {default_corpus_dir()}"
+    for entry in ENTRIES:
+        assert "oracle" in entry.metadata, entry.path.name
+        assert "family" in entry.metadata, entry.path.name
+        assert "seed" in entry.metadata, entry.path.name
+
+
+@pytest.mark.parametrize(
+    "entry", ENTRIES, ids=[entry.path.stem for entry in ENTRIES]
+)
+def test_corpus_reproducer_replays_green(entry):
+    oracle = get_oracle(entry.metadata["oracle"])
+    detail = oracle.run(entry.circuit, np.random.default_rng(0))
+    assert detail is None, f"{entry.path.name} regressed: {detail}"
