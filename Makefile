@@ -2,13 +2,19 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-sampling bench-compile bench-smoke fuzz fuzz-smoke fuzz-self-check docs-check quick-table full-table figures shapes examples clean
+.PHONY: install test bench bench-sampling bench-compile bench-serving bench-smoke serve-smoke fuzz fuzz-smoke fuzz-self-check docs-check quick-table full-table figures shapes examples clean
 
 install:
 	PIP_NO_BUILD_ISOLATION=false pip install -e .
 
-test: fuzz-smoke
+test: fuzz-smoke serve-smoke
 	$(PYTHON) -m pytest tests/
+
+# End-to-end serving gate: batch JSONL round trip on qft_16 + grover_8,
+# cold pass builds + caches, warm pass must skip strong simulation and
+# stay bit-identical to weak_sim (see docs/serving.md).
+serve-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.service --smoke
 
 # Seeded differential-fuzzing smoke: 200 circuits across all families
 # and backend pairs, deterministic, finishes well inside 60 seconds.
@@ -38,6 +44,10 @@ bench-sampling:
 bench-compile:
 	PYTHONPATH=src $(PYTHON) -m repro.compile.bench --out BENCH_build.json
 
+# Serving harness: writes BENCH_serving.json (cold/warm/concurrent).
+bench-serving:
+	PYTHONPATH=src $(PYTHON) -m repro.service.bench --out BENCH_serving.json
+
 # Toy-size harness run + schema validation; fails on JSON-schema drift.
 bench-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.perf.bench --smoke --out BENCH_smoke.json
@@ -46,11 +56,16 @@ bench-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.compile.bench --smoke --out BENCH_build_smoke.json
 	PYTHONPATH=src $(PYTHON) -m repro.compile.bench --validate BENCH_build_smoke.json
 	rm -f BENCH_build_smoke.json
+	PYTHONPATH=src $(PYTHON) -m repro.service.bench --smoke --out BENCH_serving_smoke.json
+	PYTHONPATH=src $(PYTHON) -m repro.service.bench --validate BENCH_serving_smoke.json
+	rm -f BENCH_serving_smoke.json
 
-# Docstring-coverage gate: every public definition must be documented
-# (also runs inside the test suite via tests/test_docstrings.py).
+# Docs gates: docstring coverage for every public definition, plus
+# link/anchor/path/CLI-flag integrity across the markdown surface
+# (both also run inside the test suite).
 docs-check:
 	$(PYTHON) tools/check_docstrings.py
+	PYTHONPATH=src $(PYTHON) tools/check_docs.py
 
 quick-table:
 	$(PYTHON) -m repro.evaluation table1 --tier quick --shots 100000

@@ -73,6 +73,15 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the compile pipeline and simulate the circuit verbatim",
     )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="serve through the sampling service with a persistent "
+        "compiled-artifact cache in DIR: a repeat invocation of the same "
+        "circuit skips strong simulation and is bit-identical for the "
+        "same --seed (see docs/serving.md)",
+    )
     return parser
 
 
@@ -109,16 +118,42 @@ def main(argv: Optional[List[str]] = None) -> int:
         session = Telemetry()
 
     start = time.perf_counter()
+    cache_note = ""
     try:
-        result = simulate_and_sample(
-            circuit,
-            args.shots,
-            method=args.method,
-            seed=args.seed,
-            workers=args.workers,
-            optimize=not args.no_optimize,
-            telemetry=session,
-        )
+        if args.cache_dir is not None:
+            from .service import SamplingRequest, SamplingService
+
+            with SamplingService(
+                cache_dir=args.cache_dir, telemetry=session
+            ) as service:
+                response = service.sample(
+                    SamplingRequest(
+                        circuit,
+                        args.shots,
+                        seed=args.seed,
+                        method=args.method,
+                        workers=args.workers,
+                        optimize=not args.no_optimize,
+                    )
+                )
+            if not response.ok:
+                print(
+                    f"error: service {response.status}: {response.error}",
+                    file=sys.stderr,
+                )
+                return 2
+            result = response.result
+            cache_note = f" (cache: {response.cache})"
+        else:
+            result = simulate_and_sample(
+                circuit,
+                args.shots,
+                method=args.method,
+                seed=args.seed,
+                workers=args.workers,
+                optimize=not args.no_optimize,
+                telemetry=session,
+            )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -127,6 +162,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(
         f"{circuit.num_qubits} qubits, {circuit.num_operations} gates; "
         f"{result.shots} shots via {args.method!r} in {elapsed:.3f} s"
+        f"{cache_note}"
     )
     for bitstring, count in result.most_common(args.top):
         bar = "#" * max(1, round(40 * count / result.shots))

@@ -183,8 +183,8 @@ def validate_payload(payload: Dict) -> None:
         raise ValueError("optimised sampling distribution drifted")
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point for ``python -m repro.compile.bench``."""
+def _build_parser() -> argparse.ArgumentParser:
+    """The bench CLI's argument parser (importable for the docs checker)."""
     parser = argparse.ArgumentParser(
         prog="repro-bench-build",
         description="Benchmark the compile pipeline and emit "
@@ -210,7 +210,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="FILE",
         help="validate an existing payload against the schema and exit",
     )
-    args = parser.parse_args(argv)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro.compile.bench``."""
+    args = _build_parser().parse_args(argv)
 
     if args.validate:
         with open(args.validate, "r", encoding="utf-8") as handle:

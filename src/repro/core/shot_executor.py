@@ -43,13 +43,36 @@ from .dd_sampler import DDSampler
 from ..dd.vector_dd import VectorDD
 from .results import SampleResult
 
-__all__ = ["ShotExecutor"]
+__all__ = ["ShotExecutor", "circuit_has_mid_circuit_measurement"]
 
 
 def _as_rng(seed: Union[int, np.random.Generator, None]) -> np.random.Generator:
     if isinstance(seed, np.random.Generator):
         return seed
     return np.random.default_rng(seed)
+
+
+def circuit_has_mid_circuit_measurement(circuit: QuantumCircuit) -> bool:
+    """Whether any measurement is followed by further unitary operations.
+
+    Dispatch predicate for callers (the CLI, the sampling service) that
+    must route measure-and-continue circuits through :class:`ShotExecutor`
+    instead of the terminal-measurement samplers.  Unlike constructing an
+    executor and reading :attr:`ShotExecutor.has_mid_circuit_measurement`,
+    this performs no compilation — it is one pass over the instruction
+    list.  Barriers are ignored (they fence the optimizer, not execution)
+    and trailing measurements do not count: only a measurement with a
+    later non-measurement instruction makes the circuit mid-circuit.
+    """
+    seen_measurement = False
+    for instruction in circuit:
+        if isinstance(instruction, Barrier):
+            continue
+        if isinstance(instruction, Measurement):
+            seen_measurement = True
+        elif seen_measurement:
+            return True
+    return False
 
 
 @dataclass

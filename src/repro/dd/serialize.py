@@ -25,6 +25,8 @@ from __future__ import annotations
 
 import gzip
 import json
+import os
+import tempfile
 from typing import Dict, List, Optional
 
 from ..exceptions import DDError
@@ -32,10 +34,42 @@ from .node import Edge, Node, is_terminal
 from .package import DDPackage
 from .vector_dd import VectorDD
 
-__all__ = ["state_to_dict", "state_from_dict", "save_state", "load_state"]
+__all__ = [
+    "state_to_dict",
+    "state_from_dict",
+    "save_state",
+    "load_state",
+    "atomic_write_bytes",
+]
 
 _FORMAT = "repro-dd"
 _VERSION = 1
+
+
+def atomic_write_bytes(path: str, data: bytes) -> None:
+    """Write ``data`` to ``path`` so readers never observe a torn file.
+
+    The bytes land in a temp file in the target directory, then
+    :func:`os.replace` installs them — atomic on POSIX, so a crash mid
+    write leaves either the old content or nothing, never a prefix.
+    Shared by the state files here and the artifact store of
+    :mod:`repro.service.store`, whose corruption detection relies on
+    partial writes being impossible through this path.
+    """
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    handle, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=".tmp-", suffix=".part"
+    )
+    try:
+        with os.fdopen(handle, "wb") as tmp:
+            tmp.write(data)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
 
 
 def state_to_dict(state: VectorDD) -> dict:
@@ -118,14 +152,17 @@ def state_from_dict(payload: dict, package: Optional[DDPackage] = None) -> Vecto
 
 
 def save_state(state: VectorDD, path: str) -> None:
-    """Write a state to ``path`` (gzip-compressed when it ends in .gz)."""
+    """Write a state to ``path`` (gzip-compressed when it ends in .gz).
+
+    Writes are atomic (:func:`atomic_write_bytes`): a crash never leaves
+    a truncated state file behind.
+    """
     payload = state_to_dict(state)
+    text = json.dumps(payload)
     if path.endswith(".gz"):
-        with gzip.open(path, "wt", encoding="utf-8") as handle:
-            json.dump(payload, handle)
+        atomic_write_bytes(path, gzip.compress(text.encode("utf-8")))
     else:
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle)
+        atomic_write_bytes(path, text.encode("utf-8"))
 
 
 def load_state(path: str, package: Optional[DDPackage] = None) -> VectorDD:

@@ -31,8 +31,8 @@ from .runner import FuzzConfig, FuzzReport, run_fuzz
 SELF_CHECK_MAX_GATES = 8
 
 
-def _parse_args(argv: Optional[List[str]] = None) -> argparse.Namespace:
-    """Build and evaluate the command-line interface."""
+def _build_parser() -> argparse.ArgumentParser:
+    """The fuzz CLI's argument parser (importable for the docs checker)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.fuzz",
         description="differential fuzzing of the simulation backends",
@@ -84,7 +84,12 @@ def _parse_args(argv: Optional[List[str]] = None) -> argparse.Namespace:
         action="store_true",
         help="inject a known normalisation bug and verify the fuzzer catches it",
     )
-    return parser.parse_args(argv)
+    return parser
+
+
+def _parse_args(argv: Optional[List[str]] = None) -> argparse.Namespace:
+    """Build and evaluate the command-line interface."""
+    return _build_parser().parse_args(argv)
 
 
 def _config_from_args(args: argparse.Namespace) -> FuzzConfig:

@@ -318,8 +318,8 @@ def validate_payload(payload: Dict) -> None:
         raise ValueError("telemetry-enabled run produced no trace records")
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point for ``python -m repro.perf.bench``."""
+def _build_parser() -> argparse.ArgumentParser:
+    """The bench CLI's argument parser (importable for the docs checker)."""
     parser = argparse.ArgumentParser(
         prog="repro-bench-sampling",
         description="Benchmark the compiled sampling engine and emit "
@@ -348,7 +348,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="FILE",
         help="validate an existing payload against the schema and exit",
     )
-    args = parser.parse_args(argv)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro.perf.bench``."""
+    args = _build_parser().parse_args(argv)
 
     if args.validate:
         with open(args.validate, "r", encoding="utf-8") as handle:

@@ -33,6 +33,13 @@ from ..exceptions import SamplingError
 __all__ = ["CompiledDD", "CompiledDDCache", "DEFAULT_CACHE", "compile_edge"]
 
 
+#: Stable-serialisation contract version.  Bump whenever the meaning of
+#: the flat arrays changes (levels encoding, probability convention, …);
+#: the service artifact store folds it into every cache key so stale
+#: on-disk artifacts are invalidated rather than misread.
+ARTIFACT_VERSION = 1
+
+
 #: Dense expansion guard: ``probabilities()`` materialises 2^n floats.
 _DENSE_QUBIT_CAP = 26
 
@@ -82,6 +89,101 @@ class CompiledDD:
     def size(self) -> int:
         """Number of non-terminal nodes in the compiled DD."""
         return self.p0.size
+
+    # ------------------------------------------------------------------
+    # Stable serialisation (the persistent-cache contract)
+    # ------------------------------------------------------------------
+
+    def to_arrays(self) -> Dict[str, np.ndarray]:
+        """The artifact as plain NumPy arrays, ready for ``np.savez``.
+
+        The ragged ``levels`` list is flattened into ``levels_flat`` plus
+        a ``level_offsets`` prefix (length ``num_qubits + 1``); qubit
+        ``v``'s node ids are ``levels_flat[level_offsets[v]:level_offsets[v+1]]``.
+        ``id_of`` is deliberately *not* serialised — it maps package node
+        indexes, which are meaningless outside the builder's process.
+        Round-tripping through :meth:`from_arrays` preserves every float
+        bit, so samples drawn from a restored artifact are bit-identical
+        to the original's for equal seeds.
+        """
+        offsets = np.zeros(self.num_qubits + 1, dtype=np.int64)
+        for var, ids in enumerate(self.levels):
+            offsets[var + 1] = offsets[var] + ids.size
+        flat = (
+            np.concatenate(self.levels)
+            if self.size
+            else np.zeros(0, dtype=np.int64)
+        )
+        return {
+            "p0": np.ascontiguousarray(self.p0, dtype=np.float64),
+            "child0": np.ascontiguousarray(self.child0, dtype=np.int64),
+            "child1": np.ascontiguousarray(self.child1, dtype=np.int64),
+            "levels_flat": np.ascontiguousarray(flat, dtype=np.int64),
+            "level_offsets": offsets,
+            "header": np.asarray(
+                [ARTIFACT_VERSION, self.num_qubits, self.root], dtype=np.int64
+            ),
+        }
+
+    @classmethod
+    def from_arrays(cls, arrays: Dict[str, np.ndarray]) -> "CompiledDD":
+        """Rebuild a :class:`CompiledDD` from :meth:`to_arrays` output.
+
+        Every structural invariant is re-validated, so a truncated or
+        bit-flipped artifact raises :class:`~repro.exceptions.SamplingError`
+        instead of producing silently-wrong samples; the artifact store
+        treats that as corruption and rebuilds.
+        """
+        try:
+            header = np.asarray(arrays["header"], dtype=np.int64)
+            p0 = np.asarray(arrays["p0"], dtype=np.float64)
+            child0 = np.asarray(arrays["child0"], dtype=np.int64)
+            child1 = np.asarray(arrays["child1"], dtype=np.int64)
+            flat = np.asarray(arrays["levels_flat"], dtype=np.int64)
+            offsets = np.asarray(arrays["level_offsets"], dtype=np.int64)
+        except (KeyError, ValueError, TypeError) as error:
+            raise SamplingError(f"malformed compiled-DD artifact: {error}")
+        if header.shape != (3,):
+            raise SamplingError("malformed compiled-DD artifact: bad header")
+        version, num_qubits, root = (int(v) for v in header)
+        if version != ARTIFACT_VERSION:
+            raise SamplingError(
+                f"compiled-DD artifact version {version} != {ARTIFACT_VERSION}"
+            )
+        size = p0.size
+        if size == 0:
+            raise SamplingError("compiled-DD artifact has no nodes")
+        if num_qubits < 1 or not 0 <= root < size:
+            raise SamplingError("compiled-DD artifact root out of range")
+        if child0.shape != (size,) or child1.shape != (size,):
+            raise SamplingError("compiled-DD artifact arrays disagree on size")
+        if not np.all(np.isfinite(p0)) or p0.min() < 0.0 or p0.max() > 1.0:
+            raise SamplingError("compiled-DD artifact probabilities corrupt")
+        for child in (child0, child1):
+            if child.size and (child.min() < 0 or child.max() >= size):
+                raise SamplingError("compiled-DD artifact child ids corrupt")
+        if (
+            offsets.shape != (num_qubits + 1,)
+            or offsets[0] != 0
+            or offsets[-1] != flat.size
+            or flat.size != size
+            or np.any(np.diff(offsets) < 0)
+        ):
+            raise SamplingError("compiled-DD artifact level index corrupt")
+        if flat.size and (flat.min() < 0 or flat.max() >= size):
+            raise SamplingError("compiled-DD artifact level ids corrupt")
+        levels = [
+            flat[offsets[var] : offsets[var + 1]] for var in range(num_qubits)
+        ]
+        return cls(
+            num_qubits=num_qubits,
+            root=root,
+            p0=p0,
+            child0=child0,
+            child1=child1,
+            id_of={},
+            levels=levels,
+        )
 
     # ------------------------------------------------------------------
     # Sampling

@@ -1,0 +1,62 @@
+"""Request-oriented sampling service with a persistent compiled-artifact cache.
+
+The paper's economics are: one expensive strong simulation, then
+arbitrarily many cheap samples.  Everything else in this repository
+amortises that precompute *within* a process (the
+:data:`repro.perf.compiled_dd.DEFAULT_CACHE`); this package amortises it
+**across processes and requests** — the gap between a library and a
+service:
+
+* :mod:`repro.service.store` — :class:`ArtifactStore`: serialises
+  :class:`~repro.perf.compiled_dd.CompiledDD` flat arrays plus build
+  metadata to disk, keyed by a canonical circuit hash, with checksummed
+  corruption detection (a bad file is evicted and rebuilt, never served),
+  atomic writes, and size-bounded LRU eviction.
+* :mod:`repro.service.scheduler` — :class:`BuildScheduler`: coalesces
+  concurrent requests for the same circuit into one strong simulation,
+  retries transient build failures, and degrades to the statevector or
+  stabilizer backend instead of OOMing (the degradation ladder).
+* :mod:`repro.service.api` — :class:`SamplingService`: the front door.
+  Submit :class:`SamplingRequest` objects, await
+  :class:`SamplingResponse` objects; results are seed-stable and
+  bit-identical to :func:`repro.core.weak_sim.simulate_and_sample` for
+  equal seeds, cold or warm, at any client concurrency.
+* ``python -m repro.service`` — batch mode: read JSONL requests, write
+  JSONL responses (see ``docs/serving.md`` for the schema).
+
+Quickstart::
+
+    from repro import QuantumCircuit
+    from repro.service import SamplingRequest, SamplingService
+
+    circuit = QuantumCircuit(2).h(1).cx(1, 0)
+    with SamplingService(cache_dir="/tmp/repro-cache") as service:
+        response = service.sample(SamplingRequest(circuit, shots=1000, seed=7))
+    print(response.cache, response.result.most_common())
+
+The second process to run that snippet answers from the warm cache: no
+strong simulation, no DD flattening — just array loads and vectorised
+sampling.
+"""
+
+from __future__ import annotations
+
+from .api import SamplingRequest, SamplingResponse, SamplingService
+from .keys import ARTIFACT_KEY_VERSION, cache_key, circuit_fingerprint
+from .scheduler import AdmissionError, BuildOutcome, BuildScheduler, ServicePolicy
+from .store import ArtifactStore, StoredArtifact
+
+__all__ = [
+    "SamplingService",
+    "SamplingRequest",
+    "SamplingResponse",
+    "ArtifactStore",
+    "StoredArtifact",
+    "BuildScheduler",
+    "BuildOutcome",
+    "ServicePolicy",
+    "AdmissionError",
+    "cache_key",
+    "circuit_fingerprint",
+    "ARTIFACT_KEY_VERSION",
+]

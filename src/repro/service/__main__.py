@@ -1,0 +1,417 @@
+"""``python -m repro.service``: batch JSONL sampling against the cache.
+
+Reads one JSON request per line, answers with one JSON response per
+line, in input order (schema in ``docs/serving.md``)::
+
+    python -m repro.service --requests jobs.jsonl --out answers.jsonl \\
+        --cache-dir ~/.cache/repro
+
+A request line names a circuit either inline (``{"qasm": "..."}``), by
+file (``{"qasm_file": "bell.qasm"}``), or by builtin name
+(``"qft_16"``, ``"grover_8"``, ``"ghz_12"``, ``"bell"``,
+``"supremacy_4x4_8"``)::
+
+    {"request_id": "r1", "circuit": "qft_16", "shots": 100000, "seed": 7}
+
+A malformed line produces a ``rejected`` response on its output line —
+the batch never dies half-way.  ``--smoke`` runs the self-test used by
+``make serve-smoke``: a cold pass and a warm pass over qft_16 and
+grover_8 through a real JSONL round-trip, asserting that the warm pass
+builds nothing and that both passes are bit-identical to
+``simulate_and_sample`` at the same seed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+import tempfile
+from typing import Any, Dict, List, Optional, TextIO
+
+from ..circuit.circuit import QuantumCircuit
+from ..exceptions import ReproError
+from .api import SamplingRequest, SamplingResponse, SamplingService
+
+__all__ = ["main", "resolve_circuit", "run_batch"]
+
+_SUPREMACY_NAME = re.compile(r"^supremacy_(\d+)x(\d+)_(\d+)$")
+_FAMILY_NAME = re.compile(r"^(qft|grover|ghz|w)_(\d+)$")
+
+
+def resolve_circuit(spec: Any) -> QuantumCircuit:
+    """Turn a request's ``circuit`` field into a :class:`QuantumCircuit`.
+
+    Accepts a builtin name (string), ``{"name": ...}``,
+    ``{"qasm": source}``, or ``{"qasm_file": path}``.  Builtin
+    parameterised families use fixed seeds (``grover_N`` draws its
+    marked element with seed 1, ``supremacy_*`` with seed 0) so the same
+    name always means the same circuit — a requirement for the cache key
+    to be meaningful across processes.
+    """
+    if isinstance(spec, dict):
+        if "qasm" in spec:
+            from ..circuit.qasm import parse_qasm
+
+            return parse_qasm(spec["qasm"])
+        if "qasm_file" in spec:
+            from ..circuit.qasm import parse_qasm
+
+            with open(spec["qasm_file"], "r", encoding="utf-8") as handle:
+                return parse_qasm(handle.read())
+        if "name" in spec:
+            spec = spec["name"]
+        else:
+            raise ReproError(
+                "circuit object needs one of 'qasm', 'qasm_file', 'name'"
+            )
+    if not isinstance(spec, str):
+        raise ReproError(f"cannot resolve circuit from {type(spec).__name__}")
+    if spec == "bell":
+        from ..algorithms.states import bell_pair
+
+        return bell_pair()
+    match = _FAMILY_NAME.match(spec)
+    if match:
+        family, size = match.group(1), int(match.group(2))
+        if family == "qft":
+            from ..algorithms.qft import qft
+
+            return qft(size)
+        if family == "grover":
+            from ..algorithms.grover import grover
+
+            return grover(size, seed=1).circuit
+        if family == "ghz":
+            from ..algorithms.states import ghz
+
+            return ghz(size)
+        from ..algorithms.states import w_state
+
+        return w_state(size)
+    match = _SUPREMACY_NAME.match(spec)
+    if match:
+        from ..algorithms.supremacy import supremacy
+
+        return supremacy(
+            int(match.group(1)), int(match.group(2)), int(match.group(3)), seed=0
+        )
+    raise ReproError(
+        f"unknown builtin circuit {spec!r} (expected bell, qft_N, grover_N, "
+        "ghz_N, w_N, or supremacy_RxC_D)"
+    )
+
+
+def _request_from_record(record: Dict[str, Any]) -> SamplingRequest:
+    """Build a :class:`SamplingRequest` from one parsed JSONL record."""
+    if "circuit" not in record:
+        raise ReproError("request is missing the 'circuit' field")
+    if "shots" not in record:
+        raise ReproError("request is missing the 'shots' field")
+    circuit = resolve_circuit(record["circuit"])
+    return SamplingRequest(
+        circuit=circuit,
+        shots=int(record["shots"]),
+        seed=None if record.get("seed") is None else int(record["seed"]),
+        method=str(record.get("method", "dd")),
+        workers=(
+            None if record.get("workers") is None else int(record["workers"])
+        ),
+        optimize=bool(record.get("optimize", True)),
+        initial_state=int(record.get("initial_state", 0)),
+        deadline_seconds=(
+            None
+            if record.get("deadline_seconds") is None
+            else float(record["deadline_seconds"])
+        ),
+        request_id=(
+            None
+            if record.get("request_id") is None
+            else str(record["request_id"])
+        ),
+    )
+
+
+def run_batch(
+    service: SamplingService,
+    source: TextIO,
+    sink: TextIO,
+    top: Optional[int] = None,
+) -> int:
+    """Stream JSONL requests through ``service``; returns the error count.
+
+    Responses are written in input order.  Lines that fail to parse or
+    resolve become ``rejected`` response records instead of killing the
+    batch; the return value counts every non-``ok`` response.
+    """
+    slots: List[Optional[SamplingResponse]] = []
+    futures = []
+    for line_number, line in enumerate(source, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+            if not isinstance(record, dict):
+                raise ReproError("request line must be a JSON object")
+            request = _request_from_record(record)
+        except (ValueError, ReproError, OSError) as error:
+            slots.append(
+                SamplingResponse(
+                    request_id=None,
+                    status="rejected",
+                    error=f"line {line_number}: {error}",
+                )
+            )
+            continue
+        slot = len(slots)
+        slots.append(None)
+        futures.append((slot, service.submit(request)))
+    for slot, future in futures:
+        slots[slot] = future.result()
+    failures = 0
+    for response in slots:
+        assert response is not None
+        if not response.ok:
+            failures += 1
+        sink.write(json.dumps(response.to_dict(top=top)) + "\n")
+    sink.flush()
+    return failures
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Batch weak-simulation sampling: JSONL requests in, "
+        "JSONL responses out, compiled artifacts cached on disk.",
+    )
+    parser.add_argument(
+        "--requests",
+        metavar="FILE",
+        default="-",
+        help="JSONL request file ('-' for stdin, the default)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        default="-",
+        help="JSONL response file ('-' for stdout, the default)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="persistent artifact cache directory (omit to run uncached)",
+    )
+    parser.add_argument(
+        "--max-cache-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="size budget for the artifact cache (LRU-evicted beyond it)",
+    )
+    parser.add_argument(
+        "--request-workers",
+        type=int,
+        default=4,
+        metavar="N",
+        help="concurrent request slots (default 4)",
+    )
+    parser.add_argument(
+        "--build-workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="concurrent strong-simulation builds (default 2)",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=None,
+        metavar="N",
+        help="emit only the N most frequent outcomes per response",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print service/cache counters to stderr when done",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write a telemetry trace of the batch as JSONL to FILE",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the cold/warm self-test (used by 'make serve-smoke')",
+    )
+    return parser
+
+
+def _smoke(cache_dir: Optional[str]) -> int:
+    """Cold pass, warm pass, bit-identity: the serve-smoke gate."""
+    from ..core.weak_sim import simulate_and_sample
+    from ..telemetry import Telemetry
+
+    cases = [
+        {"request_id": "qft_16", "circuit": "qft_16", "shots": 100000, "seed": 7},
+        {"request_id": "grover_8", "circuit": "grover_8", "shots": 20000, "seed": 11},
+    ]
+    references = {
+        case["request_id"]: simulate_and_sample(
+            resolve_circuit(case["circuit"]),
+            case["shots"],
+            method="dd",
+            seed=case["seed"],
+        ).counts
+        for case in cases
+    }
+
+    def one_pass(directory: str, label: str) -> Dict[str, Any]:
+        request_lines = "".join(json.dumps(case) + "\n" for case in cases)
+        telemetry = Telemetry()
+        with SamplingService(cache_dir=directory, telemetry=telemetry) as service:
+            source = _io_stringio(request_lines)
+            sink = _io_stringio("")
+            failures = run_batch(service, source, sink)
+            stats = service.stats()
+        responses = [
+            json.loads(line) for line in sink.getvalue().splitlines() if line
+        ]
+        build_spans = [
+            span for span in telemetry.tracer.spans if span.name == "build"
+        ]
+        counters = telemetry.registry.snapshot()["counters"]
+        if failures:
+            raise ReproError(f"{label} pass had {failures} failed responses")
+        for response in responses:
+            expected = references[response["request_id"]]
+            width = response["num_qubits"]
+            got = {int(k, 2): v for k, v in response["counts"].items()}
+            if got != expected:
+                raise ReproError(
+                    f"{label} pass: {response['request_id']} counts differ "
+                    "from simulate_and_sample at the same seed"
+                )
+            if len(format(max(expected), "b")) > width:
+                raise ReproError("response num_qubits narrower than counts")
+        return {
+            "builds": stats["builds"],
+            "build_spans": len(build_spans),
+            "cache_hits": counters.get("service.cache.hits", 0),
+            "responses": responses,
+        }
+
+    def check(condition: bool, message: str) -> None:
+        if not condition:
+            raise ReproError(f"serve-smoke: {message}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = cache_dir or tmp
+        cold = one_pass(directory, "cold")
+        check(cold["builds"] == len(cases), "cold pass must build every case")
+        check(cold["build_spans"] >= len(cases), "cold pass must trace builds")
+        warm = one_pass(directory, "warm")
+        check(warm["builds"] == 0, "warm pass must not build")
+        check(warm["build_spans"] == 0, "warm pass must not trace builds")
+        check(
+            warm["cache_hits"] == len(cases),
+            "warm pass must answer every case from the cache",
+        )
+        for response in warm["responses"]:
+            check(
+                response["cache"] in ("disk", "memory"),
+                f"warm response {response['request_id']} not from cache",
+            )
+    print(
+        "serve-smoke ok: "
+        f"{len(cases)} circuits, cold builds={cold['builds']}, "
+        f"warm builds={warm['builds']}, warm cache hits={warm['cache_hits']}, "
+        "bit-identical to weak_sim"
+    )
+    return 0
+
+
+def _io_stringio(initial: str):
+    import io
+
+    buffer = io.StringIO(initial)
+    buffer.seek(0)
+    return buffer
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro.service``; returns the exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.smoke:
+        try:
+            return _smoke(args.cache_dir)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+
+    session = None
+    if args.trace:
+        from ..telemetry import Telemetry
+
+        session = Telemetry()
+
+    service_kwargs: Dict[str, Any] = {
+        "cache_dir": args.cache_dir,
+        "build_workers": args.build_workers,
+        "request_workers": args.request_workers,
+        "telemetry": session,
+    }
+    if args.max_cache_bytes is not None:
+        service_kwargs["max_cache_bytes"] = args.max_cache_bytes
+
+    try:
+        source = (
+            sys.stdin
+            if args.requests == "-"
+            else open(args.requests, "r", encoding="utf-8")
+        )
+    except OSError as error:
+        print(f"error: cannot read {args.requests}: {error}", file=sys.stderr)
+        return 2
+    try:
+        sink = (
+            sys.stdout
+            if args.out == "-"
+            else open(args.out, "w", encoding="utf-8")
+        )
+    except OSError as error:
+        print(f"error: cannot write {args.out}: {error}", file=sys.stderr)
+        if source is not sys.stdin:
+            source.close()
+        return 2
+
+    try:
+        with SamplingService(**service_kwargs) as service:
+            failures = run_batch(service, source, sink, top=args.top)
+            stats = service.stats()
+    finally:
+        if source is not sys.stdin:
+            source.close()
+        if sink is not sys.stdout:
+            sink.close()
+
+    if args.stats:
+        print(json.dumps(stats, indent=2, sort_keys=True), file=sys.stderr)
+    if session is not None:
+        try:
+            records = session.export(args.trace)
+        except OSError as error:
+            print(f"error: cannot write {args.trace}: {error}", file=sys.stderr)
+            return 2
+        print(
+            f"trace: {records} records -> {args.trace}",
+            file=sys.stderr,
+        )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,600 @@
+"""The service front door: submit requests, await seed-stable results.
+
+:class:`SamplingService` ties the layers together: cache key
+(:mod:`repro.service.keys`) → in-process hot cache → persistent
+:class:`~repro.service.store.ArtifactStore` → coalescing
+:class:`~repro.service.scheduler.BuildScheduler` → sampling.  The
+contract that makes the cache *safe to use* is bit-identity: for
+``method="dd"`` with an integer seed, a response is byte-for-byte the
+same :class:`~repro.core.results.SampleResult` that
+:func:`repro.core.weak_sim.simulate_and_sample` produces for the same
+arguments — whether the artifact was just built, read back from disk, or
+found hot in memory, and at any client concurrency.  That holds because
+the artifact round-trip is float64-bit-exact and the warm path consumes
+the RNG exactly like the cold path (same per-level draws, same
+seed-stable chunking under ``workers``).
+
+Requests that the compiled-artifact path cannot serve are still
+answered, just without the cache (``cache="bypass"``): dense ``vector*``
+methods, the non-default DD samplers (``dd-path`` …, which need the live
+DD rather than the flattened tables), and measure-and-continue circuits
+(routed through :class:`~repro.core.shot_executor.ShotExecutor`).
+
+Telemetry: pass a :class:`repro.telemetry.Telemetry` session and the
+service activates it for its lifetime.  Every request opens a
+``service.request`` span; builds appear as the simulator's ``build``
+spans under it (their *absence* on a warm hit is the observable proof
+that strong simulation was skipped); counters land under ``service.*``
+(see ``docs/serving.md``).
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor, TimeoutError
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from .. import telemetry as _telemetry
+from ..circuit.circuit import QuantumCircuit
+from ..core.results import SampleResult
+from ..core.shot_executor import ShotExecutor, circuit_has_mid_circuit_measurement
+from ..core.weak_sim import (
+    DD_METHODS,
+    VECTOR_METHODS,
+    sample_statevector,
+    simulate_and_sample,
+)
+from ..dd.normalization import NormalizationScheme
+from ..exceptions import MemoryOutError, ReproError
+from ..perf.compiled_dd import CompiledDD
+from ..perf.parallel import DEFAULT_CHUNK_SHOTS, sample_chunked
+from .keys import cache_key
+from .scheduler import AdmissionError, BuildOutcome, BuildScheduler, ServicePolicy
+from .store import DEFAULT_MAX_BYTES, ArtifactStore
+
+__all__ = ["SamplingRequest", "SamplingResponse", "SamplingService"]
+
+#: Default number of CompiledDD artifacts pinned in process memory.
+DEFAULT_HOT_ENTRIES = 8
+
+
+@dataclass(frozen=True)
+class SamplingRequest:
+    """One sampling job: a circuit, a shot count, and reproducibility knobs.
+
+    ``deadline_seconds`` bounds how long the request will *wait for the
+    build* (cache hits never wait); an expired deadline yields a
+    ``deadline_exceeded`` response while the build keeps running and
+    still lands in the cache for the retry.  ``workers`` enables
+    seed-stable chunked sampling exactly as in ``simulate_and_sample``.
+    """
+
+    circuit: QuantumCircuit
+    shots: int
+    seed: Optional[int] = None
+    method: str = "dd"
+    workers: Optional[int] = None
+    scheme: NormalizationScheme = NormalizationScheme.L2
+    optimize: bool = True
+    initial_state: int = 0
+    deadline_seconds: Optional[float] = None
+    request_id: Optional[str] = None
+
+
+@dataclass
+class SamplingResponse:
+    """The service's answer; inspect ``status`` before ``result``.
+
+    ``status`` is one of ``"ok"``, ``"rejected"`` (admission guard or
+    invalid parameters — retrying unchanged cannot succeed),
+    ``"deadline_exceeded"`` (retry later; the build continues), or
+    ``"error"`` (the build failed).  ``cache`` says where the artifact
+    came from: ``"memory"`` (hot in-process), ``"disk"`` (persistent
+    store), ``"built"`` (cold), or ``"bypass"`` (request class outside
+    the artifact cache).  ``backend`` is what actually sampled:
+    ``"dd"``, ``"statevector"``, ``"stabilizer"``, or
+    ``"shot-executor"``.
+    """
+
+    request_id: Optional[str]
+    status: str
+    result: Optional[SampleResult] = None
+    backend: Optional[str] = None
+    cache: Optional[str] = None
+    key: Optional[str] = None
+    error: Optional[str] = None
+    degraded_reason: Optional[str] = None
+    build_seconds: float = 0.0
+    sampling_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the request produced a result."""
+        return self.status == "ok"
+
+    def to_dict(self, top: Optional[int] = None) -> Dict[str, Any]:
+        """The JSONL response record (schema in ``docs/serving.md``).
+
+        ``top`` caps the emitted counts at the most frequent ``top``
+        outcomes (full counts by default).
+        """
+        record: Dict[str, Any] = {
+            "request_id": self.request_id,
+            "status": self.status,
+            "backend": self.backend,
+            "cache": self.cache,
+            "key": self.key,
+            "build_seconds": round(self.build_seconds, 9),
+            "sampling_seconds": round(self.sampling_seconds, 9),
+        }
+        if self.error is not None:
+            record["error"] = self.error
+        if self.degraded_reason is not None:
+            record["degraded_reason"] = self.degraded_reason
+        if self.result is not None:
+            record["num_qubits"] = self.result.num_qubits
+            record["shots"] = self.result.shots
+            record["method"] = self.result.method
+            counts = self.result.bitstring_counts()
+            if top is not None and len(counts) > top:
+                ranked = self.result.most_common(top)
+                record["counts"] = dict(ranked)
+                record["counts_truncated"] = len(counts) - top
+            else:
+                record["counts"] = counts
+        return record
+
+
+class SamplingService:
+    """Request-oriented weak simulation with a persistent artifact cache.
+
+    Usable as a context manager; :meth:`close` drains the worker pools.
+    ``cache_dir=None`` runs without the persistent tier (hot cache and
+    coalescing still apply).  A single service instance is thread-safe:
+    concurrent :meth:`sample` calls from many client threads coalesce
+    onto one build per distinct circuit.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[str] = None,
+        max_cache_bytes: int = DEFAULT_MAX_BYTES,
+        policy: Optional[ServicePolicy] = None,
+        build_workers: int = 2,
+        request_workers: int = 4,
+        hot_entries: int = DEFAULT_HOT_ENTRIES,
+        telemetry: Optional[_telemetry.Telemetry] = None,
+    ):
+        self.policy = policy or ServicePolicy()
+        self.telemetry = telemetry
+        self.store = (
+            ArtifactStore(cache_dir, max_bytes=max_cache_bytes)
+            if cache_dir is not None
+            else None
+        )
+        self.scheduler = BuildScheduler(
+            store=self.store,
+            policy=self.policy,
+            workers=build_workers,
+            telemetry=telemetry,
+        )
+        self._requests = ThreadPoolExecutor(
+            max_workers=request_workers, thread_name_prefix="repro-request"
+        )
+        self._hot: "collections.OrderedDict[str, CompiledDD]" = (
+            collections.OrderedDict()
+        )
+        self._hot_entries = max(0, hot_entries)
+        self._lock = threading.Lock()
+        self._stats = {
+            "requests": 0,
+            "ok": 0,
+            "rejected": 0,
+            "deadline_exceeded": 0,
+            "errors": 0,
+            "cache_memory_hits": 0,
+            "cache_disk_hits": 0,
+            "cache_misses": 0,
+            "bypass": 0,
+        }
+        self._closed = False
+        self._activation = None
+        if telemetry is not None:
+            # Hold the session active for the service lifetime so spans
+            # and counters from worker threads land in it too.
+            self._activation = telemetry.activate()
+            self._activation.__enter__()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Drain the request pool and the build pool; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._requests.shutdown(wait=True)
+        self.scheduler.close()
+        session = _telemetry.active()
+        if session is not None:
+            session.registry.record_service(self.stats())
+        if self._activation is not None:
+            self._activation.__exit__(None, None, None)
+            self._activation = None
+
+    def __enter__(self) -> "SamplingService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Public request surface
+    # ------------------------------------------------------------------
+
+    def sample(self, request: SamplingRequest) -> SamplingResponse:
+        """Serve one request synchronously (in the calling thread)."""
+        return self._handle(request)
+
+    def submit(self, request: SamplingRequest) -> "Future[SamplingResponse]":
+        """Enqueue a request on the service's worker pool."""
+        if self._closed:
+            raise ReproError("SamplingService is closed")
+        return self._requests.submit(self._handle, request)
+
+    def sample_batch(
+        self, requests: List[SamplingRequest]
+    ) -> List[SamplingResponse]:
+        """Serve many requests concurrently, preserving input order."""
+        futures = [self.submit(request) for request in requests]
+        return [future.result() for future in futures]
+
+    def stats(self) -> Dict[str, Any]:
+        """Service, scheduler, and store counters in one snapshot.
+
+        ``builds`` (from the scheduler) counts actual strong
+        simulations — the number the coalescing and warm-cache tests
+        pin.  ``cache_hits`` is memory + disk hits.
+        """
+        with self._lock:
+            snapshot: Dict[str, Any] = dict(self._stats)
+            snapshot["hot_entries"] = len(self._hot)
+        snapshot["cache_hits"] = (
+            snapshot["cache_memory_hits"] + snapshot["cache_disk_hits"]
+        )
+        snapshot.update(self.scheduler.stats())
+        if self.store is not None:
+            snapshot["store"] = self.store.stats()
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+
+    def _handle(self, request: SamplingRequest) -> SamplingResponse:
+        self._count("requests")
+        with _telemetry.span(
+            "service.request",
+            method=request.method,
+            shots=request.shots,
+            request_id=request.request_id,
+        ) as span:
+            response = self._route(request)
+            span.set_attr("status", response.status)
+            span.set_attr("cache", response.cache)
+            span.set_attr("backend", response.backend)
+        self._record_outcome(response)
+        return response
+
+    def _route(self, request: SamplingRequest) -> SamplingResponse:
+        problem = self._validate(request)
+        if problem is not None:
+            return self._reject(request, problem)
+        if request.method in VECTOR_METHODS:
+            return self._serve_bypass(request)
+        if circuit_has_mid_circuit_measurement(request.circuit):
+            return self._serve_shot_executor(request)
+        if request.method != "dd":
+            # dd-path / dd-multinomial / dd-collapse walk the live DD,
+            # which the flat artifact deliberately does not preserve.
+            return self._serve_bypass(request)
+        return self._serve_compiled(request)
+
+    def _validate(self, request: SamplingRequest) -> Optional[str]:
+        if request.shots < 0:
+            return f"shots must be non-negative, got {request.shots}"
+        if request.method not in DD_METHODS + VECTOR_METHODS:
+            return f"unknown sampling method {request.method!r}"
+        if request.workers is not None and request.method != "dd":
+            return "parallel chunked sampling requires method='dd'"
+        if request.deadline_seconds is not None and request.deadline_seconds <= 0:
+            return "deadline_seconds must be positive"
+        if (
+            circuit_has_mid_circuit_measurement(request.circuit)
+            and request.initial_state != 0
+        ):
+            return "mid-circuit measurement requires initial_state=0"
+        return None
+
+    def _reject(
+        self,
+        request: SamplingRequest,
+        reason: str,
+        key: Optional[str] = None,
+    ) -> SamplingResponse:
+        return SamplingResponse(
+            request_id=request.request_id,
+            status="rejected",
+            key=key,
+            error=reason,
+        )
+
+    def _error(
+        self,
+        request: SamplingRequest,
+        reason: str,
+        key: Optional[str] = None,
+    ) -> SamplingResponse:
+        return SamplingResponse(
+            request_id=request.request_id,
+            status="error",
+            key=key,
+            error=reason,
+        )
+
+    # ------------------------------------------------------------------
+    # Serving paths
+    # ------------------------------------------------------------------
+
+    def _serve_bypass(self, request: SamplingRequest) -> SamplingResponse:
+        """Non-cacheable methods: delegate to ``simulate_and_sample``."""
+        if request.method in VECTOR_METHODS:
+            dense_bytes = 16 * (2**request.circuit.num_qubits)
+            if dense_bytes > self.policy.dense_memory_cap_bytes:
+                return self._reject(
+                    request,
+                    f"dense state needs {dense_bytes} bytes, over the "
+                    f"service cap of {self.policy.dense_memory_cap_bytes}",
+                )
+        start = time.perf_counter()
+        try:
+            result = simulate_and_sample(
+                request.circuit,
+                request.shots,
+                method=request.method,
+                seed=request.seed,
+                initial_state=request.initial_state,
+                scheme=request.scheme,
+                memory_cap_bytes=self.policy.dense_memory_cap_bytes,
+                workers=request.workers,
+                optimize=request.optimize,
+            )
+        except MemoryOutError as error:
+            return self._reject(request, str(error))
+        except ReproError as error:
+            return self._error(request, str(error))
+        elapsed = time.perf_counter() - start
+        backend = (
+            "statevector" if request.method in VECTOR_METHODS else "dd"
+        )
+        return SamplingResponse(
+            request_id=request.request_id,
+            status="ok",
+            result=result,
+            backend=backend,
+            cache="bypass",
+            build_seconds=elapsed - result.sampling_seconds,
+            sampling_seconds=result.sampling_seconds,
+        )
+
+    def _serve_shot_executor(self, request: SamplingRequest) -> SamplingResponse:
+        """Measure-and-continue circuits: per-shot semantics, no cache."""
+        start = time.perf_counter()
+        try:
+            executor = ShotExecutor(
+                request.circuit,
+                scheme=request.scheme,
+                optimize=request.optimize,
+            )
+            result = executor.run(request.shots, seed=request.seed)
+        except ReproError as error:
+            return self._error(request, str(error))
+        elapsed = time.perf_counter() - start
+        return SamplingResponse(
+            request_id=request.request_id,
+            status="ok",
+            result=result,
+            backend="shot-executor",
+            cache="bypass",
+            build_seconds=max(0.0, elapsed - result.sampling_seconds),
+            sampling_seconds=result.sampling_seconds,
+        )
+
+    def _serve_compiled(self, request: SamplingRequest) -> SamplingResponse:
+        """The cached path: key → hot → disk → coalesced build → sample."""
+        key = cache_key(
+            request.circuit,
+            scheme=request.scheme,
+            optimize=request.optimize,
+            initial_state=request.initial_state,
+        )
+        compiled = self._hot_get(key)
+        if compiled is not None:
+            outcome = BuildOutcome(
+                key=key, backend="dd", source="memory", compiled=compiled
+            )
+        else:
+            try:
+                future = self.scheduler.submit(
+                    key,
+                    request.circuit,
+                    scheme=request.scheme,
+                    optimize=request.optimize,
+                    initial_state=request.initial_state,
+                )
+            except AdmissionError as error:
+                return self._reject(request, str(error), key=key)
+            self._set_queue_gauge()
+            try:
+                outcome = future.result(timeout=request.deadline_seconds)
+            except TimeoutError:
+                return SamplingResponse(
+                    request_id=request.request_id,
+                    status="deadline_exceeded",
+                    key=key,
+                    error=(
+                        "build did not finish within "
+                        f"{request.deadline_seconds} s (it continues in the "
+                        "background and will be cached)"
+                    ),
+                )
+            except (AdmissionError, MemoryOutError) as error:
+                return self._reject(request, str(error), key=key)
+            except ReproError as error:
+                return self._error(request, str(error), key=key)
+            except Exception as error:  # retried and still failing
+                return self._error(request, str(error), key=key)
+            finally:
+                self._set_queue_gauge()
+            if outcome.compiled is not None:
+                self._hot_put(key, outcome.compiled)
+        return self._sample_outcome(request, outcome)
+
+    def _sample_outcome(
+        self, request: SamplingRequest, outcome: BuildOutcome
+    ) -> SamplingResponse:
+        """Draw the shots from a build outcome, RNG-compatible with weak_sim."""
+        rng = np.random.default_rng(request.seed)
+        start = time.perf_counter()
+        with _telemetry.span(
+            "service.sample", shots=request.shots, backend=outcome.backend
+        ):
+            try:
+                if outcome.backend == "dd":
+                    compiled = outcome.compiled
+                    if request.workers is None:
+                        samples = compiled.sample(request.shots, rng)
+                    else:
+                        samples = sample_chunked(
+                            compiled.sample,
+                            request.shots,
+                            rng,
+                            workers=request.workers,
+                            chunk_shots=DEFAULT_CHUNK_SHOTS,
+                        )
+                    result = SampleResult.from_samples(
+                        compiled.num_qubits, samples, method="dd"
+                    )
+                elif outcome.backend == "statevector":
+                    result = sample_statevector(
+                        outcome.statevector,
+                        request.shots,
+                        method="vector",
+                        seed=rng,
+                    )
+                else:
+                    result = outcome.stabilizer_state.sample_result(
+                        request.shots, rng
+                    )
+            except ReproError as error:
+                return self._error(request, str(error), key=outcome.key)
+        sampling_seconds = time.perf_counter() - start
+        result.sampling_seconds = sampling_seconds
+        result.precompute_seconds = outcome.build_seconds
+        result.metadata["service"] = {
+            "key": outcome.key,
+            "cache": outcome.source,
+            "backend": outcome.backend,
+            "attempts": outcome.attempts,
+        }
+        return SamplingResponse(
+            request_id=request.request_id,
+            status="ok",
+            result=result,
+            backend=outcome.backend,
+            cache=outcome.source,
+            key=outcome.key,
+            degraded_reason=outcome.degraded_reason,
+            build_seconds=outcome.build_seconds,
+            sampling_seconds=sampling_seconds,
+        )
+
+    # ------------------------------------------------------------------
+    # Hot in-process cache
+    # ------------------------------------------------------------------
+
+    def _hot_get(self, key: str) -> Optional[CompiledDD]:
+        with self._lock:
+            compiled = self._hot.get(key)
+            if compiled is not None:
+                self._hot.move_to_end(key)
+            return compiled
+
+    def _hot_put(self, key: str, compiled: CompiledDD) -> None:
+        if self._hot_entries == 0:
+            return
+        with self._lock:
+            self._hot[key] = compiled
+            self._hot.move_to_end(key)
+            while len(self._hot) > self._hot_entries:
+                self._hot.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._stats[name] += amount
+        session = _telemetry.active()
+        if session is not None and name == "requests":
+            session.registry.counter("service.requests").inc(amount)
+
+    def _set_queue_gauge(self) -> None:
+        session = _telemetry.active()
+        if session is not None:
+            session.registry.gauge("service.queue_depth").set(
+                self.scheduler.queue_depth()
+            )
+
+    def _record_outcome(self, response: SamplingResponse) -> None:
+        status_counter = {
+            "ok": "ok",
+            "rejected": "rejected",
+            "deadline_exceeded": "deadline_exceeded",
+            "error": "errors",
+        }[response.status]
+        self._count(status_counter)
+        cache_counter = {
+            "memory": "cache_memory_hits",
+            "disk": "cache_disk_hits",
+            "built": "cache_misses",
+            "bypass": "bypass",
+        }.get(response.cache)
+        if cache_counter is not None:
+            self._count(cache_counter)
+        session = _telemetry.active()
+        if session is None:
+            return
+        registry = session.registry
+        registry.counter(f"service.status.{response.status}").inc()
+        if response.cache in ("memory", "disk"):
+            registry.counter("service.cache.hits").inc()
+        elif response.cache == "built":
+            # service.builds is incremented by the scheduler (once per
+            # actual strong simulation, not per coalesced waiter).
+            registry.counter("service.cache.misses").inc()
+        elif response.cache == "bypass":
+            registry.counter("service.cache.bypass").inc()
+        if response.degraded_reason is not None:
+            registry.counter("service.degraded").inc()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        cache = self.store.cache_dir if self.store is not None else None
+        return f"SamplingService(cache_dir={cache!r})"

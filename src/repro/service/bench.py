@@ -1,0 +1,341 @@
+"""Serving-performance harness: emits ``BENCH_serving.json``.
+
+Measures the economics the service exists for — a build paid once, then
+answered from cache:
+
+* **cold vs warm latency** — per case, the first request on an empty
+  cache (strong simulation + flatten + store) against the first request
+  of a *fresh service instance* over the same cache directory (disk
+  load + sample, the cross-process warm start) and a repeat request on
+  a live service (hot in-memory artifact).  Each latency is split into
+  its **startup** component (everything before sampling: build or
+  artifact load) and the sampling itself, which is identical work in
+  both regimes; ``warm_speedup`` is the startup ratio — the latency the
+  cache actually removes — while ``end_to_end_speedup`` reports the
+  whole-request ratio, which approaches the startup ratio as builds get
+  more expensive relative to the shot count,
+* **concurrent throughput** — N simultaneous clients asking for the
+  same circuit must coalesce onto exactly one build and all receive
+  bit-identical results,
+* **bit-identity** — every response, cold or warm, is compared against
+  ``simulate_and_sample`` at the same seed.
+
+Run it with::
+
+    python -m repro.service.bench --out BENCH_serving.json
+    python -m repro.service.bench --smoke        # toy sizes, seconds
+    python -m repro.service.bench --validate BENCH_serving.json
+
+Validation enforces the headline acceptance bar: warm-start latency at
+least ``WARM_SPEEDUP_FLOOR``× better than cold (full sizes only — toy
+smoke circuits build too fast for the ratio to be meaningful), one
+build under concurrency, and universal bit-identity.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from typing import Dict, List, Optional
+
+from ..algorithms.grover import grover
+from ..algorithms.qft import qft
+from ..circuit.circuit import QuantumCircuit
+from ..core.weak_sim import simulate_and_sample
+from .api import SamplingRequest, SamplingService
+
+__all__ = ["FORMAT", "VERSION", "run_harness", "validate_payload", "main"]
+
+FORMAT = "repro-bench-serving"
+VERSION = 1
+
+#: The acceptance bar: a warm start (disk artifact, no strong
+#: simulation) must be at least this many times faster than a cold one.
+WARM_SPEEDUP_FLOOR = 5.0
+
+_SCHEMA: Dict[str, List[str]] = {
+    "cases": [
+        "name",
+        "num_qubits",
+        "shots",
+        "cold_seconds",
+        "warm_seconds",
+        "hot_seconds",
+        "cold_startup_seconds",
+        "warm_startup_seconds",
+        "warm_speedup",
+        "end_to_end_speedup",
+        "bit_identical",
+        "store_entries",
+    ],
+    "concurrency": [
+        "circuit",
+        "clients",
+        "shots",
+        "builds",
+        "coalesced",
+        "total_seconds",
+        "throughput_rps",
+        "bit_identical",
+    ],
+}
+
+
+def _bench_case(
+    name: str,
+    circuit: QuantumCircuit,
+    shots: int,
+    seed: int,
+    root: str,
+) -> Dict:
+    """Cold / hot / warm latency for one circuit, checked against weak_sim."""
+    reference = simulate_and_sample(circuit, shots, method="dd", seed=seed)
+    cache_dir = os.path.join(root, name)
+    request = SamplingRequest(circuit, shots, seed=seed, request_id=name)
+
+    with SamplingService(cache_dir=cache_dir) as service:
+        start = time.perf_counter()
+        cold = service.sample(request)
+        cold_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        hot = service.sample(request)
+        hot_seconds = time.perf_counter() - start
+
+    # A fresh service over the same directory is the cross-process warm
+    # start: the artifact comes off disk, strong simulation never runs.
+    with SamplingService(cache_dir=cache_dir) as service:
+        start = time.perf_counter()
+        warm = service.sample(request)
+        warm_seconds = time.perf_counter() - start
+        builds_warm = service.stats()["builds"]
+        store_entries = service.stats()["store"]["entries"]
+
+    bit_identical = all(
+        response.ok and response.result.counts == reference.counts
+        for response in (cold, warm, hot)
+    )
+    # Sampling cost is common to both regimes; what the cache removes is
+    # everything before it (strong simulation + flatten vs artifact load).
+    cold_startup = max(cold_seconds - cold.sampling_seconds, 1e-9)
+    warm_startup = max(warm_seconds - warm.sampling_seconds, 1e-9)
+    return {
+        "name": name,
+        "num_qubits": circuit.num_qubits,
+        "shots": shots,
+        "cold_seconds": round(cold_seconds, 6),
+        "warm_seconds": round(warm_seconds, 6),
+        "hot_seconds": round(hot_seconds, 6),
+        "cold_startup_seconds": round(cold_startup, 6),
+        "warm_startup_seconds": round(warm_startup, 6),
+        "warm_speedup": round(cold_startup / warm_startup, 2),
+        "end_to_end_speedup": round(cold_seconds / max(warm_seconds, 1e-9), 2),
+        "warm_builds": builds_warm,
+        "cold_cache": cold.cache,
+        "warm_cache": warm.cache,
+        "bit_identical": bit_identical,
+        "store_entries": store_entries,
+    }
+
+
+def _bench_concurrency(
+    circuit: QuantumCircuit,
+    name: str,
+    clients: int,
+    shots: int,
+    seed: int,
+    root: str,
+) -> Dict:
+    """N simultaneous same-circuit clients: one build, identical answers."""
+    reference = simulate_and_sample(circuit, shots, method="dd", seed=seed)
+    cache_dir = os.path.join(root, f"{name}-concurrent")
+    requests = [
+        SamplingRequest(circuit, shots, seed=seed, request_id=f"client-{i}")
+        for i in range(clients)
+    ]
+    with SamplingService(
+        cache_dir=cache_dir, request_workers=clients
+    ) as service:
+        start = time.perf_counter()
+        responses = service.sample_batch(requests)
+        total_seconds = time.perf_counter() - start
+        stats = service.stats()
+    bit_identical = all(
+        response.ok and response.result.counts == reference.counts
+        for response in responses
+    )
+    return {
+        "circuit": name,
+        "clients": clients,
+        "shots": shots,
+        "builds": stats["builds"],
+        "coalesced": stats["coalesced"] + stats["cache_memory_hits"],
+        "total_seconds": round(total_seconds, 6),
+        "throughput_rps": round(clients / max(total_seconds, 1e-9), 2),
+        "bit_identical": bit_identical,
+    }
+
+
+def run_harness(
+    shots: int = 100_000,
+    clients: int = 4,
+    seed: int = 7,
+    smoke: bool = False,
+) -> Dict:
+    """Execute all harness sections and return the payload dict."""
+    if smoke:
+        shots = min(shots, 5_000)
+    cases = (
+        [("qft_8", qft(8)), ("grover_4", grover(4, seed=1).circuit)]
+        if smoke
+        else [("qft_16", qft(16)), ("grover_8", grover(8, seed=1).circuit)]
+    )
+    payload: Dict = {
+        "format": FORMAT,
+        "version": VERSION,
+        "config": {
+            "shots": shots,
+            "clients": clients,
+            "seed": seed,
+            "smoke": smoke,
+        },
+        "cases": [],
+    }
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serving-") as root:
+        for name, circuit in cases:
+            payload["cases"].append(
+                _bench_case(name, circuit, shots, seed, root)
+            )
+        concurrency_name, concurrency_circuit = cases[0]
+        payload["concurrency"] = _bench_concurrency(
+            concurrency_circuit, concurrency_name, clients, shots, seed, root
+        )
+    return payload
+
+
+def validate_payload(payload: Dict) -> None:
+    """Raise ``ValueError`` when ``payload`` drifts from the schema."""
+    if payload.get("format") != FORMAT:
+        raise ValueError(f"format must be {FORMAT!r}")
+    if payload.get("version") != VERSION:
+        raise ValueError(f"version must be {VERSION}")
+    if "config" not in payload:
+        raise ValueError("missing section 'config'")
+    for section, keys in _SCHEMA.items():
+        if section not in payload:
+            raise ValueError(f"missing section {section!r}")
+        entries = payload[section]
+        if section == "cases":
+            if not isinstance(entries, list) or not entries:
+                raise ValueError("'cases' must be a non-empty list")
+        else:
+            entries = [entries]
+        for entry in entries:
+            missing = [key for key in keys if key not in entry]
+            if missing:
+                raise ValueError(f"section {section!r} missing keys {missing}")
+    smoke = bool(payload["config"].get("smoke"))
+    for case in payload["cases"]:
+        if not case["bit_identical"]:
+            raise ValueError(
+                f"case {case['name']!r} was not bit-identical to weak_sim"
+            )
+        if case.get("warm_builds", 0) != 0:
+            raise ValueError(
+                f"case {case['name']!r} rebuilt on the warm start"
+            )
+        if not smoke and case["warm_speedup"] < WARM_SPEEDUP_FLOOR:
+            raise ValueError(
+                f"case {case['name']!r} warm-start speedup "
+                f"{case['warm_speedup']}x is below the "
+                f"{WARM_SPEEDUP_FLOOR}x floor"
+            )
+        if not smoke and case["end_to_end_speedup"] <= 1.0:
+            raise ValueError(
+                f"case {case['name']!r} warm request was not faster than "
+                "cold end to end"
+            )
+    concurrency = payload["concurrency"]
+    if concurrency["clients"] < 4:
+        raise ValueError("concurrency section must use >= 4 clients")
+    if concurrency["builds"] != 1:
+        raise ValueError(
+            f"{concurrency['clients']} concurrent clients caused "
+            f"{concurrency['builds']} builds (expected 1)"
+        )
+    if not concurrency["bit_identical"]:
+        raise ValueError("concurrent responses were not bit-identical")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    """The bench CLI's argument parser (importable for the docs checker)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench-serving",
+        description="Benchmark the sampling service's cold/warm cache "
+        "economics and emit BENCH_serving.json.",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_serving.json", help="output JSON path"
+    )
+    parser.add_argument(
+        "--shots", type=int, default=100_000, help="shots per request"
+    )
+    parser.add_argument(
+        "--clients",
+        type=int,
+        default=4,
+        help="simultaneous clients in the concurrency section",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="harness RNG seed")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="toy sizes: exercises every section in seconds",
+    )
+    parser.add_argument(
+        "--validate",
+        metavar="FILE",
+        help="validate an existing payload against the schema and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro.service.bench``."""
+    args = _build_parser().parse_args(argv)
+
+    if args.validate:
+        with open(args.validate, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        try:
+            validate_payload(payload)
+        except ValueError as error:
+            print(f"schema drift: {error}", file=sys.stderr)
+            return 1
+        print(f"{args.validate}: schema ok (version {payload['version']})")
+        return 0
+
+    payload = run_harness(
+        shots=args.shots, clients=args.clients, seed=args.seed, smoke=args.smoke
+    )
+    validate_payload(payload)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    headline = payload["cases"][0]
+    concurrency = payload["concurrency"]
+    print(
+        f"wrote {args.out}: {headline['name']} cold "
+        f"{headline['cold_seconds']}s vs warm {headline['warm_seconds']}s "
+        f"({headline['warm_speedup']}x); {concurrency['clients']} clients -> "
+        f"{concurrency['builds']} build at "
+        f"{concurrency['throughput_rps']} req/s"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

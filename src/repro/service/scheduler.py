@@ -1,0 +1,359 @@
+"""Build scheduling: coalescing, retries, and the degradation ladder.
+
+The expensive step the service exists to amortise is the strong
+simulation (circuit → final DD → flattened traversal tables).  The
+:class:`BuildScheduler` owns that step:
+
+* **Coalescing** — concurrent requests for the same cache key share one
+  build.  The first request enqueues a job; late arrivals get the same
+  :class:`concurrent.futures.Future` and wait on it.  ``stats()['builds']``
+  counts *actual* strong simulations, which is how the tests assert that
+  four concurrent clients cost one build.
+* **Admission guard** — a circuit wider than ``ServicePolicy.max_qubits``
+  is rejected up front (a DD *can* blow up exponentially; the guard keeps
+  a hostile or unlucky request from taking the process down with it).
+* **Degradation ladder** — when the DD build runs out of memory (or the
+  built DD exceeds ``max_build_nodes``), the scheduler does not fail the
+  request: it falls back to the dense statevector backend if the state
+  fits ``dense_memory_cap_bytes``, else to the stabilizer backend if the
+  circuit is Clifford, and only then rejects.  Degraded answers draw from
+  the same distribution but are *not* bit-identical to the DD path (a
+  different sampler consumes the RNG differently); the response labels
+  the backend so callers can tell.
+* **Bounded retry** — transient failures (anything that is not a
+  :class:`~repro.exceptions.ReproError`) are retried up to
+  ``max_retries`` times; deterministic simulator errors fail fast.
+
+The scheduler knows nothing about shots, seeds, or JSONL — it turns a
+(key, circuit, config) into a :class:`BuildOutcome` exactly once per key
+in flight.  Sampling from the outcome is the API layer's job.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from .. import telemetry as _telemetry
+from ..circuit.circuit import QuantumCircuit
+from ..core.dd_sampler import DDSampler
+from ..dd.normalization import NormalizationScheme
+from ..exceptions import MemoryOutError, ReproError, SamplingError
+from ..perf.compiled_dd import CompiledDD
+from ..simulators.dd_simulator import DDSimulator
+from ..simulators.statevector import DEFAULT_MEMORY_CAP, StatevectorSimulator
+from .store import ArtifactStore
+
+__all__ = ["ServicePolicy", "BuildOutcome", "BuildScheduler", "AdmissionError"]
+
+
+class AdmissionError(SamplingError):
+    """The request was refused: admission guard, or no fallback backend fits.
+
+    Retrying the same request unchanged cannot succeed; the API layer
+    maps this to a ``"rejected"`` response rather than an ``"error"``.
+    """
+
+
+@dataclass(frozen=True)
+class ServicePolicy:
+    """Resource limits and failure-handling knobs for the scheduler.
+
+    ``max_qubits`` is the admission guard: wider circuits are rejected
+    outright.  ``max_build_nodes`` (optional) caps the *built* DD — a
+    build that succeeds but produces a larger diagram is treated like a
+    memory failure and degraded.  ``dense_memory_cap_bytes`` bounds the
+    statevector fallback exactly like ``simulate_and_sample``'s
+    ``memory_cap_bytes``.  ``max_retries`` bounds re-attempts for
+    transient (non-:class:`~repro.exceptions.ReproError`) failures.
+    """
+
+    max_qubits: int = 64
+    max_build_nodes: Optional[int] = None
+    dense_memory_cap_bytes: int = DEFAULT_MEMORY_CAP
+    max_retries: int = 2
+    retry_backoff_seconds: float = 0.05
+
+
+@dataclass
+class BuildOutcome:
+    """What a finished build job hands the API layer.
+
+    Exactly one of ``compiled`` / ``statevector`` / ``stabilizer_state``
+    is set, according to ``backend`` (``"dd"``, ``"statevector"``,
+    ``"stabilizer"``).  ``source`` records where the artifact came from:
+    ``"disk"`` (warm cache) or ``"built"`` (cold).
+    """
+
+    key: str
+    backend: str
+    source: str
+    compiled: Optional[CompiledDD] = None
+    statevector: Optional[np.ndarray] = None
+    stabilizer_state: Optional[Any] = None
+    degraded_reason: Optional[str] = None
+    build_seconds: float = 0.0
+    attempts: int = 1
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+
+class BuildScheduler:
+    """Thread-pool executor that builds each distinct circuit once.
+
+    ``store`` may be ``None`` for a purely in-memory service (every miss
+    builds).  ``telemetry`` is the session build spans land in; builds
+    run on worker threads, so the scheduler activates it explicitly
+    around the strong simulation (the process-global active session is
+    not otherwise guaranteed to be visible mid-build).
+    """
+
+    def __init__(
+        self,
+        store: Optional[ArtifactStore] = None,
+        policy: Optional[ServicePolicy] = None,
+        workers: int = 2,
+        telemetry: Optional[_telemetry.Telemetry] = None,
+    ):
+        if workers < 1:
+            raise ReproError(f"scheduler needs >= 1 worker, got {workers}")
+        self.store = store
+        self.policy = policy or ServicePolicy()
+        self._telemetry = telemetry
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-build"
+        )
+        self._lock = threading.Lock()
+        self._in_flight: Dict[str, "Future[BuildOutcome]"] = {}
+        self._stats = {
+            "builds": 0,
+            "build_failures": 0,
+            "retries": 0,
+            "degraded": 0,
+            "coalesced": 0,
+            "store_hits": 0,
+            "rejected": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Public surface
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        key: str,
+        circuit: QuantumCircuit,
+        scheme: NormalizationScheme = NormalizationScheme.L2,
+        optimize: bool = True,
+        initial_state: int = 0,
+    ) -> "Future[BuildOutcome]":
+        """The future for ``key``'s artifact, creating at most one job.
+
+        The admission guard runs synchronously: an over-wide circuit
+        raises :class:`AdmissionError` here, before a thread is spent.
+        """
+        if circuit.num_qubits > self.policy.max_qubits:
+            with self._lock:
+                self._stats["rejected"] += 1
+            raise AdmissionError(
+                f"circuit has {circuit.num_qubits} qubits; the service "
+                f"admits at most {self.policy.max_qubits} "
+                f"(ServicePolicy.max_qubits)"
+            )
+        with self._lock:
+            future = self._in_flight.get(key)
+            if future is not None:
+                self._stats["coalesced"] += 1
+                return future
+            future = self._executor.submit(
+                self._run_job, key, circuit, scheme, optimize, initial_state
+            )
+            self._in_flight[key] = future
+            future.add_done_callback(lambda _f, _key=key: self._retire(_key))
+            return future
+
+    def queue_depth(self) -> int:
+        """Number of build jobs currently in flight (for the gauge)."""
+        with self._lock:
+            return len(self._in_flight)
+
+    def stats(self) -> Dict[str, int]:
+        """Scheduler counters (builds are actual strong simulations)."""
+        with self._lock:
+            return dict(self._stats)
+
+    def close(self) -> None:
+        """Wait for in-flight builds and release the worker threads."""
+        self._executor.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # The build job (worker thread)
+    # ------------------------------------------------------------------
+
+    def _retire(self, key: str) -> None:
+        with self._lock:
+            self._in_flight.pop(key, None)
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._stats[name] += amount
+        if name == "builds":
+            # The telemetry counter must track *actual* strong
+            # simulations, not how many coalesced requests shared one —
+            # the concurrency tests pin exactly this distinction.
+            session = _telemetry.active()
+            if session is not None:
+                session.registry.counter("service.builds").inc(amount)
+
+    def _run_job(
+        self,
+        key: str,
+        circuit: QuantumCircuit,
+        scheme: NormalizationScheme,
+        optimize: bool,
+        initial_state: int,
+    ) -> BuildOutcome:
+        with _telemetry.activate(self._telemetry):
+            if self.store is not None:
+                stored = self.store.get(key)
+                if stored is not None:
+                    self._count("store_hits")
+                    return BuildOutcome(
+                        key=key,
+                        backend="dd",
+                        source="disk",
+                        compiled=stored.compiled,
+                        meta=stored.meta,
+                    )
+            return self._build_with_ladder(
+                key, circuit, scheme, optimize, initial_state
+            )
+
+    def _build_with_ladder(
+        self,
+        key: str,
+        circuit: QuantumCircuit,
+        scheme: NormalizationScheme,
+        optimize: bool,
+        initial_state: int,
+    ) -> BuildOutcome:
+        attempts = 0
+        start = time.perf_counter()
+        while True:
+            attempts += 1
+            try:
+                outcome = self._build_dd(
+                    key, circuit, scheme, optimize, initial_state
+                )
+                outcome.attempts = attempts
+                outcome.build_seconds = time.perf_counter() - start
+                return outcome
+            except (MemoryOutError, MemoryError) as error:
+                self._count("build_failures")
+                outcome = self._degrade(
+                    key, circuit, optimize, initial_state, reason=str(error)
+                )
+                outcome.attempts = attempts
+                outcome.build_seconds = time.perf_counter() - start
+                return outcome
+            except ReproError:
+                # Deterministic: the same circuit fails the same way.
+                self._count("build_failures")
+                raise
+            except Exception:
+                self._count("build_failures")
+                if attempts > self.policy.max_retries:
+                    raise
+                self._count("retries")
+                time.sleep(self.policy.retry_backoff_seconds * attempts)
+
+    def _build_dd(
+        self,
+        key: str,
+        circuit: QuantumCircuit,
+        scheme: NormalizationScheme,
+        optimize: bool,
+        initial_state: int,
+    ) -> BuildOutcome:
+        """One strong simulation + flatten; may raise for the ladder."""
+        self._count("builds")
+        simulator = DDSimulator(scheme=scheme, optimize=optimize)
+        state = simulator.run(circuit, initial_state=initial_state)
+        compiled = DDSampler(state).compiled()
+        limit = self.policy.max_build_nodes
+        if limit is not None and compiled.size > limit:
+            # MemoryError (not MemoryOutError, whose constructor wants byte
+            # counts) so the ladder treats an over-large DD like a real OOM.
+            raise MemoryError(
+                f"built DD has {compiled.size} flattened nodes, over the "
+                f"service limit of {limit} (ServicePolicy.max_build_nodes)"
+            )
+        meta = {
+            "num_qubits": circuit.num_qubits,
+            "dd_nodes": state.node_count,
+            "compiled_size": compiled.size,
+            "scheme": scheme.value,
+            "optimize": optimize,
+            "initial_state": initial_state,
+            "circuit_name": getattr(circuit, "name", None),
+        }
+        if self.store is not None:
+            self.store.put(key, compiled, meta=meta)
+        return BuildOutcome(
+            key=key, backend="dd", source="built", compiled=compiled, meta=meta
+        )
+
+    # ------------------------------------------------------------------
+    # Degradation ladder
+    # ------------------------------------------------------------------
+
+    def _degrade(
+        self,
+        key: str,
+        circuit: QuantumCircuit,
+        optimize: bool,
+        initial_state: int,
+        reason: str,
+    ) -> BuildOutcome:
+        """DD build failed on memory: statevector, then stabilizer, then give up."""
+        dense_bytes = 16 * (2**circuit.num_qubits)
+        if dense_bytes <= self.policy.dense_memory_cap_bytes:
+            simulator = StatevectorSimulator(
+                memory_cap_bytes=self.policy.dense_memory_cap_bytes,
+                optimize=optimize,
+            )
+            statevector = simulator.run(circuit, initial_state=initial_state)
+            self._count("degraded")
+            return BuildOutcome(
+                key=key,
+                backend="statevector",
+                source="built",
+                statevector=statevector,
+                degraded_reason=reason,
+            )
+        if initial_state == 0:
+            try:
+                from ..simulators.stabilizer import StabilizerSimulator
+
+                state = StabilizerSimulator().run(circuit)
+            except ReproError:
+                state = None
+            if state is not None:
+                self._count("degraded")
+                return BuildOutcome(
+                    key=key,
+                    backend="stabilizer",
+                    source="built",
+                    stabilizer_state=state,
+                    degraded_reason=reason,
+                )
+        raise AdmissionError(
+            f"DD build failed ({reason}) and no fallback backend fits: "
+            f"dense state needs {dense_bytes} bytes "
+            f"(cap {self.policy.dense_memory_cap_bytes}) and the circuit "
+            "is not Clifford"
+        )

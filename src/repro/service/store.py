@@ -1,0 +1,288 @@
+"""Persistent on-disk store for compiled sampling artifacts.
+
+The in-process :data:`repro.perf.compiled_dd.DEFAULT_CACHE` dies with the
+process; this store is the durable tier below it.  Each entry is a pair
+of files under the cache directory::
+
+    <key>.npz    the CompiledDD flat arrays (np.savez, float64/int64 —
+                 the round-trip is bit-exact, which is what makes warm
+                 sampling bit-identical to a cold build)
+    <key>.json   metadata: SHA-256 checksum of the .npz bytes, build
+                 provenance (circuit name, node count, build seconds)
+
+Design invariants, in decreasing order of importance:
+
+* **Never serve a wrong answer.**  ``get`` recomputes the checksum of
+  the ``.npz`` bytes and re-validates the arrays through
+  :meth:`CompiledDD.from_arrays` before returning.  Any mismatch —
+  truncation, bit rot, a partial write from a crashed process, a
+  version bump — deletes the entry and reports a miss so the caller
+  rebuilds.  Corruption is an eviction, never an exception.
+* **Never leave a torn entry.**  Writes go to a temp file in the same
+  directory followed by :func:`os.replace` (atomic on POSIX); the
+  ``.json`` metadata is written *last* and acts as the commit marker,
+  so a reader never sees metadata for an absent or partial payload.
+* **Never grow without bound.**  The store keeps total payload bytes
+  under ``max_bytes`` by evicting least-recently-used entries (file
+  mtime, refreshed on every hit).  An artifact larger than the whole
+  budget is refused outright rather than thrashing the cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..dd.serialize import atomic_write_bytes
+from ..exceptions import ReproError
+from ..perf.compiled_dd import ARTIFACT_VERSION, CompiledDD
+
+__all__ = ["ArtifactStore", "StoredArtifact", "DEFAULT_MAX_BYTES"]
+
+_META_FORMAT = "repro-artifact"
+_META_VERSION = 1
+
+#: Default size budget for the payload tier: generous for DD artifacts
+#: (a qft_16 compiled DD is a few KiB) while still exercising eviction
+#: long before a laptop notices.
+DEFAULT_MAX_BYTES = 512 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class StoredArtifact:
+    """One cache entry as handed back by :meth:`ArtifactStore.get`."""
+
+    key: str
+    compiled: CompiledDD
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+
+class ArtifactStore:
+    """Checksummed, size-bounded, crash-safe artifact cache on disk.
+
+    Thread-safe: a single lock serialises directory mutation, so
+    concurrent scheduler workers can share one store instance.
+    """
+
+    def __init__(
+        self,
+        cache_dir: str,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+    ):
+        if max_bytes <= 0:
+            raise ReproError(f"max_bytes must be positive, got {max_bytes}")
+        self.cache_dir = os.path.abspath(cache_dir)
+        self.max_bytes = max_bytes
+        os.makedirs(self.cache_dir, exist_ok=True)
+        self._lock = threading.Lock()
+        self._stats = {
+            "hits": 0,
+            "misses": 0,
+            "puts": 0,
+            "evictions": 0,
+            "corrupt": 0,
+            "oversized": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+
+    def _payload_path(self, key: str) -> str:
+        return os.path.join(self.cache_dir, f"{key}.npz")
+
+    def _meta_path(self, key: str) -> str:
+        return os.path.join(self.cache_dir, f"{key}.json")
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[StoredArtifact]:
+        """Load and validate the entry for ``key``; ``None`` on miss.
+
+        A corrupt entry (bad checksum, unreadable npz, malformed arrays,
+        artifact-version mismatch) is deleted and counted under
+        ``corrupt`` — the caller sees an ordinary miss and rebuilds.
+        """
+        with self._lock:
+            artifact = self._load_validated(key)
+            if artifact is None:
+                self._stats["misses"] += 1
+                return None
+            self._stats["hits"] += 1
+            self._touch(key)
+            return artifact
+
+    def _load_validated(self, key: str) -> Optional[StoredArtifact]:
+        meta_path = self._meta_path(key)
+        payload_path = self._payload_path(key)
+        if not os.path.exists(meta_path):
+            # No commit marker: either a true miss or a torn write whose
+            # orphaned payload should not linger.
+            if os.path.exists(payload_path):
+                self._delete_entry(key, corrupt=True)
+            return None
+        try:
+            with open(meta_path, "r", encoding="utf-8") as handle:
+                meta_doc = json.load(handle)
+            if (
+                meta_doc.get("format") != _META_FORMAT
+                or meta_doc.get("meta_version") != _META_VERSION
+                or meta_doc.get("artifact_version") != ARTIFACT_VERSION
+                or meta_doc.get("key") != key
+            ):
+                raise ValueError("metadata contract mismatch")
+            with open(payload_path, "rb") as handle:
+                payload = handle.read()
+            checksum = hashlib.sha256(payload).hexdigest()
+            if checksum != meta_doc.get("checksum"):
+                raise ValueError("payload checksum mismatch")
+            with np.load(io.BytesIO(payload)) as bundle:
+                arrays = {name: bundle[name] for name in bundle.files}
+            compiled = CompiledDD.from_arrays(arrays)
+        except Exception:
+            self._delete_entry(key, corrupt=True)
+            return None
+        return StoredArtifact(
+            key=key, compiled=compiled, meta=dict(meta_doc.get("meta") or {})
+        )
+
+    def _touch(self, key: str) -> None:
+        """Refresh mtimes so LRU eviction sees this entry as fresh."""
+        for path in (self._payload_path(key), self._meta_path(key)):
+            try:
+                os.utime(path)
+            except OSError:  # pragma: no cover - racing eviction
+                pass
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+
+    def put(
+        self,
+        key: str,
+        compiled: CompiledDD,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> bool:
+        """Persist ``compiled`` under ``key``; ``True`` if stored.
+
+        Returns ``False`` (and counts ``oversized``) when the serialised
+        payload alone exceeds the whole size budget — storing it would
+        evict everything else and still overflow.
+        """
+        buffer = io.BytesIO()
+        np.savez(buffer, **compiled.to_arrays())
+        payload = buffer.getvalue()
+        if len(payload) > self.max_bytes:
+            with self._lock:
+                self._stats["oversized"] += 1
+            return False
+        checksum = hashlib.sha256(payload).hexdigest()
+        meta_doc = {
+            "format": _META_FORMAT,
+            "meta_version": _META_VERSION,
+            "artifact_version": ARTIFACT_VERSION,
+            "key": key,
+            "checksum": checksum,
+            "payload_bytes": len(payload),
+            "meta": dict(meta or {}),
+        }
+        with self._lock:
+            atomic_write_bytes(self._payload_path(key), payload)
+            atomic_write_bytes(
+                self._meta_path(key),
+                json.dumps(meta_doc, sort_keys=True).encode("utf-8"),
+            )
+            self._stats["puts"] += 1
+            self._evict_over_budget(protect=key)
+        return True
+
+    # ------------------------------------------------------------------
+    # Eviction
+    # ------------------------------------------------------------------
+
+    def _entries(self) -> List[Tuple[float, str, int]]:
+        """Committed entries as ``(mtime, key, total_bytes)`` tuples."""
+        entries = []
+        for name in os.listdir(self.cache_dir):
+            if not name.endswith(".json") or name.startswith(".tmp-"):
+                continue
+            key = name[: -len(".json")]
+            meta_path = self._meta_path(key)
+            payload_path = self._payload_path(key)
+            try:
+                size = os.path.getsize(payload_path) + os.path.getsize(meta_path)
+                mtime = os.path.getmtime(meta_path)
+            except OSError:
+                continue
+            entries.append((mtime, key, size))
+        return entries
+
+    def _evict_over_budget(self, protect: Optional[str] = None) -> None:
+        entries = self._entries()
+        total = sum(size for _, _, size in entries)
+        if total <= self.max_bytes:
+            return
+        for _, key, size in sorted(entries):  # oldest first
+            if key == protect:
+                continue
+            self._delete_entry(key)
+            self._stats["evictions"] += 1
+            total -= size
+            if total <= self.max_bytes:
+                return
+
+    def _delete_entry(self, key: str, corrupt: bool = False) -> None:
+        for path in (self._payload_path(key), self._meta_path(key)):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        if corrupt:
+            self._stats["corrupt"] += 1
+
+    # ------------------------------------------------------------------
+    # Introspection / maintenance
+    # ------------------------------------------------------------------
+
+    def keys(self) -> List[str]:
+        """Committed keys, least recently used first."""
+        with self._lock:
+            return [key for _, key, _ in sorted(self._entries())]
+
+    def total_bytes(self) -> int:
+        """Total bytes currently held by committed entries."""
+        with self._lock:
+            return sum(size for _, _, size in self._entries())
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        with self._lock:
+            entries = self._entries()
+            for _, key, _ in entries:
+                self._delete_entry(key)
+            return len(entries)
+
+    def stats(self) -> Dict[str, int]:
+        """Traffic counters plus current entry count and byte total."""
+        with self._lock:
+            snapshot = dict(self._stats)
+            entries = self._entries()
+            snapshot["entries"] = len(entries)
+            snapshot["bytes"] = sum(size for _, _, size in entries)
+            return snapshot
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ArtifactStore({self.cache_dir!r}, "
+            f"max_bytes={self.max_bytes})"
+        )

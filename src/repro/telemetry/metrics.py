@@ -189,6 +189,23 @@ class Registry:
         for key, value in fuzz_stats.items():
             self.counter(f"fuzz.{key}").inc(int(value))
 
+    def record_service(self, service_stats: Mapping[str, Any]) -> None:
+        """Absorb a ``SamplingService.stats()`` snapshot as gauges.
+
+        The service's cumulative counters arrive as gauges (last snapshot
+        wins) because the snapshot is already a running total — folding
+        it into counters on every call would double count.  Nested
+        sections (the store's own stats) flatten with a dotted prefix.
+        The per-event ``service.*`` *counters* (cache hits, builds,
+        request statuses) are incremented live by the service instead.
+        """
+        for key, value in service_stats.items():
+            if isinstance(value, Mapping):
+                for sub_key, sub_value in value.items():
+                    self.gauge(f"service.{key}.{sub_key}").set(sub_value)
+            else:
+                self.gauge(f"service.{key}").set(value)
+
     # ------------------------------------------------------------------
     # Snapshot
     # ------------------------------------------------------------------

@@ -185,8 +185,8 @@ def render_report(trace: Dict[str, Any], top: int = 10) -> str:
     return "\n".join(lines)
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point: parse a trace file and print the report."""
+def _build_parser() -> argparse.ArgumentParser:
+    """The report CLI's argument parser (importable for the docs checker)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.telemetry.report",
         description="Summarise a repro JSONL telemetry trace: per-phase "
@@ -196,7 +196,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--top", type=int, default=10, help="rows in the hot-spans table"
     )
-    args = parser.parse_args(argv)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point: parse a trace file and print the report."""
+    args = _build_parser().parse_args(argv)
     try:
         trace = read_trace(args.trace_file)
     except (OSError, ValueError) as error:

@@ -1,0 +1,276 @@
+"""Cache keys, stable serialisation, and artifact-store pathology.
+
+The persistent cache is only trustworthy if every way a file can go
+wrong — truncation, bit rot, torn writes, stale versions — degrades to a
+rebuild instead of a wrong answer or a crash.  These tests construct
+each pathology explicitly and assert the store's contract: corrupt
+entries are evicted and reported as misses, writes are atomic, the size
+budget evicts least-recently-used entries first, and the key changes
+whenever anything that could change the artifact changes.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.algorithms.qft import qft
+from repro.algorithms.states import ghz
+from repro.circuit.circuit import QuantumCircuit
+from repro.core.dd_sampler import DDSampler
+from repro.dd.normalization import NormalizationScheme
+from repro.exceptions import SamplingError
+from repro.perf.compiled_dd import ARTIFACT_VERSION, CompiledDD
+from repro.service.keys import cache_key, circuit_fingerprint
+from repro.service.store import ArtifactStore
+from repro.simulators.dd_simulator import DDSimulator
+
+
+def _compiled(circuit):
+    state = DDSimulator().run(circuit)
+    return DDSampler(state).compiled()
+
+
+# ---------------------------------------------------------------------------
+# Stable serialisation: CompiledDD.to_arrays / from_arrays
+# ---------------------------------------------------------------------------
+
+
+def test_compiled_round_trip_is_bit_exact():
+    compiled = _compiled(qft(6))
+    restored = CompiledDD.from_arrays(compiled.to_arrays())
+    assert restored.num_qubits == compiled.num_qubits
+    assert restored.root == compiled.root
+    np.testing.assert_array_equal(restored.p0, compiled.p0)
+    np.testing.assert_array_equal(restored.child0, compiled.child0)
+    np.testing.assert_array_equal(restored.child1, compiled.child1)
+    rng_a = np.random.default_rng(5)
+    rng_b = np.random.default_rng(5)
+    np.testing.assert_array_equal(
+        compiled.sample(2000, rng_a), restored.sample(2000, rng_b)
+    )
+
+
+def test_from_arrays_rejects_version_bump():
+    arrays = _compiled(ghz(3)).to_arrays()
+    arrays["header"] = arrays["header"].copy()
+    arrays["header"][0] = ARTIFACT_VERSION + 1
+    with pytest.raises(SamplingError, match="artifact version"):
+        CompiledDD.from_arrays(arrays)
+
+
+@pytest.mark.parametrize(
+    "mutate",
+    [
+        lambda a: a.pop("p0"),
+        lambda a: a.__setitem__("p0", a["p0"][:-1]),
+        lambda a: a.__setitem__("p0", np.full_like(a["p0"], 2.0)),
+        lambda a: a.__setitem__("child0", a["child0"] + 10_000),
+        lambda a: a.__setitem__(
+            "level_offsets", a["level_offsets"][:-1]
+        ),
+        lambda a: a.__setitem__("header", a["header"][:2]),
+    ],
+)
+def test_from_arrays_rejects_malformed_payloads(mutate):
+    arrays = {k: v.copy() for k, v in _compiled(ghz(4)).to_arrays().items()}
+    mutate(arrays)
+    with pytest.raises((SamplingError, KeyError)):
+        CompiledDD.from_arrays(arrays)
+
+
+# ---------------------------------------------------------------------------
+# Cache keys
+# ---------------------------------------------------------------------------
+
+
+def test_fingerprint_is_stable_and_name_blind():
+    a = qft(5)
+    b = qft(5)
+    b.name = "renamed"
+    assert circuit_fingerprint(a) == circuit_fingerprint(b)
+
+
+def test_fingerprint_sees_matrices_not_gate_names():
+    from repro.circuit import gates as g
+
+    x_named_h = g.Gate(name="h", num_qubits=1, matrix=g.x_gate().matrix)
+    a = QuantumCircuit(1).h(0)
+    b = QuantumCircuit(1).apply(x_named_h, 0)
+    assert circuit_fingerprint(a) != circuit_fingerprint(b)
+
+
+def test_fingerprint_sees_wiring_and_barriers():
+    base = QuantumCircuit(3).h(0).cx(0, 1)
+    swapped = QuantumCircuit(3).h(0).cx(1, 0)
+    fenced = QuantumCircuit(3).h(0).barrier().cx(0, 1)
+    measured = QuantumCircuit(3).h(0).cx(0, 1).measure(2)
+    fingerprints = {
+        circuit_fingerprint(c) for c in (base, swapped, fenced, measured)
+    }
+    assert len(fingerprints) == 4
+
+
+def test_cache_key_covers_build_configuration():
+    circuit = ghz(4)
+    baseline = cache_key(circuit)
+    assert cache_key(circuit) == baseline  # deterministic
+    assert cache_key(circuit, scheme=NormalizationScheme.LEFTMOST) != baseline
+    assert cache_key(circuit, optimize=False) != baseline
+    assert cache_key(circuit, initial_state=1) != baseline
+    assert cache_key(circuit, package_version="0.0.0-other") != baseline
+
+
+# ---------------------------------------------------------------------------
+# Store: happy path
+# ---------------------------------------------------------------------------
+
+
+def test_store_round_trip_and_counters(tmp_path):
+    store = ArtifactStore(str(tmp_path))
+    compiled = _compiled(qft(5))
+    key = cache_key(qft(5))
+    assert store.get(key) is None  # cold miss
+    assert store.put(key, compiled, meta={"circuit_name": "qft_5"})
+    artifact = store.get(key)
+    assert artifact is not None
+    assert artifact.key == key
+    assert artifact.meta["circuit_name"] == "qft_5"
+    np.testing.assert_array_equal(artifact.compiled.p0, compiled.p0)
+    stats = store.stats()
+    assert stats["hits"] == 1
+    assert stats["misses"] == 1
+    assert stats["puts"] == 1
+    assert stats["entries"] == 1
+    assert stats["corrupt"] == 0
+    # No temp droppings from the atomic writes.
+    assert not [n for n in os.listdir(tmp_path) if n.startswith(".tmp-")]
+
+
+def test_store_clear_and_keys(tmp_path):
+    store = ArtifactStore(str(tmp_path))
+    compiled = _compiled(ghz(3))
+    store.put("a" * 8, compiled)
+    store.put("b" * 8, compiled)
+    assert sorted(store.keys()) == ["a" * 8, "b" * 8]
+    assert store.clear() == 2
+    assert store.keys() == []
+    assert store.total_bytes() == 0
+
+
+# ---------------------------------------------------------------------------
+# Store: pathology — every failure is a miss, never a crash
+# ---------------------------------------------------------------------------
+
+
+def _seed_entry(tmp_path, circuit=None):
+    store = ArtifactStore(str(tmp_path))
+    compiled = _compiled(circuit if circuit is not None else ghz(4))
+    key = cache_key(circuit if circuit is not None else ghz(4))
+    store.put(key, compiled)
+    return store, key
+
+
+def test_corrupted_payload_is_evicted(tmp_path):
+    store, key = _seed_entry(tmp_path)
+    payload_path = tmp_path / f"{key}.npz"
+    blob = bytearray(payload_path.read_bytes())
+    blob[len(blob) // 2] ^= 0xFF  # single flipped byte
+    payload_path.write_bytes(bytes(blob))
+    assert store.get(key) is None
+    assert store.stats()["corrupt"] == 1
+    assert not payload_path.exists()  # evicted, not left to re-trip
+    assert not (tmp_path / f"{key}.json").exists()
+
+
+def test_truncated_payload_is_evicted(tmp_path):
+    store, key = _seed_entry(tmp_path)
+    payload_path = tmp_path / f"{key}.npz"
+    payload_path.write_bytes(payload_path.read_bytes()[:10])
+    assert store.get(key) is None
+    assert store.stats()["corrupt"] == 1
+
+
+def test_malformed_meta_is_evicted(tmp_path):
+    store, key = _seed_entry(tmp_path)
+    (tmp_path / f"{key}.json").write_text("{not json", encoding="utf-8")
+    assert store.get(key) is None
+    assert store.stats()["corrupt"] == 1
+
+
+def test_orphan_payload_without_meta_is_cleaned(tmp_path):
+    store, key = _seed_entry(tmp_path)
+    (tmp_path / f"{key}.json").unlink()  # torn write: no commit marker
+    assert store.get(key) is None
+    assert not (tmp_path / f"{key}.npz").exists()
+
+
+def test_artifact_version_mismatch_is_evicted(tmp_path):
+    store, key = _seed_entry(tmp_path)
+    meta_path = tmp_path / f"{key}.json"
+    doc = json.loads(meta_path.read_text(encoding="utf-8"))
+    doc["artifact_version"] = ARTIFACT_VERSION + 1
+    meta_path.write_text(json.dumps(doc), encoding="utf-8")
+    assert store.get(key) is None
+    assert store.stats()["corrupt"] == 1
+    assert store.get(key) is None  # stays a plain miss afterwards
+
+
+def test_key_mismatch_in_meta_is_evicted(tmp_path):
+    store, key = _seed_entry(tmp_path)
+    meta_path = tmp_path / f"{key}.json"
+    doc = json.loads(meta_path.read_text(encoding="utf-8"))
+    doc["key"] = "somebody-else"
+    meta_path.write_text(json.dumps(doc), encoding="utf-8")
+    assert store.get(key) is None
+    assert store.stats()["corrupt"] == 1
+
+
+def test_rebuild_after_corruption_round_trips(tmp_path):
+    store, key = _seed_entry(tmp_path)
+    (tmp_path / f"{key}.npz").write_bytes(b"garbage")
+    assert store.get(key) is None
+    compiled = _compiled(ghz(4))
+    assert store.put(key, compiled)  # the rebuild path
+    assert store.get(key) is not None
+
+
+# ---------------------------------------------------------------------------
+# Store: size budget and LRU order
+# ---------------------------------------------------------------------------
+
+
+def _entry_bytes(tmp_path, key):
+    return sum(
+        os.path.getsize(tmp_path / f"{key}{ext}") for ext in (".npz", ".json")
+    )
+
+
+def test_lru_eviction_under_tiny_cap(tmp_path):
+    compiled = _compiled(ghz(3))
+    probe = ArtifactStore(str(tmp_path / "probe"))
+    probe.put("probe", compiled)
+    entry_bytes = _entry_bytes(tmp_path / "probe", "probe")
+
+    store = ArtifactStore(str(tmp_path / "lru"), max_bytes=2 * entry_bytes + 16)
+    store.put("aaaa", compiled)
+    time.sleep(0.01)
+    store.put("bbbb", compiled)
+    time.sleep(0.01)
+    assert store.get("aaaa") is not None  # refreshes aaaa's recency
+    time.sleep(0.01)
+    store.put("cccc", compiled)  # over budget: evict LRU = bbbb
+    assert store.stats()["evictions"] == 1
+    assert store.get("bbbb") is None
+    assert store.get("aaaa") is not None
+    assert store.get("cccc") is not None
+
+
+def test_oversized_artifact_is_refused(tmp_path):
+    compiled = _compiled(ghz(3))
+    store = ArtifactStore(str(tmp_path), max_bytes=64)
+    assert not store.put("xxxx", compiled)
+    assert store.stats()["oversized"] == 1
+    assert store.stats()["entries"] == 0
