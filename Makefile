@@ -2,13 +2,19 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-sampling bench-compile bench-serving bench-smoke serve-smoke fuzz fuzz-smoke fuzz-self-check docs-check quick-table full-table figures shapes examples clean
+.PHONY: install test bench bench-sampling bench-compile bench-serving bench-smoke bench-kernel serve-smoke fuzz fuzz-smoke fuzz-self-check docs-check quick-table full-table figures shapes examples clean
 
 install:
 	PIP_NO_BUILD_ISOLATION=false pip install -e .
 
-test: fuzz-smoke serve-smoke
+test: fuzz-smoke serve-smoke bench-kernel
 	$(PYTHON) -m pytest tests/
+
+# Kernel perf gate: the SoA vector kernel must cold-build qft_16 at
+# least 3x faster than the python reference engine, with bit-identical
+# samples at equal seed (see docs/architecture.md, hot path section).
+bench-kernel:
+	PYTHONPATH=src $(PYTHON) -m repro.perf.bench --kernel-smoke
 
 # End-to-end serving gate: batch JSONL round trip on qft_16 + grover_8,
 # cold pass builds + caches, warm pass must skip strong simulation and

@@ -74,6 +74,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="skip the compile pipeline and simulate the circuit verbatim",
     )
     parser.add_argument(
+        "--kernel",
+        choices=("auto", "vector", "python"),
+        default="auto",
+        help="strong-simulation engine: 'vector' is the structure-of-"
+        "arrays kernel, 'python' the reference recursion, 'auto' picks "
+        "per scheme; both are bit-identical, so samples do not depend "
+        "on the choice",
+    )
+    parser.add_argument(
         "--cache-dir",
         metavar="DIR",
         default=None,
@@ -134,6 +143,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                         method=args.method,
                         workers=args.workers,
                         optimize=not args.no_optimize,
+                        kernel=args.kernel,
                     )
                 )
             if not response.ok:
@@ -153,6 +163,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 workers=args.workers,
                 optimize=not args.no_optimize,
                 telemetry=session,
+                kernel=args.kernel,
             )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -181,6 +192,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         if build:
             compile_info = build.get("compile") or {}
             line = f"build: {build['applied_operations']} operations applied"
+            engine = build.get("kernel")
+            if engine:
+                line += f", engine={engine}"
             if compile_info:
                 line += (
                     f" ({compile_info['input_operations']} before optimization, "

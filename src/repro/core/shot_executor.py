@@ -92,7 +92,15 @@ class ShotExecutor:
         scheme: NormalizationScheme = NormalizationScheme.L2,
         optimize: bool = True,
         telemetry: Optional["_telemetry.Telemetry"] = None,
+        kernel: str = "auto",
     ):
+        from ..simulators.dd_simulator import DDSimulator
+
+        if kernel not in DDSimulator.KERNELS:
+            raise SimulationError(
+                f"unknown kernel {kernel!r}; expected one of "
+                f"{DDSimulator.KERNELS}"
+            )
         #: Optional telemetry session activated around every run (the
         #: branching counters below are absorbed into its registry).
         self.telemetry = telemetry
@@ -110,6 +118,20 @@ class ShotExecutor:
         self.package = DDPackage(scheme=scheme)
         self._applier = GateApplier(self.package, self.num_qubits)
         self._segments = self._split(circuit)
+        #: Requested engine for the unitary segments (``"auto"`` /
+        #: ``"vector"`` / ``"python"``, same contract as
+        #: :class:`~repro.simulators.dd_simulator.DDSimulator`).  Collapse
+        #: itself always runs on the python Edge path — measurement is
+        #: outside the kernel's coverage — so the SoA state round-trips
+        #: to Edge form at every measurement boundary; those forced round
+        #: trips surface as ``kernel.fallbacks``.
+        self.kernel = kernel
+        if kernel == "auto":
+            self._engine_kind = (
+                "vector" if scheme is NormalizationScheme.L2 else "python"
+            )
+        else:
+            self._engine_kind = kernel
         #: Branching diagnostics for the most recent run: outcome
         #: branches explored, collapse operations, binomial splits,
         #: segments executed (``Registry.snapshot()`` exposes these as
@@ -127,6 +149,8 @@ class ShotExecutor:
             "binomial_splits": 0,
             "segments_run": 0,
             "terminal_fast_path": 0,
+            "kernel_segments": 0,
+            "kernel_measurement_fallbacks": 0,
         }
 
     @staticmethod
@@ -156,9 +180,42 @@ class ShotExecutor:
 
     def _run_segment(self, state: Edge, segment: _Segment) -> Edge:
         self.stats["segments_run"] += 1
+        if (
+            self._engine_kind == "vector"
+            and segment.operations
+            and state.weight != 0
+        ):
+            return self._run_segment_kernel(state, segment)
         for op in segment.operations:
             state = self._applier.apply(state, op)
         return state
+
+    def _run_segment_kernel(self, state: Edge, segment: _Segment) -> Edge:
+        """One unitary segment on the SoA kernel (bit-identical to python).
+
+        Each call is a full load → apply* → to_edge round trip: the
+        collapse that separates segments needs the Edge representation,
+        so the SoA state cannot persist across a measurement boundary.
+        Those forced exits are the executor's kernel fallbacks.
+        """
+        from ..perf import kernel as kernel_mod
+
+        engine = kernel_mod.KernelEngine(
+            self.package,
+            self.num_qubits,
+            self._applier,
+            batch_min_width=kernel_mod.DEFAULT_BATCH_MIN_WIDTH,
+        )
+        engine.load(state)
+        for op in segment.operations:
+            engine.apply(op)
+        self.stats["kernel_segments"] += 1
+        if segment.measurement is not None and self.has_mid_circuit_measurement:
+            self.stats["kernel_measurement_fallbacks"] += 1
+            session = _telemetry.active()
+            if session is not None:
+                session.registry.counter("kernel.fallbacks").inc()
+        return engine.to_edge()
 
     def _prefix(self) -> Edge:
         if self._prefix_state is None:

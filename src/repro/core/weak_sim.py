@@ -174,12 +174,18 @@ def sample_dd(
 
 def _build_metadata(stats) -> dict:
     """Build-phase diagnostics attached to every result (CLI ``--stats``)."""
-    return {
+    metadata = {
         "applied_operations": stats.applied_operations,
         "strategy_counts": dict(stats.strategy_counts),
         "diagonal_term_applications": stats.diagonal_term_applications,
         "compile": dict(stats.compile_stats),
     }
+    kernel = getattr(stats, "kernel", None)
+    if kernel is not None:
+        metadata["kernel"] = kernel
+        metadata["kernel_fallbacks"] = getattr(stats, "kernel_fallbacks", 0)
+        metadata["kernel_levels"] = getattr(stats, "kernel_levels", 0)
+    return metadata
 
 
 def simulate_and_sample(
@@ -193,6 +199,7 @@ def simulate_and_sample(
     workers: Optional[int] = None,
     optimize: bool = True,
     telemetry: Optional["_telemetry.Telemetry"] = None,
+    kernel: str = "auto",
 ) -> SampleResult:
     """Full weak simulation: run ``circuit``, then draw ``shots`` samples.
 
@@ -204,7 +211,10 @@ def simulate_and_sample(
     pass ``False`` to simulate the circuit verbatim).  ``telemetry``
     attaches a :class:`repro.telemetry.Telemetry` session covering the
     whole pipeline — compile, build, precompute, sampling — ready for
-    JSONL export (CLI flag ``--trace``).
+    JSONL export (CLI flag ``--trace``).  ``kernel`` selects the DD
+    build engine (``"auto"``/``"vector"``/``"python"``, see
+    :class:`~repro.simulators.dd_simulator.DDSimulator`); both engines
+    are bit-identical, so samples at equal seed do not depend on it.
     """
     with _telemetry.activate(telemetry):
         if method in VECTOR_METHODS:
@@ -218,7 +228,7 @@ def simulate_and_sample(
             result.metadata["build"] = _build_metadata(simulator.stats)
             return result
         if method in DD_METHODS:
-            dd_simulator = DDSimulator(scheme=scheme, optimize=optimize)
+            dd_simulator = DDSimulator(scheme=scheme, optimize=optimize, kernel=kernel)
             state = dd_simulator.run(circuit, initial_state=initial_state)
             result = sample_dd(state, shots, method=method, seed=seed, workers=workers)
             result.metadata["build"] = _build_metadata(dd_simulator.stats)

@@ -11,21 +11,31 @@ strategy:
 * **Single-qubit gates whose controls all sit above the target** use a
   direct memoised descent that linearly combines the target node's two
   successors (one DD addition per touched node).
+* **X-target gates with a control below the target, and SWAPs** are
+  decomposed into the two fast strategies above: ``C…C-X(t)`` is
+  ``H(t) · C…C-Z · H(t)`` (the controlled-Z is a single subspace phase),
+  and ``SWAP(a, b)`` is three CNOTs.  This keeps the QFT's bit-reversal
+  swaps and Grover's down-pointing CNOTs off the generic matrix path.
 * **Everything else** falls back to a generic matrix-DD × vector-DD
   multiplication with a per-operation DD cache.
 
 All strategies produce identical states (tested against each other); the
 routing exists because the fast paths dominate the benchmark families.
+:meth:`GateApplier.classify` exposes the routing decision so alternative
+engines (the vectorized SoA kernel in :mod:`repro.perf.kernel`) apply
+the *same* strategy per operation and stay bit-identical to this one.
 """
 
 from __future__ import annotations
 
 import cmath
 
+from functools import lru_cache
 from typing import Dict, Iterable
 
 import numpy as np
 
+from ..circuit.gates import h_gate
 from ..circuit.operations import DiagonalOperation, Operation
 from ..exceptions import DDError
 from .matrix_dd import OperationDDCache
@@ -33,6 +43,48 @@ from .node import Edge, is_terminal
 from .package import DDPackage
 
 __all__ = ["GateApplier", "apply_operation"]
+
+# Gates are frozen (hashable) and heavily repeated — a circuit is a few
+# distinct gates applied hundreds of times — so the per-gate structural
+# tests below are memoised and loop over the stored matrix tuples (no
+# NumPy array construction on the per-operation path).
+
+
+@lru_cache(maxsize=None)
+def _gate_is_diagonal(gate, tolerance: float) -> bool:
+    """Memoised entry-wise off-diagonal test (``Gate.is_diagonal``)."""
+    for row, values in enumerate(gate.matrix):
+        for col, value in enumerate(values):
+            if row != col and abs(value) > tolerance:
+                return False
+    return True
+
+
+@lru_cache(maxsize=None)
+def _is_x_matrix(gate, tolerance: float) -> bool:
+    """Exact structural test for the 2x2 Pauli-X matrix."""
+    if gate.num_qubits != 1:
+        return False
+    (a00, a01), (a10, a11) = gate.matrix
+    return (
+        abs(a00) <= tolerance
+        and abs(a11) <= tolerance
+        and abs(a01 - 1.0) <= tolerance
+        and abs(a10 - 1.0) <= tolerance
+    )
+
+
+@lru_cache(maxsize=None)
+def _is_swap_matrix(gate, tolerance: float) -> bool:
+    """Exact structural test for the 4x4 SWAP matrix."""
+    if gate.num_qubits != 2:
+        return False
+    expect = ((1, 0, 0, 0), (0, 0, 1, 0), (0, 1, 0, 0), (0, 0, 0, 1))
+    for values, expected in zip(gate.matrix, expect):
+        for value, target in zip(values, expected):
+            if abs(value - target) > tolerance:
+                return False
+    return True
 
 
 class GateApplier:
@@ -51,6 +103,7 @@ class GateApplier:
         # Strategy counters for diagnostics and the engine ablation bench.
         self.diagonal_applications = 0
         self.descent_applications = 0
+        self.decompose_applications = 0
         self.matvec_applications = 0
         # Subspace-phase traversals performed inside coalesced diagonal
         # blocks (each block counts once in ``diagonal_applications``).
@@ -60,22 +113,36 @@ class GateApplier:
     # Public entry point
     # ------------------------------------------------------------------
 
+    def classify(self, op) -> str:
+        """Name the strategy :meth:`apply` will route ``op`` to.
+
+        One of ``"diagonal"``, ``"descent"``, ``"decompose"``, or
+        ``"matvec"``.  The vectorized SoA kernel consults this so both
+        engines make the same per-operation choice (a prerequisite for
+        bit-identical states).
+        """
+        if isinstance(op, DiagonalOperation):
+            return "diagonal"
+        if not self.use_fast_paths:
+            return "matvec"
+        if _gate_is_diagonal(op.gate, self.package.tolerance):
+            return "diagonal"
+        if (
+            op.gate.num_qubits == 1
+            and all(c > op.targets[0] for c in op.controls)
+            and all(c > op.targets[0] for c in op.neg_controls)
+        ):
+            return "descent"
+        if self.decomposition_steps(op) is not None:
+            return "decompose"
+        return "matvec"
+
     def apply(self, state: Edge, op) -> Edge:
         """Return ``op`` applied to ``state``.
 
         Accepts plain :class:`Operation` instructions and coalesced
         :class:`DiagonalOperation` blocks from the compile pipeline.
         """
-        if isinstance(op, DiagonalOperation):
-            if op.max_qubit >= self.num_qubits:
-                raise DDError(
-                    f"operation touches qubit {op.max_qubit} outside the "
-                    f"{self.num_qubits}-qubit register"
-                )
-            if state.is_zero:
-                return state
-            self.diagonal_applications += 1
-            return self._apply_diagonal_block(state, op)
         if op.max_qubit >= self.num_qubits:
             raise DDError(
                 f"operation touches qubit {op.max_qubit} outside the "
@@ -83,19 +150,93 @@ class GateApplier:
             )
         if state.is_zero:
             return state
-        if self.use_fast_paths and op.gate.is_diagonal(self.package.tolerance):
+        strategy = self.classify(op)
+        if strategy == "diagonal":
             self.diagonal_applications += 1
+            if isinstance(op, DiagonalOperation):
+                return self._apply_diagonal_block(state, op)
             return self._apply_diagonal(state, op)
-        if (
-            self.use_fast_paths
-            and op.gate.num_qubits == 1
-            and all(c > op.targets[0] for c in op.controls)
-            and all(c > op.targets[0] for c in op.neg_controls)
-        ):
+        if strategy == "descent":
             self.descent_applications += 1
             return self._apply_single_qubit_descent(state, op)
+        if strategy == "decompose":
+            self.decompose_applications += 1
+            for kind, *payload in self.decomposition_steps(op):
+                if kind == "op":
+                    state = self._apply_single_qubit_descent(state, payload[0])
+                else:
+                    ones, zeros, phase = payload
+                    state = self.apply_subspace_phase(state, ones, zeros, phase)
+            return state
         self.matvec_applications += 1
         return self.package.mat_vec(self._op_dds.get(op), state)
+
+    # ------------------------------------------------------------------
+    # Decomposition fast path
+    # ------------------------------------------------------------------
+
+    def decomposition_steps(self, op):
+        """Expansion of ``op`` into descent/phase steps, or ``None``.
+
+        Covers the two remaining bench-hot shapes that the descent and
+        diagonal strategies miss: X-target gates with a control *below*
+        the target (Grover's down-pointing CNOTs) and uncontrolled SWAPs
+        (the QFT's bit reversal).  Each step is either
+        ``("op", Operation)`` — a single-qubit gate with controls above
+        its target, eligible for :meth:`_apply_single_qubit_descent` —
+        or ``("phase", ones, zeros, phase)`` for
+        :meth:`apply_subspace_phase`.  Both engines replay the same
+        steps, so the decomposition preserves bit-identity.
+        """
+        tolerance = self.package.tolerance
+        gate = op.gate
+        if (
+            _is_x_matrix(gate, tolerance)
+            and (op.controls or op.neg_controls)
+        ):
+            return self._x_steps(op.targets[0], op.controls, op.neg_controls)
+        if (
+            gate.num_qubits == 2
+            and not op.controls
+            and not op.neg_controls
+            and _is_swap_matrix(gate, tolerance)
+        ):
+            a, b = op.targets
+            steps = []
+            for control, target in ((a, b), (b, a), (a, b)):
+                if control > target:
+                    steps.append(self._cx_descent_step(control, target))
+                else:
+                    steps.extend(
+                        self._x_steps(target, frozenset({control}), frozenset())
+                    )
+            return tuple(steps)
+        return None
+
+    @staticmethod
+    def _cx_descent_step(control: int, target: int):
+        """A CNOT whose control sits above the target: plain descent."""
+        from ..circuit.gates import x_gate
+
+        return (
+            "op",
+            Operation(x_gate(), (target,), controls=frozenset({control})),
+        )
+
+    @staticmethod
+    def _x_steps(target, controls, neg_controls):
+        """``C…C-X(t)`` as ``H(t) · C…C-Z(t, controls) · H(t)``."""
+        h = Operation(h_gate(), (target,))
+        return (
+            ("op", h),
+            (
+                "phase",
+                frozenset(controls) | {target},
+                frozenset(neg_controls),
+                -1.0 + 0j,
+            ),
+            ("op", h),
+        )
 
     # ------------------------------------------------------------------
     # Diagonal fast path
@@ -179,9 +320,7 @@ class GateApplier:
         target = op.targets[0]
         controls = op.controls
         neg_controls = op.neg_controls
-        matrix = op.gate.array
-        u00, u01 = complex(matrix[0, 0]), complex(matrix[0, 1])
-        u10, u11 = complex(matrix[1, 0]), complex(matrix[1, 1])
+        (u00, u01), (u10, u11) = op.gate.matrix
         memo: Dict[int, Edge] = {}
 
         def walk(edge: Edge, var: int) -> Edge:
@@ -225,6 +364,7 @@ class GateApplier:
         return {
             "diagonal": self.diagonal_applications,
             "descent": self.descent_applications,
+            "decompose": self.decompose_applications,
             "matvec": self.matvec_applications,
         }
 

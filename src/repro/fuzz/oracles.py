@@ -28,7 +28,10 @@ from ..core.indistinguishability import (
     total_variation_distance,
     two_sample_chi_square,
 )
-from ..core.shot_executor import ShotExecutor
+from ..core.shot_executor import (
+    ShotExecutor,
+    circuit_has_mid_circuit_measurement,
+)
 from ..core.weak_sim import sample_dd
 from ..exceptions import ReproError
 from ..simulators.dd_simulator import DDSimulator
@@ -284,6 +287,60 @@ def _check_midmeasure_optimize(
     )
 
 
+def _check_kernel_vs_python(
+    circuit: QuantumCircuit, rng: np.random.Generator
+) -> Optional[str]:
+    """The SoA kernel must match the python reference engine.
+
+    The contract is bit-identity, so the comparison is exact wherever
+    exactness is tractable: dense distributions within
+    :data:`MAX_EXACT_QUBITS`, equal-seed counts on measure-and-continue
+    circuits (the executor collapses on identical probabilities, so the
+    RNG draws coincide).  Wider unitary circuits fall back to a seeded
+    two-sample chi-square between the engines' samplers.
+    """
+    if circuit_has_mid_circuit_measurement(circuit):
+        seed = int(rng.integers(2**63))
+        vector = ShotExecutor(circuit, kernel="vector").run(
+            PER_SHOT_SAMPLE_SHOTS, seed=seed
+        )
+        python = ShotExecutor(circuit, kernel="python").run(
+            PER_SHOT_SAMPLE_SHOTS, seed=seed
+        )
+        if vector.counts == python.counts:
+            return None
+        return (
+            "kernel vs python: mid-circuit counts diverged at equal seed "
+            f"({vector.distinct_outcomes} vs {python.distinct_outcomes} "
+            "outcomes)"
+        )
+    if circuit.num_qubits <= MAX_EXACT_QUBITS:
+        return _compare_dense(
+            DDSimulator(kernel="vector").run(circuit).probabilities(),
+            DDSimulator(kernel="python").run(circuit).probabilities(),
+            "kernel vs python",
+        )
+    first = sample_dd(
+        DDSimulator(kernel="vector").run(circuit),
+        SAMPLE_SHOTS,
+        method="dd",
+        seed=rng,
+    )
+    second = sample_dd(
+        DDSimulator(kernel="python").run(circuit),
+        SAMPLE_SHOTS,
+        method="dd",
+        seed=rng,
+    )
+    outcome = two_sample_chi_square(first, second)
+    if outcome.p_value >= P_VALUE_FLOOR:
+        return None
+    return (
+        f"kernel vs python: chi²={outcome.statistic:.2f} "
+        f"(dof {outcome.dof}), p={outcome.p_value:.3e}"
+    )
+
+
 def _wrap(
     run: Callable[[QuantumCircuit, np.random.Generator], Optional[str]],
 ) -> Callable[[QuantumCircuit, np.random.Generator], Optional[str]]:
@@ -345,6 +402,13 @@ ORACLES: Dict[str, Oracle] = {
             pair=("dd", "dd+inverse"),
             applies=_exact_applies,
             run=_wrap(_check_inverse_roundtrip),
+        ),
+        Oracle(
+            name="kernel-vs-python",
+            description="exact distribution: SoA kernel vs python engine",
+            pair=("dd@vector", "dd@python"),
+            applies=lambda family: True,
+            run=_wrap(_check_kernel_vs_python),
         ),
         Oracle(
             name="stabilizer-vs-exact",

@@ -3,7 +3,9 @@
 Gives every future PR a perf trajectory to defend.  One run measures
 
 * **staged timings** — strong simulation (build), DD flattening
-  (compile), and sampling, per catalog-style case,
+  (compile), and sampling, per catalog-style case; cold builds are timed
+  on **both** engines (the SoA vector kernel and the python reference)
+  with a per-case speedup column and an equal-seed bit-identity check,
 * **compiled-DD reuse** — cache counters proving that a second sampler
   over the same state skips the flattening,
 * **outcome branching** — the mid-circuit-measurement executor against
@@ -34,9 +36,11 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..algorithms.grover import grover
 from ..algorithms.qft import qft
 from ..algorithms.states import ghz
 from ..circuit.circuit import QuantumCircuit
+from ..compile import optimize_circuit
 from ..core.dd_sampler import DDSampler
 from ..core.shot_executor import ShotExecutor
 from ..core.indistinguishability import two_sample_chi_square
@@ -44,10 +48,22 @@ from ..simulators.dd_simulator import DDSimulator
 from .compiled_dd import CompiledDDCache
 from .parallel import sample_chunked
 
-__all__ = ["FORMAT", "VERSION", "run_harness", "validate_payload", "main"]
+__all__ = [
+    "FORMAT",
+    "VERSION",
+    "KERNEL_SMOKE_SPEEDUP_FLOOR",
+    "run_harness",
+    "run_kernel_smoke",
+    "validate_payload",
+    "main",
+]
 
 FORMAT = "repro-bench-sampling"
-VERSION = 2
+VERSION = 3
+
+#: The ``make bench-kernel`` gate: the SoA kernel's cold build of qft_16
+#: must beat the python reference by at least this factor (best of 3).
+KERNEL_SMOKE_SPEEDUP_FLOOR = 3.0
 
 #: Fail validation when the telemetry-enabled pipeline is this much
 #: slower than the disabled one — generous because the measured circuit
@@ -63,6 +79,10 @@ _SCHEMA: Dict[str, List[str]] = {
         "dd_nodes",
         "shots",
         "build_seconds",
+        "build_seconds_python",
+        "build_seconds_kernel",
+        "kernel_speedup",
+        "samples_bit_identical",
         "compile_seconds",
         "sample_seconds",
     ],
@@ -104,9 +124,22 @@ def _mid_circuit_circuit(num_qubits: int) -> QuantumCircuit:
 
 
 def _stage_case(name: str, circuit: QuantumCircuit, shots: int, seed: int) -> Dict:
+    """Staged timings for one case, cold-building with BOTH engines.
+
+    The circuit is optimized once up front so the engines time the same
+    instruction stream (``optimize=False`` per run); ``build_seconds`` is
+    the vector-kernel build — the engine ``kernel="auto"`` picks — with
+    the python reference alongside for the speedup column.  Bit-identity
+    is checked end to end: equal-seed samples from the two builds'
+    compiled tables must match element for element.
+    """
+    circuit, _ = optimize_circuit(circuit)
     start = time.perf_counter()
-    state = DDSimulator().run(circuit)
-    build = time.perf_counter() - start
+    state_python = DDSimulator(kernel="python", optimize=False).run(circuit)
+    build_python = time.perf_counter() - start
+    start = time.perf_counter()
+    state = DDSimulator(kernel="vector", optimize=False).run(circuit)
+    build_kernel = time.perf_counter() - start
     sampler = DDSampler(state)
     start = time.perf_counter()
     compiled = sampler.compiled()
@@ -116,12 +149,19 @@ def _stage_case(name: str, circuit: QuantumCircuit, shots: int, seed: int) -> Di
     samples = compiled.sample(shots, rng)
     sample_seconds = time.perf_counter() - start
     assert samples.shape == (shots,)
+    reference = DDSampler(state_python).compiled().sample(
+        shots, np.random.default_rng(seed)
+    )
     return {
         "name": name,
         "num_qubits": circuit.num_qubits,
         "dd_nodes": compiled.size,
         "shots": shots,
-        "build_seconds": round(build, 6),
+        "build_seconds": round(build_kernel, 6),
+        "build_seconds_python": round(build_python, 6),
+        "build_seconds_kernel": round(build_kernel, 6),
+        "kernel_speedup": round(build_python / max(build_kernel, 1e-9), 2),
+        "samples_bit_identical": bool(np.array_equal(samples, reference)),
         "compile_seconds": round(compile_seconds, 6),
         "sample_seconds": round(sample_seconds, 6),
     }
@@ -203,6 +243,11 @@ def run_harness(
         }
 
         # -- staged timings ------------------------------------------------
+        # Untimed warmup builds: the first kernel invocation in a
+        # process pays one-off import and NumPy dispatch costs that
+        # would otherwise be billed to whichever case runs first.
+        for engine in ("python", "vector"):
+            DDSimulator(kernel=engine).run(ghz(4))
         sizes = (8, 12) if smoke else (16, 20)
         for n in sizes:
             payload["cases"].append(
@@ -211,6 +256,15 @@ def run_harness(
             payload["cases"].append(
                 _stage_case(f"qft_{n}", qft(n), shots, seed + 1)
             )
+        grover_n = 4 if smoke else 8
+        payload["cases"].append(
+            _stage_case(
+                f"grover_{grover_n}",
+                grover(grover_n, seed=1).circuit,
+                shots,
+                seed + 2,
+            )
+        )
 
         # -- compiled-DD reuse --------------------------------------------
         # Two fresh samplers over one state: the second must reuse.
@@ -282,6 +336,53 @@ def run_harness(
         compiled_dd.DEFAULT_CACHE = previous_cache
 
 
+def run_kernel_smoke(
+    num_qubits: int = 16,
+    shots: int = 20_000,
+    seed: int = 7,
+    repeats: int = 3,
+) -> Dict:
+    """The ``make bench-kernel`` gate body: speedup + bit-identity.
+
+    Cold-builds an optimized ``qft_{num_qubits}`` with both engines
+    (best of ``repeats`` runs each, ``optimize=False`` so they time the
+    identical instruction stream), then draws equal-seed samples from
+    both builds' compiled tables.  The caller enforces
+    :data:`KERNEL_SMOKE_SPEEDUP_FLOOR` and element-wise sample equality.
+    """
+    circuit, _ = optimize_circuit(qft(num_qubits))
+
+    def best_build(kernel: str):
+        best = float("inf")
+        state = None
+        for _ in range(repeats):
+            simulator = DDSimulator(kernel=kernel, optimize=False)
+            start = time.perf_counter()
+            state = simulator.run(circuit)
+            best = min(best, time.perf_counter() - start)
+        return best, state
+
+    python_seconds, python_state = best_build("python")
+    kernel_seconds, kernel_state = best_build("vector")
+    kernel_samples = DDSampler(kernel_state).compiled().sample(
+        shots, np.random.default_rng(seed)
+    )
+    python_samples = DDSampler(python_state).compiled().sample(
+        shots, np.random.default_rng(seed)
+    )
+    return {
+        "circuit": f"qft_{num_qubits}",
+        "shots": shots,
+        "repeats": repeats,
+        "python_seconds": round(python_seconds, 6),
+        "kernel_seconds": round(kernel_seconds, 6),
+        "speedup": round(python_seconds / max(kernel_seconds, 1e-9), 2),
+        "samples_bit_identical": bool(
+            np.array_equal(kernel_samples, python_samples)
+        ),
+    }
+
+
 def validate_payload(payload: Dict) -> None:
     """Raise ``ValueError`` when ``payload`` drifts from the schema."""
     if payload.get("format") != FORMAT:
@@ -303,6 +404,12 @@ def validate_payload(payload: Dict) -> None:
             missing = [key for key in keys if key not in entry]
             if missing:
                 raise ValueError(f"section {section!r} missing keys {missing}")
+    for case in payload["cases"]:
+        if not case["samples_bit_identical"]:
+            raise ValueError(
+                f"case {case['name']!r}: kernel and python builds produced "
+                "different samples at equal seed"
+            )
     if not payload["parallel"]["reproducible"]:
         raise ValueError("parallel sampling was not worker-count reproducible")
     if not payload["mid_circuit"]["distributions_consistent"]:
@@ -344,6 +451,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="toy sizes: exercises every section in seconds",
     )
     parser.add_argument(
+        "--kernel-smoke",
+        action="store_true",
+        help="run the 'make bench-kernel' gate: the SoA kernel must "
+        "cold-build qft_16 at least 3x faster than the python engine "
+        "with bit-identical samples",
+    )
+    parser.add_argument(
         "--validate",
         metavar="FILE",
         help="validate an existing payload against the schema and exit",
@@ -366,6 +480,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"{args.validate}: schema ok (version {payload['version']})")
         return 0
 
+    if args.kernel_smoke:
+        outcome = run_kernel_smoke(seed=args.seed)
+        print(
+            f"bench-kernel: {outcome['circuit']} cold build "
+            f"python={outcome['python_seconds']}s "
+            f"kernel={outcome['kernel_seconds']}s "
+            f"({outcome['speedup']}x, floor {KERNEL_SMOKE_SPEEDUP_FLOOR}x), "
+            f"samples bit-identical={outcome['samples_bit_identical']}"
+        )
+        if not outcome["samples_bit_identical"]:
+            print(
+                "bench-kernel: engines produced different samples",
+                file=sys.stderr,
+            )
+            return 1
+        if outcome["speedup"] < KERNEL_SMOKE_SPEEDUP_FLOOR:
+            print(
+                f"bench-kernel: speedup {outcome['speedup']}x is below the "
+                f"{KERNEL_SMOKE_SPEEDUP_FLOOR}x floor",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+
     payload = run_harness(
         shots=args.shots,
         mid_circuit_shots=args.mid_circuit_shots,
@@ -377,12 +515,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
     mid = payload["mid_circuit"]
+    kernel_line = ", ".join(
+        f"{case['name']}={case['kernel_speedup']}x"
+        for case in payload["cases"]
+    )
     print(
         f"wrote {args.out}: branching speedup {mid['speedup']}x over "
         f"per-shot at {mid['shots']} shots; compiled cache "
         f"{payload['compiled_cache']['reuses']} reuses / "
         f"{payload['compiled_cache']['builds']} builds; telemetry overhead "
-        f"{payload['telemetry']['overhead_percent']}%"
+        f"{payload['telemetry']['overhead_percent']}%; "
+        f"kernel cold-build speedup: {kernel_line}"
     )
     return 0
 

@@ -1,0 +1,1298 @@
+"""Structure-of-arrays decision-diagram kernel for the cold-build hot path.
+
+The pure-Python engine (:class:`repro.dd.apply.GateApplier` over
+:class:`repro.dd.package.DDPackage`) pays one Python frame, several dict
+probes, and three :class:`~repro.dd.complex_table.ComplexTable` bucket
+scans per node per gate.  Cold builds — the dominant cost of cold service
+requests now that sampling itself is flat-array — spend most of their
+time in that per-node overhead, not in arithmetic.
+
+This module re-implements the strong-simulation hot path on a
+structure-of-arrays working state:
+
+* :class:`SoAState` keeps one :class:`_Level` per qubit with parallel
+  arrays of child indices (``c0``/``c1``, ``-1`` = zero edge, pointing
+  into the level below; at level 0 index ``0`` marks the terminal) and
+  complex edge weights (``w0``/``w1``), plus a per-level uniquing dict —
+  the unique table flattened into row indices.
+* :class:`KernelEngine` applies gates directly on that representation.
+  Strategy routing is delegated to the *python* applier's
+  :meth:`~repro.dd.apply.GateApplier.classify`, and every arithmetic
+  step — L2 normalisation, complex interning, scalar scaling, DD
+  addition — replays the reference implementation's exact float
+  operation sequence, so both engines produce **bit-identical** states
+  (and therefore bit-identical :class:`~repro.perf.compiled_dd.CompiledDD`
+  arrays and samples at equal seed).
+* Interning goes through a front cache over the package's
+  :class:`~repro.dd.complex_table.ComplexTable`: canonical entries are
+  permanent lookup fixed points (they stay pairwise further than the
+  tolerance apart), so exact hits are cached forever; near-miss results
+  are cached only until the table's ``version`` counter moves.
+* Levels whose working width reaches ``batch_min_width`` are processed
+  with NumPy level sweeps — vectorised child gather, weight multiply,
+  L2 normalisation, and hash-based uniquing via ``np.unique`` on the
+  ``(child, weight)`` row keys — one NumPy call chain per DD level
+  instead of one Python frame per node.  Narrow levels (the common case
+  for the benchmark families) use a scalar replay on the same arrays.
+
+Anything the kernel does not cover — generic matrix-vector products,
+matrix-matrix composition, mid-circuit measurement — falls back to the
+python engine: the SoA state converts to :class:`~repro.dd.node.Edge`
+form, the reference applier runs, and the result converts back.  Each
+round trip is counted in :attr:`KernelStats.fallbacks` and surfaced as
+the ``kernel.fallbacks`` telemetry counter.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .. import telemetry as _telemetry
+from ..circuit.operations import DiagonalOperation
+from ..dd.node import TERMINAL, Edge, is_terminal
+from ..dd.normalization import NormalizationScheme, normalize_weights
+from ..exceptions import DDError
+
+__all__ = ["KernelEngine", "KernelStats", "SoAState", "DEFAULT_BATCH_MIN_WIDTH"]
+
+#: Level width at which gate application switches from the scalar replay
+#: to the NumPy batched sweep.  Below this, per-call NumPy overhead
+#: exceeds the scalar cost (bench-family DD levels are a handful of
+#: nodes wide); above it the vectorised path wins.
+DEFAULT_BATCH_MIN_WIDTH = 64
+
+_ZERO = (-1, 0j)
+
+
+def _same_edge(tc: int, tw: complex, c: int, w: complex) -> bool:
+    """Bit-exact edge equality (``==`` would conflate ``±0.0``)."""
+    if tc != c or tw != w:
+        return False
+    if tw.real == 0.0 and math.copysign(1.0, tw.real) != math.copysign(1.0, w.real):
+        return False
+    if tw.imag == 0.0 and math.copysign(1.0, tw.imag) != math.copysign(1.0, w.imag):
+        return False
+    return True
+
+
+def _phase_select(var: int, ones: set, zeros_set: set) -> Tuple[bool, bool]:
+    """Which child branches a subspace-phase traversal follows at ``var``."""
+    if var in ones:
+        return (False, True)
+    if var in zeros_set:
+        return (True, False)
+    return (True, True)
+
+
+# ---------------------------------------------------------------------------
+# Bit-exact vector complex arithmetic
+# ---------------------------------------------------------------------------
+#
+# NumPy's complex128 multiply/divide/abs loops may use SIMD kernels with
+# FMA contraction, rounding differently from the interpreter's scalar
+# formulas in the last ulp.  The helpers below replay CPython's
+# ``_Py_c_prod`` / ``_Py_c_quot`` (Smith's algorithm) / ``hypot`` step by
+# step with separate float64 ufunc calls — each a single correctly
+# rounded IEEE operation — so batched results match the scalar replay
+# bit for bit.
+
+
+def _to_complex(re: np.ndarray, im: np.ndarray) -> np.ndarray:
+    out = np.empty(np.shape(re), dtype=np.complex128)
+    out.real = re
+    out.imag = im
+    return out
+
+
+def _cmul_parts(ar, ai, br, bi) -> np.ndarray:
+    """``(ar + ai*i) * (br + bi*i)`` via CPython's product formula."""
+    return _to_complex(ar * br - ai * bi, ar * bi + ai * br)
+
+
+def _cdiv_parts(ar, ai, br, bi) -> np.ndarray:
+    """``(ar + ai*i) / (br + bi*i)`` via CPython's Smith algorithm.
+
+    Both branches are evaluated and ``where``-selected; the guarded
+    divisors keep the dead branch finite (its values are discarded).
+    """
+    abs_br = np.abs(br)
+    abs_bi = np.abs(bi)
+    first = abs_br >= abs_bi
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio1 = bi / np.where(first, br, 1.0)
+        denom1 = br + bi * ratio1
+        re1 = (ar + ai * ratio1) / denom1
+        im1 = (ai - ar * ratio1) / denom1
+        ratio2 = br / np.where(first, 1.0, bi)
+        denom2 = br * ratio2 + bi
+        re2 = (ar * ratio2 + ai) / denom2
+        im2 = (ai * ratio2 - ar) / denom2
+    return _to_complex(
+        np.where(first, re1, re2), np.where(first, im1, im2)
+    )
+
+
+class _UnsafeBatch(Exception):
+    """A batched sweep could not prove insert-order independence."""
+
+
+class _GateIntern:
+    """Probe-only complex interning for one batched gate application.
+
+    The python engine interns values in DFS order; a NumPy level sweep
+    visits the same value multiset in a different order.  Order can only
+    influence canonicalisation when some value of the gate lands within
+    tolerance of a value that is *new* this gate (the earlier of the two
+    would have become the canonical entry and captured the other).  This
+    helper therefore
+
+    * resolves values against the existing table **without inserting**
+      (:meth:`ComplexTable.probe`), treating unmatched values as their
+      own canonical form,
+    * tracks every distinct value of the gate on a tolerance grid and
+      raises :class:`_UnsafeBatch` the moment any value falls within
+      tolerance of a new one — the sweep is then abandoned (no table
+      mutation has happened) and the gate re-runs on the scalar path,
+      which replays the reference order exactly, and
+    * on success :meth:`commit`\\ s the new values into the table — they
+      are pairwise further than the tolerance apart from everything else
+      in the gate, so the insert order is provably irrelevant.
+    """
+
+    __slots__ = ("cache", "table", "tolerance", "results", "pending", "grid")
+
+    def __init__(self, cache: _InternCache):
+        self.cache = cache
+        self.table = cache.table
+        self.tolerance = cache.table.tolerance
+        #: value -> canonical result, memoised per gate.
+        self.results: Dict[complex, complex] = {}
+        #: Values with no existing canonical entry, pending insert.
+        self.pending: List[complex] = []
+        #: tolerance-grid key -> [(value, is_new)] for the safety check.
+        self.grid: Dict[Tuple[int, int], List[Tuple[complex, bool]]] = {}
+
+    def intern(self, value: complex) -> complex:
+        value = complex(
+            value.real if value.real != 0.0 else 0.0,
+            value.imag if value.imag != 0.0 else 0.0,
+        )
+        hit = self.results.get(value)
+        if hit is not None:
+            return hit
+        canonical = self.cache.fixed.get(value)
+        if canonical is None:
+            canonical = self.table.probe(value)
+        if canonical is None:
+            canonical = value
+            self._check(value, True)
+            self.pending.append(value)
+        elif canonical != value:
+            # Nearest-entry snap: a later new value within tolerance of
+            # ``value`` could steal it, so it joins the safety grid.  An
+            # exact canonical hit cannot pair with any new value (the new
+            # value would not have been new) and skips the grid.
+            self._check(value, False)
+        self.results[value] = canonical
+        return canonical
+
+    def _check(self, value: complex, is_new: bool) -> None:
+        tolerance = self.tolerance
+        kr = int(math.floor(value.real / tolerance + 0.5))
+        ki = int(math.floor(value.imag / tolerance + 0.5))
+        for dr in (0, -1, 1):
+            for di in (0, -1, 1):
+                for other, other_new in self.grid.get((kr + dr, ki + di), ()):
+                    if (
+                        (is_new or other_new)
+                        and other != value
+                        and abs(other.real - value.real) <= tolerance
+                        and abs(other.imag - value.imag) <= tolerance
+                    ):
+                        raise _UnsafeBatch
+        self.grid.setdefault((kr, ki), []).append((value, is_new))
+
+    def commit(self) -> None:
+        """Insert the gate's new values (order provably irrelevant).
+
+        Each becomes a canonical entry — a permanent lookup fixed point —
+        so it also feeds the front cache, which purges any nearest-entry
+        snaps the insert may have invalidated.
+        """
+        table = self.table
+        cache = self.cache
+        for value in self.pending:
+            table.lookup(value)
+            cache.note_insert(value)
+
+
+class _InternCache:
+    """Exact-hit front cache over a :class:`ComplexTable`.
+
+    Canonical entries never move and stay pairwise further than the
+    tolerance apart, so ``lookup(c) == c`` holds forever once observed:
+    those mappings live in :attr:`fixed` permanently (the table only
+    grows during an engine's lifetime).  A value that snaps to a
+    *different* canonical entry is deliberately **not** cached: a later
+    insert can land within tolerance of the value while sitting more
+    than tolerance from its current canonical and steal it, so snaps
+    are re-resolved against the live table on every occurrence —
+    exactly what the python engine's per-occurrence ``lookup`` does.
+
+    The slow path inlines :meth:`ComplexTable.lookup` against the
+    table's internals — same normalisation, same nine-bucket best-rank
+    scan, same ``hits``/``misses``/``version`` bookkeeping — because
+    after the front cache absorbs repeats, first-sight values are the
+    hot path of the whole scalar replay.  ``fixed`` is exposed so hot
+    call sites can probe it inline before paying for a method call.
+    """
+
+    __slots__ = ("table", "tolerance", "fixed")
+
+    def __init__(self, table):
+        self.table = table
+        self.tolerance = table.tolerance
+        self.fixed: Dict[complex, complex] = {}
+
+    def intern(self, value: complex) -> complex:
+        hit = self.fixed.get(value)
+        if hit is not None:
+            return hit
+        # Inlined replay of ComplexTable.lookup.
+        table = self.table
+        vr = value.real
+        vi = value.imag
+        if vr == 0.0:
+            vr = 0.0
+        if vi == 0.0:
+            vi = 0.0
+        norm = complex(vr, vi)
+        tol = self.tolerance
+        kr = int(math.floor(vr / tol + 0.5))
+        ki = int(math.floor(vi / tol + 0.5))
+        buckets = table._buckets
+        best = None
+        best_rank = None
+        for dr in (0, -1, 1):
+            kk = kr + dr
+            for di in (0, -1, 1):
+                cand = buckets.get((kk, ki + di))
+                if cand is None:
+                    continue
+                cr = cand.real
+                cim = cand.imag
+                if abs(cr - vr) > tol or abs(cim - vi) > tol:
+                    continue
+                rank = (abs(cand - norm), cr, cim)
+                if best_rank is None or rank < best_rank:
+                    best, best_rank = cand, rank
+        if best is not None:
+            table.hits += 1
+            if best == norm:
+                # A canonical entry is a permanent lookup fixed point.
+                # (The dict key may carry -0.0 components; equality
+                # collapses them onto the normalised result, which is
+                # what the table itself does.)
+                self.fixed[value] = best
+            return best
+        buckets[(kr, ki)] = norm
+        table.misses += 1
+        table.version += 1
+        self.fixed[value] = norm
+        return norm
+
+    def note_insert(self, value: complex) -> None:
+        """Record a canonical insert performed through the table directly.
+
+        ``value`` must be the (normalised) entry just inserted: it is a
+        permanent lookup fixed point from now on.
+        """
+        self.fixed[value] = value
+
+
+class _Level:
+    """One qubit level of the SoA state: parallel rows plus uniquing."""
+
+    __slots__ = ("c0", "c1", "w0", "w1", "dedup", "rebuild")
+
+    def __init__(self) -> None:
+        self.c0: List[int] = []
+        self.c1: List[int] = []
+        self.w0: List[complex] = []
+        self.w1: List[complex] = []
+        #: (c0, w0, c1, w1) -> row, mirroring the unique table's key.
+        self.dedup: Dict[Tuple[int, complex, int, complex], int] = {}
+        #: row -> (result_row, factor, table_version): memoised result of
+        #: re-normalising a row against itself (the no-op short-circuit
+        #: for structurally unaffected subtrees).
+        self.rebuild: Dict[int, Tuple[int, complex, int]] = {}
+
+    def __len__(self) -> int:
+        return len(self.c0)
+
+    def intern_row(self, c0: int, w0: complex, c1: int, w1: complex) -> int:
+        key = (c0, w0, c1, w1)
+        row = self.dedup.get(key)
+        if row is None:
+            row = len(self.c0)
+            self.dedup[key] = row
+            self.c0.append(c0)
+            self.w0.append(w0)
+            self.c1.append(c1)
+            self.w1.append(w1)
+        return row
+
+
+class SoAState:
+    """A vector DD flattened into per-level parallel arrays.
+
+    ``levels[v]`` holds the nodes with variable ``v``.  Child indices
+    point into the level below; ``-1`` is the zero stub and, at level 0,
+    ``0`` marks the terminal.  The root is ``(root, root_weight)`` into
+    the top level; a zero state is ``root_weight == 0``.
+    """
+
+    __slots__ = ("num_qubits", "levels", "root", "root_weight")
+
+    def __init__(self, num_qubits: int):
+        self.num_qubits = num_qubits
+        self.levels = [_Level() for _ in range(num_qubits)]
+        self.root = -1
+        self.root_weight = 0j
+
+    @property
+    def is_zero(self) -> bool:
+        """Whether the state is the zero vector (no reachable nodes)."""
+        return self.root_weight == 0
+
+    def total_rows(self) -> int:
+        """Stored rows across all levels (live + garbage)."""
+        return sum(len(level) for level in self.levels)
+
+    def reachable_rows(self) -> List[List[int]]:
+        """Per-level live row indices, in first-visit (root-down) order."""
+        per_level: List[List[int]] = [[] for _ in self.levels]
+        if self.is_zero or self.num_qubits == 0:
+            return per_level
+        frontier = [self.root]
+        for var in range(self.num_qubits - 1, -1, -1):
+            level = self.levels[var]
+            per_level[var] = frontier
+            if var == 0:
+                break
+            seen = set()
+            next_frontier: List[int] = []
+            for row in frontier:
+                for child, weight in (
+                    (level.c0[row], level.w0[row]),
+                    (level.c1[row], level.w1[row]),
+                ):
+                    if weight != 0 and child not in seen:
+                        seen.add(child)
+                        next_frontier.append(child)
+            frontier = next_frontier
+        return per_level
+
+    def node_count(self) -> int:
+        """Live (reachable) node count — matches ``package.node_count``."""
+        return sum(len(rows) for rows in self.reachable_rows())
+
+
+class KernelStats:
+    """Counters for one engine instance (telemetry + stats parity)."""
+
+    __slots__ = ("gates", "levels_processed", "batched_levels", "fallbacks")
+
+    def __init__(self) -> None:
+        self.gates = 0
+        #: DD levels rebuilt by SoA gate application (scalar or batched).
+        self.levels_processed = 0
+        #: Subset of ``levels_processed`` handled by the NumPy sweep.
+        self.batched_levels = 0
+        #: Edge⇄SoA round trips through the python engine.
+        self.fallbacks = 0
+
+
+class KernelEngine:
+    """Applies gates to a :class:`SoAState`, bit-identical to the python engine.
+
+    ``applier`` is the reference :class:`~repro.dd.apply.GateApplier` on
+    the same package: it provides strategy routing (so both engines make
+    identical per-operation choices) and executes fallback operations.
+    Strategy counters are incremented on the applier itself, keeping
+    :class:`~repro.simulators.base.SimulationStats` identical across
+    engines.
+    """
+
+    def __init__(
+        self,
+        package,
+        num_qubits: int,
+        applier,
+        batch_min_width: int = DEFAULT_BATCH_MIN_WIDTH,
+    ):
+        self.package = package
+        self.num_qubits = num_qubits
+        self.applier = applier
+        self.tolerance = package.tolerance
+        self.scheme = package.scheme
+        self.batch_min_width = batch_min_width
+        self.stats = KernelStats()
+        self._intern = _InternCache(package.complex_table)
+        self._add_cache: Dict[tuple, Tuple[int, complex]] = {}
+        self.state = SoAState(num_qubits)
+
+    # ------------------------------------------------------------------
+    # Edge ⇄ SoA conversion
+    # ------------------------------------------------------------------
+
+    def load(self, edge: Edge) -> None:
+        """Convert an :class:`Edge`-rooted DD into the working SoA state."""
+        state = self.state
+        if edge.is_zero:
+            state.root = -1
+            state.root_weight = 0j
+            return
+        if is_terminal(edge.node):
+            raise DDError("cannot load a terminal-only state into the kernel")
+        if edge.node.var != self.num_qubits - 1:
+            raise DDError(
+                f"DD rooted at level {edge.node.var} is not a "
+                f"{self.num_qubits}-qubit state"
+            )
+        rows: Dict[int, int] = {}
+
+        # Iterative post-order DFS (deep registers exceed the default
+        # recursion limit long before they exhaust memory).
+        stack: List[Tuple] = [(edge.node, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if node.index in rows:
+                continue
+            if expanded:
+                converted = []
+                for child in node.edges:
+                    if child.weight == 0:
+                        converted.append(_ZERO)
+                    elif is_terminal(child.node):
+                        converted.append((0, child.weight))
+                    else:
+                        converted.append((rows[child.node.index], child.weight))
+                (c0, w0), (c1, w1) = converted
+                rows[node.index] = self.state.levels[node.var].intern_row(
+                    c0, w0, c1, w1
+                )
+                continue
+            stack.append((node, True))
+            for child in node.edges:
+                if child.weight != 0 and not is_terminal(child.node):
+                    stack.append((child.node, False))
+        state.root = rows[edge.node.index]
+        state.root_weight = edge.weight
+
+    def to_edge(self) -> Edge:
+        """Convert the working state back to a canonical :class:`Edge` DD.
+
+        Nodes are rebuilt through ``unique_table.get_node`` with the
+        stored weights verbatim (the :meth:`DDPackage.compact` pattern) —
+        no renormalisation, so the output is bit-identical to what the
+        python engine would hold.
+        """
+        state = self.state
+        if state.is_zero:
+            return self.package.zero_edge
+        get_node = self.package.unique_table.get_node
+        reachable = state.reachable_rows()
+        nodes: List[Dict[int, object]] = [{} for _ in state.levels]
+        for var in range(state.num_qubits):
+            level = state.levels[var]
+            below = nodes[var - 1] if var > 0 else None
+            for row in reachable[var]:
+                edges = []
+                for child, weight in (
+                    (level.c0[row], level.w0[row]),
+                    (level.c1[row], level.w1[row]),
+                ):
+                    if weight == 0:
+                        edges.append(Edge(TERMINAL, 0j))
+                    elif var == 0:
+                        edges.append(Edge(TERMINAL, weight))
+                    else:
+                        edges.append(Edge(below[child], weight))
+                nodes[var][row] = get_node(var, tuple(edges))
+        root_node = nodes[state.num_qubits - 1][state.root]
+        return Edge(root_node, state.root_weight)
+
+    # ------------------------------------------------------------------
+    # Gate application
+    # ------------------------------------------------------------------
+
+    def apply(self, op) -> None:
+        """Apply one instruction to the working state (in place)."""
+        applier = self.applier
+        if op.max_qubit >= self.num_qubits:
+            raise DDError(
+                f"operation touches qubit {op.max_qubit} outside the "
+                f"{self.num_qubits}-qubit register"
+            )
+        if self.state.root_weight == 0:
+            return
+        self.stats.gates += 1
+        strategy = applier.classify(op)
+        if strategy == "diagonal":
+            applier.diagonal_applications += 1
+            if isinstance(op, DiagonalOperation):
+                for term in op.terms:
+                    applier.diagonal_term_applications += 1
+                    self._subspace_phase(
+                        term.ones, term.zeros, cmath.exp(1j * term.angle)
+                    )
+            else:
+                diag = np.diag(op.gate.array)
+                for pattern, value in enumerate(diag):
+                    value = complex(value)
+                    if abs(value - 1.0) <= self.tolerance:
+                        continue
+                    ones = set(op.controls)
+                    zeros = set(op.neg_controls)
+                    for bit, qubit in enumerate(op.targets):
+                        if (pattern >> bit) & 1:
+                            ones.add(qubit)
+                        else:
+                            zeros.add(qubit)
+                    self._subspace_phase(ones, zeros, value)
+            return
+        if strategy == "descent":
+            applier.descent_applications += 1
+            self._descent(op)
+            return
+        if strategy == "decompose":
+            applier.decompose_applications += 1
+            for kind, *payload in applier.decomposition_steps(op):
+                if self.state.root_weight == 0:
+                    return
+                if kind == "op":
+                    self._descent(payload[0])
+                else:
+                    ones, zeros, phase = payload
+                    self._subspace_phase(ones, zeros, phase)
+            return
+        self._fallback(op)
+
+    def _fallback(self, op) -> None:
+        """Round-trip through the python engine for uncovered operations."""
+        self.stats.fallbacks += 1
+        session = _telemetry.active()
+        if session is not None:
+            session.registry.counter("kernel.fallbacks").inc()
+        edge = self.to_edge()
+        edge = self.applier.apply(edge, op)
+        self.state = SoAState(self.num_qubits)
+        self.load(edge)
+        # Row indices changed wholesale; memoised results are stale.
+        self._add_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Exact-replay scalar primitives
+    # ------------------------------------------------------------------
+
+    def _scale_pair(self, c: int, w: complex, factor: complex) -> Tuple[int, complex]:
+        """Replay of ``DDPackage.scale`` on an SoA edge."""
+        raw = w * factor
+        if raw == 0:
+            return _ZERO
+        intern_cache = self._intern
+        product = intern_cache.fixed.get(raw)
+        if product is None:
+            product = intern_cache.intern(raw)
+        if product == 0:
+            return (c, raw)
+        return (c, product)
+
+    def _make_node(
+        self,
+        var: int,
+        e0: Tuple[int, complex],
+        e1: Tuple[int, complex],
+    ) -> Tuple[int, complex]:
+        """Replay of ``DDPackage.make_vector_node`` on SoA edges."""
+        c0, w0 = e0
+        c1, w1 = e1
+        tolerance = self.tolerance
+        intern = self._intern.intern
+        if self.scheme is NormalizationScheme.L2:
+            # Inline replay of normalize_weights(..., L2): same float
+            # operation sequence, term order, and tolerance tests.
+            a0 = abs(w0)
+            if a0 > tolerance:
+                magnitude = math.sqrt(a0**2 + abs(w1) ** 2)
+                phase = w0 / a0
+                factor = magnitude * phase
+                n0 = complex(a0 / magnitude, 0.0)
+                n1 = w1 / factor if abs(w1) > tolerance else 0j
+            else:
+                a1 = abs(w1)
+                if a1 > tolerance:
+                    magnitude = math.sqrt(a0**2 + a1**2)
+                    phase = w1 / a1
+                    factor = magnitude * phase
+                    n0 = 0j
+                    n1 = complex(a1 / magnitude, 0.0)
+                else:
+                    return _ZERO
+        else:
+            (n0, n1), factor = normalize_weights(
+                (w0, w1), self.scheme, tolerance
+            )
+            if factor == 0:
+                return _ZERO
+        fixed_get = self._intern.fixed.get
+        interned = fixed_get(factor)
+        factor = interned if interned is not None else intern(factor)
+        if factor == 0:
+            return _ZERO
+        interned = fixed_get(n0)
+        n0 = interned if interned is not None else intern(n0)
+        if n0 == 0:
+            c0 = -1
+        interned = fixed_get(n1)
+        n1 = interned if interned is not None else intern(n1)
+        if n1 == 0:
+            c1 = -1
+        row = self.state.levels[var].intern_row(c0, n0, c1, n1)
+        return (row, factor)
+
+    def _rebuild_row(self, var: int, row: int) -> Tuple[int, complex]:
+        """Re-normalise a row against its own children, memoised.
+
+        This is what the python engine does when a traversal leaves both
+        children untouched; the result depends only on the row and the
+        complex-table contents, so it is cached per table version.
+        """
+        level = self.state.levels[var]
+        entry = level.rebuild.get(row)
+        if entry is not None and entry[2] == self._intern.table.version:
+            return (entry[0], entry[1])
+        result = self._make_node(
+            var,
+            (level.c0[row], level.w0[row]),
+            (level.c1[row], level.w1[row]),
+        )
+        level.rebuild[row] = (result[0], result[1], self._intern.table.version)
+        return result
+
+    def _terminal_add(self, wa: complex, wb: complex) -> Tuple[int, complex]:
+        """Replay of ``DDPackage.terminal_edge(wa + wb)``."""
+        value = wa + wb
+        if value == 0:
+            return _ZERO
+        intern_cache = self._intern
+        interned = intern_cache.fixed.get(value)
+        if interned is None:
+            interned = intern_cache.intern(value)
+        if interned == 0:
+            return (0, value)
+        return (0, interned)
+
+    def _add(
+        self,
+        var: int,
+        a: Tuple[int, complex],
+        b: Tuple[int, complex],
+    ) -> Tuple[int, complex]:
+        """Replay of ``DDPackage.add`` (zero shortcuts, cache, recursion)."""
+        ca, wa = a
+        cb, wb = b
+        if wa == 0:
+            return b
+        if wb == 0:
+            return a
+        if var < 0:
+            return self._terminal_add(wa, wb)
+        ka = (ca, wa.real, wa.imag)
+        kb = (cb, wb.real, wb.imag)
+        if kb < ka:
+            a, b, ka, kb = b, a, kb, ka
+            ca, wa = a
+            cb, wb = b
+        key = (var,) + ka + kb
+        cached = self._add_cache.get(key)
+        if cached is not None:
+            return cached
+        level = self.state.levels[var]
+        lc0 = level.c0
+        lw0 = level.w0
+        lc1 = level.c1
+        lw1 = level.w1
+        intern_cache = self._intern
+        fixed_get = intern_cache.fixed.get
+        intern = intern_cache.intern
+        below = var - 1
+        # The four child scalings, inlined (see _scale_pair): raw == 0
+        # short-circuits to the zero edge, a canonical-zero snap keeps
+        # the raw weight.
+        raw = lw0[ca] * wa
+        if raw == 0:
+            sa0 = _ZERO
+        else:
+            product = fixed_get(raw)
+            if product is None:
+                product = intern(raw)
+            sa0 = (lc0[ca], raw if product == 0 else product)
+        raw = lw0[cb] * wb
+        if raw == 0:
+            sb0 = _ZERO
+        else:
+            product = fixed_get(raw)
+            if product is None:
+                product = intern(raw)
+            sb0 = (lc0[cb], raw if product == 0 else product)
+        e0 = self._add(below, sa0, sb0)
+        raw = lw1[ca] * wa
+        if raw == 0:
+            sa1 = _ZERO
+        else:
+            product = fixed_get(raw)
+            if product is None:
+                product = intern(raw)
+            sa1 = (lc1[ca], raw if product == 0 else product)
+        raw = lw1[cb] * wb
+        if raw == 0:
+            sb1 = _ZERO
+        else:
+            product = fixed_get(raw)
+            if product is None:
+                product = intern(raw)
+            sb1 = (lc1[cb], raw if product == 0 else product)
+        e1 = self._add(below, sa1, sb1)
+        result = self._make_node(var, e0, e1)
+        self._add_cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Subspace phase (diagonal strategy)
+    # ------------------------------------------------------------------
+
+    def _subspace_phase(self, ones, zeros, phase: complex) -> None:
+        """Replay of ``GateApplier.apply_subspace_phase`` on the SoA state."""
+        state = self.state
+        ones = set(ones)
+        zeros_set = set(zeros)
+        if not ones and not zeros_set:
+            state.root, state.root_weight = self._scale_pair(
+                state.root, state.root_weight, phase
+            )
+            return
+        lowest = min(ones) if not zeros_set else (
+            min(zeros_set) if not ones else min(min(ones), min(zeros_set))
+        )
+        top = state.num_qubits - 1
+        if (
+            self.scheme is NormalizationScheme.L2
+            # Stored width is a cheap upper bound on active width: only
+            # when it clears the threshold is the frontier worth walking.
+            and self._max_width(lowest, top) >= self.batch_min_width
+        ):
+            active = self._frontier(
+                lowest, lambda var: _phase_select(var, ones, zeros_set)
+            )
+            if max(
+                len(active[v]) for v in range(lowest, top + 1)
+            ) >= self.batch_min_width and self._subspace_phase_batched(
+                ones, zeros_set, lowest, phase, active
+            ):
+                return
+        levels = state.levels
+        memo: List[Dict[int, Tuple[int, complex]]] = [
+            {} for _ in range(state.num_qubits)
+        ]
+        intern_cache = self._intern
+        fixed_get = intern_cache.fixed.get
+        intern = intern_cache.intern
+        make_node = self._make_node
+        rebuild_row = self._rebuild_row
+        same_edge = _same_edge
+        processed = 0
+
+        def walk(c: int, w: complex, var: int) -> Tuple[int, complex]:
+            nonlocal processed
+            if w == 0:
+                return (c, w)
+            if var < lowest:
+                # Inlined _scale_pair(c, w, phase).
+                raw = w * phase
+                if raw == 0:
+                    return _ZERO
+                product = fixed_get(raw)
+                if product is None:
+                    product = intern(raw)
+                return (c, raw) if product == 0 else (c, product)
+            cached = memo[var].get(c)
+            if cached is not None:
+                raw = cached[1] * w
+                if raw == 0:
+                    return _ZERO
+                product = fixed_get(raw)
+                if product is None:
+                    product = intern(raw)
+                return (cached[0], raw) if product == 0 else (cached[0], product)
+            level = levels[var]
+            processed += 1
+            c0, w0 = level.c0[c], level.w0[c]
+            c1, w1 = level.c1[c], level.w1[c]
+            if var in ones:
+                t1 = walk(c1, w1, var - 1)
+                if same_edge(t1[0], t1[1], c1, w1):
+                    result = rebuild_row(var, c)
+                else:
+                    result = make_node(var, (c0, w0), t1)
+            elif var in zeros_set:
+                t0 = walk(c0, w0, var - 1)
+                if same_edge(t0[0], t0[1], c0, w0):
+                    result = rebuild_row(var, c)
+                else:
+                    result = make_node(var, t0, (c1, w1))
+            else:
+                t0 = walk(c0, w0, var - 1)
+                t1 = walk(c1, w1, var - 1)
+                if same_edge(t0[0], t0[1], c0, w0) and same_edge(
+                    t1[0], t1[1], c1, w1
+                ):
+                    result = rebuild_row(var, c)
+                else:
+                    result = make_node(var, t0, t1)
+            memo[var][c] = result
+            raw = result[1] * w
+            if raw == 0:
+                return _ZERO
+            product = fixed_get(raw)
+            if product is None:
+                product = intern(raw)
+            return (result[0], raw) if product == 0 else (result[0], product)
+
+        state.root, state.root_weight = walk(state.root, state.root_weight, top)
+        self.stats.levels_processed += processed
+
+    # ------------------------------------------------------------------
+    # Single-qubit descent strategy
+    # ------------------------------------------------------------------
+
+    def _descent(self, op) -> None:
+        """Replay of ``GateApplier._apply_single_qubit_descent`` on SoA."""
+        state = self.state
+        target = op.targets[0]
+        controls = op.controls
+        neg_controls = op.neg_controls
+        (u00, u01), (u10, u11) = op.gate.matrix
+        levels = state.levels
+        memo: List[Dict[int, Tuple[int, complex]]] = [
+            {} for _ in range(state.num_qubits)
+        ]
+        intern_cache = self._intern
+        fixed_get = intern_cache.fixed.get
+        intern = intern_cache.intern
+        make_node = self._make_node
+        rebuild_row = self._rebuild_row
+        scale_pair = self._scale_pair
+        add = self._add
+        same_edge = _same_edge
+        processed = 0
+
+        def walk(c: int, w: complex, var: int) -> Tuple[int, complex]:
+            nonlocal processed
+            if w == 0:
+                return (c, w)
+            cached = memo[var].get(c)
+            if cached is not None:
+                raw = cached[1] * w
+                if raw == 0:
+                    return _ZERO
+                product = fixed_get(raw)
+                if product is None:
+                    product = intern(raw)
+                return (cached[0], raw) if product == 0 else (cached[0], product)
+            level = levels[var]
+            processed += 1
+            c0, w0 = level.c0[c], level.w0[c]
+            c1, w1 = level.c1[c], level.w1[c]
+            if var == target:
+                below = var - 1
+                n0 = add(
+                    below,
+                    scale_pair(c0, w0, u00),
+                    scale_pair(c1, w1, u01),
+                )
+                n1 = add(
+                    below,
+                    scale_pair(c0, w0, u10),
+                    scale_pair(c1, w1, u11),
+                )
+                result = make_node(var, n0, n1)
+            elif var in controls:
+                t1 = walk(c1, w1, var - 1)
+                if same_edge(t1[0], t1[1], c1, w1):
+                    result = rebuild_row(var, c)
+                else:
+                    result = make_node(var, (c0, w0), t1)
+            elif var in neg_controls:
+                t0 = walk(c0, w0, var - 1)
+                if same_edge(t0[0], t0[1], c0, w0):
+                    result = rebuild_row(var, c)
+                else:
+                    result = make_node(var, t0, (c1, w1))
+            else:
+                t0 = walk(c0, w0, var - 1)
+                t1 = walk(c1, w1, var - 1)
+                if same_edge(t0[0], t0[1], c0, w0) and same_edge(
+                    t1[0], t1[1], c1, w1
+                ):
+                    result = rebuild_row(var, c)
+                else:
+                    result = make_node(var, t0, t1)
+            memo[var][c] = result
+            raw = result[1] * w
+            if raw == 0:
+                return _ZERO
+            product = fixed_get(raw)
+            if product is None:
+                product = intern(raw)
+            return (result[0], raw) if product == 0 else (result[0], product)
+
+        state.root, state.root_weight = walk(
+            state.root, state.root_weight, state.num_qubits - 1
+        )
+        self.stats.levels_processed += processed
+
+    # ------------------------------------------------------------------
+    # NumPy batched level sweep
+    # ------------------------------------------------------------------
+
+    def _max_width(self, base_var: int, top_var: int) -> int:
+        """Widest stored level in the traversal range (cheap upper bound)."""
+        levels = self.state.levels
+        width = 0
+        for var in range(base_var, top_var + 1):
+            stored = len(levels[var].c0)
+            if stored > width:
+                width = stored
+        return width
+
+    def _frontier(
+        self,
+        base_var: int,
+        select: Callable[[int], Tuple[bool, bool]],
+    ) -> List[List[int]]:
+        """Active rows per level from the root down to ``base_var``.
+
+        ``select(var)`` returns which branches the traversal follows at
+        ``var`` (walk0, walk1); rows are recorded in first-visit order,
+        matching the python engine's memoisation granularity.
+        """
+        state = self.state
+        levels = state.levels
+        active: List[List[int]] = [[] for _ in range(state.num_qubits)]
+        frontier = [state.root]
+        for var in range(state.num_qubits - 1, base_var - 1, -1):
+            active[var] = frontier
+            if var == base_var:
+                break
+            level = levels[var]
+            walk0, walk1 = select(var)
+            seen = set()
+            next_frontier: List[int] = []
+            for row in frontier:
+                if walk0:
+                    child, weight = level.c0[row], level.w0[row]
+                    if weight != 0 and child not in seen:
+                        seen.add(child)
+                        next_frontier.append(child)
+                if walk1:
+                    child, weight = level.c1[row], level.w1[row]
+                    if weight != 0 and child not in seen:
+                        seen.add(child)
+                        next_frontier.append(child)
+            frontier = next_frontier
+        return active
+
+    def _intern_array(self, raw: np.ndarray, intern) -> np.ndarray:
+        """Intern every element of a complex array (snap-to-zero keeps raw).
+
+        Replays ``DDPackage.scale``'s weight handling: a zero product is
+        zero, a nonzero product that interns to zero keeps its raw value.
+        Unique values are interned once each; ``intern`` is the gate's
+        :class:`_GateIntern` resolver.
+        """
+        out = raw.copy()
+        nonzero = raw != 0
+        values = raw[nonzero]
+        if values.size:
+            unique, inverse = np.unique(values, return_inverse=True)
+            interned = np.empty(unique.shape, dtype=np.complex128)
+            for position, value in enumerate(unique):
+                value = complex(value)
+                canonical = intern(value)
+                interned[position] = value if canonical == 0 else canonical
+            out[nonzero] = interned[inverse]
+        return out
+
+    def _batched_rebuild(
+        self,
+        var: int,
+        rows: List[int],
+        t0c: np.ndarray,
+        t0w: np.ndarray,
+        t1c: np.ndarray,
+        t1w: np.ndarray,
+        intern,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorised ``make_vector_node`` over one level's active rows.
+
+        Returns per-active-row result rows and factors (row ``-1`` +
+        factor ``0`` for all-zero results).  L2 only — the batched path
+        is gated on the L2 scheme by :meth:`apply` routing (`classify`)
+        plus the engine selection in the simulator.
+        """
+        tolerance = self.tolerance
+        count = len(rows)
+        t0r, t0i = t0w.real, t0w.imag
+        t1r, t1i = t1w.real, t1w.imag
+        # abs(complex) is hypot in the interpreter; np.abs on complex128
+        # may take a SIMD sqrt path, so call hypot explicitly.
+        a0 = np.hypot(t0r, t0i)
+        a1 = np.hypot(t1r, t1i)
+        live0 = a0 > tolerance
+        live1 = a1 > tolerance
+        pivot0 = live0
+        pivot1 = (~live0) & live1
+        dead = ~(live0 | live1)
+        out_rows = np.full(count, -1, dtype=np.int64)
+        out_factors = np.zeros(count, dtype=np.complex128)
+        if dead.all():
+            return out_rows, out_factors
+        # Vectorised replay of normalize_weights(..., L2).  Dead rows are
+        # guarded against zero division; their values are discarded.
+        magnitude = np.sqrt(a0 * a0 + a1 * a1)
+        safe_mag = np.where(dead, 1.0, magnitude)
+        pivot_r = np.where(pivot0, t0r, t1r)
+        pivot_i = np.where(pivot0, t0i, t1i)
+        pivot_a = np.where(pivot0, a0, np.where(pivot1, a1, 1.0))
+        pivot_phase = _cdiv_parts(pivot_r, pivot_i, pivot_a, 0.0)
+        factor = _cmul_parts(safe_mag, 0.0, pivot_phase.real, pivot_phase.imag)
+        safe_factor = np.where(dead, 1.0, factor)
+        sfr, sfi = safe_factor.real, safe_factor.imag
+        n0 = np.where(live0, _cdiv_parts(t0r, t0i, sfr, sfi), 0j)
+        n1 = np.where(live1, _cdiv_parts(t1r, t1i, sfr, sfi), 0j)
+        pivot_value = (pivot_a / safe_mag).astype(np.complex128)
+        n0 = np.where(pivot0, pivot_value, n0)
+        n1 = np.where(pivot1, pivot_value, n1)
+        # Intern factors first (the reference engine's order); a factor
+        # that interns to zero collapses the row to the zero edge and its
+        # children are never interned.
+        live_index = np.nonzero(~dead)[0]
+        unique, inverse = np.unique(factor[live_index], return_inverse=True)
+        interned_factors = np.empty(unique.shape, dtype=np.complex128)
+        for position, value in enumerate(unique):
+            interned_factors[position] = intern(complex(value))
+        live_factor_values = interned_factors[inverse]
+        alive = live_index[live_factor_values != 0]
+        if alive.size == 0:
+            return out_rows, out_factors
+        out_factors[live_index] = live_factor_values
+        # Intern normalised child weights over surviving rows (zeros stay
+        # zero; a nonzero weight that interns to zero detaches the child).
+        n0a = self._intern_weights(n0[alive], intern)
+        n1a = self._intern_weights(n1[alive], intern)
+        c0a = np.where(n0a == 0, -1, t0c[alive])
+        c1a = np.where(n1a == 0, -1, t1c[alive])
+        # Hash-based uniquing: np.unique over the flattened row keys,
+        # then one dict probe per *unique* row against the level store.
+        keys = np.empty((alive.size, 6), dtype=np.float64)
+        keys[:, 0] = c0a
+        keys[:, 1] = c1a
+        keys[:, 2] = n0a.real
+        keys[:, 3] = n0a.imag
+        keys[:, 4] = n1a.real
+        keys[:, 5] = n1a.imag
+        level = self.state.levels[var]
+        unique_keys, first, inverse_rows = np.unique(
+            keys, axis=0, return_index=True, return_inverse=True
+        )
+        assigned = np.empty(unique_keys.shape[0], dtype=np.int64)
+        for position in range(unique_keys.shape[0]):
+            source = int(first[position])
+            assigned[position] = level.intern_row(
+                int(c0a[source]),
+                complex(n0a[source]),
+                int(c1a[source]),
+                complex(n1a[source]),
+            )
+        out_rows[alive] = assigned[inverse_rows]
+        zero_factor = out_rows == -1
+        out_factors[zero_factor] = 0j
+        return out_rows, out_factors
+
+    def _intern_weights(self, weights: np.ndarray, intern) -> np.ndarray:
+        """Intern normalised weights (zero stays zero, snaps become zero)."""
+        out = weights.copy()
+        nonzero = weights != 0
+        values = weights[nonzero]
+        if values.size:
+            unique, inverse = np.unique(values, return_inverse=True)
+            interned = np.empty(unique.shape, dtype=np.complex128)
+            for position, value in enumerate(unique):
+                interned[position] = intern(complex(value))
+            out[nonzero] = interned[inverse]
+        return out
+
+    def _scale_array(
+        self, c: np.ndarray, w: np.ndarray, factor: complex, intern
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`_scale_pair` (zero keeps zero, snaps keep raw)."""
+        raw = _cmul_parts(w.real, w.imag, factor.real, factor.imag)
+        out_c = np.where(raw == 0, -1, c)
+        out_w = self._intern_array(raw, intern)
+        return out_c, out_w
+
+    def _subspace_phase_batched(
+        self,
+        ones: set,
+        zeros_set: set,
+        lowest: int,
+        phase: complex,
+        active: List[List[int]],
+    ) -> bool:
+        """Level-sweep implementation of the subspace phase.
+
+        ``active`` is the precomputed frontier (the dispatcher walks it
+        to measure the live width before committing to the sweep).
+        Returns ``False`` — with the state untouched and nothing inserted
+        into the complex table — when the sweep cannot prove it is
+        independent of the reference engine's intern order; the caller
+        then re-runs the gate on the scalar path.
+        """
+        state = self.state
+        levels = state.levels
+        gate_intern = _GateIntern(self._intern)
+        intern = gate_intern.intern
+        saved_levels = self.stats.levels_processed
+        saved_batched = self.stats.batched_levels
+        try:
+            result = self._sweep(
+                ones, zeros_set, lowest, phase, active, intern
+            )
+        except _UnsafeBatch:
+            self.stats.levels_processed = saved_levels
+            self.stats.batched_levels = saved_batched
+            return False
+        gate_intern.commit()
+        state.root, state.root_weight = result
+        return True
+
+    def _sweep(
+        self,
+        ones: set,
+        zeros_set: set,
+        lowest: int,
+        phase: complex,
+        active: List[List[int]],
+        intern,
+    ) -> Tuple[int, complex]:
+        """The level loop of :meth:`_subspace_phase_batched` (may raise)."""
+        state = self.state
+        levels = state.levels
+        prev_rows: Optional[np.ndarray] = None
+        prev_factors: Optional[np.ndarray] = None
+        for var in range(lowest, state.num_qubits):
+            rows = active[var]
+            if not rows:
+                prev_rows = prev_factors = None
+                continue
+            self.stats.levels_processed += len(rows)
+            self.stats.batched_levels += 1
+            level = levels[var]
+            count = len(rows)
+            index = np.asarray(rows, dtype=np.int64)
+            # Gather only the active rows — the stored lists also hold
+            # garbage rows from earlier gates, and converting them whole
+            # would make each sweep O(stored) instead of O(live).
+            lc0, lc1, lw0, lw1 = level.c0, level.c1, level.w0, level.w1
+            c0 = np.fromiter((lc0[r] for r in rows), np.int64, count)
+            c1 = np.fromiter((lc1[r] for r in rows), np.int64, count)
+            w0 = np.fromiter((lw0[r] for r in rows), np.complex128, count)
+            w1 = np.fromiter((lw1[r] for r in rows), np.complex128, count)
+            walk0, walk1 = _phase_select(var, ones, zeros_set)
+
+            def transform(
+                c: np.ndarray, w: np.ndarray
+            ) -> Tuple[np.ndarray, np.ndarray]:
+                # Zero edges are returned verbatim, matching the walk.
+                nonzero = w != 0
+                if not nonzero.any() or (var > lowest and prev_rows is None):
+                    return c, w
+                if var == lowest:
+                    # Below the lowest relevant qubit the python engine
+                    # scales the child edge by the phase.
+                    tc, tw = self._scale_array(c, w, phase, intern)
+                else:
+                    # Children map to their transformed result row, and
+                    # replay scale(result, w): raw = result_factor * w.
+                    safe = np.where(nonzero, c, 0)
+                    mapped = prev_rows[safe]
+                    pf = prev_factors[safe]
+                    raw = _cmul_parts(pf.real, pf.imag, w.real, w.imag)
+                    tc = np.where(raw == 0, -1, mapped)
+                    tw = self._intern_array(raw, intern)
+                return np.where(nonzero, tc, c), np.where(nonzero, tw, 0j)
+
+            t0c, t0w = transform(c0, w0) if walk0 else (c0, w0)
+            t1c, t1w = transform(c1, w1) if walk1 else (c1, w1)
+            result_rows, result_factors = self._batched_rebuild(
+                var, rows, t0c, t0w, t1c, t1w, intern
+            )
+            size = len(level)
+            scatter_rows = np.full(size, -1, dtype=np.int64)
+            scatter_factors = np.zeros(size, dtype=np.complex128)
+            scatter_rows[index] = result_rows
+            scatter_factors[index] = result_factors
+            prev_rows, prev_factors = scatter_rows, scatter_factors
+        root_factor = complex(prev_factors[state.root])
+        root_row = int(prev_rows[state.root])
+        raw = root_factor * state.root_weight
+        if raw == 0:
+            return _ZERO
+        product = intern(raw)
+        return (root_row, raw if product == 0 else product)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def compact(self) -> None:
+        """Drop unreachable rows, rebuilding levels from the live set."""
+        state = self.state
+        if state.is_zero:
+            fresh = SoAState(self.num_qubits)
+            self.state = fresh
+            self._add_cache.clear()
+            return
+        reachable = state.reachable_rows()
+        fresh = SoAState(self.num_qubits)
+        remap: List[Dict[int, int]] = [{} for _ in state.levels]
+        for var in range(state.num_qubits):
+            level = state.levels[var]
+            below = remap[var - 1] if var > 0 else None
+            target_level = fresh.levels[var]
+            for row in reachable[var]:
+                c0, w0 = level.c0[row], level.w0[row]
+                c1, w1 = level.c1[row], level.w1[row]
+                nc0 = -1 if w0 == 0 else (0 if var == 0 else below[c0])
+                nc1 = -1 if w1 == 0 else (0 if var == 0 else below[c1])
+                remap[var][row] = target_level.intern_row(nc0, w0, nc1, w1)
+        fresh.root = remap[state.num_qubits - 1][state.root]
+        fresh.root_weight = state.root_weight
+        self.state = fresh
+        self._add_cache.clear()

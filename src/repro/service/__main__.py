@@ -103,8 +103,14 @@ def resolve_circuit(spec: Any) -> QuantumCircuit:
     )
 
 
-def _request_from_record(record: Dict[str, Any]) -> SamplingRequest:
-    """Build a :class:`SamplingRequest` from one parsed JSONL record."""
+def _request_from_record(
+    record: Dict[str, Any], default_kernel: str = "auto"
+) -> SamplingRequest:
+    """Build a :class:`SamplingRequest` from one parsed JSONL record.
+
+    ``default_kernel`` applies to records without a ``kernel`` field (the
+    CLI's ``--kernel`` flag); an explicit per-request field wins.
+    """
     if "circuit" not in record:
         raise ReproError("request is missing the 'circuit' field")
     if "shots" not in record:
@@ -130,6 +136,7 @@ def _request_from_record(record: Dict[str, Any]) -> SamplingRequest:
             if record.get("request_id") is None
             else str(record["request_id"])
         ),
+        kernel=str(record.get("kernel", default_kernel)),
     )
 
 
@@ -138,12 +145,15 @@ def run_batch(
     source: TextIO,
     sink: TextIO,
     top: Optional[int] = None,
+    default_kernel: str = "auto",
 ) -> int:
     """Stream JSONL requests through ``service``; returns the error count.
 
     Responses are written in input order.  Lines that fail to parse or
     resolve become ``rejected`` response records instead of killing the
     batch; the return value counts every non-``ok`` response.
+    ``default_kernel`` is the build engine for requests that do not set
+    their own ``kernel`` field.
     """
     slots: List[Optional[SamplingResponse]] = []
     futures = []
@@ -155,7 +165,7 @@ def run_batch(
             record = json.loads(line)
             if not isinstance(record, dict):
                 raise ReproError("request line must be a JSON object")
-            request = _request_from_record(record)
+            request = _request_from_record(record, default_kernel=default_kernel)
         except (ValueError, ReproError, OSError) as error:
             slots.append(
                 SamplingResponse(
@@ -224,6 +234,14 @@ def _build_parser() -> argparse.ArgumentParser:
         default=2,
         metavar="N",
         help="concurrent strong-simulation builds (default 2)",
+    )
+    parser.add_argument(
+        "--kernel",
+        choices=("auto", "vector", "python"),
+        default="auto",
+        help="strong-simulation engine for cold builds (requests may "
+        "override per line with a 'kernel' field; cached artifacts are "
+        "engine-independent)",
     )
     parser.add_argument(
         "--top",
@@ -390,7 +408,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     try:
         with SamplingService(**service_kwargs) as service:
-            failures = run_batch(service, source, sink, top=args.top)
+            failures = run_batch(
+                service, source, sink, top=args.top, default_kernel=args.kernel
+            )
             stats = service.stats()
     finally:
         if source is not sys.stdin:

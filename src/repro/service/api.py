@@ -72,6 +72,11 @@ class SamplingRequest:
     ``deadline_exceeded`` response while the build keeps running and
     still lands in the cache for the retry.  ``workers`` enables
     seed-stable chunked sampling exactly as in ``simulate_and_sample``.
+    ``kernel`` picks the strong-simulation engine for cold builds
+    (``"auto"``/``"vector"``/``"python"``); the engines are bit-identical,
+    so the artifact cache key deliberately ignores it — a cached artifact
+    serves requests for either engine, and its metadata records which one
+    actually built it.
     """
 
     circuit: QuantumCircuit
@@ -84,6 +89,7 @@ class SamplingRequest:
     initial_state: int = 0
     deadline_seconds: Optional[float] = None
     request_id: Optional[str] = None
+    kernel: str = "auto"
 
 
 @dataclass
@@ -313,6 +319,11 @@ class SamplingService:
             return f"unknown sampling method {request.method!r}"
         if request.workers is not None and request.method != "dd":
             return "parallel chunked sampling requires method='dd'"
+        if request.kernel not in ("auto", "vector", "python"):
+            return (
+                f"unknown kernel {request.kernel!r}; expected 'auto', "
+                "'vector', or 'python'"
+            )
         if request.deadline_seconds is not None and request.deadline_seconds <= 0:
             return "deadline_seconds must be positive"
         if (
@@ -374,6 +385,7 @@ class SamplingService:
                 memory_cap_bytes=self.policy.dense_memory_cap_bytes,
                 workers=request.workers,
                 optimize=request.optimize,
+                kernel=request.kernel,
             )
         except MemoryOutError as error:
             return self._reject(request, str(error))
@@ -401,6 +413,7 @@ class SamplingService:
                 request.circuit,
                 scheme=request.scheme,
                 optimize=request.optimize,
+                kernel=request.kernel,
             )
             result = executor.run(request.shots, seed=request.seed)
         except ReproError as error:
@@ -437,6 +450,7 @@ class SamplingService:
                     scheme=request.scheme,
                     optimize=request.optimize,
                     initial_state=request.initial_state,
+                    kernel=request.kernel,
                 )
             except AdmissionError as error:
                 return self._reject(request, str(error), key=key)

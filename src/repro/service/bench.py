@@ -14,11 +14,16 @@ answered from cache:
   cache actually removes — while ``end_to_end_speedup`` reports the
   whole-request ratio, which approaches the startup ratio as builds get
   more expensive relative to the shot count,
+* **kernel on/off cold builds** — the cold request is additionally run
+  with the python reference engine (``kernel="python"``) on a separate
+  cache directory; the startup ratio is the cold-build speedup the SoA
+  vector kernel delivers *through the service*, and the stored
+  artifact's metadata must record which engine built it,
 * **concurrent throughput** — N simultaneous clients asking for the
   same circuit must coalesce onto exactly one build and all receive
   bit-identical results,
-* **bit-identity** — every response, cold or warm, is compared against
-  ``simulate_and_sample`` at the same seed.
+* **bit-identity** — every response, cold (either engine) or warm, is
+  compared against ``simulate_and_sample`` at the same seed.
 
 Run it with::
 
@@ -51,7 +56,7 @@ from .api import SamplingRequest, SamplingService
 __all__ = ["FORMAT", "VERSION", "run_harness", "validate_payload", "main"]
 
 FORMAT = "repro-bench-serving"
-VERSION = 1
+VERSION = 2
 
 #: The acceptance bar: a warm start (disk artifact, no strong
 #: simulation) must be at least this many times faster than a cold one.
@@ -63,9 +68,13 @@ _SCHEMA: Dict[str, List[str]] = {
         "num_qubits",
         "shots",
         "cold_seconds",
+        "cold_python_seconds",
         "warm_seconds",
         "hot_seconds",
         "cold_startup_seconds",
+        "cold_python_startup_seconds",
+        "kernel_build_speedup",
+        "engine",
         "warm_startup_seconds",
         "warm_speedup",
         "end_to_end_speedup",
@@ -104,6 +113,20 @@ def _bench_case(
         start = time.perf_counter()
         hot = service.sample(request)
         hot_seconds = time.perf_counter() - start
+        stored = service.store.get(cold.key)
+        engine = (stored.meta or {}).get("engine") if stored else None
+
+    # The same cold request on the python reference engine, on its own
+    # cache directory: the startup delta is the kernel's cold-build win
+    # measured end to end through the service.
+    with SamplingService(cache_dir=os.path.join(root, name + "-py")) as service:
+        start = time.perf_counter()
+        cold_python = service.sample(
+            SamplingRequest(
+                circuit, shots, seed=seed, request_id=name, kernel="python"
+            )
+        )
+        cold_python_seconds = time.perf_counter() - start
 
     # A fresh service over the same directory is the cross-process warm
     # start: the artifact comes off disk, strong simulation never runs.
@@ -116,20 +139,27 @@ def _bench_case(
 
     bit_identical = all(
         response.ok and response.result.counts == reference.counts
-        for response in (cold, warm, hot)
+        for response in (cold, cold_python, warm, hot)
     )
     # Sampling cost is common to both regimes; what the cache removes is
     # everything before it (strong simulation + flatten vs artifact load).
     cold_startup = max(cold_seconds - cold.sampling_seconds, 1e-9)
+    cold_python_startup = max(
+        cold_python_seconds - cold_python.sampling_seconds, 1e-9
+    )
     warm_startup = max(warm_seconds - warm.sampling_seconds, 1e-9)
     return {
         "name": name,
         "num_qubits": circuit.num_qubits,
         "shots": shots,
         "cold_seconds": round(cold_seconds, 6),
+        "cold_python_seconds": round(cold_python_seconds, 6),
         "warm_seconds": round(warm_seconds, 6),
         "hot_seconds": round(hot_seconds, 6),
         "cold_startup_seconds": round(cold_startup, 6),
+        "cold_python_startup_seconds": round(cold_python_startup, 6),
+        "kernel_build_speedup": round(cold_python_startup / cold_startup, 2),
+        "engine": engine,
         "warm_startup_seconds": round(warm_startup, 6),
         "warm_speedup": round(cold_startup / warm_startup, 2),
         "end_to_end_speedup": round(cold_seconds / max(warm_seconds, 1e-9), 2),
@@ -258,6 +288,16 @@ def validate_payload(payload: Dict) -> None:
                 f"case {case['name']!r} warm request was not faster than "
                 "cold end to end"
             )
+        if case["engine"] != "vector":
+            raise ValueError(
+                f"case {case['name']!r}: stored artifact metadata records "
+                f"engine {case['engine']!r}, expected 'vector'"
+            )
+        if not smoke and case["kernel_build_speedup"] < 1.0:
+            raise ValueError(
+                f"case {case['name']!r}: kernel cold build was slower than "
+                f"the python engine ({case['kernel_build_speedup']}x)"
+            )
     concurrency = payload["concurrency"]
     if concurrency["clients"] < 4:
         raise ValueError("concurrency section must use >= 4 clients")
@@ -330,7 +370,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(
         f"wrote {args.out}: {headline['name']} cold "
         f"{headline['cold_seconds']}s vs warm {headline['warm_seconds']}s "
-        f"({headline['warm_speedup']}x); {concurrency['clients']} clients -> "
+        f"({headline['warm_speedup']}x); kernel cold build "
+        f"{headline['kernel_build_speedup']}x vs python; "
+        f"{concurrency['clients']} clients -> "
         f"{concurrency['builds']} build at "
         f"{concurrency['throughput_rps']} req/s"
     )

@@ -150,11 +150,17 @@ class BuildScheduler:
         scheme: NormalizationScheme = NormalizationScheme.L2,
         optimize: bool = True,
         initial_state: int = 0,
+        kernel: str = "auto",
     ) -> "Future[BuildOutcome]":
         """The future for ``key``'s artifact, creating at most one job.
 
         The admission guard runs synchronously: an over-wide circuit
         raises :class:`AdmissionError` here, before a thread is spent.
+        ``kernel`` selects the engine for a cold build only — it is NOT
+        part of ``key`` (the engines are bit-identical, so artifacts are
+        interchangeable); coalesced waiters share whichever engine the
+        first request chose, and the stored artifact's metadata records
+        it as ``meta["engine"]``.
         """
         if circuit.num_qubits > self.policy.max_qubits:
             with self._lock:
@@ -170,7 +176,7 @@ class BuildScheduler:
                 self._stats["coalesced"] += 1
                 return future
             future = self._executor.submit(
-                self._run_job, key, circuit, scheme, optimize, initial_state
+                self._run_job, key, circuit, scheme, optimize, initial_state, kernel
             )
             self._in_flight[key] = future
             future.add_done_callback(lambda _f, _key=key: self._retire(_key))
@@ -216,6 +222,7 @@ class BuildScheduler:
         scheme: NormalizationScheme,
         optimize: bool,
         initial_state: int,
+        kernel: str = "auto",
     ) -> BuildOutcome:
         with _telemetry.activate(self._telemetry):
             if self.store is not None:
@@ -230,7 +237,7 @@ class BuildScheduler:
                         meta=stored.meta,
                     )
             return self._build_with_ladder(
-                key, circuit, scheme, optimize, initial_state
+                key, circuit, scheme, optimize, initial_state, kernel
             )
 
     def _build_with_ladder(
@@ -240,6 +247,7 @@ class BuildScheduler:
         scheme: NormalizationScheme,
         optimize: bool,
         initial_state: int,
+        kernel: str = "auto",
     ) -> BuildOutcome:
         attempts = 0
         start = time.perf_counter()
@@ -247,7 +255,7 @@ class BuildScheduler:
             attempts += 1
             try:
                 outcome = self._build_dd(
-                    key, circuit, scheme, optimize, initial_state
+                    key, circuit, scheme, optimize, initial_state, kernel
                 )
                 outcome.attempts = attempts
                 outcome.build_seconds = time.perf_counter() - start
@@ -278,10 +286,11 @@ class BuildScheduler:
         scheme: NormalizationScheme,
         optimize: bool,
         initial_state: int,
+        kernel: str = "auto",
     ) -> BuildOutcome:
         """One strong simulation + flatten; may raise for the ladder."""
         self._count("builds")
-        simulator = DDSimulator(scheme=scheme, optimize=optimize)
+        simulator = DDSimulator(scheme=scheme, optimize=optimize, kernel=kernel)
         state = simulator.run(circuit, initial_state=initial_state)
         compiled = DDSampler(state).compiled()
         limit = self.policy.max_build_nodes
@@ -300,6 +309,16 @@ class BuildScheduler:
             "optimize": optimize,
             "initial_state": initial_state,
             "circuit_name": getattr(circuit, "name", None),
+            # Provenance only: the engines are bit-identical, so the
+            # cache key ignores the kernel and artifacts built by either
+            # engine serve all requests.  getattr keeps duck-typed
+            # simulator doubles (tests, degradation shims) working.
+            "engine": getattr(
+                simulator, "resolved_kernel", lambda: kernel
+            )(),
+            "kernel_fallbacks": getattr(
+                getattr(simulator, "stats", None), "kernel_fallbacks", 0
+            ),
         }
         if self.store is not None:
             self.store.put(key, compiled, meta=meta)

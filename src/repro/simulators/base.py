@@ -32,6 +32,17 @@ class SimulationStats:
     #: Rewrite counters from the compile pipeline (empty when the run
     #: was not optimised); see :meth:`repro.compile.CompileStats.to_dict`.
     compile_stats: Dict = field(default_factory=dict)
+    #: Which strong-simulation engine executed the run: ``"python"``
+    #: (reference per-node recursion) or ``"vector"`` (the SoA kernel,
+    #: :mod:`repro.perf.kernel`).  Both are bit-identical.
+    kernel: str = "python"
+    #: Edge⇄SoA round trips through the python engine for operations the
+    #: kernel does not cover (zero on python runs).
+    kernel_fallbacks: int = 0
+    #: SoA rows rebuilt by kernel gate application (zero on python runs).
+    kernel_levels: int = 0
+    #: NumPy level sweeps among those rebuilds (wide levels only).
+    kernel_batched_levels: int = 0
 
 
 class StrongSimulator(abc.ABC):

@@ -47,7 +47,17 @@ class DDSimulator(StrongSimulator):
     every run is then traced (``compile``/``build`` spans, per-gate
     ``apply`` spans, periodic DD/RSS probes) and the run's counters are
     absorbed into the session's metrics registry.
+
+    ``kernel`` selects the strong-simulation engine: ``"python"`` is the
+    reference per-node recursion, ``"vector"`` the structure-of-arrays
+    kernel (:mod:`repro.perf.kernel`), and ``"auto"`` (the default)
+    picks the vector kernel under the L2 scheme and the python engine
+    otherwise.  Both engines are bit-identical — same final DD weights,
+    same compiled arrays, same samples at equal seed — so the choice is
+    purely a performance knob.
     """
+
+    KERNELS = ("auto", "vector", "python")
 
     def __init__(
         self,
@@ -58,8 +68,14 @@ class DDSimulator(StrongSimulator):
         auto_compact_threshold: int = 400_000,
         optimize: bool = True,
         telemetry: Optional["_telemetry.Telemetry"] = None,
+        kernel: str = "auto",
     ):
+        if kernel not in self.KERNELS:
+            raise ValueError(
+                f"unknown kernel {kernel!r}; expected one of {self.KERNELS}"
+            )
         self.package = package if package is not None else DDPackage(scheme=scheme)
+        self.kernel = kernel
         self.use_fast_paths = use_fast_paths
         self.track_peak = track_peak
         #: Run the compile pipeline (:mod:`repro.compile`) on every input
@@ -90,6 +106,18 @@ class DDSimulator(StrongSimulator):
         with _telemetry.activate(self.telemetry):
             return self._run_traced(circuit, initial_state)
 
+    def resolved_kernel(self) -> str:
+        """The engine a :meth:`run` will use: ``"vector"`` or ``"python"``.
+
+        ``"auto"`` resolves to the vector kernel under the L2 scheme
+        (the batched sweeps replay L2 normalisation) and to the python
+        reference otherwise.
+        """
+        if self.kernel == "auto":
+            scheme = getattr(self.package, "scheme", None)
+            return "vector" if scheme is NormalizationScheme.L2 else "python"
+        return self.kernel
+
     def _run_traced(self, circuit: QuantumCircuit, initial_state: int) -> VectorDD:
         """The :meth:`run` body, executed under the active telemetry (if any)."""
         package = self.package
@@ -99,6 +127,8 @@ class DDSimulator(StrongSimulator):
                 circuit, tolerance=package.tolerance
             )
             compile_stats = rewrite.to_dict()
+        if self.resolved_kernel() == "vector":
+            return self._run_kernel(circuit, initial_state, compile_stats)
         applier = GateApplier(
             package, circuit.num_qubits, use_fast_paths=self.use_fast_paths
         )
@@ -150,6 +180,92 @@ class DDSimulator(StrongSimulator):
         if session is not None:
             build_span.set_attr("applied_operations", self._stats.applied_operations)
             build_span.set_attr("final_dd_nodes", self._stats.final_dd_nodes)
+            session.registry.record_build(self._stats)
+            session.registry.record_dd_tables(package.stats())
+        return VectorDD(package, state, circuit.num_qubits)
+
+    def _run_kernel(
+        self, circuit: QuantumCircuit, initial_state: int, compile_stats: dict
+    ) -> VectorDD:
+        """The :meth:`run` body on the structure-of-arrays kernel.
+
+        Mirrors the python loop: same spans, probes, peak tracking, and
+        auto-compaction (on the SoA row count rather than the unique
+        table, which the kernel only populates at conversion time).
+        """
+        from ..perf import kernel as kernel_mod
+
+        package = self.package
+        applier = GateApplier(
+            package, circuit.num_qubits, use_fast_paths=self.use_fast_paths
+        )
+        # The threshold is read through the module attribute so tests can
+        # force the batched (or scalar) level sweep for identity checks.
+        engine = kernel_mod.KernelEngine(
+            package,
+            circuit.num_qubits,
+            applier,
+            batch_min_width=kernel_mod.DEFAULT_BATCH_MIN_WIDTH,
+        )
+        engine.load(package.basis_state(circuit.num_qubits, initial_state))
+        self._stats = SimulationStats(num_qubits=circuit.num_qubits)
+        self._stats.compile_stats = compile_stats
+        self._stats.kernel = "vector"
+        peak = engine.state.node_count() if self.track_peak else 0
+        session = _telemetry.active()
+        build_span = (
+            session.span("build", num_qubits=circuit.num_qubits, backend="dd")
+            if session is not None
+            else _telemetry.NULL_SPAN
+        )
+        # The kernel span must be created *inside* the build span's
+        # context: the tracer assigns parents at creation time.
+        with build_span, (
+            session.span("build.kernel", engine="vector")
+            if session is not None
+            else _telemetry.NULL_SPAN
+        ) as kernel_span:
+            for instruction in circuit:
+                if isinstance(instruction, (Measurement, Barrier)):
+                    continue
+                if session is not None:
+                    with session.span("apply", gate=_gate_label(instruction)):
+                        engine.apply(instruction)
+                else:
+                    engine.apply(instruction)
+                self._stats.applied_operations += 1
+                if session is not None and session.prober.due(
+                    self._stats.applied_operations
+                ):
+                    session.prober.record(
+                        session.tracer.clock(),
+                        self._stats.applied_operations,
+                        state_nodes=engine.state.node_count(),
+                        unique_nodes=engine.state.total_rows(),
+                    )
+                if self.track_peak:
+                    peak = max(peak, engine.state.node_count())
+                if (
+                    self.auto_compact_threshold
+                    and engine.state.total_rows() > self.auto_compact_threshold
+                ):
+                    engine.compact()
+        state = engine.to_edge()
+        self._stats.strategy_counts = applier.strategy_counts()
+        self._stats.diagonal_term_applications = applier.diagonal_term_applications
+        self._stats.kernel_fallbacks = engine.stats.fallbacks
+        self._stats.kernel_levels = engine.stats.levels_processed
+        self._stats.kernel_batched_levels = engine.stats.batched_levels
+        self._stats.final_dd_nodes = package.node_count(state)
+        self._stats.peak_dd_nodes = max(peak, self._stats.final_dd_nodes)
+        if session is not None:
+            build_span.set_attr("applied_operations", self._stats.applied_operations)
+            build_span.set_attr("final_dd_nodes", self._stats.final_dd_nodes)
+            kernel_span.set_attr("fallbacks", engine.stats.fallbacks)
+            kernel_span.set_attr("levels", engine.stats.levels_processed)
+            session.registry.counter("kernel.levels").inc(
+                engine.stats.levels_processed
+            )
             session.registry.record_build(self._stats)
             session.registry.record_dd_tables(package.stats())
         return VectorDD(package, state, circuit.num_qubits)

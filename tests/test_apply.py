@@ -44,10 +44,30 @@ class TestStrategyRouting:
         _, applier = run_dd(circuit)
         assert applier.strategy_counts()["descent"] == 2
 
-    def test_matvec_for_controls_below(self, pkg):
+    def test_decompose_for_controls_below(self, pkg):
         circuit = QuantumCircuit(3)
         circuit.h(0)
         circuit.apply(g.x_gate(), 2, controls=(0,))
+        vector, applier = run_dd(circuit)
+        assert applier.strategy_counts()["decompose"] == 1
+        assert applier.strategy_counts()["matvec"] == 0
+        dense = dense_reference(circuit)
+        assert np.allclose(vector, dense, atol=1e-10)
+
+    def test_decompose_for_swap(self, pkg):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).t(0)
+        circuit.swap(0, 2)
+        vector, applier = run_dd(circuit)
+        assert applier.strategy_counts()["decompose"] == 1
+        assert applier.strategy_counts()["matvec"] == 0
+        dense = dense_reference(circuit)
+        assert np.allclose(vector, dense, atol=1e-10)
+
+    def test_controlled_swap_still_matvec(self, pkg):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).h(1)
+        circuit.apply(g.swap_gate(), (0, 1), controls=(2,))
         _, applier = run_dd(circuit)
         assert applier.strategy_counts()["matvec"] == 1
 
@@ -58,6 +78,7 @@ class TestStrategyRouting:
         counts = applier.strategy_counts()
         assert counts["diagonal"] == 0
         assert counts["descent"] == 0
+        assert counts["decompose"] == 0
         assert counts["matvec"] == 3
 
 

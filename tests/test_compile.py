@@ -450,6 +450,7 @@ class TestApplierIntegration:
         assert set(simulator.stats.strategy_counts) == {
             "diagonal",
             "descent",
+            "decompose",
             "matvec",
         }
 

@@ -1,0 +1,314 @@
+"""The SoA cold-build kernel: round trips, bit-identity, fallbacks.
+
+The contract under test (see ``docs/architecture.md``, hot path
+section): the :class:`repro.perf.kernel.KernelEngine` produces states
+that are *bit-identical* to the pure-python engine — same canonical
+weights, same compiled arrays, same samples at equal seed — while the
+Edge ⇄ SoA conversions are lossless and the executor surfaces every
+forced measurement-boundary round trip as a kernel fallback.
+"""
+
+import sys
+
+import numpy as np
+import pytest
+
+from repro.algorithms.qft import qft
+from repro.circuit import QuantumCircuit, random_circuit
+from repro.circuit.operations import Barrier, Measurement
+from repro.core.dd_sampler import DDSampler
+from repro.core.shot_executor import ShotExecutor
+from repro.dd import NormalizationScheme
+from repro.dd.apply import GateApplier
+from repro.dd.complex_table import ComplexTable
+from repro.dd.package import DDPackage
+from repro.exceptions import DDError, SimulationError
+from repro.perf import kernel as kernel_mod
+from repro.perf.kernel import KernelEngine
+from repro.simulators import DDSimulator
+from repro.telemetry import Telemetry
+
+
+def _engine(package: DDPackage, num_qubits: int, **kwargs) -> KernelEngine:
+    applier = GateApplier(package, num_qubits)
+    return KernelEngine(package, num_qubits, applier, **kwargs)
+
+
+def _build_edge(circuit: QuantumCircuit, package: DDPackage):
+    """Run ``circuit`` on the python engine inside ``package``."""
+    applier = GateApplier(package, circuit.num_qubits)
+    edge = package.basis_state(circuit.num_qubits, 0)
+    for op in circuit.operations:
+        if isinstance(op, (Measurement, Barrier)):
+            continue
+        edge = applier.apply(edge, op)
+    return edge
+
+
+class TestEdgeSoARoundTrip:
+    def test_round_trip_preserves_root_identity(self):
+        # to_edge rebuilds through the unique table, so a lossless round
+        # trip must hand back the *same* hash-consed node object.
+        for seed in range(3):
+            package = DDPackage()
+            circuit = random_circuit(5, 30, seed=40 + seed)
+            edge = _build_edge(circuit, package)
+            engine = _engine(package, 5)
+            engine.load(edge)
+            back = engine.to_edge()
+            assert back.node is edge.node
+            assert back.weight == edge.weight
+
+    def test_zero_edge_round_trip(self):
+        package = DDPackage()
+        engine = _engine(package, 3)
+        engine.load(package.zero_edge)
+        assert engine.state.is_zero
+        back = engine.to_edge()
+        assert back.is_zero
+
+    def test_terminal_only_edge_rejected(self):
+        package = DDPackage()
+        engine = _engine(package, 3)
+        with pytest.raises(DDError):
+            engine.load(package.terminal_edge(1.0))
+
+    def test_wrong_register_size_rejected(self):
+        package = DDPackage()
+        edge = _build_edge(random_circuit(3, 10, seed=1), package)
+        engine = _engine(package, 5)
+        with pytest.raises(DDError):
+            engine.load(edge)
+
+    def test_shared_subtrees_stay_shared(self):
+        # |+>^n has one node per level; GHZ shares the all-|0> / all-|1>
+        # spines.  Row counts must match the DD's node count exactly —
+        # any duplication would break the uniquing invariant.
+        package = DDPackage()
+        circuit = QuantumCircuit(6)
+        circuit.h(5)
+        for qubit in range(5):
+            circuit.cx(5 - qubit, 4 - qubit)
+        edge = _build_edge(circuit, package)
+        engine = _engine(package, 6)
+        engine.load(edge)
+        assert engine.state.node_count() == package.node_count(edge)
+        assert engine.to_edge().node is edge.node
+
+    def test_deep_register_beyond_recursion_limit(self):
+        # load/to_edge walk with an explicit stack; a chain DD far
+        # deeper than the interpreter recursion limit must round trip.
+        depth = sys.getrecursionlimit() + 500
+        package = DDPackage()
+        edge = package.basis_state(depth, 0)
+        engine = _engine(package, depth)
+        engine.load(edge)
+        assert engine.state.node_count() == depth
+        back = engine.to_edge()
+        assert back.node is edge.node
+        assert back.weight == edge.weight
+
+
+class TestBitIdentity:
+    def test_random_circuits_bit_identical(self):
+        for seed in range(4):
+            circuit = random_circuit(5, 40, seed=300 + seed)
+            vector = DDSimulator(kernel="vector").run(circuit)
+            python = DDSimulator(kernel="python").run(circuit)
+            assert np.array_equal(
+                vector.probabilities(), python.probabilities()
+            )
+
+    def test_qft_samples_bit_identical(self):
+        circuit = qft(8)
+        vector = DDSimulator(kernel="vector").run(circuit)
+        python = DDSimulator(kernel="python").run(circuit)
+        drawn_v = DDSampler(vector).compiled().sample(
+            5000, np.random.default_rng(17)
+        )
+        drawn_p = DDSampler(python).compiled().sample(
+            5000, np.random.default_rng(17)
+        )
+        assert np.array_equal(drawn_v, drawn_p)
+
+    def test_forced_batched_sweep_matches_scalar(self, monkeypatch):
+        # Width 1 forces the NumPy level sweep everywhere; width 10**9
+        # forces the scalar replay everywhere.  Both must agree exactly
+        # with each other and with the python engine.
+        circuit = random_circuit(6, 50, seed=77)
+        python = DDSimulator(kernel="python").run(circuit).probabilities()
+        monkeypatch.setattr(kernel_mod, "DEFAULT_BATCH_MIN_WIDTH", 1)
+        batched = DDSimulator(kernel="vector").run(circuit).probabilities()
+        monkeypatch.setattr(kernel_mod, "DEFAULT_BATCH_MIN_WIDTH", 10**9)
+        scalar = DDSimulator(kernel="vector").run(circuit).probabilities()
+        assert np.array_equal(batched, scalar)
+        assert np.array_equal(batched, python)
+
+    def test_batched_levels_actually_ran(self, monkeypatch):
+        monkeypatch.setattr(kernel_mod, "DEFAULT_BATCH_MIN_WIDTH", 1)
+        simulator = DDSimulator(kernel="vector")
+        simulator.run(random_circuit(6, 50, seed=78))
+        assert simulator.stats.kernel == "vector"
+        assert simulator.stats.kernel_batched_levels > 0
+
+
+class TestKernelSelection:
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            DDSimulator(kernel="bogus")
+
+    def test_auto_resolves_by_scheme(self):
+        assert DDSimulator(kernel="auto").resolved_kernel() == "vector"
+        leftmost = DDSimulator(
+            scheme=NormalizationScheme.LEFTMOST, kernel="auto"
+        )
+        assert leftmost.resolved_kernel() == "python"
+        assert DDSimulator(kernel="python").resolved_kernel() == "python"
+
+    def test_stats_record_engine(self):
+        simulator = DDSimulator(kernel="vector")
+        simulator.run(qft(4))
+        assert simulator.stats.kernel == "vector"
+        assert simulator.stats.kernel_levels > 0
+        assert simulator.stats.kernel_fallbacks == 0
+
+
+class TestExecutorFallbacks:
+    @staticmethod
+    def _mid_circuit(num_qubits: int = 4) -> QuantumCircuit:
+        circuit = QuantumCircuit(num_qubits)
+        for qubit in range(num_qubits):
+            circuit.h(qubit)
+        circuit.measure(0)
+        for qubit in range(num_qubits - 1):
+            circuit.cx(qubit, qubit + 1)
+        circuit.measure(1)
+        circuit.measure_all()
+        return circuit
+
+    def test_mid_circuit_counts_fallbacks_and_telemetry(self):
+        session = Telemetry()
+        executor = ShotExecutor(
+            self._mid_circuit(), telemetry=session, kernel="vector"
+        )
+        executor.run(500, seed=3)
+        assert executor.stats["kernel_segments"] > 0
+        assert executor.stats["kernel_measurement_fallbacks"] > 0
+        counters = session.registry.snapshot()["counters"]
+        assert (
+            counters["kernel.fallbacks"]
+            == executor.stats["kernel_measurement_fallbacks"]
+        )
+
+    def test_mid_circuit_counts_bit_identical_to_python(self):
+        circuit = self._mid_circuit()
+        vector = ShotExecutor(circuit, kernel="vector").run(4000, seed=21)
+        python = ShotExecutor(circuit, kernel="python").run(4000, seed=21)
+        assert vector.counts == python.counts
+
+    def test_terminal_measurements_need_no_fallback(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).cx(0, 1).cx(1, 2).measure_all()
+        executor = ShotExecutor(circuit, kernel="vector")
+        executor.run(200, seed=5)
+        assert executor.stats["kernel_segments"] > 0
+        assert executor.stats["kernel_measurement_fallbacks"] == 0
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(SimulationError):
+            ShotExecutor(QuantumCircuit(2), kernel="bogus")
+
+
+class TestSnapRestealing:
+    def test_snapped_value_is_not_cached_across_inserts(self):
+        # Regression: a value that *snaps* must be re-resolved against
+        # the live table on every occurrence.  Canonical entries only
+        # appear over time, and a later insert can sit closer to the
+        # value than its previous snap target — caching the first
+        # resolution would freeze the wrong answer.
+        from repro.perf.kernel import _InternCache
+
+        table = ComplexTable()
+        tol = table.tolerance
+        cache = _InternCache(table)
+        table.lookup(0.0)  # canonical zero
+        probe = complex(0.95 * tol, 0.0)
+        assert cache.intern(probe) == table.lookup(probe) == 0.0
+        stealer = complex(1.8 * tol, 0.0)  # > tol from 0: new canonical
+        assert table.lookup(stealer) == stealer
+        cache.note_insert(stealer)
+        # The new canonical is within 0.85*tol of the probe — closer
+        # than zero — so both the table and the cache must now re-snap.
+        assert table.lookup(probe) == stealer
+        assert cache.intern(probe) == stealer
+
+    def test_canonical_fixed_points_are_cached(self):
+        from repro.perf.kernel import _InternCache
+
+        table = ComplexTable()
+        cache = _InternCache(table)
+        value = complex(0.25, -0.5)
+        first = cache.intern(value)
+        assert first == value
+        assert cache.fixed[value] == value
+        assert cache.intern(value) == table.lookup(value)
+
+
+BELL_QASM = """OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+h q[0];
+cx q[0],q[1];
+measure q -> c;
+"""
+
+
+class TestServiceAndCLIKernel:
+    def test_sampling_request_rejects_unknown_kernel(self):
+        from repro.service.api import SamplingRequest, SamplingService
+
+        with SamplingService() as service:
+            response = service.sample(
+                SamplingRequest(qft(3), 10, seed=1, kernel="bogus")
+            )
+        assert response.status == "rejected"
+        assert "kernel" in response.error
+
+    def test_artifact_meta_records_engine(self, tmp_path):
+        from repro.service.api import SamplingRequest, SamplingService
+
+        request = SamplingRequest(qft(4), 100, seed=2)
+        with SamplingService(cache_dir=str(tmp_path)) as service:
+            response = service.sample(request)
+            stored = service.store.get(response.key)
+        assert response.cache == "built"
+        assert stored.meta["engine"] == "vector"
+        assert stored.meta["kernel_fallbacks"] == 0
+
+    def test_kernel_not_part_of_cache_key(self, tmp_path):
+        # Engines are bit-identical, so artifacts are interchangeable:
+        # a vector-built artifact must serve a python-kernel request
+        # without triggering a second build.
+        from repro.service.api import SamplingRequest, SamplingService
+
+        vector = SamplingRequest(qft(4), 500, seed=4, kernel="vector")
+        python = SamplingRequest(qft(4), 500, seed=4, kernel="python")
+        with SamplingService(cache_dir=str(tmp_path)) as service:
+            first = service.sample(vector)
+            second = service.sample(python)
+        assert first.cache == "built"
+        assert second.cache == "memory"
+        assert first.key == second.key
+        assert first.result.counts == second.result.counts
+
+    def test_cli_kernel_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "bell.qasm"
+        path.write_text(BELL_QASM)
+        code = main(
+            [str(path), "--shots", "50", "--seed", "1", "--kernel", "python"]
+        )
+        assert code == 0
+        capsys.readouterr()
