@@ -2,12 +2,12 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-sampling bench-compile bench-serving bench-smoke bench-kernel serve-smoke fuzz fuzz-smoke fuzz-self-check docs-check quick-table full-table figures shapes examples clean
+.PHONY: install test bench bench-sampling bench-compile bench-serving bench-smoke bench-kernel serve-smoke serve-net-smoke fuzz fuzz-smoke fuzz-self-check docs-check quick-table full-table figures shapes examples clean
 
 install:
 	PIP_NO_BUILD_ISOLATION=false pip install -e .
 
-test: fuzz-smoke serve-smoke bench-kernel
+test: fuzz-smoke serve-smoke serve-net-smoke bench-kernel
 	$(PYTHON) -m pytest tests/
 
 # Kernel perf gate: the SoA vector kernel must cold-build qft_16 at
@@ -21,6 +21,13 @@ bench-kernel:
 # stay bit-identical to weak_sim (see docs/serving.md).
 serve-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.service --smoke
+
+# Network-tier gate: a real HTTP server over a 2-worker sharded pool,
+# 50 concurrent mixed clients, bit-identical samples, one build per
+# unique circuit pool-wide, observed 429 shedding, clean drain
+# (see docs/serving.md, HTTP API section).
+serve-net-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.service --net-smoke
 
 # Seeded differential-fuzzing smoke: 200 circuits across all families
 # and backend pairs, deterministic, finishes well inside 60 seconds.

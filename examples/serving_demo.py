@@ -12,16 +12,24 @@ compiled sampling artifact.  This demo plays both roles:
   strong simulation, which its telemetry session proves: no ``build``
   spans, ``service.builds`` absent, one cache hit,
 * both answers are **bit-identical** to ``simulate_and_sample`` at the
-  same seed — the cache is a pure accelerator, never a behaviour change.
+  same seed — the cache is a pure accelerator, never a behaviour change,
+* finally a **network** act: a real asyncio HTTP server over a 2-worker
+  sharded pool answers the same record schema as JSON POSTs — repeats of
+  a circuit always land on the worker the consistent-hash ring owns it
+  to (one build pool-wide, then in-memory hits), still bit-identical.
 
 Run:  python examples/serving_demo.py
 """
 
+import asyncio
 import tempfile
 
 from repro import simulate_and_sample
 from repro.algorithms import qft
 from repro.service import SamplingRequest, SamplingService
+from repro.service.__main__ import resolve_circuit
+from repro.service.net import HttpFrontDoor, post_json
+from repro.service.pool import PoolConfig, WorkerPool
 from repro.telemetry import Telemetry
 
 SHOTS = 50_000
@@ -73,6 +81,59 @@ def main() -> None:
         f"{reference.distinct_outcomes} distinct outcomes, "
         f"top {reference.most_common(3)}"
     )
+
+    serve_over_http()
+
+
+SPECS = [("ghz_6", 2000, 3), ("qft_6", 2000, 5)]
+
+
+def serve_over_http() -> None:
+    """The network act: HTTP front door over a sharded 2-worker pool."""
+    cache_dir = tempfile.mkdtemp(prefix="repro-serving-http-")
+    pool = WorkerPool(
+        workers=2, config=PoolConfig(cache_dir=cache_dir)
+    ).start()
+
+    async def run():
+        front = HttpFrontDoor(pool, port=0)  # port=0: pick a free port
+        await front.start()
+        print(f"\nHTTP front door on http://{front.host}:{front.port} "
+              f"({pool.num_workers} workers)")
+        answers = {}
+        # Same record schema as the batch JSONL file, now as POST bodies;
+        # the repeat of each circuit hits the owning worker's hot cache.
+        for name, shots, seed in SPECS:
+            for attempt in ("cold", "hot"):
+                status, payload = await post_json(
+                    front.host, front.port, "/v1/sample",
+                    {"circuit": name, "shots": shots, "seed": seed},
+                )
+                assert status == 200 and payload["status"] == "ok"
+                answers.setdefault(name, []).append(payload)
+                print(f"  {name} ({attempt}): worker={payload['worker']} "
+                      f"cache={payload['cache']}")
+        stats = pool.stats()
+        clean = await front.drain(pool_timeout=60.0)
+        return answers, stats, clean
+
+    answers, stats, clean = asyncio.run(run())
+
+    for name, shots, seed in SPECS:
+        first, second = answers[name]
+        # The ring pins each circuit to one worker, so the repeat is a
+        # shard-local cache hit...
+        assert first["worker"] == second["worker"]
+        # ...and both answers match simulate_and_sample exactly.
+        reference = simulate_and_sample(
+            resolve_circuit(name), shots, method="dd", seed=seed
+        ).counts
+        for payload in (first, second):
+            assert {int(k, 2): v for k, v in payload["counts"].items()} == reference
+    assert stats["totals"]["builds"] == 2  # one per unique circuit, pool-wide
+    assert clean and pool.exit_codes() == [0, 0]
+    print(f"2 circuits x 2 requests -> {stats['totals']['builds']} builds "
+          f"pool-wide, bit-identical over HTTP, clean drain")
 
 
 if __name__ == "__main__":

@@ -23,6 +23,13 @@ service:
   equal seeds, cold or warm, at any client concurrency.
 * ``python -m repro.service`` — batch mode: read JSONL requests, write
   JSONL responses (see ``docs/serving.md`` for the schema).
+* :mod:`repro.service.ring` / :mod:`repro.service.pool` /
+  :mod:`repro.service.net` — the network tier: a consistent-hash ring
+  shards circuit fingerprints across a multi-process
+  :class:`WorkerPool` (per-worker hot L1, shared on-disk L2), fronted
+  by an asyncio HTTP server (``python -m repro.service --serve``) that
+  sheds overload as ``429``/``503`` + ``Retry-After`` and drains
+  gracefully on SIGTERM.
 
 Quickstart::
 
@@ -43,6 +50,14 @@ from __future__ import annotations
 
 from .api import SamplingRequest, SamplingResponse, SamplingService
 from .keys import ARTIFACT_KEY_VERSION, cache_key, circuit_fingerprint
+from .net import HttpFrontDoor, serve_forever
+from .pool import (
+    PoolClosedError,
+    PoolConfig,
+    PoolSaturatedError,
+    WorkerPool,
+)
+from .ring import HashRing
 from .scheduler import AdmissionError, BuildOutcome, BuildScheduler, ServicePolicy
 from .store import ArtifactStore, StoredArtifact
 
@@ -56,6 +71,13 @@ __all__ = [
     "BuildOutcome",
     "ServicePolicy",
     "AdmissionError",
+    "HashRing",
+    "WorkerPool",
+    "PoolConfig",
+    "PoolClosedError",
+    "PoolSaturatedError",
+    "HttpFrontDoor",
+    "serve_forever",
     "cache_key",
     "circuit_fingerprint",
     "ARTIFACT_KEY_VERSION",

@@ -1,9 +1,17 @@
-"""``python -m repro.service``: batch JSONL sampling against the cache.
+"""``python -m repro.service``: batch JSONL sampling, or the HTTP server.
 
-Reads one JSON request per line, answers with one JSON response per
-line, in input order (schema in ``docs/serving.md``)::
+Batch mode (the default) reads one JSON request per line, answers with
+one JSON response per line, in input order (schema in
+``docs/serving.md``)::
 
     python -m repro.service --requests jobs.jsonl --out answers.jsonl \\
+        --cache-dir ~/.cache/repro
+
+``--serve`` starts the network front door instead: a consistent-hash
+sharded multi-process worker pool behind an asyncio HTTP server
+(endpoints in ``docs/serving.md``), draining gracefully on SIGTERM::
+
+    python -m repro.service --serve --port 8766 --pool-workers 4 \\
         --cache-dir ~/.cache/repro
 
 A request line names a circuit either inline (``{"qasm": "..."}``), by
@@ -18,7 +26,11 @@ the batch never dies half-way.  ``--smoke`` runs the self-test used by
 ``make serve-smoke``: a cold pass and a warm pass over qft_16 and
 grover_8 through a real JSONL round-trip, asserting that the warm pass
 builds nothing and that both passes are bit-identical to
-``simulate_and_sample`` at the same seed.
+``simulate_and_sample`` at the same seed.  ``--net-smoke`` is the
+network-tier equivalent (``make serve-net-smoke``): a real HTTP server
+over a 2-worker pool, 50 concurrent mixed clients with a deliberately
+tiny dispatch window, asserting bit-identity, one build per unique
+circuit pool-wide, observed 429 shedding, and a clean drain.
 """
 
 from __future__ import annotations
@@ -265,6 +277,52 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the cold/warm self-test (used by 'make serve-smoke')",
     )
+    serving = parser.add_argument_group("network serving")
+    serving.add_argument(
+        "--serve",
+        action="store_true",
+        help="run the HTTP front door over a sharded worker pool instead "
+        "of a JSONL batch (drains gracefully on SIGTERM)",
+    )
+    serving.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address for --serve (default 127.0.0.1)",
+    )
+    serving.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bind port for --serve (default 8766; 0 picks a free port)",
+    )
+    serving.add_argument(
+        "--pool-workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker processes in the sharded pool (default 2)",
+    )
+    serving.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=None,
+        metavar="N",
+        help="outstanding requests per worker before new arrivals are "
+        "shed as HTTP 429 (default 32)",
+    )
+    serving.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="bound on the graceful drain after SIGTERM (default 60)",
+    )
+    serving.add_argument(
+        "--net-smoke",
+        action="store_true",
+        help="run the HTTP/pool self-test (used by 'make serve-net-smoke')",
+    )
     return parser
 
 
@@ -360,6 +418,207 @@ def _io_stringio(initial: str):
     return buffer
 
 
+def _net_smoke(cache_dir: Optional[str]) -> int:
+    """HTTP + pool self-test: the serve-net-smoke gate.
+
+    Starts a real server (ephemeral port) over a 2-worker pool with a
+    deliberately tiny dispatch window, fires 50 concurrent mixed
+    clients that retry on 429/503, and asserts:
+
+    * every request eventually answers ``ok`` with counts bit-identical
+      to :func:`simulate_and_sample` at the same seed,
+    * each circuit is served by exactly one worker (shard routing) and
+      built exactly once pool-wide (L1/L2 reuse),
+    * at least one request was shed as 429 (the window is sized so the
+      50-client cold burst must overflow it),
+    * the drain is clean and every worker exits with code 0.
+    """
+    import asyncio
+
+    from ..core.weak_sim import simulate_and_sample
+    from .net import HttpFrontDoor, http_request, post_json
+    from .pool import PoolConfig, WorkerPool
+
+    cases = [
+        {"request_id": "qft_16", "circuit": "qft_16", "shots": 20000, "seed": 7},
+        {"request_id": "grover_8", "circuit": "grover_8", "shots": 10000, "seed": 11},
+        {"request_id": "ghz_20", "circuit": "ghz_20", "shots": 10000, "seed": 3},
+    ]
+    clients = 50
+    references = {
+        case["request_id"]: simulate_and_sample(
+            resolve_circuit(case["circuit"]),
+            case["shots"],
+            method="dd",
+            seed=case["seed"],
+        ).counts
+        for case in cases
+    }
+
+    def check(condition: bool, message: str) -> None:
+        if not condition:
+            raise ReproError(f"serve-net-smoke: {message}")
+
+    async def run(pool: WorkerPool) -> Dict[str, Any]:
+        front = HttpFrontDoor(pool, port=0)
+        await front.start()
+        status, _headers, body = await http_request(
+            front.host, front.port, "GET", "/healthz"
+        )
+        check(status == 200, f"healthz answered {status}, expected 200")
+        retries = 0
+
+        async def client(slot: int) -> Any:
+            nonlocal retries
+            case = cases[slot % len(cases)]
+            record = dict(case)
+            record["request_id"] = f"{case['request_id']}#{slot}"
+            for _attempt in range(600):
+                status, payload = await post_json(
+                    front.host, front.port, "/v1/sample", record
+                )
+                if status == 200:
+                    return case["request_id"], payload
+                if status in (429, 503):
+                    # The shed path the window exists to exercise:
+                    # back off a beat, then retry into the warm cache.
+                    retries += 1
+                    await asyncio.sleep(0.05)
+                    continue
+                raise ReproError(
+                    f"serve-net-smoke: HTTP {status} for "
+                    f"{record['request_id']}: {payload}"
+                )
+            raise ReproError(
+                f"serve-net-smoke: {record['request_id']} never admitted"
+            )
+
+        answers = await asyncio.gather(*(client(i) for i in range(clients)))
+        status, _headers, body = await http_request(
+            front.host, front.port, "GET", "/stats"
+        )
+        check(status == 200, f"stats answered {status}, expected 200")
+        stats = json.loads(body.decode("utf-8"))
+        clean = await front.drain(pool_timeout=60.0)
+        return {"answers": answers, "stats": stats, "clean": clean,
+                "retries": retries}
+
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = cache_dir or tmp
+        pool = WorkerPool(
+            workers=2,
+            config=PoolConfig(cache_dir=directory, request_workers=2),
+            max_queue_depth=4,
+        )
+        pool.start()
+        try:
+            outcome = asyncio.run(run(pool))
+        finally:
+            pool.close()
+
+    check(len(outcome["answers"]) == clients, "lost client responses")
+    served_by: Dict[str, set] = {}
+    for case_id, payload in outcome["answers"]:
+        check(
+            payload.get("status") == "ok",
+            f"{case_id} answered status {payload.get('status')!r}",
+        )
+        got = {int(k, 2): v for k, v in payload["counts"].items()}
+        check(
+            got == references[case_id],
+            f"{case_id} counts differ from simulate_and_sample "
+            "at the same seed",
+        )
+        served_by.setdefault(case_id, set()).add(payload.get("worker"))
+    for case_id, workers in served_by.items():
+        check(
+            len(workers) == 1,
+            f"{case_id} was served by workers {sorted(workers)}; shard "
+            "routing must pin each circuit to one worker",
+        )
+    pool_stats = outcome["stats"]["pool"]
+    check(
+        pool_stats["totals"].get("builds") == len(cases),
+        f"pool built {pool_stats['totals'].get('builds')} artifacts for "
+        f"{len(cases)} unique circuits (must be exactly one each)",
+    )
+    check(
+        pool_stats["shed"] >= 1 and outcome["retries"] >= 1,
+        "the 50-client cold burst never overflowed the dispatch window; "
+        "shedding path untested",
+    )
+    check(outcome["clean"], "drain was not clean")
+    codes = pool.exit_codes()
+    check(
+        all(code == 0 for code in codes),
+        f"worker exit codes {codes}; expected all 0",
+    )
+    print(
+        "serve-net-smoke ok: "
+        f"{clients} clients over {len(cases)} circuits, "
+        f"builds={pool_stats['totals']['builds']}, "
+        f"shed={pool_stats['shed']}, retries={outcome['retries']}, "
+        "bit-identical to weak_sim, clean drain"
+    )
+    return 0
+
+
+def _serve(args: argparse.Namespace) -> int:
+    """The CLI's ``--serve`` mode: pool + front door until SIGTERM."""
+    from .net import DEFAULT_PORT, serve_forever
+    from .pool import DEFAULT_MAX_QUEUE_DEPTH, PoolConfig, WorkerPool
+
+    session = None
+    if args.trace:
+        from ..telemetry import Telemetry
+
+        session = Telemetry()
+    config_kwargs: Dict[str, Any] = {
+        "cache_dir": args.cache_dir,
+        "kernel": args.kernel,
+        "request_workers": args.request_workers,
+        "build_workers": args.build_workers,
+    }
+    if args.max_cache_bytes is not None:
+        config_kwargs["max_cache_bytes"] = args.max_cache_bytes
+    pool = WorkerPool(
+        workers=args.pool_workers,
+        config=PoolConfig(**config_kwargs),
+        max_queue_depth=(
+            DEFAULT_MAX_QUEUE_DEPTH
+            if args.max_queue_depth is None
+            else args.max_queue_depth
+        ),
+    )
+    pool.start()
+    try:
+        clean = serve_forever(
+            pool,
+            host=args.host,
+            port=DEFAULT_PORT if args.port is None else args.port,
+            top=args.top,
+            telemetry=session,
+            drain_timeout=args.drain_timeout,
+        )
+    finally:
+        pool.close()
+    if args.stats:
+        print(
+            json.dumps(
+                pool.stats(include_workers=False), indent=2, sort_keys=True
+            ),
+            file=sys.stderr,
+        )
+    if session is not None:
+        try:
+            records = session.export(args.trace)
+        except OSError as error:
+            print(f"error: cannot write {args.trace}: {error}", file=sys.stderr)
+            return 2
+        print(f"trace: {records} records -> {args.trace}", file=sys.stderr)
+    return 0 if clean else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for ``python -m repro.service``; returns the exit code."""
     args = _build_parser().parse_args(argv)
@@ -369,6 +628,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         except ReproError as error:
             print(f"error: {error}", file=sys.stderr)
             return 1
+    if args.net_smoke:
+        try:
+            return _net_smoke(args.cache_dir)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+    if args.serve:
+        return _serve(args)
 
     session = None
     if args.trace:

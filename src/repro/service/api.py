@@ -220,19 +220,30 @@ class SamplingService:
     # Lifecycle
     # ------------------------------------------------------------------
 
-    def close(self) -> None:
-        """Drain the request pool and the build pool; idempotent."""
+    def close(
+        self, drain: bool = True, timeout: Optional[float] = None
+    ) -> bool:
+        """Drain the request and build pools; idempotent.
+
+        ``drain=True`` waits for in-flight requests and builds
+        (``timeout`` bounds the build-pool wait); ``drain=False``
+        cancels queued work immediately.  Returns ``True`` when
+        everything drained — see
+        :meth:`BuildScheduler.close <repro.service.scheduler.BuildScheduler.close>`
+        for what happens to builds that outlive the timeout.
+        """
         if self._closed:
-            return
+            return True
         self._closed = True
-        self._requests.shutdown(wait=True)
-        self.scheduler.close()
+        self._requests.shutdown(wait=drain, cancel_futures=not drain)
+        drained = self.scheduler.close(drain=drain, timeout=timeout)
         session = _telemetry.active()
         if session is not None:
             session.registry.record_service(self.stats())
         if self._activation is not None:
             self._activation.__exit__(None, None, None)
             self._activation = None
+        return drained
 
     def __enter__(self) -> "SamplingService":
         return self

@@ -1,0 +1,581 @@
+"""Multi-process worker pool with consistent-hash shard routing.
+
+One Python process can only build or sample one artifact at a time per
+core it owns; serving "heavy traffic" means many processes.  The
+:class:`WorkerPool` runs N worker processes, each wrapping its own
+:class:`~repro.service.api.SamplingService`.  The cache tiers layer as:
+
+* **L1** — each worker's in-process hot LRU of :class:`CompiledDD`
+  objects (``hot_entries`` per worker, zero-copy reuse),
+* **L2** — the shared on-disk :class:`~repro.service.store.ArtifactStore`
+  (``cache_dir``), safe for concurrent workers via its advisory file
+  locks; a worker that never built an artifact still warm-starts it
+  from here,
+* below that, the cold build (coalesced per worker by its
+  :class:`~repro.service.scheduler.BuildScheduler`).
+
+What makes L1 effective is **shard routing**: the dispatcher computes
+the request's artifact cache key (circuit fingerprint + build config,
+:func:`repro.service.keys.cache_key`) and sends it to the worker the
+consistent-hash ring (:mod:`repro.service.ring`) assigns for that key.
+Every request for the same circuit lands on the same worker, so each
+artifact is built once pool-wide and stays hot in exactly one process —
+the shard-locality hit rate the bench reports is the fraction of
+requests answered from the owning worker's L1.
+
+Back-pressure is explicit: each worker has a bounded dispatch window
+(``max_queue_depth`` outstanding requests); a request routed to a full
+worker raises :class:`PoolSaturatedError` *in the dispatcher*, which the
+HTTP front door maps to ``429 Retry-After`` — overload sheds at the
+door instead of growing an unbounded queue inside a worker.  Draining
+(:meth:`WorkerPool.drain`) stops intake, waits for in-flight work with a
+bounded timeout, then stops workers via queue sentinels; ``terminate``
+is only a last resort for a worker that ignores its sentinel.
+
+Tasks cross the process boundary as plain JSONL-schema dicts (the same
+records ``python -m repro.service`` reads), never as pickled circuit
+objects: the worker re-resolves the circuit itself, so the dispatcher
+and worker cannot disagree about what was requested.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import signal
+import threading
+import time
+from concurrent.futures import Future
+from typing import Any, Dict, List, Optional, Tuple
+
+from .. import telemetry as _telemetry
+from ..exceptions import ReproError, SamplingError
+from .ring import DEFAULT_REPLICAS, HashRing
+from .scheduler import ServicePolicy
+from .store import DEFAULT_MAX_BYTES
+
+__all__ = [
+    "PoolConfig",
+    "PoolClosedError",
+    "PoolSaturatedError",
+    "WorkerPool",
+    "DEFAULT_MAX_QUEUE_DEPTH",
+]
+
+#: Outstanding requests a single worker may have before the dispatcher
+#: sheds new arrivals for its shard (HTTP 429 at the front door).
+DEFAULT_MAX_QUEUE_DEPTH = 32
+
+#: How many resolved routing keys the dispatcher memoises (spec → key).
+_ROUTING_CACHE_ENTRIES = 1024
+
+
+class PoolSaturatedError(SamplingError):
+    """The target worker's dispatch window is full; retry after a beat."""
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class PoolClosedError(SamplingError):
+    """The pool is draining or closed; no new work is admitted."""
+
+
+class PoolConfig:
+    """Per-worker service configuration, kept to picklable primitives.
+
+    The pool forks workers, so everything a worker needs must cross the
+    process boundary; a plain attribute bag of ints/strings does, a
+    live ``SamplingService`` never would.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[str] = None,
+        max_cache_bytes: int = DEFAULT_MAX_BYTES,
+        hot_entries: int = 8,
+        kernel: str = "auto",
+        request_workers: int = 2,
+        build_workers: int = 1,
+        max_qubits: int = 64,
+        max_build_nodes: Optional[int] = None,
+        dense_memory_cap_bytes: Optional[int] = None,
+    ):
+        self.cache_dir = cache_dir
+        self.max_cache_bytes = max_cache_bytes
+        self.hot_entries = hot_entries
+        self.kernel = kernel
+        self.request_workers = request_workers
+        self.build_workers = build_workers
+        self.max_qubits = max_qubits
+        self.max_build_nodes = max_build_nodes
+        self.dense_memory_cap_bytes = dense_memory_cap_bytes
+
+    def policy(self) -> ServicePolicy:
+        """The worker-side ``ServicePolicy`` this config describes."""
+        kwargs: Dict[str, Any] = {
+            "max_qubits": self.max_qubits,
+            "max_build_nodes": self.max_build_nodes,
+        }
+        if self.dense_memory_cap_bytes is not None:
+            kwargs["dense_memory_cap_bytes"] = self.dense_memory_cap_bytes
+        return ServicePolicy(**kwargs)
+
+
+def _worker_main(
+    index: int,
+    config: PoolConfig,
+    task_queue: "multiprocessing.Queue",
+    result_queue: "multiprocessing.Queue",
+) -> None:
+    """A worker process: one SamplingService, tasks in, records out."""
+    # The parent owns Ctrl-C; workers drain via their queue sentinel.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    from .api import SamplingService
+    from .__main__ import _request_from_record
+
+    service = SamplingService(
+        cache_dir=config.cache_dir,
+        max_cache_bytes=config.max_cache_bytes,
+        policy=config.policy(),
+        build_workers=config.build_workers,
+        request_workers=config.request_workers,
+        hot_entries=config.hot_entries,
+    )
+
+    def emit(task_id: int, record: Dict[str, Any]) -> None:
+        record["worker"] = index
+        result_queue.put((index, task_id, record))
+
+    def finish(task_id: int, top: Optional[int], future: Future) -> None:
+        try:
+            response = future.result()
+            emit(task_id, response.to_dict(top=top))
+        except Exception as error:  # pragma: no cover - defensive
+            emit(task_id, {"status": "error", "error": str(error)})
+
+    try:
+        while True:
+            item = task_queue.get()
+            kind = item[0]
+            if kind == "stop":
+                break
+            if kind == "stats":
+                emit(item[1], {"stats": service.stats()})
+                continue
+            _, task_id, record, top = item
+            try:
+                request = _request_from_record(
+                    record, default_kernel=config.kernel
+                )
+            except (ReproError, ValueError, OSError) as error:
+                emit(
+                    task_id,
+                    {
+                        "request_id": record.get("request_id"),
+                        "status": "rejected",
+                        "error": str(error),
+                    },
+                )
+                continue
+            try:
+                future = service.submit(request)
+            except ReproError as error:
+                emit(
+                    task_id,
+                    {
+                        "request_id": record.get("request_id"),
+                        "status": "error",
+                        "error": str(error),
+                    },
+                )
+                continue
+            future.add_done_callback(
+                lambda f, _id=task_id, _top=top: finish(_id, _top, f)
+            )
+    finally:
+        # close() drains the request pool, so every pending done
+        # callback has emitted its record before the exit marker.
+        service.close()
+        result_queue.put((index, None, {"exit": True, "stats": service.stats()}))
+
+
+class WorkerPool:
+    """Consistent-hash-sharded pool of sampling-service processes.
+
+    Usable as a context manager.  ``submit_record`` is thread-safe and
+    returns a :class:`concurrent.futures.Future` resolving to the
+    response record dict (JSONL schema plus a ``"worker"`` field) — the
+    asyncio front door awaits it via ``asyncio.wrap_future``.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        config: Optional[PoolConfig] = None,
+        max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH,
+        replicas: int = DEFAULT_REPLICAS,
+    ):
+        if workers < 1:
+            raise ReproError(f"pool needs >= 1 worker, got {workers}")
+        if max_queue_depth < 1:
+            raise ReproError(
+                f"max_queue_depth must be >= 1, got {max_queue_depth}"
+            )
+        self.config = config or PoolConfig()
+        self.max_queue_depth = max_queue_depth
+        self.num_workers = workers
+        self.ring = HashRing(
+            [f"worker-{i}" for i in range(workers)], replicas=replicas
+        )
+        self._context = multiprocessing.get_context("fork")
+        self._processes: List[Any] = []
+        self._task_queues: List[Any] = []
+        self._result_queue: Optional[Any] = None
+        self._reader: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+        self._pending: Dict[int, Tuple[Future, int]] = {}
+        self._outstanding: List[int] = [0] * workers
+        self._task_counter = 0
+        self._routing_cache: Dict[Tuple[str, bool, int], str] = {}
+        self._final_stats: Dict[int, Dict[str, Any]] = {}
+        self._stats = {
+            "dispatched": 0,
+            "completed": 0,
+            "shed": 0,
+            "resolve_rejected": 0,
+            "shard_memory_hits": 0,
+            "shard_disk_hits": 0,
+            "shard_builds": 0,
+            "terminated_workers": 0,
+        }
+        self._started = False
+        self._draining = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "WorkerPool":
+        """Fork the workers and start the result-reader thread."""
+        if self._started:
+            raise ReproError("pool is already started")
+        self._started = True
+        self._result_queue = self._context.Queue()
+        for index in range(self.num_workers):
+            task_queue = self._context.Queue()
+            process = self._context.Process(
+                target=_worker_main,
+                args=(index, self.config, task_queue, self._result_queue),
+                name=f"repro-pool-{index}",
+                daemon=True,
+            )
+            # Fork before any parent thread starts so the children never
+            # inherit a mid-mutation interpreter state.
+            process.start()
+            self._task_queues.append(task_queue)
+            self._processes.append(process)
+        self._reader = threading.Thread(
+            target=self._read_results, name="repro-pool-reader", daemon=True
+        )
+        self._reader.start()
+        return self
+
+    def __enter__(self) -> "WorkerPool":
+        if not self._started:
+            self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def workers_alive(self) -> int:
+        """How many worker processes are currently running."""
+        return sum(1 for process in self._processes if process.is_alive())
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def routing_key(self, record: Dict[str, Any]) -> str:
+        """The artifact cache key a record routes by (memoised).
+
+        Resolving a circuit spec costs a parse, so identical specs are
+        memoised; the memo key is the canonical JSON of the spec plus
+        the build-config fields that enter the artifact key.  Raises
+        :class:`~repro.exceptions.ReproError` for an unresolvable spec.
+        """
+        if "circuit" not in record:
+            raise ReproError("request is missing the 'circuit' field")
+        optimize = bool(record.get("optimize", True))
+        initial_state = int(record.get("initial_state", 0))
+        memo_key = (
+            json.dumps(record["circuit"], sort_keys=True),
+            optimize,
+            initial_state,
+        )
+        with self._lock:
+            cached = self._routing_cache.get(memo_key)
+        if cached is not None:
+            return cached
+        from .__main__ import resolve_circuit
+        from .keys import cache_key
+
+        circuit = resolve_circuit(record["circuit"])
+        key = cache_key(
+            circuit, optimize=optimize, initial_state=initial_state
+        )
+        with self._lock:
+            if len(self._routing_cache) >= _ROUTING_CACHE_ENTRIES:
+                self._routing_cache.clear()
+            self._routing_cache[memo_key] = key
+        return key
+
+    def worker_for(self, routing_key: str) -> int:
+        """The worker index the ring assigns for ``routing_key``."""
+        return int(self.ring.assign(routing_key).rsplit("-", 1)[1])
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def submit_record(
+        self, record: Dict[str, Any], top: Optional[int] = None
+    ) -> "Future[Dict[str, Any]]":
+        """Route one JSONL-schema request record to its shard's worker.
+
+        Raises :class:`PoolClosedError` when draining/closed,
+        :class:`PoolSaturatedError` when the shard's worker is at its
+        dispatch-window limit, and
+        :class:`~repro.exceptions.ReproError` when the circuit spec
+        cannot be resolved (the caller answers 400, not a worker).
+        """
+        if not self._started:
+            raise ReproError("pool is not started")
+        if self._draining or self._closed:
+            raise PoolClosedError("worker pool is draining")
+        try:
+            key = self.routing_key(record)
+        except ReproError:
+            self._count("resolve_rejected")
+            raise
+        index = self.worker_for(key)
+        process = self._processes[index]
+        if not process.is_alive():
+            raise PoolClosedError(f"worker {index} is not running")
+        future: "Future[Dict[str, Any]]" = Future()
+        with self._lock:
+            # Re-checked under the lock: drain() flips the flag under the
+            # same lock, so a pending entry is either registered before
+            # the orphan sweep (which fails it cleanly) or refused here.
+            if self._draining or self._closed:
+                raise PoolClosedError("worker pool is draining")
+            if self._outstanding[index] >= self.max_queue_depth:
+                self._stats["shed"] += 1
+                shed = True
+            else:
+                shed = False
+                self._task_counter += 1
+                task_id = self._task_counter
+                self._pending[task_id] = (future, index)
+                self._outstanding[index] += 1
+                self._stats["dispatched"] += 1
+        if shed:
+            self._shed_telemetry(index)
+            raise PoolSaturatedError(
+                f"worker {index} has {self.max_queue_depth} requests "
+                "outstanding; retry shortly",
+                retry_after=1.0,
+            )
+        self._set_depth_gauge(index)
+        self._task_queues[index].put(("req", task_id, record, top))
+        return future
+
+    def submit_stats(self, index: int) -> "Future[Dict[str, Any]]":
+        """Ask one worker for its service stats (control-plane message)."""
+        if not self._started:
+            raise ReproError("pool is not started")
+        if not self._processes[index].is_alive():
+            raise PoolClosedError(f"worker {index} is not running")
+        future: "Future[Dict[str, Any]]" = Future()
+        with self._lock:
+            self._task_counter += 1
+            task_id = self._task_counter
+            self._pending[task_id] = (future, index)
+            self._outstanding[index] += 1
+        self._task_queues[index].put(("stats", task_id))
+        return future
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    def _read_results(self) -> None:
+        assert self._result_queue is not None
+        exits = 0
+        while exits < self.num_workers:
+            index, task_id, payload = self._result_queue.get()
+            if task_id is None:
+                if payload.get("reader_stop"):
+                    break
+                exits += 1
+                self._final_stats[index] = payload.get("stats") or {}
+                continue
+            with self._lock:
+                entry = self._pending.pop(task_id, None)
+                if entry is not None:
+                    self._outstanding[index] = max(
+                        0, self._outstanding[index] - 1
+                    )
+                    self._stats["completed"] += 1
+            self._record_shard(payload)
+            self._set_depth_gauge(index)
+            if entry is not None:
+                entry[0].set_result(payload)
+
+    def _record_shard(self, payload: Dict[str, Any]) -> None:
+        cache = payload.get("cache")
+        counter = {
+            "memory": "shard_memory_hits",
+            "disk": "shard_disk_hits",
+            "built": "shard_builds",
+        }.get(cache)
+        if counter is None:
+            return
+        self._count(counter)
+        session = _telemetry.active()
+        if session is not None:
+            session.registry.counter(f"service.pool.shard.{cache}").inc()
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._stats[name] += amount
+
+    def _set_depth_gauge(self, index: int) -> None:
+        session = _telemetry.active()
+        if session is not None:
+            with self._lock:
+                depth = self._outstanding[index]
+            session.registry.gauge(
+                f"service.pool.queue_depth.worker{index}"
+            ).set(depth)
+
+    def _shed_telemetry(self, index: int) -> None:
+        session = _telemetry.active()
+        if session is not None:
+            session.registry.counter("service.pool.shed").inc()
+            session.registry.counter(
+                f"service.pool.shed.worker{index}"
+            ).inc()
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+
+    def stats(self, include_workers: bool = True) -> Dict[str, Any]:
+        """Dispatcher counters, plus per-worker service stats when live.
+
+        ``workers`` is a list indexed by worker; live workers answer a
+        control-plane stats request, exited workers report the snapshot
+        they emitted on shutdown.
+        """
+        with self._lock:
+            snapshot: Dict[str, Any] = dict(self._stats)
+            snapshot["outstanding"] = list(self._outstanding)
+        snapshot["workers_alive"] = self.workers_alive()
+        snapshot["max_queue_depth"] = self.max_queue_depth
+        if not include_workers:
+            return snapshot
+        futures: List[Tuple[int, Optional[Future]]] = []
+        for index, process in enumerate(self._processes):
+            if process.is_alive() and not self._closed:
+                try:
+                    futures.append((index, self.submit_stats(index)))
+                    continue
+                except (ReproError, OSError):  # pragma: no cover - racing exit
+                    pass
+            futures.append((index, None))
+        workers: List[Optional[Dict[str, Any]]] = []
+        for index, future in futures:
+            if future is None:
+                workers.append(self._final_stats.get(index))
+                continue
+            try:
+                workers.append(future.result(timeout=10.0).get("stats"))
+            except Exception:  # pragma: no cover - worker died mid-query
+                workers.append(self._final_stats.get(index))
+        snapshot["workers"] = workers
+        totals: Dict[str, int] = {}
+        for worker_stats in workers:
+            for field in ("requests", "builds", "cache_hits", "degraded"):
+                if worker_stats and field in worker_stats:
+                    totals[field] = totals.get(field, 0) + int(
+                        worker_stats[field]
+                    )
+        snapshot["totals"] = totals
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # Drain / close
+    # ------------------------------------------------------------------
+
+    def drain(self, timeout: float = 60.0) -> bool:
+        """Stop intake, finish in-flight work, stop workers; ``True`` if clean.
+
+        The deadline covers the whole drain.  Workers still alive when
+        it expires are terminated (counted in ``terminated_workers``)
+        and their pending futures fail with :class:`PoolClosedError`
+        rather than hanging forever.
+        """
+        if self._closed:
+            return True
+        with self._lock:
+            self._draining = True
+        deadline = time.monotonic() + max(0.0, timeout)
+        clean = True
+        for queue in self._task_queues:
+            queue.put(("stop",))
+        for process in self._processes:
+            process.join(timeout=max(0.1, deadline - time.monotonic()))
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+                self._count("terminated_workers")
+                clean = False
+        if self._result_queue is not None:
+            self._result_queue.put((-1, None, {"reader_stop": True}))
+        if self._reader is not None:
+            self._reader.join(timeout=5.0)
+        with self._lock:
+            orphans = list(self._pending.values())
+            self._pending.clear()
+        for future, _index in orphans:
+            if not future.done():
+                future.set_exception(
+                    PoolClosedError("worker pool drained with request pending")
+                )
+            clean = False
+        self._closed = True
+        session = _telemetry.active()
+        if session is not None:
+            session.registry.record_pool(self.stats(include_workers=False))
+        return clean
+
+    def close(self) -> None:
+        """Drain with the default timeout; idempotent."""
+        if not self._closed and self._started:
+            self.drain()
+        self._closed = True
+
+    def exit_codes(self) -> List[Optional[int]]:
+        """Worker process exit codes (``None`` while still running)."""
+        return [process.exitcode for process in self._processes]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"WorkerPool(workers={self.num_workers}, "
+            f"cache_dir={self.config.cache_dir!r})"
+        )

@@ -1,0 +1,145 @@
+"""Consistent-hash ring: circuit fingerprints → worker shards.
+
+The multi-process pool (:mod:`repro.service.pool`) wants every compiled
+artifact hot in *exactly one* worker's in-process L1 cache.  A modulo
+hash would do that until the pool resizes, at which point almost every
+key changes owner and every worker's L1 goes cold at once.  The classic
+fix is a consistent-hash ring (Karger et al.): each worker owns many
+pseudo-random points on a circle, a key is served by the first worker
+point at or after the key's own position, and resizing the pool only
+moves the keys adjacent to the added/removed points — about ``1/N`` of
+them, never the ``(N-1)/N`` a modulo hash reshuffles.
+
+Two properties the tests pin, because the pool depends on them:
+
+* **Determinism across processes.**  Placement uses SHA-256 over the
+  node name and the key — never Python's randomized ``hash()`` — so a
+  dispatcher and a monitoring process (or tomorrow's dispatcher after a
+  restart) agree on every assignment with no coordination.
+* **Minimal remapping.**  Removing a node reassigns exactly the keys it
+  owned; adding a node steals only the keys it now owns.  No key moves
+  between two surviving nodes.
+
+``replicas`` (virtual nodes per worker) trades lookup-table size for
+load evenness: the share of the circle a worker owns concentrates
+around ``1/N`` as replicas grow.  The default (160, the libketama
+convention) keeps the worst/best ratio small enough that a uniform key
+population spreads near-uniformly (chi-square-tested in
+``tests/test_service_ring.py``).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..exceptions import ReproError
+
+__all__ = ["HashRing", "DEFAULT_REPLICAS"]
+
+#: Virtual nodes per worker; 160 keeps per-worker load within a few
+#: percent of uniform for small pools (libketama's convention).
+DEFAULT_REPLICAS = 160
+
+
+def _point(label: str) -> int:
+    """A deterministic 64-bit ring position for ``label``.
+
+    SHA-256 rather than ``hash()``: placements must agree across
+    processes and interpreter runs (``PYTHONHASHSEED`` randomises
+    ``hash()`` per process, which would silently break shard locality).
+    """
+    digest = hashlib.sha256(label.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Deterministic consistent-hash ring over named nodes.
+
+    Nodes are arbitrary strings (the pool uses ``"worker-<i>"``).
+    ``assign`` maps any key to a live node; ``add``/``remove`` resize
+    the ring with minimal key movement.
+    """
+
+    def __init__(
+        self,
+        nodes: Iterable[str] = (),
+        replicas: int = DEFAULT_REPLICAS,
+    ):
+        if replicas < 1:
+            raise ReproError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = replicas
+        self._points: List[Tuple[int, str]] = []
+        self._keys: List[int] = []
+        self._nodes: Dict[str, bool] = {}
+        for node in nodes:
+            self.add(node)
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    def nodes(self) -> List[str]:
+        """The ring's nodes, in insertion order."""
+        return list(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def add(self, node: str) -> None:
+        """Insert ``node``'s virtual points; idempotent is an error."""
+        if node in self._nodes:
+            raise ReproError(f"node {node!r} is already on the ring")
+        self._nodes[node] = True
+        for replica in range(self.replicas):
+            position = _point(f"{node}#{replica}")
+            index = bisect.bisect(self._keys, position)
+            self._keys.insert(index, position)
+            self._points.insert(index, (position, node))
+
+    def remove(self, node: str) -> None:
+        """Delete ``node``'s virtual points; its keys fall to successors."""
+        if node not in self._nodes:
+            raise ReproError(f"node {node!r} is not on the ring")
+        del self._nodes[node]
+        self._points = [
+            (position, owner)
+            for position, owner in self._points
+            if owner != node
+        ]
+        self._keys = [position for position, _ in self._points]
+
+    # ------------------------------------------------------------------
+    # Assignment
+    # ------------------------------------------------------------------
+
+    def assign(self, key: str) -> str:
+        """The node that owns ``key`` (first point at or after its hash)."""
+        if not self._points:
+            raise ReproError("cannot assign on an empty ring")
+        position = _point(key)
+        index = bisect.bisect(self._keys, position)
+        if index == len(self._keys):  # wrap past the top of the circle
+            index = 0
+        return self._points[index][1]
+
+    def assign_many(self, keys: Sequence[str]) -> Dict[str, str]:
+        """Batch :meth:`assign`; handy for the distribution tests."""
+        return {key: self.assign(key) for key in keys}
+
+    def load(self, keys: Sequence[str]) -> Dict[str, int]:
+        """How many of ``keys`` each node owns (zero-filled)."""
+        counts = {node: 0 for node in self._nodes}
+        for key in keys:
+            counts[self.assign(key)] += 1
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"HashRing(nodes={len(self._nodes)}, "
+            f"replicas={self.replicas})"
+        )

@@ -34,6 +34,7 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import wait as _futures_wait
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
@@ -131,12 +132,19 @@ class BuildScheduler:
         self._in_flight: Dict[str, "Future[BuildOutcome]"] = {}
         self._stats = {
             "builds": 0,
+            "build_attempts": 0,
             "build_failures": 0,
+            "store_put_failures": 0,
             "retries": 0,
             "degraded": 0,
             "coalesced": 0,
             "store_hits": 0,
-            "rejected": 0,
+            # Named distinctly from the API layer's "rejected" status
+            # bucket: SamplingService.stats() merges both dicts, and a
+            # shared key would let this admission-guard counter shadow
+            # the per-response one (a ladder rejection would then read
+            # as zero rejections in the merged snapshot).
+            "admission_rejected": 0,
         }
 
     # ------------------------------------------------------------------
@@ -164,7 +172,7 @@ class BuildScheduler:
         """
         if circuit.num_qubits > self.policy.max_qubits:
             with self._lock:
-                self._stats["rejected"] += 1
+                self._stats["admission_rejected"] += 1
             raise AdmissionError(
                 f"circuit has {circuit.num_qubits} qubits; the service "
                 f"admits at most {self.policy.max_qubits} "
@@ -192,9 +200,32 @@ class BuildScheduler:
         with self._lock:
             return dict(self._stats)
 
-    def close(self) -> None:
-        """Wait for in-flight builds and release the worker threads."""
-        self._executor.shutdown(wait=True)
+    def close(
+        self, drain: bool = True, timeout: Optional[float] = None
+    ) -> bool:
+        """Shut the build pool down; ``True`` when everything drained.
+
+        ``drain=True`` (the default) waits for in-flight build futures —
+        bounded by ``timeout`` seconds when given, indefinitely
+        otherwise.  When the timeout expires (or with ``drain=False``),
+        queued-but-unstarted jobs are *cancelled* rather than abandoned:
+        their futures resolve with ``CancelledError``, so coalesced
+        waiters blocked on them wake up instead of hanging on a future
+        no thread will ever complete (the abandoned-future leak).  A
+        build already running on a thread cannot be interrupted; its
+        future still completes when the thread finishes.
+        """
+        with self._lock:
+            pending = list(self._in_flight.values())
+        drained = True
+        if drain and pending:
+            _done, not_done = _futures_wait(pending, timeout=timeout)
+            drained = not not_done
+        if drain and drained:
+            self._executor.shutdown(wait=True)
+        else:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+        return drained
 
     # ------------------------------------------------------------------
     # The build job (worker thread)
@@ -289,7 +320,7 @@ class BuildScheduler:
         kernel: str = "auto",
     ) -> BuildOutcome:
         """One strong simulation + flatten; may raise for the ladder."""
-        self._count("builds")
+        self._count("build_attempts")
         simulator = DDSimulator(scheme=scheme, optimize=optimize, kernel=kernel)
         state = simulator.run(circuit, initial_state=initial_state)
         compiled = DDSampler(state).compiled()
@@ -301,30 +332,77 @@ class BuildScheduler:
                 f"built DD has {compiled.size} flattened nodes, over the "
                 f"service limit of {limit} (ServicePolicy.max_build_nodes)"
             )
-        meta = {
+        meta = self._extract_meta(
+            simulator, circuit, state, compiled, scheme, optimize,
+            initial_state, kernel,
+        )
+        # Counted only once the strong simulation has actually produced
+        # a usable artifact: counting at attempt start double-counted
+        # ``service.builds`` whenever a failure *after* the simulation
+        # (meta probing, an over-budget DD, a transient store error)
+        # pushed the job back through the retry/degradation ladder —
+        # the counter the coalescing tests and serve-net-smoke's
+        # one-build-per-fingerprint gate pin would then drift from the
+        # number of artifacts ever produced.
+        self._count("builds")
+        if self.store is not None:
+            try:
+                self.store.put(key, compiled, meta=meta)
+            except Exception:
+                # Persistence is best-effort: a full disk must not fail
+                # (or re-run) a build whose artifact is already in hand.
+                self._count("store_put_failures")
+        return BuildOutcome(
+            key=key, backend="dd", source="built", compiled=compiled, meta=meta
+        )
+
+    @staticmethod
+    def _extract_meta(
+        simulator: Any,
+        circuit: QuantumCircuit,
+        state: Any,
+        compiled: CompiledDD,
+        scheme: NormalizationScheme,
+        optimize: bool,
+        initial_state: int,
+        kernel: str,
+    ) -> Dict[str, Any]:
+        """Build-provenance metadata; never raises past this frame.
+
+        Meta probing is best-effort bookkeeping on top of a *finished*
+        build.  If it were allowed to raise (a duck-typed simulator
+        double, an exotic engine missing an accessor), the ladder would
+        misread the failure as a failed build and re-run — or degrade —
+        a simulation that already succeeded, double-counting
+        ``service.builds`` along the way.  Probes that fail fall back to
+        their defaults instead.
+        """
+        meta: Dict[str, Any] = {
             "num_qubits": circuit.num_qubits,
-            "dd_nodes": state.node_count,
+            "dd_nodes": getattr(state, "node_count", None),
             "compiled_size": compiled.size,
             "scheme": scheme.value,
             "optimize": optimize,
             "initial_state": initial_state,
             "circuit_name": getattr(circuit, "name", None),
-            # Provenance only: the engines are bit-identical, so the
-            # cache key ignores the kernel and artifacts built by either
-            # engine serve all requests.  getattr keeps duck-typed
-            # simulator doubles (tests, degradation shims) working.
-            "engine": getattr(
-                simulator, "resolved_kernel", lambda: kernel
-            )(),
-            "kernel_fallbacks": getattr(
-                getattr(simulator, "stats", None), "kernel_fallbacks", 0
-            ),
         }
-        if self.store is not None:
-            self.store.put(key, compiled, meta=meta)
-        return BuildOutcome(
-            key=key, backend="dd", source="built", compiled=compiled, meta=meta
-        )
+        # Provenance only: the engines are bit-identical, so the cache
+        # key ignores the kernel and artifacts built by either engine
+        # serve all requests.  The guarded probes keep duck-typed
+        # simulator doubles (tests, degradation shims) working.
+        try:
+            meta["engine"] = getattr(
+                simulator, "resolved_kernel", lambda: kernel
+            )()
+        except Exception:
+            meta["engine"] = kernel
+        try:
+            meta["kernel_fallbacks"] = getattr(
+                getattr(simulator, "stats", None), "kernel_fallbacks", 0
+            )
+        except Exception:
+            meta["kernel_fallbacks"] = 0
+        return meta
 
     # ------------------------------------------------------------------
     # Degradation ladder

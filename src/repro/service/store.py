@@ -26,17 +26,33 @@ Design invariants, in decreasing order of importance:
   under ``max_bytes`` by evicting least-recently-used entries (file
   mtime, refreshed on every hit).  An artifact larger than the whole
   budget is refused outright rather than thrashing the cache.
+* **Never race another process.**  The worker pool shares one cache
+  directory between N worker processes (the L2 tier), so mutation is
+  serialised by an advisory ``fcntl`` lock on ``<cache-dir>/.lock``:
+  exclusive around the store-and-evict write path (a concurrent
+  store+evict pair could otherwise interleave a sidecar rewrite with
+  an eviction's unlink and tear an entry), shared around reads so a
+  validated load never observes a half-performed eviction.  The lock
+  is advisory and POSIX-only; on platforms without ``fcntl`` the
+  in-process thread lock still applies and cross-process safety
+  degrades to the checksum/delete-and-rebuild contract above.
 """
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import io
 import json
 import os
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+try:  # pragma: no cover - always present on POSIX
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
 
 import numpy as np
 
@@ -101,6 +117,30 @@ class ArtifactStore:
     def _meta_path(self, key: str) -> str:
         return os.path.join(self.cache_dir, f"{key}.json")
 
+    def _lock_path(self) -> str:
+        return os.path.join(self.cache_dir, ".lock")
+
+    @contextlib.contextmanager
+    def _process_lock(self, exclusive: bool = True) -> Iterator[None]:
+        """Advisory cross-process lock on the cache directory.
+
+        Opened per acquisition (never a long-lived fd) so forked worker
+        processes cannot share — and accidentally release — each
+        other's lock through an inherited descriptor.  Callers hold the
+        in-process thread lock first, so lock ordering is uniform:
+        thread lock, then file lock.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            yield
+            return
+        fd = os.open(self._lock_path(), os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH)
+            yield
+        finally:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+
     # ------------------------------------------------------------------
     # Read path
     # ------------------------------------------------------------------
@@ -112,7 +152,7 @@ class ArtifactStore:
         artifact-version mismatch) is deleted and counted under
         ``corrupt`` — the caller sees an ordinary miss and rebuilds.
         """
-        with self._lock:
+        with self._lock, self._process_lock(exclusive=False):
             artifact = self._load_validated(key)
             if artifact is None:
                 self._stats["misses"] += 1
@@ -196,7 +236,10 @@ class ArtifactStore:
             "payload_bytes": len(payload),
             "meta": dict(meta or {}),
         }
-        with self._lock:
+        with self._lock, self._process_lock(exclusive=True):
+            # One exclusive section covers payload + sidecar + eviction:
+            # a concurrent worker's store-and-evict cannot interleave
+            # with this sidecar rewrite and tear the entry.
             atomic_write_bytes(self._payload_path(key), payload)
             atomic_write_bytes(
                 self._meta_path(key),
@@ -266,7 +309,7 @@ class ArtifactStore:
 
     def clear(self) -> int:
         """Delete every entry; returns how many were removed."""
-        with self._lock:
+        with self._lock, self._process_lock(exclusive=True):
             entries = self._entries()
             for _, key, _ in entries:
                 self._delete_entry(key)

@@ -206,6 +206,25 @@ class Registry:
             else:
                 self.gauge(f"service.{key}").set(value)
 
+    def record_pool(self, pool_stats: Mapping[str, Any]) -> None:
+        """Absorb a ``WorkerPool.stats()`` snapshot as gauges.
+
+        Like :meth:`record_service`, the snapshot is already cumulative,
+        so it lands as gauges.  Per-worker ``outstanding`` depths become
+        indexed gauges; non-numeric sections (the per-worker stats
+        lists) are skipped — the live ``service.pool.*`` counters and
+        queue-depth gauges cover the per-event view.
+        """
+        for key, value in pool_stats.items():
+            if key == "outstanding" and isinstance(value, (list, tuple)):
+                for index, depth in enumerate(value):
+                    self.gauge(
+                        f"service.pool.queue_depth.worker{index}"
+                    ).set(depth)
+                continue
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                self.gauge(f"service.pool.{key}").set(value)
+
     # ------------------------------------------------------------------
     # Snapshot
     # ------------------------------------------------------------------

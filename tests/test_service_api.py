@@ -382,3 +382,157 @@ def test_response_to_dict_round_trips_counts(tmp_path):
     truncated = response.to_dict(top=1)
     assert len(truncated["counts"]) == 1
     assert truncated["counts_truncated"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# Scheduler shutdown: bounded drain, no abandoned futures
+# ---------------------------------------------------------------------------
+
+
+def test_close_drain_times_out_and_cancels_queued_builds(monkeypatch):
+    """A blocked build must not make close() hang, and the queued job
+    behind it must resolve (CancelledError), never dangle forever."""
+    from concurrent.futures import CancelledError
+
+    from repro.service import BuildScheduler
+
+    release = threading.Event()
+    real = DDSimulator
+
+    class StuckSimulator:
+        def __init__(self, *args, **kwargs):
+            self._inner = real(*args, **kwargs)
+
+        def run(self, circuit, initial_state=0):
+            release.wait(timeout=30.0)
+            return self._inner.run(circuit, initial_state=initial_state)
+
+    monkeypatch.setattr("repro.service.scheduler.DDSimulator", StuckSimulator)
+    scheduler = BuildScheduler(store=None, workers=1)
+    running = scheduler.submit("key-running", bell_pair())
+    queued = scheduler.submit("key-queued", ghz(3))
+    try:
+        start = time.perf_counter()
+        drained = scheduler.close(drain=True, timeout=0.3)
+        elapsed = time.perf_counter() - start
+        assert drained is False
+        assert elapsed < 5.0  # bounded, not the 30s the build would take
+        # The queued future was cancelled, not abandoned: a coalesced
+        # waiter blocked on it wakes up instead of hanging.
+        with pytest.raises(CancelledError):
+            queued.result(timeout=1.0)
+    finally:
+        release.set()
+    assert running.result(timeout=30.0).backend == "dd"
+
+
+def test_close_drain_waits_for_inflight_builds(tmp_path):
+    from repro.service import BuildScheduler
+
+    scheduler = BuildScheduler(store=None, workers=1)
+    future = scheduler.submit("key", qft(6))
+    assert scheduler.close(drain=True, timeout=30.0) is True
+    assert future.done() and future.result().backend == "dd"
+
+
+def test_service_close_reports_drain_result(tmp_path):
+    service = SamplingService(cache_dir=str(tmp_path))
+    service.sample(SamplingRequest(bell_pair(), 50, seed=1))
+    assert service.close(drain=True, timeout=10.0) is True
+
+
+# ---------------------------------------------------------------------------
+# Builds-counter semantics: count artifacts produced, never attempts
+# ---------------------------------------------------------------------------
+
+
+def test_store_put_failure_neither_fails_nor_recounts_the_build(
+    tmp_path, monkeypatch
+):
+    """Regression: a failure *after* the strong simulation (here: the
+    store write) used to re-enter the retry ladder with ``builds``
+    already counted, double-counting service.builds.  Persistence is
+    best-effort: the response stays ok and builds stays 1."""
+    with SamplingService(cache_dir=str(tmp_path)) as service:
+
+        def broken_put(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(service.store, "put", broken_put)
+        response = service.sample(SamplingRequest(bell_pair(), 300, seed=9))
+        stats = service.stats()
+    assert response.ok
+    reference = simulate_and_sample(bell_pair(), 300, method="dd", seed=9)
+    assert response.result.counts == reference.counts
+    assert stats["builds"] == 1
+    assert stats["build_attempts"] == 1
+    assert stats["store_put_failures"] == 1
+    assert stats["retries"] == 0
+
+
+def test_build_attempts_reconcile_with_builds_and_failures(
+    tmp_path, monkeypatch
+):
+    calls = {"count": 0}
+    real = DDSimulator
+
+    class FlakySimulator:
+        def __init__(self, *args, **kwargs):
+            self._inner = real(*args, **kwargs)
+
+        def run(self, circuit, initial_state=0):
+            calls["count"] += 1
+            if calls["count"] <= 2:
+                raise RuntimeError("transient build hiccup")
+            return self._inner.run(circuit, initial_state=initial_state)
+
+    monkeypatch.setattr("repro.service.scheduler.DDSimulator", FlakySimulator)
+    with SamplingService(cache_dir=str(tmp_path)) as service:
+        response = service.sample(SamplingRequest(bell_pair(), 200, seed=4))
+        stats = service.stats()
+    assert response.ok
+    assert stats["build_attempts"] == 3
+    assert stats["builds"] == 1
+    assert stats["build_failures"] == 2
+    assert stats["build_attempts"] == stats["builds"] + stats["build_failures"]
+
+
+def test_counter_consistency_under_degradation_and_coalescing(tmp_path):
+    """Every request lands in exactly one status bucket, telemetry's
+    service.builds agrees with the scheduler, and attempts reconcile —
+    under a mix of degraded, rejected, coalesced, and cached traffic."""
+    telemetry = Telemetry()
+    policy = ServicePolicy(max_build_nodes=0, dense_memory_cap_bytes=64)
+    with SamplingService(
+        cache_dir=str(tmp_path),
+        policy=policy,
+        telemetry=telemetry,
+        request_workers=4,
+    ) as service:
+        futures = [
+            service.submit(SamplingRequest(ghz(3), 50, seed=s))
+            for s in range(3)  # stabilizer degradation, possibly coalesced
+        ]
+        degraded = [future.result() for future in futures]
+        rejected = service.sample(SamplingRequest(qft(3), 50, seed=1))
+        stats = service.stats()
+    assert all(r.status == "ok" and r.backend == "stabilizer" for r in degraded)
+    assert rejected.status == "rejected"
+    assert stats["requests"] == 4
+    # Regression: the scheduler's admission counter used to be named
+    # "rejected" too and shadowed this status bucket in the merged
+    # snapshot, so a ladder rejection read as zero rejections.
+    assert stats["rejected"] == 1
+    assert stats["admission_rejected"] == 0  # ladder, not the width guard
+    assert stats["requests"] == (
+        stats["ok"]
+        + stats["rejected"]
+        + stats["deadline_exceeded"]
+        + stats["errors"]
+    )
+    # Degradation means no DD artifact was ever produced.
+    assert stats["builds"] == 0
+    assert stats["build_attempts"] == stats["builds"] + stats["build_failures"]
+    counters = telemetry.registry.snapshot()["counters"]
+    assert counters.get("service.builds", 0) == stats["builds"]
+    assert counters.get("service.requests", 0) == stats["requests"]

@@ -1,0 +1,154 @@
+"""WorkerPool: shard routing, back-pressure, drain, and bit-identity.
+
+These tests fork real worker processes (tiny circuits, small shot
+counts) and pin the pool's contract: every record routes to the worker
+the ring assigns for its artifact key, responses are bit-identical to
+``simulate_and_sample``, a full dispatch window sheds with
+``PoolSaturatedError`` instead of queueing unboundedly, and a drain
+leaves no hung futures and no crashed workers.
+"""
+
+import pytest
+
+from repro.core.weak_sim import simulate_and_sample
+from repro.exceptions import ReproError
+from repro.service.__main__ import resolve_circuit
+from repro.service.pool import (
+    PoolClosedError,
+    PoolConfig,
+    PoolSaturatedError,
+    WorkerPool,
+)
+
+
+def _record(circuit, shots, seed, request_id=None):
+    return {
+        "request_id": request_id or f"{circuit}-{seed}",
+        "circuit": circuit,
+        "shots": shots,
+        "seed": seed,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Round trip and bit-identity
+# ---------------------------------------------------------------------------
+
+
+def test_round_trip_bit_identical_and_sharded(tmp_path):
+    specs = [("bell", 400, 3), ("ghz_4", 300, 5), ("qft_4", 300, 7)]
+    with WorkerPool(
+        workers=2, config=PoolConfig(cache_dir=str(tmp_path))
+    ) as pool:
+        futures = {
+            name: [
+                pool.submit_record(_record(name, shots, seed, f"{name}-{i}"))
+                for i in range(2)
+            ]
+            for name, shots, seed in specs
+        }
+        responses = {
+            name: [future.result(timeout=60) for future in pair]
+            for name, pair in futures.items()
+        }
+        # Dispatcher-side routing must agree with where answers came from.
+        expected_worker = {
+            name: pool.worker_for(pool.routing_key(_record(name, s, d)))
+            for name, s, d in specs
+        }
+    for name, shots, seed in specs:
+        reference = simulate_and_sample(
+            resolve_circuit(name), shots, method="dd", seed=seed
+        ).counts
+        for response in responses[name]:
+            assert response["status"] == "ok"
+            got = {int(k, 2): v for k, v in response["counts"].items()}
+            assert got == reference
+            assert response["worker"] == expected_worker[name]
+    assert pool.exit_codes() == [0, 0]
+
+
+def test_same_circuit_always_lands_on_one_worker(tmp_path):
+    with WorkerPool(
+        workers=3, config=PoolConfig(cache_dir=str(tmp_path))
+    ) as pool:
+        futures = [
+            pool.submit_record(_record("ghz_4", 100, seed, f"g-{seed}"))
+            for seed in range(6)
+        ]
+        workers = {f.result(timeout=60)["worker"] for f in futures}
+        stats = pool.stats()
+    assert len(workers) == 1
+    # One build pool-wide; the repeats hit the owning worker's caches.
+    # (shard_builds counts responses *answered by* a fresh build, which
+    # includes coalesced waiters — totals.builds is the true build count.)
+    assert stats["totals"]["builds"] == 1
+    assert (
+        stats["shard_memory_hits"]
+        + stats["shard_disk_hits"]
+        + stats["shard_builds"]
+    ) == 6
+    assert stats["shard_builds"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# Back-pressure and bad input
+# ---------------------------------------------------------------------------
+
+
+def test_full_dispatch_window_sheds(tmp_path):
+    with WorkerPool(
+        workers=1,
+        config=PoolConfig(cache_dir=str(tmp_path)),
+        max_queue_depth=1,
+    ) as pool:
+        # A cold qft_10 build holds the single window slot long enough
+        # that an immediate second submission must be shed.
+        first = pool.submit_record(_record("qft_10", 200_000, 1, "slow"))
+        with pytest.raises(PoolSaturatedError) as info:
+            for attempt in range(100):
+                pool.submit_record(_record("qft_10", 200_000, 1, f"x{attempt}"))
+        assert info.value.retry_after > 0
+        assert first.result(timeout=120)["status"] == "ok"
+        assert pool.stats(include_workers=False)["shed"] >= 1
+
+
+def test_unresolvable_circuit_rejected_at_dispatch(tmp_path):
+    with WorkerPool(workers=1, config=PoolConfig()) as pool:
+        with pytest.raises(ReproError):
+            pool.submit_record(_record("no_such_circuit_9", 10, 1))
+        assert pool.stats(include_workers=False)["resolve_rejected"] == 1
+
+
+def test_worker_side_rejection_comes_back_as_record(tmp_path):
+    with WorkerPool(workers=1, config=PoolConfig()) as pool:
+        response = pool.submit_record(
+            {"request_id": "bad", "circuit": "bell", "shots": -5, "seed": 1}
+        ).result(timeout=60)
+    assert response["status"] == "rejected"
+    assert "shots" in response["error"]
+
+
+# ---------------------------------------------------------------------------
+# Drain
+# ---------------------------------------------------------------------------
+
+
+def test_drain_is_clean_and_refuses_new_work(tmp_path):
+    pool = WorkerPool(
+        workers=2, config=PoolConfig(cache_dir=str(tmp_path))
+    ).start()
+    future = pool.submit_record(_record("bell", 200, 2))
+    assert pool.drain(timeout=60.0) is True
+    assert future.done() and future.result()["status"] == "ok"
+    assert pool.exit_codes() == [0, 0]
+    assert pool.stats(include_workers=False)["terminated_workers"] == 0
+    with pytest.raises(PoolClosedError):
+        pool.submit_record(_record("bell", 10, 1))
+
+
+def test_close_is_idempotent(tmp_path):
+    pool = WorkerPool(workers=1, config=PoolConfig()).start()
+    pool.close()
+    pool.close()
+    assert pool.exit_codes() == [0]

@@ -274,3 +274,89 @@ def test_oversized_artifact_is_refused(tmp_path):
     assert not store.put("xxxx", compiled)
     assert store.stats()["oversized"] == 1
     assert store.stats()["entries"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Store: two processes sharing one directory (the pool's L2 tier)
+# ---------------------------------------------------------------------------
+
+_STRESS_SCRIPT = """
+import sys
+from repro.algorithms.states import ghz
+from repro.core.dd_sampler import DDSampler
+from repro.service.store import ArtifactStore
+from repro.simulators.dd_simulator import DDSimulator
+
+cache_dir, worker, rounds = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+compiled = {
+    n: DDSampler(DDSimulator().run(ghz(n))).compiled() for n in (3, 4, 5)
+}
+probe = ArtifactStore(cache_dir + "-probe")
+probe.put("probe", compiled[3])
+entry = sum(
+    len(open(p, "rb").read())
+    for p in (
+        probe._payload_path("probe"),
+        probe._meta_path("probe"),
+    )
+)
+# Budget for ~2 entries while 3 keys are in play: every put can evict
+# an entry the other process is mid-way through reading or rewriting.
+store = ArtifactStore(cache_dir, max_bytes=2 * entry + 64)
+for round_number in range(rounds):
+    n = 3 + (round_number + worker) % 3
+    key = f"kkkk{n}"
+    store.put(key, compiled[n])
+    for probe_n in (3, 4, 5):
+        got = store.get(f"kkkk{probe_n}")
+        if got is not None:
+            # A hit must be a *valid* artifact for that key (the store
+            # re-validates checksums; a torn entry would be a miss).
+            assert got.compiled.num_qubits == probe_n, (
+                f"key kkkk{probe_n} returned a {got.compiled.num_qubits}"
+                "-qubit artifact"
+            )
+print("worker", worker, "ok")
+"""
+
+
+def test_two_processes_share_store_without_torn_entries(tmp_path):
+    """Two processes hammer one tiny (eviction-heavy) store: every get
+    must be a valid artifact or a clean miss, never a torn entry, and
+    no temp files may be left behind.  This is the pool's L2 contract —
+    it holds via the advisory file lock around the store/evict path."""
+    import os
+    import subprocess
+    import sys
+
+    cache_dir = str(tmp_path / "shared")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in ("src", env.get("PYTHONPATH", "")) if p
+    )
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    procs = [
+        subprocess.Popen(
+            [sys.executable, "-c", _STRESS_SCRIPT, cache_dir, str(i), "40"],
+            env=env,
+            cwd=repo_root,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        for i in range(2)
+    ]
+    for proc in procs:
+        out, err = proc.communicate(timeout=300)
+        assert proc.returncode == 0, f"stress worker failed:\n{out}\n{err}"
+        assert "ok" in out
+    leftovers = [
+        name
+        for name in os.listdir(cache_dir)
+        if name.startswith(".tmp-")
+    ]
+    assert leftovers == [], f"torn temp files left behind: {leftovers}"
+    # The directory is still a healthy store afterwards.
+    store = ArtifactStore(cache_dir)
+    for key in store.keys():
+        assert store.get(key) is not None
