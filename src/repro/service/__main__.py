@@ -15,7 +15,9 @@ sharded multi-process worker pool behind an asyncio HTTP server
         --cache-dir ~/.cache/repro
 
 A request line names a circuit either inline (``{"qasm": "..."}``), by
-file (``{"qasm_file": "bell.qasm"}``), or by builtin name
+file (``{"qasm_file": "bell.qasm"}`` — local batch mode only; the
+network server rejects file specs unless ``--allow-qasm-file DIR``
+allow-lists a directory), or by builtin name
 (``"qft_16"``, ``"grover_8"``, ``"ghz_12"``, ``"bell"``,
 ``"supremacy_4x4_8"``)::
 
@@ -312,6 +314,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "shed as HTTP 429 (default 32)",
     )
     serving.add_argument(
+        "--allow-qasm-file",
+        metavar="DIR",
+        default=None,
+        help="permit {\"qasm_file\": ...} circuit specs under DIR in "
+        "--serve mode; by default they are rejected over the network, "
+        "since they make the server open a client-chosen local path",
+    )
+    serving.add_argument(
         "--drain-timeout",
         type=float,
         default=60.0,
@@ -578,6 +588,7 @@ def _serve(args: argparse.Namespace) -> int:
         "kernel": args.kernel,
         "request_workers": args.request_workers,
         "build_workers": args.build_workers,
+        "qasm_file_root": args.allow_qasm_file,
     }
     if args.max_cache_bytes is not None:
         config_kwargs["max_cache_bytes"] = args.max_cache_bytes

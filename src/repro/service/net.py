@@ -5,7 +5,10 @@ HTTP server and the request surface here is tiny, so the parser speaks
 exactly the HTTP/1.1 subset the service needs (request line, headers,
 ``Content-Length`` bodies, keep-alive) and nothing else.  The JSON
 bodies are the *same records* the batch JSONL CLI reads, so anything
-that can be a request line in a file can be a POST body on the wire.
+that can be a request line in a file can be a POST body on the wire —
+with one security exception: ``{"qasm_file": ...}`` specs are rejected
+in network mode (they make the server open a client-chosen local path)
+unless ``--allow-qasm-file DIR`` allow-lists a directory.
 
 Endpoints:
 
@@ -73,9 +76,16 @@ _REASONS = {
     405: "Method Not Allowed",
     413: "Payload Too Large",
     429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
     500: "Internal Server Error",
     503: "Service Unavailable",
 }
+
+#: Backstop on waiting for a worker's reply when the request carries no
+#: deadline of its own — generous next to any sane build, but finite,
+#: so a lost reply becomes a 503 instead of a connection that never
+#: answers and a drain that never finishes.
+DEFAULT_REQUEST_TIMEOUT = 300.0
 
 #: Service response status → HTTP status for ``/v1/sample``.
 _STATUS_CODES = {
@@ -102,6 +112,10 @@ async def _read_request(
         request_line = await reader.readline()
     except (ConnectionError, asyncio.IncompleteReadError):
         return None
+    except (asyncio.LimitOverrunError, ValueError):
+        # StreamReader raises ValueError past its 64 KiB line limit —
+        # answer 431, don't drop the connection with no response.
+        raise _HttpError(431, "request line too long")
     if not request_line:
         return None
     parts = request_line.decode("latin-1").strip().split()
@@ -110,7 +124,10 @@ async def _read_request(
     method, path = parts[0].upper(), parts[1]
     headers: Dict[str, str] = {}
     while True:
-        line = await reader.readline()
+        try:
+            line = await reader.readline()
+        except (asyncio.LimitOverrunError, ValueError):
+            raise _HttpError(431, "header line too long")
         if not line:
             raise _HttpError(400, "connection closed inside headers")
         text = line.decode("latin-1").strip()
@@ -173,12 +190,14 @@ class HttpFrontDoor:
         top: Optional[int] = None,
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
         telemetry: Optional[_telemetry.Telemetry] = None,
+        request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
     ):
         self.pool = pool
         self.host = host
         self.port = port
         self.top = top
         self.max_body_bytes = max_body_bytes
+        self.request_timeout = request_timeout
         self.telemetry = telemetry
         self._server: Optional[asyncio.base_events.Server] = None
         self._router = ThreadPoolExecutor(
@@ -219,7 +238,15 @@ class HttpFrontDoor:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
-        await self._idle.wait()
+        try:
+            # In-flight requests are themselves bounded (reply timeouts
+            # fail them with 503), but a bug must never turn SIGTERM
+            # into a hang — give up on idleness after the drain budget.
+            await asyncio.wait_for(
+                self._idle.wait(), timeout=max(1.0, pool_timeout)
+            )
+        except asyncio.TimeoutError:
+            pass
         loop = asyncio.get_running_loop()
         clean = await loop.run_in_executor(
             None, lambda: self.pool.drain(timeout=pool_timeout)
@@ -286,6 +313,23 @@ class HttpFrontDoor:
                     break
         except (ConnectionError, asyncio.IncompleteReadError):
             pass  # client went away mid-request; nothing to answer
+        except Exception as error:  # pragma: no cover - last resort
+            # Anything _dispatch's own catch-all missed (a parser bug,
+            # a write failure dressed as something else) still owes the
+            # client a response before the socket closes.
+            try:
+                writer.write(
+                    _response_bytes(
+                        500,
+                        _json_body(
+                            {"error": f"{type(error).__name__}: {error}"}
+                        ),
+                        keep_alive=False,
+                    )
+                )
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
         finally:
             writer.close()
             try:
@@ -302,7 +346,23 @@ class HttpFrontDoor:
     ) -> Tuple[int, Dict[str, Any]]:
         self.stats["http_requests"] += 1
         with _telemetry.span("service.http", method=method, path=path) as span:
-            status, payload = await self._route(method, path, body)
+            try:
+                status, payload = await self._route(method, path, body)
+            except PoolClosedError as error:
+                # e.g. a drain-orphaned or dead-worker future surfacing
+                # at an await the route handler did not wrap.
+                status, payload = 503, {
+                    "status": "unavailable",
+                    "error": str(error),
+                    "retry_after": 5,
+                }
+            except Exception as error:
+                # A handler bug answers 500 — never a silently dropped
+                # connection that skews http_requests vs status buckets.
+                status, payload = 500, {
+                    "status": "error",
+                    "error": f"{type(error).__name__}: {error}",
+                }
             span.set_attr("status", status)
         bucket = (
             "http_ok"
@@ -345,9 +405,10 @@ class HttpFrontDoor:
             if method != "GET":
                 return 405, {"error": "stats is GET-only"}
             loop = asyncio.get_running_loop()
-            pool_stats = await loop.run_in_executor(
-                self._router, self.pool.stats
-            )
+            # Default executor, not the router pool: stats collection
+            # blocks on worker round-trips and must not starve sample
+            # routing of its two threads.
+            pool_stats = await loop.run_in_executor(None, self.pool.stats)
             return 200, {"pool": pool_stats, "http": dict(self.stats)}
         if path == "/v1/sample":
             if method != "POST":
@@ -371,6 +432,51 @@ class HttpFrontDoor:
         )
         return asyncio.wrap_future(future)
 
+    def _reply_timeout(self, record: Dict[str, Any]) -> float:
+        """How long to wait for a worker's reply to ``record``.
+
+        A request with its own ``deadline_seconds`` gets that plus a
+        grace margin (the worker enforces the deadline itself; the wait
+        here only guards against the reply never arriving at all).
+        """
+        deadline = record.get("deadline_seconds")
+        try:
+            deadline = None if deadline is None else float(deadline)
+        except (TypeError, ValueError):
+            deadline = None
+        if deadline is not None and deadline > 0:
+            return deadline + 30.0
+        return self.request_timeout
+
+    async def _await_reply(
+        self,
+        pending: "asyncio.Future[Dict[str, Any]]",
+        record: Dict[str, Any],
+    ) -> Tuple[int, Dict[str, Any]]:
+        """Await a worker reply, bounded; (HTTP status, response record)."""
+        timeout = self._reply_timeout(record)
+        try:
+            response = await asyncio.wait_for(pending, timeout=timeout)
+        except PoolClosedError as error:
+            # The worker died with the request pending, or the pool
+            # drained out from under it — retryable, not the client's
+            # fault.
+            return 503, {
+                "status": "unavailable",
+                "error": str(error),
+                "retry_after": 5,
+            }
+        except asyncio.TimeoutError:
+            return 503, {
+                "status": "unavailable",
+                "error": f"no worker reply within {timeout:.0f}s",
+                "retry_after": 5,
+            }
+        status = _STATUS_CODES.get(response.get("status"), 500)
+        if status == 503:
+            response.setdefault("retry_after", 2)
+        return status, response
+
     async def _sample(self, body: bytes) -> Tuple[int, Dict[str, Any]]:
         try:
             record = json.loads(body.decode("utf-8"))
@@ -392,13 +498,11 @@ class HttpFrontDoor:
                 "error": str(error),
                 "retry_after": 5,
             }
-        except (ReproError, ValueError, TypeError) as error:
+        except (ReproError, ValueError, TypeError, OSError) as error:
+            # OSError: an allow-listed qasm_file that is missing or
+            # unreadable — same 400 contract as any unresolvable spec.
             return 400, {"status": "rejected", "error": str(error)}
-        response = await pending
-        status = _STATUS_CODES.get(response.get("status"), 500)
-        if status == 503:
-            response.setdefault("retry_after", 2)
-        return status, response
+        return await self._await_reply(pending, record)
 
     async def _batch(self, body: bytes) -> Tuple[int, Dict[str, Any]]:
         try:
@@ -406,7 +510,9 @@ class HttpFrontDoor:
         except UnicodeDecodeError as error:
             return 400, {"status": "rejected", "error": str(error)}
         slots: List[Optional[Dict[str, Any]]] = []
-        pending: List[Tuple[int, "asyncio.Future[Dict[str, Any]]"]] = []
+        pending: List[
+            Tuple[int, Dict[str, Any], "asyncio.Future[Dict[str, Any]]"]
+        ] = []
         for number, line in enumerate(lines, start=1):
             line = line.strip()
             if not line:
@@ -417,7 +523,7 @@ class HttpFrontDoor:
                 record = json.loads(line)
                 if not isinstance(record, dict):
                     raise ValueError("request line must be a JSON object")
-                pending.append((slot, await self._submit(record)))
+                pending.append((slot, record, await self._submit(record)))
             except PoolSaturatedError as error:
                 slots[slot] = {
                     "status": "shed",
@@ -429,13 +535,15 @@ class HttpFrontDoor:
                     "status": "unavailable",
                     "error": f"line {number}: {error}",
                 }
-            except (ReproError, ValueError, TypeError) as error:
+            except (ReproError, ValueError, TypeError, OSError) as error:
                 slots[slot] = {
                     "status": "rejected",
                     "error": f"line {number}: {error}",
                 }
-        for slot, future in pending:
-            slots[slot] = await future
+        for slot, record, future in pending:
+            # Per-line failures stay per-line records — the batch
+            # itself is always 200, even for a dead-worker reply.
+            _status, slots[slot] = await self._await_reply(future, record)
         raw = "".join(
             json.dumps(record) + "\n" for record in slots if record is not None
         ).encode("utf-8")

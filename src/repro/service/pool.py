@@ -46,8 +46,8 @@ import os
 import signal
 import threading
 import time
-from concurrent.futures import Future
-from typing import Any, Dict, List, Optional, Tuple
+from concurrent.futures import Future, InvalidStateError
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
 from .. import telemetry as _telemetry
 from ..exceptions import ReproError, SamplingError
@@ -69,6 +69,37 @@ DEFAULT_MAX_QUEUE_DEPTH = 32
 
 #: How many resolved routing keys the dispatcher memoises (spec → key).
 _ROUTING_CACHE_ENTRIES = 1024
+
+
+def _guard_qasm_spec(spec: Any, root: Optional[str]) -> None:
+    """Refuse ``{"qasm_file": ...}`` circuit specs outside ``root``.
+
+    The pool serves network clients, and a ``qasm_file`` spec makes the
+    server ``open()`` a local path of the client's choosing — an
+    arbitrary-file-read/probe vector.  With no allow-listed root
+    (the default) such specs are rejected outright; with one, only real
+    paths inside the root resolve.  Inline ``qasm`` and builtin names
+    are unaffected.
+    """
+    if not (isinstance(spec, dict) and "qasm_file" in spec):
+        return
+    if root is None:
+        raise ReproError(
+            "qasm_file circuit specs are not allowed over the network "
+            "(start the server with --allow-qasm-file DIR to permit "
+            "files under DIR, or send the source inline as 'qasm')"
+        )
+    path = spec["qasm_file"]
+    if not isinstance(path, str):
+        raise ReproError(
+            f"qasm_file must be a string, got {type(path).__name__}"
+        )
+    resolved = os.path.realpath(path)
+    allowed = os.path.realpath(root)
+    if os.path.commonpath([allowed, resolved]) != allowed:
+        raise ReproError(
+            f"qasm_file {path!r} is outside the allowed directory"
+        )
 
 
 class PoolSaturatedError(SamplingError):
@@ -102,6 +133,7 @@ class PoolConfig:
         max_qubits: int = 64,
         max_build_nodes: Optional[int] = None,
         dense_memory_cap_bytes: Optional[int] = None,
+        qasm_file_root: Optional[str] = None,
     ):
         self.cache_dir = cache_dir
         self.max_cache_bytes = max_cache_bytes
@@ -112,6 +144,10 @@ class PoolConfig:
         self.max_qubits = max_qubits
         self.max_build_nodes = max_build_nodes
         self.dense_memory_cap_bytes = dense_memory_cap_bytes
+        #: Directory under which ``{"qasm_file": ...}`` specs may read;
+        #: ``None`` (the default) rejects them — network clients must
+        #: not be able to make the server open arbitrary local paths.
+        self.qasm_file_root = qasm_file_root
 
     def policy(self) -> ServicePolicy:
         """The worker-side ``ServicePolicy`` this config describes."""
@@ -167,6 +203,10 @@ def _worker_main(
                 continue
             _, task_id, record, top = item
             try:
+                # The dispatcher guards too, but the worker re-checks so
+                # the invariant holds even for records that reach a
+                # queue some other way.
+                _guard_qasm_spec(record.get("circuit"), config.qasm_file_root)
                 request = _request_from_record(
                     record, default_kernel=config.kernel
                 )
@@ -235,8 +275,12 @@ class WorkerPool:
         self._task_queues: List[Any] = []
         self._result_queue: Optional[Any] = None
         self._reader: Optional[threading.Thread] = None
+        self._monitor: Optional[threading.Thread] = None
+        self._monitor_stop = threading.Event()
+        self._suspect: Dict[int, Set[int]] = {}
         self._lock = threading.Lock()
-        self._pending: Dict[int, Tuple[Future, int]] = {}
+        # task_id -> (future, worker index, is_control_plane)
+        self._pending: Dict[int, Tuple[Future, int, bool]] = {}
         self._outstanding: List[int] = [0] * workers
         self._task_counter = 0
         self._routing_cache: Dict[Tuple[str, bool, int], str] = {}
@@ -250,6 +294,7 @@ class WorkerPool:
             "shard_disk_hits": 0,
             "shard_builds": 0,
             "terminated_workers": 0,
+            "dead_worker_failures": 0,
         }
         self._started = False
         self._draining = False
@@ -282,6 +327,10 @@ class WorkerPool:
             target=self._read_results, name="repro-pool-reader", daemon=True
         )
         self._reader.start()
+        self._monitor = threading.Thread(
+            target=self._watch_workers, name="repro-pool-monitor", daemon=True
+        )
+        self._monitor.start()
         return self
 
     def __enter__(self) -> "WorkerPool":
@@ -310,6 +359,7 @@ class WorkerPool:
         """
         if "circuit" not in record:
             raise ReproError("request is missing the 'circuit' field")
+        _guard_qasm_spec(record["circuit"], self.config.qasm_file_root)
         optimize = bool(record.get("optimize", True))
         initial_state = int(record.get("initial_state", 0))
         memo_key = (
@@ -359,7 +409,9 @@ class WorkerPool:
             raise PoolClosedError("worker pool is draining")
         try:
             key = self.routing_key(record)
-        except ReproError:
+        except (ReproError, OSError):
+            # OSError: a qasm_file under the allowed root that does not
+            # exist or cannot be read — a caller-side 400, not a crash.
             self._count("resolve_rejected")
             raise
         index = self.worker_for(key)
@@ -380,7 +432,7 @@ class WorkerPool:
                 shed = False
                 self._task_counter += 1
                 task_id = self._task_counter
-                self._pending[task_id] = (future, index)
+                self._pending[task_id] = (future, index, False)
                 self._outstanding[index] += 1
                 self._stats["dispatched"] += 1
         if shed:
@@ -395,7 +447,12 @@ class WorkerPool:
         return future
 
     def submit_stats(self, index: int) -> "Future[Dict[str, Any]]":
-        """Ask one worker for its service stats (control-plane message)."""
+        """Ask one worker for its service stats (control-plane message).
+
+        Control-plane requests do not count against ``_outstanding`` —
+        a ``/stats`` poll must never consume the data-plane dispatch
+        window and trigger spurious 429 shedding under load.
+        """
         if not self._started:
             raise ReproError("pool is not started")
         if not self._processes[index].is_alive():
@@ -404,8 +461,7 @@ class WorkerPool:
         with self._lock:
             self._task_counter += 1
             task_id = self._task_counter
-            self._pending[task_id] = (future, index)
-            self._outstanding[index] += 1
+            self._pending[task_id] = (future, index, True)
         self._task_queues[index].put(("stats", task_id))
         return future
 
@@ -426,7 +482,7 @@ class WorkerPool:
                 continue
             with self._lock:
                 entry = self._pending.pop(task_id, None)
-                if entry is not None:
+                if entry is not None and not entry[2]:
                     self._outstanding[index] = max(
                         0, self._outstanding[index] - 1
                     )
@@ -434,7 +490,71 @@ class WorkerPool:
             self._record_shard(payload)
             self._set_depth_gauge(index)
             if entry is not None:
-                entry[0].set_result(payload)
+                try:
+                    entry[0].set_result(payload)
+                except InvalidStateError:
+                    pass  # the caller timed out and cancelled the future
+
+    def _watch_workers(self, interval: float = 0.25) -> None:
+        """Fail the pending futures of crashed workers; clients never hang.
+
+        A worker that dies mid-request (OOM during a DD build, an
+        external kill) can never answer, and some of its emitted
+        results may be lost in the pipe — without this sweep the
+        front door's ``await`` blocks forever and ``drain()``
+        deadlocks at its in-flight wait.  Two-sweep confirmation: the
+        first sweep that sees a dead worker snapshots its pending task
+        ids, the next one fails whichever of those the reader thread
+        has still not resolved — the gap lets results already
+        serialized into the result queue drain first.
+        """
+        while not self._monitor_stop.wait(interval):
+            for index, process in enumerate(self._processes):
+                if process.is_alive():
+                    continue
+                with self._lock:
+                    stuck = [
+                        task_id
+                        for task_id, entry in self._pending.items()
+                        if entry[1] == index
+                    ]
+                if not stuck:
+                    self._suspect.pop(index, None)
+                    continue
+                confirmed = [
+                    task_id
+                    for task_id in stuck
+                    if task_id in self._suspect.get(index, ())
+                ]
+                self._suspect[index] = set(stuck)
+                if confirmed:
+                    self._fail_tasks(
+                        index,
+                        confirmed,
+                        f"worker {index} died (exit code "
+                        f"{process.exitcode}) with the request pending",
+                    )
+
+    def _fail_tasks(
+        self, index: int, task_ids: Iterable[int], reason: str
+    ) -> None:
+        entries = []
+        with self._lock:
+            for task_id in task_ids:
+                entry = self._pending.pop(task_id, None)
+                if entry is None:
+                    continue
+                entries.append(entry)
+                if not entry[2]:
+                    self._outstanding[index] = max(
+                        0, self._outstanding[index] - 1
+                    )
+            self._stats["dead_worker_failures"] += len(entries)
+        for future, _index, _control in entries:
+            if not future.done():
+                future.set_exception(PoolClosedError(reason))
+        if entries:
+            self._set_depth_gauge(index)
 
     def _record_shard(self, payload: Dict[str, Any]) -> None:
         cache = payload.get("cache")
@@ -504,7 +624,7 @@ class WorkerPool:
                 workers.append(self._final_stats.get(index))
                 continue
             try:
-                workers.append(future.result(timeout=10.0).get("stats"))
+                workers.append(future.result(timeout=2.0).get("stats"))
             except Exception:  # pragma: no cover - worker died mid-query
                 workers.append(self._final_stats.get(index))
         snapshot["workers"] = workers
@@ -534,6 +654,12 @@ class WorkerPool:
             return True
         with self._lock:
             self._draining = True
+        # Stop the liveness monitor before the workers exit on purpose,
+        # so a clean shutdown is never mistaken for a crash while the
+        # reader is still draining queued results.
+        self._monitor_stop.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=5.0)
         deadline = time.monotonic() + max(0.0, timeout)
         clean = True
         for queue in self._task_queues:
@@ -552,7 +678,7 @@ class WorkerPool:
         with self._lock:
             orphans = list(self._pending.values())
             self._pending.clear()
-        for future, _index in orphans:
+        for future, _index, _control in orphans:
             if not future.done():
                 future.set_exception(
                     PoolClosedError("worker pool drained with request pending")

@@ -167,6 +167,148 @@ def test_worker_side_rejection_maps_to_400(tmp_path):
     assert payload["status"] == "rejected"
 
 
+_BELL_QASM = (
+    "OPENQASM 2.0;\n"
+    'include "qelib1.inc";\n'
+    "qreg q[2];\n"
+    "h q[0];\n"
+    "cx q[0],q[1];\n"
+)
+
+
+def test_qasm_file_specs_rejected_over_the_network(tmp_path):
+    # {"qasm_file": ...} would make the server open a client-chosen
+    # local path — the wire must answer 400, never read the file.
+    target = tmp_path / "probe.qasm"
+    target.write_text(_BELL_QASM, encoding="utf-8")
+    pool = _pool(tmp_path / "cache")
+
+    async def scenario(front):
+        return await post_json(
+            front.host,
+            front.port,
+            "/v1/sample",
+            {"circuit": {"qasm_file": str(target)}, "shots": 10, "seed": 1},
+        )
+
+    status, payload = _run(_with_server(pool, scenario))
+    assert status == 400
+    assert payload["status"] == "rejected"
+    assert "qasm_file" in payload["error"]
+
+
+def test_qasm_file_allow_list_serves_inside_and_rejects_outside(tmp_path):
+    circuits = tmp_path / "circuits"
+    circuits.mkdir()
+    (circuits / "bell.qasm").write_text(_BELL_QASM, encoding="utf-8")
+    pool = WorkerPool(
+        workers=1,
+        config=PoolConfig(
+            cache_dir=str(tmp_path / "cache"),
+            qasm_file_root=str(circuits),
+        ),
+    ).start()
+
+    async def scenario(front):
+        host, port = front.host, front.port
+        allowed = await post_json(
+            host,
+            port,
+            "/v1/sample",
+            {
+                "circuit": {"qasm_file": str(circuits / "bell.qasm")},
+                "shots": 100,
+                "seed": 1,
+            },
+        )
+        escaped = await post_json(
+            host,
+            port,
+            "/v1/sample",
+            {"circuit": {"qasm_file": "/etc/passwd"}, "shots": 10},
+        )
+        # Missing file under the root: the OSError maps to 400, the
+        # connection is answered, and the server keeps serving.
+        missing = await post_json(
+            host,
+            port,
+            "/v1/sample",
+            {
+                "circuit": {"qasm_file": str(circuits / "missing.qasm")},
+                "shots": 10,
+            },
+        )
+        again = await post_json(
+            host, port, "/v1/sample",
+            {"circuit": "bell", "shots": 100, "seed": 1},
+        )
+        return allowed, escaped, missing, again
+
+    allowed, escaped, missing, again = _run(_with_server(pool, scenario))
+    assert allowed[0] == 200 and allowed[1]["status"] == "ok"
+    assert escaped[0] == 400 and escaped[1]["status"] == "rejected"
+    assert missing[0] == 400 and missing[1]["status"] == "rejected"
+    assert again[0] == 200 and again[1]["status"] == "ok"
+
+
+def test_oversized_header_line_answers_431_not_a_dropped_socket(tmp_path):
+    pool = _pool(tmp_path)
+
+    async def scenario(front):
+        reader, writer = await asyncio.open_connection(front.host, front.port)
+        try:
+            # Just over the 64 KiB StreamReader line limit, but small
+            # enough to fit loopback socket buffers in one write — the
+            # server's 431 + close can't race unsent client data.
+            writer.write(
+                b"GET /healthz HTTP/1.1\r\n"
+                b"X-Junk: " + b"a" * 70_000 + b"\r\n\r\n"
+            )
+            try:
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+            status_line = await asyncio.wait_for(
+                reader.readline(), timeout=30.0
+            )
+            return status_line
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    status_line = _run(_with_server(pool, scenario))
+    assert b"431" in status_line
+
+
+def test_dead_worker_answers_503_instead_of_hanging(tmp_path):
+    pool = _pool(tmp_path)
+
+    async def scenario(front):
+        request = asyncio.create_task(
+            post_json(
+                front.host,
+                front.port,
+                "/v1/sample",
+                {"circuit": "qft_10", "shots": 200_000, "seed": 1},
+                timeout=60.0,
+            )
+        )
+        for _ in range(500):
+            if pool.stats(include_workers=False)["dispatched"] >= 1:
+                break
+            await asyncio.sleep(0.01)
+        pool._processes[0].kill()
+        return await request
+
+    status, payload = _run(_with_server(pool, scenario))
+    assert status == 503
+    assert payload["status"] == "unavailable"
+    assert "retry_after" in payload
+
+
 # ---------------------------------------------------------------------------
 # Shedding and drain
 # ---------------------------------------------------------------------------

@@ -120,6 +120,109 @@ def test_unresolvable_circuit_rejected_at_dispatch(tmp_path):
         assert pool.stats(include_workers=False)["resolve_rejected"] == 1
 
 
+_BELL_QASM = (
+    "OPENQASM 2.0;\n"
+    'include "qelib1.inc";\n'
+    "qreg q[2];\n"
+    "h q[0];\n"
+    "cx q[0],q[1];\n"
+)
+
+
+def test_qasm_file_spec_rejected_by_default(tmp_path):
+    # Network clients must not be able to make the pool open arbitrary
+    # local paths; with no allow-listed root the spec form is refused
+    # at dispatch, before any file is touched.
+    path = tmp_path / "bell.qasm"
+    path.write_text(_BELL_QASM, encoding="utf-8")
+    with WorkerPool(workers=1, config=PoolConfig()) as pool:
+        with pytest.raises(ReproError, match="qasm_file"):
+            pool.submit_record(
+                {"circuit": {"qasm_file": str(path)}, "shots": 10, "seed": 1}
+            )
+        assert pool.stats(include_workers=False)["resolve_rejected"] == 1
+
+
+def test_qasm_file_spec_allowed_under_configured_root(tmp_path):
+    inside = tmp_path / "circuits"
+    inside.mkdir()
+    (inside / "bell.qasm").write_text(_BELL_QASM, encoding="utf-8")
+    outside = tmp_path / "secret.qasm"
+    outside.write_text(_BELL_QASM, encoding="utf-8")
+    config = PoolConfig(qasm_file_root=str(inside))
+    with WorkerPool(workers=1, config=config) as pool:
+        response = pool.submit_record(
+            {
+                "circuit": {"qasm_file": str(inside / "bell.qasm")},
+                "shots": 50,
+                "seed": 1,
+            }
+        ).result(timeout=60)
+        assert response["status"] == "ok"
+        with pytest.raises(ReproError, match="outside the allowed"):
+            pool.submit_record(
+                {"circuit": {"qasm_file": str(outside)}, "shots": 10}
+            )
+        # Traversal out of the root is caught on the *resolved* path.
+        with pytest.raises(ReproError, match="outside the allowed"):
+            pool.submit_record(
+                {
+                    "circuit": {
+                        "qasm_file": str(inside / ".." / "secret.qasm")
+                    },
+                    "shots": 10,
+                }
+            )
+        # A missing file under the root is an OSError for the caller
+        # (the front door maps it to 400), never an unhandled crash.
+        with pytest.raises(OSError):
+            pool.submit_record(
+                {
+                    "circuit": {"qasm_file": str(inside / "missing.qasm")},
+                    "shots": 10,
+                }
+            )
+
+
+def test_crashed_worker_fails_pending_futures(tmp_path):
+    # A worker killed mid-build can never answer; the liveness monitor
+    # must fail its pending futures instead of letting callers (and
+    # drain) hang forever.
+    pool = WorkerPool(
+        workers=1, config=PoolConfig(cache_dir=str(tmp_path))
+    ).start()
+    try:
+        future = pool.submit_record(_record("qft_10", 200_000, 1, "doomed"))
+        pool._processes[0].kill()
+        with pytest.raises(PoolClosedError, match="died"):
+            future.result(timeout=30)
+        stats = pool.stats(include_workers=False)
+        assert stats["dead_worker_failures"] == 1
+        assert stats["outstanding"] == [0]
+        with pytest.raises(PoolClosedError):
+            pool.submit_record(_record("bell", 10, 1))
+    finally:
+        pool.close()
+
+
+def test_stats_polling_does_not_consume_dispatch_window(tmp_path):
+    # /stats is control-plane traffic: it must not occupy data-plane
+    # window slots, else monitoring a loaded server sheds real work.
+    with WorkerPool(
+        workers=1, config=PoolConfig(), max_queue_depth=1
+    ) as pool:
+        future = pool.submit_stats(0)
+        with pool._lock:
+            assert pool._outstanding == [0]
+            assert all(entry[2] for entry in pool._pending.values())
+        assert "requests" in future.result(timeout=30)["stats"]
+        # The single window slot is still free for a real request.
+        response = pool.submit_record(_record("bell", 50, 1)).result(
+            timeout=60
+        )
+        assert response["status"] == "ok"
+
+
 def test_worker_side_rejection_comes_back_as_record(tmp_path):
     with WorkerPool(workers=1, config=PoolConfig()) as pool:
         response = pool.submit_record(
