@@ -2,12 +2,12 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-sampling bench-compile bench-serving bench-smoke bench-kernel serve-smoke serve-net-smoke fuzz fuzz-smoke fuzz-self-check docs-check quick-table full-table figures shapes examples clean
+.PHONY: install test bench bench-sampling bench-compile bench-serving bench-smoke bench-kernel bench-approx serve-smoke serve-net-smoke fuzz fuzz-smoke fuzz-self-check docs-check quick-table full-table figures shapes examples clean
 
 install:
 	PIP_NO_BUILD_ISOLATION=false pip install -e .
 
-test: fuzz-smoke serve-smoke serve-net-smoke bench-kernel
+test: fuzz-smoke serve-smoke serve-net-smoke bench-kernel bench-approx
 	$(PYTHON) -m pytest tests/
 
 # Kernel perf gate: the SoA vector kernel must cold-build qft_16 at
@@ -15,6 +15,13 @@ test: fuzz-smoke serve-smoke serve-net-smoke bench-kernel
 # samples at equal seed (see docs/architecture.md, hot path section).
 bench-kernel:
 	PYTHONPATH=src $(PYTHON) -m repro.perf.bench --kernel-smoke
+
+# Approximation gate: under a hard node limit the exact dusty-GHZ build
+# must abort mid-build while the epsilon=0.05 approximate build
+# completes under the same limit, TVD inside its tracked fidelity
+# bound, equal-seed rebuilds bit-identical (see docs/approximation.md).
+bench-approx:
+	PYTHONPATH=src $(PYTHON) -m repro.perf.bench --approx-smoke
 
 # End-to-end serving gate: batch JSONL round trip on qft_16 + grover_8,
 # cold pass builds + caches, warm pass must skip strong simulation and

@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Approximation walkthrough: trade fidelity for memory, with a receipt.
+
+Exact DD simulation fails in exactly one way — the diagram outgrows
+memory.  :mod:`repro.dd.approximation` turns that cliff into a dial:
+prune the lowest-contribution edges during the build, track the
+worst-case fidelity cost of every prune, and return a **certified
+lower bound** with the samples.  This demo walks the whole contract:
+
+* the probe circuit is ``dusty_ghz`` — a GHZ skeleton plus layers of
+  tiny rotations, so the exact DD goes dense while a few heavy paths
+  carry almost all the probability mass (the best case for pruning),
+* an ε = 0.05 build holds the peak node count well under the exact
+  build's, and its measured TVD from exact sits far inside the
+  certified ``sqrt(1 - fidelity_bound)``,
+* under a hard ``node_limit`` the exact build *aborts* while the
+  approximate build completes — the cliff vs the dial,
+* equal seeds give bit-identical samples: approximation is
+  deterministic, not noisy,
+* the serving tier uses the same machinery as a degradation rung: an
+  exact request that blows the scheduler's node budget is answered by
+  an ε-approximated DD (bound attached) instead of falling straight
+  to dense simulation.
+
+Run:  python examples/approximation_demo.py
+"""
+
+import math
+import tempfile
+
+import numpy as np
+
+from repro.core import simulate_and_sample
+from repro.dd import ApproximationConfig
+from repro.perf.bench import dusty_ghz
+from repro.service import SamplingRequest, SamplingService
+from repro.service.scheduler import ServicePolicy
+from repro.simulators import DDSimulator
+
+SHOTS = 20_000
+SEED = 7
+EPSILON = 0.05
+NODE_LIMIT = 800
+
+
+def main() -> None:
+    circuit = dusty_ghz(10, 8)
+    print(f"dusty_ghz_10: {circuit.num_qubits} qubits, "
+          f"{circuit.num_operations} gates")
+
+    # -- exact vs approximate build -------------------------------------
+    exact_sim = DDSimulator(track_peak=True)
+    exact = exact_sim.run(circuit)
+    config = ApproximationConfig(epsilon=EPSILON, interval=10)
+    approx_sim = DDSimulator(approximation=config, track_peak=True)
+    approx = approx_sim.run(circuit)
+
+    bound = approx_sim.stats.fidelity_bound
+    tvd_bound = math.sqrt(1.0 - bound)
+    tvd = 0.5 * float(
+        np.abs(approx.probabilities() - exact.probabilities()).sum()
+    )
+    print(f"exact:  peak {exact_sim.stats.peak_dd_nodes} nodes, "
+          f"final {exact.node_count}")
+    print(f"approx: peak {approx_sim.stats.peak_dd_nodes} nodes, "
+          f"final {approx.node_count} "
+          f"({approx_sim.stats.approx_rounds} pruning rounds)")
+    print(f"certified fidelity >= {bound:.6f}  "
+          f"(TVD {tvd:.6f} <= bound {tvd_bound:.6f})")
+    assert bound >= 1.0 - EPSILON - 1e-9
+    assert tvd <= tvd_bound + 1e-9
+    assert approx_sim.stats.peak_dd_nodes <= exact_sim.stats.peak_dd_nodes
+
+    # -- the cliff vs the dial ------------------------------------------
+    try:
+        DDSimulator(node_limit=NODE_LIMIT).run(circuit)
+        raise AssertionError("exact build unexpectedly fit the limit")
+    except MemoryError as exc:
+        print(f"exact under node_limit={NODE_LIMIT}: aborted ({exc})")
+    survivor = DDSimulator(approximation=config, node_limit=NODE_LIMIT)
+    state = survivor.run(circuit)
+    print(f"approx under node_limit={NODE_LIMIT}: completed at "
+          f"{state.node_count} nodes, "
+          f"fidelity >= {survivor.stats.fidelity_bound:.6f}")
+
+    # -- deterministic sampling through the front door ------------------
+    first = simulate_and_sample(
+        circuit, SHOTS, seed=SEED, approximation=EPSILON
+    )
+    second = simulate_and_sample(
+        circuit, SHOTS, seed=SEED, approximation=EPSILON
+    )
+    meta = first.metadata["build"]["approximation"]
+    assert first.counts == second.counts  # equal seed -> identical samples
+    print(f"simulate_and_sample(approximation={EPSILON}): "
+          f"{meta['rounds']} rounds, fidelity >= "
+          f"{meta['fidelity_bound']:.6f}, equal-seed runs bit-identical")
+
+    # -- the serving tier's degradation rung ----------------------------
+    cache_dir = tempfile.mkdtemp(prefix="repro-approx-")
+    policy = ServicePolicy(max_build_nodes=NODE_LIMIT)
+    with SamplingService(cache_dir=cache_dir, policy=policy) as service:
+        response = service.sample(SamplingRequest(circuit, SHOTS, seed=SEED))
+        stats = service.stats()
+    assert response.status == "ok" and response.backend == "dd"
+    assert stats["approx_degraded"] == 1
+    print(f"service rung: {response.degraded_reason}")
+    print(f"  -> backend={response.backend}, "
+          f"fidelity >= {response.fidelity_bound:.6f}, "
+          f"approx_degraded={stats['approx_degraded']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -91,6 +91,24 @@ def _build_parser() -> argparse.ArgumentParser:
         "circuit skips strong simulation and is bit-identical for the "
         "same --seed (see docs/serving.md)",
     )
+    parser.add_argument(
+        "--approx-epsilon",
+        type=float,
+        default=0.0,
+        metavar="EPS",
+        help="approximate the DD build, keeping the tracked fidelity "
+        "lower bound >= 1-EPS (0, the default, is exact; DD methods "
+        "only; see docs/approximation.md)",
+    )
+    parser.add_argument(
+        "--approx-node-budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="switch approximation to the memory-driven strategy: prune "
+        "only when the DD exceeds N nodes, still spending at most "
+        "--approx-epsilon of fidelity",
+    )
     return parser
 
 
@@ -120,6 +138,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("error: --workers must be positive", file=sys.stderr)
         return 2
 
+    approximation = None
+    if args.approx_epsilon or args.approx_node_budget is not None:
+        from .dd.approximation import ApproximationConfig
+
+        try:
+            approximation = ApproximationConfig(
+                epsilon=args.approx_epsilon,
+                node_budget=args.approx_node_budget,
+            )
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        if not approximation.enabled:
+            print(
+                "error: --approx-node-budget needs --approx-epsilon > 0 "
+                "(the fidelity allowance the pruning may spend)",
+                file=sys.stderr,
+            )
+            return 2
+
     session = None
     if args.trace:
         from .telemetry import Telemetry
@@ -144,6 +182,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                         workers=args.workers,
                         optimize=not args.no_optimize,
                         kernel=args.kernel,
+                        approximation=approximation,
                     )
                 )
             if not response.ok:
@@ -164,6 +203,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 optimize=not args.no_optimize,
                 telemetry=session,
                 kernel=args.kernel,
+                approximation=approximation,
             )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -175,6 +215,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"{result.shots} shots via {args.method!r} in {elapsed:.3f} s"
         f"{cache_note}"
     )
+    if approximation is not None:
+        approx_meta = (result.metadata.get("build") or {}).get("approximation")
+        if approx_meta is None:
+            approx_meta = (result.metadata.get("service") or {}).get(
+                "approximation"
+            )
+        if approx_meta:
+            print(
+                f"approximation: fidelity >= {approx_meta['fidelity_bound']:.6f} "
+                f"(epsilon budget {approximation.epsilon}, "
+                f"{approx_meta['rounds']} pruning rounds, "
+                f"{approx_meta['removed_edges']} edges removed)"
+            )
     for bitstring, count in result.most_common(args.top):
         bar = "#" * max(1, round(40 * count / result.shots))
         print(f"  |{bitstring}>  {count:>8}  {bar}")

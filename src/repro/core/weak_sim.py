@@ -28,6 +28,7 @@ import numpy as np
 
 from .. import telemetry as _telemetry
 from ..circuit.circuit import QuantumCircuit
+from ..dd.approximation import ApproximationConfig
 from ..dd.normalization import NormalizationScheme
 from ..dd.vector_dd import VectorDD
 from ..exceptions import SamplingError
@@ -185,6 +186,13 @@ def _build_metadata(stats) -> dict:
         metadata["kernel"] = kernel
         metadata["kernel_fallbacks"] = getattr(stats, "kernel_fallbacks", 0)
         metadata["kernel_levels"] = getattr(stats, "kernel_levels", 0)
+    if getattr(stats, "fidelity_bound", None) is not None:
+        metadata["approximation"] = {
+            "rounds": stats.approx_rounds,
+            "removed_edges": stats.approx_removed_edges,
+            "removed_mass": stats.approx_removed_mass,
+            "fidelity_bound": stats.fidelity_bound,
+        }
     return metadata
 
 
@@ -200,6 +208,7 @@ def simulate_and_sample(
     optimize: bool = True,
     telemetry: Optional["_telemetry.Telemetry"] = None,
     kernel: str = "auto",
+    approximation: Optional[ApproximationConfig] = None,
 ) -> SampleResult:
     """Full weak simulation: run ``circuit``, then draw ``shots`` samples.
 
@@ -215,9 +224,25 @@ def simulate_and_sample(
     build engine (``"auto"``/``"vector"``/``"python"``, see
     :class:`~repro.simulators.dd_simulator.DDSimulator`); both engines
     are bit-identical, so samples at equal seed do not depend on it.
+    ``approximation`` (DD methods only) enables controlled DD pruning —
+    an :class:`~repro.dd.approximation.ApproximationConfig`, a bare
+    epsilon, or a ``{"epsilon": ...}`` mapping; the result's
+    ``metadata["build"]["approximation"]`` then reports the tracked
+    fidelity bound (see ``docs/approximation.md``).
     """
+    if approximation is not None and not isinstance(
+        approximation, ApproximationConfig
+    ):
+        approximation = ApproximationConfig.from_value(approximation)
+    if approximation is not None and not approximation.enabled:
+        approximation = None
     with _telemetry.activate(telemetry):
         if method in VECTOR_METHODS:
+            if approximation is not None:
+                raise SamplingError(
+                    "approximation applies to DD methods only; vector "
+                    "methods are always exact"
+                )
             if workers is not None:
                 raise SamplingError("parallel chunked sampling requires method='dd'")
             simulator = StatevectorSimulator(
@@ -228,7 +253,12 @@ def simulate_and_sample(
             result.metadata["build"] = _build_metadata(simulator.stats)
             return result
         if method in DD_METHODS:
-            dd_simulator = DDSimulator(scheme=scheme, optimize=optimize, kernel=kernel)
+            dd_simulator = DDSimulator(
+                scheme=scheme,
+                optimize=optimize,
+                kernel=kernel,
+                approximation=approximation,
+            )
             state = dd_simulator.run(circuit, initial_state=initial_state)
             result = sample_dd(state, shots, method=method, seed=seed, workers=workers)
             result.metadata["build"] = _build_metadata(dd_simulator.stats)

@@ -15,9 +15,13 @@ into DAGs with canonical complex edge weights.  Key entry points:
 
 from .apply import GateApplier, apply_operation
 from .approximation import (
+    DEFAULT_PRUNE_INTERVAL,
+    ApproximationConfig,
     ApproximationResult,
+    Approximator,
     edge_contributions,
     prune_low_contribution,
+    prune_to_node_budget,
 )
 from .complex_table import DEFAULT_TOLERANCE, ComplexTable
 from .compute_table import ComputeTable
@@ -71,9 +75,13 @@ __all__ = [
     "collapse",
     "measure_all_collapse",
     "to_dot",
+    "DEFAULT_PRUNE_INTERVAL",
+    "ApproximationConfig",
     "ApproximationResult",
+    "Approximator",
     "edge_contributions",
     "prune_low_contribution",
+    "prune_to_node_budget",
     "PauliString",
     "PauliObservable",
     "expectation_value",

@@ -2,22 +2,42 @@
 
 The paper defines weak simulation as mimicking a quantum computer
 "possibly with some error".  This module implements the natural DD
-realisation of that allowance (the direction explored by the authors'
-follow-up work): prune the edges that carry the least probability mass,
-renormalise, and sample from the smaller diagram.
+realisation of that allowance (the direction of the authors' follow-up
+work, arXiv:2012.05615): prune the edges that carry the least
+probability mass, renormalise, and sample from the smaller diagram.
 
-The contribution of an edge is its total sampled mass
-``upstream(node) * |w|^2 * downstream(child)`` — the probability that a
-sample's path traverses it.  :func:`prune_low_contribution` removes the
-cheapest edges until the requested mass budget is reached; the fidelity
-of the approximated state is approximately ``1 - removed mass``.
+Two layers live here:
+
+* **Primitives** — :func:`edge_contributions` scores every edge by the
+  probability mass that flows through it; :func:`prune_low_contribution`
+  removes the cheapest edges up to a mass budget;
+  :func:`prune_to_node_budget` removes just enough of them to fit a node
+  budget.  Each returns an :class:`ApproximationResult` carrying the
+  pruned state and the exact mass removed.
+* **The driver** — :class:`Approximator` strings pruning rounds through
+  a simulation under an :class:`ApproximationConfig`: either on a fixed
+  cadence (the *fidelity-driven* strategy) or whenever the live node
+  count exceeds a budget (the *memory-driven* strategy).  It tracks a
+  rigorous lower bound on the final state fidelity and never spends more
+  than the configured ``epsilon``.
+
+The bound is tracked in Fubini–Study *angle* space: one prune that
+removes mass ``m`` rotates the state by ``asin(sqrt(m))``, unitary gates
+preserve angles, and angles obey the triangle inequality — so the sum of
+per-round angles bounds the total rotation, giving
+
+* ``fidelity >= cos^2(sum of angles)``  (the reported ``fidelity_bound``)
+* ``TVD(exact, approx) <= sin(sum of angles) = sqrt(1 - fidelity_bound)``
+
+both of which hold for any interleaving of prunes and gates (see
+``docs/approximation.md`` for the derivation and its limits).
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from ..exceptions import DDError
 from .measure import downstream_probabilities, upstream_probabilities
@@ -25,12 +45,113 @@ from .node import Edge, Node, is_terminal
 from .package import DDPackage
 from .vector_dd import VectorDD
 
-__all__ = ["ApproximationResult", "edge_contributions", "prune_low_contribution"]
+__all__ = [
+    "DEFAULT_PRUNE_INTERVAL",
+    "ApproximationConfig",
+    "ApproximationResult",
+    "Approximator",
+    "edge_contributions",
+    "prune_low_contribution",
+    "prune_to_node_budget",
+]
+
+#: Gates between pruning rounds (and node-budget checks).  Matches the
+#: telemetry prober's cadence (``repro.telemetry.probes``), so the
+#: memory-driven strategy fires on the same schedule as the node-count
+#: probes that motivate it.
+DEFAULT_PRUNE_INTERVAL = 25
+
+
+@dataclass(frozen=True)
+class ApproximationConfig:
+    """How much error a run may spend, and how to spend it.
+
+    ``epsilon`` is the total infidelity allowance: the run's tracked
+    ``fidelity_bound`` never drops below ``1 - epsilon``, which caps the
+    sampling total-variation distance at ``sqrt(epsilon)``.
+    ``epsilon = 0`` disables approximation entirely (the run is exact),
+    everywhere in the stack — CLI, service, scheduler.
+
+    ``node_budget`` switches from the fidelity-driven strategy (prune on
+    a fixed cadence, spending the allowance evenly) to the memory-driven
+    strategy (prune only when the live DD exceeds ``node_budget`` nodes,
+    and then only enough to fit).  The budget is best-effort: the
+    ``epsilon`` contract always wins, so a round stops early rather than
+    overspend the allowance.
+
+    ``interval`` is the cadence in applied gates for both strategies.
+    """
+
+    epsilon: float = 0.0
+    interval: int = DEFAULT_PRUNE_INTERVAL
+    node_budget: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.epsilon < 1.0:
+            raise DDError(
+                f"approximation epsilon must be in [0, 1), got {self.epsilon}"
+            )
+        if self.interval < 1:
+            raise DDError(
+                f"approximation interval must be >= 1, got {self.interval}"
+            )
+        if self.node_budget is not None and self.node_budget < 1:
+            raise DDError(
+                f"approximation node budget must be >= 1, got {self.node_budget}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this configuration approximates at all (``epsilon > 0``)."""
+        return self.epsilon > 0.0
+
+    @property
+    def strategy(self) -> str:
+        """``"memory"`` when a node budget drives pruning, else ``"fidelity"``."""
+        return "memory" if self.node_budget is not None else "fidelity"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (the service's ``approximation`` request field)."""
+        payload: Dict[str, Any] = {"epsilon": self.epsilon}
+        if self.interval != DEFAULT_PRUNE_INTERVAL:
+            payload["interval"] = self.interval
+        if self.node_budget is not None:
+            payload["node_budget"] = self.node_budget
+        return payload
+
+    @classmethod
+    def from_value(cls, value: Any) -> "ApproximationConfig":
+        """Parse a request field: a bare number or ``{"epsilon": ...}``."""
+        if isinstance(value, ApproximationConfig):
+            return value
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return cls(epsilon=float(value))
+        if isinstance(value, dict):
+            known = {"epsilon", "interval", "node_budget"}
+            unknown = set(value) - known
+            if unknown:
+                raise DDError(
+                    f"unknown approximation fields {sorted(unknown)}; "
+                    f"expected a subset of {sorted(known)}"
+                )
+            return cls(
+                epsilon=float(value.get("epsilon", 0.0)),
+                interval=int(value.get("interval", DEFAULT_PRUNE_INTERVAL)),
+                node_budget=(
+                    None
+                    if value.get("node_budget") is None
+                    else int(value["node_budget"])
+                ),
+            )
+        raise DDError(
+            "approximation must be a number (epsilon) or an object "
+            f"with 'epsilon', got {type(value).__name__}"
+        )
 
 
 @dataclass(frozen=True)
 class ApproximationResult:
-    """Outcome of an approximation pass."""
+    """Outcome of one approximation pass."""
 
     state: VectorDD
     removed_mass: float
@@ -40,23 +161,31 @@ class ApproximationResult:
 
     @property
     def expected_fidelity(self) -> float:
-        """First-order fidelity estimate ``1 - removed mass``."""
+        """Exact fidelity of this single pass: ``1 - removed mass``."""
         return max(0.0, 1.0 - self.removed_mass)
 
 
 def edge_contributions(state: VectorDD) -> Dict[Tuple[int, int], float]:
-    """Probability mass flowing through each (node.index, bit) edge."""
+    """Probability mass flowing through each (node.index, bit) edge.
+
+    The contribution of an edge is ``upstream(node) * |w|^2 *
+    downstream(child) / downstream(node)`` — the probability that a
+    sample's root-to-terminal path traverses it.  The traversal is
+    iterative (explicit stack), like the measure-layer walks, so deep
+    registers do not hit the recursion limit.
+    """
     edge = state.edge
     if edge.is_zero or is_terminal(edge.node):
         return {}
     downstream = downstream_probabilities(edge)
     upstream = upstream_probabilities(edge, downstream)
     contributions: Dict[Tuple[int, int], float] = {}
-    seen = set()
-
-    def visit(node: Node) -> None:
+    seen: Set[int] = set()
+    stack: List[Node] = [edge.node]
+    while stack:
+        node = stack.pop()
         if is_terminal(node) or node.index in seen:
-            return
+            continue
         seen.add(node.index)
         u_node = upstream.get(node.index, 0.0)
         d_node = downstream[node.index]
@@ -72,10 +201,83 @@ def edge_contributions(state: VectorDD) -> Dict[Tuple[int, int], float]:
             contributions[(node.index, bit)] = (
                 u_node * branch / d_node if d_node > 0 else 0.0
             )
-            visit(child.node)
-
-    visit(edge.node)
+            if not is_terminal(child.node):
+                stack.append(child.node)
     return contributions
+
+
+def _rebuild_without(
+    edge: Edge, doomed: Set[Tuple[int, int]], package: DDPackage
+) -> Edge:
+    """Rebuild ``edge``'s DD with the ``doomed`` (node, bit) edges zeroed.
+
+    Every surviving node goes back through
+    :meth:`~repro.dd.package.DDPackage.make_vector_node` — the unique
+    table's canonical construction path — so the result has interned
+    weights and no duplicate nodes (the canonicality contract pinned by
+    ``tests/test_approximation.py``).  Iterative post-order traversal;
+    may return the zero edge when everything was pruned.
+    """
+    if edge.is_zero:
+        return package.zero_edge
+    if is_terminal(edge.node):
+        return package.terminal_edge(edge.weight)
+    memo: Dict[int, Edge] = {}
+    stack: List[Node] = [edge.node]
+    while stack:
+        node = stack[-1]
+        if node.index in memo:
+            stack.pop()
+            continue
+        pending = [
+            child.node
+            for bit, child in enumerate(node.edges)
+            if not child.is_zero
+            and (node.index, bit) not in doomed
+            and not is_terminal(child.node)
+            and child.node.index not in memo
+        ]
+        if pending:
+            stack.extend(pending)
+            continue
+        stack.pop()
+        children: List[Edge] = []
+        for bit, child in enumerate(node.edges):
+            if child.is_zero or (node.index, bit) in doomed:
+                children.append(package.zero_edge)
+            elif is_terminal(child.node):
+                children.append(package.terminal_edge(child.weight))
+            else:
+                children.append(
+                    package.scale(memo[child.node.index], child.weight)
+                )
+        memo[node.index] = package.make_vector_node(node.var, tuple(children))
+    return package.scale(memo[edge.node.index], edge.weight)
+
+
+def _finish(
+    state: VectorDD,
+    pruned: Edge,
+    package: DDPackage,
+    removed_mass: float,
+    removed_edges: int,
+    nodes_before: int,
+) -> ApproximationResult:
+    """Renormalise a pruned root edge and wrap it as a result."""
+    if pruned.is_zero:
+        raise DDError("approximation removed the entire state")
+    norm_sq = package.norm_squared(pruned)
+    if norm_sq <= 0.0:
+        raise DDError("pruned state has zero norm")
+    pruned = package.scale(pruned, 1.0 / math.sqrt(norm_sq))
+    approximated = VectorDD(package, pruned, state.num_qubits)
+    return ApproximationResult(
+        state=approximated,
+        removed_mass=removed_mass,
+        removed_edges=removed_edges,
+        nodes_before=nodes_before,
+        nodes_after=approximated.node_count,
+    )
 
 
 def prune_low_contribution(
@@ -94,13 +296,14 @@ def prune_low_contribution(
         raise DDError("approximation budget must be in [0, 1)")
     package = package or state.package
     contributions = edge_contributions(state)
-    # Cheapest edges first; never remove an edge whose sibling is
-    # already gone (that would zero a whole node unexpectedly) — the
-    # rebuild handles node collapse naturally, but we simply skip edges
-    # whose removal would exceed the budget.
-    doomed: set = set()
+    # Cheapest edges first; edges carrying no mass are always free to
+    # drop, and the scan stops at the first edge whose removal would
+    # exceed the budget.
+    doomed: Set[Tuple[int, int]] = set()
     removed_mass = 0.0
-    for (node_index, bit), mass in sorted(contributions.items(), key=lambda kv: kv[1]):
+    for (node_index, bit), mass in sorted(
+        contributions.items(), key=lambda kv: kv[1]
+    ):
         if mass <= 0.0:
             doomed.add((node_index, bit))
             continue
@@ -118,38 +321,197 @@ def prune_low_contribution(
             nodes_before=nodes_before,
             nodes_after=nodes_before,
         )
-
-    memo: Dict[int, Edge] = {}
-
-    def rebuild(edge: Edge, from_node: Optional[int], bit: Optional[int]) -> Edge:
-        if edge.is_zero:
-            return package.zero_edge
-        if from_node is not None and (from_node, bit) in doomed:
-            return package.zero_edge
-        node = edge.node
-        if is_terminal(node):
-            return package.terminal_edge(edge.weight)
-        cached = memo.get(node.index)
-        if cached is None:
-            children = tuple(
-                rebuild(node.edges[b], node.index, b) for b in range(2)
-            )
-            cached = package.make_vector_node(node.var, children)
-            memo[node.index] = cached
-        return package.scale(cached, edge.weight)
-
-    pruned = rebuild(state.edge, None, None)
-    if pruned.is_zero:
-        raise DDError("approximation removed the entire state")
-    norm_sq = package.norm_squared(pruned)
-    if norm_sq <= 0.0:
-        raise DDError("pruned state has zero norm")
-    pruned = package.scale(pruned, 1.0 / math.sqrt(norm_sq))
-    approximated = VectorDD(package, pruned, state.num_qubits)
-    return ApproximationResult(
-        state=approximated,
-        removed_mass=removed_mass,
-        removed_edges=len(doomed),
-        nodes_before=nodes_before,
-        nodes_after=approximated.node_count,
+    pruned = _rebuild_without(state.edge, doomed, package)
+    return _finish(
+        state, pruned, package, removed_mass, len(doomed), nodes_before
     )
+
+
+def prune_to_node_budget(
+    state: VectorDD,
+    node_budget: int,
+    max_removed_mass: float = 0.5,
+    package: Optional[DDPackage] = None,
+) -> ApproximationResult:
+    """Prune just enough low-contribution edges to fit ``node_budget`` nodes.
+
+    Edges are considered cheapest-first; a bisection over the sorted
+    prefix finds the smallest removal whose rebuilt diagram has at most
+    ``node_budget`` nodes.  ``max_removed_mass`` caps the total mass the
+    call may discard — the fidelity contract always wins, so when the
+    budget is unreachable within the cap the call removes what the cap
+    allows and returns the (over-budget) best effort instead of raising.
+
+    A state already within budget comes back untouched with zero
+    removed mass.
+    """
+    if node_budget < 1:
+        raise DDError(f"node budget must be >= 1, got {node_budget}")
+    if not 0.0 <= max_removed_mass < 1.0:
+        raise DDError("max_removed_mass must be in [0, 1)")
+    package = package or state.package
+    nodes_before = state.node_count
+    untouched = ApproximationResult(
+        state=state,
+        removed_mass=0.0,
+        removed_edges=0,
+        nodes_before=nodes_before,
+        nodes_after=nodes_before,
+    )
+    if nodes_before <= node_budget:
+        return untouched
+    ranked = sorted(edge_contributions(state).items(), key=lambda kv: kv[1])
+    # Largest usable prefix: cumulative mass must stay within the cap.
+    cumulative: List[float] = [0.0]
+    for _, mass in ranked:
+        total = cumulative[-1] + max(0.0, mass)
+        if total > max_removed_mass:
+            break
+        cumulative.append(total)
+    limit = len(cumulative) - 1
+    if limit == 0:
+        return untouched
+
+    rebuilt: Dict[int, Edge] = {}
+
+    def attempt(count: int) -> Edge:
+        if count not in rebuilt:
+            doomed = {key for key, _ in ranked[:count]}
+            rebuilt[count] = _rebuild_without(state.edge, doomed, package)
+        return rebuilt[count]
+
+    def fits(count: int) -> bool:
+        pruned = attempt(count)
+        if pruned.is_zero:
+            return False  # over-pruned; bisection must back off
+        return package.node_count(pruned) <= node_budget
+
+    low, high = 1, limit
+    while low < high:
+        mid = (low + high) // 2
+        if fits(mid):
+            high = mid
+        else:
+            low = mid + 1
+    count = low
+    pruned = attempt(count)
+    while pruned.is_zero and count > 0:
+        count -= 1
+        pruned = attempt(count)
+    if count == 0:
+        return untouched
+    return _finish(
+        state, pruned, package, cumulative[count], count, nodes_before
+    )
+
+
+class Approximator:
+    """Drives pruning rounds through a simulation under a config.
+
+    One instance accompanies one :meth:`DDSimulator.run
+    <repro.simulators.dd_simulator.DDSimulator.run>`: the simulator calls
+    :meth:`due` after each applied gate and :meth:`prune` on the rounds
+    it flags (plus a final round on the finished state).  The instance
+    accumulates the spent Fubini–Study angle across rounds;
+    :attr:`fidelity_bound` and :attr:`tvd_bound` are derived from it and
+    are rigorous for any interleaving of prunes and unitary gates.
+
+    The *fidelity-driven* strategy (no node budget) spends the allowance
+    on a linear angle schedule over the expected number of rounds, so
+    early rounds cannot starve late ones.  The *memory-driven* strategy
+    prunes only when the state exceeds ``node_budget`` nodes, spending
+    as little of the remaining allowance as fitting requires.
+    """
+
+    def __init__(
+        self,
+        config: ApproximationConfig,
+        total_operations: int,
+        package: Optional[DDPackage] = None,
+    ):
+        if not config.enabled:
+            raise DDError("Approximator needs an enabled config (epsilon > 0)")
+        self.config = config
+        self.package = package
+        #: Expected pruning rounds: one per interval, plus the final one.
+        self.total_rounds = max(
+            1, math.ceil(max(0, total_operations) / config.interval)
+        )
+        #: Total Fubini–Study angle the run may spend.
+        self.angle_budget = math.asin(math.sqrt(config.epsilon))
+        self.angle_spent = 0.0
+        self.rounds = 0
+        self.removed_edges = 0
+        self.removed_mass = 0.0
+        self._round_index = 0
+        self.last_result: Optional[ApproximationResult] = None
+
+    @property
+    def fidelity_bound(self) -> float:
+        """Rigorous lower bound on the fidelity of the approximated state."""
+        return math.cos(self.angle_spent) ** 2
+
+    @property
+    def tvd_bound(self) -> float:
+        """Rigorous bound on sampling TVD: ``sqrt(1 - fidelity_bound)``."""
+        return math.sin(self.angle_spent)
+
+    def due(self, operations: int) -> bool:
+        """Whether a pruning round should run after ``operations`` gates."""
+        return operations > 0 and operations % self.config.interval == 0
+
+    def _allowance(self, final: bool) -> float:
+        """Mass this round may remove without breaking the angle schedule."""
+        if self.config.node_budget is not None or final:
+            # Memory-driven rounds (and the final fidelity round) may
+            # draw on the full remaining allowance.
+            headroom = self.angle_budget - self.angle_spent
+        else:
+            schedule = min(self._round_index, self.total_rounds)
+            target = self.angle_budget * (schedule / self.total_rounds)
+            headroom = target - self.angle_spent
+        if headroom <= 0.0:
+            return 0.0
+        return math.sin(headroom) ** 2
+
+    def prune(self, state: VectorDD, final: bool = False) -> VectorDD:
+        """Run one pruning round; returns the (possibly smaller) state."""
+        self._round_index += 1
+        package = self.package or state.package
+        budget = self.config.node_budget
+        if budget is not None and state.node_count <= budget:
+            return state
+        allowance = self._allowance(final)
+        if allowance <= 0.0 and budget is None:
+            return state
+        if budget is not None:
+            result = prune_to_node_budget(
+                state, budget, max_removed_mass=allowance, package=package
+            )
+        else:
+            result = prune_low_contribution(state, allowance, package=package)
+        if result.removed_edges == 0:
+            return state
+        if result.removed_mass > 0.0:
+            self.angle_spent += math.asin(
+                math.sqrt(min(1.0, result.removed_mass))
+            )
+        self.rounds += 1
+        self.removed_edges += result.removed_edges
+        self.removed_mass += result.removed_mass
+        self.last_result = result
+        return result.state
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-ready account of the run (lands in result/service meta)."""
+        return {
+            "epsilon": self.config.epsilon,
+            "strategy": self.config.strategy,
+            "interval": self.config.interval,
+            "node_budget": self.config.node_budget,
+            "rounds": self.rounds,
+            "removed_edges": self.removed_edges,
+            "removed_mass": self.removed_mass,
+            "fidelity_bound": self.fidelity_bound,
+            "tvd_bound": self.tvd_bound,
+        }

@@ -7,22 +7,26 @@ Examples::
     python -m repro.fuzz --families clifford,nearzero
     python -m repro.fuzz --self-check                    # mutation test
 
-``--self-check`` deliberately injects a normalisation bug into the DD
-package and verifies the fuzzer catches it and minimizes the reproducer
-to a handful of gates — proof the oracles have teeth (documented in
-``docs/fuzzing.md``).  Exit status is non-zero when failures are found
-(or, under ``--self-check``, when the injected bug is *not* found).
+``--self-check`` deliberately injects two known bugs — a normalisation
+skew in the DD package, then an over-pruning approximation that lies
+about its fidelity bound — and verifies the fuzzer catches both (and
+minimizes the first to a handful of gates) — proof the oracles have
+teeth (documented in ``docs/fuzzing.md``).  Exit status is non-zero
+when failures are found (or, under ``--self-check``, when an injected
+bug is *not* found).
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 import tempfile
 from pathlib import Path
 from typing import List, Optional
 
 from .. import telemetry as _telemetry
+from ..dd import approximation as _dd_approximation
 from ..dd import package as _dd_package
 from .families import FAMILIES
 from .runner import FuzzConfig, FuzzReport, run_fuzz
@@ -124,8 +128,24 @@ def _skewed_normalize(weights, scheme, tolerance=1e-12):
 _ORIGINAL_NORMALIZE = _dd_package.normalize_weights
 
 
-def _run_self_check(args: argparse.Namespace) -> int:
-    """Mutation test: the fuzzer must catch the injected skew bug."""
+def _overpruning_prune(state, budget, package=None):
+    """The planted approximation bug: prune far beyond the allowance
+    while reporting only 1 percent of the removed mass, so the tracked
+    fidelity bound claims near-exactness the state no longer has.  The
+    ``approx-vs-exact`` oracle must notice the true TVD blowing through
+    the reported bound.
+    """
+    result = _ORIGINAL_PRUNE(
+        state, min(0.5, budget * 25.0 + 0.02), package=package
+    )
+    return dataclasses.replace(result, removed_mass=result.removed_mass * 0.01)
+
+
+_ORIGINAL_PRUNE = _dd_approximation.prune_low_contribution
+
+
+def _check_normalize_mutation(args: argparse.Namespace) -> int:
+    """The fuzzer must catch the skew bug and minimize it tightly."""
     with tempfile.TemporaryDirectory() as scratch:
         config = FuzzConfig(
             families=("clifford", "diagonal"),
@@ -153,6 +173,40 @@ def _run_self_check(args: argparse.Namespace) -> int:
         )
         return 1
     return 0
+
+
+def _check_overpruning_mutation(args: argparse.Namespace) -> int:
+    """The approx-vs-exact oracle must catch a lying fidelity bound."""
+    with tempfile.TemporaryDirectory() as scratch:
+        config = FuzzConfig(
+            families=("diagonal", "nearzero"),
+            seed=args.seed,
+            max_circuits=20,
+            minimize=False,
+            corpus_dir=Path(scratch),
+        )
+        _dd_approximation.prune_low_contribution = _overpruning_prune
+        try:
+            report = run_fuzz(config)
+        finally:
+            _dd_approximation.prune_low_contribution = _ORIGINAL_PRUNE
+    caught = [f for f in report.failures if f.oracle == "approx-vs-exact"]
+    if not caught:
+        print(
+            "self-check FAILED: planted over-pruning bug went undetected "
+            "by the approx-vs-exact oracle"
+        )
+        return 1
+    print(
+        "self-check passed: planted over-pruning bug caught "
+        f"{len(caught)} time(s) by approx-vs-exact"
+    )
+    return 0
+
+
+def _run_self_check(args: argparse.Namespace) -> int:
+    """Mutation tests: each planted bug must be found by its oracle."""
+    return _check_normalize_mutation(args) | _check_overpruning_mutation(args)
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -14,6 +14,7 @@ minimizer can shrink crashing circuits with the same machinery.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Tuple
 
@@ -32,7 +33,8 @@ from ..core.shot_executor import (
     ShotExecutor,
     circuit_has_mid_circuit_measurement,
 )
-from ..core.weak_sim import sample_dd
+from ..core.weak_sim import sample_dd, simulate_and_sample
+from ..dd.approximation import ApproximationConfig
 from ..exceptions import ReproError
 from ..simulators.dd_simulator import DDSimulator
 from ..simulators.stabilizer import StabilizerSimulator
@@ -41,6 +43,8 @@ from .families import CircuitFamily
 
 __all__ = [
     "ATOL",
+    "APPROX_EPSILON",
+    "APPROX_INTERVAL",
     "P_VALUE_FLOOR",
     "SAMPLE_SHOTS",
     "PER_SHOT_SAMPLE_SHOTS",
@@ -68,6 +72,19 @@ PER_SHOT_SAMPLE_SHOTS = 128
 
 #: Largest register for which the dense reference distribution is built.
 MAX_EXACT_QUBITS = 16
+
+#: Fidelity allowance the approximation oracle asks for.
+APPROX_EPSILON = 0.05
+
+#: Pruning cadence for the approximation oracle — far below the default
+#: 25 so the fuzzer's short circuits get several pruning rounds.
+APPROX_INTERVAL = 4
+
+#: Extra TVD headroom for the *sampled* approximation comparison: two
+#: 1024-shot empirical distributions are each a noisy estimate, so the
+#: analytic bound gets a finite-shot allowance before a divergence
+#: counts as a bug.
+APPROX_SAMPLING_SLACK = 0.1
 
 
 @dataclass(frozen=True)
@@ -341,6 +358,90 @@ def _check_kernel_vs_python(
     )
 
 
+def _empirical_tvd(first, second) -> float:
+    """TVD between two empirical count distributions."""
+    a, b = dict(first.counts), dict(second.counts)
+    total_a = sum(a.values())
+    total_b = sum(b.values())
+    return 0.5 * sum(
+        abs(a.get(key, 0) / total_a - b.get(key, 0) / total_b)
+        for key in set(a) | set(b)
+    )
+
+
+def _check_approx_vs_exact(
+    circuit: QuantumCircuit, rng: np.random.Generator
+) -> Optional[str]:
+    """Approximate DD error must stay within its own reported bound.
+
+    The approximation contract (``docs/approximation.md``) promises that
+    a build with fidelity budget ε reports ``fidelity_bound ≥ 1−ε`` and
+    that the true TVD from the exact distribution is at most
+    ``sqrt(1−fidelity_bound)``.  Both halves are checked: dense TVD
+    within :data:`MAX_EXACT_QUBITS` on unitary circuits, a seeded
+    chi-square/empirical-TVD comparison above that width and on
+    measure-and-continue circuits (where the collapse makes the bound
+    statistical rather than exact).
+    """
+    config = ApproximationConfig(
+        epsilon=APPROX_EPSILON, interval=APPROX_INTERVAL
+    )
+    if (
+        not circuit_has_mid_circuit_measurement(circuit)
+        and circuit.num_qubits <= MAX_EXACT_QUBITS
+    ):
+        simulator = DDSimulator(approximation=config)
+        approx = simulator.run(circuit).probabilities()
+        bound = simulator.stats.fidelity_bound
+        if bound is None:
+            return "approximation enabled but no fidelity bound reported"
+        if bound < 1.0 - APPROX_EPSILON - ATOL:
+            return (
+                f"fidelity bound {bound:.6f} overspends the budget "
+                f"1-eps = {1.0 - APPROX_EPSILON}"
+            )
+        tvd_bound = math.sqrt(max(0.0, 1.0 - bound))
+        exact = _statevector_probabilities(circuit)
+        tvd = 0.5 * float(np.abs(approx - exact).sum())
+        if tvd <= tvd_bound + ATOL:
+            return None
+        return (
+            f"approx vs exact: TVD {tvd:.6f} exceeds the reported bound "
+            f"{tvd_bound:.6f} (fidelity >= {bound:.6f})"
+        )
+    seed = int(rng.integers(2**63))
+    approx = simulate_and_sample(
+        circuit, SAMPLE_SHOTS, seed=seed, approximation=config
+    )
+    replay = simulate_and_sample(
+        circuit, SAMPLE_SHOTS, seed=seed, approximation=config
+    )
+    if approx.counts != replay.counts:
+        return "approximate sampling is not deterministic at equal seed"
+    meta = (approx.metadata.get("build") or {}).get("approximation") or {}
+    bound = float(meta.get("fidelity_bound", 1.0))
+    if bound < 1.0 - APPROX_EPSILON - ATOL:
+        return (
+            f"fidelity bound {bound:.6f} overspends the budget "
+            f"1-eps = {1.0 - APPROX_EPSILON}"
+        )
+    exact = simulate_and_sample(circuit, SAMPLE_SHOTS, seed=seed)
+    outcome = two_sample_chi_square(approx, exact)
+    if outcome.p_value >= P_VALUE_FLOOR:
+        return None
+    # The samplers disagree more than chance allows; that is still fine
+    # as long as the divergence is explained by the declared pruning.
+    tvd_bound = math.sqrt(max(0.0, 1.0 - bound))
+    tvd = _empirical_tvd(approx, exact)
+    if tvd <= tvd_bound + APPROX_SAMPLING_SLACK:
+        return None
+    return (
+        f"approx vs exact samples: chi²={outcome.statistic:.2f} "
+        f"(dof {outcome.dof}), p={outcome.p_value:.3e}, empirical TVD "
+        f"{tvd:.4f} exceeds bound {tvd_bound:.4f} + slack"
+    )
+
+
 def _wrap(
     run: Callable[[QuantumCircuit, np.random.Generator], Optional[str]],
 ) -> Callable[[QuantumCircuit, np.random.Generator], Optional[str]]:
@@ -409,6 +510,13 @@ ORACLES: Dict[str, Oracle] = {
             pair=("dd@vector", "dd@python"),
             applies=lambda family: True,
             run=_wrap(_check_kernel_vs_python),
+        ),
+        Oracle(
+            name="approx-vs-exact",
+            description="bound check: approximate DD error within reported ε",
+            pair=("dd+approx", "statevector"),
+            applies=lambda family: True,
+            run=_wrap(_check_approx_vs_exact),
         ),
         Oracle(
             name="stabilizer-vs-exact",

@@ -14,12 +14,17 @@ Gives every future PR a perf trajectory to defend.  One run measures
   bit-identity check of the worker-independence guarantee,
 * **telemetry overhead** — the full weak-simulation pipeline with and
   without an active :class:`repro.telemetry.Telemetry` session, guarding
-  the observability layer's stay-cheap contract.
+  the observability layer's stay-cheap contract,
+* **approximation** — fidelity-driven DD pruning (ε = 0.05) against the
+  exact build on a dominant-path circuit whose exact DD goes dense:
+  peak-node reduction, build speedup, the tracked fidelity bound, and
+  the measured TVD against that bound (see ``docs/approximation.md``).
 
 Run it with::
 
     python -m repro.perf.bench --out BENCH_sampling.json
     python -m repro.perf.bench --smoke          # toy sizes, seconds
+    python -m repro.perf.bench --approx-smoke   # 'make bench-approx' gate
     python -m repro.perf.bench --validate BENCH_sampling.json
 
 The JSON layout is versioned and checked by :func:`validate_payload`;
@@ -30,6 +35,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import random
 import sys
 import time
 from typing import Dict, List, Optional
@@ -44,7 +50,9 @@ from ..compile import optimize_circuit
 from ..core.dd_sampler import DDSampler
 from ..core.shot_executor import ShotExecutor
 from ..core.indistinguishability import two_sample_chi_square
+from ..dd.approximation import ApproximationConfig
 from ..simulators.dd_simulator import DDSimulator
+from ..simulators.statevector import StatevectorSimulator
 from .compiled_dd import CompiledDDCache
 from .parallel import sample_chunked
 
@@ -52,18 +60,30 @@ __all__ = [
     "FORMAT",
     "VERSION",
     "KERNEL_SMOKE_SPEEDUP_FLOOR",
+    "APPROX_SMOKE_NODE_LIMIT",
+    "dusty_ghz",
     "run_harness",
     "run_kernel_smoke",
+    "run_approx_smoke",
     "validate_payload",
     "main",
 ]
 
 FORMAT = "repro-bench-sampling"
-VERSION = 3
+VERSION = 4
 
 #: The ``make bench-kernel`` gate: the SoA kernel's cold build of qft_16
 #: must beat the python reference by at least this factor (best of 3).
 KERNEL_SMOKE_SPEEDUP_FLOOR = 3.0
+
+#: The ``make bench-approx`` gate's node budget: the exact build of the
+#: gate's circuit must blow through this mid-build, while the ε = 0.05
+#: approximate build completes under it.
+APPROX_SMOKE_NODE_LIMIT = 800
+
+#: Peak-node reduction the full-size approximation case must reach
+#: (exact peak / approximate peak, both from ``track_peak`` probes).
+APPROX_NODE_REDUCTION_FLOOR = 2.0
 
 #: Fail validation when the telemetry-enabled pipeline is this much
 #: slower than the disabled one — generous because the measured circuit
@@ -106,7 +126,58 @@ _SCHEMA: Dict[str, List[str]] = {
         "overhead_percent",
         "trace_records",
     ],
+    "approximation": [
+        "circuit",
+        "num_qubits",
+        "operations",
+        "epsilon",
+        "interval",
+        "exact_build_seconds",
+        "exact_peak_nodes",
+        "exact_final_nodes",
+        "approx_build_seconds",
+        "approx_peak_nodes",
+        "approx_final_nodes",
+        "node_reduction",
+        "speedup",
+        "pruning_rounds",
+        "edges_removed",
+        "fidelity_bound",
+        "tvd_bound",
+        "tvd",
+        "tvd_within_bound",
+        "samples_bit_identical",
+    ],
 }
+
+
+def dusty_ghz(
+    num_qubits: int, depth: int, delta: float = 0.01, seed: int = 7
+) -> QuantumCircuit:
+    """A dominant-path circuit whose exact DD goes dense: the
+    approximation showcase.
+
+    A GHZ skeleton followed by ``depth`` layers of tiny ``ry(≈delta)``
+    rotations and alternating CX pairs.  The tiny rotations spray
+    low-amplitude "dust" branches off the two dominant GHZ paths; the
+    entangling layers stop the dust from merging back, so the exact DD
+    saturates at ``2^n − 1`` nodes while fidelity-driven pruning
+    (``docs/approximation.md``) keeps cutting the dust and holds the
+    diagram thin.  Random circuits make a deliberately *bad* showcase —
+    their states have no amplitude hierarchy, so there is nothing cheap
+    to prune — which is why the harness measures this regime instead.
+    """
+    rng = random.Random(seed)
+    circuit = QuantumCircuit(num_qubits, name=f"dusty_ghz_{num_qubits}")
+    circuit.h(0)
+    for qubit in range(num_qubits - 1):
+        circuit.cx(qubit, qubit + 1)
+    for layer in range(depth):
+        for qubit in range(num_qubits):
+            circuit.ry(delta * (0.5 + rng.random()), qubit)
+        for qubit in range(layer % 2, num_qubits - 1, 2):
+            circuit.cx(qubit, qubit + 1)
+    return circuit
 
 
 def _mid_circuit_circuit(num_qubits: int) -> QuantumCircuit:
@@ -208,6 +279,137 @@ def _timed_pipeline(circuit: QuantumCircuit, shots: int, seed: int, telemetry):
     seconds = time.perf_counter() - start
     records = len(telemetry.records()) if telemetry is not None else 0
     return seconds, records
+
+
+def _approximation_section(
+    seed: int, smoke: bool, shots: int = 5_000
+) -> Dict:
+    """Exact vs ε-approximate build on the dusty-GHZ showcase circuit.
+
+    Both builds run with ``track_peak`` so the peak-node columns come
+    from the per-gate telemetry probes, not just the final diagram.  The
+    approximate build runs twice at the same seed to pin the equal-seed
+    bit-identity guarantee, and the dense TVD against the statevector
+    reference is compared with the tracked bound ``sqrt(1 − fidelity)``.
+    """
+    if smoke:
+        circuit = dusty_ghz(10, 8)
+    else:
+        circuit = dusty_ghz(12, 10)
+    config = ApproximationConfig(epsilon=0.05, interval=10)
+
+    start = time.perf_counter()
+    exact_sim = DDSimulator(track_peak=True)
+    exact_state = exact_sim.run(circuit)
+    exact_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    approx_sim = DDSimulator(approximation=config, track_peak=True)
+    approx_state = approx_sim.run(circuit)
+    approx_seconds = time.perf_counter() - start
+
+    bound = float(approx_sim.stats.fidelity_bound)
+    tvd_bound = float(np.sqrt(max(0.0, 1.0 - bound)))
+    reference = np.abs(StatevectorSimulator().run(circuit)) ** 2
+    tvd = 0.5 * float(
+        np.abs(approx_state.probabilities() - reference).sum()
+    )
+
+    samples = DDSampler(approx_state).compiled().sample(
+        shots, np.random.default_rng(seed)
+    )
+    replay_state = DDSimulator(approximation=config).run(circuit)
+    replay = DDSampler(replay_state).compiled().sample(
+        shots, np.random.default_rng(seed)
+    )
+
+    return {
+        "circuit": circuit.name,
+        "num_qubits": circuit.num_qubits,
+        "operations": circuit.num_operations,
+        "epsilon": config.epsilon,
+        "interval": config.interval,
+        "exact_build_seconds": round(exact_seconds, 6),
+        "exact_peak_nodes": exact_sim.stats.peak_dd_nodes,
+        "exact_final_nodes": exact_sim.stats.final_dd_nodes,
+        "approx_build_seconds": round(approx_seconds, 6),
+        "approx_peak_nodes": approx_sim.stats.peak_dd_nodes,
+        "approx_final_nodes": approx_sim.stats.final_dd_nodes,
+        "node_reduction": round(
+            exact_sim.stats.peak_dd_nodes
+            / max(approx_sim.stats.peak_dd_nodes, 1),
+            2,
+        ),
+        "speedup": round(exact_seconds / max(approx_seconds, 1e-9), 2),
+        "pruning_rounds": approx_sim.stats.approx_rounds,
+        "edges_removed": approx_sim.stats.approx_removed_edges,
+        "fidelity_bound": round(bound, 6),
+        "tvd_bound": round(tvd_bound, 6),
+        "tvd": round(tvd, 6),
+        "tvd_within_bound": bool(tvd <= tvd_bound + 1e-9),
+        "samples_bit_identical": bool(np.array_equal(samples, replay)),
+    }
+
+
+def run_approx_smoke(seed: int = 7, shots: int = 2_000) -> Dict:
+    """The ``make bench-approx`` gate body: degrade where exact cannot fit.
+
+    Builds ``dusty_ghz(10, 8)`` under a hard
+    :data:`APPROX_SMOKE_NODE_LIMIT` node limit twice: the exact build
+    must abort mid-build (``MemoryError`` from the node-limit probe),
+    while the ε = 0.05 approximate build must complete under the same
+    limit with its measured TVD inside the tracked bound and equal-seed
+    samples bit-identical across rebuilds.
+    """
+    circuit = dusty_ghz(10, 8)
+    config = ApproximationConfig(epsilon=0.05, interval=10)
+
+    exact_aborted = False
+    start = time.perf_counter()
+    try:
+        DDSimulator(node_limit=APPROX_SMOKE_NODE_LIMIT).run(circuit)
+    except MemoryError:
+        exact_aborted = True
+    exact_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    simulator = DDSimulator(
+        approximation=config,
+        node_limit=APPROX_SMOKE_NODE_LIMIT,
+        track_peak=True,
+    )
+    state = simulator.run(circuit)
+    approx_seconds = time.perf_counter() - start
+
+    bound = float(simulator.stats.fidelity_bound)
+    tvd_bound = float(np.sqrt(max(0.0, 1.0 - bound)))
+    reference = np.abs(StatevectorSimulator().run(circuit)) ** 2
+    tvd = 0.5 * float(np.abs(state.probabilities() - reference).sum())
+
+    samples = DDSampler(state).compiled().sample(
+        shots, np.random.default_rng(seed)
+    )
+    replay_state = DDSimulator(
+        approximation=config, node_limit=APPROX_SMOKE_NODE_LIMIT
+    ).run(circuit)
+    replay = DDSampler(replay_state).compiled().sample(
+        shots, np.random.default_rng(seed)
+    )
+
+    return {
+        "circuit": circuit.name,
+        "node_limit": APPROX_SMOKE_NODE_LIMIT,
+        "exact_aborted": exact_aborted,
+        "exact_seconds": round(exact_seconds, 6),
+        "approx_seconds": round(approx_seconds, 6),
+        "approx_peak_nodes": simulator.stats.peak_dd_nodes,
+        "approx_final_nodes": simulator.stats.final_dd_nodes,
+        "fidelity_bound": round(bound, 6),
+        "tvd_bound": round(tvd_bound, 6),
+        "tvd": round(tvd, 6),
+        "tvd_within_bound": bool(tvd <= tvd_bound + 1e-9),
+        "samples_bit_identical": bool(np.array_equal(samples, replay)),
+    }
 
 
 def run_harness(
@@ -331,6 +533,9 @@ def run_harness(
             seed=seed,
             repeats=3 if smoke else 5,
         )
+
+        # -- approximation: exact vs ε-pruned build ------------------------
+        payload["approximation"] = _approximation_section(seed, smoke)
         return payload
     finally:
         compiled_dd.DEFAULT_CACHE = previous_cache
@@ -423,6 +628,29 @@ def validate_payload(payload: Dict) -> None:
         )
     if telemetry["trace_records"] <= 0:
         raise ValueError("telemetry-enabled run produced no trace records")
+    approximation = payload["approximation"]
+    if not approximation["tvd_within_bound"]:
+        raise ValueError(
+            f"approximation TVD {approximation['tvd']} exceeds the tracked "
+            f"bound {approximation['tvd_bound']}"
+        )
+    if not approximation["samples_bit_identical"]:
+        raise ValueError(
+            "approximate rebuilds produced different samples at equal seed"
+        )
+    if approximation["fidelity_bound"] < 1.0 - approximation["epsilon"] - 1e-9:
+        raise ValueError(
+            f"fidelity bound {approximation['fidelity_bound']} overspends "
+            f"the epsilon budget {approximation['epsilon']}"
+        )
+    if (
+        not payload["config"].get("smoke")
+        and approximation["node_reduction"] < APPROX_NODE_REDUCTION_FLOOR
+    ):
+        raise ValueError(
+            f"approximation peak-node reduction {approximation['node_reduction']}x "
+            f"is below the {APPROX_NODE_REDUCTION_FLOOR}x floor"
+        )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -456,6 +684,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run the 'make bench-kernel' gate: the SoA kernel must "
         "cold-build qft_16 at least 3x faster than the python engine "
         "with bit-identical samples",
+    )
+    parser.add_argument(
+        "--approx-smoke",
+        action="store_true",
+        help="run the 'make bench-approx' gate: under a hard node limit "
+        "the exact dusty-GHZ build must abort while the epsilon=0.05 "
+        "approximate build completes with TVD inside its tracked bound",
     )
     parser.add_argument(
         "--validate",
@@ -504,6 +739,38 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 1
         return 0
 
+    if args.approx_smoke:
+        outcome = run_approx_smoke(seed=args.seed)
+        print(
+            f"bench-approx: {outcome['circuit']} under node limit "
+            f"{outcome['node_limit']}: exact aborted={outcome['exact_aborted']} "
+            f"({outcome['exact_seconds']}s), approx completed in "
+            f"{outcome['approx_seconds']}s at peak "
+            f"{outcome['approx_peak_nodes']} nodes; fidelity >= "
+            f"{outcome['fidelity_bound']}, TVD {outcome['tvd']} <= "
+            f"{outcome['tvd_bound']}={outcome['tvd_within_bound']}, "
+            f"samples bit-identical={outcome['samples_bit_identical']}"
+        )
+        failures = [
+            message
+            for condition, message in (
+                (outcome["exact_aborted"], "exact build did not hit the limit"),
+                (outcome["tvd_within_bound"], "TVD exceeded the tracked bound"),
+                (
+                    outcome["samples_bit_identical"],
+                    "equal-seed rebuild samples diverged",
+                ),
+                (
+                    outcome["approx_peak_nodes"] <= APPROX_SMOKE_NODE_LIMIT,
+                    "approximate build exceeded the node limit",
+                ),
+            )
+            if not condition
+        ]
+        for message in failures:
+            print(f"bench-approx: {message}", file=sys.stderr)
+        return 1 if failures else 0
+
     payload = run_harness(
         shots=args.shots,
         mid_circuit_shots=args.mid_circuit_shots,
@@ -519,13 +786,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"{case['name']}={case['kernel_speedup']}x"
         for case in payload["cases"]
     )
+    approximation = payload["approximation"]
     print(
         f"wrote {args.out}: branching speedup {mid['speedup']}x over "
         f"per-shot at {mid['shots']} shots; compiled cache "
         f"{payload['compiled_cache']['reuses']} reuses / "
         f"{payload['compiled_cache']['builds']} builds; telemetry overhead "
         f"{payload['telemetry']['overhead_percent']}%; "
-        f"kernel cold-build speedup: {kernel_line}"
+        f"kernel cold-build speedup: {kernel_line}; approximation "
+        f"{approximation['circuit']}: {approximation['node_reduction']}x "
+        f"fewer peak nodes, {approximation['speedup']}x faster, fidelity >= "
+        f"{approximation['fidelity_bound']}"
     )
     return 0
 

@@ -151,6 +151,10 @@ def _request_from_record(
             else str(record["request_id"])
         ),
         kernel=str(record.get("kernel", default_kernel)),
+        # Passed through raw: the service validates and normalises it
+        # (number or {"epsilon": ..., "interval": ..., "node_budget": ...}),
+        # so malformed values become 'rejected' responses, not crashes.
+        approximation=record.get("approximation"),
     )
 
 

@@ -49,8 +49,9 @@ from ..core.weak_sim import (
     sample_statevector,
     simulate_and_sample,
 )
+from ..dd.approximation import ApproximationConfig
 from ..dd.normalization import NormalizationScheme
-from ..exceptions import MemoryOutError, ReproError
+from ..exceptions import DDError, MemoryOutError, ReproError
 from ..perf.compiled_dd import CompiledDD
 from ..perf.parallel import DEFAULT_CHUNK_SHOTS, sample_chunked
 from .keys import cache_key
@@ -77,6 +78,15 @@ class SamplingRequest:
     so the artifact cache key deliberately ignores it — a cached artifact
     serves requests for either engine, and its metadata records which one
     actually built it.
+
+    ``approximation`` opts into approximate weak simulation (DD methods
+    only): an :class:`~repro.dd.approximation.ApproximationConfig`, a
+    bare epsilon, or a ``{"epsilon": ...}`` mapping, exactly as in the
+    JSONL/HTTP schema.  Unlike ``kernel``, the approximation contract IS
+    part of the cache key — an ε-approximated artifact is never served
+    for an exact request or for a different ε.  ``epsilon = 0`` (or
+    ``None``) is the exact path, byte-identical to a request without the
+    field.  The response reports the tracked fidelity lower bound.
     """
 
     circuit: QuantumCircuit
@@ -90,6 +100,7 @@ class SamplingRequest:
     deadline_seconds: Optional[float] = None
     request_id: Optional[str] = None
     kernel: str = "auto"
+    approximation: Optional[Any] = None
 
 
 @dataclass
@@ -117,6 +128,9 @@ class SamplingResponse:
     degraded_reason: Optional[str] = None
     build_seconds: float = 0.0
     sampling_seconds: float = 0.0
+    #: Rigorous lower bound on the fidelity of the state that was
+    #: sampled; ``None`` for exact answers (see docs/approximation.md).
+    fidelity_bound: Optional[float] = None
 
     @property
     def ok(self) -> bool:
@@ -142,6 +156,8 @@ class SamplingResponse:
             record["error"] = self.error
         if self.degraded_reason is not None:
             record["degraded_reason"] = self.degraded_reason
+        if self.fidelity_bound is not None:
+            record["fidelity_bound"] = self.fidelity_bound
         if self.result is not None:
             record["num_qubits"] = self.result.num_qubits
             record["shots"] = self.result.shots
@@ -192,7 +208,7 @@ class SamplingService:
         self._requests = ThreadPoolExecutor(
             max_workers=request_workers, thread_name_prefix="repro-request"
         )
-        self._hot: "collections.OrderedDict[str, CompiledDD]" = (
+        self._hot: "collections.OrderedDict[str, tuple]" = (
             collections.OrderedDict()
         )
         self._hot_entries = max(0, hot_entries)
@@ -323,6 +339,20 @@ class SamplingService:
             return self._serve_bypass(request)
         return self._serve_compiled(request)
 
+    @staticmethod
+    def _approx_config(
+        request: SamplingRequest,
+    ) -> Optional[ApproximationConfig]:
+        """The request's approximation contract; ``None`` when exact.
+
+        Raises :class:`~repro.exceptions.DDError` for a malformed value
+        (``_validate`` turns that into a rejection).
+        """
+        if request.approximation is None:
+            return None
+        config = ApproximationConfig.from_value(request.approximation)
+        return config if config.enabled else None
+
     def _validate(self, request: SamplingRequest) -> Optional[str]:
         if request.shots < 0:
             return f"shots must be non-negative, got {request.shots}"
@@ -342,6 +372,21 @@ class SamplingService:
             and request.initial_state != 0
         ):
             return "mid-circuit measurement requires initial_state=0"
+        try:
+            approximation = self._approx_config(request)
+        except DDError as error:
+            return str(error)
+        if approximation is not None:
+            if request.method in VECTOR_METHODS:
+                return (
+                    "approximation applies to DD methods only; vector "
+                    "methods are always exact"
+                )
+            if circuit_has_mid_circuit_measurement(request.circuit):
+                return (
+                    "approximation is not supported for mid-circuit "
+                    "measurement (the shot executor re-simulates per shot)"
+                )
         return None
 
     def _reject(
@@ -385,6 +430,7 @@ class SamplingService:
                     f"service cap of {self.policy.dense_memory_cap_bytes}",
                 )
         start = time.perf_counter()
+        approximation = self._approx_config(request)
         try:
             result = simulate_and_sample(
                 request.circuit,
@@ -397,6 +443,7 @@ class SamplingService:
                 workers=request.workers,
                 optimize=request.optimize,
                 kernel=request.kernel,
+                approximation=approximation,
             )
         except MemoryOutError as error:
             return self._reject(request, str(error))
@@ -406,6 +453,7 @@ class SamplingService:
         backend = (
             "statevector" if request.method in VECTOR_METHODS else "dd"
         )
+        approx_meta = (result.metadata.get("build") or {}).get("approximation")
         return SamplingResponse(
             request_id=request.request_id,
             status="ok",
@@ -414,6 +462,9 @@ class SamplingService:
             cache="bypass",
             build_seconds=elapsed - result.sampling_seconds,
             sampling_seconds=result.sampling_seconds,
+            fidelity_bound=(
+                approx_meta.get("fidelity_bound") if approx_meta else None
+            ),
         )
 
     def _serve_shot_executor(self, request: SamplingRequest) -> SamplingResponse:
@@ -442,16 +493,22 @@ class SamplingService:
 
     def _serve_compiled(self, request: SamplingRequest) -> SamplingResponse:
         """The cached path: key → hot → disk → coalesced build → sample."""
+        approximation = self._approx_config(request)
         key = cache_key(
             request.circuit,
             scheme=request.scheme,
             optimize=request.optimize,
             initial_state=request.initial_state,
+            approximation=approximation,
         )
-        compiled = self._hot_get(key)
+        compiled, hot_meta = self._hot_get(key)
         if compiled is not None:
             outcome = BuildOutcome(
-                key=key, backend="dd", source="memory", compiled=compiled
+                key=key,
+                backend="dd",
+                source="memory",
+                compiled=compiled,
+                meta=hot_meta or {},
             )
         else:
             try:
@@ -462,6 +519,7 @@ class SamplingService:
                     optimize=request.optimize,
                     initial_state=request.initial_state,
                     kernel=request.kernel,
+                    approximation=approximation,
                 )
             except AdmissionError as error:
                 return self._reject(request, str(error), key=key)
@@ -488,7 +546,12 @@ class SamplingService:
             finally:
                 self._set_queue_gauge()
             if outcome.compiled is not None:
-                self._hot_put(key, outcome.compiled)
+                # Keyed by outcome.key, NOT the request key: when the
+                # ladder degrades an exact request to the approximate-DD
+                # rung, the artifact lives under the ε-specific key — hot
+                # caching it under the exact key would poison every later
+                # exact hit with an approximated distribution.
+                self._hot_put(outcome.key, outcome.compiled, outcome.meta)
         return self._sample_outcome(request, outcome)
 
     def _sample_outcome(
@@ -532,12 +595,18 @@ class SamplingService:
         sampling_seconds = time.perf_counter() - start
         result.sampling_seconds = sampling_seconds
         result.precompute_seconds = outcome.build_seconds
-        result.metadata["service"] = {
+        service_meta: Dict[str, Any] = {
             "key": outcome.key,
             "cache": outcome.source,
             "backend": outcome.backend,
             "attempts": outcome.attempts,
         }
+        approx_meta = (outcome.meta or {}).get("approximation")
+        fidelity_bound = None
+        if approx_meta is not None:
+            service_meta["approximation"] = approx_meta
+            fidelity_bound = approx_meta.get("fidelity_bound")
+        result.metadata["service"] = service_meta
         return SamplingResponse(
             request_id=request.request_id,
             status="ok",
@@ -548,24 +617,36 @@ class SamplingService:
             degraded_reason=outcome.degraded_reason,
             build_seconds=outcome.build_seconds,
             sampling_seconds=sampling_seconds,
+            fidelity_bound=fidelity_bound,
         )
 
     # ------------------------------------------------------------------
     # Hot in-process cache
     # ------------------------------------------------------------------
 
-    def _hot_get(self, key: str) -> Optional[CompiledDD]:
-        with self._lock:
-            compiled = self._hot.get(key)
-            if compiled is not None:
-                self._hot.move_to_end(key)
-            return compiled
+    def _hot_get(self, key: str):
+        """``(compiled, meta)`` for a hot entry, ``(None, None)`` on miss.
 
-    def _hot_put(self, key: str, compiled: CompiledDD) -> None:
+        Meta travels with the artifact so a hot hit on an ε-keyed entry
+        still reports its fidelity bound.
+        """
+        with self._lock:
+            entry = self._hot.get(key)
+            if entry is None:
+                return None, None
+            self._hot.move_to_end(key)
+            return entry
+
+    def _hot_put(
+        self,
+        key: str,
+        compiled: CompiledDD,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> None:
         if self._hot_entries == 0:
             return
         with self._lock:
-            self._hot[key] = compiled
+            self._hot[key] = (compiled, meta or {})
             self._hot.move_to_end(key)
             while len(self._hot) > self._hot_entries:
                 self._hot.popitem(last=False)

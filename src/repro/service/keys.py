@@ -13,7 +13,12 @@ semantically identical inputs.  Three layers feed it:
    optimizer, so they can change the compiled circuit and hence the
    float-exact artifact).
 2. **The build configuration** — normalisation scheme, optimizer on/off,
-   and initial state all change the produced DD.
+   initial state, and the approximation contract all change the produced
+   DD.  An ε-approximated artifact must *never* be served for an exact
+   request (or for a different ε), so an enabled
+   :class:`~repro.dd.approximation.ApproximationConfig` is folded into
+   the key; a disabled one (``epsilon = 0``) adds nothing, keeping every
+   pre-existing exact key stable.
 3. **The contract versions** — the package version and the
    :data:`~repro.perf.compiled_dd.ARTIFACT_VERSION` serialisation
    version, so upgrading the library invalidates old artifacts instead
@@ -40,6 +45,7 @@ from ..circuit.operations import (
     Measurement,
     Operation,
 )
+from ..dd.approximation import ApproximationConfig
 from ..dd.normalization import NormalizationScheme
 from ..exceptions import SamplingError
 from ..perf.compiled_dd import ARTIFACT_VERSION
@@ -113,11 +119,17 @@ def cache_key(
     optimize: bool = True,
     initial_state: int = 0,
     package_version: Optional[str] = None,
+    approximation: Optional[ApproximationConfig] = None,
 ) -> str:
     """The artifact-store key: circuit fingerprint + build config + versions.
 
     ``package_version`` defaults to ``repro.__version__``; tests override
-    it to exercise version-mismatch invalidation.
+    it to exercise version-mismatch invalidation.  An *enabled*
+    ``approximation`` config (``epsilon > 0``) is hashed into the key —
+    epsilon bit-exactly, plus the strategy knobs — so approximate
+    artifacts live in a separate namespace from exact ones.  A ``None``
+    or disabled config leaves the digest byte-identical to the historic
+    exact key.
     """
     hasher = hashlib.sha256()
     hasher.update(b"repro-artifact-key")
@@ -128,4 +140,16 @@ def cache_key(
     hasher.update(struct.pack("<i", ARTIFACT_VERSION))
     version = package_version if package_version is not None else _package_version
     hasher.update(version.encode("utf-8"))
+    if approximation is not None and approximation.enabled:
+        hasher.update(b"approx")
+        _hash_floats(hasher, (approximation.epsilon,))
+        hasher.update(struct.pack("<i", approximation.interval))
+        hasher.update(
+            struct.pack(
+                "<q",
+                -1
+                if approximation.node_budget is None
+                else approximation.node_budget,
+            )
+        )
     return hasher.hexdigest()

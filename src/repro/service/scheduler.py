@@ -13,13 +13,22 @@ simulation (circuit → final DD → flattened traversal tables).  The
   is rejected up front (a DD *can* blow up exponentially; the guard keeps
   a hostile or unlucky request from taking the process down with it).
 * **Degradation ladder** — when the DD build runs out of memory (or the
-  built DD exceeds ``max_build_nodes``), the scheduler does not fail the
-  request: it falls back to the dense statevector backend if the state
-  fits ``dense_memory_cap_bytes``, else to the stabilizer backend if the
-  circuit is Clifford, and only then rejects.  Degraded answers draw from
-  the same distribution but are *not* bit-identical to the DD path (a
-  different sampler consumes the RNG differently); the response labels
-  the backend so callers can tell.
+  DD exceeds ``max_build_nodes``, checked mid-build), the scheduler does
+  not fail the request.  It walks the ladder
+
+      DD -> approximate-DD(epsilon) -> statevector -> stabilizer
+
+  The approximate rung (``ServicePolicy.approx_epsilon``; 0 disables it)
+  re-runs the DD build with fidelity-driven pruning, keyed under the
+  ε-specific cache key so the approximate artifact can never be served
+  for an exact request; its outcome carries the tracked fidelity bound
+  in ``meta["approximation"]``.  Below that, the dense statevector
+  backend answers if the state fits ``dense_memory_cap_bytes``, then the
+  stabilizer backend if the circuit is Clifford, and only then the
+  request is rejected.  Degraded answers draw from the same (or, for the
+  approximate rung, an ε-close) distribution but are *not* bit-identical
+  to the exact DD path; the response labels the backend and reason so
+  callers can tell.
 * **Bounded retry** — transient failures (anything that is not a
   :class:`~repro.exceptions.ReproError`) are retried up to
   ``max_retries`` times; deterministic simulator errors fail fast.
@@ -43,6 +52,7 @@ import numpy as np
 from .. import telemetry as _telemetry
 from ..circuit.circuit import QuantumCircuit
 from ..core.dd_sampler import DDSampler
+from ..dd.approximation import ApproximationConfig
 from ..dd.normalization import NormalizationScheme
 from ..exceptions import MemoryOutError, ReproError, SamplingError
 from ..perf.compiled_dd import CompiledDD
@@ -72,6 +82,10 @@ class ServicePolicy:
     statevector fallback exactly like ``simulate_and_sample``'s
     ``memory_cap_bytes``.  ``max_retries`` bounds re-attempts for
     transient (non-:class:`~repro.exceptions.ReproError`) failures.
+    ``approx_epsilon`` is the infidelity allowance the degradation
+    ladder's approximate-DD rung may spend when an *exact* build blows
+    the memory limits (0 disables the rung; requests that ask for
+    approximation themselves are unaffected by this knob).
     """
 
     max_qubits: int = 64
@@ -79,6 +93,7 @@ class ServicePolicy:
     dense_memory_cap_bytes: int = DEFAULT_MEMORY_CAP
     max_retries: int = 2
     retry_backoff_seconds: float = 0.05
+    approx_epsilon: float = 0.05
 
 
 @dataclass
@@ -139,6 +154,10 @@ class BuildScheduler:
             "degraded": 0,
             "coalesced": 0,
             "store_hits": 0,
+            # Requests answered by the degradation ladder's
+            # approximate-DD rung (exact build blew the memory limits,
+            # the ε-keyed approximate build succeeded).
+            "approx_degraded": 0,
             # Named distinctly from the API layer's "rejected" status
             # bucket: SamplingService.stats() merges both dicts, and a
             # shared key would let this admission-guard counter shadow
@@ -159,6 +178,7 @@ class BuildScheduler:
         optimize: bool = True,
         initial_state: int = 0,
         kernel: str = "auto",
+        approximation: Optional[ApproximationConfig] = None,
     ) -> "Future[BuildOutcome]":
         """The future for ``key``'s artifact, creating at most one job.
 
@@ -168,7 +188,11 @@ class BuildScheduler:
         part of ``key`` (the engines are bit-identical, so artifacts are
         interchangeable); coalesced waiters share whichever engine the
         first request chose, and the stored artifact's metadata records
-        it as ``meta["engine"]``.
+        it as ``meta["engine"]``.  ``approximation`` (an *enabled*
+        config) IS part of the artifact contract: the caller must have
+        folded it into ``key`` (see :func:`repro.service.keys.cache_key`)
+        — an ε-approximated artifact never shares a key with an exact
+        one.
         """
         if circuit.num_qubits > self.policy.max_qubits:
             with self._lock:
@@ -184,7 +208,8 @@ class BuildScheduler:
                 self._stats["coalesced"] += 1
                 return future
             future = self._executor.submit(
-                self._run_job, key, circuit, scheme, optimize, initial_state, kernel
+                self._run_job, key, circuit, scheme, optimize, initial_state,
+                kernel, approximation,
             )
             self._in_flight[key] = future
             future.add_done_callback(lambda _f, _key=key: self._retire(_key))
@@ -254,6 +279,7 @@ class BuildScheduler:
         optimize: bool,
         initial_state: int,
         kernel: str = "auto",
+        approximation: Optional[ApproximationConfig] = None,
     ) -> BuildOutcome:
         with _telemetry.activate(self._telemetry):
             if self.store is not None:
@@ -268,7 +294,8 @@ class BuildScheduler:
                         meta=stored.meta,
                     )
             return self._build_with_ladder(
-                key, circuit, scheme, optimize, initial_state, kernel
+                key, circuit, scheme, optimize, initial_state, kernel,
+                approximation,
             )
 
     def _build_with_ladder(
@@ -279,6 +306,7 @@ class BuildScheduler:
         optimize: bool,
         initial_state: int,
         kernel: str = "auto",
+        approximation: Optional[ApproximationConfig] = None,
     ) -> BuildOutcome:
         attempts = 0
         start = time.perf_counter()
@@ -286,16 +314,28 @@ class BuildScheduler:
             attempts += 1
             try:
                 outcome = self._build_dd(
-                    key, circuit, scheme, optimize, initial_state, kernel
+                    key, circuit, scheme, optimize, initial_state, kernel,
+                    approximation,
                 )
                 outcome.attempts = attempts
                 outcome.build_seconds = time.perf_counter() - start
                 return outcome
             except (MemoryOutError, MemoryError) as error:
                 self._count("build_failures")
-                outcome = self._degrade(
-                    key, circuit, optimize, initial_state, reason=str(error)
-                )
+                outcome = None
+                if approximation is None and self.policy.approx_epsilon > 0.0:
+                    # The approximate-DD rung: only for requests that
+                    # asked for an exact build (an approximate build that
+                    # still blows the limit falls straight through).
+                    outcome = self._try_approximate(
+                        circuit, scheme, optimize, initial_state,
+                        reason=str(error),
+                    )
+                if outcome is None:
+                    outcome = self._degrade(
+                        key, circuit, optimize, initial_state,
+                        reason=str(error),
+                    )
                 outcome.attempts = attempts
                 outcome.build_seconds = time.perf_counter() - start
                 return outcome
@@ -318,10 +358,25 @@ class BuildScheduler:
         optimize: bool,
         initial_state: int,
         kernel: str = "auto",
+        approximation: Optional[ApproximationConfig] = None,
     ) -> BuildOutcome:
         """One strong simulation + flatten; may raise for the ladder."""
         self._count("build_attempts")
-        simulator = DDSimulator(scheme=scheme, optimize=optimize, kernel=kernel)
+        if approximation is not None:
+            # Pruning rounds need the edge representation mid-build, so
+            # approximate builds always run the python engine.
+            kernel = "auto"
+        # The mid-build guard aborts a doomed build early; a cap of 0
+        # (used by tests to force degradation) stays with the post-build
+        # check below, since node_limit needs a positive ceiling.
+        node_limit = self.policy.max_build_nodes
+        simulator = DDSimulator(
+            scheme=scheme,
+            optimize=optimize,
+            kernel=kernel,
+            approximation=approximation,
+            node_limit=node_limit if node_limit else None,
+        )
         state = simulator.run(circuit, initial_state=initial_state)
         compiled = DDSampler(state).compiled()
         limit = self.policy.max_build_nodes
@@ -334,7 +389,7 @@ class BuildScheduler:
             )
         meta = self._extract_meta(
             simulator, circuit, state, compiled, scheme, optimize,
-            initial_state, kernel,
+            initial_state, kernel, approximation,
         )
         # Counted only once the strong simulation has actually produced
         # a usable artifact: counting at attempt start double-counted
@@ -366,6 +421,7 @@ class BuildScheduler:
         optimize: bool,
         initial_state: int,
         kernel: str,
+        approximation: Optional[ApproximationConfig] = None,
     ) -> Dict[str, Any]:
         """Build-provenance metadata; never raises past this frame.
 
@@ -402,11 +458,89 @@ class BuildScheduler:
             )
         except Exception:
             meta["kernel_fallbacks"] = 0
+        if approximation is not None:
+            # The approximation contract travels WITH the artifact: a
+            # store hit must be able to report the fidelity bound without
+            # re-running the build.
+            try:
+                stats = getattr(simulator, "stats", None)
+                meta["approximation"] = {
+                    "epsilon": approximation.epsilon,
+                    "strategy": approximation.strategy,
+                    "rounds": getattr(stats, "approx_rounds", 0),
+                    "removed_edges": getattr(stats, "approx_removed_edges", 0),
+                    "removed_mass": getattr(stats, "approx_removed_mass", 0.0),
+                    "fidelity_bound": getattr(stats, "fidelity_bound", None),
+                }
+            except Exception:
+                meta["approximation"] = {"epsilon": approximation.epsilon}
         return meta
 
     # ------------------------------------------------------------------
     # Degradation ladder
     # ------------------------------------------------------------------
+
+    def _try_approximate(
+        self,
+        circuit: QuantumCircuit,
+        scheme: NormalizationScheme,
+        optimize: bool,
+        initial_state: int,
+        reason: str,
+    ) -> Optional[BuildOutcome]:
+        """The approximate-DD rung: rebuild with ε pruning, ε-keyed.
+
+        Returns ``None`` when this rung cannot answer either (the ladder
+        then continues to statevector/stabilizer).  The outcome's
+        ``key`` is the ε-specific cache key — deliberately different
+        from the exact request key, so the API layer must hot-cache it
+        under ``outcome.key`` and the artifact store never cross-serves
+        the two.
+        """
+        from .keys import cache_key
+
+        config = ApproximationConfig(epsilon=self.policy.approx_epsilon)
+        approx_key = cache_key(
+            circuit,
+            scheme=scheme,
+            optimize=optimize,
+            initial_state=initial_state,
+            approximation=config,
+        )
+        degraded_reason = (
+            f"approximate DD (epsilon={config.epsilon}): {reason}"
+        )
+        if self.store is not None:
+            stored = self.store.get(approx_key)
+            if stored is not None:
+                self._count("store_hits")
+                self._count("approx_degraded")
+                return BuildOutcome(
+                    key=approx_key,
+                    backend="dd",
+                    source="disk",
+                    compiled=stored.compiled,
+                    meta=stored.meta,
+                    degraded_reason=degraded_reason,
+                )
+        try:
+            outcome = self._build_dd(
+                approx_key, circuit, scheme, optimize, initial_state,
+                "auto", config,
+            )
+        except (MemoryOutError, MemoryError):
+            # Even the pruned DD blows the limit; next rung.
+            self._count("build_failures")
+            return None
+        except ReproError:
+            # Deterministic approximation failure (e.g. the allowance
+            # cannot cover the state); fall through rather than fail a
+            # request the dense backend might still answer.
+            self._count("build_failures")
+            return None
+        outcome.degraded_reason = degraded_reason
+        self._count("approx_degraded")
+        return outcome
 
     def _degrade(
         self,

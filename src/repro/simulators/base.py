@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
 from ..circuit.circuit import QuantumCircuit
 
@@ -43,6 +43,13 @@ class SimulationStats:
     kernel_levels: int = 0
     #: NumPy level sweeps among those rebuilds (wide levels only).
     kernel_batched_levels: int = 0
+    #: Approximation accounting (all zero / ``None`` on exact runs); see
+    #: :mod:`repro.dd.approximation`.  ``fidelity_bound`` is the rigorous
+    #: lower bound on the fidelity of the final approximated state.
+    approx_rounds: int = 0
+    approx_removed_edges: int = 0
+    approx_removed_mass: float = 0.0
+    fidelity_bound: Optional[float] = None
 
 
 class StrongSimulator(abc.ABC):

@@ -17,12 +17,22 @@ from ..circuit.circuit import QuantumCircuit
 from ..circuit.operations import Barrier, Measurement
 from ..compile import optimize_circuit
 from ..dd.apply import GateApplier
+from ..dd.approximation import (
+    DEFAULT_PRUNE_INTERVAL,
+    ApproximationConfig,
+    Approximator,
+)
 from ..dd.normalization import NormalizationScheme
 from ..dd.package import DDPackage
 from ..dd.vector_dd import VectorDD
 from .base import SimulationStats, StrongSimulator
 
 __all__ = ["DDSimulator"]
+
+#: Cadence (applied gates) for the build-time ``node_limit`` guard.
+#: Matches the approximation/probe interval so one O(size) traversal per
+#: window serves all three consumers.
+NODE_LIMIT_CHECK_INTERVAL = DEFAULT_PRUNE_INTERVAL
 
 
 def _gate_label(instruction) -> str:
@@ -69,11 +79,27 @@ class DDSimulator(StrongSimulator):
         optimize: bool = True,
         telemetry: Optional["_telemetry.Telemetry"] = None,
         kernel: str = "auto",
+        approximation: Optional[ApproximationConfig] = None,
+        node_limit: Optional[int] = None,
     ):
         if kernel not in self.KERNELS:
             raise ValueError(
                 f"unknown kernel {kernel!r}; expected one of {self.KERNELS}"
             )
+        if approximation is not None and not isinstance(
+            approximation, ApproximationConfig
+        ):
+            approximation = ApproximationConfig.from_value(approximation)
+        if approximation is not None and not approximation.enabled:
+            # epsilon = 0 means "exact" everywhere in the stack.
+            approximation = None
+        if approximation is not None and kernel == "vector":
+            raise ValueError(
+                "approximation runs on the python engine (pruning needs the "
+                "edge representation mid-build); kernel='vector' is unsupported"
+            )
+        if node_limit is not None and node_limit < 1:
+            raise ValueError(f"node_limit must be >= 1, got {node_limit}")
         self.package = package if package is not None else DDPackage(scheme=scheme)
         self.kernel = kernel
         self.use_fast_paths = use_fast_paths
@@ -90,6 +116,15 @@ class DDSimulator(StrongSimulator):
         #: run (when ``None`` the simulator still honours a session that
         #: an outer caller — e.g. ``simulate_and_sample`` — activated).
         self.telemetry = telemetry
+        #: Optional :class:`~repro.dd.approximation.ApproximationConfig`;
+        #: when enabled, :meth:`run` interleaves pruning rounds with gate
+        #: application and records the fidelity bound in :attr:`stats`.
+        self.approximation = approximation
+        #: Build-time node-count ceiling.  Exceeding it raises
+        #: :class:`MemoryError` *during* the build (checked every
+        #: ``NODE_LIMIT_CHECK_INTERVAL`` gates and at the end) so callers
+        #: like the BuildScheduler can degrade before the peak lands.
+        self.node_limit = node_limit
         self._stats = SimulationStats()
 
     @property
@@ -111,8 +146,11 @@ class DDSimulator(StrongSimulator):
 
         ``"auto"`` resolves to the vector kernel under the L2 scheme
         (the batched sweeps replay L2 normalisation) and to the python
-        reference otherwise.
+        reference otherwise.  Approximation always resolves to python:
+        pruning rounds need the edge representation mid-build.
         """
+        if self.approximation is not None:
+            return "python"
         if self.kernel == "auto":
             scheme = getattr(self.package, "scheme", None)
             return "vector" if scheme is NormalizationScheme.L2 else "python"
@@ -135,6 +173,13 @@ class DDSimulator(StrongSimulator):
         state = package.basis_state(circuit.num_qubits, initial_state)
         self._stats = SimulationStats(num_qubits=circuit.num_qubits)
         self._stats.compile_stats = compile_stats
+        approximator = (
+            Approximator(
+                self.approximation, circuit.num_operations, package=package
+            )
+            if self.approximation is not None
+            else None
+        )
         peak = package.node_count(state) if self.track_peak else 0
         # Single hot-path hook: the per-gate span and probe code run only
         # when a session is active; the disabled path is the plain loop.
@@ -154,17 +199,29 @@ class DDSimulator(StrongSimulator):
                 else:
                     state = applier.apply(state, instruction)
                 self._stats.applied_operations += 1
-                if session is not None and session.prober.due(
-                    self._stats.applied_operations
+                applied = self._stats.applied_operations
+                if self.track_peak:
+                    peak = max(peak, package.node_count(state))
+                if approximator is not None and approximator.due(applied):
+                    state = self._approx_round(
+                        approximator, state, circuit.num_qubits, session
+                    )
+                if (
+                    self.node_limit is not None
+                    and applied % NODE_LIMIT_CHECK_INTERVAL == 0
+                    and package.node_count(state) > self.node_limit
                 ):
+                    raise MemoryError(
+                        f"DD grew to {package.node_count(state)} nodes after "
+                        f"{applied} gates, over the limit of {self.node_limit}"
+                    )
+                if session is not None and session.prober.due(applied):
                     session.prober.record(
                         session.tracer.clock(),
-                        self._stats.applied_operations,
+                        applied,
                         state_nodes=package.node_count(state),
                         unique_nodes=len(package.unique_table),
                     )
-                if self.track_peak:
-                    peak = max(peak, package.node_count(state))
                 if (
                     self.auto_compact_threshold
                     and len(package.unique_table) > self.auto_compact_threshold
@@ -173,16 +230,59 @@ class DDSimulator(StrongSimulator):
                     applier = GateApplier(
                         package, circuit.num_qubits, use_fast_paths=self.use_fast_paths
                     )
+            if approximator is not None:
+                state = self._approx_round(
+                    approximator, state, circuit.num_qubits, session, final=True
+                )
         self._stats.strategy_counts = applier.strategy_counts()
         self._stats.diagonal_term_applications = applier.diagonal_term_applications
         self._stats.final_dd_nodes = package.node_count(state)
         self._stats.peak_dd_nodes = max(peak, self._stats.final_dd_nodes)
+        if approximator is not None:
+            self._stats.approx_rounds = approximator.rounds
+            self._stats.approx_removed_edges = approximator.removed_edges
+            self._stats.approx_removed_mass = approximator.removed_mass
+            self._stats.fidelity_bound = approximator.fidelity_bound
+        if (
+            self.node_limit is not None
+            and self._stats.final_dd_nodes > self.node_limit
+        ):
+            raise MemoryError(
+                f"final DD has {self._stats.final_dd_nodes} nodes, over the "
+                f"limit of {self.node_limit}"
+            )
         if session is not None:
             build_span.set_attr("applied_operations", self._stats.applied_operations)
             build_span.set_attr("final_dd_nodes", self._stats.final_dd_nodes)
+            if approximator is not None:
+                build_span.set_attr("fidelity_bound", approximator.fidelity_bound)
             session.registry.record_build(self._stats)
             session.registry.record_dd_tables(package.stats())
         return VectorDD(package, state, circuit.num_qubits)
+
+    def _approx_round(
+        self,
+        approximator: Approximator,
+        edge,
+        num_qubits: int,
+        session,
+        final: bool = False,
+    ):
+        """Run one pruning round on a raw root edge, under a span."""
+        wrapped = VectorDD(self.package, edge, num_qubits)
+        if session is None:
+            return approximator.prune(wrapped, final=final).edge
+        rounds_before = approximator.rounds
+        with session.span("approx.prune", final=final) as span:
+            pruned = approximator.prune(wrapped, final=final)
+            span.set_attr("pruned", approximator.rounds > rounds_before)
+            result = approximator.last_result
+            if approximator.rounds > rounds_before and result is not None:
+                span.set_attr("removed_edges", result.removed_edges)
+                span.set_attr("removed_mass", result.removed_mass)
+                span.set_attr("nodes_before", result.nodes_before)
+                span.set_attr("nodes_after", result.nodes_after)
+        return pruned.edge
 
     def _run_kernel(
         self, circuit: QuantumCircuit, initial_state: int, compile_stats: dict
@@ -234,6 +334,18 @@ class DDSimulator(StrongSimulator):
                 else:
                     engine.apply(instruction)
                 self._stats.applied_operations += 1
+                if (
+                    self.node_limit is not None
+                    and self._stats.applied_operations
+                    % NODE_LIMIT_CHECK_INTERVAL
+                    == 0
+                    and engine.state.node_count() > self.node_limit
+                ):
+                    raise MemoryError(
+                        f"DD grew to {engine.state.node_count()} nodes after "
+                        f"{self._stats.applied_operations} gates, over the "
+                        f"limit of {self.node_limit}"
+                    )
                 if session is not None and session.prober.due(
                     self._stats.applied_operations
                 ):
@@ -258,6 +370,14 @@ class DDSimulator(StrongSimulator):
         self._stats.kernel_batched_levels = engine.stats.batched_levels
         self._stats.final_dd_nodes = package.node_count(state)
         self._stats.peak_dd_nodes = max(peak, self._stats.final_dd_nodes)
+        if (
+            self.node_limit is not None
+            and self._stats.final_dd_nodes > self.node_limit
+        ):
+            raise MemoryError(
+                f"final DD has {self._stats.final_dd_nodes} nodes, over the "
+                f"limit of {self.node_limit}"
+            )
         if session is not None:
             build_span.set_attr("applied_operations", self._stats.applied_operations)
             build_span.set_attr("final_dd_nodes", self._stats.final_dd_nodes)

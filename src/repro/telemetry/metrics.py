@@ -157,6 +157,14 @@ class Registry:
         for strategy, count in (stats.strategy_counts or {}).items():
             self.counter(f"apply.strategy.{strategy}").inc(count)
         self.counter("apply.diagonal_terms").inc(stats.diagonal_term_applications)
+        # Approximation accounting (exact runs carry zeros / None).
+        if getattr(stats, "approx_rounds", 0):
+            self.counter("approx.rounds").inc(stats.approx_rounds)
+            self.counter("approx.removed_edges").inc(stats.approx_removed_edges)
+        fidelity_bound = getattr(stats, "fidelity_bound", None)
+        if fidelity_bound is not None:
+            self.gauge("approx.fidelity_bound").set(fidelity_bound)
+            self.gauge("approx.removed_mass").set(stats.approx_removed_mass)
 
     def record_compile(self, compile_stats: Mapping[str, Any]) -> None:
         """Absorb compile-pipeline rewrite counters (``CompileStats.to_dict``)."""

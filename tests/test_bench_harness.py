@@ -40,6 +40,13 @@ class TestHarness:
         assert compiled_dd.DEFAULT_CACHE is not None
         assert compiled_dd.DEFAULT_CACHE.stats()["builds"] >= 0
 
+    def test_approximation_honors_contract(self, smoke_payload):
+        approx = smoke_payload["approximation"]
+        assert approx["tvd_within_bound"] is True
+        assert approx["samples_bit_identical"] is True
+        assert approx["fidelity_bound"] >= 1.0 - approx["epsilon"] - 1e-9
+        assert approx["approx_peak_nodes"] <= approx["exact_peak_nodes"]
+
 
 class TestValidation:
     def test_rejects_wrong_format(self, smoke_payload):
@@ -68,6 +75,34 @@ class TestValidation:
         bad["parallel"]["reproducible"] = False
         with pytest.raises(ValueError, match="reproducible"):
             bench.validate_payload(bad)
+
+    def test_rejects_tvd_over_bound(self, smoke_payload):
+        bad = json.loads(json.dumps(smoke_payload))
+        bad["approximation"]["tvd_within_bound"] = False
+        with pytest.raises(ValueError, match="bound"):
+            bench.validate_payload(bad)
+
+    def test_rejects_overspent_fidelity(self, smoke_payload):
+        bad = json.loads(json.dumps(smoke_payload))
+        bad["approximation"]["fidelity_bound"] = 0.5
+        with pytest.raises(ValueError, match="epsilon"):
+            bench.validate_payload(bad)
+
+    def test_full_runs_must_hit_node_reduction_floor(self, smoke_payload):
+        bad = json.loads(json.dumps(smoke_payload))
+        bad["config"]["smoke"] = False
+        bad["approximation"]["node_reduction"] = 1.1
+        with pytest.raises(ValueError, match="floor"):
+            bench.validate_payload(bad)
+
+
+class TestApproxSmokeGate:
+    def test_gate_passes_end_to_end(self):
+        outcome = bench.run_approx_smoke()
+        assert outcome["exact_aborted"] is True
+        assert outcome["approx_peak_nodes"] <= bench.APPROX_SMOKE_NODE_LIMIT
+        assert outcome["tvd_within_bound"] is True
+        assert outcome["samples_bit_identical"] is True
 
 
 class TestCLI:

@@ -134,3 +134,82 @@ def test_bad_qasm(tmp_path, capsys):
 
 def test_bad_shots(bell_file, capsys):
     assert main([bell_file, "--shots", "0"]) == 2
+
+
+# ---------------------------------------------------------------------------
+# Approximation flags (docs/approximation.md)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def dusty_file(tmp_path):
+    from repro.circuit.qasm import to_qasm
+    from repro.perf.bench import dusty_ghz
+
+    path = tmp_path / "dusty.qasm"
+    path.write_text(to_qasm(dusty_ghz(8, 6)))
+    return str(path)
+
+
+def test_approx_epsilon_reports_fidelity_bound(dusty_file, capsys):
+    assert main(
+        [dusty_file, "--shots", "200", "--seed", "1", "--approx-epsilon", "0.05"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "approximation: fidelity >= " in out
+    assert "epsilon budget 0.05" in out
+
+
+def test_approx_epsilon_zero_is_exact(dusty_file, capsys):
+    assert main(
+        [dusty_file, "--shots", "200", "--seed", "1", "--approx-epsilon", "0"]
+    ) == 0
+    assert "approximation:" not in capsys.readouterr().out
+
+
+def test_approx_node_budget_selects_memory_strategy(dusty_file, capsys):
+    assert main(
+        [
+            dusty_file,
+            "--shots", "200",
+            "--seed", "1",
+            "--approx-epsilon", "0.05",
+            "--approx-node-budget", "64",
+        ]
+    ) == 0
+    assert "approximation: fidelity >= " in capsys.readouterr().out
+
+
+def test_approx_node_budget_requires_epsilon(dusty_file, capsys):
+    assert main([dusty_file, "--approx-node-budget", "64"]) == 2
+    assert "--approx-epsilon" in capsys.readouterr().err
+
+
+def test_approx_epsilon_out_of_range(dusty_file, capsys):
+    assert main([dusty_file, "--approx-epsilon", "1.5"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_approx_rejects_vector_methods(dusty_file, capsys):
+    assert main(
+        [dusty_file, "--method", "vector", "--approx-epsilon", "0.05"]
+    ) == 2
+    assert "DD methods only" in capsys.readouterr().err
+
+
+def test_approx_through_service_cache(dusty_file, tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    args = [
+        dusty_file,
+        "--shots", "200",
+        "--seed", "1",
+        "--approx-epsilon", "0.05",
+        "--cache-dir", cache,
+    ]
+    assert main(args) == 0
+    cold = capsys.readouterr().out
+    assert "approximation: fidelity >= " in cold
+    assert main(args) == 0
+    warm = capsys.readouterr().out
+    assert "approximation: fidelity >= " in warm
+    assert "(cache: disk)" in warm or "(cache: hot)" in warm

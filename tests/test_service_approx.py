@@ -1,0 +1,262 @@
+"""Service-layer contract tests for the approximation rung.
+
+The degradation ladder is DD → approximate-DD(ε) → statevector →
+stabilizer (``docs/approximation.md``): when an exact build blows the
+node budget, the scheduler retries with the policy's ε before giving up
+on decision diagrams entirely.  These tests pin the ladder order, the
+cache-key isolation between exact and ε-approximated artifacts, and the
+fidelity bound's journey through every entry point — Python API, JSONL
+batch, and the HTTP front door.
+"""
+
+import asyncio
+import io
+import json
+
+import pytest
+
+from repro.algorithms import supremacy
+from repro.circuit.circuit import QuantumCircuit
+from repro.dd.approximation import ApproximationConfig
+from repro.perf.bench import dusty_ghz
+from repro.service import SamplingRequest, SamplingService
+from repro.service.__main__ import run_batch
+from repro.service.keys import cache_key
+from repro.service.net import HttpFrontDoor, post_json
+from repro.service.pool import PoolConfig, WorkerPool
+from repro.service.scheduler import ServicePolicy
+
+
+def _sample(tmp_path, request, policy=None, subdir="cache"):
+    with SamplingService(
+        cache_dir=str(tmp_path / subdir), policy=policy
+    ) as service:
+        response = service.sample(request)
+        stats = service.stats()
+    return response, stats
+
+
+# ---------------------------------------------------------------------------
+# Cache keys: exact and approximate artifacts live in separate namespaces
+# ---------------------------------------------------------------------------
+
+
+def test_epsilon_zero_key_matches_exact():
+    circuit = dusty_ghz(6, 4)
+    exact = cache_key(circuit)
+    disabled = cache_key(circuit, approximation=ApproximationConfig())
+    enabled = cache_key(
+        circuit, approximation=ApproximationConfig(epsilon=0.05)
+    )
+    assert exact == disabled
+    assert exact != enabled
+
+
+def test_distinct_epsilons_get_distinct_keys():
+    circuit = dusty_ghz(6, 4)
+    keys = {
+        cache_key(
+            circuit, approximation=ApproximationConfig(epsilon=epsilon)
+        )
+        for epsilon in (0.01, 0.05, 0.1)
+    }
+    assert len(keys) == 3
+
+
+# ---------------------------------------------------------------------------
+# The ladder: approximate-DD is attempted before statevector
+# ---------------------------------------------------------------------------
+
+
+def test_ladder_degrades_to_approx_dd_before_statevector(tmp_path):
+    response, stats = _sample(
+        tmp_path,
+        SamplingRequest(dusty_ghz(10, 8), 500, seed=9),
+        policy=ServicePolicy(max_build_nodes=800),
+    )
+    assert response.status == "ok"
+    assert response.backend == "dd"
+    assert response.degraded_reason.startswith("approximate DD (epsilon=0.05)")
+    assert response.fidelity_bound >= 0.95
+    assert stats["approx_degraded"] == 1
+    assert stats["degraded"] == 0
+
+
+def test_ladder_falls_through_when_pruning_cannot_fit(tmp_path):
+    # Random circuits have no amplitude hierarchy, so pruning cannot
+    # squeeze them under the cap: the rung must fail cleanly and the
+    # ladder continue to the statevector backend.
+    response, stats = _sample(
+        tmp_path,
+        SamplingRequest(supremacy(3, 3, 8, seed=1), 200, seed=5),
+        policy=ServicePolicy(max_build_nodes=150),
+    )
+    assert response.status == "ok"
+    assert response.backend == "statevector"
+    assert response.fidelity_bound is None
+    assert stats["approx_degraded"] == 0
+    assert stats["degraded"] == 1
+
+
+def test_approx_rung_artifact_is_reused_across_processes(tmp_path):
+    policy = ServicePolicy(max_build_nodes=800)
+    request = SamplingRequest(dusty_ghz(10, 8), 500, seed=9)
+    first, _ = _sample(tmp_path, request, policy=policy)
+    second, stats = _sample(tmp_path, request, policy=policy)
+    assert second.cache == "disk"
+    assert stats["builds"] == 0
+    assert second.fidelity_bound == first.fidelity_bound
+    assert (
+        second.result.bitstring_counts() == first.result.bitstring_counts()
+    )
+
+
+# ---------------------------------------------------------------------------
+# Store isolation: ε-approximated artifacts are never served as exact
+# ---------------------------------------------------------------------------
+
+
+def test_store_never_cross_serves_exact_and_approximate(tmp_path):
+    circuit = dusty_ghz(8, 6)
+    with SamplingService(cache_dir=str(tmp_path / "cache")) as service:
+        approx = service.sample(
+            SamplingRequest(
+                circuit, 400, seed=3, approximation={"epsilon": 0.05}
+            )
+        )
+        exact = service.sample(SamplingRequest(circuit, 400, seed=3))
+        stats = service.stats()
+    assert stats["builds"] == 2  # one per namespace, no cross-serving
+    assert approx.fidelity_bound is not None
+    assert exact.fidelity_bound is None
+
+
+def test_epsilon_zero_request_is_served_as_exact(tmp_path):
+    circuit = dusty_ghz(8, 6)
+    with SamplingService(cache_dir=str(tmp_path / "cache")) as service:
+        exact = service.sample(SamplingRequest(circuit, 400, seed=3))
+        disabled = service.sample(
+            SamplingRequest(
+                circuit, 400, seed=3, approximation={"epsilon": 0.0}
+            )
+        )
+        stats = service.stats()
+    assert stats["builds"] == 1  # ε = 0 reuses the exact artifact
+    assert disabled.fidelity_bound is None
+    assert (
+        disabled.result.bitstring_counts() == exact.result.bitstring_counts()
+    )
+
+
+# ---------------------------------------------------------------------------
+# Request validation
+# ---------------------------------------------------------------------------
+
+
+def test_vector_methods_reject_approximation(tmp_path):
+    response, _ = _sample(
+        tmp_path,
+        SamplingRequest(
+            dusty_ghz(6, 4),
+            100,
+            method="vector",
+            approximation={"epsilon": 0.05},
+        ),
+    )
+    assert response.status == "rejected"
+    assert "approximation" in response.error
+
+
+def test_mid_circuit_rejects_approximation(tmp_path):
+    circuit = QuantumCircuit(2)
+    circuit.h(0)
+    circuit.measure(0)
+    circuit.cx(0, 1)
+    response, _ = _sample(
+        tmp_path,
+        SamplingRequest(circuit, 100, approximation={"epsilon": 0.05}),
+    )
+    assert response.status == "rejected"
+
+
+def test_malformed_approximation_is_rejected(tmp_path):
+    response, _ = _sample(
+        tmp_path,
+        SamplingRequest(
+            dusty_ghz(6, 4), 100, approximation={"epsilon": 2.0}
+        ),
+    )
+    assert response.status == "rejected"
+
+
+# ---------------------------------------------------------------------------
+# The fidelity bound reaches every entry point
+# ---------------------------------------------------------------------------
+
+
+def test_response_to_dict_carries_fidelity_bound(tmp_path):
+    response, _ = _sample(
+        tmp_path,
+        SamplingRequest(
+            dusty_ghz(8, 6), 200, seed=1, approximation={"epsilon": 0.05}
+        ),
+    )
+    record = response.to_dict()
+    assert record["fidelity_bound"] == response.fidelity_bound
+    assert record["fidelity_bound"] is not None
+
+
+def test_jsonl_batch_reports_fidelity_bound(tmp_path):
+    lines = [
+        json.dumps(
+            {
+                "request_id": "approx-1",
+                "circuit": "ghz_6",
+                "shots": 200,
+                "seed": 3,
+                "approximation": {"epsilon": 0.05},
+            }
+        ),
+        json.dumps({"circuit": "ghz_6", "shots": 200, "seed": 3}),
+    ]
+    sink = io.StringIO()
+    with SamplingService(cache_dir=str(tmp_path / "cache")) as service:
+        failures = run_batch(
+            service, io.StringIO("\n".join(lines) + "\n"), sink
+        )
+    assert failures == 0
+    records = [json.loads(line) for line in sink.getvalue().splitlines()]
+    assert records[0]["request_id"] == "approx-1"
+    assert records[0]["fidelity_bound"] is not None
+    assert "fidelity_bound" not in records[1]
+
+
+def test_http_sample_reports_fidelity_bound(tmp_path):
+    pool = WorkerPool(
+        workers=1,
+        config=PoolConfig(cache_dir=str(tmp_path / "cache")),
+        max_queue_depth=8,
+    ).start()
+
+    async def scenario():
+        front = HttpFrontDoor(pool, port=0)
+        await front.start()
+        try:
+            return await post_json(
+                front.host,
+                front.port,
+                "/v1/sample",
+                {
+                    "circuit": "ghz_6",
+                    "shots": 200,
+                    "seed": 3,
+                    "approximation": {"epsilon": 0.05},
+                },
+            )
+        finally:
+            await front.drain(pool_timeout=60.0)
+
+    status, payload = asyncio.run(scenario())
+    assert status == 200
+    assert payload["status"] == "ok"
+    assert payload["fidelity_bound"] is not None
