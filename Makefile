@@ -2,12 +2,12 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-sampling bench-compile bench-serving bench-smoke bench-kernel bench-approx serve-smoke serve-net-smoke fuzz fuzz-smoke fuzz-self-check docs-check quick-table full-table figures shapes examples clean
+.PHONY: install test bench bench-sampling bench-compile bench-serving bench-smoke bench-kernel bench-approx bench-reorder serve-smoke serve-net-smoke fuzz fuzz-smoke fuzz-self-check docs-check quick-table full-table figures shapes examples clean
 
 install:
 	PIP_NO_BUILD_ISOLATION=false pip install -e .
 
-test: fuzz-smoke serve-smoke serve-net-smoke bench-kernel bench-approx
+test: fuzz-smoke serve-smoke serve-net-smoke bench-kernel bench-approx bench-reorder
 	$(PYTHON) -m pytest tests/
 
 # Kernel perf gate: the SoA vector kernel must cold-build qft_16 at
@@ -23,6 +23,12 @@ bench-kernel:
 bench-approx:
 	PYTHONPATH=src $(PYTHON) -m repro.perf.bench --approx-smoke
 
+# Reordering gate: sifting must shrink the crossing-pair circuit's peak
+# DD by >= 1.5x, with equal-seed determinism, an exact permutation
+# round-trip, and exact distributions (see docs/reordering.md).
+bench-reorder:
+	PYTHONPATH=src $(PYTHON) -m repro.compile.bench --reorder-smoke
+
 # End-to-end serving gate: batch JSONL round trip on qft_16 + grover_8,
 # cold pass builds + caches, warm pass must skip strong simulation and
 # stay bit-identical to weak_sim (see docs/serving.md).
@@ -37,8 +43,9 @@ serve-net-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.service --net-smoke
 
 # Seeded differential-fuzzing smoke: 200 circuits across all families
-# and backend pairs, deterministic, finishes well inside 60 seconds.
-# Failures are minimised and saved to tests/corpus/ for triage.
+# and backend pairs, deterministic, finishes in a few minutes (the
+# supremacy/reorder families dominate the cost).  Failures are
+# minimised and saved to tests/corpus/ for triage.
 fuzz-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.fuzz --max-circuits 200 --seed 7
 

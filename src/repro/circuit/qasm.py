@@ -4,10 +4,19 @@ Supported statements: ``OPENQASM 2.0``, ``include``, ``qreg``, ``creg``,
 gate applications from the built-in registry (with ``c``-prefixed names for
 controlled versions, e.g. ``cx``, ``ccx``, ``cp(theta)``), ``measure``, and
 ``barrier``.  Parameter expressions understand ``pi``, the four arithmetic
-operators, parentheses, and unary minus.
+operators, parentheses, and unary minus.  Both ``//`` line comments and
+``/* ... */`` block comments are handled, and statements may span lines.
 
 This is enough to round-trip every circuit this library generates and to
 load typical benchmark files (QFT, Grover, adders) from other toolchains.
+
+The parser is strict by design: it fronts a network service that accepts
+untrusted input, so every malformed construct must surface as a
+:class:`~repro.exceptions.QasmError` naming the offending statement —
+never a bare ``KeyError``/``IndexError`` (which a server maps to a 500)
+and never a silent misparse that drops operands or statements on the
+floor.  Known-unsupported OpenQASM constructs (``opaque``, ``if``,
+``reset``) are rejected explicitly with a message saying so.
 """
 
 from __future__ import annotations
@@ -17,7 +26,7 @@ import math
 import re
 from typing import Dict, List, Optional, Tuple
 
-from ..exceptions import QasmError
+from ..exceptions import CircuitError, QasmError
 from . import gates as g
 from .circuit import QuantumCircuit
 from .operations import Barrier, DiagonalOperation, Measurement, Operation
@@ -32,11 +41,26 @@ _CREG_RE = re.compile(r"creg\s+([A-Za-z_][A-Za-z0-9_]*)\s*\[\s*(\d+)\s*\]\s*;")
 _GATE_RE = re.compile(
     r"([A-Za-z_][A-Za-z0-9_]*)\s*(\(((?:[^()]|\([^()]*\))*)\))?\s+(.*?)\s*;"
 )
-_QUBIT_RE = re.compile(r"([A-Za-z_][A-Za-z0-9_]*)\s*\[\s*(\d+)\s*\]")
+#: One qubit operand: ``name`` or ``name[index]`` — matched with
+#: ``fullmatch`` per comma-separated operand so stray tokens are errors
+#: rather than silently ignored.
+_OPERAND_RE = re.compile(r"([A-Za-z_][A-Za-z0-9_]*)\s*(?:\[\s*(\d+)\s*\])?")
 _MEASURE_RE = re.compile(
     r"measure\s+([A-Za-z_][A-Za-z0-9_]*)(\s*\[\s*(\d+)\s*\])?\s*->\s*"
     r"([A-Za-z_][A-Za-z0-9_]*)(\s*\[\s*(\d+)\s*\])?\s*;"
 )
+_INCLUDE_RE = re.compile(r'include\s+"[^"]*"\s*;\s*$')
+_KEYWORD_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+#: Statements the library knowingly does not implement.  They must be
+#: rejected by name: falling through to the generic gate parser would
+#: either produce a baffling "unknown gate" message or, worse, drop the
+#: statement and simulate a different circuit than the caller wrote.
+_UNSUPPORTED_STATEMENTS: Dict[str, str] = {
+    "opaque": "opaque gate declarations are not supported",
+    "if": "classically controlled statements ('if') are not supported",
+    "reset": "mid-circuit reset is not supported",
+}
 
 # Controlled aliases: name -> (base gate name, number of controls)
 _CONTROL_ALIASES: Dict[str, Tuple[str, int]] = {
@@ -97,7 +121,44 @@ def _eval_param(expression: str, line: int) -> float:
             return left**right
         raise QasmError(f"unsupported expression {expression!r}", line)
 
-    return walk(tree)
+    try:
+        return walk(tree)
+    except ZeroDivisionError as exc:
+        raise QasmError(
+            f"division by zero in parameter expression {expression!r}", line
+        ) from exc
+
+
+def _strip_block_comments(text: str) -> str:
+    """Remove ``/* ... */`` block comments and ``//`` line comments.
+
+    A single left-to-right scan so the two comment styles cannot confuse
+    each other (``//`` inside a block comment must not hide the ``*/``;
+    ``/*`` inside a line comment must not open a block).  Newlines inside
+    block comments are preserved, keeping every later diagnostic's line
+    number aligned with the original source.  An unterminated ``/*`` is
+    an error: swallowing the rest of the file would silently drop
+    statements.
+    """
+    out: List[str] = []
+    i, length = 0, len(text)
+    while i < length:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < length else ""
+        if ch == "/" and nxt == "/":
+            while i < length and text[i] != "\n":
+                i += 1
+        elif ch == "/" and nxt == "*":
+            start_line = text.count("\n", 0, i) + 1
+            end = text.find("*/", i + 2)
+            if end < 0:
+                raise QasmError("unterminated block comment '/*'", start_line)
+            out.append("\n" * text.count("\n", i, end))
+            i = end + 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
 
 
 def _strip_comments(text: str) -> List[Tuple[int, str]]:
@@ -195,13 +256,14 @@ def parse_qasm(text: str) -> QuantumCircuit:
     """
     # Strip comments first so a commented-out gate body cannot confuse
     # the block extractor, then pull out the gate definitions.
-    text = "\n".join(line.split("//", 1)[0] for line in text.splitlines())
+    text = _strip_block_comments(text)
     text, macros = _extract_gate_definitions(text)
     statements = _strip_comments(text)
     if not statements:
         raise QasmError("empty QASM input")
 
     registers: Dict[str, Tuple[int, int]] = {}  # name -> (offset, size)
+    cregisters: Dict[str, int] = {}  # name -> size
     total_qubits = 0
     circuit: QuantumCircuit | None = None
     pending: List[Tuple[int, str]] = []
@@ -214,18 +276,102 @@ def parse_qasm(text: str) -> QuantumCircuit:
             raise QasmError(f"index {index} out of range for {name}[{size}]", line)
         return offset + index
 
+    def parse_operands(
+        operands_src: str,
+        statement: str,
+        line: int,
+        allow_bare_register: bool = False,
+    ) -> List[int]:
+        """Resolve a comma-separated operand list to absolute qubit indices.
+
+        Every operand must be ``name[index]`` (or, for ``barrier``, a
+        declared register name, which expands to all its qubits).
+        Anything else — a stray token, a malformed bracket, a trailing
+        comma — is an error naming the statement: silently dropping
+        operands would simulate a different circuit than the one written.
+        """
+        qubits: List[int] = []
+        for operand in operands_src.split(","):
+            operand = operand.strip()
+            if not operand:
+                raise QasmError(
+                    f"empty qubit operand in statement {statement!r}", line
+                )
+            match = _OPERAND_RE.fullmatch(operand)
+            if not match:
+                raise QasmError(
+                    f"cannot parse qubit operand {operand!r} in statement "
+                    f"{statement!r}",
+                    line,
+                )
+            name, index = match.group(1), match.group(2)
+            if index is not None:
+                qubits.append(qubit_index(name, int(index), line))
+            elif allow_bare_register:
+                if name not in registers:
+                    raise QasmError(
+                        f"unknown quantum register {name!r} in statement "
+                        f"{statement!r}",
+                        line,
+                    )
+                offset, size = registers[name]
+                qubits.extend(range(offset, offset + size))
+            else:
+                raise QasmError(
+                    f"whole-register operand {name!r} in statement "
+                    f"{statement!r} is not supported for gate applications; "
+                    f"index each qubit (e.g. {name}[0])",
+                    line,
+                )
+        return qubits
+
     for line, statement in statements:
-        if _HEADER_RE.match(statement) or statement.startswith("include"):
+        if _HEADER_RE.match(statement):
             continue
-        match = _QREG_RE.match(statement)
-        if match:
+        keyword_match = _KEYWORD_RE.match(statement)
+        keyword = keyword_match.group(0) if keyword_match else ""
+        if keyword == "OPENQASM":
+            raise QasmError(
+                f"unsupported OPENQASM version in {statement!r} "
+                "(expected 2.0)",
+                line,
+            )
+        if keyword == "include":
+            if not _INCLUDE_RE.match(statement):
+                raise QasmError(
+                    f"malformed include statement {statement!r}", line
+                )
+            continue
+        if keyword == "qreg":
+            match = _QREG_RE.match(statement)
+            if not match:
+                raise QasmError(
+                    f"malformed qreg declaration {statement!r}", line
+                )
             name, size = match.group(1), int(match.group(2))
             if name in registers:
                 raise QasmError(f"duplicate register {name!r}", line)
+            if size < 1:
+                raise QasmError(
+                    f"register size must be positive in {statement!r}", line
+                )
             registers[name] = (total_qubits, size)
             total_qubits += size
             continue
-        if _CREG_RE.match(statement):
+        if keyword == "creg":
+            match = _CREG_RE.match(statement)
+            if not match:
+                raise QasmError(
+                    f"malformed creg declaration {statement!r}", line
+                )
+            name, size = match.group(1), int(match.group(2))
+            if name in cregisters:
+                raise QasmError(f"duplicate classical register {name!r}", line)
+            if size < 1:
+                raise QasmError(
+                    f"register size must be positive in {statement!r}", line
+                )
+            cregisters[name] = size
             continue
         pending.append((line, statement))
 
@@ -242,14 +388,67 @@ def parse_qasm(text: str) -> QuantumCircuit:
         expansion_guard += 1
         if expansion_guard > 1_000_000:
             raise QasmError("gate macro expansion does not terminate", line)
+        keyword_match = _KEYWORD_RE.match(statement)
+        keyword = keyword_match.group(0).lower() if keyword_match else ""
+        if keyword in _UNSUPPORTED_STATEMENTS:
+            raise QasmError(
+                f"{_UNSUPPORTED_STATEMENTS[keyword]}: {statement!r}", line
+            )
+        if keyword == "gate":
+            raise QasmError(
+                f"malformed or unterminated gate definition {statement!r} "
+                "(every 'gate' block needs a matching '{ ... }')",
+                line,
+            )
         measure = _MEASURE_RE.match(statement)
         if measure:
-            name, index = measure.group(1), measure.group(3)
-            if index is None:
-                circuit.measure_all()
+            qname, qindex = measure.group(1), measure.group(3)
+            cname, cindex = measure.group(4), measure.group(6)
+            if cname not in cregisters:
+                raise QasmError(
+                    f"unknown classical register {cname!r} in statement "
+                    f"{statement!r}",
+                    line,
+                )
+            if (qindex is None) != (cindex is None):
+                raise QasmError(
+                    f"measure must index both registers or neither in "
+                    f"statement {statement!r}",
+                    line,
+                )
+            if qindex is None:
+                if qname not in registers:
+                    raise QasmError(
+                        f"unknown quantum register {qname!r} in statement "
+                        f"{statement!r}",
+                        line,
+                    )
+                offset, size = registers[qname]
+                if cregisters[cname] < size:
+                    raise QasmError(
+                        f"classical register {cname}[{cregisters[cname]}] is "
+                        f"too small for {qname}[{size}] in statement "
+                        f"{statement!r}",
+                        line,
+                    )
+                if size == total_qubits:
+                    circuit.measure_all()
+                else:
+                    # Register-to-register measure covers exactly that
+                    # register's qubits — not the whole circuit.
+                    circuit.measure(*range(offset, offset + size))
             else:
-                circuit.measure(qubit_index(name, int(index), line))
+                if int(cindex) >= cregisters[cname]:
+                    raise QasmError(
+                        f"index {cindex} out of range for "
+                        f"{cname}[{cregisters[cname]}] in statement "
+                        f"{statement!r}",
+                        line,
+                    )
+                circuit.measure(qubit_index(qname, int(qindex), line))
             continue
+        if keyword == "measure":
+            raise QasmError(f"malformed measure statement {statement!r}", line)
         match = _GATE_RE.match(statement)
         if not match:
             raise QasmError(f"cannot parse statement {statement!r}", line)
@@ -261,18 +460,19 @@ def parse_qasm(text: str) -> QuantumCircuit:
             if params_src
             else ()
         )
-        qubits = [
-            qubit_index(name, int(index), line)
-            for name, index in _QUBIT_RE.findall(operands_src)
-        ]
-        if not qubits:
-            if gate_name == "barrier":
-                circuit.barrier()
-                continue
-            raise QasmError(f"no qubit operands in {statement!r}", line)
 
         if gate_name == "barrier":
-            circuit.barrier(*qubits)
+            qubits = parse_operands(
+                operands_src, statement, line, allow_bare_register=True
+            )
+            if len(set(qubits)) != len(qubits):
+                raise QasmError(
+                    f"duplicate qubit operand in statement {statement!r}", line
+                )
+            if set(qubits) == set(range(total_qubits)):
+                circuit.barrier()
+            else:
+                circuit.barrier(*qubits)
             continue
         if gate_name == "u":
             gate_name = "u3"
@@ -293,9 +493,29 @@ def parse_qasm(text: str) -> QuantumCircuit:
             continue
         if base_name not in g.GATE_REGISTRY:
             raise QasmError(f"unknown gate {gate_name!r}", line)
-        gate = g.GATE_REGISTRY[base_name](*params)
+        try:
+            gate = g.GATE_REGISTRY[base_name](*params)
+        except (TypeError, ValueError) as exc:
+            raise QasmError(
+                f"bad parameter(s) for gate {gate_name!r} in statement "
+                f"{statement!r}: {exc}",
+                line,
+            ) from exc
+        qubits = parse_operands(operands_src, statement, line)
+        if len(set(qubits)) != len(qubits):
+            raise QasmError(
+                f"duplicate qubit operand in statement {statement!r} "
+                "(gate operands must be distinct qubits)",
+                line,
+            )
         if num_controls < 0:  # mcx / mcz / mcp: all but last operand control
             num_controls = len(qubits) - gate.num_qubits
+            if num_controls < 0:
+                raise QasmError(
+                    f"gate {gate_name!r} needs at least {gate.num_qubits} "
+                    f"operand(s), got {len(qubits)}",
+                    line,
+                )
         controls = qubits[:num_controls]
         targets = qubits[num_controls:]
         if len(targets) != gate.num_qubits:
@@ -304,11 +524,18 @@ def parse_qasm(text: str) -> QuantumCircuit:
                 f"got {len(targets)}",
                 line,
             )
-        circuit.append(
-            Operation(
-                gate=gate, targets=tuple(targets), controls=frozenset(controls)
+        try:
+            circuit.append(
+                Operation(
+                    gate=gate,
+                    targets=tuple(targets),
+                    controls=frozenset(controls),
+                )
             )
-        )
+        except CircuitError as exc:
+            raise QasmError(
+                f"invalid statement {statement!r}: {exc}", line
+            ) from exc
     return circuit
 
 

@@ -40,8 +40,46 @@ __all__ = [
     "decompose_controlled_single_qubit",
     "lower_to_basis",
     "merge_adjacent_gates",
+    "permute_instruction",
     "permute_qubits",
 ]
+
+
+def permute_instruction(instruction, mapping: Sequence[int]):
+    """Relabel one instruction's qubits ``q`` to ``mapping[q]``.
+
+    The per-instruction core of :func:`permute_qubits`, also used by DD
+    reordering to redirect gates onto the current qubit-to-level mapping
+    mid-build (:mod:`repro.dd.reorder`).  An identity relabel returns the
+    instruction unchanged (instructions are immutable).
+    """
+    if isinstance(instruction, Operation):
+        return Operation(
+            gate=instruction.gate,
+            targets=tuple(mapping[q] for q in instruction.targets),
+            controls=frozenset(mapping[q] for q in instruction.controls),
+            neg_controls=frozenset(
+                mapping[q] for q in instruction.neg_controls
+            ),
+        )
+    if isinstance(instruction, DiagonalOperation):
+        return DiagonalOperation(
+            terms=tuple(
+                PhaseTerm(
+                    ones=frozenset(mapping[q] for q in term.ones),
+                    zeros=frozenset(mapping[q] for q in term.zeros),
+                    angle=term.angle,
+                )
+                for term in instruction.terms
+            )
+        )
+    if isinstance(instruction, Measurement):
+        return Measurement(qubits=tuple(mapping[q] for q in instruction.qubits))
+    if isinstance(instruction, Barrier):
+        return Barrier(qubits=tuple(mapping[q] for q in instruction.qubits))
+    raise CircuitError(
+        f"cannot relabel {type(instruction).__name__} instruction"
+    )
 
 
 def permute_qubits(
@@ -67,42 +105,7 @@ def permute_qubits(
         )
     out = QuantumCircuit(num_qubits, name=f"{circuit.name}_relabeled")
     for instruction in circuit:
-        if isinstance(instruction, Operation):
-            out.append(
-                Operation(
-                    gate=instruction.gate,
-                    targets=tuple(mapping[q] for q in instruction.targets),
-                    controls=frozenset(mapping[q] for q in instruction.controls),
-                    neg_controls=frozenset(
-                        mapping[q] for q in instruction.neg_controls
-                    ),
-                )
-            )
-        elif isinstance(instruction, DiagonalOperation):
-            out.append(
-                DiagonalOperation(
-                    terms=tuple(
-                        PhaseTerm(
-                            ones=frozenset(mapping[q] for q in term.ones),
-                            zeros=frozenset(mapping[q] for q in term.zeros),
-                            angle=term.angle,
-                        )
-                        for term in instruction.terms
-                    )
-                )
-            )
-        elif isinstance(instruction, Measurement):
-            out.append(
-                Measurement(qubits=tuple(mapping[q] for q in instruction.qubits))
-            )
-        elif isinstance(instruction, Barrier):
-            out.append(
-                Barrier(qubits=tuple(mapping[q] for q in instruction.qubits))
-            )
-        else:  # pragma: no cover - defensive
-            raise CircuitError(
-                f"cannot relabel {type(instruction).__name__} instruction"
-            )
+        out.append(permute_instruction(instruction, mapping))
     return out
 
 

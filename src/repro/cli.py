@@ -109,6 +109,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "only when the DD exceeds N nodes, still spending at most "
         "--approx-epsilon of fidelity",
     )
+    parser.add_argument(
+        "--reorder",
+        action="store_true",
+        help="shrink the DD by reordering qubits: a connectivity-derived "
+        "initial order plus dynamic sifting during the build; reported "
+        "samples stay in the original qubit order (DD methods only; see "
+        "docs/reordering.md)",
+    )
+    parser.add_argument(
+        "--reorder-budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap the total adjacent-swap attempts sifting may spend "
+        "(default 256; implies --reorder)",
+    )
     return parser
 
 
@@ -158,6 +174,23 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
             return 2
 
+    reorder = None
+    if args.reorder or args.reorder_budget is not None:
+        from .dd.reorder import DEFAULT_SIFT_BUDGET, ReorderConfig
+
+        try:
+            reorder = ReorderConfig(
+                enabled=True,
+                budget=(
+                    args.reorder_budget
+                    if args.reorder_budget is not None
+                    else DEFAULT_SIFT_BUDGET
+                ),
+            )
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+
     session = None
     if args.trace:
         from .telemetry import Telemetry
@@ -183,6 +216,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                         optimize=not args.no_optimize,
                         kernel=args.kernel,
                         approximation=approximation,
+                        reorder=reorder,
                     )
                 )
             if not response.ok:
@@ -204,6 +238,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 telemetry=session,
                 kernel=args.kernel,
                 approximation=approximation,
+                reorder=reorder,
             )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -227,6 +262,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"(epsilon budget {approximation.epsilon}, "
                 f"{approx_meta['rounds']} pruning rounds, "
                 f"{approx_meta['removed_edges']} edges removed)"
+            )
+    if reorder is not None:
+        reorder_meta = (result.metadata.get("build") or {}).get("reorder")
+        if reorder_meta is None:
+            reorder_meta = (result.metadata.get("service") or {}).get("reorder")
+        if reorder_meta:
+            print(
+                f"reorder: level_to_qubit={reorder_meta['level_to_qubit']} "
+                f"({reorder_meta['rounds']} sifting rounds, "
+                f"{reorder_meta['swaps_kept']} swaps kept; samples reported "
+                "in original qubit order)"
             )
     for bitstring, count in result.most_common(args.top):
         bar = "#" * max(1, round(40 * count / result.shots))

@@ -18,8 +18,14 @@ equivalent circuit with fewer, cheaper operations:
 
 :func:`optimize_circuit` runs the default pipeline; the simulators invoke
 it automatically unless constructed with ``optimize=False``.
+
+:mod:`repro.compile.layout` additionally offers a connectivity-driven
+initial qubit ordering (:func:`~repro.compile.layout.apply_initial_order`)
+used by DD reordering; it is *not* part of the default pipeline because
+relabelling changes the meaning of sampled bitstrings.
 """
 
+from .layout import apply_initial_order, interaction_order
 from .passes import (
     CancelInversePairs,
     CommuteDiagonals,
@@ -31,6 +37,8 @@ from .passes import (
 from .pipeline import CompilePipeline, CompileStats, optimize_circuit
 
 __all__ = [
+    "apply_initial_order",
+    "interaction_order",
     "CancelInversePairs",
     "CommuteDiagonals",
     "DiagonalCoalescing",

@@ -14,10 +14,17 @@ records
   drawn from the optimised and unoptimised simulations, proving the
   rewrite does not move the output distribution.
 
+Since version 2 the payload also carries a ``reordering`` section: a
+crossing-pair circuit (the worst case for the natural variable order) is
+built fixed and reordered, and the peak-node reduction, equal-seed
+determinism, and exactness of the permutation round-trip are recorded
+and gated (see ``docs/reordering.md``).
+
 Run it with::
 
     python -m repro.compile.bench --out BENCH_build.json
     python -m repro.compile.bench --smoke          # toy sizes, seconds
+    python -m repro.compile.bench --reorder-smoke  # 'make bench-reorder' gate
     python -m repro.compile.bench --validate BENCH_build.json
 
 The JSON layout is versioned and checked by :func:`validate_payload`;
@@ -33,22 +40,36 @@ import sys
 import time
 from typing import Dict, List, Optional
 
+import numpy as np
+
 from ..algorithms.grover import grover
 from ..algorithms.qft import qft
 from ..algorithms.supremacy import supremacy
 from ..circuit.circuit import QuantumCircuit
 from ..core.indistinguishability import two_sample_chi_square
-from ..core.weak_sim import simulate_and_sample
+from ..core.weak_sim import sample_dd, simulate_and_sample
+from ..dd.reorder import ReorderConfig, unpermute_counts
 from ..simulators.dd_simulator import DDSimulator
 from .pipeline import optimize_circuit
 
-__all__ = ["FORMAT", "VERSION", "run_harness", "validate_payload", "main"]
+__all__ = [
+    "FORMAT",
+    "VERSION",
+    "run_harness",
+    "run_reorder_section",
+    "validate_payload",
+    "main",
+]
 
 FORMAT = "repro-bench-build"
-VERSION = 1
+VERSION = 2
 
 #: Minimum applied-operation reduction (percent) each family must show.
 REDUCTION_FLOOR = 25.0
+
+#: The ``make bench-reorder`` gate: reordering must shrink the peak node
+#: count of the crossing-pair circuit by at least this factor.
+REORDER_NODE_REDUCTION_FLOOR = 1.5
 
 #: Top-level keys every payload must carry, with the per-section keys.
 _SCHEMA: Dict[str, List[str]] = {
@@ -67,6 +88,18 @@ _SCHEMA: Dict[str, List[str]] = {
         "circuit",
         "shots",
         "distributions_consistent",
+    ],
+    "reordering": [
+        "circuit",
+        "num_qubits",
+        "peak_nodes_fixed",
+        "peak_nodes_reordered",
+        "node_reduction_factor",
+        "level_to_qubit",
+        "swaps_kept",
+        "deterministic_at_equal_seed",
+        "permutation_roundtrip_exact",
+        "distribution_exact",
     ],
 }
 
@@ -116,6 +149,102 @@ def _bench_case(name: str, circuit: QuantumCircuit, repeats: int = 3) -> Dict:
     }
 
 
+def _crossing_circuit(num_qubits: int, seed: int) -> QuantumCircuit:
+    """Crossing-pair circuit: the natural order's worst case.
+
+    Random single-qubit rotations followed by ``cx(i, i + n/2)``
+    entanglers: every interaction spans half the register, so under the
+    natural variable order the DD pays for correlations between maximally
+    distant levels.  Reordering can move the partners adjacent and
+    collapse the peak node count — the effect the gate quantifies.
+    """
+    rng = np.random.default_rng(seed)
+    half = num_qubits // 2
+    circuit = QuantumCircuit(num_qubits, name=f"crossing_{num_qubits}")
+    for layer in range(2):
+        for qubit in range(num_qubits):
+            theta, phi, lam = (
+                float(v) for v in rng.uniform(0, 2 * np.pi, size=3)
+            )
+            circuit.u3(theta, phi, lam, qubit)
+        for low in range(half):
+            circuit.cx(low, low + half)
+    return circuit
+
+
+def run_reorder_section(
+    smoke: bool = False, seed: int = 7, shots: int = 4_000
+) -> Dict:
+    """The ``reordering`` payload section (and ``make bench-reorder`` body).
+
+    Builds the crossing-pair circuit twice — fixed order and with
+    :class:`~repro.dd.reorder.ReorderConfig` enabled — and records
+
+    * the peak-node reduction (gated at
+      :data:`REORDER_NODE_REDUCTION_FLOOR`),
+    * equal-seed determinism of reordered sampling,
+    * the permutation round-trip: level-space samples re-keyed through
+      the recorded ``level_to_qubit`` must be *bit-identical* to the
+      counts the public API reports,
+    * exact distribution equality against the fixed-order build after
+      accounting for the permutation.
+    """
+    # 12 qubits is the sweet spot for this gate: the crossing pattern
+    # reliably gives ~2.4x at n=12, while at n=14 the mid-build states
+    # are near-dense in *every* variable order and no reordering helps.
+    num_qubits = 10 if smoke else 12
+    circuit = _crossing_circuit(num_qubits, seed)
+
+    fixed = DDSimulator()
+    fixed_state = fixed.run(circuit)
+    peak_fixed = fixed.stats.peak_dd_nodes
+
+    config = ReorderConfig(enabled=True)
+    reordered = DDSimulator(reorder=config)
+    reordered_state = reordered.run(circuit)
+    peak_reordered = reordered.stats.peak_dd_nodes
+    perm = reordered.stats.level_to_qubit or tuple(range(num_qubits))
+
+    first = simulate_and_sample(circuit, shots, seed=seed, reorder=config)
+    second = simulate_and_sample(circuit, shots, seed=seed, reorder=config)
+    deterministic = first.counts == second.counts
+
+    # Permutation metadata round-trip: sampling the reordered state
+    # directly yields level-space values; re-keying them through the
+    # recorded permutation must reproduce the reported counts exactly.
+    level_result = sample_dd(reordered_state, shots, method="dd", seed=seed)
+    roundtrip_exact = (
+        unpermute_counts(level_result.counts, perm) == first.counts
+    )
+
+    # Amplitude exactness: sifting moves levels, never amplitudes.
+    level_probs = reordered_state.probabilities()
+    indices = np.arange(1 << num_qubits)
+    targets = np.zeros_like(indices)
+    for level, qubit in enumerate(perm):
+        targets |= ((indices >> level) & 1) << qubit
+    mapped = np.zeros_like(level_probs)
+    mapped[targets] = level_probs[indices]
+    distribution_exact = bool(
+        np.abs(mapped - fixed_state.probabilities()).max() <= 1e-9
+    )
+
+    return {
+        "circuit": circuit.name,
+        "num_qubits": num_qubits,
+        "peak_nodes_fixed": int(peak_fixed),
+        "peak_nodes_reordered": int(peak_reordered),
+        "node_reduction_factor": round(
+            peak_fixed / max(peak_reordered, 1), 2
+        ),
+        "level_to_qubit": list(perm),
+        "swaps_kept": int(reordered.stats.reorder_swaps_kept),
+        "deterministic_at_equal_seed": bool(deterministic),
+        "permutation_roundtrip_exact": bool(roundtrip_exact),
+        "distribution_exact": distribution_exact,
+    }
+
+
 def run_harness(shots: int = 50_000, seed: int = 7, smoke: bool = False) -> Dict:
     """Execute all harness sections and return the payload dict."""
     if smoke:
@@ -148,6 +277,9 @@ def run_harness(shots: int = 50_000, seed: int = 7, smoke: bool = False) -> Dict
         "shots": shots,
         "distributions_consistent": consistent,
     }
+    payload["reordering"] = run_reorder_section(
+        smoke=smoke, seed=seed, shots=min(shots, 4_000)
+    )
     return payload
 
 
@@ -181,6 +313,24 @@ def validate_payload(payload: Dict) -> None:
             )
     if not payload["sampling"]["distributions_consistent"]:
         raise ValueError("optimised sampling distribution drifted")
+    reordering = payload["reordering"]
+    if reordering["node_reduction_factor"] < REORDER_NODE_REDUCTION_FLOOR:
+        raise ValueError(
+            f"reordering peak-node reduction "
+            f"{reordering['node_reduction_factor']}x below the "
+            f"{REORDER_NODE_REDUCTION_FLOOR}x floor"
+        )
+    if not reordering["deterministic_at_equal_seed"]:
+        raise ValueError("reordered sampling is not seed-deterministic")
+    if not reordering["permutation_roundtrip_exact"]:
+        raise ValueError(
+            "level-space samples re-keyed through level_to_qubit do not "
+            "match the reported counts"
+        )
+    if not reordering["distribution_exact"]:
+        raise ValueError(
+            "reordered distribution differs from the fixed-order build"
+        )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -206,6 +356,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="toy sizes: exercises every section in seconds",
     )
     parser.add_argument(
+        "--reorder-smoke",
+        action="store_true",
+        help="run only the reordering gate: >= 1.5x peak-node reduction "
+        "on the crossing-pair circuit with an exact permutation "
+        "round-trip ('make bench-reorder')",
+    )
+    parser.add_argument(
         "--validate",
         metavar="FILE",
         help="validate an existing payload against the schema and exit",
@@ -216,6 +373,29 @@ def _build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for ``python -m repro.compile.bench``."""
     args = _build_parser().parse_args(argv)
+
+    if args.reorder_smoke:
+        section = run_reorder_section(smoke=True, seed=args.seed)
+        line = (
+            f"reorder gate: peak {section['peak_nodes_fixed']} -> "
+            f"{section['peak_nodes_reordered']} nodes "
+            f"({section['node_reduction_factor']}x, floor "
+            f"{REORDER_NODE_REDUCTION_FLOOR}x), "
+            f"deterministic={section['deterministic_at_equal_seed']}, "
+            f"roundtrip_exact={section['permutation_roundtrip_exact']}, "
+            f"distribution_exact={section['distribution_exact']}"
+        )
+        ok = (
+            section["node_reduction_factor"] >= REORDER_NODE_REDUCTION_FLOOR
+            and section["deterministic_at_equal_seed"]
+            and section["permutation_roundtrip_exact"]
+            and section["distribution_exact"]
+        )
+        print(line)
+        if not ok:
+            print("reorder gate FAILED", file=sys.stderr)
+            return 1
+        return 0
 
     if args.validate:
         with open(args.validate, "r", encoding="utf-8") as handle:

@@ -1,0 +1,100 @@
+"""Connectivity-driven initial qubit ordering for DD builds.
+
+A DD build pays for the *distance* between interacting qubits: a
+two-qubit gate spanning levels ``l`` and ``l + k`` forces every level in
+between to distinguish the pair's joint support, so circuits whose
+entangling gates cross the register (``cx q[0], q[8]`` on 16 qubits)
+blow up under the natural order while a relabelled version stays tiny.
+This pass derives an initial order from the circuit's interaction graph
+— the weighted adjacency of qubits that share multi-qubit operations —
+and relabels the circuit through
+:func:`~repro.circuit.transforms.permute_qubits` so that strongly
+coupled qubits land on adjacent DD levels *before* the build starts.
+
+It deliberately lives outside the default :func:`optimize_circuit`
+pipeline: relabelling changes the meaning of sampled bitstrings, so it
+only runs when reordering is requested (``ReorderConfig.static``) and
+the caller records the returned permutation for unpermutation (see
+``docs/reordering.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.transforms import permute_qubits
+
+__all__ = ["interaction_order", "apply_initial_order"]
+
+
+def interaction_order(circuit: QuantumCircuit) -> Tuple[int, ...]:
+    """Greedy connectivity placement: ``order[level] = original qubit``.
+
+    Builds the interaction graph (edge weight = number of multi-qubit
+    instructions touching both qubits), seeds the order with the qubit
+    of maximum total weight, then repeatedly appends the unplaced qubit
+    most strongly connected to the placed set (ties broken by total
+    weight, then qubit index, so the order is deterministic).  Qubits
+    never touched by a multi-qubit operation keep their relative order
+    at the end.  Returns the identity for circuits with no multi-qubit
+    structure.
+    """
+    n = circuit.num_qubits
+    weight: Dict[Tuple[int, int], int] = {}
+    total = [0] * n
+    for instruction in circuit.instructions:
+        qubits = sorted(instruction.qubits)
+        if len(qubits) < 2:
+            continue
+        for i, a in enumerate(qubits):
+            for b in qubits[i + 1 :]:
+                weight[(a, b)] = weight.get((a, b), 0) + 1
+                total[a] += 1
+                total[b] += 1
+    if not weight:
+        return tuple(range(n))
+
+    def coupling(a: int, b: int) -> int:
+        return weight.get((a, b) if a < b else (b, a), 0)
+
+    placed: List[int] = []
+    remaining = set(range(n))
+    seed = max(remaining, key=lambda q: (total[q], -q))
+    placed.append(seed)
+    remaining.discard(seed)
+    while remaining:
+        # Untouched qubits (total weight 0) fall through to the
+        # index tie-break, preserving their natural relative order.
+        best = max(
+            remaining,
+            key=lambda q: (
+                sum(coupling(q, p) for p in placed),
+                total[q],
+                -q,
+            ),
+        )
+        placed.append(best)
+        remaining.discard(best)
+    return tuple(placed)
+
+
+def apply_initial_order(
+    circuit: QuantumCircuit,
+) -> Tuple[QuantumCircuit, Tuple[int, ...]]:
+    """Relabel ``circuit`` onto its interaction order.
+
+    Returns ``(relabelled, level_to_qubit)`` where DD level ``l`` of a
+    build of ``relabelled`` holds original qubit ``level_to_qubit[l]``.
+    When the interaction order is the identity the input circuit is
+    returned unchanged (no copy).
+    """
+    order = interaction_order(circuit)
+    if order == tuple(range(circuit.num_qubits)):
+        return circuit, order
+    # permute_qubits maps original label q -> new label mapping[q]; we
+    # want original qubit order[l] to become label (= level) l.
+    mapping = [0] * circuit.num_qubits
+    for level, qubit in enumerate(order):
+        mapping[qubit] = level
+    return permute_qubits(circuit, mapping), order

@@ -70,14 +70,44 @@ class DDSampler:
     package uses the L2 scheme (every node then has unit downstream mass
     by construction); pass ``False`` to force the general path, e.g. for
     the normalisation-scheme ablation benchmark.
+
+    ``level_to_qubit`` declares that the state was built under a
+    reordered variable order (``level_to_qubit[l]`` is the original
+    qubit stored at DD level ``l`` — see :mod:`repro.dd.reorder`).  Raw
+    samplers (``sample``, ``sample_one``, …) keep returning *level-space*
+    integers; :meth:`sample_result` re-keys its aggregate back to the
+    original qubit order, and :meth:`sample_top_qubits` refuses to run —
+    under a non-identity permutation the top DD levels are not the top
+    qubits, so the marginal it walks would silently be over the wrong
+    subset of the register.
     """
 
-    def __init__(self, state: VectorDD, trust_l2_normalization: bool = True):
+    def __init__(
+        self,
+        state: VectorDD,
+        trust_l2_normalization: bool = True,
+        level_to_qubit: Optional[Tuple[int, ...]] = None,
+    ):
         if state.edge.is_zero:
             raise SamplingError("cannot sample from the zero vector")
         self.state = state
         self.num_qubits = state.num_qubits
         self._edge = state.edge
+        if level_to_qubit is not None:
+            from ..dd.reorder import is_identity_permutation
+
+            if len(level_to_qubit) != state.num_qubits or sorted(
+                level_to_qubit
+            ) != list(range(state.num_qubits)):
+                raise SamplingError(
+                    f"level_to_qubit must be a permutation of "
+                    f"0..{state.num_qubits - 1}, got {level_to_qubit!r}"
+                )
+            if is_identity_permutation(level_to_qubit):
+                level_to_qubit = None
+        self.level_to_qubit = (
+            tuple(level_to_qubit) if level_to_qubit is not None else None
+        )
         self._is_l2 = (
             trust_l2_normalization
             and state.package.scheme is NormalizationScheme.L2
@@ -240,6 +270,10 @@ class DDSampler:
             samples = sample_chunked(
                 compiled.sample, shots, rng, workers=workers, chunk_shots=chunk_shots
             )
+        if self.level_to_qubit is not None:
+            from ..dd.reorder import unpermute_samples
+
+            samples = unpermute_samples(samples, self.level_to_qubit)
         return SampleResult.from_samples(self.num_qubits, samples, method=method)
 
     # ------------------------------------------------------------------
@@ -263,6 +297,13 @@ class DDSampler:
         Returned values are the top bits right-aligned: bit ``j`` of a
         result is qubit ``n - num_qubits + j`` of the register.
         """
+        if self.level_to_qubit is not None:
+            raise SamplingError(
+                "sample_top_qubits is unavailable on a reordered state: "
+                "the top DD levels are not the top qubits under "
+                f"level_to_qubit={self.level_to_qubit}; sample the full "
+                "register and marginalise, or build without reordering"
+            )
         if not 0 < num_qubits <= self.num_qubits:
             raise SamplingError(
                 f"cannot sample {num_qubits} top qubits of a "

@@ -30,6 +30,7 @@ from .. import telemetry as _telemetry
 from ..circuit.circuit import QuantumCircuit
 from ..dd.approximation import ApproximationConfig
 from ..dd.normalization import NormalizationScheme
+from ..dd.reorder import ReorderConfig, is_identity_permutation, unpermute_counts
 from ..dd.vector_dd import VectorDD
 from ..exceptions import SamplingError
 from ..perf import compiled_dd as _compiled_dd
@@ -193,6 +194,13 @@ def _build_metadata(stats) -> dict:
             "removed_mass": stats.approx_removed_mass,
             "fidelity_bound": stats.fidelity_bound,
         }
+    if getattr(stats, "level_to_qubit", None) is not None:
+        metadata["reorder"] = {
+            "level_to_qubit": list(stats.level_to_qubit),
+            "rounds": stats.reorder_rounds,
+            "swaps": stats.reorder_swaps,
+            "swaps_kept": stats.reorder_swaps_kept,
+        }
     return metadata
 
 
@@ -209,6 +217,7 @@ def simulate_and_sample(
     telemetry: Optional["_telemetry.Telemetry"] = None,
     kernel: str = "auto",
     approximation: Optional[ApproximationConfig] = None,
+    reorder: Optional[ReorderConfig] = None,
 ) -> SampleResult:
     """Full weak simulation: run ``circuit``, then draw ``shots`` samples.
 
@@ -228,7 +237,13 @@ def simulate_and_sample(
     an :class:`~repro.dd.approximation.ApproximationConfig`, a bare
     epsilon, or a ``{"epsilon": ...}`` mapping; the result's
     ``metadata["build"]["approximation"]`` then reports the tracked
-    fidelity bound (see ``docs/approximation.md``).
+    fidelity bound (see ``docs/approximation.md``).  ``reorder`` (DD
+    methods only) enables dynamic qubit reordering during the build — a
+    :class:`~repro.dd.reorder.ReorderConfig`, ``True``, or a mapping;
+    reported samples stay in the original qubit order (the build's
+    level-to-qubit permutation is applied to the drawn counts and
+    recorded in ``metadata["build"]["reorder"]``; see
+    ``docs/reordering.md``).
     """
     if approximation is not None and not isinstance(
         approximation, ApproximationConfig
@@ -236,12 +251,21 @@ def simulate_and_sample(
         approximation = ApproximationConfig.from_value(approximation)
     if approximation is not None and not approximation.enabled:
         approximation = None
+    if reorder is not None and not isinstance(reorder, ReorderConfig):
+        reorder = ReorderConfig.from_value(reorder)
+    if reorder is not None and not reorder.enabled:
+        reorder = None
     with _telemetry.activate(telemetry):
         if method in VECTOR_METHODS:
             if approximation is not None:
                 raise SamplingError(
                     "approximation applies to DD methods only; vector "
                     "methods are always exact"
+                )
+            if reorder is not None:
+                raise SamplingError(
+                    "reordering applies to DD methods only; vector "
+                    "methods use the natural order"
                 )
             if workers is not None:
                 raise SamplingError("parallel chunked sampling requires method='dd'")
@@ -258,9 +282,18 @@ def simulate_and_sample(
                 optimize=optimize,
                 kernel=kernel,
                 approximation=approximation,
+                reorder=reorder,
             )
             state = dd_simulator.run(circuit, initial_state=initial_state)
             result = sample_dd(state, shots, method=method, seed=seed, workers=workers)
+            level_to_qubit = dd_simulator.stats.level_to_qubit
+            if level_to_qubit is not None and not is_identity_permutation(
+                level_to_qubit
+            ):
+                # Samples were drawn in level space; re-key the counts
+                # back to original qubit order (a bijection on basis
+                # indices, so the shot total is preserved exactly).
+                result.counts = unpermute_counts(result.counts, level_to_qubit)
             result.metadata["build"] = _build_metadata(dd_simulator.stats)
             return result
         raise SamplingError(f"unknown weak-simulation method {method!r}")

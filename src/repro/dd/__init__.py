@@ -38,6 +38,18 @@ from .node import TERMINAL, Edge, Node, is_terminal
 from .normalization import NormalizationScheme, normalize_weights
 from .observables import PauliObservable, PauliString, expectation_value
 from .package import DDPackage
+from .reorder import (
+    DEFAULT_SIFT_BUDGET,
+    ReorderConfig,
+    SiftResult,
+    invert_permutation,
+    is_identity_permutation,
+    sift,
+    swap_adjacent,
+    unpermute_counts,
+    unpermute_index,
+    unpermute_samples,
+)
 from .serialize import load_state, save_state, state_from_dict, state_to_dict
 from .stats import (
     BYTES_PER_AMPLITUDE,
@@ -82,6 +94,16 @@ __all__ = [
     "edge_contributions",
     "prune_low_contribution",
     "prune_to_node_budget",
+    "DEFAULT_SIFT_BUDGET",
+    "ReorderConfig",
+    "SiftResult",
+    "sift",
+    "swap_adjacent",
+    "is_identity_permutation",
+    "invert_permutation",
+    "unpermute_index",
+    "unpermute_samples",
+    "unpermute_counts",
     "PauliString",
     "PauliObservable",
     "expectation_value",

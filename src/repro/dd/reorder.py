@@ -1,0 +1,445 @@
+"""Dynamic variable reordering (sifting) for vector decision diagrams.
+
+DD size is hypersensitive to the variable order: two qubits that are
+entangled but live at distant levels force every level in between to
+enumerate their joint support, so moving them adjacent can shrink the
+diagram exponentially (the minimal-size-QDD literature, arXiv:2606.24789,
+treats exactly this local search).  This module provides the two
+primitives and the driver:
+
+* :func:`swap_adjacent` — interchange two adjacent DD levels in place
+  (an O(affected-size) rebuild of the two unique-table levels and their
+  ancestors).  Every rebuilt node goes back through
+  :meth:`~repro.dd.package.DDPackage.make_vector_node`, the canonical
+  construction path, so weights stay interned in the ComplexTable and
+  the swapped diagram is **bit-compatible with a fresh build at the
+  swapped order** — hash-consing makes them literally the same nodes.
+* :func:`sift` — Rudell-style sifting adapted to immutable DDs: each
+  variable is greedily moved to its locally optimal level, one adjacent
+  swap at a time, keeping a swap **iff the total node count shrinks**
+  (candidates that fail the test are simply dropped — DDs are immutable,
+  so "undo" is free).  A configurable budget bounds the number of swap
+  attempts per call.
+* :class:`ReorderConfig` — the end-to-end contract threaded through
+  ``DDSimulator(reorder=)``, ``simulate_and_sample``, the CLI and the
+  service, mirroring :class:`~repro.dd.approximation.ApproximationConfig`
+  (a disabled config is ``None`` everywhere; an enabled one is folded
+  into the artifact cache key).
+
+Reordering changes which *qubit* lives at which *level*: the result of a
+reordered build is a DD whose level ``l`` holds original qubit
+``level_to_qubit[l]``.  Samples drawn from it are in level space;
+:func:`unpermute_index` (and its vectorised sibling
+:func:`unpermute_samples`) move them back to original qubit order.  The
+permutation is recorded in ``SimulationStats.level_to_qubit`` and in the
+service artifact metadata so warm cache hits unpermute without
+rebuilding (see ``docs/reordering.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import telemetry as _telemetry
+from ..exceptions import DDError
+from .node import Edge, Node, is_terminal
+from .package import DDPackage
+
+__all__ = [
+    "DEFAULT_SIFT_BUDGET",
+    "DEFAULT_REORDER_INTERVAL",
+    "DEFAULT_MIN_NODES",
+    "ReorderConfig",
+    "SiftResult",
+    "swap_adjacent",
+    "sift",
+    "is_identity_permutation",
+    "invert_permutation",
+    "unpermute_index",
+    "unpermute_samples",
+    "unpermute_counts",
+]
+
+#: Maximum adjacent-swap *attempts* a sifting run may spend.  Each
+#: attempt is an O(affected-size) rebuild plus a node count, so the
+#: budget bounds reordering overhead no matter how large the DD grows.
+DEFAULT_SIFT_BUDGET = 256
+
+#: Gates between dynamic sifting rounds.  Matches the approximation /
+#: node-limit / telemetry-probe cadence (25) so the node-count traversal
+#: that motivates a round is the one the probes already pay for.
+DEFAULT_REORDER_INTERVAL = 25
+
+#: Minimum live node count before a dynamic round fires.  Sifting a
+#: diagram smaller than this costs more than it can ever recover.
+DEFAULT_MIN_NODES = 64
+
+
+@dataclass(frozen=True)
+class ReorderConfig:
+    """Whether and how a DD build reorders its variables.
+
+    ``enabled = False`` (the default) disables reordering entirely and is
+    treated as ``None`` everywhere in the stack — CLI, service,
+    scheduler — exactly like a disabled
+    :class:`~repro.dd.approximation.ApproximationConfig`.
+
+    ``budget`` bounds the total adjacent-swap attempts the run may spend
+    across all dynamic sifting rounds.  ``interval`` is the dynamic
+    cadence in applied gates; ``min_nodes`` gates a round on the live
+    node count so small diagrams are never sifted.  ``static`` also
+    derives an initial order from circuit connectivity before the build
+    (the :mod:`repro.compile.layout` pass); ``dynamic`` runs sifting
+    rounds during the build.  Disabling both knobs while ``enabled``
+    is rejected — such a config could never reorder anything.
+    """
+
+    enabled: bool = False
+    budget: int = DEFAULT_SIFT_BUDGET
+    interval: int = DEFAULT_REORDER_INTERVAL
+    min_nodes: int = DEFAULT_MIN_NODES
+    static: bool = True
+    dynamic: bool = True
+
+    def __post_init__(self) -> None:
+        if self.budget < 0:
+            raise DDError(
+                f"reorder budget must be >= 0, got {self.budget}"
+            )
+        if self.interval < 1:
+            raise DDError(
+                f"reorder interval must be >= 1, got {self.interval}"
+            )
+        if self.min_nodes < 1:
+            raise DDError(
+                f"reorder min_nodes must be >= 1, got {self.min_nodes}"
+            )
+        if self.enabled and not (self.static or self.dynamic):
+            raise DDError(
+                "an enabled reorder config needs at least one of "
+                "'static' or 'dynamic'"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (the service's ``reorder`` request field)."""
+        payload: Dict[str, Any] = {"enabled": self.enabled}
+        if self.budget != DEFAULT_SIFT_BUDGET:
+            payload["budget"] = self.budget
+        if self.interval != DEFAULT_REORDER_INTERVAL:
+            payload["interval"] = self.interval
+        if self.min_nodes != DEFAULT_MIN_NODES:
+            payload["min_nodes"] = self.min_nodes
+        if not self.static:
+            payload["static"] = False
+        if not self.dynamic:
+            payload["dynamic"] = False
+        return payload
+
+    @classmethod
+    def from_value(cls, value: Any) -> "ReorderConfig":
+        """Parse a request field: a bool, a budget, or an object.
+
+        ``True`` enables reordering with the defaults, ``False`` (and
+        ``0``) disables it; a positive integer enables it with that swap
+        budget; a mapping may set any field (``enabled`` defaults to
+        ``True`` there — sending the object at all is opting in).
+        """
+        if isinstance(value, ReorderConfig):
+            return value
+        if isinstance(value, bool):
+            return cls(enabled=value)
+        if isinstance(value, int):
+            if value < 0:
+                raise DDError(f"reorder budget must be >= 0, got {value}")
+            return cls(enabled=value > 0, budget=value or DEFAULT_SIFT_BUDGET)
+        if isinstance(value, dict):
+            known = {
+                "enabled", "budget", "interval", "min_nodes", "static",
+                "dynamic",
+            }
+            unknown = set(value) - known
+            if unknown:
+                raise DDError(
+                    f"unknown reorder fields {sorted(unknown)}; "
+                    f"expected a subset of {sorted(known)}"
+                )
+            return cls(
+                enabled=bool(value.get("enabled", True)),
+                budget=int(value.get("budget", DEFAULT_SIFT_BUDGET)),
+                interval=int(value.get("interval", DEFAULT_REORDER_INTERVAL)),
+                min_nodes=int(value.get("min_nodes", DEFAULT_MIN_NODES)),
+                static=bool(value.get("static", True)),
+                dynamic=bool(value.get("dynamic", True)),
+            )
+        raise DDError(
+            "reorder must be a bool, a swap budget, or an object with "
+            f"'enabled'/'budget'/..., got {type(value).__name__}"
+        )
+
+
+@dataclass(frozen=True)
+class SiftResult:
+    """Outcome of one :func:`sift` call."""
+
+    edge: Edge
+    #: ``level_to_qubit[l]`` is the qubit (in the caller's labelling)
+    #: occupying DD level ``l`` after the call.
+    level_to_qubit: Tuple[int, ...]
+    swaps_attempted: int
+    swaps_kept: int
+    nodes_before: int
+    nodes_after: int
+
+    @property
+    def changed(self) -> bool:
+        """Whether any swap survived the shrink test."""
+        return self.swaps_kept > 0
+
+
+def _swap_node(package: DDPackage, node: Node, level: int) -> Edge:
+    """The core level interchange for one node at ``level + 1``.
+
+    For outer edges ``w_a`` to level-``level`` nodes with inner edges
+    ``u_{a,b}`` to subtrees ``S_{a,b}``, the swapped node selects ``b``
+    first: its child for bit ``b`` is a level-``level`` node over ``a``
+    with edges ``w_a * u_{a,b} -> S_{a,b}``.  The untouched subtrees are
+    shared, and both new layers go through ``make_vector_node`` so the
+    result is canonical.
+    """
+    grid = [
+        [package.zero_edge, package.zero_edge],
+        [package.zero_edge, package.zero_edge],
+    ]
+    for a, child in enumerate(node.edges):
+        if child.is_zero:
+            continue
+        inner = child.node
+        if is_terminal(inner) or inner.var != level:
+            # Vector DDs built by this package never skip levels: a
+            # nonzero edge from level+1 lands exactly at `level`.
+            raise DDError(
+                f"cannot swap levels {level}/{level + 1}: edge from a "
+                f"level-{node.var} node skips level {level}"
+            )
+        for b, sub in enumerate(inner.edges):
+            if not sub.is_zero:
+                grid[a][b] = package.scale(sub, child.weight)
+    inner_nodes = tuple(
+        package.make_vector_node(level, (grid[0][b], grid[1][b]))
+        for b in range(2)
+    )
+    return package.make_vector_node(level + 1, inner_nodes)
+
+
+def swap_adjacent(package: DDPackage, edge: Edge, level: int) -> Edge:
+    """Interchange DD levels ``level`` and ``level + 1`` of ``edge``.
+
+    Returns a new root edge for the same amplitudes read with the two
+    levels' bit positions exchanged: if the input's level ``l`` holds
+    qubit ``q_l``, the output's holds ``q_{level+1}`` at ``level`` and
+    ``q_{level}`` at ``level + 1``.  Nodes strictly below ``level`` are
+    shared untouched; nodes at the two affected levels and all their
+    ancestors are rebuilt canonically (memoised, O(affected size)).
+    """
+    if edge.is_zero or is_terminal(edge.node):
+        return edge
+    top = edge.node.var
+    if not 0 <= level < top:
+        raise DDError(
+            f"cannot swap levels {level}/{level + 1} of a DD rooted at "
+            f"level {top}"
+        )
+    memo: Dict[int, Edge] = {}
+
+    def rebuild(node: Node) -> Edge:
+        cached = memo.get(node.index)
+        if cached is not None:
+            return cached
+        if node.var == level + 1:
+            result = _swap_node(package, node, level)
+        else:
+            children: List[Edge] = []
+            for child in node.edges:
+                if child.is_zero or is_terminal(child.node):
+                    children.append(child)
+                elif child.node.var <= level - 1:
+                    children.append(child)
+                else:
+                    children.append(
+                        package.scale(rebuild(child.node), child.weight)
+                    )
+            result = package.make_vector_node(node.var, tuple(children))
+        memo[node.index] = result
+        return result
+
+    return package.scale(rebuild(edge.node), edge.weight)
+
+
+def sift(
+    package: DDPackage,
+    edge: Edge,
+    num_qubits: int,
+    budget: int = DEFAULT_SIFT_BUDGET,
+    level_to_qubit: Optional[Sequence[int]] = None,
+) -> SiftResult:
+    """Sift every variable to its locally optimal level under ``budget``.
+
+    Greedy hill climbing in the classic sifting spirit, adapted to
+    immutable DDs: variables are visited densest level first; each is
+    pushed down, then up, one adjacent swap at a time, and a swap is
+    kept **iff the total node count strictly shrinks** (rejected
+    candidates cost their rebuild but change nothing — immutability
+    makes the revert free).  Passes repeat until a full pass keeps no
+    swap or the attempt budget is exhausted.  ``level_to_qubit`` seeds
+    the permutation bookkeeping (identity by default); the result's
+    permutation composes any kept swaps on top of it.
+
+    Runs under a ``reorder.sift`` telemetry span with ``reorder.swaps``
+    / ``reorder.swaps_kept`` counters and a ``reorder.nodes`` gauge when
+    a session is active.
+    """
+    perm: List[int] = list(
+        range(num_qubits) if level_to_qubit is None else level_to_qubit
+    )
+    if len(perm) != num_qubits or sorted(perm) != list(range(num_qubits)):
+        raise DDError(
+            f"level_to_qubit must be a permutation of 0..{num_qubits - 1}"
+        )
+    nodes_before = package.node_count(edge)
+    done = SiftResult(
+        edge=edge,
+        level_to_qubit=tuple(perm),
+        swaps_attempted=0,
+        swaps_kept=0,
+        nodes_before=nodes_before,
+        nodes_after=nodes_before,
+    )
+    if (
+        budget <= 0
+        or num_qubits < 2
+        or edge.is_zero
+        or is_terminal(edge.node)
+    ):
+        return done
+    with _telemetry.span(
+        "reorder.sift", num_qubits=num_qubits, budget=budget
+    ) as span:
+        span.set_attr("nodes_before", nodes_before)
+        current = edge
+        best_count = nodes_before
+        position = {qubit: lvl for lvl, qubit in enumerate(perm)}
+        attempted = kept = 0
+
+        def try_swap(lower_level: int) -> bool:
+            """Attempt one adjacent swap; keep it iff the DD shrinks."""
+            nonlocal current, best_count, attempted, kept
+            candidate = swap_adjacent(package, current, lower_level)
+            attempted += 1
+            count = package.node_count(candidate)
+            if count >= best_count:
+                return False
+            current, best_count = candidate, count
+            qubit_low, qubit_high = perm[lower_level], perm[lower_level + 1]
+            perm[lower_level], perm[lower_level + 1] = qubit_high, qubit_low
+            position[qubit_low], position[qubit_high] = (
+                lower_level + 1,
+                lower_level,
+            )
+            kept += 1
+            return True
+
+        improved = True
+        while improved and attempted < budget:
+            improved = False
+            histogram = package.nodes_per_level(current)
+            order = sorted(
+                range(num_qubits),
+                key=lambda lvl: (-histogram.get(lvl, 0), lvl),
+            )
+            for qubit in [perm[lvl] for lvl in order]:
+                while attempted < budget and position[qubit] > 0:
+                    if not try_swap(position[qubit] - 1):
+                        break
+                    improved = True
+                while (
+                    attempted < budget and position[qubit] < num_qubits - 1
+                ):
+                    if not try_swap(position[qubit]):
+                        break
+                    improved = True
+                if attempted >= budget:
+                    break
+        span.set_attr("nodes_after", best_count)
+        span.set_attr("swaps_attempted", attempted)
+        span.set_attr("swaps_kept", kept)
+        session = _telemetry.active()
+        if session is not None:
+            session.registry.counter("reorder.swaps").inc(attempted)
+            session.registry.counter("reorder.swaps_kept").inc(kept)
+            session.registry.gauge("reorder.nodes").set(best_count)
+    return SiftResult(
+        edge=current,
+        level_to_qubit=tuple(perm),
+        swaps_attempted=attempted,
+        swaps_kept=kept,
+        nodes_before=nodes_before,
+        nodes_after=best_count,
+    )
+
+
+# ----------------------------------------------------------------------
+# Permutation plumbing
+# ----------------------------------------------------------------------
+
+
+def is_identity_permutation(permutation: Sequence[int]) -> bool:
+    """Whether ``permutation`` maps every position to itself."""
+    return all(index == value for index, value in enumerate(permutation))
+
+
+def invert_permutation(permutation: Sequence[int]) -> Tuple[int, ...]:
+    """The inverse mapping: ``invert(p)[p[i]] == i``."""
+    inverse = [0] * len(permutation)
+    for index, value in enumerate(permutation):
+        inverse[value] = index
+    return tuple(inverse)
+
+
+def unpermute_index(index: int, level_to_qubit: Sequence[int]) -> int:
+    """Move one level-space basis index back to original qubit order.
+
+    Bit ``l`` of a sample drawn from a reordered DD is the value of
+    original qubit ``level_to_qubit[l]``.
+    """
+    out = 0
+    for level, qubit in enumerate(level_to_qubit):
+        out |= ((index >> level) & 1) << qubit
+    return out
+
+
+def unpermute_samples(
+    samples: np.ndarray, level_to_qubit: Sequence[int]
+) -> np.ndarray:
+    """Vectorised :func:`unpermute_index` over an array of basis indices."""
+    array = np.asarray(samples)
+    out = np.zeros_like(array)
+    for level, qubit in enumerate(level_to_qubit):
+        out |= ((array >> level) & 1) << qubit
+    return out
+
+
+def unpermute_counts(
+    counts: Dict[int, int], level_to_qubit: Sequence[int]
+) -> Dict[int, int]:
+    """Re-key a counts dict from level space to original qubit order.
+
+    The permutation is a bijection on basis indices, so no two keys
+    collide and the shot total is preserved exactly.
+    """
+    return {
+        unpermute_index(index, level_to_qubit): count
+        for index, count in counts.items()
+    }

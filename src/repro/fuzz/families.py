@@ -33,7 +33,10 @@ class CircuitFamily:
     ``clifford`` marks circuits the stabilizer backend can simulate;
     ``mid_circuit`` marks circuits containing measure-and-continue
     sections (only the :class:`~repro.core.shot_executor.ShotExecutor`
-    oracles apply to those).
+    oracles apply to those).  ``reorder`` marks families whose structure
+    makes dynamic qubit reordering worthwhile — the reorder-vs-fixed
+    oracle runs only on those, where a reordering bug would actually
+    move nodes around.
     """
 
     name: str
@@ -41,6 +44,7 @@ class CircuitFamily:
     generate: Callable[[np.random.Generator], QuantumCircuit]
     clifford: bool = False
     mid_circuit: bool = False
+    reorder: bool = False
 
 
 def _clifford(rng: np.random.Generator) -> QuantumCircuit:
@@ -170,6 +174,41 @@ def _deep_register(rng: np.random.Generator) -> QuantumCircuit:
     return circuit
 
 
+def _supremacy(rng: np.random.Generator) -> QuantumCircuit:
+    """Random-circuit-sampling cycles with long-range entangling pairs.
+
+    The quantum-supremacy pattern: cycles of random single-qubit
+    rotations followed by a patterned entangling layer.  Every other
+    cycle the ``cx`` pairs connect qubit ``i`` with ``i + n/2`` — the
+    crossing pattern whose interactions are maximally non-local in the
+    natural variable order, making this the primary stress family for
+    the qubit-reordering machinery (``repro.dd.reorder``).  Width is
+    kept at 8-10 qubits: enough for the crossing pattern to blow up the
+    natural-order DD, small enough that the dense-reference oracles stay
+    within the fuzz smoke budget.
+    """
+    num_qubits = int(rng.integers(8, 11))
+    half = num_qubits // 2
+    cycles = int(rng.integers(2, 4))
+    circuit = QuantumCircuit(num_qubits, name="fuzz_supremacy")
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    for cycle in range(cycles):
+        for qubit in range(num_qubits):
+            theta, phi, lam = (
+                float(v) for v in rng.uniform(0, 2 * np.pi, size=3)
+            )
+            circuit.u3(theta, phi, lam, qubit)
+        if cycle % 2 == 0:
+            for low in range(half):
+                if rng.random() < 0.8:
+                    circuit.cx(low, low + half)
+        else:
+            for low in range(0, num_qubits - 1, 2):
+                circuit.cx(low, low + 1)
+    return circuit
+
+
 def _near_zero(rng: np.random.Generator) -> QuantumCircuit:
     """Adversarial circuits with amplitudes within rounding of zero.
 
@@ -227,6 +266,13 @@ FAMILIES: Dict[str, CircuitFamily] = {
             name="deep",
             description="wide shallow registers (12-16 qubits)",
             generate=_deep_register,
+            reorder=True,
+        ),
+        CircuitFamily(
+            name="supremacy",
+            description="random-circuit-sampling cycles with crossing pairs",
+            generate=_supremacy,
+            reorder=True,
         ),
         CircuitFamily(
             name="nearzero",

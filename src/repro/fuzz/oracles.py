@@ -442,6 +442,67 @@ def _check_approx_vs_exact(
     )
 
 
+def _check_reorder_vs_fixed(
+    circuit: QuantumCircuit, rng: np.random.Generator
+) -> Optional[str]:
+    """Reordered builds must describe the same distribution as fixed order.
+
+    The reordering contract (``docs/reordering.md``): equal-seed
+    reordered runs are bit-identical to each other, and the reordered
+    state — read back through the recorded ``level_to_qubit``
+    permutation — is *exactly* the fixed-order distribution (sifting
+    only moves levels; it never touches amplitudes).  Within
+    :data:`MAX_EXACT_QUBITS` both halves are checked densely, plus a
+    chi-square that the reordered sampler actually draws from that
+    distribution.
+    """
+    from ..dd.reorder import ReorderConfig
+
+    # Low interval/min_nodes so the dynamic trigger actually fires on
+    # the fuzzer's short circuits, not just the static layout pass.
+    config = ReorderConfig(enabled=True, interval=4, min_nodes=8)
+    seed = int(rng.integers(2**63))
+    reordered = simulate_and_sample(
+        circuit, SAMPLE_SHOTS, seed=seed, reorder=config
+    )
+    replay = simulate_and_sample(
+        circuit, SAMPLE_SHOTS, seed=seed, reorder=config
+    )
+    if reordered.counts != replay.counts:
+        return "reordered sampling is not deterministic at equal seed"
+    if circuit.num_qubits > MAX_EXACT_QUBITS:
+        fixed = simulate_and_sample(circuit, SAMPLE_SHOTS, seed=seed)
+        outcome = two_sample_chi_square(reordered, fixed)
+        if outcome.p_value >= P_VALUE_FLOOR:
+            return None
+        return (
+            f"reorder vs fixed samples: chi²={outcome.statistic:.2f} "
+            f"(dof {outcome.dof}), p={outcome.p_value:.3e}"
+        )
+    simulator = DDSimulator(reorder=config)
+    state = simulator.run(circuit)
+    level_probs = state.probabilities()
+    perm = simulator.stats.level_to_qubit or tuple(range(circuit.num_qubits))
+    indices = np.arange(1 << circuit.num_qubits)
+    targets = np.zeros_like(indices)
+    for level, qubit in enumerate(perm):
+        targets |= ((indices >> level) & 1) << qubit
+    mapped = np.zeros_like(level_probs)
+    mapped[targets] = level_probs[indices]
+    detail = _compare_dense(
+        mapped, _dd_probabilities(circuit), f"reorder perm={list(perm)}"
+    )
+    if detail is not None:
+        return detail
+    outcome = chi_square_gof(reordered, mapped)
+    if outcome.p_value >= P_VALUE_FLOOR:
+        return None
+    return (
+        f"reordered samples vs exact: chi²={outcome.statistic:.2f} "
+        f"(dof {outcome.dof}), p={outcome.p_value:.3e}"
+    )
+
+
 def _wrap(
     run: Callable[[QuantumCircuit, np.random.Generator], Optional[str]],
 ) -> Callable[[QuantumCircuit, np.random.Generator], Optional[str]]:
@@ -510,6 +571,13 @@ ORACLES: Dict[str, Oracle] = {
             pair=("dd@vector", "dd@python"),
             applies=lambda family: True,
             run=_wrap(_check_kernel_vs_python),
+        ),
+        Oracle(
+            name="reorder-vs-fixed",
+            description="exact + chi-square: reordered DD vs fixed order",
+            pair=("dd+reorder", "dd"),
+            applies=lambda family: family.reorder,
+            run=_wrap(_check_reorder_vs_fixed),
         ),
         Oracle(
             name="approx-vs-exact",

@@ -151,10 +151,12 @@ def _request_from_record(
             else str(record["request_id"])
         ),
         kernel=str(record.get("kernel", default_kernel)),
-        # Passed through raw: the service validates and normalises it
-        # (number or {"epsilon": ..., "interval": ..., "node_budget": ...}),
-        # so malformed values become 'rejected' responses, not crashes.
+        # Passed through raw: the service validates and normalises these
+        # (approximation: number or {"epsilon": ...}; reorder: bool,
+        # budget, or {"budget": ...}), so malformed values become
+        # 'rejected' responses, not crashes.
         approximation=record.get("approximation"),
+        reorder=record.get("reorder"),
     )
 
 

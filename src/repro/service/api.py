@@ -51,6 +51,11 @@ from ..core.weak_sim import (
 )
 from ..dd.approximation import ApproximationConfig
 from ..dd.normalization import NormalizationScheme
+from ..dd.reorder import (
+    ReorderConfig,
+    is_identity_permutation,
+    unpermute_samples,
+)
 from ..exceptions import DDError, MemoryOutError, ReproError
 from ..perf.compiled_dd import CompiledDD
 from ..perf.parallel import DEFAULT_CHUNK_SHOTS, sample_chunked
@@ -87,6 +92,17 @@ class SamplingRequest:
     for an exact request or for a different ε.  ``epsilon = 0`` (or
     ``None``) is the exact path, byte-identical to a request without the
     field.  The response reports the tracked fidelity lower bound.
+
+    ``reorder`` opts into dynamic qubit reordering for the DD build
+    (DD methods only): a :class:`~repro.dd.reorder.ReorderConfig`,
+    ``True``, a swap budget, or a ``{"budget": ...}`` mapping.  Like the
+    approximation contract it IS part of the cache key — a reordered
+    artifact stores level-space arrays plus its qubit permutation, so it
+    is never served for a fixed-order request (and vice versa).  The
+    service unpermutes samples before reporting, so responses stay in
+    the original qubit order and bit-identical to ``simulate_and_sample``
+    with the same config.  ``False``/``None`` is the fixed-order path,
+    byte-identical to a request without the field.
     """
 
     circuit: QuantumCircuit
@@ -101,6 +117,7 @@ class SamplingRequest:
     request_id: Optional[str] = None
     kernel: str = "auto"
     approximation: Optional[Any] = None
+    reorder: Optional[Any] = None
 
 
 @dataclass
@@ -353,6 +370,20 @@ class SamplingService:
         config = ApproximationConfig.from_value(request.approximation)
         return config if config.enabled else None
 
+    @staticmethod
+    def _reorder_config(
+        request: SamplingRequest,
+    ) -> Optional[ReorderConfig]:
+        """The request's reorder contract; ``None`` for fixed order.
+
+        Raises :class:`~repro.exceptions.DDError` for a malformed value
+        (``_validate`` turns that into a rejection).
+        """
+        if request.reorder is None:
+            return None
+        config = ReorderConfig.from_value(request.reorder)
+        return config if config.enabled else None
+
     def _validate(self, request: SamplingRequest) -> Optional[str]:
         if request.shots < 0:
             return f"shots must be non-negative, got {request.shots}"
@@ -386,6 +417,21 @@ class SamplingService:
                 return (
                     "approximation is not supported for mid-circuit "
                     "measurement (the shot executor re-simulates per shot)"
+                )
+        try:
+            reorder = self._reorder_config(request)
+        except DDError as error:
+            return str(error)
+        if reorder is not None:
+            if request.method in VECTOR_METHODS:
+                return (
+                    "reordering applies to DD methods only; vector "
+                    "methods use the natural order"
+                )
+            if circuit_has_mid_circuit_measurement(request.circuit):
+                return (
+                    "reordering is not supported for mid-circuit "
+                    "measurement (collapses assume a fixed qubit order)"
                 )
         return None
 
@@ -431,6 +477,7 @@ class SamplingService:
                 )
         start = time.perf_counter()
         approximation = self._approx_config(request)
+        reorder = self._reorder_config(request)
         try:
             result = simulate_and_sample(
                 request.circuit,
@@ -444,6 +491,7 @@ class SamplingService:
                 optimize=request.optimize,
                 kernel=request.kernel,
                 approximation=approximation,
+                reorder=reorder,
             )
         except MemoryOutError as error:
             return self._reject(request, str(error))
@@ -494,12 +542,14 @@ class SamplingService:
     def _serve_compiled(self, request: SamplingRequest) -> SamplingResponse:
         """The cached path: key → hot → disk → coalesced build → sample."""
         approximation = self._approx_config(request)
+        reorder = self._reorder_config(request)
         key = cache_key(
             request.circuit,
             scheme=request.scheme,
             optimize=request.optimize,
             initial_state=request.initial_state,
             approximation=approximation,
+            reorder=reorder,
         )
         compiled, hot_meta = self._hot_get(key)
         if compiled is not None:
@@ -520,6 +570,7 @@ class SamplingService:
                     initial_state=request.initial_state,
                     kernel=request.kernel,
                     approximation=approximation,
+                    reorder=reorder,
                 )
             except AdmissionError as error:
                 return self._reject(request, str(error), key=key)
@@ -576,6 +627,18 @@ class SamplingService:
                             workers=request.workers,
                             chunk_shots=DEFAULT_CHUNK_SHOTS,
                         )
+                    # A reordered artifact samples in level space; its
+                    # recorded permutation moves every draw back to the
+                    # original qubit order (cold, disk, and hot hits all
+                    # carry the permutation in the artifact meta, so the
+                    # warm path stays bit-identical to the cold one).
+                    level_to_qubit = ((outcome.meta or {}).get("reorder") or {}).get(
+                        "level_to_qubit"
+                    )
+                    if level_to_qubit is not None and not is_identity_permutation(
+                        level_to_qubit
+                    ):
+                        samples = unpermute_samples(samples, level_to_qubit)
                     result = SampleResult.from_samples(
                         compiled.num_qubits, samples, method="dd"
                     )
@@ -606,6 +669,9 @@ class SamplingService:
         if approx_meta is not None:
             service_meta["approximation"] = approx_meta
             fidelity_bound = approx_meta.get("fidelity_bound")
+        reorder_meta = (outcome.meta or {}).get("reorder")
+        if reorder_meta is not None:
+            service_meta["reorder"] = reorder_meta
         result.metadata["service"] = service_meta
         return SamplingResponse(
             request_id=request.request_id,

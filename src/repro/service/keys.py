@@ -47,6 +47,7 @@ from ..circuit.operations import (
 )
 from ..dd.approximation import ApproximationConfig
 from ..dd.normalization import NormalizationScheme
+from ..dd.reorder import ReorderConfig
 from ..exceptions import SamplingError
 from ..perf.compiled_dd import ARTIFACT_VERSION
 
@@ -120,6 +121,7 @@ def cache_key(
     initial_state: int = 0,
     package_version: Optional[str] = None,
     approximation: Optional[ApproximationConfig] = None,
+    reorder: Optional[ReorderConfig] = None,
 ) -> str:
     """The artifact-store key: circuit fingerprint + build config + versions.
 
@@ -127,9 +129,12 @@ def cache_key(
     it to exercise version-mismatch invalidation.  An *enabled*
     ``approximation`` config (``epsilon > 0``) is hashed into the key —
     epsilon bit-exactly, plus the strategy knobs — so approximate
-    artifacts live in a separate namespace from exact ones.  A ``None``
-    or disabled config leaves the digest byte-identical to the historic
-    exact key.
+    artifacts live in a separate namespace from exact ones.  An *enabled*
+    ``reorder`` config is folded the same way (budget, cadence, trigger
+    knobs): a reordered artifact stores level-space arrays plus its
+    qubit permutation, so it must never be served for a fixed-order
+    request.  A ``None`` or disabled config leaves the digest
+    byte-identical to the historic exact key.
     """
     hasher = hashlib.sha256()
     hasher.update(b"repro-artifact-key")
@@ -151,5 +156,13 @@ def cache_key(
                 if approximation.node_budget is None
                 else approximation.node_budget,
             )
+        )
+    if reorder is not None and reorder.enabled:
+        hasher.update(b"reorder")
+        hasher.update(struct.pack("<q", reorder.budget))
+        hasher.update(struct.pack("<i", reorder.interval))
+        hasher.update(struct.pack("<q", reorder.min_nodes))
+        hasher.update(
+            struct.pack("<i", (2 if reorder.static else 0) | (1 if reorder.dynamic else 0))
         )
     return hasher.hexdigest()

@@ -53,6 +53,7 @@ from .. import telemetry as _telemetry
 from ..circuit.circuit import QuantumCircuit
 from ..core.dd_sampler import DDSampler
 from ..dd.approximation import ApproximationConfig
+from ..dd.reorder import ReorderConfig
 from ..dd.normalization import NormalizationScheme
 from ..exceptions import MemoryOutError, ReproError, SamplingError
 from ..perf.compiled_dd import CompiledDD
@@ -179,6 +180,7 @@ class BuildScheduler:
         initial_state: int = 0,
         kernel: str = "auto",
         approximation: Optional[ApproximationConfig] = None,
+        reorder: Optional[ReorderConfig] = None,
     ) -> "Future[BuildOutcome]":
         """The future for ``key``'s artifact, creating at most one job.
 
@@ -192,7 +194,10 @@ class BuildScheduler:
         config) IS part of the artifact contract: the caller must have
         folded it into ``key`` (see :func:`repro.service.keys.cache_key`)
         — an ε-approximated artifact never shares a key with an exact
-        one.
+        one.  ``reorder`` likewise: a reordered artifact stores
+        level-space arrays plus its permutation under a reorder-keyed
+        digest, and its ``meta["reorder"]`` travels with the artifact so
+        warm hits can unpermute without rebuilding.
         """
         if circuit.num_qubits > self.policy.max_qubits:
             with self._lock:
@@ -209,7 +214,7 @@ class BuildScheduler:
                 return future
             future = self._executor.submit(
                 self._run_job, key, circuit, scheme, optimize, initial_state,
-                kernel, approximation,
+                kernel, approximation, reorder,
             )
             self._in_flight[key] = future
             future.add_done_callback(lambda _f, _key=key: self._retire(_key))
@@ -280,6 +285,7 @@ class BuildScheduler:
         initial_state: int,
         kernel: str = "auto",
         approximation: Optional[ApproximationConfig] = None,
+        reorder: Optional[ReorderConfig] = None,
     ) -> BuildOutcome:
         with _telemetry.activate(self._telemetry):
             if self.store is not None:
@@ -295,7 +301,7 @@ class BuildScheduler:
                     )
             return self._build_with_ladder(
                 key, circuit, scheme, optimize, initial_state, kernel,
-                approximation,
+                approximation, reorder,
             )
 
     def _build_with_ladder(
@@ -307,6 +313,7 @@ class BuildScheduler:
         initial_state: int,
         kernel: str = "auto",
         approximation: Optional[ApproximationConfig] = None,
+        reorder: Optional[ReorderConfig] = None,
     ) -> BuildOutcome:
         attempts = 0
         start = time.perf_counter()
@@ -315,7 +322,7 @@ class BuildScheduler:
             try:
                 outcome = self._build_dd(
                     key, circuit, scheme, optimize, initial_state, kernel,
-                    approximation,
+                    approximation, reorder,
                 )
                 outcome.attempts = attempts
                 outcome.build_seconds = time.perf_counter() - start
@@ -359,12 +366,13 @@ class BuildScheduler:
         initial_state: int,
         kernel: str = "auto",
         approximation: Optional[ApproximationConfig] = None,
+        reorder: Optional[ReorderConfig] = None,
     ) -> BuildOutcome:
         """One strong simulation + flatten; may raise for the ladder."""
         self._count("build_attempts")
-        if approximation is not None:
-            # Pruning rounds need the edge representation mid-build, so
-            # approximate builds always run the python engine.
+        if approximation is not None or reorder is not None:
+            # Pruning and sifting rounds need the edge representation
+            # mid-build, so these builds always run the python engine.
             kernel = "auto"
         # The mid-build guard aborts a doomed build early; a cap of 0
         # (used by tests to force degradation) stays with the post-build
@@ -376,6 +384,7 @@ class BuildScheduler:
             kernel=kernel,
             approximation=approximation,
             node_limit=node_limit if node_limit else None,
+            reorder=reorder,
         )
         state = simulator.run(circuit, initial_state=initial_state)
         compiled = DDSampler(state).compiled()
@@ -389,7 +398,7 @@ class BuildScheduler:
             )
         meta = self._extract_meta(
             simulator, circuit, state, compiled, scheme, optimize,
-            initial_state, kernel, approximation,
+            initial_state, kernel, approximation, reorder,
         )
         # Counted only once the strong simulation has actually produced
         # a usable artifact: counting at attempt start double-counted
@@ -422,6 +431,7 @@ class BuildScheduler:
         initial_state: int,
         kernel: str,
         approximation: Optional[ApproximationConfig] = None,
+        reorder: Optional[ReorderConfig] = None,
     ) -> Dict[str, Any]:
         """Build-provenance metadata; never raises past this frame.
 
@@ -474,6 +484,29 @@ class BuildScheduler:
                 }
             except Exception:
                 meta["approximation"] = {"epsilon": approximation.epsilon}
+        if reorder is not None:
+            # The permutation travels WITH the artifact: the stored flat
+            # arrays sample in level space, and every hit (disk or hot)
+            # must unpermute exactly as the cold path did.
+            try:
+                stats = getattr(simulator, "stats", None)
+                level_to_qubit = getattr(stats, "level_to_qubit", None)
+                meta["reorder"] = {
+                    "budget": reorder.budget,
+                    "level_to_qubit": (
+                        list(level_to_qubit)
+                        if level_to_qubit is not None
+                        else list(range(circuit.num_qubits))
+                    ),
+                    "rounds": getattr(stats, "reorder_rounds", 0),
+                    "swaps": getattr(stats, "reorder_swaps", 0),
+                    "swaps_kept": getattr(stats, "reorder_swaps_kept", 0),
+                }
+            except Exception:
+                meta["reorder"] = {
+                    "budget": reorder.budget,
+                    "level_to_qubit": list(range(circuit.num_qubits)),
+                }
         return meta
 
     # ------------------------------------------------------------------

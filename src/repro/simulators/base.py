@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from ..circuit.circuit import QuantumCircuit
 
@@ -50,6 +50,15 @@ class SimulationStats:
     approx_removed_edges: int = 0
     approx_removed_mass: float = 0.0
     fidelity_bound: Optional[float] = None
+    #: Reordering accounting (all zero / ``None`` on fixed-order runs);
+    #: see :mod:`repro.dd.reorder`.  ``level_to_qubit[l]`` is the
+    #: original circuit qubit occupying DD level ``l`` at the end of the
+    #: build — samples drawn from the DD are in level space and must be
+    #: unpermuted through it before being reported.
+    reorder_rounds: int = 0
+    reorder_swaps: int = 0
+    reorder_swaps_kept: int = 0
+    level_to_qubit: Optional[Tuple[int, ...]] = None
 
 
 class StrongSimulator(abc.ABC):

@@ -15,6 +15,7 @@ from typing import Optional
 from .. import telemetry as _telemetry
 from ..circuit.circuit import QuantumCircuit
 from ..circuit.operations import Barrier, Measurement
+from ..circuit.transforms import permute_instruction
 from ..compile import optimize_circuit
 from ..dd.apply import GateApplier
 from ..dd.approximation import (
@@ -24,6 +25,13 @@ from ..dd.approximation import (
 )
 from ..dd.normalization import NormalizationScheme
 from ..dd.package import DDPackage
+from ..dd.reorder import (
+    ReorderConfig,
+    invert_permutation,
+    is_identity_permutation,
+    sift,
+    unpermute_index,
+)
 from ..dd.vector_dd import VectorDD
 from .base import SimulationStats, StrongSimulator
 
@@ -81,6 +89,7 @@ class DDSimulator(StrongSimulator):
         kernel: str = "auto",
         approximation: Optional[ApproximationConfig] = None,
         node_limit: Optional[int] = None,
+        reorder: Optional[ReorderConfig] = None,
     ):
         if kernel not in self.KERNELS:
             raise ValueError(
@@ -96,6 +105,16 @@ class DDSimulator(StrongSimulator):
         if approximation is not None and kernel == "vector":
             raise ValueError(
                 "approximation runs on the python engine (pruning needs the "
+                "edge representation mid-build); kernel='vector' is unsupported"
+            )
+        if reorder is not None and not isinstance(reorder, ReorderConfig):
+            reorder = ReorderConfig.from_value(reorder)
+        if reorder is not None and not reorder.enabled:
+            # A disabled config means "fixed order" everywhere in the stack.
+            reorder = None
+        if reorder is not None and kernel == "vector":
+            raise ValueError(
+                "reordering runs on the python engine (sifting needs the "
                 "edge representation mid-build); kernel='vector' is unsupported"
             )
         if node_limit is not None and node_limit < 1:
@@ -125,6 +144,12 @@ class DDSimulator(StrongSimulator):
         #: ``NODE_LIMIT_CHECK_INTERVAL`` gates and at the end) so callers
         #: like the BuildScheduler can degrade before the peak lands.
         self.node_limit = node_limit
+        #: Optional :class:`~repro.dd.reorder.ReorderConfig`; when
+        #: enabled, :meth:`run` derives an initial qubit order from
+        #: circuit connectivity (``static``) and/or interleaves sifting
+        #: rounds with gate application (``dynamic``), recording the
+        #: final level-to-qubit permutation in :attr:`stats`.
+        self.reorder = reorder
         self._stats = SimulationStats()
 
     @property
@@ -146,10 +171,11 @@ class DDSimulator(StrongSimulator):
 
         ``"auto"`` resolves to the vector kernel under the L2 scheme
         (the batched sweeps replay L2 normalisation) and to the python
-        reference otherwise.  Approximation always resolves to python:
-        pruning rounds need the edge representation mid-build.
+        reference otherwise.  Approximation and reordering always
+        resolve to python: pruning and sifting need the edge
+        representation mid-build.
         """
-        if self.approximation is not None:
+        if self.approximation is not None or self.reorder is not None:
             return "python"
         if self.kernel == "auto":
             scheme = getattr(self.package, "scheme", None)
@@ -167,9 +193,30 @@ class DDSimulator(StrongSimulator):
             compile_stats = rewrite.to_dict()
         if self.resolved_kernel() == "vector":
             return self._run_kernel(circuit, initial_state, compile_stats)
+        reorder = self.reorder
+        # ``initial_order[l]`` = original qubit at level ``l`` after the
+        # static relabel; ``dyn_perm`` tracks dynamic sifting on top of
+        # it (in relabelled space).  The composition lands in stats.
+        initial_order = tuple(range(circuit.num_qubits))
+        if reorder is not None and reorder.static:
+            from ..compile import apply_initial_order
+
+            with _telemetry.span("reorder.layout") as layout_span:
+                circuit, initial_order = apply_initial_order(circuit)
+                layout_span.set_attr(
+                    "identity", is_identity_permutation(initial_order)
+                )
+        dyn_perm = list(range(circuit.num_qubits))
+        sift_budget = reorder.budget if reorder is not None else 0
         applier = GateApplier(
             package, circuit.num_qubits, use_fast_paths=self.use_fast_paths
         )
+        if not is_identity_permutation(initial_order) and initial_state:
+            # Level l now holds original qubit initial_order[l], so the
+            # initial basis index must be permuted into level space.
+            initial_state = unpermute_index(
+                initial_state, invert_permutation(initial_order)
+            )
         state = package.basis_state(circuit.num_qubits, initial_state)
         self._stats = SimulationStats(num_qubits=circuit.num_qubits)
         self._stats.compile_stats = compile_stats
@@ -189,10 +236,17 @@ class DDSimulator(StrongSimulator):
             if session is not None
             else _telemetry.NULL_SPAN
         )
+        # ``qubit_to_level`` redirects gates onto the current dynamic
+        # order; ``None`` while the order is untouched (the common case).
+        qubit_to_level: Optional[list] = None
         with build_span:
             for instruction in circuit:
                 if isinstance(instruction, (Measurement, Barrier)):
                     continue
+                if qubit_to_level is not None:
+                    instruction = permute_instruction(
+                        instruction, qubit_to_level
+                    )
                 if session is not None:
                     with session.span("apply", gate=_gate_label(instruction)):
                         state = applier.apply(state, instruction)
@@ -206,6 +260,29 @@ class DDSimulator(StrongSimulator):
                     state = self._approx_round(
                         approximator, state, circuit.num_qubits, session
                     )
+                if (
+                    reorder is not None
+                    and reorder.dynamic
+                    and sift_budget > 0
+                    and applied % reorder.interval == 0
+                    and package.node_count(state) >= reorder.min_nodes
+                ):
+                    result = sift(
+                        package,
+                        state,
+                        circuit.num_qubits,
+                        budget=sift_budget,
+                        level_to_qubit=dyn_perm,
+                    )
+                    state = result.edge
+                    sift_budget -= result.swaps_attempted
+                    if result.swaps_attempted:
+                        self._stats.reorder_rounds += 1
+                        self._stats.reorder_swaps += result.swaps_attempted
+                        self._stats.reorder_swaps_kept += result.swaps_kept
+                    if result.changed:
+                        dyn_perm[:] = result.level_to_qubit
+                        qubit_to_level = list(invert_permutation(dyn_perm))
                 if (
                     self.node_limit is not None
                     and applied % NODE_LIMIT_CHECK_INTERVAL == 0
@@ -243,6 +320,12 @@ class DDSimulator(StrongSimulator):
             self._stats.approx_removed_edges = approximator.removed_edges
             self._stats.approx_removed_mass = approximator.removed_mass
             self._stats.fidelity_bound = approximator.fidelity_bound
+        if reorder is not None:
+            # Compose static layout and dynamic sifting into one map
+            # from final DD level to original circuit qubit.
+            self._stats.level_to_qubit = tuple(
+                initial_order[label] for label in dyn_perm
+            )
         if (
             self.node_limit is not None
             and self._stats.final_dd_nodes > self.node_limit
@@ -256,6 +339,11 @@ class DDSimulator(StrongSimulator):
             build_span.set_attr("final_dd_nodes", self._stats.final_dd_nodes)
             if approximator is not None:
                 build_span.set_attr("fidelity_bound", approximator.fidelity_bound)
+            if reorder is not None:
+                build_span.set_attr("reorder_rounds", self._stats.reorder_rounds)
+                build_span.set_attr(
+                    "reorder_swaps_kept", self._stats.reorder_swaps_kept
+                )
             session.registry.record_build(self._stats)
             session.registry.record_dd_tables(package.stats())
         return VectorDD(package, state, circuit.num_qubits)
@@ -409,6 +497,11 @@ class DDSimulator(StrongSimulator):
         """
         from ..dd.matrix_dd import circuit_dd
 
+        if self.reorder is not None:
+            raise ValueError(
+                "reordering is unsupported for iterated simulation: the "
+                "compiled iteration operator assumes a fixed qubit order"
+            )
         if init.num_qubits != iteration.num_qubits:
             raise ValueError("init and iteration must act on the same register")
         package = self.package

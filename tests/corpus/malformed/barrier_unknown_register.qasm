@@ -1,0 +1,6 @@
+// reject: barrier operand names an undeclared register
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+barrier nope;

@@ -1,0 +1,6 @@
+// reject: parameter expressions must not divide by zero
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[1];
+creg c[1];
+rx(pi/0) q[0];

@@ -1,0 +1,6 @@
+// reject: control and target collide after alias expansion
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+ccx q[1],q[2],q[1];

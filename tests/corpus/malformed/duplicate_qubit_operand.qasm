@@ -1,0 +1,6 @@
+// reject: the same qubit passed twice to a multi-qubit gate
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+cx q[0],q[0];

@@ -1,0 +1,7 @@
+// reject: the same quantum register declared twice
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+qreg q[3];
+creg c[2];
+h q[0];

@@ -1,0 +1,6 @@
+// reject: qubit index past the declared register size
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+creg c[4];
+h q[7];

@@ -1,0 +1,6 @@
+// reject: include without a quoted file name
+OPENQASM 2.0;
+include qelib1.inc;
+qreg q[2];
+creg c[2];
+h q[0];

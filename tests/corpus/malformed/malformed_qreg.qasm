@@ -1,0 +1,6 @@
+// reject: qreg declaration without a size
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q;
+creg c[1];
+h q[0];

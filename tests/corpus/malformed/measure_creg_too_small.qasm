@@ -1,0 +1,7 @@
+// reject: register-to-register measure into a smaller creg
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+creg c[2];
+h q[0];
+measure q -> c;

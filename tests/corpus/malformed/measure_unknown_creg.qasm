@@ -1,0 +1,6 @@
+// reject: measure into a classical register that was never declared
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+h q[0];
+measure q -> c;

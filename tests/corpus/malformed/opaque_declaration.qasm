@@ -1,0 +1,7 @@
+// reject: opaque gate declarations are known-unsupported
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+opaque magic a,b;
+magic q[0],q[1];

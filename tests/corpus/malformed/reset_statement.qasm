@@ -1,0 +1,7 @@
+// reject: mid-circuit reset is known-unsupported
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+h q[0];
+reset q[0];

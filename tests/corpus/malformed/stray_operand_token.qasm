@@ -1,0 +1,6 @@
+// reject: operand list contains a token that is not name[index]
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+cx q[0], junk!;

@@ -1,0 +1,6 @@
+// reject: trailing comma leaves an empty operand
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+cx q[0],;

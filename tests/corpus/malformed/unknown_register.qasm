@@ -1,0 +1,6 @@
+// reject: gate operand names a register that was never declared
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+cx q[0],r[1];

@@ -1,0 +1,5 @@
+// reject: only OPENQASM 2.x headers are understood
+OPENQASM 3;
+qreg q[1];
+creg c[1];
+h q[0];

@@ -1,0 +1,8 @@
+// reject: a /* block comment that never closes must not swallow the file
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+/* this comment never terminates
+h q[0];
+cx q[0],q[1];

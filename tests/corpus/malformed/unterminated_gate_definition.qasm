@@ -1,0 +1,7 @@
+// reject: a gate block with no closing brace
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+gate foo a { h a;
+foo q[0];

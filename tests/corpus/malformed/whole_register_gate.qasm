@@ -1,0 +1,6 @@
+// reject: whole-register gate broadcast is not supported
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+h q;

@@ -1,0 +1,6 @@
+// reject: parameter count must match the gate's signature
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[1];
+creg c[1];
+x(0.5) q[0];

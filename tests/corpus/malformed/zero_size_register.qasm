@@ -1,0 +1,5 @@
+// reject: registers must have at least one qubit
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[0];
+creg c[1];

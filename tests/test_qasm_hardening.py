@@ -1,0 +1,185 @@
+"""Hardened OpenQASM front end: malformed input is rejected, never misparsed.
+
+The parser fronts a network service, so every file in
+``tests/corpus/malformed/`` must surface as a :class:`QasmError` — the
+one exception type the serving tier maps to a 400 — and never as a bare
+``KeyError``/``IndexError``/``TypeError`` (a 500) or a silent misparse
+that simulates a different circuit than the one written.  The same
+corpus is replayed through all three entry points: ``parse_qasm``
+directly, the JSONL batch runner (per-line ``rejected`` records), and
+the HTTP front door (400 on ``/v1/sample``, per-line records on
+``/v1/batch``).
+
+The second half pins the *accepting* side of the lexer: block comments,
+statements split across lines, pi-expression edge cases, bare-register
+barriers, and register-subset measures.
+"""
+
+import asyncio
+import io
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.circuit.operations import Measurement, Operation
+from repro.circuit.qasm import parse_qasm, to_qasm
+from repro.exceptions import QasmError
+from repro.service import SamplingService
+from repro.service.__main__ import run_batch
+
+MALFORMED_DIR = Path(__file__).parent / "corpus" / "malformed"
+MALFORMED = sorted(MALFORMED_DIR.glob("*.qasm"))
+
+HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\nqreg q[4];\ncreg c[4];\n'
+
+
+def test_malformed_corpus_is_present():
+    assert len(MALFORMED) >= 20, f"malformed corpus missing in {MALFORMED_DIR}"
+    for path in MALFORMED:
+        first = path.read_text().splitlines()[0]
+        assert first.startswith("// reject:"), path.name
+
+
+@pytest.mark.parametrize(
+    "path", MALFORMED, ids=[path.stem for path in MALFORMED]
+)
+def test_malformed_corpus_raises_qasm_error(path):
+    # QasmError and nothing else: any other exception type would escape
+    # the service's rejection mapping and turn into a 500.
+    with pytest.raises(QasmError):
+        parse_qasm(path.read_text())
+
+
+def test_malformed_corpus_becomes_rejected_batch_records(tmp_path):
+    lines = [
+        json.dumps({"qasm": path.read_text(), "shots": 4, "seed": 1})
+        for path in MALFORMED
+    ]
+    sink = io.StringIO()
+    with SamplingService(cache_dir=str(tmp_path)) as service:
+        failures = run_batch(service, io.StringIO("\n".join(lines)), sink)
+    records = [json.loads(line) for line in sink.getvalue().splitlines()]
+    assert failures == len(MALFORMED)
+    assert len(records) == len(MALFORMED)
+    for path, record in zip(MALFORMED, records):
+        assert record["status"] == "rejected", path.name
+        assert record["error"], path.name
+
+
+def test_malformed_corpus_maps_to_http_400(tmp_path):
+    from repro.service.net import HttpFrontDoor, http_request, post_json
+    from repro.service.pool import PoolConfig, WorkerPool
+
+    pool = WorkerPool(
+        workers=1, config=PoolConfig(cache_dir=str(tmp_path))
+    ).start()
+
+    async def scenario():
+        front = HttpFrontDoor(pool, port=0)
+        await front.start()
+        try:
+            # Single-request endpoint: the 400 contract, spot-checked.
+            status, payload = await post_json(
+                front.host,
+                front.port,
+                "/v1/sample",
+                {"qasm": MALFORMED[0].read_text(), "shots": 4},
+            )
+            assert status == 400
+            assert payload["status"] == "rejected"
+            # Batch endpoint: the whole corpus, one rejected record per
+            # line, and the batch itself still answers 200.
+            body = "".join(
+                json.dumps({"qasm": path.read_text(), "shots": 4}) + "\n"
+                for path in MALFORMED
+            ).encode("utf-8")
+            status, _headers, raw = await http_request(
+                front.host, front.port, "POST", "/v1/batch", body
+            )
+            assert status == 200
+            records = [
+                json.loads(line) for line in raw.decode("utf-8").splitlines()
+            ]
+            assert len(records) == len(MALFORMED)
+            for path, record in zip(MALFORMED, records):
+                assert record["status"] == "rejected", path.name
+        finally:
+            await front.drain(pool_timeout=60.0)
+
+    asyncio.run(scenario())
+    assert pool.exit_codes() == [0]
+
+
+# ---------------------------------------------------------------------------
+# Accepting side of the lexer
+# ---------------------------------------------------------------------------
+
+
+def test_block_comments_are_stripped():
+    circuit = parse_qasm(
+        HEADER + "/* one\n   spanning\n   comment */ h q[0];\n"
+        "cx /* inline */ q[0], q[1];\n"
+    )
+    assert len(list(circuit)) == 2
+
+
+def test_line_comment_hides_block_opener():
+    # A '/*' inside a '//' comment must not open a block comment.
+    circuit = parse_qasm(HEADER + "h q[0]; // see /* not a comment\nx q[1];\n")
+    assert len(list(circuit)) == 2
+
+
+def test_statements_split_across_lines():
+    circuit = parse_qasm(HEADER + "h\n  q[0]\n;\ncx q[0],\n    q[1];\n")
+    assert len(list(circuit)) == 2
+
+
+@pytest.mark.parametrize(
+    "expression, value",
+    [
+        ("-pi/2", -math.pi / 2),
+        ("2*pi", 2 * math.pi),
+        ("+pi/4", math.pi / 4),
+        ("-(pi/2 + pi/4)", -(math.pi / 2 + math.pi / 4)),
+        ("0.5", 0.5),
+    ],
+)
+def test_pi_expression_edge_cases(expression, value):
+    circuit = parse_qasm(HEADER + f"rz({expression}) q[0];\n")
+    (op,) = [ins for ins in circuit if isinstance(ins, Operation)]
+    assert op.gate.params[0] == pytest.approx(value)
+
+
+def test_bare_register_barrier_spans_register():
+    # 'barrier q;' over the only register is the all-qubit barrier and
+    # round-trips through the exporter unchanged.
+    circuit = parse_qasm(HEADER + "h q[0];\nbarrier q;\n")
+    assert "barrier q;" in to_qasm(circuit)
+    src = (
+        "OPENQASM 2.0;\nqreg a[2];\nqreg b[2];\ncreg c[4];\n"
+        "h a[0];\nbarrier a;\n"
+    )
+    barrier = [ins for ins in parse_qasm(src) if not isinstance(ins, Operation)]
+    assert barrier[0].qubits == (0, 1)
+
+
+def test_register_subset_measure_targets_that_register():
+    # 'measure a -> m;' with several qregs must measure a's qubits, not
+    # silently measure everything.
+    src = (
+        "OPENQASM 2.0;\nqreg a[2];\nqreg b[2];\ncreg m[2];\n"
+        "h a[0];\nh b[1];\nmeasure b -> m;\n"
+    )
+    (meas,) = [
+        ins for ins in parse_qasm(src) if isinstance(ins, Measurement)
+    ]
+    assert not meas.measures_all
+    assert meas.qubits == (2, 3)
+
+
+def test_full_register_measure_still_measures_all():
+    circuit = parse_qasm(HEADER + "h q[0];\nmeasure q -> c;\n")
+    (meas,) = [ins for ins in circuit if isinstance(ins, Measurement)]
+    assert meas.measures_all
