@@ -2,12 +2,12 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-sampling bench-compile bench-serving bench-smoke bench-kernel bench-approx bench-reorder serve-smoke serve-net-smoke fuzz fuzz-smoke fuzz-self-check docs-check quick-table full-table figures shapes examples clean
+.PHONY: install test bench bench-sampling bench-compile bench-serving bench-smoke bench-kernel bench-approx bench-reorder bench-noise serve-smoke serve-net-smoke fuzz fuzz-smoke fuzz-self-check docs-check quick-table full-table figures shapes examples clean
 
 install:
 	PIP_NO_BUILD_ISOLATION=false pip install -e .
 
-test: fuzz-smoke serve-smoke serve-net-smoke bench-kernel bench-approx bench-reorder
+test: fuzz-smoke serve-smoke serve-net-smoke bench-kernel bench-approx bench-reorder bench-noise
 	$(PYTHON) -m pytest tests/
 
 # Kernel perf gate: the SoA vector kernel must cold-build qft_16 at
@@ -22,6 +22,13 @@ bench-kernel:
 # bound, equal-seed rebuilds bit-identical (see docs/approximation.md).
 bench-approx:
 	PYTHONPATH=src $(PYTHON) -m repro.perf.bench --approx-smoke
+
+# Noise gate: the noisy GHZ sampler must match the dense density
+# reference within the TVD limit with bit-identical equal-seed
+# rebuilds, and the ghz_20 depolarized build must abort cleanly at the
+# node ceiling (see docs/noise.md).
+bench-noise:
+	PYTHONPATH=src $(PYTHON) -m repro.perf.bench --noise-smoke
 
 # Reordering gate: sifting must shrink the crossing-pair circuit's peak
 # DD by >= 1.5x, with equal-seed determinism, an exact permutation

@@ -125,6 +125,24 @@ def _build_parser() -> argparse.ArgumentParser:
         help="cap the total adjacent-swap attempts sifting may spend "
         "(default 256; implies --reorder)",
     )
+    parser.add_argument(
+        "--noise",
+        metavar="SPEC",
+        default=None,
+        help="simulate under local noise (method 'dd' only): a channel "
+        "name (depolarizing, amplitude_damping, phase_damping, bit_flip, "
+        "phase_flip; strength from --noise-strength) or a JSON object "
+        'like \'{"depolarizing": 0.01, "readout": {"p01": 0.02}}\' '
+        "(see docs/noise.md)",
+    )
+    parser.add_argument(
+        "--noise-strength",
+        type=float,
+        default=None,
+        metavar="P",
+        help="strength in [0, 1] for the --noise channel name; on its "
+        "own, shorthand for depolarizing noise at strength P",
+    )
     return parser
 
 
@@ -191,6 +209,45 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"error: {error}", file=sys.stderr)
             return 2
 
+    noise = None
+    if args.noise is not None or args.noise_strength is not None:
+        from .noise import NoiseModel
+
+        spec = args.noise
+        if spec is not None and spec.lstrip().startswith("{"):
+            if args.noise_strength is not None:
+                print(
+                    "error: --noise-strength does not combine with a JSON "
+                    "--noise object (put the strengths in the object)",
+                    file=sys.stderr,
+                )
+                return 2
+            import json
+
+            try:
+                material = json.loads(spec)
+            except ValueError as error:
+                print(f"error: --noise is not valid JSON: {error}", file=sys.stderr)
+                return 2
+        elif spec is not None:
+            if args.noise_strength is None:
+                print(
+                    f"error: --noise {spec} needs --noise-strength "
+                    "(or pass a JSON object with explicit strengths)",
+                    file=sys.stderr,
+                )
+                return 2
+            material = {spec: args.noise_strength}
+        else:
+            material = {"depolarizing": args.noise_strength}
+        try:
+            noise = NoiseModel.from_value(material)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        if noise is not None and not noise.enabled:
+            noise = None
+
     session = None
     if args.trace:
         from .telemetry import Telemetry
@@ -217,6 +274,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                         kernel=args.kernel,
                         approximation=approximation,
                         reorder=reorder,
+                        noise_model=noise,
                     )
                 )
             if not response.ok:
@@ -239,6 +297,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 kernel=args.kernel,
                 approximation=approximation,
                 reorder=reorder,
+                noise=noise,
             )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -274,6 +333,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"{reorder_meta['swaps_kept']} swaps kept; samples reported "
                 "in original qubit order)"
             )
+    if noise is not None:
+        noise_meta = (result.metadata.get("build") or {}).get("noise")
+        if noise_meta is None:
+            noise_meta = (result.metadata.get("service") or {}).get("noise")
+        line = f"noise: {noise.describe()}"
+        if noise_meta:
+            line += (
+                f" ({noise_meta['channel_applications']} channel "
+                f"applications, {noise_meta['kraus_applications']} Kraus "
+                "conjugations; samples drawn from the mixed-state diagonal)"
+            )
+        print(line)
     for bitstring, count in result.most_common(args.top):
         bar = "#" * max(1, round(40 * count / result.shots))
         print(f"  |{bitstring}>  {count:>8}  {bar}")

@@ -33,8 +33,13 @@ from ..dd.normalization import NormalizationScheme
 from ..dd.reorder import ReorderConfig, is_identity_permutation, unpermute_counts
 from ..dd.vector_dd import VectorDD
 from ..exceptions import SamplingError
+from ..noise.model import NoiseModel
 from ..perf import compiled_dd as _compiled_dd
 from ..simulators.dd_simulator import DDSimulator
+from ..simulators.density_simulator import (
+    DensityMatrixSimulator,
+    compile_noisy_sampler,
+)
 from ..simulators.statevector import DEFAULT_MEMORY_CAP, StatevectorSimulator
 from .dd_sampler import DDSampler
 from .prefix_sampler import (
@@ -204,6 +209,52 @@ def _build_metadata(stats) -> dict:
     return metadata
 
 
+def _simulate_noisy(
+    circuit: QuantumCircuit,
+    shots: int,
+    noise: NoiseModel,
+    seed: Union[int, np.random.Generator, None],
+    initial_state: int,
+) -> SampleResult:
+    """The noisy pipeline: density build → diagonal → compiled sampling.
+
+    Called with an already-active telemetry session and an enabled,
+    normalised ``noise`` model.  The compile pipeline is bypassed (noise
+    binds to the circuit as written — see
+    :mod:`repro.simulators.density_simulator`), so there is no
+    ``optimize``/``kernel``/``workers`` surface here.
+    """
+    if shots < 0:
+        raise SamplingError(f"shots must be non-negative, got {shots}")
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    simulator = DensityMatrixSimulator(noise=noise)
+    rho = simulator.run(circuit, initial_state=initial_state)
+    start = time.perf_counter()
+    with _telemetry.span("precompute", method="dd", noisy=True) as precompute_span:
+        compiled = compile_noisy_sampler(rho, noise)
+        precompute_span.set_attr("dd_nodes", rho.node_count)
+    precompute = time.perf_counter() - start
+    start = time.perf_counter()
+    with _telemetry.span("sampling", method="dd", shots=shots):
+        samples = compiled.sample(shots, rng)
+    sampling = time.perf_counter() - start
+    result = SampleResult.from_samples(circuit.num_qubits, samples, method="dd")
+    result.precompute_seconds = precompute
+    result.sampling_seconds = sampling
+    result.metadata["dd_statistics"] = rho.package.stats()
+    result.metadata["build"] = _build_metadata(simulator.stats)
+    result.metadata["build"]["noise"] = {
+        "model": noise.to_dict(),
+        "channel_applications": simulator.stats.noise_channel_applications,
+        "kraus_applications": simulator.stats.noise_kraus_applications,
+    }
+    session = _telemetry.active()
+    if session is not None:
+        session.registry.record_dd_tables(result.metadata["dd_statistics"])
+        session.registry.counter("sample.shots").inc(shots)
+    return result
+
+
 def simulate_and_sample(
     circuit: QuantumCircuit,
     shots: int,
@@ -218,6 +269,7 @@ def simulate_and_sample(
     kernel: str = "auto",
     approximation: Optional[ApproximationConfig] = None,
     reorder: Optional[ReorderConfig] = None,
+    noise: Optional[NoiseModel] = None,
 ) -> SampleResult:
     """Full weak simulation: run ``circuit``, then draw ``shots`` samples.
 
@@ -243,7 +295,15 @@ def simulate_and_sample(
     reported samples stay in the original qubit order (the build's
     level-to-qubit permutation is applied to the drawn counts and
     recorded in ``metadata["build"]["reorder"]``; see
-    ``docs/reordering.md``).
+    ``docs/reordering.md``).  ``noise`` (``"dd"`` method only) switches
+    to the density-matrix simulator with per-gate Kraus channels — a
+    :class:`~repro.noise.NoiseModel`, a bare depolarizing strength, or a
+    mapping (see :meth:`~repro.noise.NoiseModel.from_value`); the
+    samples then come from the mixed state's diagonal and
+    ``metadata["build"]["noise"]`` records the model (see
+    ``docs/noise.md``).  A disabled model (all strengths zero) is
+    normalised away, so the run is bit-identical to the exact pure-state
+    path at equal seed.
     """
     if approximation is not None and not isinstance(
         approximation, ApproximationConfig
@@ -255,7 +315,36 @@ def simulate_and_sample(
         reorder = ReorderConfig.from_value(reorder)
     if reorder is not None and not reorder.enabled:
         reorder = None
+    if noise is not None and not isinstance(noise, NoiseModel):
+        noise = NoiseModel.from_value(noise)
+    if noise is not None and not noise.enabled:
+        noise = None
+    if noise is not None:
+        # Noisy runs have a deliberately narrow contract; every
+        # incompatible combination is a loud error, never a silent drop
+        # (docs/noise.md, "Composition with other features").
+        if method != "dd":
+            raise SamplingError(
+                "noisy simulation samples from the compiled density "
+                "diagonal and supports method='dd' only"
+            )
+        if approximation is not None:
+            raise SamplingError(
+                "noise and approximation cannot be combined: the "
+                "fidelity-bound accounting assumes a pure state"
+            )
+        if reorder is not None:
+            raise SamplingError(
+                "noise and reordering cannot be combined: sifting is "
+                "implemented for vector DDs only"
+            )
+        if workers is not None:
+            raise SamplingError(
+                "parallel chunked sampling is not supported for noisy runs"
+            )
     with _telemetry.activate(telemetry):
+        if noise is not None:
+            return _simulate_noisy(circuit, shots, noise, seed, initial_state)
         if method in VECTOR_METHODS:
             if approximation is not None:
                 raise SamplingError(

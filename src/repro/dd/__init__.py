@@ -25,6 +25,15 @@ from .approximation import (
 )
 from .complex_table import DEFAULT_TOLERANCE, ComplexTable
 from .compute_table import ComputeTable
+from .density import (
+    DensityMatrixDD,
+    apply_kraus_dds,
+    apply_superoperator,
+    diagonal_edge,
+    matrix_adjoint,
+    matrix_trace,
+    outer_product,
+)
 from .dot import to_dot
 from .matrix_dd import OperationDDCache, circuit_dd, identity_dd, operation_dd
 from .measure import (
@@ -81,6 +90,13 @@ __all__ = [
     "operation_dd",
     "circuit_dd",
     "OperationDDCache",
+    "DensityMatrixDD",
+    "matrix_adjoint",
+    "matrix_trace",
+    "outer_product",
+    "diagonal_edge",
+    "apply_superoperator",
+    "apply_kraus_dds",
     "downstream_probabilities",
     "upstream_probabilities",
     "qubit_probability",

@@ -27,10 +27,17 @@ DEFAULT_TOLERANCE = 1e-10
 class ComplexTable:
     """Interning table for complex numbers with tolerance-based lookup."""
 
-    def __init__(self, tolerance: float = DEFAULT_TOLERANCE):
+    def __init__(
+        self,
+        tolerance: float = DEFAULT_TOLERANCE,
+        relative_tolerance: float = 0.0,
+    ):
         if tolerance <= 0:
             raise ValueError("tolerance must be positive")
+        if relative_tolerance < 0:
+            raise ValueError("relative_tolerance must be non-negative")
         self.tolerance = tolerance
+        self.relative_tolerance = relative_tolerance
         self._buckets: Dict[Tuple[int, int], complex] = {}
         self.hits = 0
         self.misses = 0
@@ -73,7 +80,12 @@ class ComplexTable:
         If an entry within ``tolerance`` (Chebyshev distance) exists, the
         *nearest* such entry is returned; otherwise ``value`` becomes a new
         canonical entry.  ``-0.0`` components are normalised to ``+0.0``
-        first so the zero is unique.
+        first so the zero is unique.  With a nonzero
+        ``relative_tolerance``, a nonzero value additionally unifies only
+        with entries within ``relative_tolerance * max(|a|, |b|)`` —
+        tiny weights never alias to relatively-distant neighbours (they
+        may still snap to exact zero, which is governed by the absolute
+        window alone).
 
         A value sitting within tolerance of two canonical entries (they can
         be up to ``2 * tolerance`` apart, one bucket to each side) resolves
@@ -144,10 +156,24 @@ class ComplexTable:
         return best
 
     def _close(self, a: complex, b: complex) -> bool:
-        return (
-            abs(a.real - b.real) <= self.tolerance
-            and abs(a.imag - b.imag) <= self.tolerance
-        )
+        if (
+            abs(a.real - b.real) > self.tolerance
+            or abs(a.imag - b.imag) > self.tolerance
+        ):
+            return False
+        if self.relative_tolerance <= 0.0:
+            return True
+        # Relative guard: a nonzero weight may only unify with an entry
+        # that is close *relative to its magnitude*.  Under left-most
+        # normalisation a tiny top weight divides the O(1) subtree below
+        # it, so an absolute-window snap (fine for O(1) amplitudes)
+        # becomes an O(tolerance / |w|) relative error amplified through
+        # the whole branch.  Zero stays an absolute snap: unifying with
+        # exact zero *drops* the branch instead of rescaling it, which
+        # costs only the snapped magnitude itself.
+        if a == 0.0 or b == 0.0:
+            return True
+        return abs(a - b) <= self.relative_tolerance * max(abs(a), abs(b))
 
     def is_zero(self, value: complex) -> bool:
         """Whether ``value`` canonicalises to zero."""

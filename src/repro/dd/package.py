@@ -42,10 +42,11 @@ class DDPackage:
         scheme: NormalizationScheme = NormalizationScheme.L2,
         tolerance: float = DEFAULT_TOLERANCE,
         compute_table_max_entries: Optional[int] = None,
+        relative_tolerance: float = 0.0,
     ):
         self.scheme = scheme
         self.tolerance = tolerance
-        self.complex_table = ComplexTable(tolerance)
+        self.complex_table = ComplexTable(tolerance, relative_tolerance)
         self.unique_table = UniqueTable()
         bound = compute_table_max_entries
         self._add_table = ComputeTable("add", max_entries=bound)
@@ -238,19 +239,48 @@ class DDPackage:
         kb = (right.node.index, right.weight.real, right.weight.imag)
         if kb < ka:
             left, right, ka, kb = right, left, kb, ka
-        key = ("M",) + ka + kb
+        if self.complex_table.relative_tolerance <= 0.0:
+            # Absolute-window interning is not scale-invariant: computing
+            # the sum at a normalised scale and re-interning the scaled
+            # result can snap a small weight to a relatively-distant
+            # neighbour.  Keep the legacy absolute-weight memo key, which
+            # evaluates every sum at its true scale.
+            key = ("M",) + ka + kb
+            cached = self._add_table.lookup(key)
+            if cached is not None:
+                return cached
+            children = tuple(
+                self.matrix_add(
+                    self.scale(left.node.edges[i], left.weight),
+                    self.scale(right.node.edges[i], right.weight),
+                )
+                for i in range(4)
+            )
+            result = self.make_matrix_node(left.node.var, children)
+            return self._add_table.insert(key, result)
+        # Addition is jointly homogeneous — wA*A + wB*B = wA*(A + r*B)
+        # with r = wB/wA — so under relative-guarded interning (which IS
+        # scale-invariant) the memo key needs only the weight *ratio*.
+        # Keying on absolute weights looks equivalent but is catastrophic
+        # for Kraus sums: the recursion re-scales the operands at every
+        # level, every accumulated scale becomes a distinct key, and a
+        # 10-node product-state density DD explodes into a full 4^n-path
+        # enumeration with zero cache hits.
+        ratio = right.weight / left.weight
+        key = ("M", left.node.index, right.node.index, ratio.real, ratio.imag)
         cached = self._add_table.lookup(key)
         if cached is not None:
-            return cached
+            return self.scale(cached, left.weight)
         children = tuple(
             self.matrix_add(
-                self.scale(left.node.edges[i], left.weight),
-                self.scale(right.node.edges[i], right.weight),
+                left.node.edges[i],
+                self.scale(right.node.edges[i], ratio),
             )
             for i in range(4)
         )
         result = self.make_matrix_node(left.node.var, children)
-        return self._add_table.insert(key, result)
+        self._add_table.insert(key, result)
+        return self.scale(result, left.weight)
 
     # ------------------------------------------------------------------
     # Multiplication

@@ -53,3 +53,12 @@ class MemoryOutError(SimulationError):
 
 class SamplingError(ReproError):
     """Raised when a sampler is asked to sample from an invalid state."""
+
+
+class NoiseError(ReproError):
+    """Raised for invalid noise models or non-physical channels.
+
+    Covers malformed :class:`~repro.noise.NoiseModel` specs (unknown
+    keys, out-of-range strengths) and Kraus operator sets that violate
+    the completeness relation sum_i K_i^dagger K_i = I.
+    """

@@ -45,6 +45,12 @@ __all__ = [
     "ATOL",
     "APPROX_EPSILON",
     "APPROX_INTERVAL",
+    "NOISE_ATOL",
+    "NOISE_MAX_OPERATIONS",
+    "NOISE_MAX_QUBITS",
+    "NOISE_NODE_LIMIT",
+    "NOISE_WIDE_ENTANGLER_CAP",
+    "NOISE_WIDE_MAX_OPERATIONS",
     "P_VALUE_FLOOR",
     "SAMPLE_SHOTS",
     "PER_SHOT_SAMPLE_SHOTS",
@@ -86,6 +92,48 @@ APPROX_INTERVAL = 4
 #: counts as a bug.
 APPROX_SAMPLING_SLACK = 0.1
 
+#: Largest register the noisy-vs-dense oracle verifies (its reference
+#: evolves a vectorised 2^n x 2^n density matrix — O(4^n) per gate).
+NOISE_MAX_QUBITS = 10
+
+#: Node ceiling for the oracle's density build: a mixed state can
+#: approach the *square* of the pure DD size, and a handful of hostile
+#: fuzz circuits would otherwise eat the whole smoke budget.  A breach
+#: skips the circuit (coverage loss, not a failure).  The ceiling is a
+#: *time* guard as much as a memory one — the build pays pure-Python
+#: matrix multiplies all the way up to the breach — so it is kept low.
+NOISE_NODE_LIMIT = 4_000
+
+#: Instruction budget for the verified portion of a circuit.  The
+#: noisy build and the dense reference both evolve the *same prefix*,
+#: so the check stays exact; every prefix op still gets the full
+#: channel-placement treatment, which is what the oracle pins down.
+#: Without the cap, a 50-op diagonal-family circuit costs ~10 s of
+#: pure-Python superoperator algebra — per circuit, ~200 times per
+#: smoke run.
+NOISE_MAX_OPERATIONS = 20
+
+#: Tighter instruction budget for registers wider than six qubits,
+#: where the dense reference's vec(rho) statevector has >= 16k
+#: amplitudes and every Kraus term pays an O(4^n) sweep.
+NOISE_WIDE_MAX_OPERATIONS = 10
+
+#: Entangling-gate budget for registers wider than six qubits.  The node
+#: ceiling alone is not a time guard: a dense 8-10 qubit mixed state
+#: spends minutes of matrix-DD multiplies *before* it breaches the
+#: ceiling.  Circuits with more than ``num_qubits`` two-qubit gates at
+#: those widths (e.g. the supremacy family's crossing cycles) are
+#: skipped up front; GHZ-style single-ladder circuits still run at the
+#: full :data:`NOISE_MAX_QUBITS`.
+NOISE_WIDE_ENTANGLER_CAP = 1.0
+
+#: Tolerance for the noisy-vs-dense probability comparison.  Looser
+#: than :data:`ATOL` because a Kraus channel *sums* evolved density
+#: matrices: the DD path and the dense reference associate those sums
+#: differently, and on cancellation-heavy circuits (the nearzero
+#: family) the rounding difference amplifies to ~1e-8 per entry.
+NOISE_ATOL = 1e-6
+
 
 @dataclass(frozen=True)
 class Oracle:
@@ -117,14 +165,14 @@ def _dd_probabilities(circuit: QuantumCircuit, optimize: bool = True) -> np.ndar
 
 
 def _compare_dense(
-    first: np.ndarray, second: np.ndarray, label: str
+    first: np.ndarray, second: np.ndarray, label: str, atol: float = ATOL
 ) -> Optional[str]:
     """Max-abs and TVD comparison of two dense distributions."""
     worst = float(np.abs(first - second).max())
-    if worst <= ATOL:
+    if worst <= atol:
         return None
     tvd = 0.5 * float(np.abs(first - second).sum())
-    return f"{label}: max |Δp| = {worst:.3e}, TVD = {tvd:.3e} (atol {ATOL:g})"
+    return f"{label}: max |Δp| = {worst:.3e}, TVD = {tvd:.3e} (atol {atol:g})"
 
 
 def _exact_applies(family: CircuitFamily) -> bool:
@@ -503,6 +551,104 @@ def _check_reorder_vs_fixed(
     )
 
 
+def _check_noisy_vs_dense(
+    circuit: QuantumCircuit, rng: np.random.Generator
+) -> Optional[str]:
+    """Density-DD noise must match the dense reference exactly.
+
+    Three clauses of the noise contract (``docs/noise.md``):
+
+    * the compiled noisy sampler's distribution equals
+      :func:`~repro.noise.noisy_probabilities_dense` to
+      :data:`NOISE_ATOL` (same channel placement, same readout folding)
+      within :data:`NOISE_MAX_QUBITS`;
+    * all-zero strengths are bit-identical to the exact pure-state path
+      at equal seed (the noise→exact limit);
+    * noisy sampling is deterministic at equal seed, and the draws are
+      chi-square-consistent with the reference distribution.
+
+    Circuits whose mixed state outgrows :data:`NOISE_NODE_LIMIT` are
+    skipped (the dense reference would still agree, but the fuzz budget
+    does not cover quadratic-size density builds).  Long circuits are
+    verified on their first :data:`NOISE_MAX_OPERATIONS` instructions
+    (:data:`NOISE_WIDE_MAX_OPERATIONS` beyond six qubits): both sides
+    evolve the same prefix, so the comparison stays exact and every
+    prefix op still exercises the channel-placement contract.
+    """
+    from ..noise import NoiseModel, noisy_probabilities_dense
+    from ..simulators.density_simulator import (
+        DensityMatrixSimulator,
+        compile_noisy_sampler,
+    )
+
+    if circuit.num_qubits > NOISE_MAX_QUBITS:
+        return None
+    cap = (
+        NOISE_MAX_OPERATIONS
+        if circuit.num_qubits <= 6
+        else NOISE_WIDE_MAX_OPERATIONS
+    )
+    if len(circuit.instructions) > cap:
+        prefix = QuantumCircuit(circuit.num_qubits)
+        for instruction in circuit.instructions[:cap]:
+            prefix.append(instruction)
+        circuit = prefix
+    if circuit.num_qubits > 6:
+        entanglers = sum(
+            1 for op in circuit.operations if len(op.qubits) > 1
+        )
+        if entanglers > NOISE_WIDE_ENTANGLER_CAP * circuit.num_qubits:
+            return None
+    seed = int(rng.integers(2**63))
+    if not circuit_has_mid_circuit_measurement(circuit):
+        zero = simulate_and_sample(
+            circuit, SAMPLE_SHOTS, seed=seed, noise=NoiseModel()
+        )
+        exact = simulate_and_sample(circuit, SAMPLE_SHOTS, seed=seed)
+        if zero.counts != exact.counts:
+            return (
+                "strength-0 noise is not bit-identical to the exact path "
+                "at equal seed"
+            )
+    noise = NoiseModel(
+        depolarizing=float(rng.uniform(0.0, 0.08)),
+        amplitude_damping=float(rng.uniform(0.0, 0.08)),
+        phase_damping=float(rng.uniform(0.0, 0.08)),
+        readout_p01=float(rng.uniform(0.0, 0.04)),
+        readout_p10=float(rng.uniform(0.0, 0.04)),
+    )
+    try:
+        rho = DensityMatrixSimulator(
+            noise=noise, node_limit=NOISE_NODE_LIMIT
+        ).run(circuit)
+    except MemoryError:
+        return None
+    compiled = compile_noisy_sampler(rho, noise)
+    reference = noisy_probabilities_dense(circuit, noise)
+    detail = _compare_dense(
+        compiled.probabilities(),
+        reference,
+        f"noisy dd vs dense ({noise.describe()})",
+        atol=NOISE_ATOL,
+    )
+    if detail is not None:
+        return detail
+    first = compiled.sample(SAMPLE_SHOTS, np.random.default_rng(seed))
+    replay = compiled.sample(SAMPLE_SHOTS, np.random.default_rng(seed))
+    if not np.array_equal(first, replay):
+        return "noisy sampling is not deterministic at equal seed"
+    from ..core.results import SampleResult
+
+    result = SampleResult.from_samples(circuit.num_qubits, first, method="dd")
+    outcome = chi_square_gof(result, reference)
+    if outcome.p_value >= P_VALUE_FLOOR:
+        return None
+    return (
+        f"noisy samples vs dense: chi²={outcome.statistic:.2f} "
+        f"(dof {outcome.dof}), p={outcome.p_value:.3e}"
+    )
+
+
 def _wrap(
     run: Callable[[QuantumCircuit, np.random.Generator], Optional[str]],
 ) -> Callable[[QuantumCircuit, np.random.Generator], Optional[str]]:
@@ -585,6 +731,13 @@ ORACLES: Dict[str, Oracle] = {
             pair=("dd+approx", "statevector"),
             applies=lambda family: True,
             run=_wrap(_check_approx_vs_exact),
+        ),
+        Oracle(
+            name="noisy-vs-dense",
+            description="exact distribution: noisy density DD vs dense reference",
+            pair=("density-dd", "dense-density"),
+            applies=lambda family: True,
+            run=_wrap(_check_noisy_vs_dense),
         ),
         Oracle(
             name="stabilizer-vs-exact",

@@ -1,0 +1,44 @@
+"""Noise models for density-matrix weak simulation.
+
+The layer between circuits and the density-matrix DD machinery
+(:mod:`repro.dd.density`): Kraus channel definitions
+(:mod:`~repro.noise.channels`), the per-run :class:`NoiseModel`
+(:mod:`~repro.noise.model`), and the dense reference evolution used to
+verify the DD path at small sizes (:mod:`~repro.noise.reference`).
+See ``docs/noise.md`` for the end-to-end story.
+"""
+
+from .channels import (
+    CHANNEL_BUILDERS,
+    KrausChannel,
+    amplitude_damping,
+    bit_flip,
+    dephasing,
+    depolarizing,
+    phase_damping,
+    phase_flip,
+    validate_kraus,
+)
+from .model import GATE_CHANNEL_FIELDS, NoiseModel
+from .reference import (
+    apply_readout_dense,
+    evolve_density_dense,
+    noisy_probabilities_dense,
+)
+
+__all__ = [
+    "CHANNEL_BUILDERS",
+    "GATE_CHANNEL_FIELDS",
+    "KrausChannel",
+    "NoiseModel",
+    "amplitude_damping",
+    "apply_readout_dense",
+    "bit_flip",
+    "dephasing",
+    "depolarizing",
+    "evolve_density_dense",
+    "noisy_probabilities_dense",
+    "phase_damping",
+    "phase_flip",
+    "validate_kraus",
+]

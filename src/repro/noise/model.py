@@ -1,0 +1,215 @@
+"""The per-run noise model: which channels, at which strengths.
+
+A :class:`NoiseModel` is a frozen, validated description of local noise:
+five gate-attached channel strengths plus a readout confusion matrix.
+It follows the same contract as
+:class:`~repro.dd.approximation.ApproximationConfig` and
+:class:`~repro.dd.reorder.ReorderConfig`:
+
+* all strengths zero means **disabled** — every layer of the stack
+  normalises a disabled model to ``None`` and takes the exact path, so
+  the noise→exact limit is bit-identical by construction (including
+  cache keys, which only fold the model in when it is enabled);
+* :meth:`from_value` parses untrusted request material (instance, bare
+  number, or dict) and rejects unknown keys with
+  :class:`~repro.exceptions.NoiseError`;
+* :meth:`to_dict` round-trips through :meth:`from_value`.
+
+Gate-attached channels are applied to every qubit an operation touches
+(targets and controls), in the fixed field order of
+:data:`GATE_CHANNEL_FIELDS`; readout error is applied once, to the final
+measurement distribution.  See ``docs/noise.md``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import NoiseError
+from .channels import CHANNEL_BUILDERS, KrausChannel
+
+__all__ = ["NoiseModel", "GATE_CHANNEL_FIELDS"]
+
+#: Gate-attached channel strengths, in application order.
+GATE_CHANNEL_FIELDS: Tuple[str, ...] = (
+    "depolarizing",
+    "amplitude_damping",
+    "phase_damping",
+    "bit_flip",
+    "phase_flip",
+)
+
+#: All strength fields, in the canonical (cache-key) order.
+_ALL_FIELDS: Tuple[str, ...] = GATE_CHANNEL_FIELDS + (
+    "readout_p01",
+    "readout_p10",
+)
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Local noise strengths for one simulation run.
+
+    Each gate-attached strength in ``[0, 1]`` turns on the corresponding
+    channel (see :mod:`repro.noise.channels`) after every operation, on
+    every qubit the operation touches.  ``readout_p01`` is the
+    probability of reading ``1`` for a qubit in ``|0⟩`` and
+    ``readout_p10`` the probability of reading ``0`` for a qubit in
+    ``|1⟩``; together they form the per-qubit confusion matrix applied
+    to the final sampling distribution.
+    """
+
+    depolarizing: float = 0.0
+    amplitude_damping: float = 0.0
+    phase_damping: float = 0.0
+    bit_flip: float = 0.0
+    phase_flip: float = 0.0
+    readout_p01: float = 0.0
+    readout_p10: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in _ALL_FIELDS:
+            value = getattr(self, name)
+            try:
+                value = float(value)
+            except (TypeError, ValueError):
+                raise NoiseError(
+                    f"noise strength {name!r} must be a number, got {value!r}"
+                )
+            if not math.isfinite(value) or not 0.0 <= value <= 1.0:
+                raise NoiseError(
+                    f"noise strength {name!r} must be in [0, 1], got {value}"
+                )
+            object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    # The disabled-means-exact contract
+    # ------------------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any channel strength is nonzero.
+
+        A disabled model is normalised to ``None`` by every consumer, so
+        ``NoiseModel()`` requests are byte-identical to no-noise
+        requests all the way down to the artifact cache key.
+        """
+        return any(getattr(self, name) > 0.0 for name in _ALL_FIELDS)
+
+    @property
+    def has_readout_error(self) -> bool:
+        """Whether the readout confusion matrix differs from identity."""
+        return self.readout_p01 > 0.0 or self.readout_p10 > 0.0
+
+    def strengths(self) -> Tuple[float, ...]:
+        """All seven strengths in canonical field order (cache-key input)."""
+        return tuple(float(getattr(self, name)) for name in _ALL_FIELDS)
+
+    # ------------------------------------------------------------------
+    # Channel construction
+    # ------------------------------------------------------------------
+
+    def gate_channels(self) -> Tuple[KrausChannel, ...]:
+        """The enabled gate-attached channels, in application order."""
+        return tuple(
+            CHANNEL_BUILDERS[name](getattr(self, name))
+            for name in GATE_CHANNEL_FIELDS
+            if getattr(self, name) > 0.0
+        )
+
+    def readout_matrix(self) -> np.ndarray:
+        """The per-qubit confusion matrix ``E[observed, true]``.
+
+        Columns are true states, rows observed states; each column sums
+        to 1, so applying ``E`` to a probability vector preserves its
+        normalisation.
+        """
+        p01 = self.readout_p01
+        p10 = self.readout_p10
+        return np.array(
+            [[1.0 - p01, p10], [p01, 1.0 - p10]], dtype=np.float64
+        )
+
+    # ------------------------------------------------------------------
+    # (De)serialisation
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form: only the nonzero strengths.
+
+        Round-trips through :meth:`from_value`; a disabled model
+        serialises to ``{}``.
+        """
+        return {
+            name: float(getattr(self, name))
+            for name in _ALL_FIELDS
+            if getattr(self, name) > 0.0
+        }
+
+    @classmethod
+    def from_value(cls, value: Any) -> Optional["NoiseModel"]:
+        """Parse a request field into a model (``None`` stays ``None``).
+
+        Accepts an existing :class:`NoiseModel`, a bare number (treated
+        as a depolarizing strength — the CLI's ``--noise-strength``
+        shorthand), or a dict of strength fields (hyphens allowed in
+        place of underscores; ``readout`` may be nested as
+        ``{"p01": ..., "p10": ...}``).  Unknown keys raise
+        :class:`~repro.exceptions.NoiseError` so typos cannot silently
+        disable a channel.
+        """
+        if value is None:
+            return None
+        if isinstance(value, NoiseModel):
+            return value
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return cls(depolarizing=float(value))
+        if isinstance(value, dict):
+            material: Dict[str, Any] = {}
+            for key, entry in value.items():
+                if not isinstance(key, str):
+                    raise NoiseError(f"noise field names must be strings: {key!r}")
+                name = key.replace("-", "_")
+                if name == "readout":
+                    if not isinstance(entry, dict):
+                        raise NoiseError(
+                            "noise field 'readout' must be a dict with "
+                            "'p01'/'p10' entries"
+                        )
+                    unknown = set(entry) - {"p01", "p10"}
+                    if unknown:
+                        raise NoiseError(
+                            f"unknown readout fields {sorted(unknown)}; "
+                            "expected a subset of ['p01', 'p10']"
+                        )
+                    if "p01" in entry:
+                        material["readout_p01"] = entry["p01"]
+                    if "p10" in entry:
+                        material["readout_p10"] = entry["p10"]
+                    continue
+                if name not in _ALL_FIELDS:
+                    raise NoiseError(
+                        f"unknown noise fields ['{key}']; expected a subset "
+                        f"of {sorted(_ALL_FIELDS + ('readout',))}"
+                    )
+                if name in material:
+                    raise NoiseError(f"noise field {name!r} specified twice")
+                material[name] = entry
+            return cls(**material)
+        raise NoiseError(
+            "noise model must be a NoiseModel, a number (depolarizing "
+            f"strength), or a dict of strengths; got {type(value).__name__}"
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable summary (CLI output)."""
+        parts = [
+            f"{name}={getattr(self, name):g}"
+            for name in _ALL_FIELDS
+            if getattr(self, name) > 0.0
+        ]
+        return ", ".join(parts) if parts else "disabled"

@@ -1,0 +1,196 @@
+"""Dense density-matrix reference evolution (verification-sized).
+
+The correctness anchor for the density-matrix DD path: evolve ``rho``
+densely and compare distributions exactly.  Rather than materialising
+``2^n x 2^n`` matrix products (cubic in the dimension), the evolution
+works on the *vectorised* density matrix: with ``vec(rho)`` flattened
+column-major (index ``row + 2^n * col``), the row bits are qubits
+``0..n-1`` and the column bits qubits ``n..2n-1`` of a ``2n``-qubit
+pseudo-state, and
+
+    vec(U rho U†) = (conj(U) ⊗ U) vec(rho)
+
+so a gate is two cheap sparse applications through the statevector
+machinery (:func:`repro.simulators.statevector.apply_operation_dense`):
+the gate on the row copy, its conjugate on the column copy.  Kraus
+channels apply each ``(conj(K) ⊗ K)`` term to a fresh copy and sum.
+Cost per operation is ``O(4^n)`` — fine for the ≤10-qubit oracle sizes.
+
+Noise placement matches :class:`repro.simulators.DensityMatrixSimulator`
+exactly: channels fire after every unitary, on every qubit it touches,
+in :data:`~repro.noise.model.GATE_CHANNEL_FIELDS` order; mid-circuit
+measurements dephase; readout error hits the final distribution once.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.gates import Gate
+from ..circuit.operations import (
+    Barrier,
+    DiagonalOperation,
+    Measurement,
+    Operation,
+)
+from ..exceptions import NoiseError
+from .channels import dephasing
+from .model import NoiseModel
+
+__all__ = [
+    "evolve_density_dense",
+    "apply_readout_dense",
+    "noisy_probabilities_dense",
+]
+
+#: Dense evolution allocates 4^n complex amplitudes per Kraus term.
+MAX_DENSE_QUBITS = 12
+
+
+def _apply_dense(vec: np.ndarray, op: Operation, num_pseudo_qubits: int) -> None:
+    """One-sided dense application (imported lazily to avoid a cycle:
+    ``repro.simulators`` re-exports the density simulator, which imports
+    this package)."""
+    from ..simulators.statevector import apply_operation_dense
+
+    apply_operation_dense(vec, op, num_pseudo_qubits)
+
+
+def _freeze(matrix: np.ndarray):
+    """Gate matrices are stored as hashable nested tuples."""
+    return tuple(tuple(complex(v) for v in row) for row in matrix)
+
+
+def _shifted(op: Operation, offset: int, conjugate: bool) -> Operation:
+    """The same operation moved up by ``offset`` qubits (optionally conj)."""
+    matrix = op.gate.array
+    if conjugate:
+        matrix = matrix.conj()
+    gate = Gate(
+        name=op.gate.name,
+        num_qubits=op.gate.num_qubits,
+        matrix=_freeze(matrix),
+    )
+    return Operation(
+        gate=gate,
+        targets=tuple(q + offset for q in op.targets),
+        controls=frozenset(q + offset for q in op.controls),
+        neg_controls=frozenset(q + offset for q in op.neg_controls),
+    )
+
+
+def _apply_unitary(vec: np.ndarray, op: Operation, num_qubits: int) -> None:
+    """``vec(rho) -> vec(U rho U†)`` in place."""
+    _apply_dense(vec, op, 2 * num_qubits)
+    _apply_dense(vec, _shifted(op, num_qubits, True), 2 * num_qubits)
+
+
+def _apply_kraus(
+    vec: np.ndarray, operators: Iterable[np.ndarray], qubit: int, num_qubits: int
+) -> np.ndarray:
+    """``vec(rho) -> vec(sum_i K_i rho K_i†)`` on one qubit (new array)."""
+    total = np.zeros_like(vec)
+    for kraus in operators:
+        term = vec.copy()
+        gate = Gate(name="kraus", num_qubits=1, matrix=_freeze(kraus))
+        _apply_dense(term, Operation(gate, (qubit,)), 2 * num_qubits)
+        conj_gate = Gate(name="kraus", num_qubits=1, matrix=_freeze(kraus.conj()))
+        _apply_dense(
+            term, Operation(conj_gate, (qubit + num_qubits,)), 2 * num_qubits
+        )
+        total += term
+    return total
+
+
+def evolve_density_dense(
+    circuit: QuantumCircuit,
+    noise: Optional[NoiseModel] = None,
+    initial_state: int = 0,
+) -> np.ndarray:
+    """Evolve ``|initial_state⟩⟨initial_state|`` densely through ``circuit``.
+
+    Returns the final ``2^n x 2^n`` density matrix.  Readout error is
+    *not* applied here (it acts on the sampling distribution, not the
+    state); use :func:`noisy_probabilities_dense` for the full contract.
+    """
+    num_qubits = circuit.num_qubits
+    if num_qubits > MAX_DENSE_QUBITS:
+        raise NoiseError(
+            f"dense density evolution beyond {MAX_DENSE_QUBITS} qubits refused"
+        )
+    noise = NoiseModel.from_value(noise)
+    if noise is not None and not noise.enabled:
+        noise = None
+    dim = 1 << num_qubits
+    vec = np.zeros(dim * dim, dtype=np.complex128)
+    vec[initial_state + dim * initial_state] = 1.0
+    channels = noise.gate_channels() if noise is not None else ()
+    dephase = dephasing().arrays
+    for instruction in circuit:
+        if isinstance(instruction, Barrier):
+            continue
+        if isinstance(instruction, Measurement):
+            measured = (
+                range(num_qubits)
+                if instruction.measures_all
+                else instruction.qubits
+            )
+            for qubit in measured:
+                vec = _apply_kraus(vec, dephase, qubit, num_qubits)
+            continue
+        lowered = (
+            instruction.to_operations()
+            if isinstance(instruction, DiagonalOperation)
+            else (instruction,)
+        )
+        for op in lowered:
+            _apply_unitary(vec, op, num_qubits)
+            for channel in channels:
+                arrays = channel.arrays
+                for qubit in sorted(op.qubits):
+                    vec = _apply_kraus(vec, arrays, qubit, num_qubits)
+    return vec.reshape((dim, dim), order="F")
+
+
+def apply_readout_dense(
+    probabilities: np.ndarray, noise: NoiseModel, num_qubits: int
+) -> np.ndarray:
+    """Apply the per-qubit readout confusion matrix to a distribution."""
+    confusion = noise.readout_matrix()
+    view = probabilities.reshape((2,) * num_qubits)
+    for qubit in range(num_qubits):
+        axis = num_qubits - 1 - qubit
+        view = np.moveaxis(
+            np.tensordot(confusion, view, axes=([1], [axis])), 0, axis
+        )
+    return np.ascontiguousarray(view.reshape(-1))
+
+
+def noisy_probabilities_dense(
+    circuit: QuantumCircuit,
+    noise: Optional[NoiseModel] = None,
+    initial_state: int = 0,
+) -> np.ndarray:
+    """The full noisy sampling distribution, computed densely.
+
+    This is exactly the distribution the density-matrix DD path samples
+    from: the diagonal of the evolved ``rho`` (clipped of negative
+    floating-point dust and renormalised) with readout error folded in.
+    """
+    noise = NoiseModel.from_value(noise)
+    if noise is not None and not noise.enabled:
+        noise = None
+    rho = evolve_density_dense(circuit, noise, initial_state)
+    probabilities = np.clip(np.real(np.diag(rho)), 0.0, None)
+    total = probabilities.sum()
+    if total <= 0.0:
+        raise NoiseError("density evolution produced a zero-trace state")
+    probabilities = probabilities / total
+    if noise is not None and noise.has_readout_error:
+        probabilities = apply_readout_dense(
+            probabilities, noise, circuit.num_qubits
+        )
+    return probabilities

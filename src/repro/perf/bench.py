@@ -18,13 +18,19 @@ Gives every future PR a perf trajectory to defend.  One run measures
 * **approximation** — fidelity-driven DD pruning (ε = 0.05) against the
   exact build on a dominant-path circuit whose exact DD goes dense:
   peak-node reduction, build speedup, the tracked fidelity bound, and
-  the measured TVD against that bound (see ``docs/approximation.md``).
+  the measured TVD against that bound (see ``docs/approximation.md``),
+* **noise** — noisy weak simulation through the density-matrix path
+  (``docs/noise.md``): build / diagonal-compile / sample timings for a
+  GHZ chain under a mixed channel model, the TVD against the dense
+  density reference, and the equal-seed determinism and strength-0
+  bit-identity contracts.
 
 Run it with::
 
     python -m repro.perf.bench --out BENCH_sampling.json
     python -m repro.perf.bench --smoke          # toy sizes, seconds
     python -m repro.perf.bench --approx-smoke   # 'make bench-approx' gate
+    python -m repro.perf.bench --noise-smoke    # 'make bench-noise' gate
     python -m repro.perf.bench --validate BENCH_sampling.json
 
 The JSON layout is versioned and checked by :func:`validate_payload`;
@@ -51,7 +57,12 @@ from ..core.dd_sampler import DDSampler
 from ..core.shot_executor import ShotExecutor
 from ..core.indistinguishability import two_sample_chi_square
 from ..dd.approximation import ApproximationConfig
+from ..noise import NoiseModel, noisy_probabilities_dense
 from ..simulators.dd_simulator import DDSimulator
+from ..simulators.density_simulator import (
+    DensityMatrixSimulator,
+    compile_noisy_sampler,
+)
 from ..simulators.statevector import StatevectorSimulator
 from .compiled_dd import CompiledDDCache
 from .parallel import sample_chunked
@@ -61,16 +72,19 @@ __all__ = [
     "VERSION",
     "KERNEL_SMOKE_SPEEDUP_FLOOR",
     "APPROX_SMOKE_NODE_LIMIT",
+    "NOISE_SMOKE_NODE_LIMIT",
+    "NOISE_TVD_LIMIT",
     "dusty_ghz",
     "run_harness",
     "run_kernel_smoke",
     "run_approx_smoke",
+    "run_noise_smoke",
     "validate_payload",
     "main",
 ]
 
 FORMAT = "repro-bench-sampling"
-VERSION = 4
+VERSION = 5
 
 #: The ``make bench-kernel`` gate: the SoA kernel's cold build of qft_16
 #: must beat the python reference by at least this factor (best of 3).
@@ -84,6 +98,21 @@ APPROX_SMOKE_NODE_LIMIT = 800
 #: Peak-node reduction the full-size approximation case must reach
 #: (exact peak / approximate peak, both from ``track_peak`` probes).
 APPROX_NODE_REDUCTION_FLOOR = 2.0
+
+#: The ``make bench-noise`` gate's node budget for the ghz_20 leg: a
+#: depolarized GHZ chain's density DD grows ~4x per two qubits (the
+#: Pauli-error branches of early gates propagate through the CNOT
+#: ladder), so a full 20-qubit build is out of reach for the python
+#: engine — the gate instead proves the ceiling aborts the build with a
+#: clean ``MemoryError`` instead of hanging.  Kept low because gate
+#: cost near the ceiling scales with the operand node counts.
+NOISE_SMOKE_NODE_LIMIT = 600
+
+#: Ceiling for the noisy sampler's TVD against the dense density
+#: reference (both are analytic distributions, so this is a numerical
+#: agreement check, not a sampling bound — see ``NOISE_ATOL`` in
+#: ``repro.fuzz.oracles`` for why it is looser than machine epsilon).
+NOISE_TVD_LIMIT = 1e-6
 
 #: Fail validation when the telemetry-enabled pipeline is this much
 #: slower than the disabled one — generous because the measured circuit
@@ -147,6 +176,23 @@ _SCHEMA: Dict[str, List[str]] = {
         "tvd",
         "tvd_within_bound",
         "samples_bit_identical",
+    ],
+    "noise": [
+        "circuit",
+        "num_qubits",
+        "model",
+        "shots",
+        "build_seconds",
+        "diagonal_seconds",
+        "sample_seconds",
+        "shots_per_second",
+        "dd_nodes",
+        "compiled_size",
+        "channel_applications",
+        "tvd_vs_dense",
+        "tvd_within_limit",
+        "samples_bit_identical",
+        "strength0_bit_identical",
     ],
 }
 
@@ -412,6 +458,109 @@ def run_approx_smoke(seed: int = 7, shots: int = 2_000) -> Dict:
     }
 
 
+def _noise_section(
+    seed: int, smoke: bool, shots: int, num_qubits: Optional[int] = None
+) -> Dict:
+    """Noisy weak simulation through the density path, dense-checked.
+
+    A GHZ chain under a mixed channel model (depolarizing + amplitude
+    damping + readout error) is built as a density DD, its diagonal
+    compiled into the flat-array sampler, and the three stages timed.
+    The compiled distribution must agree with
+    :func:`repro.noise.noisy_probabilities_dense` to
+    :data:`NOISE_TVD_LIMIT`, equal-seed rebuild samples must be
+    bit-identical, and an all-zero model must reproduce the exact pure
+    path bit-for-bit (the disabled-means-exact contract).
+    """
+    from ..core.weak_sim import simulate_and_sample
+
+    if num_qubits is None:
+        num_qubits = 6 if smoke else 10
+    circuit = ghz(num_qubits)
+    noise = NoiseModel(
+        depolarizing=0.02,
+        amplitude_damping=0.01,
+        readout_p01=0.01,
+        readout_p10=0.005,
+    )
+
+    start = time.perf_counter()
+    simulator = DensityMatrixSimulator(noise=noise)
+    rho = simulator.run(circuit)
+    build_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    compiled = compile_noisy_sampler(rho, noise)
+    diagonal_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    samples = compiled.sample(shots, np.random.default_rng(seed))
+    sample_seconds = time.perf_counter() - start
+
+    tvd = 0.5 * float(
+        np.abs(
+            compiled.probabilities() - noisy_probabilities_dense(circuit, noise)
+        ).sum()
+    )
+    rebuilt = compile_noisy_sampler(
+        DensityMatrixSimulator(noise=noise).run(circuit), noise
+    )
+    replay = rebuilt.sample(shots, np.random.default_rng(seed))
+
+    strength0 = simulate_and_sample(
+        circuit, min(shots, 20_000), seed=seed, noise=NoiseModel()
+    )
+    exact = simulate_and_sample(circuit, min(shots, 20_000), seed=seed)
+
+    return {
+        "circuit": circuit.name,
+        "num_qubits": num_qubits,
+        "model": noise.to_dict(),
+        "shots": shots,
+        "build_seconds": round(build_seconds, 6),
+        "diagonal_seconds": round(diagonal_seconds, 6),
+        "sample_seconds": round(sample_seconds, 6),
+        "shots_per_second": round(shots / max(sample_seconds, 1e-9), 1),
+        "dd_nodes": rho.node_count,
+        "compiled_size": compiled.size,
+        "channel_applications": simulator.stats.noise_channel_applications,
+        "tvd_vs_dense": float(tvd),
+        "tvd_within_limit": bool(tvd <= NOISE_TVD_LIMIT),
+        "samples_bit_identical": bool(np.array_equal(samples, replay)),
+        "strength0_bit_identical": strength0.counts == exact.counts,
+    }
+
+
+def run_noise_smoke(seed: int = 7, shots: int = 20_000) -> Dict:
+    """The ``make bench-noise`` gate body: dense-checked where dense fits.
+
+    Two legs: an 8-qubit GHZ chain under the mixed channel model must
+    match the dense density reference within :data:`NOISE_TVD_LIMIT`
+    with equal-seed rebuilds bit-identical (via :func:`_noise_section`;
+    the full harness runs the same leg at 10 qubits), and a 20-qubit
+    depolarized GHZ build under :data:`NOISE_SMOKE_NODE_LIMIT` must
+    abort with a clean ``MemoryError`` — the density DD outgrows any
+    python-engine budget, and the ceiling is what keeps the service's
+    noisy admission honest.
+    """
+    section = _noise_section(seed, smoke=False, shots=shots, num_qubits=8)
+
+    ceiling_enforced = False
+    start = time.perf_counter()
+    try:
+        DensityMatrixSimulator(
+            noise=NoiseModel(depolarizing=0.01),
+            node_limit=NOISE_SMOKE_NODE_LIMIT,
+        ).run(ghz(20))
+    except MemoryError:
+        ceiling_enforced = True
+    ceiling_seconds = time.perf_counter() - start
+
+    section["ceiling_circuit"] = "ghz_20"
+    section["ceiling_node_limit"] = NOISE_SMOKE_NODE_LIMIT
+    section["ceiling_enforced"] = ceiling_enforced
+    section["ceiling_seconds"] = round(ceiling_seconds, 6)
+    return section
+
+
 def run_harness(
     shots: int = 100_000,
     mid_circuit_shots: int = 100_000,
@@ -536,6 +685,11 @@ def run_harness(
 
         # -- approximation: exact vs ε-pruned build ------------------------
         payload["approximation"] = _approximation_section(seed, smoke)
+
+        # -- noise: density-path build + noisy sampling --------------------
+        payload["noise"] = _noise_section(
+            seed, smoke, shots=min(shots, 20_000)
+        )
         return payload
     finally:
         compiled_dd.DEFAULT_CACHE = previous_cache
@@ -651,6 +805,20 @@ def validate_payload(payload: Dict) -> None:
             f"approximation peak-node reduction {approximation['node_reduction']}x "
             f"is below the {APPROX_NODE_REDUCTION_FLOOR}x floor"
         )
+    noise = payload["noise"]
+    if not noise["tvd_within_limit"]:
+        raise ValueError(
+            f"noisy sampler TVD {noise['tvd_vs_dense']} vs the dense "
+            f"density reference exceeds the {NOISE_TVD_LIMIT} limit"
+        )
+    if not noise["samples_bit_identical"]:
+        raise ValueError(
+            "noisy rebuilds produced different samples at equal seed"
+        )
+    if not noise["strength0_bit_identical"]:
+        raise ValueError(
+            "strength-0 noise drifted from the exact path at equal seed"
+        )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -691,6 +859,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run the 'make bench-approx' gate: under a hard node limit "
         "the exact dusty-GHZ build must abort while the epsilon=0.05 "
         "approximate build completes with TVD inside its tracked bound",
+    )
+    parser.add_argument(
+        "--noise-smoke",
+        action="store_true",
+        help="run the 'make bench-noise' gate: the noisy GHZ sampler must "
+        "match the dense density reference within the TVD limit with "
+        "bit-identical equal-seed rebuilds, and the ghz_20 depolarized "
+        "build must abort cleanly at the node ceiling",
     )
     parser.add_argument(
         "--validate",
@@ -771,6 +947,48 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"bench-approx: {message}", file=sys.stderr)
         return 1 if failures else 0
 
+    if args.noise_smoke:
+        outcome = run_noise_smoke(seed=args.seed)
+        print(
+            f"bench-noise: {outcome['circuit']} "
+            f"({outcome['num_qubits']}q, {outcome['dd_nodes']} nodes) "
+            f"build {outcome['build_seconds']}s, diagonal "
+            f"{outcome['diagonal_seconds']}s, "
+            f"{outcome['shots_per_second']} shots/s; TVD vs dense "
+            f"{outcome['tvd_vs_dense']:.3e} <= {NOISE_TVD_LIMIT:g}="
+            f"{outcome['tvd_within_limit']}, samples bit-identical="
+            f"{outcome['samples_bit_identical']}, strength-0 bit-identical="
+            f"{outcome['strength0_bit_identical']}; "
+            f"{outcome['ceiling_circuit']} under node limit "
+            f"{outcome['ceiling_node_limit']}: aborted="
+            f"{outcome['ceiling_enforced']} ({outcome['ceiling_seconds']}s)"
+        )
+        failures = [
+            message
+            for condition, message in (
+                (
+                    outcome["tvd_within_limit"],
+                    "noisy TVD exceeded the dense-reference limit",
+                ),
+                (
+                    outcome["samples_bit_identical"],
+                    "equal-seed rebuild samples diverged",
+                ),
+                (
+                    outcome["strength0_bit_identical"],
+                    "strength-0 noise drifted from the exact path",
+                ),
+                (
+                    outcome["ceiling_enforced"],
+                    "ghz_20 build did not hit the node ceiling",
+                ),
+            )
+            if not condition
+        ]
+        for message in failures:
+            print(f"bench-noise: {message}", file=sys.stderr)
+        return 1 if failures else 0
+
     payload = run_harness(
         shots=args.shots,
         mid_circuit_shots=args.mid_circuit_shots,
@@ -787,6 +1005,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         for case in payload["cases"]
     )
     approximation = payload["approximation"]
+    noise = payload["noise"]
     print(
         f"wrote {args.out}: branching speedup {mid['speedup']}x over "
         f"per-shot at {mid['shots']} shots; compiled cache "
@@ -796,7 +1015,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"kernel cold-build speedup: {kernel_line}; approximation "
         f"{approximation['circuit']}: {approximation['node_reduction']}x "
         f"fewer peak nodes, {approximation['speedup']}x faster, fidelity >= "
-        f"{approximation['fidelity_bound']}"
+        f"{approximation['fidelity_bound']}; noise {noise['circuit']}: "
+        f"{noise['shots_per_second']} noisy shots/s, TVD vs dense "
+        f"{noise['tvd_vs_dense']:.2e}"
     )
     return 0
 

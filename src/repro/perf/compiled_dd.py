@@ -30,7 +30,13 @@ import numpy as np
 from ..dd.node import Edge, is_terminal
 from ..exceptions import SamplingError
 
-__all__ = ["CompiledDD", "CompiledDDCache", "DEFAULT_CACHE", "compile_edge"]
+__all__ = [
+    "CompiledDD",
+    "CompiledDDCache",
+    "DEFAULT_CACHE",
+    "compile_edge",
+    "compile_probability_edge",
+]
 
 
 #: Stable-serialisation contract version.  Bump whenever the meaning of
@@ -338,6 +344,100 @@ def compile_edge(
         if total <= 0.0:
             raise SamplingError("node with zero probability mass")
         p0[compact] = masses[0] / total
+        for bit, child_array in ((0, child0), (1, child1)):
+            child = node.edges[bit]
+            if child.is_zero or is_terminal(child.node):
+                child_array[compact] = 0  # never dereferenced
+            else:
+                child_array[compact] = id_of[child.node.index]
+        per_level[node.var].append(compact)
+
+    levels = [np.asarray(ids, dtype=np.int64) for ids in per_level]
+    return CompiledDD(
+        num_qubits=num_qubits,
+        root=id_of[edge.node.index],
+        p0=p0,
+        child0=child0,
+        child1=child1,
+        id_of=id_of,
+        levels=levels,
+    )
+
+
+def compile_probability_edge(edge: Edge, num_qubits: int) -> CompiledDD:
+    """Flatten a *probability* vector DD into a :class:`CompiledDD`.
+
+    :func:`compile_edge` assumes L2 semantics — path products are
+    amplitudes, branch masses are ``|w|²``.  The diagonal of a density
+    matrix (:func:`repro.dd.density.diagonal_edge`) is an **L1** object:
+    path products are probabilities ``rho_ii`` directly.  This compiler
+    computes each node's complex subtree sum ``S(v) = w0·S(c0) +
+    w1·S(c1)`` by DP over the DAG and sets ``p0 = Re(m0 / (m0 + m1))``
+    with ``m_b = w_b·S(c_b)``.  Taking the *quotient* cancels the common
+    phase accumulated on the path prefix (every full path product is a
+    real non-negative probability, so both branch masses under one node
+    carry the same prefix phase), and renormalises the trace for free —
+    a state with ``tr(rho) = 1 - ε`` of float drift still yields exact
+    per-node branch probabilities.  Float dust is clipped into
+    ``[0, 1]``, so the result passes :meth:`CompiledDD.from_arrays`
+    validation and serves through the artifact store like any exact
+    compiled DD.
+    """
+    if edge.is_zero:
+        raise SamplingError("cannot compile the zero distribution")
+    if is_terminal(edge.node):
+        raise SamplingError("cannot compile a bare terminal edge")
+
+    id_of: Dict[int, int] = {}
+    nodes: List = []
+    stack = [edge.node]
+    while stack:
+        node = stack.pop()
+        if is_terminal(node) or node.index in id_of:
+            continue
+        id_of[node.index] = len(nodes)
+        nodes.append(node)
+        for child in node.edges:
+            if not child.is_zero and not is_terminal(child.node):
+                stack.append(child.node)
+
+    # Subtree sums bottom-up: children sit at strictly lower levels, so
+    # ascending-var order is a topological order of the DAG.
+    sums: Dict[int, complex] = {}
+    for node in sorted(nodes, key=lambda n: n.var):
+        total = 0j
+        for child in node.edges:
+            if child.is_zero:
+                continue
+            if is_terminal(child.node):
+                total += child.weight
+            else:
+                total += child.weight * sums[child.node.index]
+        sums[node.index] = total
+
+    count = len(nodes)
+    p0 = np.zeros(count, dtype=np.float64)
+    child0 = np.zeros(count, dtype=np.int64)
+    child1 = np.zeros(count, dtype=np.int64)
+    per_level: List[List[int]] = [[] for _ in range(num_qubits)]
+    for node in nodes:
+        compact = id_of[node.index]
+        masses = []
+        for child in node.edges:
+            if child.is_zero:
+                masses.append(0j)
+            elif is_terminal(child.node):
+                masses.append(child.weight)
+            else:
+                masses.append(child.weight * sums[child.node.index])
+        total = masses[0] + masses[1]
+        if total == 0:
+            # A node whose whole subtree cancelled to float dust carries
+            # no probability mass; any branch choice is unobservable.
+            probability = 1.0
+        else:
+            probability = (masses[0] / total).real
+        p0[compact] = min(max(probability, 0.0), 1.0)
         for bit, child_array in ((0, child0), (1, child1)):
             child = node.edges[bit]
             if child.is_zero or is_terminal(child.node):

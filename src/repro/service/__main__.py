@@ -153,10 +153,12 @@ def _request_from_record(
         kernel=str(record.get("kernel", default_kernel)),
         # Passed through raw: the service validates and normalises these
         # (approximation: number or {"epsilon": ...}; reorder: bool,
-        # budget, or {"budget": ...}), so malformed values become
-        # 'rejected' responses, not crashes.
+        # budget, or {"budget": ...}; noise_model: number or a channel-
+        # strength mapping), so malformed values become 'rejected'
+        # responses, not crashes.
         approximation=record.get("approximation"),
         reorder=record.get("reorder"),
+        noise_model=record.get("noise_model"),
     )
 
 

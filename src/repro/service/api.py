@@ -56,7 +56,8 @@ from ..dd.reorder import (
     is_identity_permutation,
     unpermute_samples,
 )
-from ..exceptions import DDError, MemoryOutError, ReproError
+from ..exceptions import DDError, MemoryOutError, NoiseError, ReproError
+from ..noise.model import NoiseModel
 from ..perf.compiled_dd import CompiledDD
 from ..perf.parallel import DEFAULT_CHUNK_SHOTS, sample_chunked
 from .keys import cache_key
@@ -103,6 +104,20 @@ class SamplingRequest:
     the original qubit order and bit-identical to ``simulate_and_sample``
     with the same config.  ``False``/``None`` is the fixed-order path,
     byte-identical to a request without the field.
+
+    ``noise_model`` opts into noisy weak simulation (``method="dd"``
+    only): a :class:`~repro.noise.NoiseModel`, a bare depolarizing
+    strength, or a mapping, exactly as in the JSONL/HTTP schema (see
+    :meth:`~repro.noise.NoiseModel.from_value` and ``docs/noise.md``).
+    The full canonical strength tuple IS part of the cache key — a noisy
+    artifact (the mixed state's distribution) is never served for an
+    exact request or a different model — while a disabled model (all
+    strengths zero) is normalised away, leaving the key byte-identical
+    to a request without the field.  Noisy builds bypass the optimizer
+    (noise binds to the circuit as written) and have no degradation
+    fallback; they compose with neither ``approximation`` nor
+    ``reorder`` nor ``workers`` nor mid-circuit measurement (rejected,
+    never silently dropped).
     """
 
     circuit: QuantumCircuit
@@ -118,6 +133,7 @@ class SamplingRequest:
     kernel: str = "auto"
     approximation: Optional[Any] = None
     reorder: Optional[Any] = None
+    noise_model: Optional[Any] = None
 
 
 @dataclass
@@ -148,6 +164,10 @@ class SamplingResponse:
     #: Rigorous lower bound on the fidelity of the state that was
     #: sampled; ``None`` for exact answers (see docs/approximation.md).
     fidelity_bound: Optional[float] = None
+    #: The noise model the served artifact was built under (its
+    #: canonical nonzero-strength dict); ``None`` for exact answers
+    #: (see docs/noise.md).
+    noise: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -175,6 +195,8 @@ class SamplingResponse:
             record["degraded_reason"] = self.degraded_reason
         if self.fidelity_bound is not None:
             record["fidelity_bound"] = self.fidelity_bound
+        if self.noise is not None:
+            record["noise"] = self.noise
         if self.result is not None:
             record["num_qubits"] = self.result.num_qubits
             record["shots"] = self.result.shots
@@ -384,6 +406,18 @@ class SamplingService:
         config = ReorderConfig.from_value(request.reorder)
         return config if config.enabled else None
 
+    @staticmethod
+    def _noise_config(request: SamplingRequest) -> Optional[NoiseModel]:
+        """The request's noise model; ``None`` when exact.
+
+        Raises :class:`~repro.exceptions.NoiseError` for a malformed or
+        non-physical value (``_validate`` turns that into a rejection).
+        """
+        if request.noise_model is None:
+            return None
+        noise = NoiseModel.from_value(request.noise_model)
+        return noise if noise is not None and noise.enabled else None
+
     def _validate(self, request: SamplingRequest) -> Optional[str]:
         if request.shots < 0:
             return f"shots must be non-negative, got {request.shots}"
@@ -432,6 +466,37 @@ class SamplingService:
                 return (
                     "reordering is not supported for mid-circuit "
                     "measurement (collapses assume a fixed qubit order)"
+                )
+        try:
+            noise = self._noise_config(request)
+        except NoiseError as error:
+            return str(error)
+        if noise is not None:
+            if request.method != "dd":
+                return (
+                    "noise requires method='dd' (samples come from the "
+                    "compiled density diagonal)"
+                )
+            if approximation is not None:
+                return (
+                    "noise and approximation cannot be combined: the "
+                    "fidelity-bound accounting assumes a pure state"
+                )
+            if reorder is not None:
+                return (
+                    "noise and reordering cannot be combined: sifting is "
+                    "implemented for vector DDs only"
+                )
+            if request.workers is not None:
+                return (
+                    "parallel chunked sampling is not supported for "
+                    "noisy requests"
+                )
+            if circuit_has_mid_circuit_measurement(request.circuit):
+                return (
+                    "noise is not supported for mid-circuit measurement "
+                    "requests (the service serves those per shot, which "
+                    "cannot apply density noise)"
                 )
         return None
 
@@ -543,13 +608,19 @@ class SamplingService:
         """The cached path: key → hot → disk → coalesced build → sample."""
         approximation = self._approx_config(request)
         reorder = self._reorder_config(request)
+        noise = self._noise_config(request)
+        # Noisy builds bypass the optimizer (noise binds to the circuit
+        # as written), so the flag is normalised out of the key — every
+        # noisy request for the same circuit+model shares one artifact.
+        optimize = request.optimize if noise is None else False
         key = cache_key(
             request.circuit,
             scheme=request.scheme,
-            optimize=request.optimize,
+            optimize=optimize,
             initial_state=request.initial_state,
             approximation=approximation,
             reorder=reorder,
+            noise=noise,
         )
         compiled, hot_meta = self._hot_get(key)
         if compiled is not None:
@@ -566,11 +637,12 @@ class SamplingService:
                     key,
                     request.circuit,
                     scheme=request.scheme,
-                    optimize=request.optimize,
+                    optimize=optimize,
                     initial_state=request.initial_state,
                     kernel=request.kernel,
                     approximation=approximation,
                     reorder=reorder,
+                    noise=noise,
                 )
             except AdmissionError as error:
                 return self._reject(request, str(error), key=key)
@@ -672,6 +744,11 @@ class SamplingService:
         reorder_meta = (outcome.meta or {}).get("reorder")
         if reorder_meta is not None:
             service_meta["reorder"] = reorder_meta
+        noise_meta = (outcome.meta or {}).get("noise")
+        response_noise = None
+        if noise_meta is not None:
+            service_meta["noise"] = noise_meta
+            response_noise = noise_meta.get("model")
         result.metadata["service"] = service_meta
         return SamplingResponse(
             request_id=request.request_id,
@@ -684,6 +761,7 @@ class SamplingService:
             build_seconds=outcome.build_seconds,
             sampling_seconds=sampling_seconds,
             fidelity_bound=fidelity_bound,
+            noise=response_noise,
         )
 
     # ------------------------------------------------------------------

@@ -49,6 +49,7 @@ from ..dd.approximation import ApproximationConfig
 from ..dd.normalization import NormalizationScheme
 from ..dd.reorder import ReorderConfig
 from ..exceptions import SamplingError
+from ..noise.model import NoiseModel
 from ..perf.compiled_dd import ARTIFACT_VERSION
 
 __all__ = ["ARTIFACT_KEY_VERSION", "circuit_fingerprint", "cache_key"]
@@ -122,6 +123,7 @@ def cache_key(
     package_version: Optional[str] = None,
     approximation: Optional[ApproximationConfig] = None,
     reorder: Optional[ReorderConfig] = None,
+    noise: Optional[NoiseModel] = None,
 ) -> str:
     """The artifact-store key: circuit fingerprint + build config + versions.
 
@@ -133,8 +135,12 @@ def cache_key(
     ``reorder`` config is folded the same way (budget, cadence, trigger
     knobs): a reordered artifact stores level-space arrays plus its
     qubit permutation, so it must never be served for a fixed-order
-    request.  A ``None`` or disabled config leaves the digest
-    byte-identical to the historic exact key.
+    request.  An *enabled* ``noise`` model is folded as its full
+    canonical strength tuple (:meth:`~repro.noise.NoiseModel.strengths`,
+    IEEE-754 bit-exact, readout rates included): a noisy artifact stores
+    the *mixed-state* distribution and must never be served for an exact
+    request, nor for a different noise model.  A ``None`` or disabled
+    config leaves the digest byte-identical to the historic exact key.
     """
     hasher = hashlib.sha256()
     hasher.update(b"repro-artifact-key")
@@ -165,4 +171,7 @@ def cache_key(
         hasher.update(
             struct.pack("<i", (2 if reorder.static else 0) | (1 if reorder.dynamic else 0))
         )
+    if noise is not None and noise.enabled:
+        hasher.update(b"noise")
+        _hash_floats(hasher, noise.strengths())
     return hasher.hexdigest()

@@ -56,8 +56,13 @@ from ..dd.approximation import ApproximationConfig
 from ..dd.reorder import ReorderConfig
 from ..dd.normalization import NormalizationScheme
 from ..exceptions import MemoryOutError, ReproError, SamplingError
+from ..noise.model import NoiseModel
 from ..perf.compiled_dd import CompiledDD
 from ..simulators.dd_simulator import DDSimulator
+from ..simulators.density_simulator import (
+    DensityMatrixSimulator,
+    compile_noisy_sampler,
+)
 from ..simulators.statevector import DEFAULT_MEMORY_CAP, StatevectorSimulator
 from .store import ArtifactStore
 
@@ -181,6 +186,7 @@ class BuildScheduler:
         kernel: str = "auto",
         approximation: Optional[ApproximationConfig] = None,
         reorder: Optional[ReorderConfig] = None,
+        noise: Optional[NoiseModel] = None,
     ) -> "Future[BuildOutcome]":
         """The future for ``key``'s artifact, creating at most one job.
 
@@ -197,7 +203,13 @@ class BuildScheduler:
         one.  ``reorder`` likewise: a reordered artifact stores
         level-space arrays plus its permutation under a reorder-keyed
         digest, and its ``meta["reorder"]`` travels with the artifact so
-        warm hits can unpermute without rebuilding.
+        warm hits can unpermute without rebuilding.  ``noise`` (an
+        *enabled* :class:`~repro.noise.NoiseModel`, already folded into
+        ``key`` by the caller) routes the build through the
+        density-matrix simulator; noisy builds skip the degradation
+        ladder entirely — no pure-state fallback can represent the mixed
+        state — so a memory blowout is a rejection, not a degraded
+        answer.
         """
         if circuit.num_qubits > self.policy.max_qubits:
             with self._lock:
@@ -214,7 +226,7 @@ class BuildScheduler:
                 return future
             future = self._executor.submit(
                 self._run_job, key, circuit, scheme, optimize, initial_state,
-                kernel, approximation, reorder,
+                kernel, approximation, reorder, noise,
             )
             self._in_flight[key] = future
             future.add_done_callback(lambda _f, _key=key: self._retire(_key))
@@ -286,6 +298,7 @@ class BuildScheduler:
         kernel: str = "auto",
         approximation: Optional[ApproximationConfig] = None,
         reorder: Optional[ReorderConfig] = None,
+        noise: Optional[NoiseModel] = None,
     ) -> BuildOutcome:
         with _telemetry.activate(self._telemetry):
             if self.store is not None:
@@ -301,7 +314,7 @@ class BuildScheduler:
                     )
             return self._build_with_ladder(
                 key, circuit, scheme, optimize, initial_state, kernel,
-                approximation, reorder,
+                approximation, reorder, noise,
             )
 
     def _build_with_ladder(
@@ -314,6 +327,7 @@ class BuildScheduler:
         kernel: str = "auto",
         approximation: Optional[ApproximationConfig] = None,
         reorder: Optional[ReorderConfig] = None,
+        noise: Optional[NoiseModel] = None,
     ) -> BuildOutcome:
         attempts = 0
         start = time.perf_counter()
@@ -322,13 +336,23 @@ class BuildScheduler:
             try:
                 outcome = self._build_dd(
                     key, circuit, scheme, optimize, initial_state, kernel,
-                    approximation, reorder,
+                    approximation, reorder, noise,
                 )
                 outcome.attempts = attempts
                 outcome.build_seconds = time.perf_counter() - start
                 return outcome
             except (MemoryOutError, MemoryError) as error:
                 self._count("build_failures")
+                if noise is not None:
+                    # No rung can answer a noisy request: approximation's
+                    # fidelity accounting, the dense statevector, and the
+                    # stabilizer backend are all pure-state machinery and
+                    # cannot represent the mixed state the client asked
+                    # to sample.  Reject instead of silently de-noising.
+                    raise AdmissionError(
+                        f"noisy density build failed ({error}); noisy "
+                        "requests have no degradation fallback"
+                    )
                 outcome = None
                 if approximation is None and self.policy.approx_epsilon > 0.0:
                     # The approximate-DD rung: only for requests that
@@ -367,9 +391,12 @@ class BuildScheduler:
         kernel: str = "auto",
         approximation: Optional[ApproximationConfig] = None,
         reorder: Optional[ReorderConfig] = None,
+        noise: Optional[NoiseModel] = None,
     ) -> BuildOutcome:
         """One strong simulation + flatten; may raise for the ladder."""
         self._count("build_attempts")
+        if noise is not None:
+            return self._build_density(key, circuit, initial_state, noise)
         if approximation is not None or reorder is not None:
             # Pruning and sifting rounds need the edge representation
             # mid-build, so these builds always run the python engine.
@@ -415,6 +442,58 @@ class BuildScheduler:
             except Exception:
                 # Persistence is best-effort: a full disk must not fail
                 # (or re-run) a build whose artifact is already in hand.
+                self._count("store_put_failures")
+        return BuildOutcome(
+            key=key, backend="dd", source="built", compiled=compiled, meta=meta
+        )
+
+    def _build_density(
+        self,
+        key: str,
+        circuit: QuantumCircuit,
+        initial_state: int,
+        noise: NoiseModel,
+    ) -> BuildOutcome:
+        """The noisy build: density DD → diagonal → compiled artifact.
+
+        The optimizer and the vector kernel do not apply here (gate-
+        attached noise binds to the circuit as written, and superoperator
+        application needs the edge representation), so a noisy build has
+        no ``optimize``/``kernel`` knobs.  The produced
+        :class:`~repro.perf.compiled_dd.CompiledDD` stores and samples
+        exactly like an exact artifact — only the key namespace differs.
+        """
+        node_limit = self.policy.max_build_nodes
+        simulator = DensityMatrixSimulator(
+            noise=noise, node_limit=node_limit if node_limit else None
+        )
+        rho = simulator.run(circuit, initial_state=initial_state)
+        compiled = compile_noisy_sampler(rho, noise)
+        if node_limit is not None and compiled.size > node_limit:
+            raise MemoryError(
+                f"built density diagonal has {compiled.size} flattened "
+                f"nodes, over the service limit of {node_limit} "
+                "(ServicePolicy.max_build_nodes)"
+            )
+        stats = simulator.stats
+        meta: Dict[str, Any] = {
+            "num_qubits": circuit.num_qubits,
+            "dd_nodes": rho.node_count,
+            "compiled_size": compiled.size,
+            "initial_state": initial_state,
+            "circuit_name": getattr(circuit, "name", None),
+            "engine": "density",
+            "noise": {
+                "model": noise.to_dict(),
+                "channel_applications": stats.noise_channel_applications,
+                "kraus_applications": stats.noise_kraus_applications,
+            },
+        }
+        self._count("builds")
+        if self.store is not None:
+            try:
+                self.store.put(key, compiled, meta=meta)
+            except Exception:
                 self._count("store_put_failures")
         return BuildOutcome(
             key=key, backend="dd", source="built", compiled=compiled, meta=meta

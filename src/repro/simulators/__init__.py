@@ -1,7 +1,9 @@
-"""Strong simulators: dense statevector (baseline) and decision diagram."""
+"""Strong simulators: dense statevector (baseline), decision diagram,
+stabilizer, and the density-matrix DD simulator for noisy runs."""
 
 from .base import SimulationStats, StrongSimulator
 from .dd_simulator import DDSimulator
+from .density_simulator import DensityMatrixSimulator, compile_noisy_sampler
 from .stabilizer import CLIFFORD_GATES, StabilizerSimulator, StabilizerState
 from .statevector import (
     DEFAULT_MEMORY_CAP,
@@ -14,6 +16,8 @@ __all__ = [
     "SimulationStats",
     "StatevectorSimulator",
     "DDSimulator",
+    "DensityMatrixSimulator",
+    "compile_noisy_sampler",
     "StabilizerSimulator",
     "StabilizerState",
     "CLIFFORD_GATES",

@@ -59,6 +59,14 @@ class SimulationStats:
     reorder_swaps: int = 0
     reorder_swaps_kept: int = 0
     level_to_qubit: Optional[Tuple[int, ...]] = None
+    #: Noise accounting (all zero on noiseless runs); see
+    #: :mod:`repro.noise` and :class:`repro.simulators.DensityMatrixSimulator`.
+    #: ``noise_channel_applications`` counts single-qubit channel
+    #: applications (including measurement dephasing);
+    #: ``noise_kraus_applications`` counts the individual ``K rho K†``
+    #: conjugations inside them.
+    noise_channel_applications: int = 0
+    noise_kraus_applications: int = 0
 
 
 class StrongSimulator(abc.ABC):

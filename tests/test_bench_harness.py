@@ -47,6 +47,14 @@ class TestHarness:
         assert approx["fidelity_bound"] >= 1.0 - approx["epsilon"] - 1e-9
         assert approx["approx_peak_nodes"] <= approx["exact_peak_nodes"]
 
+    def test_noise_honors_contract(self, smoke_payload):
+        noise = smoke_payload["noise"]
+        assert noise["tvd_within_limit"] is True
+        assert noise["samples_bit_identical"] is True
+        assert noise["strength0_bit_identical"] is True
+        assert noise["channel_applications"] > 0
+        assert noise["tvd_vs_dense"] <= bench.NOISE_TVD_LIMIT
+
 
 class TestValidation:
     def test_rejects_wrong_format(self, smoke_payload):
@@ -93,6 +101,24 @@ class TestValidation:
         bad["config"]["smoke"] = False
         bad["approximation"]["node_reduction"] = 1.1
         with pytest.raises(ValueError, match="floor"):
+            bench.validate_payload(bad)
+
+    def test_rejects_noisy_tvd_over_limit(self, smoke_payload):
+        bad = json.loads(json.dumps(smoke_payload))
+        bad["noise"]["tvd_within_limit"] = False
+        with pytest.raises(ValueError, match="dense"):
+            bench.validate_payload(bad)
+
+    def test_rejects_noisy_seed_drift(self, smoke_payload):
+        bad = json.loads(json.dumps(smoke_payload))
+        bad["noise"]["samples_bit_identical"] = False
+        with pytest.raises(ValueError, match="equal seed"):
+            bench.validate_payload(bad)
+
+    def test_rejects_strength0_drift(self, smoke_payload):
+        bad = json.loads(json.dumps(smoke_payload))
+        bad["noise"]["strength0_bit_identical"] = False
+        with pytest.raises(ValueError, match="strength-0"):
             bench.validate_payload(bad)
 
 

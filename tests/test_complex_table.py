@@ -87,3 +87,38 @@ def test_boundary_bucket_neighbours():
     a = table.lookup(complex(base - 0.4 * tol, 0))
     b = table.lookup(complex(base + 0.4 * tol, 0))
     assert a == b
+
+
+def test_relative_guard_keeps_tiny_weights_distinct():
+    # Two weights inside the absolute window but far apart relative to
+    # their own magnitude must not unify: snapping one to the other is
+    # a large relative error that left-most normalisation amplifies
+    # through the subtree below (the density path's aliasing bug).
+    table = ComplexTable(tolerance=1e-10, relative_tolerance=1e-12)
+    a = table.lookup(5e-10 + 0j)
+    b = table.lookup(4.6e-10 + 0j)
+    assert a != b
+    # The plain absolute-window table merges the same pair.
+    merged = ComplexTable(tolerance=1e-10)
+    assert merged.lookup(5e-10 + 0j) == merged.lookup(4.6e-10 + 0j)
+
+
+def test_relative_guard_still_unifies_equal_routes():
+    # Same value computed along different arithmetic routes (relative
+    # difference ~1e-16) must keep interning, or node sharing dies.
+    table = ComplexTable(tolerance=1e-10, relative_tolerance=1e-12)
+    a = table.lookup(complex(math.sqrt(0.5), 0.0))
+    b = table.lookup(complex(math.sqrt(2.0) / 2.0, 0.0))
+    assert a == b
+
+
+def test_relative_guard_zero_snap_stays_absolute():
+    # Sub-window weights still snap to exact zero: dropping a branch
+    # costs only the snapped magnitude, never a rescale.
+    table = ComplexTable(tolerance=1e-10, relative_tolerance=1e-12)
+    assert table.lookup(3e-11 + 0j) == 0j
+
+
+def test_negative_relative_tolerance_rejected():
+    with pytest.raises(ValueError):
+        ComplexTable(relative_tolerance=-1e-12)
